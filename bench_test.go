@@ -1,0 +1,442 @@
+package wet
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// ablation benches for the design choices called out in DESIGN.md.
+// `go test -bench=. -benchmem` regenerates every measurement; cmd/wetbench
+// prints the same data as paper-style tables.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"wet/internal/arch"
+	"wet/internal/core"
+	"wet/internal/exp"
+	"wet/internal/interp"
+	"wet/internal/query"
+	"wet/internal/sequitur"
+	"wet/internal/stream"
+	"wet/internal/workload"
+)
+
+// benchTarget keeps each workload run small enough that the full bench
+// suite finishes quickly; wetbench -stmts scales the real tables up.
+const benchTarget = 60_000
+
+var (
+	runsOnce sync.Once
+	runsAll  []*exp.Run
+	runsErr  error
+)
+
+// benchRuns builds all nine workload WETs once and caches them.
+func benchRuns(b *testing.B) []*exp.Run {
+	b.Helper()
+	runsOnce.Do(func() {
+		runsAll, runsErr = exp.RunAll(exp.Config{TargetStmts: benchTarget}, nil)
+	})
+	if runsErr != nil {
+		b.Fatal(runsErr)
+	}
+	return runsAll
+}
+
+// BenchmarkTable1WETSizes measures end-to-end WET construction plus
+// two-tier compression (the producer of Table 1) and reports the achieved
+// compression factor.
+func BenchmarkTable1WETSizes(b *testing.B) {
+	wls := workload.All()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		wl := wls[i%len(wls)]
+		r, err := exp.BuildRun(wl, benchTarget)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = core.Ratio(r.Rep.OrigTotal(), r.Rep.T2Total())
+	}
+	b.ReportMetric(ratio, "orig/comp")
+}
+
+// BenchmarkTable2NodeLabels measures tier-2 compression of the node labels
+// (timestamp and value streams) of prebuilt WETs.
+func BenchmarkTable2NodeLabels(b *testing.B) {
+	runs := benchRuns(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := runs[i%len(runs)]
+		for _, n := range r.W.Nodes {
+			stream.CompressBest(n.TS)
+			for _, g := range n.Groups {
+				stream.CompressBest(g.Pattern)
+				for _, uv := range g.UVals {
+					stream.CompressBest(uv)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkTable3EdgeLabels measures tier-2 compression of the dependence
+// edge label streams.
+func BenchmarkTable3EdgeLabels(b *testing.B) {
+	runs := benchRuns(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := runs[i%len(runs)]
+		for _, e := range r.W.Edges {
+			if e.Inferable || e.SharedWith >= 0 {
+				continue
+			}
+			stream.CompressBest(e.DstOrd)
+			stream.CompressBest(e.SrcOrd)
+		}
+	}
+}
+
+// BenchmarkTable4ArchBits measures the architecture-profile generation
+// (gshare + cache simulation during a run).
+func BenchmarkTable4ArchBits(b *testing.B) {
+	wl, err := workload.ByName("gzip")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, in := wl.Build(1)
+	st, err := interp.Analyze(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := newArchRecorder()
+		if _, err := interp.Run(st, interp.Options{Inputs: in, Arch: rec}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable5Construction measures WET construction alone (no tier-2
+// compression), the paper's Table 5.
+func BenchmarkTable5Construction(b *testing.B) {
+	wl, err := workload.ByName("li")
+	if err != nil {
+		b.Fatal(err)
+	}
+	scale, err := workload.ScaleFor(wl, benchTarget)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, in := wl.Build(scale)
+	st, err := interp.Analyze(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.Build(st, interp.Options{Inputs: in}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchCF(b *testing.B, tier core.Tier, forward bool) {
+	runs := benchRuns(b)
+	var total uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := runs[i%len(runs)]
+		total += query.ExtractCF(r.W, tier, forward, nil)
+	}
+	b.ReportMetric(float64(total)/float64(b.N), "stmts/op")
+}
+
+// BenchmarkTable6CFTrace measures control-flow trace extraction in all four
+// paper configurations.
+func BenchmarkTable6CFTrace(b *testing.B) {
+	b.Run("fwd-tier1", func(b *testing.B) { benchCF(b, core.Tier1, true) })
+	b.Run("fwd-tier2", func(b *testing.B) { benchCF(b, core.Tier2, true) })
+	b.Run("bwd-tier1", func(b *testing.B) { benchCF(b, core.Tier1, false) })
+	b.Run("bwd-tier2", func(b *testing.B) { benchCF(b, core.Tier2, false) })
+}
+
+// BenchmarkTable7LoadValues measures per-instruction load value trace
+// extraction.
+func BenchmarkTable7LoadValues(b *testing.B) {
+	runs := benchRuns(b)
+	for _, tier := range []core.Tier{core.Tier1, core.Tier2} {
+		tier := tier
+		b.Run(tier.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := runs[i%len(runs)]
+				if _, err := query.LoadValueTraces(r.W, tier, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable8Addresses measures per-instruction address trace
+// extraction.
+func BenchmarkTable8Addresses(b *testing.B) {
+	runs := benchRuns(b)
+	for _, tier := range []core.Tier{core.Tier1, core.Tier2} {
+		tier := tier
+		b.Run(tier.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := runs[i%len(runs)]
+				if _, err := query.AddressTraces(r.W, tier, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable9Slices measures backward WET slices (the paper averages
+// over 25 criteria per benchmark).
+func BenchmarkTable9Slices(b *testing.B) {
+	runs := benchRuns(b)
+	crit := make(map[string][]query.Instance)
+	for _, r := range runs {
+		crit[r.Name] = exp.SliceCriteria(r.W, 25)
+	}
+	for _, tier := range []core.Tier{core.Tier1, core.Tier2} {
+		tier := tier
+		b.Run(tier.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := runs[i%len(runs)]
+				cs := crit[r.Name]
+				c := cs[i%len(cs)]
+				if _, err := query.BackwardSlice(r.W, tier, c, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure8Components measures the full Freeze (tier-1 reductions +
+// tier-2 compression of every component), whose output Figure 8 plots.
+func BenchmarkFigure8Components(b *testing.B) {
+	wl, err := workload.ByName("parser")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, in := wl.Build(1)
+	st, err := interp.Analyze(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		w, _, err := core.Build(st, interp.Options{Inputs: in})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		w.Freeze(core.FreezeOptions{})
+	}
+}
+
+// BenchmarkFigure9Scalability measures construction+compression at growing
+// run lengths (Figure 9's x axis).
+func BenchmarkFigure9Scalability(b *testing.B) {
+	wl, err := workload.ByName("bzip2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mult := range []uint64{1, 2, 4} {
+		target := benchTarget * mult
+		b.Run(sizeName(target), func(b *testing.B) {
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				r, err := exp.BuildRun(wl, target)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ratio = core.Ratio(r.Rep.OrigTotal(), r.Rep.T2Total())
+			}
+			b.ReportMetric(ratio, "orig/comp")
+		})
+	}
+}
+
+// --- ablation benches (design choices from DESIGN.md §5) ---
+
+// BenchmarkAblationBLvsBB compares Ball–Larus path nodes with basic-block
+// nodes (paper §3.1): the per-block mode emits far more timestamps.
+func BenchmarkAblationBLvsBB(b *testing.B) {
+	wl, err := workload.ByName("go")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, in := wl.Build(1)
+	for _, perBlock := range []bool{false, true} {
+		name := "ballarus"
+		if perBlock {
+			name = "perblock"
+		}
+		st, err := interp.AnalyzeOpt(prog, perBlock)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			var ts uint64
+			for i := 0; i < b.N; i++ {
+				w, _, err := core.Build(st, interp.Options{Inputs: in})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ts = w.Raw.PathExecs
+			}
+			b.ReportMetric(float64(ts), "timestamps")
+		})
+	}
+}
+
+// BenchmarkAblationStreamMethods compares the bidirectional predictor pool
+// with Sequitur on the node timestamp streams (paper §4's argument).
+func BenchmarkAblationStreamMethods(b *testing.B) {
+	runs := benchRuns(b)
+	var streams [][]uint32
+	for _, n := range runs[0].W.Nodes {
+		streams = append(streams, n.TS)
+	}
+	b.Run("predictor-pool", func(b *testing.B) {
+		var bits uint64
+		for i := 0; i < b.N; i++ {
+			bits = 0
+			for _, vals := range streams {
+				bits += stream.CompressBest(vals).SizeBits()
+			}
+		}
+		b.ReportMetric(float64(bits/8), "bytes")
+	})
+	b.Run("sequitur", func(b *testing.B) {
+		var bits uint64
+		for i := 0; i < b.N; i++ {
+			bits = 0
+			for _, vals := range streams {
+				bits += sequitur.Build(vals).SizeBits()
+			}
+		}
+		b.ReportMetric(float64(bits/8), "bytes")
+	})
+}
+
+// BenchmarkAblationValueGrouping compares freezing with and without the
+// tier-1 value grouping (paper §3.2).
+func BenchmarkAblationValueGrouping(b *testing.B) {
+	wl, err := workload.ByName("li")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, in := wl.Build(1)
+	st, err := interp.Analyze(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, off := range []bool{false, true} {
+		name := "grouped"
+		if off {
+			name = "ungrouped"
+		}
+		off := off
+		b.Run(name, func(b *testing.B) {
+			var bytes uint64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				w, _, err := core.Build(st, interp.Options{Inputs: in})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				rep := w.Freeze(core.FreezeOptions{NoGrouping: off})
+				bytes = rep.T2Vals
+			}
+			b.ReportMetric(float64(bytes), "valbytes")
+		})
+	}
+}
+
+// BenchmarkAblationLocalTS compares local vs global timestamps on edge
+// labels (the paper's §5 implementation choice).
+func BenchmarkAblationLocalTS(b *testing.B) {
+	runs := benchRuns(b)
+	r := runs[0]
+	b.Run("local", func(b *testing.B) {
+		var bits uint64
+		for i := 0; i < b.N; i++ {
+			bits = 0
+			for _, e := range r.W.Edges {
+				if e.Inferable || e.SharedWith >= 0 {
+					continue
+				}
+				bits += stream.CompressBest(e.DstOrd).SizeBits()
+				bits += stream.CompressBest(e.SrcOrd).SizeBits()
+			}
+		}
+		b.ReportMetric(float64(bits/8), "bytes")
+	})
+	b.Run("global", func(b *testing.B) {
+		var bits uint64
+		for i := 0; i < b.N; i++ {
+			bits = 0
+			for _, e := range r.W.Edges {
+				if e.Inferable || e.SharedWith >= 0 {
+					continue
+				}
+				dn, sn := r.W.Nodes[e.DstNode], r.W.Nodes[e.SrcNode]
+				dstG := make([]uint32, len(e.DstOrd))
+				srcG := make([]uint32, len(e.SrcOrd))
+				for k := range e.DstOrd {
+					dstG[k] = dn.TS[e.DstOrd[k]]
+					srcG[k] = sn.TS[e.SrcOrd[k]]
+				}
+				bits += stream.CompressBest(dstG).SizeBits()
+				bits += stream.CompressBest(srcG).SizeBits()
+			}
+		}
+		b.ReportMetric(float64(bits/8), "bytes")
+	})
+}
+
+// BenchmarkAblationSelection compares the adaptive method selection with a
+// single fixed method.
+func BenchmarkAblationSelection(b *testing.B) {
+	runs := benchRuns(b)
+	var streams [][]uint32
+	for _, n := range runs[0].W.Nodes {
+		streams = append(streams, n.TS)
+	}
+	b.Run("adaptive", func(b *testing.B) {
+		var bits uint64
+		for i := 0; i < b.N; i++ {
+			bits = 0
+			for _, vals := range streams {
+				bits += stream.CompressBest(vals).SizeBits()
+			}
+		}
+		b.ReportMetric(float64(bits/8), "bytes")
+	})
+	b.Run("fixed-fcm2", func(b *testing.B) {
+		var bits uint64
+		for i := 0; i < b.N; i++ {
+			bits = 0
+			for _, vals := range streams {
+				bits += stream.Compress(vals, stream.Spec{Kind: stream.KindFCM, Order: 2}).SizeBits()
+			}
+		}
+		b.ReportMetric(float64(bits/8), "bytes")
+	})
+}
+
+func sizeName(n uint64) string {
+	return fmt.Sprintf("%dK", n/1000)
+}
+
+// newArchRecorder builds the Table 4 recorder.
+func newArchRecorder() interp.ArchSink { return arch.NewRecorder() }

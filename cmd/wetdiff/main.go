@@ -1,0 +1,75 @@
+// Command wetdiff compares two saved WETs of the same program — typically
+// two runs on different inputs — and reports where the dynamic behaviour
+// diverged: execution-count deltas per statement, value diversity changes,
+// and the Ball–Larus paths exercised by only one run. This is the profile
+// mining the paper motivates ("identify program characteristics"), done on
+// the unified representation.
+//
+// Usage:
+//
+//	wetprof -input 1,2,3 -o a.wet prog.wir
+//	wetprof -input 9,9,9 -o b.wet prog.wir
+//	wetdiff a.wet b.wet
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wet/internal/core"
+	"wet/internal/query"
+	"wet/internal/wetio"
+)
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "wetdiff:", err)
+	os.Exit(1)
+}
+
+func load(path string) *core.WET {
+	f, err := os.Open(path)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	w, err := wetio.Load(f, wetio.LoadOptions{})
+	if err != nil {
+		fail(fmt.Errorf("%s: %w", path, err))
+	}
+	return w
+}
+
+func main() {
+	top := flag.Int("top", 15, "number of diverging statements to list")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: wetdiff a.wet b.wet")
+		os.Exit(2)
+	}
+	a := load(flag.Arg(0))
+	b := load(flag.Arg(1))
+	d, err := query.DiffWETs(a, b)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("run A: %d statements, %d path execs   run B: %d statements, %d path execs\n",
+		a.Raw.StmtExecs, a.Raw.PathExecs, b.Raw.StmtExecs, b.Raw.PathExecs)
+	fmt.Printf("paths: %d shared, %d only in A, %d only in B\n\n",
+		d.SharedPaths, d.PathsOnlyA, d.PathsOnlyB)
+
+	if len(d.Stmts) == 0 {
+		fmt.Println("no per-statement behaviour differences")
+		return
+	}
+	fmt.Printf("diverging statements (%d total, top %d by execution delta):\n", len(d.Stmts), *top)
+	fmt.Printf("%-34s %10s %10s %9s %9s\n", "statement", "execs A", "execs B", "uniq A", "uniq B")
+	for i, sd := range d.Stmts {
+		if i >= *top {
+			break
+		}
+		fmt.Printf("%-34s %10d %10d %9d %9d\n",
+			a.Prog.Stmts[sd.StmtID], sd.ExecsA, sd.ExecsB, sd.UniqueA, sd.UniqueB)
+	}
+}

@@ -1,0 +1,126 @@
+// Command wetdump inspects a saved WET file: graph statistics, hot paths,
+// per-component sizes, the tier-2 method census, and optionally a DOT graph
+// of a backward slice.
+//
+// Usage:
+//
+//	wetdump trace.wet
+//	wetdump -paths 20 trace.wet
+//	wetdump -slice-ts 1234 -dot slice.dot trace.wet
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"wet/internal/core"
+	"wet/internal/query"
+	"wet/internal/wetio"
+)
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "wetdump:", err)
+	os.Exit(1)
+}
+
+func main() {
+	paths := flag.Int("paths", 10, "number of hot paths to list")
+	sliceTS := flag.Uint("slice-ts", 0, "backward-slice the last def at this timestamp")
+	dotFile := flag.String("dot", "", "write the slice as Graphviz DOT to this file")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: wetdump [flags] trace.wet")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	w, err := wetio.Load(f, wetio.LoadOptions{})
+	f.Close()
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("file         %s\n", flag.Arg(0))
+	fmt.Printf("program      %d funcs, %d statements, %d basic blocks\n",
+		len(w.Prog.Funcs), len(w.Prog.Stmts), w.Prog.NumBlocks())
+	fmt.Printf("run          %d statements, %d block execs, %d path execs\n",
+		w.Raw.StmtExecs, w.Raw.BlockExecs, w.Raw.PathExecs)
+	fmt.Printf("dependences  %d data, %d control\n", w.Raw.DynDD, w.Raw.DynCD)
+	fmt.Printf("graph        %d path nodes, %d dependence edges\n", len(w.Nodes), len(w.Edges))
+	fmt.Println()
+	fmt.Print(w.Report().String())
+
+	fmt.Printf("\ntier-2 methods:")
+	type mc struct {
+		name string
+		n    int
+	}
+	var ms []mc
+	for name, n := range w.Report().Methods {
+		ms = append(ms, mc{name, n})
+	}
+	sort.Slice(ms, func(i, j int) bool { return ms[i].n > ms[j].n })
+	for i, m := range ms {
+		if i >= 8 {
+			fmt.Printf(" +%d more", len(ms)-8)
+			break
+		}
+		fmt.Printf(" %s:%d", m.name, m.n)
+	}
+	fmt.Println()
+
+	fmt.Printf("\nhot paths (top %d):\n", *paths)
+	fmt.Printf("%6s %4s %10s %8s %8s %10s\n", "node", "fn", "path", "execs", "stmts", "coverage")
+	for _, hp := range query.HotPaths(w, *paths) {
+		fmt.Printf("%6d %4d %10d %8d %8d %9.1f%%\n",
+			hp.Node, hp.Fn, hp.PathID, hp.Execs, hp.Stmts, 100*hp.Coverage)
+	}
+
+	if *sliceTS > 0 {
+		in, err := defAt(w, uint32(*sliceTS))
+		if err != nil {
+			fail(err)
+		}
+		res, err := query.BackwardSlice(w, core.Tier2, in, 0)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("\nbackward slice at ts %d: %d instances, %d edge instances\n",
+			*sliceTS, len(res.Instances), res.Edges)
+		if *dotFile != "" {
+			out, err := os.Create(*dotFile)
+			if err != nil {
+				fail(err)
+			}
+			if err := query.WriteDOT(w, core.Tier2, res, out); err != nil {
+				fail(err)
+			}
+			if err := out.Close(); err != nil {
+				fail(err)
+			}
+			fmt.Printf("wrote %s\n", *dotFile)
+		}
+	}
+}
+
+// defAt finds the last def-port statement instance at the given timestamp.
+func defAt(w *core.WET, ts uint32) (query.Instance, error) {
+	for ni, n := range w.Nodes {
+		seq := w.TSSeq(n, core.Tier2)
+		for ord := 0; ord < n.Execs; ord++ {
+			if core.SeqAt(seq, ord) != ts {
+				continue
+			}
+			for pos := len(n.Stmts) - 1; pos >= 0; pos-- {
+				if n.Stmts[pos].Op.HasDef() && n.Stmts[pos].Dest >= 0 {
+					return query.Instance{Node: ni, Pos: pos, Ord: ord}, nil
+				}
+			}
+		}
+	}
+	return query.Instance{}, fmt.Errorf("no def statement executed at ts %d (time runs 1..%d)", ts, w.Time)
+}

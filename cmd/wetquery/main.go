@@ -1,0 +1,112 @@
+// Command wetquery builds a workload's WET and answers profile queries
+// against the compressed representation.
+//
+// Usage:
+//
+//	wetquery -bench li -query cftrace -tier 2 -dir backward
+//	wetquery -bench mcf -query values
+//	wetquery -bench gzip -query addresses -tier 1
+//	wetquery -bench twolf -query slice -slices 25
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"wet/internal/core"
+	"wet/internal/exp"
+	"wet/internal/query"
+	"wet/internal/trace"
+	"wet/internal/wetio"
+	"wet/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "gzip", "workload name")
+	stmts := flag.Uint64("stmts", 400_000, "target dynamic statements")
+	q := flag.String("query", "cftrace", "query: cftrace | values | addresses | slice")
+	tierN := flag.Int("tier", 2, "compression tier to query (1 or 2)")
+	dir := flag.String("dir", "forward", "cftrace direction: forward | backward")
+	slices := flag.Int("slices", 25, "number of slices for -query slice")
+	load := flag.String("load", "", "query a saved WET file instead of rebuilding")
+	flag.Parse()
+
+	w, err := workload.ByName(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wetquery:", err)
+		os.Exit(1)
+	}
+	tier := core.Tier2
+	if *tierN == 1 {
+		tier = core.Tier1
+	}
+
+	var run *exp.Run
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wetquery:", err)
+			os.Exit(1)
+		}
+		wt, err := wetio.Load(f, wetio.LoadOptions{RestoreTier1: *tierN == 1})
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wetquery:", err)
+			os.Exit(1)
+		}
+		run = &exp.Run{Name: *load, Stmts: wt.Raw.StmtExecs, W: wt, Rep: wt.Report()}
+	} else {
+		fmt.Fprintf(os.Stderr, "building WET for %s...\n", w.Name)
+		run, err = exp.BuildRun(w, *stmts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wetquery:", err)
+			os.Exit(1)
+		}
+	}
+
+	start := time.Now()
+	switch *q {
+	case "cftrace":
+		n := query.ExtractCF(run.W, tier, *dir == "forward", nil)
+		d := time.Since(start)
+		bytes := n * trace.TSBytes
+		fmt.Printf("control flow trace: %d statements (%.2f MB) in %v (%s, %.2f MB/s)\n",
+			n, float64(bytes)/(1<<20), d, *dir, float64(bytes)/(1<<20)/d.Seconds())
+	case "values":
+		n, err := query.LoadValueTraces(run.W, tier, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wetquery:", err)
+			os.Exit(1)
+		}
+		d := time.Since(start)
+		fmt.Printf("load value traces: %d samples (%.2f MB) in %v\n", n, float64(n*4)/(1<<20), d)
+	case "addresses":
+		n, err := query.AddressTraces(run.W, tier, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wetquery:", err)
+			os.Exit(1)
+		}
+		d := time.Since(start)
+		fmt.Printf("load/store address traces: %d samples (%.2f MB) in %v\n", n, float64(n*4)/(1<<20), d)
+	case "slice":
+		crit := exp.SliceCriteria(run.W, *slices)
+		var instances int
+		for _, c := range crit {
+			res, err := query.BackwardSlice(run.W, tier, c, 0)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "wetquery:", err)
+				os.Exit(1)
+			}
+			instances += len(res.Instances)
+		}
+		d := time.Since(start)
+		fmt.Printf("%d backward WET slices: avg %.1f instances, avg %.3f ms\n",
+			len(crit), float64(instances)/float64(len(crit)),
+			float64(d.Microseconds())/1e3/float64(len(crit)))
+	default:
+		fmt.Fprintf(os.Stderr, "wetquery: unknown query %q\n", *q)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,94 @@
+// Command wetrun executes one workload, constructs its Whole Execution
+// Trace, and prints the size report and graph statistics.
+//
+// Usage:
+//
+//	wetrun -bench gzip -stmts 500000
+//	wetrun -bench li -scale 4 -census
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wet/internal/core"
+	"wet/internal/exp"
+	"wet/internal/interp"
+	"wet/internal/wetio"
+	"wet/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "gzip", "workload name (go gcc li gzip mcf parser vortex bzip2 twolf)")
+	stmts := flag.Uint64("stmts", 400_000, "target dynamic statements")
+	scale := flag.Int("scale", 0, "fixed scale (overrides -stmts)")
+	census := flag.Bool("census", false, "print the tier-2 method selection census")
+	printIR := flag.Bool("ir", false, "dump the workload's IR")
+	outFile := flag.String("o", "", "save the frozen WET to this file")
+	flag.Parse()
+
+	w, err := workload.ByName(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wetrun:", err)
+		os.Exit(1)
+	}
+
+	var run *exp.Run
+	if *scale > 0 {
+		prog, in := w.Build(*scale)
+		if *printIR {
+			fmt.Print(prog.String())
+		}
+		st, err := interp.Analyze(prog)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wetrun:", err)
+			os.Exit(1)
+		}
+		wet, res, err := core.Build(st, interp.Options{Inputs: in})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wetrun:", err)
+			os.Exit(1)
+		}
+		rep := wet.Freeze(core.FreezeOptions{})
+		run = &exp.Run{Name: w.Name, Stmts: res.Steps, Scale: *scale, W: wet, Rep: rep}
+	} else {
+		run, err = exp.BuildRun(w, *stmts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wetrun:", err)
+			os.Exit(1)
+		}
+	}
+
+	wet, rep := run.W, run.Rep
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wetrun:", err)
+			os.Exit(1)
+		}
+		if err := wetio.Save(f, wet); err != nil {
+			fmt.Fprintln(os.Stderr, "wetrun:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "wetrun:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("saved WET to %s\n", *outFile)
+	}
+	fmt.Printf("benchmark    %s (%s)\n", w.Name, w.Mimics)
+	fmt.Printf("statements   %d dynamic (scale %d)\n", run.Stmts, run.Scale)
+	fmt.Printf("paths        %d executions of %d distinct Ball-Larus paths\n", wet.Raw.PathExecs, len(wet.Nodes))
+	fmt.Printf("blocks       %d executions\n", wet.Raw.BlockExecs)
+	fmt.Printf("dependences  %d data, %d control\n", wet.Raw.DynDD, wet.Raw.DynCD)
+	fmt.Printf("edges        %d static dependence edges\n", len(wet.Edges))
+	fmt.Println()
+	fmt.Print(rep.String())
+	if *census {
+		fmt.Println()
+		for name, n := range rep.Methods {
+			fmt.Printf("  %-10s %d streams\n", name, n)
+		}
+	}
+}

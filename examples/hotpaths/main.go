@@ -1,0 +1,69 @@
+// Hotpaths: mine the WET's control-flow profile for hot Ball–Larus paths —
+// the paper's first motivating consumer (Larus's whole program paths,
+// path-sensitive optimization). Because WET nodes ARE Ball–Larus paths, the
+// query is a direct read of node execution counts; the example then drills
+// into the hottest path's statements and their value behaviour, something a
+// separate path profile could not answer without a second profile run.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wet"
+)
+
+func main() {
+	wl, err := wet.WorkloadByName("gcc")
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, in := wl.Build(2)
+	w, res, err := wet.BuildWET(prog, wet.RunOptions{Inputs: in})
+	if err != nil {
+		log.Fatal(err)
+	}
+	w.Freeze(wet.FreezeOptions{})
+	fmt.Printf("profiled %s: %d statements over %d path executions of %d distinct paths\n\n",
+		wl.Name, res.Steps, w.Raw.PathExecs, len(w.Nodes))
+
+	hps := wet.HotPaths(w, 8)
+	fmt.Println("hot Ball-Larus paths:")
+	fmt.Printf("%6s %10s %8s %8s %10s\n", "node", "path", "execs", "stmts", "coverage")
+	var cum float64
+	for _, hp := range hps {
+		cum += hp.Coverage
+		fmt.Printf("%6d %10d %8d %8d %9.1f%%\n", hp.Node, hp.PathID, hp.Execs, hp.Stmts, 100*hp.Coverage)
+	}
+	fmt.Printf("top %d paths cover %.1f%% of the execution\n\n", len(hps), 100*cum)
+
+	// Drill into the hottest path: the unified representation immediately
+	// gives per-statement value behaviour for exactly the statements on it.
+	hot := w.Nodes[hps[0].Node]
+	fmt.Printf("hottest path (node %d) blocks %v, %d executions — value behaviour:\n",
+		hot.ID, hot.Blocks, hot.Execs)
+	shown := 0
+	for pos, s := range hot.Stmts {
+		if !s.Op.HasDef() || s.Dest == wet.NoReg {
+			continue
+		}
+		g := hot.Groups[hot.GroupOf[pos]]
+		uniq := g.UniqueKeys()
+		first, err := w.Value(hot, pos, 0, wet.Tier2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		note := ""
+		if uniq == 1 {
+			note = "   <- invariant on this path"
+		}
+		fmt.Printf("  %-28s %6d distinct input tuples, first value %d%s\n", s, uniq, first, note)
+		shown++
+		if shown >= 10 {
+			fmt.Printf("  ... %d more statements\n", len(hot.Stmts)-pos-1)
+			break
+		}
+	}
+	fmt.Println("\npath-invariant statements are hoisting/specialization candidates for")
+	fmt.Println("a path-sensitive optimizer — identified from ONE unified profile.")
+}

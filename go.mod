@@ -1,0 +1,3 @@
+module wet
+
+go 1.22

@@ -1,0 +1,216 @@
+// Package arch models the architecture-specific profile information of the
+// paper's Table 4: per-execution one-bit histories of branch misprediction
+// and load/store cache misses. A gshare branch predictor and a
+// set-associative LRU cache generate the outcomes; a Recorder attaches to
+// the simulator (interp.ArchSink) and keeps the bit histories per static
+// statement.
+package arch
+
+import (
+	"wet/internal/ir"
+)
+
+// Gshare is a global-history two-bit-counter branch predictor.
+type Gshare struct {
+	history uint32
+	mask    uint32
+	table   []uint8 // 2-bit saturating counters, initialized weakly not-taken
+}
+
+// NewGshare returns a predictor with 2^bits counters.
+func NewGshare(bits uint) *Gshare {
+	g := &Gshare{mask: 1<<bits - 1, table: make([]uint8, 1<<bits)}
+	for i := range g.table {
+		g.table[i] = 1 // weakly not taken
+	}
+	return g
+}
+
+// Branch predicts the branch at pc, updates the predictor with the actual
+// outcome, and reports whether the prediction was correct.
+func (g *Gshare) Branch(pc int, taken bool) (correct bool) {
+	idx := (uint32(pc) ^ g.history) & g.mask
+	ctr := g.table[idx]
+	pred := ctr >= 2
+	if taken && ctr < 3 {
+		g.table[idx] = ctr + 1
+	}
+	if !taken && ctr > 0 {
+		g.table[idx] = ctr - 1
+	}
+	g.history = ((g.history << 1) | b2u(taken)) & g.mask
+	return pred == taken
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Cache is a set-associative cache with LRU replacement over word
+// addresses.
+type Cache struct {
+	setMask    int64
+	blockShift uint
+	ways       int
+	tags       [][]int64 // per set, MRU first; -1 = invalid
+}
+
+// NewCache builds a cache of `sets` sets × `ways` ways with blocks of
+// 2^blockShift words. sets must be a power of two.
+func NewCache(sets, ways int, blockShift uint) *Cache {
+	c := &Cache{setMask: int64(sets - 1), blockShift: blockShift, ways: ways}
+	c.tags = make([][]int64, sets)
+	for i := range c.tags {
+		row := make([]int64, ways)
+		for j := range row {
+			row[j] = -1
+		}
+		c.tags[i] = row
+	}
+	return c
+}
+
+// Access touches the word address and reports whether it hit.
+func (c *Cache) Access(addr int64) (hit bool) {
+	blk := addr >> c.blockShift
+	set := c.tags[blk&c.setMask]
+	for i, tag := range set {
+		if tag == blk {
+			// Move to front (LRU update).
+			copy(set[1:i+1], set[:i])
+			set[0] = blk
+			return true
+		}
+	}
+	copy(set[1:], set[:c.ways-1])
+	set[0] = blk
+	return false
+}
+
+// BitHistory is an append-only bit vector: one bit per execution.
+type BitHistory struct {
+	words []uint64
+	n     uint64
+}
+
+// Append adds one outcome bit.
+func (h *BitHistory) Append(v bool) {
+	if h.n>>6 >= uint64(len(h.words)) {
+		h.words = append(h.words, 0)
+	}
+	if v {
+		h.words[h.n>>6] |= 1 << (h.n & 63)
+	}
+	h.n++
+}
+
+// Len returns the number of recorded bits.
+func (h *BitHistory) Len() uint64 { return h.n }
+
+// Get returns bit i.
+func (h *BitHistory) Get(i uint64) bool { return h.words[i>>6]>>(i&63)&1 == 1 }
+
+// Ones counts set bits.
+func (h *BitHistory) Ones() uint64 {
+	var n uint64
+	for i := uint64(0); i < h.n; i++ {
+		if h.Get(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// Recorder implements interp.ArchSink, producing the Table 4 histories:
+// a misprediction bit per branch execution and a miss bit per load/store
+// execution. Histories are kept per static statement so they can label the
+// WET (the paper's augmentation).
+type Recorder struct {
+	BP     *Gshare
+	DCache *Cache
+
+	// Per static statement id.
+	BranchHist map[int]*BitHistory
+	LoadHist   map[int]*BitHistory
+	StoreHist  map[int]*BitHistory
+
+	Branches, Mispredicts uint64
+	Loads, LoadMisses     uint64
+	Stores, StoreMisses   uint64
+}
+
+// NewRecorder returns a recorder with a 4K-entry gshare and a 32KB-ish
+// (1024 sets × 4 ways × 8-word blocks) data cache.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		BP:         NewGshare(12),
+		DCache:     NewCache(1024, 4, 3),
+		BranchHist: map[int]*BitHistory{},
+		LoadHist:   map[int]*BitHistory{},
+		StoreHist:  map[int]*BitHistory{},
+	}
+}
+
+func hist(m map[int]*BitHistory, id int) *BitHistory {
+	h := m[id]
+	if h == nil {
+		h = &BitHistory{}
+		m[id] = h
+	}
+	return h
+}
+
+// Branch implements interp.ArchSink.
+func (r *Recorder) Branch(st *ir.Stmt, taken bool) {
+	correct := r.BP.Branch(st.ID, taken)
+	r.Branches++
+	if !correct {
+		r.Mispredicts++
+	}
+	hist(r.BranchHist, st.ID).Append(!correct)
+}
+
+// Access implements interp.ArchSink.
+func (r *Recorder) Access(st *ir.Stmt, addr int64, isStore bool) {
+	hit := r.DCache.Access(addr)
+	if isStore {
+		r.Stores++
+		if !hit {
+			r.StoreMisses++
+		}
+		hist(r.StoreHist, st.ID).Append(!hit)
+	} else {
+		r.Loads++
+		if !hit {
+			r.LoadMisses++
+		}
+		hist(r.LoadHist, st.ID).Append(!hit)
+	}
+}
+
+// Bytes returns the Table 4 storage costs: one bit per execution, in bytes.
+func (r *Recorder) Bytes() (branch, load, store uint64) {
+	return (r.Branches + 7) / 8, (r.Loads + 7) / 8, (r.Stores + 7) / 8
+}
+
+// CompressedBytes compresses each bit history with the tier-2 stream pool
+// (32 history bits per stream value) and returns total compressed bytes per
+// class. This extends the paper's Table 4: the histories are already small
+// uncompressed, and the biased miss/misprediction bits compress further.
+func (r *Recorder) CompressedBytes(compress func([]uint32) uint64) (branch, load, store uint64) {
+	sum := func(m map[int]*BitHistory) uint64 {
+		var total uint64
+		for _, h := range m {
+			words := make([]uint32, 0, len(h.words)*2)
+			for _, w := range h.words {
+				words = append(words, uint32(w), uint32(w>>32))
+			}
+			total += (compress(words) + 7) / 8
+		}
+		return total
+	}
+	return sum(r.BranchHist), sum(r.LoadHist), sum(r.StoreHist)
+}

@@ -1,0 +1,147 @@
+package arch
+
+import (
+	"testing"
+
+	"wet/internal/ir"
+)
+
+func TestGshareLearnsLoop(t *testing.T) {
+	g := NewGshare(10)
+	// A branch taken 999 times then not taken: after warmup, predictions
+	// must be overwhelmingly correct.
+	correct := 0
+	for i := 0; i < 1000; i++ {
+		if g.Branch(42, i < 999) {
+			correct++
+		}
+	}
+	if correct < 950 {
+		t.Fatalf("gshare correct %d/1000 on a biased branch", correct)
+	}
+}
+
+func TestGshareAlternating(t *testing.T) {
+	g := NewGshare(10)
+	correct := 0
+	for i := 0; i < 1000; i++ {
+		if g.Branch(7, i%2 == 0) {
+			correct++
+		}
+	}
+	// With global history, an alternating pattern becomes predictable.
+	if correct < 900 {
+		t.Fatalf("gshare correct %d/1000 on alternating branch", correct)
+	}
+}
+
+func TestCacheBasics(t *testing.T) {
+	c := NewCache(4, 2, 0) // 4 sets, 2 ways, 1-word blocks
+	if c.Access(0) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(0) {
+		t.Fatal("repeat access missed")
+	}
+	// Fill set 0 beyond associativity: addresses 0, 4, 8 map to set 0.
+	c.Access(4)
+	c.Access(8) // evicts 0 (LRU)
+	if !c.Access(8) || !c.Access(4) {
+		t.Fatal("recently used lines evicted")
+	}
+	if c.Access(0) {
+		t.Fatal("evicted line still hit")
+	}
+}
+
+func TestCacheBlockGranularity(t *testing.T) {
+	c := NewCache(16, 2, 3) // 8-word blocks
+	c.Access(0)
+	for w := int64(1); w < 8; w++ {
+		if !c.Access(w) {
+			t.Fatalf("word %d of cached block missed", w)
+		}
+	}
+	if c.Access(8) {
+		t.Fatal("next block hit cold")
+	}
+}
+
+func TestBitHistory(t *testing.T) {
+	var h BitHistory
+	pattern := []bool{true, false, true, true, false}
+	for i := 0; i < 40; i++ {
+		h.Append(pattern[i%5])
+	}
+	if h.Len() != 40 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	for i := uint64(0); i < 40; i++ {
+		if h.Get(i) != pattern[i%5] {
+			t.Fatalf("bit %d wrong", i)
+		}
+	}
+	if h.Ones() != 24 {
+		t.Fatalf("Ones = %d, want 24", h.Ones())
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	r := NewRecorder()
+	br := &ir.Stmt{Op: ir.OpBr, ID: 1}
+	ld := &ir.Stmt{Op: ir.OpLoad, ID: 2}
+	st := &ir.Stmt{Op: ir.OpStore, ID: 3}
+	for i := 0; i < 100; i++ {
+		r.Branch(br, true)
+		r.Access(ld, int64(i), false)
+		r.Access(st, int64(i), true)
+	}
+	if r.Branches != 100 || r.Loads != 100 || r.Stores != 100 {
+		t.Fatalf("counts %d/%d/%d", r.Branches, r.Loads, r.Stores)
+	}
+	b, l, s := r.Bytes()
+	if b != 13 || l != 13 || s != 13 {
+		t.Fatalf("Bytes = %d/%d/%d, want 13 each", b, l, s)
+	}
+	if r.BranchHist[1].Len() != 100 || r.LoadHist[2].Len() != 100 || r.StoreHist[3].Len() != 100 {
+		t.Fatal("per-statement histories incomplete")
+	}
+	// Sequential loads after the store of the same block: the load should
+	// mostly hit (store warmed the line). Here loads go first, so loads
+	// miss once per block (8 words): 13 misses over 100 accesses.
+	if r.LoadMisses != 13 {
+		t.Fatalf("load misses = %d, want 13", r.LoadMisses)
+	}
+	if r.StoreMisses != 0 {
+		t.Fatalf("store misses = %d, want 0 (loads warm the lines)", r.StoreMisses)
+	}
+}
+
+func TestCompressedBytes(t *testing.T) {
+	r := NewRecorder()
+	br := &ir.Stmt{Op: ir.OpBr, ID: 1}
+	// A heavily biased branch: the misprediction history is nearly all
+	// zeros and must compress far below its raw size.
+	for i := 0; i < 10000; i++ {
+		r.Branch(br, true)
+	}
+	raw, _, _ := r.Bytes()
+	comp, _, _ := r.CompressedBytes(func(vals []uint32) uint64 {
+		// Mock compressor: count distinct-from-previous transitions.
+		bits := uint64(64)
+		for i, v := range vals {
+			if i > 0 && v == vals[i-1] {
+				bits++
+			} else {
+				bits += 33
+			}
+		}
+		return bits
+	})
+	if comp == 0 || raw == 0 {
+		t.Fatalf("raw %d comp %d", raw, comp)
+	}
+	if comp > raw {
+		t.Fatalf("biased history did not compress: %d > %d", comp, raw)
+	}
+}

@@ -1,0 +1,558 @@
+// Package asm parses the textual IR format (".wir" files), a small
+// assembly-like front end over internal/ir so programs can be written,
+// saved, and profiled without Go code:
+//
+//	# comment
+//	mem 4096
+//
+//	func main() {
+//	    n = const 10
+//	    acc = const 0
+//	loop:
+//	    c = gt n, 0
+//	    br c, body, done
+//	body:
+//	    acc = add acc, n
+//	    n = sub n, 1
+//	    jmp loop
+//	done:
+//	    output acc
+//	    halt
+//	}
+//
+// Registers are named identifiers, allocated on first definition (reading
+// an undefined name is an error). Labels introduce basic blocks; a block
+// without an explicit terminator falls through to the next label via an
+// inserted jmp. Statements:
+//
+//	d = const N            d = <binop> a, b       d = neg a | d = not a
+//	d = load a, OFF        store a, OFF, v        d = input
+//	output v               d = call f(a, b)       call f(a)
+//	jmp L                  br c, L1, L2           ret v
+//	halt
+//
+// A call may name its continuation explicitly (`d = call f(a) -> L`);
+// otherwise control continues at the statement after the call.
+//
+// where <binop> is one of add sub mul div mod and or xor shl shr eq ne lt
+// le gt ge. Operands are register names or integer immediates.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"wet/internal/ir"
+)
+
+// ParseError locates a syntax error.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("asm: line %d: %s", e.Line, e.Msg) }
+
+func errf(line int, format string, args ...interface{}) error {
+	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+var binOps = map[string]ir.Op{
+	"add": ir.OpAdd, "sub": ir.OpSub, "mul": ir.OpMul, "div": ir.OpDiv,
+	"mod": ir.OpMod, "and": ir.OpAnd, "or": ir.OpOr, "xor": ir.OpXor,
+	"shl": ir.OpShl, "shr": ir.OpShr, "eq": ir.OpEq, "ne": ir.OpNe,
+	"lt": ir.OpLt, "le": ir.OpLe, "gt": ir.OpGt, "ge": ir.OpGe,
+}
+
+type rawStmt struct {
+	line  int
+	label string // non-empty for label lines
+	text  string
+}
+
+type rawFunc struct {
+	line   int
+	name   string
+	params []string
+	stmts  []rawStmt
+}
+
+// Parse compiles source text into a finalized program.
+func Parse(src string) (*ir.Program, error) {
+	mem := int64(1 << 12)
+	var funcs []*rawFunc
+	var cur *rawFunc
+	lines := strings.Split(src, "\n")
+	for i, raw := range lines {
+		lineNo := i + 1
+		line := raw
+		if idx := strings.IndexAny(line, "#;"); idx >= 0 {
+			line = line[:idx]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "mem "):
+			if cur != nil {
+				return nil, errf(lineNo, "mem directive inside a function")
+			}
+			v, err := strconv.ParseInt(strings.TrimSpace(line[4:]), 0, 64)
+			if err != nil {
+				return nil, errf(lineNo, "bad mem size: %v", err)
+			}
+			mem = v
+		case strings.HasPrefix(line, "func "):
+			if cur != nil {
+				return nil, errf(lineNo, "nested func")
+			}
+			name, params, err := parseFuncHeader(line)
+			if err != nil {
+				return nil, errf(lineNo, "%v", err)
+			}
+			cur = &rawFunc{line: lineNo, name: name, params: params}
+		case line == "}":
+			if cur == nil {
+				return nil, errf(lineNo, "unmatched }")
+			}
+			funcs = append(funcs, cur)
+			cur = nil
+		case strings.HasSuffix(line, ":"):
+			if cur == nil {
+				return nil, errf(lineNo, "label outside function")
+			}
+			lbl := strings.TrimSuffix(line, ":")
+			if !isIdent(lbl) {
+				return nil, errf(lineNo, "bad label %q", lbl)
+			}
+			cur.stmts = append(cur.stmts, rawStmt{line: lineNo, label: lbl})
+		default:
+			if cur == nil {
+				return nil, errf(lineNo, "statement outside function")
+			}
+			cur.stmts = append(cur.stmts, rawStmt{line: lineNo, text: line})
+		}
+	}
+	if cur != nil {
+		return nil, errf(len(lines), "missing } for func %s", cur.name)
+	}
+	if len(funcs) == 0 {
+		return nil, errf(1, "no functions")
+	}
+
+	prog := ir.NewProgram(mem)
+	entry := -1
+	for idx, rf := range funcs {
+		if rf.name == "main" {
+			entry = idx
+		}
+		f, err := buildFunc(rf)
+		if err != nil {
+			return nil, err
+		}
+		prog.AddRawFunc(f)
+	}
+	if entry < 0 {
+		return nil, errf(1, "no main function")
+	}
+	prog.Entry = entry
+	if err := prog.Finalize(); err != nil {
+		return nil, fmt.Errorf("asm: %w", err)
+	}
+	return prog, nil
+}
+
+func parseFuncHeader(line string) (string, []string, error) {
+	rest := strings.TrimSpace(strings.TrimPrefix(line, "func "))
+	open := strings.Index(rest, "(")
+	closeP := strings.Index(rest, ")")
+	if open < 0 || closeP < open || strings.TrimSpace(rest[closeP+1:]) != "{" {
+		return "", nil, fmt.Errorf("want `func name(params...) {`")
+	}
+	name := strings.TrimSpace(rest[:open])
+	if !isIdent(name) {
+		return "", nil, fmt.Errorf("bad function name %q", name)
+	}
+	var params []string
+	inner := strings.TrimSpace(rest[open+1 : closeP])
+	if inner != "" {
+		for _, f := range strings.Split(inner, ",") {
+			f = strings.TrimSpace(f)
+			if !isIdent(f) {
+				return "", nil, fmt.Errorf("bad parameter %q", f)
+			}
+			params = append(params, f)
+		}
+	}
+	return name, params, nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	// Integers must not be mistaken for identifiers (handled by the caller
+	// ordering), and keywords cannot be registers or labels.
+	switch s {
+	case "const", "load", "store", "input", "output", "jmp", "br", "ret",
+		"halt", "call", "func", "mem", "neg", "not":
+		return false
+	}
+	if _, isOp := binOps[s]; isOp {
+		return false
+	}
+	return true
+}
+
+// patch records a block whose successors are label names to resolve later.
+type patch struct {
+	line   int
+	blk    *ir.Block
+	labels []string
+}
+
+type fnBuilder struct {
+	f       *ir.Func
+	regs    map[string]ir.Reg
+	labels  map[string]int
+	patches []patch
+	cur     *ir.Block
+	rf      *rawFunc
+}
+
+func buildFunc(rf *rawFunc) (*ir.Func, error) {
+	b := &fnBuilder{
+		f:      &ir.Func{Name: rf.name, Params: len(rf.params), NumRegs: len(rf.params)},
+		regs:   map[string]ir.Reg{},
+		labels: map[string]int{},
+		rf:     rf,
+	}
+	for i, p := range rf.params {
+		if _, dup := b.regs[p]; dup {
+			return nil, errf(rf.line, "duplicate parameter %q", p)
+		}
+		b.regs[p] = ir.Reg(i)
+	}
+	b.cur = b.newBlock()
+
+	for _, rs := range rf.stmts {
+		if rs.label != "" {
+			if err := b.startLabel(rs); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if b.cur == nil {
+			return nil, errf(rs.line, "unreachable statement (previous block already terminated)")
+		}
+		if err := b.stmt(rs); err != nil {
+			return nil, err
+		}
+	}
+	if b.cur != nil {
+		return nil, errf(rf.line, "func %s: final block lacks a terminator (ret/halt/jmp)", rf.name)
+	}
+	// Resolve label targets.
+	for _, pt := range b.patches {
+		for _, lbl := range pt.labels {
+			id, ok := b.labels[lbl]
+			if !ok {
+				return nil, errf(pt.line, "undefined label %q", lbl)
+			}
+			pt.blk.Succs = append(pt.blk.Succs, id)
+		}
+	}
+	return b.f, nil
+}
+
+func (b *fnBuilder) newBlock() *ir.Block {
+	blk := &ir.Block{ID: len(b.f.Blocks)}
+	b.f.Blocks = append(b.f.Blocks, blk)
+	return blk
+}
+
+// startLabel opens the labeled block, inserting a fallthrough jmp if the
+// previous block is still open.
+func (b *fnBuilder) startLabel(rs rawStmt) error {
+	if _, dup := b.labels[rs.label]; dup {
+		return errf(rs.line, "duplicate label %q", rs.label)
+	}
+	var blk *ir.Block
+	if b.cur != nil && len(b.cur.Stmts) == 0 {
+		// The open block is empty (e.g. a label at function start, or two
+		// consecutive labels): reuse it.
+		blk = b.cur
+	} else {
+		blk = b.newBlock()
+		if b.cur != nil {
+			b.cur.Stmts = append(b.cur.Stmts, &ir.Stmt{Op: ir.OpJmp, Dest: ir.NoReg})
+			b.cur.Succs = []int{blk.ID}
+		}
+	}
+	b.labels[rs.label] = blk.ID
+	b.cur = blk
+	return nil
+}
+
+// reg resolves (or, when define is true, allocates) a named register.
+func (b *fnBuilder) reg(line int, name string, define bool) (ir.Reg, error) {
+	if r, ok := b.regs[name]; ok {
+		return r, nil
+	}
+	if !define {
+		return 0, errf(line, "register %q used before definition", name)
+	}
+	if !isIdent(name) {
+		return 0, errf(line, "bad register name %q", name)
+	}
+	r := ir.Reg(b.f.NumRegs)
+	b.f.NumRegs++
+	b.regs[name] = r
+	return r, nil
+}
+
+// operand parses a register name or an immediate.
+func (b *fnBuilder) operand(line int, tok string) (ir.Operand, error) {
+	tok = strings.TrimSpace(tok)
+	if v, err := strconv.ParseInt(tok, 0, 64); err == nil {
+		return ir.Imm(v), nil
+	}
+	r, err := b.reg(line, tok, false)
+	if err != nil {
+		return ir.Operand{}, err
+	}
+	return ir.R(r), nil
+}
+
+func splitArgs(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func (b *fnBuilder) emit(s *ir.Stmt) { b.cur.Stmts = append(b.cur.Stmts, s) }
+
+// stmt parses and emits one statement line.
+func (b *fnBuilder) stmt(rs rawStmt) error {
+	line, text := rs.line, rs.text
+	if eq := strings.Index(text, "="); eq > 0 && !strings.ContainsAny(text[:eq], "(,") {
+		lhs := strings.TrimSpace(text[:eq])
+		rhs := strings.TrimSpace(text[eq+1:])
+		return b.assign(line, lhs, rhs)
+	}
+	fields := strings.SplitN(text, " ", 2)
+	op := fields[0]
+	rest := ""
+	if len(fields) > 1 {
+		rest = strings.TrimSpace(fields[1])
+	}
+	switch op {
+	case "store":
+		args := splitArgs(rest)
+		if len(args) != 3 {
+			return errf(line, "want `store addr, off, value`")
+		}
+		addr, err := b.operand(line, args[0])
+		if err != nil {
+			return err
+		}
+		off, err := strconv.ParseInt(args[1], 0, 64)
+		if err != nil {
+			return errf(line, "bad store offset %q", args[1])
+		}
+		val, err := b.operand(line, args[2])
+		if err != nil {
+			return err
+		}
+		b.emit(&ir.Stmt{Op: ir.OpStore, Dest: ir.NoReg, A: addr, Off: off, B: val})
+	case "output":
+		v, err := b.operand(line, rest)
+		if err != nil {
+			return err
+		}
+		b.emit(&ir.Stmt{Op: ir.OpOutput, Dest: ir.NoReg, A: v})
+	case "jmp":
+		if !isIdent(rest) {
+			return errf(line, "bad jmp target %q", rest)
+		}
+		b.emit(&ir.Stmt{Op: ir.OpJmp, Dest: ir.NoReg})
+		b.patches = append(b.patches, patch{line: line, blk: b.cur, labels: []string{rest}})
+		b.cur = nil
+	case "br":
+		args := splitArgs(rest)
+		if len(args) != 3 {
+			return errf(line, "want `br cond, thenLabel, elseLabel`")
+		}
+		cond, err := b.operand(line, args[0])
+		if err != nil {
+			return err
+		}
+		if !isIdent(args[1]) || !isIdent(args[2]) {
+			return errf(line, "bad branch targets %q, %q", args[1], args[2])
+		}
+		b.emit(&ir.Stmt{Op: ir.OpBr, Dest: ir.NoReg, A: cond})
+		b.patches = append(b.patches, patch{line: line, blk: b.cur, labels: []string{args[1], args[2]}})
+		b.cur = nil
+	case "ret":
+		v, err := b.operand(line, rest)
+		if err != nil {
+			return err
+		}
+		b.emit(&ir.Stmt{Op: ir.OpRet, Dest: ir.NoReg, A: v})
+		b.cur = nil
+	case "halt":
+		if rest != "" {
+			return errf(line, "halt takes no operands")
+		}
+		b.emit(&ir.Stmt{Op: ir.OpHalt, Dest: ir.NoReg})
+		b.cur = nil
+	case "call":
+		return b.call(line, "", rest)
+	default:
+		return errf(line, "unknown statement %q", text)
+	}
+	return nil
+}
+
+// assign handles `d = ...` forms.
+func (b *fnBuilder) assign(line int, lhs, rhs string) error {
+	fields := strings.SplitN(rhs, " ", 2)
+	op := fields[0]
+	rest := ""
+	if len(fields) > 1 {
+		rest = strings.TrimSpace(fields[1])
+	}
+	if op == "call" || strings.HasPrefix(rhs, "call") {
+		return b.call(line, lhs, strings.TrimSpace(strings.TrimPrefix(rhs, "call")))
+	}
+	dst, err := b.reg(line, lhs, true)
+	if err != nil {
+		return err
+	}
+	switch {
+	case op == "const":
+		v, err := strconv.ParseInt(rest, 0, 64)
+		if err != nil {
+			return errf(line, "bad constant %q", rest)
+		}
+		b.emit(&ir.Stmt{Op: ir.OpConst, Dest: dst, A: ir.Imm(v)})
+	case op == "input":
+		if rest != "" {
+			return errf(line, "input takes no operands")
+		}
+		b.emit(&ir.Stmt{Op: ir.OpInput, Dest: dst})
+	case op == "load":
+		args := splitArgs(rest)
+		if len(args) != 2 {
+			return errf(line, "want `d = load addr, off`")
+		}
+		addr, err := b.operand(line, args[0])
+		if err != nil {
+			return err
+		}
+		off, err := strconv.ParseInt(args[1], 0, 64)
+		if err != nil {
+			return errf(line, "bad load offset %q", args[1])
+		}
+		b.emit(&ir.Stmt{Op: ir.OpLoad, Dest: dst, A: addr, Off: off})
+	case op == "neg" || op == "not":
+		a, err := b.operand(line, rest)
+		if err != nil {
+			return err
+		}
+		o := ir.OpNeg
+		if op == "not" {
+			o = ir.OpNot
+		}
+		b.emit(&ir.Stmt{Op: o, Dest: dst, A: a})
+	default:
+		bop, ok := binOps[op]
+		if !ok {
+			// `d = x` move sugar.
+			if rest == "" {
+				a, err := b.operand(line, op)
+				if err != nil {
+					return errf(line, "unknown operation %q", op)
+				}
+				b.emit(&ir.Stmt{Op: ir.OpAdd, Dest: dst, A: a, B: ir.Imm(0)})
+				return nil
+			}
+			return errf(line, "unknown operation %q", op)
+		}
+		args := splitArgs(rest)
+		if len(args) != 2 {
+			return errf(line, "want `d = %s a, b`", op)
+		}
+		a, err := b.operand(line, args[0])
+		if err != nil {
+			return err
+		}
+		c, err := b.operand(line, args[1])
+		if err != nil {
+			return err
+		}
+		b.emit(&ir.Stmt{Op: bop, Dest: dst, A: a, B: c})
+	}
+	return nil
+}
+
+// call parses `f(a, b) [-> label]` and emits the call, splitting the block.
+func (b *fnBuilder) call(line int, dstName, rest string) error {
+	contLabel := ""
+	if arrow := strings.Index(rest, "->"); arrow >= 0 {
+		contLabel = strings.TrimSpace(rest[arrow+2:])
+		rest = strings.TrimSpace(rest[:arrow])
+		if !isIdent(contLabel) {
+			return errf(line, "bad call continuation label %q", contLabel)
+		}
+	}
+	open := strings.Index(rest, "(")
+	closeP := strings.LastIndex(rest, ")")
+	if open < 0 || closeP < open || strings.TrimSpace(rest[closeP+1:]) != "" {
+		return errf(line, "want `call f(args...)`")
+	}
+	callee := strings.TrimSpace(rest[:open])
+	if !isIdent(callee) {
+		return errf(line, "bad callee %q", callee)
+	}
+	var args []ir.Operand
+	for _, tok := range splitArgs(rest[open+1 : closeP]) {
+		a, err := b.operand(line, tok)
+		if err != nil {
+			return err
+		}
+		args = append(args, a)
+	}
+	dst := ir.NoReg
+	if dstName != "" {
+		r, err := b.reg(line, dstName, true)
+		if err != nil {
+			return err
+		}
+		dst = r
+	}
+	b.emit(&ir.Stmt{Op: ir.OpCall, Dest: dst, CalleeName: callee, Args: args})
+	if contLabel != "" {
+		b.patches = append(b.patches, patch{line: line, blk: b.cur, labels: []string{contLabel}})
+		b.cur = nil
+		return nil
+	}
+	cont := b.newBlock()
+	b.cur.Succs = []int{cont.ID}
+	b.cur = cont
+	return nil
+}

@@ -1,0 +1,321 @@
+package asm
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wet/internal/interp"
+	"wet/internal/ir"
+	"wet/internal/workload"
+)
+
+func run(t *testing.T, src string, inputs []int64) []int64 {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	st, err := interp.Analyze(p)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	res, err := interp.Run(st, interp.Options{Inputs: inputs, CollectOutput: true, MaxSteps: 1 << 20})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res.Outputs
+}
+
+func TestLoopProgram(t *testing.T) {
+	src := `
+# sum 1..10
+func main() {
+    n = const 10
+    acc = const 0
+loop:
+    c = gt n, 0
+    br c, body, done
+body:
+    acc = add acc, n
+    n = sub n, 1
+    jmp loop
+done:
+    output acc
+    halt
+}
+`
+	outs := run(t, src, nil)
+	if len(outs) != 1 || outs[0] != 55 {
+		t.Fatalf("outputs = %v, want [55]", outs)
+	}
+}
+
+func TestFunctionsAndCalls(t *testing.T) {
+	src := `
+mem 2048
+
+func square(x) {
+    y = mul x, x
+    ret y
+}
+
+func main() {
+    a = const 7
+    b = call square(a)
+    c = call square(3)
+    d = add b, c
+    output d
+    halt
+}
+`
+	outs := run(t, src, nil)
+	if len(outs) != 1 || outs[0] != 58 {
+		t.Fatalf("outputs = %v, want [58] (49+9)", outs)
+	}
+}
+
+func TestMemoryAndInput(t *testing.T) {
+	src := `
+func main() {
+    v = input
+    store 100, 0, v
+    w = load 99, 1
+    output w
+    x = v            ; move sugar
+    output x
+    halt
+}
+`
+	outs := run(t, src, []int64{42})
+	if len(outs) != 2 || outs[0] != 42 || outs[1] != 42 {
+		t.Fatalf("outputs = %v", outs)
+	}
+}
+
+func TestFallthrough(t *testing.T) {
+	src := `
+func main() {
+    x = const 1
+top:
+    y = add x, 1
+middle:
+    z = add y, 1
+    output z
+    halt
+}
+`
+	outs := run(t, src, nil)
+	if len(outs) != 1 || outs[0] != 3 {
+		t.Fatalf("outputs = %v, want [3]", outs)
+	}
+}
+
+func TestNegNotAndHexImmediates(t *testing.T) {
+	src := `
+func main() {
+    a = const 0x10
+    b = neg a
+    c = not 0
+    output b
+    output c
+    halt
+}
+`
+	outs := run(t, src, nil)
+	if outs[0] != -16 || outs[1] != -1 {
+		t.Fatalf("outputs = %v", outs)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"no main":         "func f(x) {\n ret x\n}\n",
+		"undefined reg":   "func main() {\n output q\n halt\n}\n",
+		"undefined label": "func main() {\n jmp nowhere\n}\n",
+		"unterminated":    "func main() {\n x = const 1\n}\n",
+		"dup label":       "func main() {\nl:\n jmp l\nl:\n halt\n}\n",
+		"bad op":          "func main() {\n x = frob 1, 2\n halt\n}\n",
+		"bad store":       "func main() {\n store 1\n halt\n}\n",
+		"nested func":     "func main() {\nfunc g() {\n halt\n}\n}\n",
+		"stmt outside":    "x = const 1\n",
+		"unmatched brace": "}\n",
+		"keyword reg":     "func main() {\n add = const 1\n halt\n}\n",
+		"bad call":        "func main() {\n x = call 123(\n halt\n}\n",
+		"unreachable":     "func main() {\n halt\n x = const 1\n}\n",
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Fatalf("%s: Parse accepted bad program:\n%s", name, src)
+		}
+	}
+}
+
+func TestParseErrorHasLine(t *testing.T) {
+	_, err := Parse("func main() {\n x = frob 1, 2\n halt\n}\n")
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v, want line 2", err)
+	}
+}
+
+func TestCommentsBothStyles(t *testing.T) {
+	src := `
+# hash comment
+func main() {
+    x = const 5   ; semicolon comment
+    output x      # trailing hash
+    halt
+}
+`
+	outs := run(t, src, nil)
+	if outs[0] != 5 {
+		t.Fatalf("outputs = %v", outs)
+	}
+}
+
+func TestLabelAtFunctionStart(t *testing.T) {
+	src := `
+func main() {
+entry:
+    x = const 2
+    c = gt x, 0
+    br c, entry2, entry2
+entry2:
+    output x
+    halt
+}
+`
+	outs := run(t, src, nil)
+	if outs[0] != 2 {
+		t.Fatalf("outputs = %v", outs)
+	}
+}
+
+func TestVoidCall(t *testing.T) {
+	src := `
+func noisy(x) {
+    output x
+    ret 0
+}
+
+func main() {
+    call noisy(9)
+    halt
+}
+`
+	outs := run(t, src, nil)
+	if len(outs) != 1 || outs[0] != 9 {
+		t.Fatalf("outputs = %v", outs)
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	// Round-trip every workload program through Format/Parse: the reparsed
+	// program must produce identical outputs.
+	for _, wl := range workload.All() {
+		prog, in := wl.Build(1)
+		text := Format(prog)
+		prog2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("%s: reparse: %v\n--- formatted:\n%s", wl.Name, err, clip(text))
+		}
+		out1 := runProg(t, prog, in)
+		out2 := runProg(t, prog2, in)
+		if len(out1) != len(out2) {
+			t.Fatalf("%s: outputs %d vs %d after round trip", wl.Name, len(out1), len(out2))
+		}
+		for i := range out1 {
+			if out1[i] != out2[i] {
+				t.Fatalf("%s: output %d = %d vs %d after round trip", wl.Name, i, out1[i], out2[i])
+			}
+		}
+	}
+}
+
+func clip(s string) string {
+	if len(s) > 2000 {
+		return s[:2000] + "..."
+	}
+	return s
+}
+
+func runProg(t *testing.T, p *ir.Program, in []int64) []int64 {
+	t.Helper()
+	st, err := interp.Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := interp.Run(st, interp.Options{Inputs: in, CollectOutput: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Outputs
+}
+
+func TestExplicitContinuation(t *testing.T) {
+	src := `
+func id(x) {
+    ret x
+}
+
+func main() {
+    a = call id(5) -> after
+after:
+    output a
+    halt
+}
+`
+	outs := run(t, src, nil)
+	if len(outs) != 1 || outs[0] != 5 {
+		t.Fatalf("outputs = %v", outs)
+	}
+}
+
+func FuzzParse(f *testing.F) {
+	f.Add("func main() {\n x = const 1\n output x\n halt\n}\n")
+	f.Add("func main() {\nl:\n jmp l\n}\n")
+	f.Add("mem 64\nfunc f(a) {\n ret a\n}\nfunc main() {\n b = call f(1)\n halt\n}\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Anything that parses must re-parse after formatting.
+		if _, err := Parse(Format(p)); err != nil {
+			t.Fatalf("format of valid program does not reparse: %v", err)
+		}
+	})
+}
+
+func TestTestdataPrograms(t *testing.T) {
+	files, err := filepath.Glob("../../testdata/*.wir")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata programs found: %v", err)
+	}
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := Parse(string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		// Each must run to completion and round-trip through Format.
+		outs := runProg(t, p, []int64{1, 2, 3})
+		if len(outs) == 0 {
+			t.Fatalf("%s produced no output", file)
+		}
+		p2, err := Parse(Format(p))
+		if err != nil {
+			t.Fatalf("%s: reparse: %v", file, err)
+		}
+		outs2 := runProg(t, p2, []int64{1, 2, 3})
+		for i := range outs {
+			if outs[i] != outs2[i] {
+				t.Fatalf("%s: output %d differs after round trip", file, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"wet/internal/ir"
+)
+
+// Format renders a finalized program in the textual IR syntax accepted by
+// Parse. Registers are printed as r<N> and every block gets a label, so
+// Parse(Format(p)) reproduces an equivalent program (same shape, possibly
+// different block numbering for call continuations).
+func Format(p *ir.Program) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "mem %d\n", p.MemWords)
+	// The entry function must be named main for Parse; emit it under its
+	// own name and rely on the convention that workload entries are main.
+	for _, f := range p.Funcs {
+		sb.WriteByte('\n')
+		formatFunc(&sb, f)
+	}
+	return sb.String()
+}
+
+func formatFunc(sb *strings.Builder, f *ir.Func) {
+	params := make([]string, f.Params)
+	for i := range params {
+		params[i] = fmt.Sprintf("r%d", i)
+	}
+	fmt.Fprintf(sb, "func %s(%s) {\n", f.Name, strings.Join(params, ", "))
+	label := func(b int) string { return fmt.Sprintf("b%d", b) }
+	for _, b := range f.Blocks {
+		// Every block gets a label (the parser reuses the empty entry block
+		// for a label at function start, so block 0's label is harmless and
+		// keeps self-referencing entry blocks parseable).
+		fmt.Fprintf(sb, "%s:\n", label(b.ID))
+		for _, s := range b.Stmts {
+			sb.WriteString("    ")
+			sb.WriteString(formatStmt(s, b, label))
+			sb.WriteByte('\n')
+		}
+	}
+	sb.WriteString("}\n")
+}
+
+func operand(o ir.Operand) string {
+	if o.IsReg {
+		return fmt.Sprintf("r%d", o.Reg)
+	}
+	return fmt.Sprintf("%d", o.Imm)
+}
+
+func formatStmt(s *ir.Stmt, b *ir.Block, label func(int) string) string {
+	switch s.Op {
+	case ir.OpConst:
+		return fmt.Sprintf("r%d = const %d", s.Dest, s.A.Imm)
+	case ir.OpLoad:
+		return fmt.Sprintf("r%d = load %s, %d", s.Dest, operand(s.A), s.Off)
+	case ir.OpStore:
+		return fmt.Sprintf("store %s, %d, %s", operand(s.A), s.Off, operand(s.B))
+	case ir.OpInput:
+		return fmt.Sprintf("r%d = input", s.Dest)
+	case ir.OpOutput:
+		return fmt.Sprintf("output %s", operand(s.A))
+	case ir.OpNeg:
+		return fmt.Sprintf("r%d = neg %s", s.Dest, operand(s.A))
+	case ir.OpNot:
+		return fmt.Sprintf("r%d = not %s", s.Dest, operand(s.A))
+	case ir.OpJmp:
+		return fmt.Sprintf("jmp %s", label(b.Succs[0]))
+	case ir.OpBr:
+		return fmt.Sprintf("br %s, %s, %s", operand(s.A), label(b.Succs[0]), label(b.Succs[1]))
+	case ir.OpRet:
+		return fmt.Sprintf("ret %s", operand(s.A))
+	case ir.OpHalt:
+		return "halt"
+	case ir.OpCall:
+		args := make([]string, len(s.Args))
+		for i, a := range s.Args {
+			args[i] = operand(a)
+		}
+		callee := s.CalleeName
+		cont := " -> " + label(b.Succs[0])
+		if s.Dest == ir.NoReg {
+			return fmt.Sprintf("call %s(%s)%s", callee, strings.Join(args, ", "), cont)
+		}
+		return fmt.Sprintf("r%d = call %s(%s)%s", s.Dest, callee, strings.Join(args, ", "), cont)
+	default:
+		for name, op := range binOps {
+			if op == s.Op {
+				return fmt.Sprintf("r%d = %s %s, %s", s.Dest, name, operand(s.A), operand(s.B))
+			}
+		}
+		return fmt.Sprintf("# unknown op %s", s.Op)
+	}
+}

@@ -1,0 +1,361 @@
+// Package ballarus implements Ball–Larus efficient path profiling
+// (Ball & Larus, MICRO 1996), which the WET representation uses to reduce
+// the number of timestamps: a WET node is a Ball–Larus path, and a single
+// timestamp is shared by every statement in one execution of the path.
+//
+// The classic construction: loop back edges (and, in this IR, the
+// call-continuation edges, so that path executions are totally ordered in
+// time) are removed from the CFG and replaced by surrogate edges from a
+// virtual ENTRY and to a virtual EXIT. The resulting DAG's paths are
+// numbered 0..NumPaths-1 by assigning each edge an increment such that
+// summing increments along any ENTRY→EXIT path yields a unique, dense id.
+package ballarus
+
+import (
+	"fmt"
+	"sort"
+
+	"wet/internal/ir"
+)
+
+// MaxPaths bounds the number of static Ball–Larus paths per function. The
+// bound keeps path ids in int32 range; realistic IR functions stay far
+// below it.
+const MaxPaths = int64(1) << 31
+
+// EdgeInfo classifies one CFG edge (u, succIdx) for the runtime tracker.
+type EdgeInfo struct {
+	Removed  bool  // true for back edges and call-continuation edges
+	Val      int64 // DAG increment (Removed == false)
+	ExitVal  int64 // increment of the surrogate u→EXIT edge (Removed == true)
+	ResetVal int64 // increment of the surrogate ENTRY→v edge (Removed == true)
+}
+
+// dagEdge is an edge of the acyclic path-numbering graph.
+type dagEdge struct {
+	to  int
+	val int64
+}
+
+// Profile holds the static path-numbering data for one function.
+type Profile struct {
+	F        *ir.Func
+	NumPaths int64
+
+	// Edges[u][i] classifies CFG edge u -> F.Blocks[u].Succs[i].
+	Edges [][]EdgeInfo
+	// EntryVal is the increment of the ENTRY -> entry-block edge (the path
+	// register's initial value on function entry).
+	EntryVal int64
+	// FinalVal[u] is the increment of u's edge to EXIT for blocks ending in
+	// ret/halt (-1 when u has no such edge).
+	FinalVal []int64
+
+	dagSuccs [][]dagEdge // by DAG node; blocks 0..n-1, EXIT=n, ENTRY=n+1
+	exit     int
+	entry    int
+
+	decoded map[int64][]int // path id -> executed block sequence (lazy)
+}
+
+// New numbers the Ball–Larus paths of f. It fails if the function's static
+// path count exceeds MaxPaths.
+func New(f *ir.Func) (*Profile, error) { return NewOpt(f, false) }
+
+// NewOpt numbers paths with an option: perBlock treats every CFG edge as
+// path-terminating, so each "path" is a single basic block. This recovers
+// the paper's pre-optimization representation (one timestamp per basic
+// block execution) and exists for the Ball–Larus-vs-basic-block ablation.
+func NewOpt(f *ir.Func, perBlock bool) (*Profile, error) {
+	n := len(f.Blocks)
+	p := &Profile{
+		F:        f,
+		Edges:    make([][]EdgeInfo, n),
+		FinalVal: make([]int64, n),
+		exit:     n,
+		entry:    n + 1,
+		decoded:  map[int64][]int{},
+	}
+	for i := range p.FinalVal {
+		p.FinalVal[i] = -1
+	}
+
+	removed := p.findRemovedEdges(perBlock)
+
+	// Build the DAG successor lists. Per block: surviving CFG successors in
+	// CFG order, then at most one surrogate edge to EXIT, or the real edge
+	// to EXIT for ret/halt terminators.
+	p.dagSuccs = make([][]dagEdge, n+2)
+	entryTargets := map[int]bool{}
+	for _, b := range f.Blocks {
+		u := b.ID
+		needExit := false
+		for i, v := range b.Succs {
+			if removed[edgeKey(u, i)] {
+				needExit = true
+				entryTargets[v] = true
+				continue
+			}
+			p.dagSuccs[u] = append(p.dagSuccs[u], dagEdge{to: v})
+		}
+		switch b.Term().Op {
+		case ir.OpRet, ir.OpHalt:
+			needExit = true
+		}
+		if needExit {
+			p.dagSuccs[u] = append(p.dagSuccs[u], dagEdge{to: p.exit})
+		}
+	}
+	// ENTRY: the real start edge first, then surrogate starts in block order.
+	p.dagSuccs[p.entry] = append(p.dagSuccs[p.entry], dagEdge{to: 0})
+	var starts []int
+	for v := range entryTargets {
+		if v != 0 { // a surrogate to the entry block duplicates the start edge
+			starts = append(starts, v)
+		}
+	}
+	sort.Ints(starts)
+	for _, v := range starts {
+		p.dagSuccs[p.entry] = append(p.dagSuccs[p.entry], dagEdge{to: v})
+	}
+
+	if err := p.numberPaths(); err != nil {
+		return nil, err
+	}
+	p.classifyEdges(removed)
+	return p, nil
+}
+
+func edgeKey(u, succIdx int) int64 { return int64(u)<<32 | int64(succIdx) }
+
+// findRemovedEdges marks back edges (DFS retreat edges to an on-stack node)
+// and call-continuation edges for removal.
+func (p *Profile) findRemovedEdges(perBlock bool) map[int64]bool {
+	f := p.F
+	removed := map[int64]bool{}
+	if perBlock {
+		for _, b := range f.Blocks {
+			for i := range b.Succs {
+				removed[edgeKey(b.ID, i)] = true
+			}
+		}
+		return removed
+	}
+	for _, b := range f.Blocks {
+		if b.Term().Op == ir.OpCall {
+			removed[edgeKey(b.ID, 0)] = true
+		}
+	}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, len(f.Blocks))
+	type frame struct{ node, next int }
+	// A full-graph DFS: blocks reachable only through removed call edges
+	// still carry classifiable loops, so every component must be walked
+	// (starting at the entry first keeps the common case's tree shape).
+	for start := 0; start < len(f.Blocks); start++ {
+		if color[start] != white {
+			continue
+		}
+		stack := []frame{{start, 0}}
+		color[start] = gray
+		for len(stack) > 0 {
+			fr := &stack[len(stack)-1]
+			b := f.Blocks[fr.node]
+			if fr.next < len(b.Succs) {
+				i := fr.next
+				v := b.Succs[i]
+				fr.next++
+				if removed[edgeKey(fr.node, i)] {
+					continue
+				}
+				switch color[v] {
+				case gray:
+					removed[edgeKey(fr.node, i)] = true
+				case white:
+					color[v] = gray
+					stack = append(stack, frame{v, 0})
+				}
+				continue
+			}
+			color[fr.node] = black
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return removed
+}
+
+// numberPaths computes NumPaths per DAG node in reverse topological order
+// and assigns cumulative edge increments.
+func (p *Profile) numberPaths() error {
+	num := make([]int64, len(p.dagSuccs))
+	state := make([]int, len(p.dagSuccs)) // 0 unvisited, 1 in progress, 2 done
+	var visit func(u int) error
+	visit = func(u int) error {
+		switch state[u] {
+		case 1:
+			return fmt.Errorf("ballarus: %s: cycle through DAG node %d", p.F.Name, u)
+		case 2:
+			return nil
+		}
+		state[u] = 1
+		if u == p.exit {
+			num[u] = 1
+		} else {
+			var total int64
+			for i := range p.dagSuccs[u] {
+				e := &p.dagSuccs[u][i]
+				if err := visit(e.to); err != nil {
+					return err
+				}
+				e.val = total
+				total += num[e.to]
+				if total > MaxPaths {
+					return fmt.Errorf("ballarus: %s has more than %d paths", p.F.Name, MaxPaths)
+				}
+			}
+			if total == 0 {
+				// A node with no DAG successors that is not EXIT would make
+				// paths through it unnumberable; it must be unreachable.
+				total = 1
+			}
+			num[u] = total
+		}
+		state[u] = 2
+		return nil
+	}
+	if err := visit(p.entry); err != nil {
+		return err
+	}
+	p.NumPaths = num[p.entry]
+	return nil
+}
+
+// classifyEdges fills the runtime EdgeInfo tables from the DAG values.
+func (p *Profile) classifyEdges(removed map[int64]bool) {
+	dagVal := func(u, v int) (int64, bool) {
+		for _, e := range p.dagSuccs[u] {
+			if e.to == v {
+				return e.val, true
+			}
+		}
+		return 0, false
+	}
+	exitVal := map[int]int64{}
+	for _, b := range p.F.Blocks {
+		if v, ok := dagVal(b.ID, p.exit); ok {
+			exitVal[b.ID] = v
+		}
+	}
+	resetVal := map[int]int64{}
+	for _, e := range p.dagSuccs[p.entry] {
+		resetVal[e.to] = e.val
+	}
+	p.EntryVal = resetVal[0]
+
+	for _, b := range p.F.Blocks {
+		u := b.ID
+		infos := make([]EdgeInfo, len(b.Succs))
+		for i, v := range b.Succs {
+			if removed[edgeKey(u, i)] {
+				infos[i] = EdgeInfo{Removed: true, ExitVal: exitVal[u], ResetVal: resetVal[v]}
+			} else {
+				val, ok := dagVal(u, v)
+				if !ok {
+					// Unreachable edge; it can never be taken at runtime.
+					val = 0
+				}
+				infos[i] = EdgeInfo{Val: val}
+			}
+		}
+		p.Edges[u] = infos
+		switch b.Term().Op {
+		case ir.OpRet, ir.OpHalt:
+			p.FinalVal[u] = exitVal[u]
+		}
+	}
+}
+
+// Blocks decodes a path id into its executed basic-block sequence. Results
+// are cached; the returned slice must not be modified.
+func (p *Profile) Blocks(pathID int64) ([]int, error) {
+	if seq, ok := p.decoded[pathID]; ok {
+		return seq, nil
+	}
+	if pathID < 0 || pathID >= p.NumPaths {
+		return nil, fmt.Errorf("ballarus: %s: path id %d out of range [0,%d)", p.F.Name, pathID, p.NumPaths)
+	}
+	r := pathID
+	node := p.entry
+	var seq []int
+	for node != p.exit {
+		succs := p.dagSuccs[node]
+		if len(succs) == 0 {
+			return nil, fmt.Errorf("ballarus: %s: decoding stuck at node %d (path %d)", p.F.Name, node, pathID)
+		}
+		// Choose the successor with the largest increment <= r.
+		best := -1
+		for i, e := range succs {
+			if e.val <= r && (best < 0 || e.val > succs[best].val) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("ballarus: %s: no edge from node %d fits remainder %d (path %d)", p.F.Name, node, r, pathID)
+		}
+		r -= succs[best].val
+		node = succs[best].to
+		if node != p.exit {
+			seq = append(seq, node)
+		}
+	}
+	p.decoded[pathID] = seq
+	return seq, nil
+}
+
+// Tracker accumulates the runtime path register for one stack frame.
+type Tracker struct {
+	p *Profile
+	r int64
+}
+
+// NewTracker returns a tracker positioned at function entry (the first path
+// begins at the entry block).
+func (p *Profile) NewTracker() Tracker { return Tracker{p: p, r: p.EntryVal} }
+
+// Take processes CFG edge (u, succIdx). If the edge terminates a path (back
+// edge), it returns the completed path id and true, and the tracker begins
+// the next path. Call edges must use CompleteAtCall/ResumeAfterCall instead
+// so the completion can be emitted before the callee runs.
+func (t *Tracker) Take(u, succIdx int) (pathID int64, completed bool) {
+	e := &t.p.Edges[u][succIdx]
+	if e.Removed {
+		id := t.r + e.ExitVal
+		t.r = e.ResetVal
+		return id, true
+	}
+	t.r += e.Val
+	return 0, false
+}
+
+// CompleteAtCall completes the current path at call-terminated block u and
+// returns its id. The caller must invoke ResumeAfterCall when control comes
+// back.
+func (t *Tracker) CompleteAtCall(u int) int64 {
+	e := &t.p.Edges[u][0]
+	return t.r + e.ExitVal
+}
+
+// ResumeAfterCall begins the path that starts at the continuation block of
+// call-terminated block u.
+func (t *Tracker) ResumeAfterCall(u int) {
+	t.r = t.p.Edges[u][0].ResetVal
+}
+
+// Finish completes the final path of the frame at ret/halt block u.
+func (t *Tracker) Finish(u int) int64 {
+	return t.r + t.p.FinalVal[u]
+}

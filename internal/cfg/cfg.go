@@ -1,0 +1,205 @@
+// Package cfg provides control-flow-graph analyses over ir functions:
+// dominators, post-dominators, and static control dependence. Control
+// dependence drives the CD edges of the Whole Execution Trace (the labeled
+// edges from predicates to the statements whose execution they decide).
+package cfg
+
+import (
+	"fmt"
+
+	"wet/internal/ir"
+)
+
+// Graph is a small adjacency-list digraph with a designated entry node.
+type Graph struct {
+	N     int
+	Entry int
+	Succs [][]int
+	Preds [][]int
+}
+
+// NewGraph returns an empty graph with n nodes.
+func NewGraph(n, entry int) *Graph {
+	return &Graph{N: n, Entry: entry, Succs: make([][]int, n), Preds: make([][]int, n)}
+}
+
+// AddEdge inserts a directed edge u->v.
+func (g *Graph) AddEdge(u, v int) {
+	g.Succs[u] = append(g.Succs[u], v)
+	g.Preds[v] = append(g.Preds[v], u)
+}
+
+// Reverse returns the transposed graph with the given entry.
+func (g *Graph) Reverse(entry int) *Graph {
+	r := NewGraph(g.N, entry)
+	for u, ss := range g.Succs {
+		for _, v := range ss {
+			r.AddEdge(v, u)
+		}
+	}
+	return r
+}
+
+// FromFunc builds the CFG of f augmented with a virtual exit node (index
+// len(f.Blocks)) that every Ret/Halt block feeds. The virtual exit gives the
+// post-dominator computation a unique sink.
+func FromFunc(f *ir.Func) *Graph {
+	n := len(f.Blocks)
+	g := NewGraph(n+1, 0)
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs {
+			g.AddEdge(b.ID, s)
+		}
+		switch b.Term().Op {
+		case ir.OpRet, ir.OpHalt:
+			g.AddEdge(b.ID, n)
+		}
+	}
+	return g
+}
+
+// VirtualExit returns the index of the virtual exit node added by FromFunc.
+func VirtualExit(f *ir.Func) int { return len(f.Blocks) }
+
+// rpo computes a reverse post-order of nodes reachable from g.Entry and a
+// map node -> RPO index (-1 for unreachable nodes).
+func rpo(g *Graph) (order []int, index []int) {
+	index = make([]int, g.N)
+	for i := range index {
+		index[i] = -1
+	}
+	seen := make([]bool, g.N)
+	var post []int
+	// Iterative DFS computing post-order.
+	type frame struct{ node, next int }
+	stack := []frame{{g.Entry, 0}}
+	seen[g.Entry] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next < len(g.Succs[f.node]) {
+			v := g.Succs[f.node][f.next]
+			f.next++
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, frame{v, 0})
+			}
+			continue
+		}
+		post = append(post, f.node)
+		stack = stack[:len(stack)-1]
+	}
+	order = make([]int, len(post))
+	for i := range post {
+		order[i] = post[len(post)-1-i]
+	}
+	for i, n := range order {
+		index[n] = i
+	}
+	return order, index
+}
+
+// Dominators computes the immediate dominator of every node reachable from
+// g.Entry using the Cooper–Harvey–Kennedy iterative algorithm. The entry's
+// idom is itself; unreachable nodes get -1.
+func Dominators(g *Graph) []int {
+	order, idx := rpo(g)
+	idom := make([]int, g.N)
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[g.Entry] = g.Entry
+	intersect := func(a, b int) int {
+		for a != b {
+			for idx[a] > idx[b] {
+				a = idom[a]
+			}
+			for idx[b] > idx[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range order {
+			if n == g.Entry {
+				continue
+			}
+			newIdom := -1
+			for _, p := range g.Preds[n] {
+				if idx[p] < 0 || idom[p] < 0 {
+					continue // unreachable or not yet processed
+				}
+				if newIdom < 0 {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom >= 0 && idom[n] != newIdom {
+				idom[n] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// PostDominators computes the immediate post-dominator of every block of f
+// with respect to the virtual exit. The result has len(f.Blocks)+1 entries;
+// the last is the virtual exit itself. Blocks that cannot reach the exit
+// (infinite loops) get -1.
+func PostDominators(f *ir.Func) []int {
+	g := FromFunc(f)
+	return Dominators(g.Reverse(VirtualExit(f)))
+}
+
+// ControlDeps records static block-level control dependence for a function:
+// Parents[b] lists the branch blocks that block b is control dependent on.
+// The lists are deduplicated and in discovery order.
+type ControlDeps struct {
+	Parents [][]int
+}
+
+// ControlDependence computes control dependence for f via the standard
+// post-dominance criterion (Ferrante–Ottenstein–Warren): for each CFG edge
+// u->v where v does not post-dominate u, every node on the post-dominator
+// tree path from v up to (but excluding) ipdom(u) is control dependent on u.
+func ControlDependence(f *ir.Func) (*ControlDeps, error) {
+	g := FromFunc(f)
+	ipdom := Dominators(g.Reverse(VirtualExit(f)))
+	n := len(f.Blocks)
+	cd := &ControlDeps{Parents: make([][]int, n)}
+	have := make([]map[int]bool, n)
+	add := func(node, parent int) {
+		if have[node] == nil {
+			have[node] = map[int]bool{}
+		}
+		if !have[node][parent] {
+			have[node][parent] = true
+			cd.Parents[node] = append(cd.Parents[node], parent)
+		}
+	}
+	for _, b := range f.Blocks {
+		if len(b.Succs) < 2 {
+			continue // only branches create control dependence
+		}
+		u := b.ID
+		if ipdom[u] < 0 {
+			return nil, fmt.Errorf("cfg: %s block %d cannot reach exit", f.Name, u)
+		}
+		stop := ipdom[u]
+		for _, v := range b.Succs {
+			for w := v; w != stop; w = ipdom[w] {
+				if w < 0 || w == VirtualExit(f) {
+					return nil, fmt.Errorf("cfg: %s: post-dominator walk from edge %d->%d escaped", f.Name, u, v)
+				}
+				add(w, u)
+				if ipdom[w] == w {
+					break // reached the root of the post-dominator tree
+				}
+			}
+		}
+	}
+	return cd, nil
+}

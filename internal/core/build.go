@@ -1,0 +1,457 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wet/internal/interp"
+	"wet/internal/ir"
+	"wet/internal/stream"
+	"wet/internal/trace"
+)
+
+// Builder constructs a WET from the dynamic event stream. It implements
+// trace.Sink: statement events are buffered until the covering PathDone
+// event names the Ball–Larus path, at which point the node is labeled.
+type Builder struct {
+	prog   *ir.Program
+	static *interp.Static
+
+	w       *WET
+	nodeIdx map[nodeKey]int
+
+	// Per-instance location records (dropped after Finish): where each
+	// dynamic statement instance landed. Indexed by instance id.
+	instNode []int32
+	instOrd  []uint32
+	instPos  []int32
+
+	// Pending events of the currently executing path.
+	pending []pendingEvent
+
+	edgeIdx map[edgeKey]int
+
+	time     uint32
+	prevNode int
+
+	// CheckDeterminism re-verifies the tier-1 value-grouping invariant on
+	// every execution: a repeated input tuple must reproduce the stored
+	// values exactly.
+	CheckDeterminism bool
+
+	err error
+}
+
+type nodeKey struct {
+	fn     int
+	pathID int64
+}
+
+// edgeKey packs an edge identity into one word for fast map hashing:
+// kind(1) | srcNode(16) | srcPos(12) | dstNode(16) | dstPos(12) | opIdx(4).
+// The field widths comfortably exceed anything the workloads produce;
+// packEdgeKey panics if a program outgrows them.
+type edgeKey = uint64
+
+func packEdgeKey(kind EdgeKind, srcNode, srcPos, dstNode, dstPos, opIdx int) edgeKey {
+	if srcNode >= 1<<16 || dstNode >= 1<<16 || srcPos >= 1<<12 || dstPos >= 1<<12 || opIdx >= 14 {
+		panic("core: edge key field overflow")
+	}
+	return uint64(kind)<<61 |
+		uint64(srcNode)<<44 | uint64(srcPos)<<32 |
+		uint64(dstNode)<<16 | uint64(dstPos)<<4 |
+		uint64(opIdx+1) // -1 (CD) maps to 0
+}
+
+type pendingEvent struct {
+	st    *ir.Stmt
+	value int64
+	dd    []trace.Inst
+	dv    []int64
+	cd    trace.Inst
+}
+
+// NewBuilder returns a builder for one run of the analyzed program.
+func NewBuilder(st *interp.Static) *Builder {
+	return &Builder{
+		prog:     st.Prog,
+		static:   st,
+		w:        &WET{Prog: st.Prog, Static: st, StmtOcc: make([][]StmtRef, len(st.Prog.Stmts))},
+		nodeIdx:  map[nodeKey]int{},
+		edgeIdx:  map[edgeKey]int{},
+		instNode: make([]int32, 1, 1024), // instance ids start at 1
+		instOrd:  make([]uint32, 1, 1024),
+		instPos:  make([]int32, 1, 1024),
+		prevNode: -1,
+	}
+}
+
+// Stmt implements trace.Sink. Pending slots (and their operand slices) are
+// recycled across paths to keep construction allocation-free in steady
+// state.
+func (b *Builder) Stmt(inst trace.Inst, st *ir.Stmt, value int64, ddSrcs []trace.Inst, ddVals []int64, cdSrc trace.Inst) {
+	if b.err != nil {
+		return
+	}
+	n := len(b.pending)
+	if cap(b.pending) > n {
+		b.pending = b.pending[:n+1]
+	} else {
+		b.pending = append(b.pending, pendingEvent{})
+	}
+	ev := &b.pending[n]
+	ev.st, ev.value, ev.cd = st, value, cdSrc
+	ev.dd = append(ev.dd[:0], ddSrcs...)
+	ev.dv = append(ev.dv[:0], ddVals...)
+	_ = inst // instance ids are dense; location records are appended in order
+}
+
+// PathDone implements trace.Sink.
+func (b *Builder) PathDone(fn int, pathID int64) {
+	if b.err != nil {
+		return
+	}
+	if err := b.flushPath(fn, pathID); err != nil {
+		b.err = err
+	}
+}
+
+func (b *Builder) flushPath(fn int, pathID int64) error {
+	node, err := b.node(fn, pathID)
+	if err != nil {
+		return err
+	}
+	if len(b.pending) != len(node.Stmts) {
+		return fmt.Errorf("core: path (fn %d, id %d) delivered %d events, node has %d statements", fn, pathID, len(b.pending), len(node.Stmts))
+	}
+	b.time++
+	ord := uint32(node.Execs)
+	node.Execs++
+	node.TS = append(node.TS, b.time)
+	if b.prevNode >= 0 {
+		addUniq(&b.w.Nodes[b.prevNode].CFNext, node.ID)
+		addUniq(&node.CFPrev, b.prevNode)
+	} else {
+		b.w.FirstNode = node.ID
+	}
+	b.prevNode = node.ID
+	b.w.LastNode = node.ID
+
+	// Record instance locations and dependence edge labels.
+	for i := range b.pending {
+		ev := &b.pending[i]
+		if ev.st != node.Stmts[i] {
+			return fmt.Errorf("core: path (fn %d, id %d) statement %d is [%d]%s, node expects [%d]%s",
+				fn, pathID, i, ev.st.ID, ev.st, node.Stmts[i].ID, node.Stmts[i])
+		}
+		b.instNode = append(b.instNode, int32(node.ID))
+		b.instOrd = append(b.instOrd, ord)
+		b.instPos = append(b.instPos, int32(i))
+
+		for opIdx, src := range ev.dd {
+			if src == 0 {
+				continue
+			}
+			if src >= trace.Inst(len(b.instNode)) {
+				return fmt.Errorf("core: dependence source instance %d not yet recorded", src)
+			}
+			b.label(DD, int(b.instNode[src]), int(b.instPos[src]), node.ID, i, opIdx, ord, b.instOrd[src])
+		}
+		if ev.cd != 0 {
+			b.label(CD, int(b.instNode[ev.cd]), int(b.instPos[ev.cd]), node.ID, i, -1, ord, b.instOrd[ev.cd])
+		}
+	}
+
+	// Value grouping: extend each group's pattern and unique values.
+	if err := b.labelValues(node); err != nil {
+		return err
+	}
+	b.pending = b.pending[:0]
+	return nil
+}
+
+// label appends a <dstOrd, srcOrd> pair to the dependence edge, creating the
+// edge on first use.
+func (b *Builder) label(kind EdgeKind, srcNode, srcPos, dstNode, dstPos, opIdx int, dstOrd, srcOrd uint32) {
+	k := packEdgeKey(kind, srcNode, srcPos, dstNode, dstPos, opIdx)
+	idx, ok := b.edgeIdx[k]
+	if !ok {
+		idx = len(b.w.Edges)
+		e := &Edge{Kind: kind, SrcNode: srcNode, SrcPos: srcPos, DstNode: dstNode, DstPos: dstPos, OpIdx: opIdx, SharedWith: -1}
+		b.w.Edges = append(b.w.Edges, e)
+		b.edgeIdx[k] = idx
+	}
+	e := b.w.Edges[idx]
+	e.DstOrd = append(e.DstOrd, dstOrd)
+	e.SrcOrd = append(e.SrcOrd, srcOrd)
+	e.Count++
+}
+
+// labelValues extends the node's groups with this execution's input tuple
+// and produced values.
+func (b *Builder) labelValues(node *Node) error {
+	var keyBuf []byte
+	for _, g := range node.Groups {
+		keyBuf = keyBuf[:0]
+		for _, ks := range g.keyPlan {
+			var v int64
+			if ks.ddIdx < 0 {
+				v = b.pending[ks.pos].value
+			} else {
+				dv := b.pending[ks.pos].dv
+				if ks.ddIdx >= len(dv) {
+					return fmt.Errorf("core: key plan reads operand %d of %s, only %d recorded", ks.ddIdx, b.pending[ks.pos].st, len(dv))
+				}
+				v = dv[ks.ddIdx]
+			}
+			u := uint64(v)
+			keyBuf = append(keyBuf, byte(u), byte(u>>8), byte(u>>16), byte(u>>24), byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+		}
+		idx, seen := g.keys[string(keyBuf)]
+		if !seen {
+			idx = uint32(len(g.keys))
+			g.keys[string(keyBuf)] = idx
+			for mi, pos := range g.ValMembers {
+				g.UVals[mi] = append(g.UVals[mi], uint32(b.pending[pos].value))
+			}
+		} else if b.CheckDeterminism {
+			for mi, pos := range g.ValMembers {
+				if got, want := uint32(b.pending[pos].value), g.UVals[mi][idx]; got != want {
+					return fmt.Errorf("core: determinism violation at %s: value %d, stored %d (inputs %v)",
+						b.pending[pos].st, got, want, g.Inputs)
+				}
+			}
+		}
+		g.Pattern = append(g.Pattern, idx)
+	}
+	return nil
+}
+
+// node returns (creating on first execution) the WET node for a path.
+func (b *Builder) node(fn int, pathID int64) (*Node, error) {
+	k := nodeKey{fn, pathID}
+	if idx, ok := b.nodeIdx[k]; ok {
+		return b.w.Nodes[idx], nil
+	}
+	blocks, err := b.static.Paths[fn].Blocks(pathID)
+	if err != nil {
+		return nil, err
+	}
+	f := b.prog.Funcs[fn]
+	n := &Node{ID: len(b.w.Nodes), Fn: fn, PathID: pathID, Blocks: blocks, stmtPos: map[int]int{}}
+	for _, bid := range blocks {
+		for _, s := range f.Blocks[bid].Stmts {
+			n.stmtPos[s.ID] = len(n.Stmts)
+			b.w.StmtOcc[s.ID] = append(b.w.StmtOcc[s.ID], StmtRef{Node: n.ID, Pos: len(n.Stmts)})
+			n.Stmts = append(n.Stmts, s)
+		}
+	}
+	n.InEdges = make([][]int, len(n.Stmts))
+	n.OutEdges = make([][]int, len(n.Stmts))
+	formGroups(n)
+	b.w.Nodes = append(b.w.Nodes, n)
+	b.nodeIdx[k] = n.ID
+	return n, nil
+}
+
+// isInputClass reports whether a statement's result is an input to the node
+// (the paper's "input statements": reads whose value cannot be derived from
+// other inputs).
+func isInputClass(op ir.Op) bool { return op == ir.OpLoad || op == ir.OpInput }
+
+// formGroups performs the paper's §3.2 static grouping for one node:
+// compute each statement's transitive input set, group statements with
+// identical sets, merge proper-subset groups into their (smallest)
+// superset, and derive the runtime key-extraction plan.
+func formGroups(n *Node) {
+	type set = map[string]InputElem
+	sets := make([]set, len(n.Stmts))
+	lastDef := map[ir.Reg]int{}
+	// extUser[r] remembers the first direct external use of register r:
+	// (position, ddVals index), for the key plan.
+	type use struct{ pos, ddIdx int }
+	extUser := map[ir.Reg]use{}
+
+	var uses []ir.Reg
+	for p, s := range n.Stmts {
+		sp := set{}
+		if isInputClass(s.Op) {
+			el := InputElem{Src: p}
+			sp[el.String()] = el
+		} else {
+			uses = s.Uses(uses[:0])
+			for ui, r := range uses {
+				if q, ok := lastDef[r]; ok {
+					for k, v := range sets[q] {
+						sp[k] = v
+					}
+				} else {
+					el := InputElem{Ext: r, Src: -1}
+					sp[el.String()] = el
+					if _, seen := extUser[r]; !seen {
+						extUser[r] = use{pos: p, ddIdx: ui}
+					}
+				}
+			}
+		}
+		sets[p] = sp
+		if s.Op.HasDef() && s.Dest != ir.NoReg {
+			lastDef[s.Dest] = p
+		}
+	}
+
+	// Group by canonical set key.
+	canon := func(sp set) string {
+		ks := make([]string, 0, len(sp))
+		for k := range sp {
+			ks = append(ks, k)
+		}
+		sort.Strings(ks)
+		return strings.Join(ks, ",")
+	}
+	groupAt := map[string]*Group{}
+	var order []string
+	for p := range n.Stmts {
+		key := canon(sets[p])
+		g, ok := groupAt[key]
+		if !ok {
+			g = &Group{keys: map[string]uint32{}}
+			for _, el := range sets[p] {
+				g.Inputs = append(g.Inputs, el)
+			}
+			sort.Slice(g.Inputs, func(i, j int) bool { return g.Inputs[i].String() < g.Inputs[j].String() })
+			groupAt[key] = g
+			order = append(order, key)
+		}
+		g.Members = append(g.Members, p)
+	}
+
+	// Merge proper-subset groups into their smallest superset.
+	subsetOf := func(a, b *Group) bool {
+		if len(a.Inputs) >= len(b.Inputs) {
+			return false
+		}
+		have := map[string]bool{}
+		for _, el := range b.Inputs {
+			have[el.String()] = true
+		}
+		for _, el := range a.Inputs {
+			if !have[el.String()] {
+				return false
+			}
+		}
+		return true
+	}
+	merged := map[string]bool{}
+	// Process in increasing input-set size so chains collapse upward.
+	sort.SliceStable(order, func(i, j int) bool {
+		return len(groupAt[order[i]].Inputs) < len(groupAt[order[j]].Inputs)
+	})
+	for _, key := range order {
+		g := groupAt[key]
+		if merged[key] {
+			continue
+		}
+		var best *Group
+		for _, key2 := range order {
+			if key2 == key || merged[key2] {
+				continue
+			}
+			h := groupAt[key2]
+			if subsetOf(g, h) && (best == nil || len(h.Inputs) < len(best.Inputs)) {
+				best = h
+			}
+		}
+		if best != nil {
+			best.Members = append(best.Members, g.Members...)
+			merged[key] = true
+		}
+	}
+
+	// Finalize groups: sort members, find def members, build key plans.
+	n.GroupOf = make([]int, len(n.Stmts))
+	for _, key := range order {
+		if merged[key] {
+			continue
+		}
+		g := groupAt[key]
+		sort.Ints(g.Members)
+		for _, pos := range g.Members {
+			n.GroupOf[pos] = len(n.Groups)
+			if n.Stmts[pos].Op.HasDef() && n.Stmts[pos].Dest != ir.NoReg {
+				g.ValMembers = append(g.ValMembers, pos)
+				g.UVals = append(g.UVals, nil)
+			}
+		}
+		for _, el := range g.Inputs {
+			if el.Src >= 0 {
+				g.keyPlan = append(g.keyPlan, keySource{pos: el.Src, ddIdx: -1})
+			} else {
+				u, ok := extUser[el.Ext]
+				if !ok {
+					panic(fmt.Sprintf("core: no direct user for input %s in node", el))
+				}
+				g.keyPlan = append(g.keyPlan, keySource{pos: u.pos, ddIdx: u.ddIdx})
+			}
+		}
+		n.Groups = append(n.Groups, g)
+	}
+}
+
+// Finish validates and returns the built WET (tier-1 labeled, not frozen).
+func (b *Builder) Finish() (*WET, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.pending) != 0 {
+		return nil, fmt.Errorf("core: %d statement events not covered by a path", len(b.pending))
+	}
+	w := b.w
+	w.Time = b.time
+	// Fill edge adjacency.
+	for i, e := range w.Edges {
+		dst := w.Nodes[e.DstNode]
+		dst.InEdges[e.DstPos] = append(dst.InEdges[e.DstPos], i)
+		src := w.Nodes[e.SrcNode]
+		src.OutEdges[e.SrcPos] = append(src.OutEdges[e.SrcPos], i)
+	}
+	// Release instance records.
+	b.instNode, b.instOrd, b.instPos = nil, nil, nil
+	return w, nil
+}
+
+func addUniq(s *[]int, v int) {
+	for _, x := range *s {
+		if x == v {
+			return
+		}
+	}
+	*s = append(*s, v)
+}
+
+// Build runs the program and constructs its WET in one call. The returned
+// WET is unfrozen (tier-1 labels only); call Freeze for tier-2 streams and
+// the size report. opts.Sink is overridden.
+func Build(st *interp.Static, opts interp.Options) (*WET, *interp.Result, error) {
+	b := NewBuilder(st)
+	cnt := trace.NewCounting(b)
+	opts.Sink = cnt
+	res, err := interp.Run(st, opts)
+	if err != nil {
+		return nil, res, err
+	}
+	w, err := b.Finish()
+	if err != nil {
+		return nil, res, err
+	}
+	w.Raw = cnt.RawStats
+	return w, res, nil
+}
+
+// Ensure Builder satisfies trace.Sink.
+var _ trace.Sink = (*Builder)(nil)
+
+// Ensure the slice sequence satisfies Seq like streams do.
+var _ Seq = (*sliceSeq)(nil)
+var _ Seq = (stream.Stream)(nil)

@@ -1,0 +1,316 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"wet/internal/stream"
+	"wet/internal/trace"
+)
+
+// SizeReport gives the storage cost of each WET component (bytes) at each
+// compression level, in the units of the paper's Tables 1–3: 4 bytes per
+// timestamp or value, 8 bytes per dependence label pair at tiers 0/1, and
+// measured bits at tier 2.
+type SizeReport struct {
+	OrigTS, OrigVals, OrigEdges uint64
+	T1TS, T1Vals, T1Edges       uint64
+	T2TS, T2Vals, T2Edges       uint64
+
+	// T1EdgesDD/T1EdgesCD split the tier-1 edge label bytes by dependence
+	// kind (the paper lumps them; the split shows CD labels are the bulk
+	// before inference and nearly free after).
+	T1EdgesDD, T1EdgesCD uint64
+
+	// InferableEdges / SharedEdges count tier-1 label eliminations;
+	// DiagonalEdges counts the AggressiveEdges reduction.
+	InferableEdges, SharedEdges, OwnedEdges, DiagonalEdges int
+	// Methods counts tier-2 method selections by name.
+	Methods map[string]int
+}
+
+// OrigTotal is the uncompressed WET size in bytes.
+func (r *SizeReport) OrigTotal() uint64 { return r.OrigTS + r.OrigVals + r.OrigEdges }
+
+// T1Total is the size after tier-1 (customized) compression.
+func (r *SizeReport) T1Total() uint64 { return r.T1TS + r.T1Vals + r.T1Edges }
+
+// T2Total is the fully compressed size.
+func (r *SizeReport) T2Total() uint64 { return r.T2TS + r.T2Vals + r.T2Edges }
+
+// Ratio returns a/b as a float (0 when b is 0).
+func Ratio(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// FreezeOptions tunes Freeze.
+type FreezeOptions struct {
+	// DropTier1 releases the tier-1 slices after building the tier-2
+	// streams, halving memory; tier-1 queries become unavailable.
+	DropTier1 bool
+	// NoShare disables non-local label sharing (ablation).
+	NoShare bool
+	// NoInfer disables local label inference (ablation).
+	NoInfer bool
+	// AggressiveEdges enables the [25]-style diagonal-edge reduction: edges
+	// whose label pairs always have equal ordinals (but that fire on only
+	// some executions, so full inference does not apply) store a single
+	// ordinal stream instead of a pair. Off by default to keep the paper's
+	// tier-1 exactly; the ablation bench quantifies the extra gain.
+	AggressiveEdges bool
+	// NoGrouping disables the tier-1 value grouping for size accounting
+	// (ablation): tier-1 value labels are charged at the raw per-def-
+	// execution cost, and tier-2 compresses each statement's full value
+	// sequence (materialized from the groups) instead of UVals + Pattern.
+	NoGrouping bool
+}
+
+// Freeze applies the tier-1 edge label reductions (paper §3.3), compresses
+// every remaining stream with the tier-2 selector (paper §4), and computes
+// the size report. It is idempotent.
+func (w *WET) Freeze(opts FreezeOptions) *SizeReport {
+	if w.frozen {
+		return w.report
+	}
+	r := &SizeReport{Methods: map[string]int{}}
+	r.OrigTS = w.Raw.OrigNodeTSBytes()
+	r.OrigVals = w.Raw.OrigNodeValBytes()
+	r.OrigEdges = w.Raw.OrigEdgeBytes()
+
+	// --- Edges: tier-1 label elimination and sharing.
+	type shareKey struct {
+		srcNode, dstNode int
+		kind             EdgeKind
+		h                uint64
+	}
+	reps := map[shareKey][]int{}
+	for i, e := range w.Edges {
+		if !opts.NoInfer && e.SrcNode == e.DstNode && e.Count == w.Nodes[e.DstNode].Execs {
+			same := true
+			for k := range e.DstOrd {
+				if e.DstOrd[k] != e.SrcOrd[k] || e.DstOrd[k] != uint32(k) {
+					same = false
+					break
+				}
+			}
+			if same {
+				e.Inferable = true
+				e.DstOrd, e.SrcOrd = nil, nil
+				r.InferableEdges++
+				continue
+			}
+		}
+		if opts.AggressiveEdges && !e.Diagonal {
+			diag := true
+			for k := range e.DstOrd {
+				if e.DstOrd[k] != e.SrcOrd[k] {
+					diag = false
+					break
+				}
+			}
+			if diag {
+				e.Diagonal = true
+				e.SrcOrd = nil
+				r.DiagonalEdges++
+			}
+		}
+		if opts.NoShare {
+			r.OwnedEdges++
+			continue
+		}
+		k := shareKey{e.SrcNode, e.DstNode, e.Kind, labelHash(e)}
+		found := false
+		for _, ri := range reps[k] {
+			if labelsEqual(w.Edges[ri], e) {
+				e.SharedWith = ri
+				e.DstOrd, e.SrcOrd = nil, nil
+				r.SharedEdges++
+				found = true
+				break
+			}
+		}
+		if !found {
+			reps[k] = append(reps[k], i)
+			r.OwnedEdges++
+		}
+	}
+
+	// --- Sizes: timestamps.
+	for _, n := range w.Nodes {
+		r.T1TS += uint64(n.Execs) * trace.TSBytes
+		n.TSS = stream.CompressBest(n.TS)
+		r.Methods[n.TSS.Name()]++
+		r.T2TS += (n.TSS.SizeBits() + 7) / 8
+	}
+
+	// --- Sizes: values (groups).
+	if opts.NoGrouping {
+		// Ablation: no customized value compression. Tier-1 stores every
+		// def-port execution's value verbatim; tier-2 compresses the full
+		// per-statement-occurrence sequences.
+		r.T1Vals = w.Raw.OrigNodeValBytes()
+		for _, n := range w.Nodes {
+			for _, g := range n.Groups {
+				g.PatternS = stream.CompressBest(g.Pattern)
+				g.UValS = make([]stream.Stream, len(g.UVals))
+				for mi := range g.UVals {
+					full := make([]uint32, len(g.Pattern))
+					for k, idx := range g.Pattern {
+						full[k] = g.UVals[mi][idx]
+					}
+					s := stream.CompressBest(full)
+					r.Methods[s.Name()]++
+					r.T2Vals += (s.SizeBits() + 7) / 8
+					// Queries still need the grouped streams.
+					g.UValS[mi] = stream.CompressBest(g.UVals[mi])
+				}
+			}
+		}
+	}
+	for _, n := range w.Nodes {
+		if opts.NoGrouping {
+			break
+		}
+		for _, g := range n.Groups {
+			if len(g.ValMembers) == 0 && len(g.Pattern) == 0 {
+				continue
+			}
+			uniq := uint64(g.UniqueKeys())
+			var patBits uint64
+			if uniq > 1 {
+				patBits = uint64(len(g.Pattern)) * uint64(bitsFor(uniq-1))
+			}
+			var uvalBytes uint64
+			for _, uv := range g.UVals {
+				uvalBytes += uint64(len(uv)) * trace.ValBytes
+			}
+			if len(g.ValMembers) > 0 {
+				r.T1Vals += uvalBytes + (patBits+7)/8
+			}
+			// Tier 2: compress the pattern and each unique-value array.
+			g.PatternS = stream.CompressBest(g.Pattern)
+			g.UValS = make([]stream.Stream, len(g.UVals))
+			var t2 uint64
+			for i, uv := range g.UVals {
+				g.UValS[i] = stream.CompressBest(uv)
+				r.Methods[g.UValS[i].Name()]++
+				t2 += g.UValS[i].SizeBits()
+			}
+			if len(g.ValMembers) > 0 {
+				r.Methods[g.PatternS.Name()]++
+				t2 += g.PatternS.SizeBits()
+				r.T2Vals += (t2 + 7) / 8
+			}
+		}
+	}
+
+	// --- Sizes: edges.
+	for _, e := range w.Edges {
+		if e.Inferable || e.SharedWith >= 0 {
+			continue
+		}
+		labelBytes := uint64(e.Count) * trace.PairBytes
+		if e.Diagonal {
+			labelBytes = uint64(e.Count) * trace.TSBytes // one ordinal per pair
+		}
+		r.T1Edges += labelBytes
+		if e.Kind == DD {
+			r.T1EdgesDD += labelBytes
+		} else {
+			r.T1EdgesCD += labelBytes
+		}
+		e.DstS = stream.CompressBest(e.DstOrd)
+		r.Methods[e.DstS.Name()]++
+		if e.Diagonal {
+			r.T2Edges += (e.DstS.SizeBits() + 7) / 8
+		} else {
+			e.SrcS = stream.CompressBest(e.SrcOrd)
+			r.Methods[e.SrcS.Name()]++
+			r.T2Edges += (e.DstS.SizeBits() + e.SrcS.SizeBits() + 15) / 8
+		}
+	}
+
+	if opts.DropTier1 {
+		for _, n := range w.Nodes {
+			n.TS = nil
+			for _, g := range n.Groups {
+				g.Pattern = nil
+				g.UVals = nil
+			}
+		}
+		for _, e := range w.Edges {
+			e.DstOrd, e.SrcOrd = nil, nil
+		}
+	}
+	w.frozen = true
+	w.report = r
+	return r
+}
+
+// Report returns the size report (nil before Freeze).
+func (w *WET) Report() *SizeReport { return w.report }
+
+// bitsFor returns the number of bits needed to represent v.
+func bitsFor(v uint64) int {
+	n := 0
+	for v > 0 {
+		n++
+		v >>= 1
+	}
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+func labelHash(e *Edge) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := range e.DstOrd {
+		put32(buf[:4], e.DstOrd[i])
+		if e.Diagonal {
+			put32(buf[4:], e.DstOrd[i])
+		} else {
+			put32(buf[4:], e.SrcOrd[i])
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+func put32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+func labelsEqual(a, b *Edge) bool {
+	if len(a.DstOrd) != len(b.DstOrd) || a.Diagonal != b.Diagonal {
+		return false
+	}
+	for i := range a.DstOrd {
+		if a.DstOrd[i] != b.DstOrd[i] {
+			return false
+		}
+		if !a.Diagonal && a.SrcOrd[i] != b.SrcOrd[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the report as a small table.
+func (r *SizeReport) String() string {
+	line := func(name string, o, t1, t2 uint64) string {
+		return fmt.Sprintf("%-8s orig=%d B  tier1=%d B (%.1fx)  tier2=%d B (%.1fx)\n",
+			name, o, t1, Ratio(o, t1), t2, Ratio(o, t2))
+	}
+	s := line("ts", r.OrigTS, r.T1TS, r.T2TS)
+	s += line("vals", r.OrigVals, r.T1Vals, r.T2Vals)
+	s += line("edges", r.OrigEdges, r.T1Edges, r.T2Edges)
+	s += line("total", r.OrigTotal(), r.T1Total(), r.T2Total())
+	s += fmt.Sprintf("edges: %d owned, %d inferable, %d shared (tier-1 labels: %d B data, %d B control)\n",
+		r.OwnedEdges, r.InferableEdges, r.SharedEdges, r.T1EdgesDD, r.T1EdgesCD)
+	return s
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"wet/internal/interp"
+)
+
+// RestoreNode rebuilds the static side of a WET node (statement list,
+// positions, value groups) for a path, as deserializers need: the dynamic
+// labels are attached afterwards. It mirrors Builder.node.
+func RestoreNode(st *interp.Static, id, fn int, pathID int64) (*Node, error) {
+	blocks, err := st.Paths[fn].Blocks(pathID)
+	if err != nil {
+		return nil, err
+	}
+	f := st.Prog.Funcs[fn]
+	n := &Node{ID: id, Fn: fn, PathID: pathID, Blocks: blocks, stmtPos: map[int]int{}}
+	for _, bid := range blocks {
+		for _, s := range f.Blocks[bid].Stmts {
+			n.stmtPos[s.ID] = len(n.Stmts)
+			n.Stmts = append(n.Stmts, s)
+		}
+	}
+	n.InEdges = make([][]int, len(n.Stmts))
+	n.OutEdges = make([][]int, len(n.Stmts))
+	formGroups(n)
+	return n, nil
+}
+
+// RestoreUniqueKeys records the unique-input-tuple count of a deserialized
+// group (the keys map itself is not persisted).
+func (g *Group) RestoreUniqueKeys(n int) { g.restoredKeys = n }
+
+// RestoreIndexes rebuilds the derived indexes (statement occurrences and
+// edge adjacency) of a deserialized WET and marks it frozen.
+func (w *WET) RestoreIndexes(rep *SizeReport) {
+	w.StmtOcc = make([][]StmtRef, len(w.Prog.Stmts))
+	for _, n := range w.Nodes {
+		for pos, s := range n.Stmts {
+			w.StmtOcc[s.ID] = append(w.StmtOcc[s.ID], StmtRef{Node: n.ID, Pos: pos})
+		}
+	}
+	for i, e := range w.Edges {
+		w.Nodes[e.DstNode].InEdges[e.DstPos] = append(w.Nodes[e.DstNode].InEdges[e.DstPos], i)
+		w.Nodes[e.SrcNode].OutEdges[e.SrcPos] = append(w.Nodes[e.SrcNode].OutEdges[e.SrcPos], i)
+	}
+	w.frozen = true
+	w.report = rep
+}

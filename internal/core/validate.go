@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+
+	"wet/internal/stream"
+)
+
+// Validate checks a frozen WET's internal consistency: node timestamps are
+// strictly increasing and partition 1..Time exactly, group patterns index
+// inside their unique-value arrays, edges reference real statement
+// positions with labels of matching lengths, and adjacency lists agree with
+// the edge table. It reads tier-2 streams (the representation of record),
+// restoring every cursor it moves, and is intended for use after
+// deserialization or in tests; cost is O(size of the WET).
+func (w *WET) Validate() error {
+	if !w.frozen {
+		return fmt.Errorf("core: Validate requires a frozen WET")
+	}
+	seen := make(map[uint32]bool, w.Time)
+	for _, n := range w.Nodes {
+		if n.TSS == nil || n.TSS.Len() != n.Execs {
+			return fmt.Errorf("core: node %d ts stream has %d entries, executed %d times", n.ID, n.TSS.Len(), n.Execs)
+		}
+		last := uint32(0)
+		stream.SeekStart(n.TSS)
+		for i := 0; i < n.Execs; i++ {
+			ts := n.TSS.Next()
+			if ts <= last || ts > w.Time {
+				return fmt.Errorf("core: node %d timestamp %d out of order or range", n.ID, ts)
+			}
+			if seen[ts] {
+				return fmt.Errorf("core: timestamp %d appears twice", ts)
+			}
+			seen[ts] = true
+			last = ts
+		}
+		for gi, g := range n.Groups {
+			if g.PatternS == nil {
+				return fmt.Errorf("core: node %d group %d has no pattern stream", n.ID, gi)
+			}
+			if g.PatternS.Len() != n.Execs {
+				return fmt.Errorf("core: node %d group %d pattern has %d entries, want %d", n.ID, gi, g.PatternS.Len(), n.Execs)
+			}
+			uniq := -1
+			for mi := range g.UValS {
+				if uniq >= 0 && g.UValS[mi].Len() != uniq {
+					return fmt.Errorf("core: node %d group %d unique-value arrays disagree", n.ID, gi)
+				}
+				uniq = g.UValS[mi].Len()
+			}
+			if uniq >= 0 {
+				stream.SeekStart(g.PatternS)
+				for i := 0; i < g.PatternS.Len(); i++ {
+					if idx := g.PatternS.Next(); int(idx) >= uniq {
+						return fmt.Errorf("core: node %d group %d pattern index %d out of %d", n.ID, gi, idx, uniq)
+					}
+				}
+			}
+		}
+	}
+	if uint32(len(seen)) != w.Time {
+		return fmt.Errorf("core: %d timestamps present, want %d", len(seen), w.Time)
+	}
+
+	for ei, e := range w.Edges {
+		if e.SrcNode < 0 || e.SrcNode >= len(w.Nodes) || e.DstNode < 0 || e.DstNode >= len(w.Nodes) {
+			return fmt.Errorf("core: edge %d node out of range", ei)
+		}
+		src, dst := w.Nodes[e.SrcNode], w.Nodes[e.DstNode]
+		if e.SrcPos < 0 || e.SrcPos >= len(src.Stmts) || e.DstPos < 0 || e.DstPos >= len(dst.Stmts) {
+			return fmt.Errorf("core: edge %d position out of range", ei)
+		}
+		switch {
+		case e.Inferable:
+			if e.SrcNode != e.DstNode {
+				return fmt.Errorf("core: edge %d inferable but not local", ei)
+			}
+		case e.SharedWith >= 0:
+			if e.SharedWith >= len(w.Edges) || w.Edges[e.SharedWith].SharedWith >= 0 || w.Edges[e.SharedWith].Inferable {
+				return fmt.Errorf("core: edge %d has bad share representative %d", ei, e.SharedWith)
+			}
+		default:
+			if e.DstS == nil || (!e.Diagonal && e.SrcS == nil) {
+				return fmt.Errorf("core: edge %d lacks label streams", ei)
+			}
+			if e.DstS.Len() != e.Count || (!e.Diagonal && e.SrcS.Len() != e.Count) {
+				return fmt.Errorf("core: edge %d label lengths, count %d", ei, e.Count)
+			}
+			stream.SeekStart(e.DstS)
+			if !e.Diagonal {
+				stream.SeekStart(e.SrcS)
+			}
+			lastD := int64(-1)
+			for i := 0; i < e.Count; i++ {
+				d := int64(e.DstS.Next())
+				s := d
+				if !e.Diagonal {
+					s = int64(e.SrcS.Next())
+				}
+				if d <= lastD {
+					return fmt.Errorf("core: edge %d destination ordinals not increasing", ei)
+				}
+				lastD = d
+				if d >= int64(dst.Execs) || s >= int64(src.Execs) {
+					return fmt.Errorf("core: edge %d ordinal out of range", ei)
+				}
+			}
+		}
+		// Adjacency must reference this edge.
+		foundIn := false
+		for _, idx := range dst.InEdges[e.DstPos] {
+			if idx == ei {
+				foundIn = true
+			}
+		}
+		foundOut := false
+		for _, idx := range src.OutEdges[e.SrcPos] {
+			if idx == ei {
+				foundOut = true
+			}
+		}
+		if !foundIn || !foundOut {
+			return fmt.Errorf("core: edge %d missing from adjacency lists", ei)
+		}
+	}
+	return nil
+}

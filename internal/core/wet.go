@@ -1,0 +1,370 @@
+// Package core implements the paper's primary contribution: the Whole
+// Execution Trace (WET) — a static program representation (with Ball–Larus
+// paths as nodes) labeled with the complete dynamic profile: timestamps,
+// values, and data/control dependence instances — together with the two-tier
+// compression strategy of §3 (customized) and §4 (generic bidirectional
+// stream compression).
+package core
+
+import (
+	"fmt"
+
+	"wet/internal/interp"
+	"wet/internal/ir"
+	"wet/internal/stream"
+	"wet/internal/trace"
+)
+
+// Tier selects which representation a query reads.
+type Tier int
+
+const (
+	// Tier1 reads the customized-compressed (but not stream-compressed)
+	// labels: plain slices.
+	Tier1 Tier = 1
+	// Tier2 reads the fully compressed labels through bidirectional streams.
+	Tier2 Tier = 2
+)
+
+func (t Tier) String() string {
+	if t == Tier1 {
+		return "tier-1"
+	}
+	return "tier-2"
+}
+
+// StmtRef locates a statement occurrence inside a WET node: the Pos-th
+// statement of node Node. A static statement can occur in several nodes
+// (one per Ball–Larus path containing its block).
+type StmtRef struct {
+	Node int
+	Pos  int
+}
+
+// EdgeKind distinguishes data and control dependence edges.
+type EdgeKind uint8
+
+const (
+	// DD is a data dependence edge.
+	DD EdgeKind = iota
+	// CD is a control dependence edge.
+	CD
+)
+
+func (k EdgeKind) String() string {
+	if k == DD {
+		return "DD"
+	}
+	return "CD"
+}
+
+// Edge is a dependence edge between statement occurrences, labeled with a
+// sequence of <t_dst, t_src> pairs in *local* timestamps (the paper's
+// space-saving choice): the ordinal of the node execution on each side.
+type Edge struct {
+	Kind            EdgeKind
+	SrcNode, SrcPos int
+	DstNode, DstPos int
+	OpIdx           int // destination operand index (DD); -1 for CD
+
+	// Tier-1 labels (nil when Inferable or shared).
+	DstOrd, SrcOrd []uint32
+	// Count is the number of dynamic instances of this edge.
+	Count int
+
+	// Inferable marks local edges whose labels were dropped because every
+	// instance is <t,t> within one node execution and the edge fires on
+	// every execution (paper §3.3): the labels are implied by the node.
+	Inferable bool
+	// Diagonal marks edges whose every label pair has equal ordinals but
+	// which do not fire on every execution: only the destination ordinal
+	// stream is stored (the paper defers such "more aggressive techniques"
+	// to [25]; enabled by FreezeOptions.AggressiveEdges).
+	Diagonal bool
+	// SharedWith >= 0 names the edge whose identical label sequence this
+	// edge reuses (paper §3.3, label sharing across edge groups).
+	SharedWith int
+
+	// Tier-2 label streams (nil when Inferable or shared).
+	DstS, SrcS stream.Stream
+
+	dst1, src1 Seq // cached tier-1 adapters
+}
+
+// InputElem is one element of a group's input set: either a register value
+// flowing into the node (Ext) or the result of an input-class statement
+// (load / input) inside the node (Src, a node position).
+type InputElem struct {
+	Ext ir.Reg // valid when Src < 0
+	Src int    // node position of the input statement, or -1
+}
+
+func (e InputElem) String() string {
+	if e.Src >= 0 {
+		return fmt.Sprintf("src@%d", e.Src)
+	}
+	return fmt.Sprintf("ext:r%d", e.Ext)
+}
+
+// keySource tells the builder where to pick up one input element's value at
+// run time.
+type keySource struct {
+	pos   int // node position of the statement to read from
+	ddIdx int // index into that statement's ddVals, or -1 to use its result
+}
+
+// Group is a tier-1 value-compression group (paper §3.2): statements that
+// depend on the same set of inputs share one Pattern of indices into
+// per-statement unique-value arrays (UVals).
+type Group struct {
+	Members []int       // node positions, ascending
+	Inputs  []InputElem // canonical, sorted
+
+	keyPlan []keySource
+
+	// ValMembers are the members with a def port, in ascending position;
+	// UVals[i] holds the unique values of ValMembers[i].
+	ValMembers []int
+	UVals      [][]uint32
+
+	// Pattern[k] indexes UVals[*] for the node's k-th execution.
+	Pattern []uint32
+	keys    map[string]uint32
+	// restoredKeys carries the unique-key count for deserialized groups
+	// whose keys map was not persisted.
+	restoredKeys int
+
+	// Tier-2 streams.
+	PatternS stream.Stream
+	UValS    []stream.Stream
+
+	pat1 Seq // cached tier-1 adapters
+	uv1  []Seq
+}
+
+// UniqueKeys returns the number of distinct input tuples observed.
+func (g *Group) UniqueKeys() int {
+	if g.keys == nil {
+		return g.restoredKeys
+	}
+	return len(g.keys)
+}
+
+// Node is a WET node: one Ball–Larus path of one function, labeled with its
+// execution timestamps and, through Groups, the values produced by its
+// statements.
+type Node struct {
+	ID     int
+	Fn     int
+	PathID int64
+	Blocks []int
+	Stmts  []*ir.Stmt
+
+	stmtPos map[int]int // static stmt ID -> position
+
+	Execs int
+	// TS holds the global timestamp of each execution (tier-1).
+	TS []uint32
+	// TSS is the tier-2 compressed timestamp stream.
+	TSS stream.Stream
+
+	Groups  []*Group
+	GroupOf []int // per position
+
+	// CFNext/CFPrev are the node-level control flow edges observed at run
+	// time (which node executed at t+1 / t-1).
+	CFNext, CFPrev []int
+
+	// InEdges/OutEdges list indices into WET.Edges per position.
+	InEdges, OutEdges [][]int
+
+	ts1 Seq // cached tier-1 adapter
+}
+
+// PosOf returns the node position of static statement id, or -1.
+func (n *Node) PosOf(stmtID int) int {
+	if p, ok := n.stmtPos[stmtID]; ok {
+		return p
+	}
+	return -1
+}
+
+// WET is the whole execution trace of one program run.
+type WET struct {
+	Prog   *ir.Program
+	Static *interp.Static
+
+	Nodes []*Node
+	Edges []*Edge
+
+	// StmtOcc maps a static statement id to its occurrences.
+	StmtOcc [][]StmtRef
+
+	// Raw holds the dynamic counts defining the original WET size.
+	Raw trace.RawStats
+
+	// Time is the number of timestamps issued (path executions); timestamps
+	// run 1..Time.
+	Time uint32
+	// FirstNode/LastNode are the nodes holding timestamps 1 and Time.
+	FirstNode, LastNode int
+
+	frozen bool
+	report *SizeReport
+}
+
+// NodeOf returns the node for (fn, pathID), or nil.
+func (w *WET) NodeOf(fn int, pathID int64) *Node {
+	for _, n := range w.Nodes {
+		if n.Fn == fn && n.PathID == pathID {
+			return n
+		}
+	}
+	return nil
+}
+
+// Frozen reports whether Freeze has run (tier-2 streams are available).
+func (w *WET) Frozen() bool { return w.frozen }
+
+// Seq is a bidirectional cursor over one label sequence; both tiers
+// implement it (slices at tier 1, compressed streams at tier 2).
+type Seq interface {
+	Len() int
+	Pos() int
+	Next() uint32
+	Prev() uint32
+}
+
+// RandomAccess is the optional fast path of a Seq: tier-1 label storage is
+// plain arrays, so reads need not step a cursor. Tier-2 streams deliberately
+// do not implement it — sequential stepping is the compressed
+// representation's access model (that asymmetry is what the paper's
+// tier-1-vs-tier-2 response time comparison measures).
+type RandomAccess interface {
+	At(i int) uint32
+}
+
+// sliceSeq adapts a []uint32 to Seq.
+type sliceSeq struct {
+	v   []uint32
+	pos int
+}
+
+// At implements RandomAccess without disturbing the cursor.
+func (s *sliceSeq) At(i int) uint32 { return s.v[i] }
+
+func (s *sliceSeq) Len() int { return len(s.v) }
+func (s *sliceSeq) Pos() int { return s.pos }
+
+func (s *sliceSeq) Next() uint32 {
+	if s.pos >= len(s.v) {
+		panic("core: Seq Next past end")
+	}
+	x := s.v[s.pos]
+	s.pos++
+	return x
+}
+
+func (s *sliceSeq) Prev() uint32 {
+	if s.pos == 0 {
+		panic("core: Seq Prev past start")
+	}
+	s.pos--
+	return s.v[s.pos]
+}
+
+// seqOf wraps either representation. Seqs share cursor state across calls
+// (tier-2 returns the live stream object; tier-1 returns a cached adapter);
+// callers must not interleave two cursor traversals of the same sequence.
+func seqOf(cache *Seq, sl []uint32, st stream.Stream, tier Tier) Seq {
+	if tier == Tier2 {
+		if st == nil {
+			panic("core: tier-2 requested before Freeze")
+		}
+		return st
+	}
+	if sl == nil && *cache == nil {
+		panic("core: tier-1 labels were dropped (DropTier1)")
+	}
+	if *cache == nil {
+		*cache = &sliceSeq{v: sl}
+	}
+	return *cache
+}
+
+// TSSeq returns the timestamp sequence of node n at the given tier.
+func (w *WET) TSSeq(n *Node, tier Tier) Seq { return seqOf(&n.ts1, n.TS, n.TSS, tier) }
+
+// EdgeLabels returns the (dst, src) local-timestamp label sequences of e.
+// For shared edges the representative's labels are returned; Inferable
+// edges have implicit labels and return (nil, nil).
+func (w *WET) EdgeLabels(e *Edge, tier Tier) (dst, src Seq) {
+	if e.Inferable {
+		return nil, nil
+	}
+	if e.SharedWith >= 0 {
+		e = w.Edges[e.SharedWith]
+	}
+	if e.Diagonal {
+		d := seqOf(&e.dst1, e.DstOrd, e.DstS, tier)
+		return d, d // source ordinals equal destination ordinals
+	}
+	return seqOf(&e.dst1, e.DstOrd, e.DstS, tier), seqOf(&e.src1, e.SrcOrd, e.SrcS, tier)
+}
+
+// PatternSeq returns group g's pattern sequence at the given tier.
+func (w *WET) PatternSeq(g *Group, tier Tier) Seq { return seqOf(&g.pat1, g.Pattern, g.PatternS, tier) }
+
+// UValSeq returns the unique-value sequence for g.ValMembers[i].
+func (w *WET) UValSeq(g *Group, i int, tier Tier) Seq {
+	if g.uv1 == nil {
+		g.uv1 = make([]Seq, len(g.UVals))
+	}
+	return seqOf(&g.uv1[i], g.UVals[i], g.UValS[i], tier)
+}
+
+// ValMemberIndex returns the index of node position pos within g.ValMembers,
+// or -1 when the statement at pos has no def port.
+func (g *Group) ValMemberIndex(pos int) int {
+	for i, p := range g.ValMembers {
+		if p == pos {
+			return i
+		}
+	}
+	return -1
+}
+
+// Value returns the value produced by the statement at (n, pos) during the
+// node's ord-th execution, using the group pattern and unique values.
+func (w *WET) Value(n *Node, pos, ord int, tier Tier) (int64, error) {
+	g := n.Groups[n.GroupOf[pos]]
+	mi := g.ValMemberIndex(pos)
+	if mi < 0 {
+		return 0, fmt.Errorf("core: statement %s has no def port", n.Stmts[pos])
+	}
+	if ord < 0 || ord >= n.Execs {
+		return 0, fmt.Errorf("core: ordinal %d out of range [0,%d)", ord, n.Execs)
+	}
+	pat := w.PatternSeq(g, tier)
+	idx := seqAt(pat, ord)
+	uv := w.UValSeq(g, mi, tier)
+	return int64(int32(seqAt(uv, int(idx)))), nil
+}
+
+// seqAt reads element i of s: directly for random-access (tier-1) storage,
+// by stepping the cursor for compressed streams.
+func seqAt(s Seq, i int) uint32 {
+	if ra, ok := s.(RandomAccess); ok {
+		return ra.At(i)
+	}
+	for s.Pos() > i {
+		s.Prev()
+	}
+	for s.Pos() < i {
+		s.Next()
+	}
+	return s.Next()
+}
+
+// SeqAt is the exported form of seqAt for query packages.
+func SeqAt(s Seq, i int) uint32 { return seqAt(s, i) }

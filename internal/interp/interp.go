@@ -1,0 +1,324 @@
+// Package interp executes ir programs and emits the full dynamic event
+// stream — statement instances with produced values, data-dependence
+// sources, control-dependence sources, and Ball–Larus path completions.
+// It plays the role of the Trimaran simulator in the paper: profiling by
+// simulation, with no instrumentation intrusion.
+package interp
+
+import (
+	"fmt"
+
+	"wet/internal/ballarus"
+	"wet/internal/cfg"
+	"wet/internal/ir"
+	"wet/internal/trace"
+)
+
+// ArchSink receives the architecture-level outcomes used by the paper's
+// Table 4 (branch misprediction and cache-miss one-bit histories). All
+// methods are optional behaviour hooks; implementations decide the model.
+type ArchSink interface {
+	Branch(st *ir.Stmt, taken bool)
+	Access(st *ir.Stmt, addr int64, isStore bool)
+}
+
+// Options configures a run.
+type Options struct {
+	Inputs   []int64 // input tape consumed by OpInput (0 after exhaustion)
+	MaxSteps uint64  // abort bound on dynamic statements (0 = 1<<40)
+	Sink     trace.Sink
+	Arch     ArchSink
+	// CollectOutput keeps values written by OpOutput (tests, examples).
+	CollectOutput bool
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	Steps   uint64  // dynamic statements executed
+	Outputs []int64 // collected OpOutput values (if requested)
+}
+
+// Static holds per-program analysis shared across runs: Ball–Larus path
+// profiles and block-level control dependence, per function.
+type Static struct {
+	Prog     *ir.Program
+	Paths    []*ballarus.Profile
+	CD       []*cfg.ControlDeps
+	CDParent [][][]int // [fn][block] = static CD parent blocks
+}
+
+// Analyze computes the static side tables for p (finalized).
+func Analyze(p *ir.Program) (*Static, error) { return AnalyzeOpt(p, false) }
+
+// AnalyzeOpt is Analyze with the per-block node ablation: when perBlock is
+// true every basic block is its own "path", recovering the paper's
+// unoptimized timestamp scheme.
+func AnalyzeOpt(p *ir.Program, perBlock bool) (*Static, error) {
+	s := &Static{Prog: p}
+	for _, f := range p.Funcs {
+		pp, err := ballarus.NewOpt(f, perBlock)
+		if err != nil {
+			return nil, err
+		}
+		s.Paths = append(s.Paths, pp)
+		cd, err := cfg.ControlDependence(f)
+		if err != nil {
+			return nil, err
+		}
+		s.CD = append(s.CD, cd)
+		s.CDParent = append(s.CDParent, cd.Parents)
+	}
+	return s, nil
+}
+
+// brRec remembers the latest dynamic instance of a branch block's terminator
+// within one frame.
+type brRec struct {
+	inst trace.Inst
+	seq  uint64
+}
+
+type frame struct {
+	f       *ir.Func
+	regs    []int64
+	regTag  []trace.Inst
+	tracker ballarus.Tracker
+	lastBr  []brRec
+	cur     int    // current block id
+	retDest ir.Reg // caller register receiving the return value
+	retBlk  int    // caller block that issued the call
+}
+
+// Run executes the program under opts and streams events to opts.Sink.
+func Run(st *Static, opts Options) (*Result, error) {
+	p := st.Prog
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 1 << 40
+	}
+	mem := make([]int64, p.MemWords)
+	memTag := make([]trace.Inst, p.MemWords)
+	mask := p.MemWords - 1
+
+	res := &Result{}
+	var inst trace.Inst // dense instance counter; first instance is 1
+	var brSeq uint64
+	inPos := 0
+	ddBuf := make([]trace.Inst, 0, 8)
+	dvBuf := make([]int64, 0, 8)
+	useBuf := make([]ir.Reg, 0, 8)
+
+	newFrame := func(fi int) *frame {
+		f := p.Funcs[fi]
+		return &frame{
+			f:       f,
+			regs:    make([]int64, f.NumRegs),
+			regTag:  make([]trace.Inst, f.NumRegs),
+			tracker: st.Paths[fi].NewTracker(),
+			lastBr:  make([]brRec, len(f.Blocks)),
+		}
+	}
+
+	stack := []*frame{newFrame(p.Entry)}
+	emitPath := func(fr *frame, id int64) {
+		if opts.Sink != nil {
+			opts.Sink.PathDone(fr.f.Index, id)
+		}
+	}
+
+	for len(stack) > 0 {
+		fr := stack[len(stack)-1]
+		b := fr.f.Blocks[fr.cur]
+
+		// Dynamic control dependence of this block execution: the most
+		// recently executed static CD parent branch in this frame.
+		var cdSrc trace.Inst
+		var bestSeq uint64
+		for _, par := range st.CDParent[fr.f.Index][fr.cur] {
+			if r := fr.lastBr[par]; r.inst != 0 && r.seq >= bestSeq {
+				cdSrc, bestSeq = r.inst, r.seq
+			}
+		}
+
+		halted := false
+		for _, s := range b.Stmts {
+			if res.Steps >= maxSteps {
+				return res, fmt.Errorf("interp: exceeded %d steps in %s", maxSteps, fr.f.Name)
+			}
+			res.Steps++
+			inst++
+
+			// Gather operand values and dependence sources.
+			val := func(o ir.Operand) int64 {
+				if o.IsReg {
+					return fr.regs[o.Reg]
+				}
+				return o.Imm
+			}
+			useBuf = s.Uses(useBuf[:0])
+			ddBuf = ddBuf[:0]
+			dvBuf = dvBuf[:0]
+			for _, r := range useBuf {
+				ddBuf = append(ddBuf, fr.regTag[r])
+				dvBuf = append(dvBuf, fr.regs[r])
+			}
+
+			var result int64
+			var defTag = inst
+
+			switch s.Op {
+			case ir.OpConst:
+				result = s.A.Imm
+			case ir.OpAdd:
+				result = val(s.A) + val(s.B)
+			case ir.OpSub:
+				result = val(s.A) - val(s.B)
+			case ir.OpMul:
+				result = val(s.A) * val(s.B)
+			case ir.OpDiv:
+				if d := val(s.B); d != 0 {
+					result = val(s.A) / d
+				}
+			case ir.OpMod:
+				if d := val(s.B); d != 0 {
+					result = val(s.A) % d
+				}
+			case ir.OpAnd:
+				result = val(s.A) & val(s.B)
+			case ir.OpOr:
+				result = val(s.A) | val(s.B)
+			case ir.OpXor:
+				result = val(s.A) ^ val(s.B)
+			case ir.OpShl:
+				result = val(s.A) << (uint64(val(s.B)) & 63)
+			case ir.OpShr:
+				result = val(s.A) >> (uint64(val(s.B)) & 63)
+			case ir.OpNeg:
+				result = -val(s.A)
+			case ir.OpNot:
+				result = ^val(s.A)
+			case ir.OpEq:
+				result = b2i(val(s.A) == val(s.B))
+			case ir.OpNe:
+				result = b2i(val(s.A) != val(s.B))
+			case ir.OpLt:
+				result = b2i(val(s.A) < val(s.B))
+			case ir.OpLe:
+				result = b2i(val(s.A) <= val(s.B))
+			case ir.OpGt:
+				result = b2i(val(s.A) > val(s.B))
+			case ir.OpGe:
+				result = b2i(val(s.A) >= val(s.B))
+			case ir.OpLoad:
+				addr := (val(s.A) + s.Off) & mask
+				result = mem[addr]
+				// The loaded value's producer is the store (or 0 if the
+				// word was never written): a memory-carried dependence.
+				ddBuf = append(ddBuf, memTag[addr])
+				dvBuf = append(dvBuf, result)
+				if opts.Arch != nil {
+					opts.Arch.Access(s, addr, false)
+				}
+			case ir.OpStore:
+				addr := (val(s.A) + s.Off) & mask
+				mem[addr] = val(s.B)
+				memTag[addr] = inst
+				if opts.Arch != nil {
+					opts.Arch.Access(s, addr, true)
+				}
+			case ir.OpInput:
+				if inPos < len(opts.Inputs) {
+					result = opts.Inputs[inPos]
+					inPos++
+				}
+			case ir.OpOutput:
+				if opts.CollectOutput {
+					res.Outputs = append(res.Outputs, val(s.A))
+				}
+			case ir.OpJmp, ir.OpBr, ir.OpCall, ir.OpRet, ir.OpHalt:
+				// handled below, after the event is emitted
+			default:
+				return res, fmt.Errorf("interp: unknown op %s", s.Op)
+			}
+
+			if opts.Sink != nil {
+				opts.Sink.Stmt(inst, s, result, ddBuf, dvBuf, cdSrc)
+			}
+			if s.Op.HasDef() && s.Dest != ir.NoReg {
+				fr.regs[s.Dest] = result
+				fr.regTag[s.Dest] = defTag
+			}
+
+			// Terminators: control transfer, path bookkeeping.
+			switch s.Op {
+			case ir.OpJmp:
+				if id, done := fr.tracker.Take(fr.cur, 0); done {
+					emitPath(fr, id)
+				}
+				fr.cur = b.Succs[0]
+			case ir.OpBr:
+				taken := val(s.A) != 0
+				if opts.Arch != nil {
+					opts.Arch.Branch(s, taken)
+				}
+				brSeq++
+				fr.lastBr[fr.cur] = brRec{inst: inst, seq: brSeq}
+				idx := 1
+				if taken {
+					idx = 0
+				}
+				if id, done := fr.tracker.Take(fr.cur, idx); done {
+					emitPath(fr, id)
+				}
+				fr.cur = b.Succs[idx]
+			case ir.OpCall:
+				emitPath(fr, fr.tracker.CompleteAtCall(fr.cur))
+				callee := newFrame(s.Callee)
+				for i, a := range s.Args {
+					callee.regs[i] = val(a)
+					if a.IsReg {
+						callee.regTag[i] = fr.regTag[a.Reg]
+					}
+				}
+				fr.retDest = s.Dest
+				fr.retBlk = fr.cur
+				fr.cur = b.Succs[0]
+				stack = append(stack, callee)
+			case ir.OpRet:
+				emitPath(fr, fr.tracker.Finish(fr.cur))
+				stack = stack[:len(stack)-1]
+				if len(stack) == 0 {
+					return res, fmt.Errorf("interp: ret from entry function %s", fr.f.Name)
+				}
+				caller := stack[len(stack)-1]
+				if caller.retDest != ir.NoReg {
+					caller.regs[caller.retDest] = val(s.A)
+					if s.A.IsReg {
+						caller.regTag[caller.retDest] = fr.regTag[s.A.Reg]
+					} else {
+						caller.regTag[caller.retDest] = 0
+					}
+				}
+				caller.tracker.ResumeAfterCall(caller.retBlk)
+			case ir.OpHalt:
+				emitPath(fr, fr.tracker.Finish(fr.cur))
+				return res, nil
+			}
+			if s.Op.IsTerminator() {
+				halted = s.Op == ir.OpHalt
+				break
+			}
+		}
+		if halted {
+			break
+		}
+	}
+	return res, fmt.Errorf("interp: program ended without halt")
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,262 @@
+package ir
+
+import "fmt"
+
+// FuncBuilder constructs one function with structured control flow. It keeps
+// a "current block" cursor; plain emits append to it, and the structured
+// combinators (If, While, For, Switch) create and wire blocks. Workloads use
+// it as a tiny front end so programs read like source code.
+type FuncBuilder struct {
+	p   *Program
+	f   *Func
+	cur *Block
+}
+
+// NewFunc creates a function with the given parameter count and returns its
+// builder positioned at the (empty) entry block. Parameters occupy registers
+// 0..params-1.
+func (p *Program) NewFunc(name string, params int) *FuncBuilder {
+	if p.sealed {
+		panic("ir: cannot add functions after Finalize")
+	}
+	if _, dup := p.byName[name]; dup {
+		panic(fmt.Sprintf("ir: duplicate function %q", name))
+	}
+	f := &Func{Name: name, Params: params, NumRegs: params}
+	p.addFunc(f)
+	fb := &FuncBuilder{p: p, f: f}
+	fb.cur = fb.newBlock()
+	return fb
+}
+
+// Func returns the function under construction.
+func (fb *FuncBuilder) Func() *Func { return fb.f }
+
+// Param returns the register holding the i-th parameter.
+func (fb *FuncBuilder) Param(i int) Reg {
+	if i < 0 || i >= fb.f.Params {
+		panic(fmt.Sprintf("ir: %s has no parameter %d", fb.f.Name, i))
+	}
+	return Reg(i)
+}
+
+// NewReg allocates a fresh virtual register.
+func (fb *FuncBuilder) NewReg() Reg {
+	r := Reg(fb.f.NumRegs)
+	fb.f.NumRegs++
+	return r
+}
+
+func (fb *FuncBuilder) newBlock() *Block {
+	b := &Block{ID: len(fb.f.Blocks)}
+	fb.f.Blocks = append(fb.f.Blocks, b)
+	return b
+}
+
+func (fb *FuncBuilder) emit(s *Stmt) {
+	if fb.cur == nil {
+		panic(fmt.Sprintf("ir: %s: emit after terminator with no open block", fb.f.Name))
+	}
+	if len(fb.cur.Stmts) > 0 && fb.cur.Term().Op.IsTerminator() {
+		panic(fmt.Sprintf("ir: %s block %d: emit after terminator", fb.f.Name, fb.cur.ID))
+	}
+	fb.cur.Stmts = append(fb.cur.Stmts, s)
+}
+
+// terminated reports whether the current block already has a terminator.
+func (fb *FuncBuilder) terminated() bool {
+	return fb.cur == nil || (len(fb.cur.Stmts) > 0 && fb.cur.Term().Op.IsTerminator())
+}
+
+// --- plain statement emitters ---
+
+// Const emits dst = v and returns dst for chaining convenience.
+func (fb *FuncBuilder) Const(dst Reg, v int64) Reg {
+	fb.emit(&Stmt{Op: OpConst, Dest: dst, A: Imm(v)})
+	return dst
+}
+
+// ConstReg allocates a register, sets it to v, and returns it.
+func (fb *FuncBuilder) ConstReg(v int64) Reg { return fb.Const(fb.NewReg(), v) }
+
+// Bin emits dst = a op b.
+func (fb *FuncBuilder) Bin(op Op, dst Reg, a, b Operand) Reg {
+	if !op.IsBinary() || op == OpStore {
+		panic(fmt.Sprintf("ir: Bin called with %s", op))
+	}
+	fb.emit(&Stmt{Op: op, Dest: dst, A: a, B: b})
+	return dst
+}
+
+// Arithmetic and comparison sugar; each returns the destination register.
+
+func (fb *FuncBuilder) Add(dst Reg, a, b Operand) Reg { return fb.Bin(OpAdd, dst, a, b) }
+func (fb *FuncBuilder) Sub(dst Reg, a, b Operand) Reg { return fb.Bin(OpSub, dst, a, b) }
+func (fb *FuncBuilder) Mul(dst Reg, a, b Operand) Reg { return fb.Bin(OpMul, dst, a, b) }
+func (fb *FuncBuilder) Div(dst Reg, a, b Operand) Reg { return fb.Bin(OpDiv, dst, a, b) }
+func (fb *FuncBuilder) Mod(dst Reg, a, b Operand) Reg { return fb.Bin(OpMod, dst, a, b) }
+func (fb *FuncBuilder) And(dst Reg, a, b Operand) Reg { return fb.Bin(OpAnd, dst, a, b) }
+func (fb *FuncBuilder) Or(dst Reg, a, b Operand) Reg  { return fb.Bin(OpOr, dst, a, b) }
+func (fb *FuncBuilder) Xor(dst Reg, a, b Operand) Reg { return fb.Bin(OpXor, dst, a, b) }
+func (fb *FuncBuilder) Shl(dst Reg, a, b Operand) Reg { return fb.Bin(OpShl, dst, a, b) }
+func (fb *FuncBuilder) Shr(dst Reg, a, b Operand) Reg { return fb.Bin(OpShr, dst, a, b) }
+func (fb *FuncBuilder) Eq(dst Reg, a, b Operand) Reg  { return fb.Bin(OpEq, dst, a, b) }
+func (fb *FuncBuilder) Ne(dst Reg, a, b Operand) Reg  { return fb.Bin(OpNe, dst, a, b) }
+func (fb *FuncBuilder) Lt(dst Reg, a, b Operand) Reg  { return fb.Bin(OpLt, dst, a, b) }
+func (fb *FuncBuilder) Le(dst Reg, a, b Operand) Reg  { return fb.Bin(OpLe, dst, a, b) }
+func (fb *FuncBuilder) Gt(dst Reg, a, b Operand) Reg  { return fb.Bin(OpGt, dst, a, b) }
+func (fb *FuncBuilder) Ge(dst Reg, a, b Operand) Reg  { return fb.Bin(OpGe, dst, a, b) }
+
+// Neg emits dst = -a.
+func (fb *FuncBuilder) Neg(dst Reg, a Operand) Reg {
+	fb.emit(&Stmt{Op: OpNeg, Dest: dst, A: a})
+	return dst
+}
+
+// Not emits dst = ^a.
+func (fb *FuncBuilder) Not(dst Reg, a Operand) Reg {
+	fb.emit(&Stmt{Op: OpNot, Dest: dst, A: a})
+	return dst
+}
+
+// Mov emits dst = a (as an add with 0, keeping the op set minimal).
+func (fb *FuncBuilder) Mov(dst Reg, a Operand) Reg { return fb.Bin(OpAdd, dst, a, Imm(0)) }
+
+// Load emits dst = Mem[addr+off].
+func (fb *FuncBuilder) Load(dst Reg, addr Operand, off int64) Reg {
+	fb.emit(&Stmt{Op: OpLoad, Dest: dst, A: addr, Off: off})
+	return dst
+}
+
+// Store emits Mem[addr+off] = val.
+func (fb *FuncBuilder) Store(addr Operand, off int64, val Operand) {
+	fb.emit(&Stmt{Op: OpStore, Dest: NoReg, A: addr, Off: off, B: val})
+}
+
+// Input emits dst = <next input tape value>.
+func (fb *FuncBuilder) Input(dst Reg) Reg {
+	fb.emit(&Stmt{Op: OpInput, Dest: dst})
+	return dst
+}
+
+// Output emits the value of a to the output sink.
+func (fb *FuncBuilder) Output(a Operand) {
+	fb.emit(&Stmt{Op: OpOutput, Dest: NoReg, A: a})
+}
+
+// --- control flow ---
+
+// Call emits dst = callee(args...). The call terminates the current block;
+// building continues in the fall-through continuation block. Pass NoReg for
+// a void call.
+func (fb *FuncBuilder) Call(dst Reg, callee string, args ...Operand) Reg {
+	fb.emit(&Stmt{Op: OpCall, Dest: dst, CalleeName: callee, Args: args})
+	cont := fb.newBlock()
+	fb.cur.Succs = []int{cont.ID}
+	fb.cur = cont
+	return dst
+}
+
+// Ret terminates the function, returning a.
+func (fb *FuncBuilder) Ret(a Operand) {
+	fb.emit(&Stmt{Op: OpRet, Dest: NoReg, A: a})
+	fb.cur = nil
+}
+
+// Halt terminates the whole program.
+func (fb *FuncBuilder) Halt() {
+	fb.emit(&Stmt{Op: OpHalt, Dest: NoReg})
+	fb.cur = nil
+}
+
+// jumpTo terminates the current block with a jump to b (if it is still open).
+func (fb *FuncBuilder) jumpTo(b *Block) {
+	if fb.terminated() {
+		return
+	}
+	fb.emit(&Stmt{Op: OpJmp, Dest: NoReg})
+	fb.cur.Succs = []int{b.ID}
+}
+
+// If emits a two-way conditional. The then/else bodies run with the builder
+// positioned in fresh blocks; both fall through to a join block. els may be
+// nil for a one-armed if.
+func (fb *FuncBuilder) If(cond Operand, then func(), els func()) {
+	thenB := fb.newBlock()
+	elseB := fb.newBlock()
+	fb.emit(&Stmt{Op: OpBr, Dest: NoReg, A: cond})
+	fb.cur.Succs = []int{thenB.ID, elseB.ID}
+
+	joinB := fb.newBlock()
+	fb.cur = thenB
+	then()
+	fb.jumpTo(joinB)
+	fb.cur = elseB
+	if els != nil {
+		els()
+	}
+	fb.jumpTo(joinB)
+	fb.cur = joinB
+}
+
+// While emits a loop. cond runs in the loop header and returns the operand
+// tested; body runs in the loop body, which branches back to the header.
+func (fb *FuncBuilder) While(cond func() Operand, body func()) {
+	head := fb.newBlock()
+	fb.jumpTo(head)
+	fb.cur = head
+	c := cond()
+	bodyB := fb.newBlock()
+	exitB := fb.newBlock()
+	fb.emit(&Stmt{Op: OpBr, Dest: NoReg, A: c})
+	fb.cur.Succs = []int{bodyB.ID, exitB.ID}
+	fb.cur = bodyB
+	body()
+	fb.jumpTo(head)
+	fb.cur = exitB
+}
+
+// For emits a counted loop: for i = from; i < to; i += step { body(i) }.
+// It allocates and returns the induction register.
+func (fb *FuncBuilder) For(from, to, step Operand, body func(i Reg)) Reg {
+	i := fb.NewReg()
+	fb.Mov(i, from)
+	cmp := fb.NewReg()
+	fb.While(func() Operand {
+		fb.Lt(cmp, R(i), to)
+		return R(cmp)
+	}, func() {
+		body(i)
+		fb.Add(i, R(i), step)
+	})
+	return i
+}
+
+// Switch emits an if/else chain comparing sel against each case constant.
+// def may be nil.
+func (fb *FuncBuilder) Switch(sel Operand, cases []int64, arms []func(), def func()) {
+	if len(cases) != len(arms) {
+		panic("ir: Switch cases/arms length mismatch")
+	}
+	if len(cases) == 0 {
+		if def != nil {
+			def()
+		}
+		return
+	}
+	c := fb.NewReg()
+	fb.Eq(c, sel, Imm(cases[0]))
+	fb.If(R(c), arms[0], func() {
+		fb.Switch(sel, cases[1:], arms[1:], def)
+	})
+}
+
+// LastEmitted returns the most recently emitted statement of the block
+// under construction. Its ID becomes valid after Program.Finalize; callers
+// use it to name statements they later want to query in a WET.
+func (fb *FuncBuilder) LastEmitted() *Stmt {
+	if fb.cur == nil || len(fb.cur.Stmts) == 0 {
+		panic("ir: LastEmitted with no open statement")
+	}
+	return fb.cur.Stmts[len(fb.cur.Stmts)-1]
+}

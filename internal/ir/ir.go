@@ -1,0 +1,319 @@
+// Package ir defines the intermediate representation executed by the
+// simulator (internal/interp) and profiled into Whole Execution Traces.
+//
+// The IR plays the role of Trimaran's intermediate code in the paper: a
+// program is a set of functions, each a control flow graph of basic blocks
+// holding three-address statements over virtual registers and a flat,
+// word-addressed memory. Every block ends in exactly one terminator
+// (Jmp, Br, Call, Ret, or Halt); calls terminate blocks so that dynamic
+// timestamps of Ball-Larus path executions are totally ordered by time.
+package ir
+
+import "fmt"
+
+// Reg names a virtual register within a function. NoReg marks "no def port"
+// (the paper does not keep result values for statements without one).
+type Reg int32
+
+// NoReg marks the absence of a destination register.
+const NoReg Reg = -1
+
+// Op enumerates statement opcodes.
+type Op uint8
+
+// Statement opcodes. Opcodes at OpJmp and beyond are block terminators.
+const (
+	OpConst  Op = iota // Dest = A.Imm
+	OpAdd              // Dest = A + B
+	OpSub              // Dest = A - B
+	OpMul              // Dest = A * B
+	OpDiv              // Dest = A / B (0 when B == 0)
+	OpMod              // Dest = A % B (0 when B == 0)
+	OpAnd              // Dest = A & B
+	OpOr               // Dest = A | B
+	OpXor              // Dest = A ^ B
+	OpShl              // Dest = A << (B & 63)
+	OpShr              // Dest = A >> (B & 63) (arithmetic)
+	OpNeg              // Dest = -A
+	OpNot              // Dest = ^A
+	OpEq               // Dest = A == B ? 1 : 0
+	OpNe               // Dest = A != B ? 1 : 0
+	OpLt               // Dest = A < B ? 1 : 0
+	OpLe               // Dest = A <= B ? 1 : 0
+	OpGt               // Dest = A > B ? 1 : 0
+	OpGe               // Dest = A >= B ? 1 : 0
+	OpLoad             // Dest = Mem[A + Off]
+	OpStore            // Mem[A + Off] = B (no def port)
+	OpInput            // Dest = next value from the input tape
+	OpOutput           // emit A to the output sink (no def port)
+
+	OpJmp  // goto Succs[0]
+	OpBr   // if A != 0 goto Succs[0] else Succs[1] (no def port)
+	OpCall // Dest = Callee(Args...); continue at Succs[0]
+	OpRet  // return A to the caller (no def port)
+	OpHalt // stop the program (no def port)
+)
+
+var opNames = [...]string{
+	OpConst: "const", OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div",
+	OpMod: "mod", OpAnd: "and", OpOr: "or", OpXor: "xor", OpShl: "shl",
+	OpShr: "shr", OpNeg: "neg", OpNot: "not", OpEq: "eq", OpNe: "ne",
+	OpLt: "lt", OpLe: "le", OpGt: "gt", OpGe: "ge", OpLoad: "load",
+	OpStore: "store", OpInput: "input", OpOutput: "output", OpJmp: "jmp",
+	OpBr: "br", OpCall: "call", OpRet: "ret", OpHalt: "halt",
+}
+
+func (op Op) String() string {
+	if int(op) < len(opNames) {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// IsTerminator reports whether op ends a basic block.
+func (op Op) IsTerminator() bool { return op >= OpJmp }
+
+// HasDef reports whether statements with this opcode produce a result value
+// (have a "def port" in the paper's terms).
+func (op Op) HasDef() bool {
+	switch op {
+	case OpStore, OpOutput, OpJmp, OpBr, OpCall, OpRet, OpHalt:
+		// Calls deliver their result by writing Dest at return time, but the
+		// call statement itself produces no value in the WET sense: the DD
+		// edge runs from the producer inside the callee straight to the use.
+		return false
+	default:
+		return true
+	}
+}
+
+// IsBinary reports whether op reads both A and B.
+func (op Op) IsBinary() bool {
+	switch op {
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpAnd, OpOr, OpXor, OpShl, OpShr,
+		OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpStore:
+		return true
+	}
+	return false
+}
+
+// Operand is either a virtual register or an immediate constant.
+type Operand struct {
+	IsReg bool
+	Reg   Reg
+	Imm   int64
+}
+
+// R returns a register operand.
+func R(r Reg) Operand { return Operand{IsReg: true, Reg: r} }
+
+// Imm returns an immediate operand.
+func Imm(v int64) Operand { return Operand{Imm: v} }
+
+func (o Operand) String() string {
+	if o.IsReg {
+		return fmt.Sprintf("r%d", o.Reg)
+	}
+	return fmt.Sprintf("#%d", o.Imm)
+}
+
+// Stmt is a single intermediate-code statement. After Program.Finalize,
+// ID is a program-wide unique identifier (dense, starting at 0) and the
+// back-references Fn/Blk/Idx locate the statement.
+type Stmt struct {
+	Op   Op
+	Dest Reg     // NoReg when the statement has no def port
+	A, B Operand // operands (unary ops use A only)
+	Off  int64   // displacement for OpLoad / OpStore
+
+	Callee     int       // function index, OpCall only (patched by Finalize)
+	CalleeName string    // unresolved callee name, OpCall only
+	Args       []Operand // call arguments, OpCall only
+
+	ID  int // program-wide statement id (set by Finalize)
+	Fn  int // owning function index (set by Finalize)
+	Blk int // owning block id (set by Finalize)
+	Idx int // index within the owning block (set by Finalize)
+}
+
+func (s *Stmt) String() string {
+	switch s.Op {
+	case OpConst:
+		return fmt.Sprintf("r%d = const %d", s.Dest, s.A.Imm)
+	case OpLoad:
+		return fmt.Sprintf("r%d = load %s+%d", s.Dest, s.A, s.Off)
+	case OpStore:
+		return fmt.Sprintf("store %s+%d, %s", s.A, s.Off, s.B)
+	case OpInput:
+		return fmt.Sprintf("r%d = input", s.Dest)
+	case OpOutput:
+		return fmt.Sprintf("output %s", s.A)
+	case OpJmp:
+		return "jmp"
+	case OpBr:
+		return fmt.Sprintf("br %s", s.A)
+	case OpCall:
+		if s.Dest == NoReg {
+			return fmt.Sprintf("call %s%v", s.CalleeName, s.Args)
+		}
+		return fmt.Sprintf("r%d = call %s%v", s.Dest, s.CalleeName, s.Args)
+	case OpRet:
+		return fmt.Sprintf("ret %s", s.A)
+	case OpHalt:
+		return "halt"
+	case OpNeg, OpNot:
+		return fmt.Sprintf("r%d = %s %s", s.Dest, s.Op, s.A)
+	default:
+		return fmt.Sprintf("r%d = %s %s, %s", s.Dest, s.Op, s.A, s.B)
+	}
+}
+
+// Uses appends the registers read by s to dst and returns it. The order is
+// A, B, then call arguments.
+func (s *Stmt) Uses(dst []Reg) []Reg {
+	switch s.Op {
+	case OpConst, OpInput, OpJmp, OpHalt:
+		return dst
+	case OpCall:
+		for _, a := range s.Args {
+			if a.IsReg {
+				dst = append(dst, a.Reg)
+			}
+		}
+		return dst
+	}
+	if s.A.IsReg {
+		dst = append(dst, s.A.Reg)
+	}
+	if s.Op.IsBinary() && s.B.IsReg {
+		dst = append(dst, s.B.Reg)
+	}
+	return dst
+}
+
+// Block is a basic block: a non-empty statement list whose last statement is
+// the unique terminator, plus successor block ids within the same function.
+type Block struct {
+	ID    int
+	Stmts []*Stmt
+	Succs []int
+	Preds []int // computed by Finalize
+}
+
+// Term returns the block terminator.
+func (b *Block) Term() *Stmt { return b.Stmts[len(b.Stmts)-1] }
+
+// Func is a single function: an entry block (Blocks[0]), a register file of
+// NumRegs registers of which the first Params hold incoming arguments.
+type Func struct {
+	Name    string
+	Index   int
+	Params  int
+	NumRegs int
+	Blocks  []*Block
+}
+
+// Program is a complete IR program. Memory is a flat array of MemWords
+// 64-bit words; addresses are masked to the power-of-two size, so every
+// access is in bounds and deterministic.
+type Program struct {
+	Funcs    []*Func
+	Entry    int   // index of the entry function
+	MemWords int64 // power of two
+
+	Stmts   []*Stmt // dense, by ID (set by Finalize)
+	byName  map[string]int
+	sealed  bool
+	numBlks int
+}
+
+// NewProgram returns an empty program with the given memory size in 64-bit
+// words (rounded up to a power of two, minimum 1024).
+func NewProgram(memWords int64) *Program {
+	w := int64(1024)
+	for w < memWords {
+		w <<= 1
+	}
+	return &Program{MemWords: w, byName: map[string]int{}}
+}
+
+// FuncByName returns the function with the given name, or nil.
+func (p *Program) FuncByName(name string) *Func {
+	if i, ok := p.byName[name]; ok {
+		return p.Funcs[i]
+	}
+	return nil
+}
+
+// NumBlocks returns the total static basic block count (after Finalize).
+func (p *Program) NumBlocks() int { return p.numBlks }
+
+// addFunc registers a new function (used by the builder).
+func (p *Program) addFunc(f *Func) {
+	f.Index = len(p.Funcs)
+	p.byName[f.Name] = f.Index
+	p.Funcs = append(p.Funcs, f)
+}
+
+// Finalize resolves call targets, assigns program-wide statement ids,
+// fills predecessor lists and back-references, and validates the program.
+// It must be called once, before execution or analysis.
+func (p *Program) Finalize() error {
+	if p.sealed {
+		return fmt.Errorf("ir: program already finalized")
+	}
+	id := 0
+	p.numBlks = 0
+	for fi, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			b.Preds = b.Preds[:0]
+		}
+		for bi, b := range f.Blocks {
+			if b.ID != bi {
+				return fmt.Errorf("ir: %s block %d has id %d", f.Name, bi, b.ID)
+			}
+			p.numBlks++
+			for si, s := range b.Stmts {
+				s.ID = id
+				s.Fn = fi
+				s.Blk = bi
+				s.Idx = si
+				id++
+				p.Stmts = append(p.Stmts, s)
+				if s.Op == OpCall {
+					ci, ok := p.byName[s.CalleeName]
+					if !ok {
+						return fmt.Errorf("ir: %s calls unknown function %q", f.Name, s.CalleeName)
+					}
+					s.Callee = ci
+				}
+			}
+			for _, succ := range b.Succs {
+				if succ < 0 || succ >= len(f.Blocks) {
+					return fmt.Errorf("ir: %s block %d has bad successor %d", f.Name, bi, succ)
+				}
+				f.Blocks[succ].Preds = append(f.Blocks[succ].Preds, bi)
+			}
+		}
+	}
+	p.sealed = true
+	return p.validate()
+}
+
+// MustFinalize is Finalize that panics on error; for use by workload and
+// test program constructors whose shape is fixed at compile time.
+func (p *Program) MustFinalize() {
+	if err := p.Finalize(); err != nil {
+		panic(err)
+	}
+}
+
+// AddRawFunc registers a hand-assembled function (used by deserializers
+// that rebuild a program structurally rather than through FuncBuilder).
+// The caller must still Finalize the program.
+func (p *Program) AddRawFunc(f *Func) {
+	if p.sealed {
+		panic("ir: cannot add functions after Finalize")
+	}
+	p.addFunc(f)
+}

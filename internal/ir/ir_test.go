@@ -1,0 +1,287 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildCountdown builds: main { x = 10; while (x > 0) { x = x - 1; output x }; halt }
+func buildCountdown(t *testing.T) *Program {
+	t.Helper()
+	p := NewProgram(1024)
+	fb := p.NewFunc("main", 0)
+	x := fb.ConstReg(10)
+	c := fb.NewReg()
+	fb.While(func() Operand {
+		fb.Gt(c, R(x), Imm(0))
+		return R(c)
+	}, func() {
+		fb.Sub(x, R(x), Imm(1))
+		fb.Output(R(x))
+	})
+	fb.Halt()
+	if err := p.Finalize(); err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	return p
+}
+
+func TestFinalizeAssignsDenseIDs(t *testing.T) {
+	p := buildCountdown(t)
+	for i, s := range p.Stmts {
+		if s.ID != i {
+			t.Fatalf("stmt %d has ID %d", i, s.ID)
+		}
+		f := p.Funcs[s.Fn]
+		got := f.Blocks[s.Blk].Stmts[s.Idx]
+		if got != s {
+			t.Fatalf("back-reference of stmt %d does not resolve to itself", i)
+		}
+	}
+}
+
+func TestPredsComputed(t *testing.T) {
+	p := buildCountdown(t)
+	f := p.Funcs[0]
+	// The while head must have two predecessors: entry and loop body.
+	var head *Block
+	for _, b := range f.Blocks {
+		if b.Term().Op == OpBr {
+			head = b
+			break
+		}
+	}
+	if head == nil {
+		t.Fatal("no branch block found")
+	}
+	if len(head.Preds) != 2 {
+		t.Fatalf("loop head preds = %v, want 2 entries", head.Preds)
+	}
+}
+
+func TestValidateRejectsBadRegister(t *testing.T) {
+	p := NewProgram(1024)
+	fb := p.NewFunc("main", 0)
+	fb.Add(0, R(99), Imm(1)) // register 99 never allocated... but 0 also isn't
+	fb.Halt()
+	if err := p.Finalize(); err == nil {
+		t.Fatal("Finalize accepted out-of-range register")
+	}
+}
+
+func TestValidateRejectsUnknownCallee(t *testing.T) {
+	p := NewProgram(1024)
+	fb := p.NewFunc("main", 0)
+	fb.Call(NoReg, "nope")
+	fb.Halt()
+	if err := p.Finalize(); err == nil || !strings.Contains(err.Error(), "unknown function") {
+		t.Fatalf("Finalize err = %v, want unknown function", err)
+	}
+}
+
+func TestValidateRejectsArgCountMismatch(t *testing.T) {
+	p := NewProgram(1024)
+	g := p.NewFunc("g", 2)
+	g.Ret(R(g.Param(0)))
+	fb := p.NewFunc("main", 0)
+	fb.Call(fb.NewReg(), "g", Imm(1)) // g wants 2 args
+	fb.Halt()
+	p.Entry = 1
+	if err := p.Finalize(); err == nil || !strings.Contains(err.Error(), "args") {
+		t.Fatalf("Finalize err = %v, want arg mismatch", err)
+	}
+}
+
+func TestValidateRejectsEntryWithParams(t *testing.T) {
+	p := NewProgram(1024)
+	fb := p.NewFunc("main", 1)
+	fb.Halt()
+	if err := p.Finalize(); err == nil {
+		t.Fatal("Finalize accepted entry function with parameters")
+	}
+}
+
+func TestDoubleFinalizeFails(t *testing.T) {
+	p := buildCountdown(t)
+	if err := p.Finalize(); err == nil {
+		t.Fatal("second Finalize succeeded")
+	}
+}
+
+func TestIfWiring(t *testing.T) {
+	p := NewProgram(1024)
+	fb := p.NewFunc("main", 0)
+	c := fb.ConstReg(1)
+	x := fb.NewReg()
+	fb.If(R(c), func() { fb.Const(x, 1) }, func() { fb.Const(x, 2) })
+	fb.Output(R(x))
+	fb.Halt()
+	if err := p.Finalize(); err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	f := p.Funcs[0]
+	entry := f.Blocks[0]
+	if entry.Term().Op != OpBr || len(entry.Succs) != 2 {
+		t.Fatalf("entry terminator = %s succs %v", entry.Term(), entry.Succs)
+	}
+	thenB, elseB := f.Blocks[entry.Succs[0]], f.Blocks[entry.Succs[1]]
+	if thenB.Succs[0] != elseB.Succs[0] {
+		t.Fatalf("then and else do not join: %v vs %v", thenB.Succs, elseB.Succs)
+	}
+}
+
+func TestCallSplitsBlock(t *testing.T) {
+	p := NewProgram(1024)
+	g := p.NewFunc("g", 1)
+	r := g.NewReg()
+	g.Add(r, R(g.Param(0)), Imm(1))
+	g.Ret(R(r))
+	fb := p.NewFunc("main", 0)
+	d := fb.NewReg()
+	fb.Call(d, "g", Imm(41))
+	fb.Output(R(d))
+	fb.Halt()
+	p.Entry = 1
+	if err := p.Finalize(); err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	main := p.Funcs[1]
+	if len(main.Blocks) != 2 {
+		t.Fatalf("main has %d blocks, want 2 (call must end its block)", len(main.Blocks))
+	}
+	if main.Blocks[0].Term().Op != OpCall {
+		t.Fatalf("first block terminator = %s, want call", main.Blocks[0].Term())
+	}
+}
+
+func TestUses(t *testing.T) {
+	s := &Stmt{Op: OpAdd, Dest: 2, A: R(0), B: R(1)}
+	u := s.Uses(nil)
+	if len(u) != 2 || u[0] != 0 || u[1] != 1 {
+		t.Fatalf("Uses(add) = %v", u)
+	}
+	s = &Stmt{Op: OpStore, Dest: NoReg, A: R(3), B: Imm(7)}
+	if u = s.Uses(nil); len(u) != 1 || u[0] != 3 {
+		t.Fatalf("Uses(store) = %v", u)
+	}
+	s = &Stmt{Op: OpCall, Dest: 1, Args: []Operand{R(4), Imm(2), R(5)}}
+	if u = s.Uses(nil); len(u) != 2 || u[0] != 4 || u[1] != 5 {
+		t.Fatalf("Uses(call) = %v", u)
+	}
+	s = &Stmt{Op: OpConst, Dest: 0, A: Imm(1)}
+	if u = s.Uses(nil); len(u) != 0 {
+		t.Fatalf("Uses(const) = %v", u)
+	}
+}
+
+func TestSwitchBuildsChain(t *testing.T) {
+	p := NewProgram(1024)
+	fb := p.NewFunc("main", 0)
+	sel := fb.ConstReg(2)
+	out := fb.NewReg()
+	fb.Switch(R(sel), []int64{1, 2, 3}, []func(){
+		func() { fb.Const(out, 10) },
+		func() { fb.Const(out, 20) },
+		func() { fb.Const(out, 30) },
+	}, func() { fb.Const(out, 0) })
+	fb.Output(R(out))
+	fb.Halt()
+	if err := p.Finalize(); err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	// Three comparisons must exist.
+	n := 0
+	for _, s := range p.Stmts {
+		if s.Op == OpEq {
+			n++
+		}
+	}
+	if n != 3 {
+		t.Fatalf("switch emitted %d eq statements, want 3", n)
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	p := buildCountdown(t)
+	s := p.String()
+	for _, want := range []string{"func main", "halt", "br", "output"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestMemWordsRoundedToPowerOfTwo(t *testing.T) {
+	p := NewProgram(3000)
+	if p.MemWords != 4096 {
+		t.Fatalf("MemWords = %d, want 4096", p.MemWords)
+	}
+	p = NewProgram(0)
+	if p.MemWords != 1024 {
+		t.Fatalf("MemWords = %d, want minimum 1024", p.MemWords)
+	}
+}
+
+func TestOpPredicates(t *testing.T) {
+	if OpStore.HasDef() || OpBr.HasDef() || OpOutput.HasDef() {
+		t.Fatal("store/br/output must not have a def port")
+	}
+	if !OpLoad.HasDef() || !OpConst.HasDef() || !OpInput.HasDef() {
+		t.Fatal("load/const/input must have a def port")
+	}
+	if !OpJmp.IsTerminator() || !OpHalt.IsTerminator() || OpAdd.IsTerminator() {
+		t.Fatal("terminator classification wrong")
+	}
+}
+
+func TestStringCoversAllOps(t *testing.T) {
+	p := NewProgram(1024)
+	g := p.NewFunc("callee", 1)
+	g.Ret(R(g.Param(0)))
+	fb := p.NewFunc("main", 0)
+	a := fb.ConstReg(1)
+	b := fb.NewReg()
+	for _, op := range []Op{OpAdd, OpSub, OpMul, OpDiv, OpMod, OpAnd, OpOr,
+		OpXor, OpShl, OpShr, OpEq, OpNe, OpLt, OpLe, OpGt, OpGe} {
+		fb.Bin(op, b, R(a), Imm(2))
+	}
+	fb.Neg(b, R(a))
+	fb.Not(b, R(a))
+	fb.Load(b, R(a), 3)
+	fb.Store(R(a), 4, R(b))
+	fb.Input(b)
+	fb.Output(R(b))
+	fb.Call(b, "callee", R(a))
+	fb.Call(NoReg, "callee", R(a))
+	fb.If(R(a), func() { fb.Const(b, 1) }, nil)
+	fb.Halt()
+	p.Entry = 1
+	p.MustFinalize()
+	text := p.String()
+	for _, want := range []string{"load", "store", "input", "output", "call",
+		"ret", "halt", "br", "jmp", "neg", "not", "shl", "ge"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("String() missing %q", want)
+		}
+	}
+	st := p.StatsOf()
+	if st.Funcs != 2 || st.Stmts != len(p.Stmts) || st.Blocks == 0 {
+		t.Fatalf("StatsOf = %+v", st)
+	}
+	if bad := Op(200).String(); !strings.Contains(bad, "op(") {
+		t.Fatalf("unknown op prints %q", bad)
+	}
+}
+
+func TestFuncByName(t *testing.T) {
+	p := NewProgram(1024)
+	fb := p.NewFunc("main", 0)
+	fb.Halt()
+	p.MustFinalize()
+	if p.FuncByName("main") == nil || p.FuncByName("nope") != nil {
+		t.Fatal("FuncByName lookup wrong")
+	}
+	if p.NumBlocks() == 0 {
+		t.Fatal("NumBlocks zero")
+	}
+}

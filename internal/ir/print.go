@@ -1,0 +1,49 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the whole program as readable assembly-like text.
+func (p *Program) String() string {
+	var sb strings.Builder
+	for _, f := range p.Funcs {
+		sb.WriteString(f.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// String renders one function.
+func (f *Func) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s(params=%d regs=%d):\n", f.Name, f.Params, f.NumRegs)
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "  b%d:", b.ID)
+		if len(b.Succs) > 0 {
+			fmt.Fprintf(&sb, " -> %v", b.Succs)
+		}
+		sb.WriteByte('\n')
+		for _, s := range b.Stmts {
+			fmt.Fprintf(&sb, "    [%d] %s\n", s.ID, s)
+		}
+	}
+	return sb.String()
+}
+
+// Stats summarizes static program size.
+type Stats struct {
+	Funcs  int
+	Blocks int
+	Stmts  int
+}
+
+// Stats returns static counts for a finalized program.
+func (p *Program) StatsOf() Stats {
+	st := Stats{Funcs: len(p.Funcs), Stmts: len(p.Stmts)}
+	for _, f := range p.Funcs {
+		st.Blocks += len(f.Blocks)
+	}
+	return st
+}

@@ -1,0 +1,90 @@
+package ir
+
+import "fmt"
+
+// validate checks structural invariants of a finalized program:
+// every block is non-empty and ends in its only terminator, successor counts
+// match the terminator kind, register references are in range, call
+// signatures match, and the entry function takes no parameters.
+func (p *Program) validate() error {
+	if len(p.Funcs) == 0 {
+		return fmt.Errorf("ir: program has no functions")
+	}
+	if p.Entry < 0 || p.Entry >= len(p.Funcs) {
+		return fmt.Errorf("ir: bad entry function index %d", p.Entry)
+	}
+	if p.Funcs[p.Entry].Params != 0 {
+		return fmt.Errorf("ir: entry function %s must take no parameters", p.Funcs[p.Entry].Name)
+	}
+	for _, f := range p.Funcs {
+		if err := p.validateFunc(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *Program) validateFunc(f *Func) error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("ir: %s has no blocks", f.Name)
+	}
+	if f.Params > f.NumRegs {
+		return fmt.Errorf("ir: %s has %d params but only %d registers", f.Name, f.Params, f.NumRegs)
+	}
+	checkReg := func(b *Block, s *Stmt, r Reg) error {
+		if r < 0 || int(r) >= f.NumRegs {
+			return fmt.Errorf("ir: %s block %d: %s references register %d outside [0,%d)", f.Name, b.ID, s, r, f.NumRegs)
+		}
+		return nil
+	}
+	var uses []Reg
+	for _, b := range f.Blocks {
+		if len(b.Stmts) == 0 {
+			return fmt.Errorf("ir: %s block %d is empty", f.Name, b.ID)
+		}
+		for i, s := range b.Stmts {
+			isLast := i == len(b.Stmts)-1
+			if s.Op.IsTerminator() != isLast {
+				return fmt.Errorf("ir: %s block %d stmt %d (%s): terminator placement", f.Name, b.ID, i, s)
+			}
+			if s.Op.HasDef() && s.Dest != NoReg {
+				if err := checkReg(b, s, s.Dest); err != nil {
+					return err
+				}
+			}
+			if !s.Op.HasDef() && s.Dest != NoReg {
+				if s.Op != OpCall { // calls use Dest as return-value plumbing
+					return fmt.Errorf("ir: %s block %d: %s has a destination but no def port", f.Name, b.ID, s)
+				}
+				if err := checkReg(b, s, s.Dest); err != nil {
+					return err
+				}
+			}
+			uses = s.Uses(uses[:0])
+			for _, r := range uses {
+				if err := checkReg(b, s, r); err != nil {
+					return err
+				}
+			}
+			if s.Op == OpCall {
+				callee := p.Funcs[s.Callee]
+				if len(s.Args) != callee.Params {
+					return fmt.Errorf("ir: %s calls %s with %d args, want %d", f.Name, callee.Name, len(s.Args), callee.Params)
+				}
+			}
+		}
+		want := -1
+		switch b.Term().Op {
+		case OpJmp, OpCall:
+			want = 1
+		case OpBr:
+			want = 2
+		case OpRet, OpHalt:
+			want = 0
+		}
+		if len(b.Succs) != want {
+			return fmt.Errorf("ir: %s block %d: %s has %d successors, want %d", f.Name, b.ID, b.Term(), len(b.Succs), want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+// Package progen generates random, terminating IR programs for
+// differential testing: the WET pipeline must reconstruct exactly what the
+// simulator recorded, for any program shape — nested loops, branches,
+// memory traffic, input, and calls.
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wet/internal/ir"
+)
+
+// Opts bounds the generated program.
+type Opts struct {
+	MaxDepth    int // control-structure nesting
+	MaxStmts    int // rough statement budget per function
+	MaxLoopIter int // max trip count of generated loops
+	Funcs       int // callee functions to generate (0..n)
+	Inputs      int // length of the input tape
+	MemWords    int64
+}
+
+// DefaultOpts returns moderate bounds.
+func DefaultOpts() Opts {
+	return Opts{MaxDepth: 3, MaxStmts: 40, MaxLoopIter: 8, Funcs: 2, Inputs: 64, MemWords: 1 << 12}
+}
+
+type gen struct {
+	rng  *rand.Rand
+	opts Opts
+	p    *ir.Program
+	fns  []string // callable (already generated) functions
+}
+
+// Gen builds a random finalized program and its input tape.
+func Gen(rng *rand.Rand, opts Opts) (*ir.Program, []int64, error) {
+	g := &gen{rng: rng, opts: opts, p: ir.NewProgram(opts.MemWords)}
+
+	for i := 0; i < opts.Funcs; i++ {
+		name := fmt.Sprintf("f%d", i)
+		params := 1 + rng.Intn(2)
+		fb := g.p.NewFunc(name, params)
+		regs := g.seedRegs(fb, params)
+		g.body(fb, regs, nil, opts.MaxDepth-1, opts.MaxStmts/2)
+		fb.Ret(ir.R(regs[rng.Intn(len(regs))]))
+		g.fns = append(g.fns, name) // callable by later functions only
+	}
+
+	fb := g.p.NewFunc("main", 0)
+	regs := g.seedRegs(fb, 0)
+	g.body(fb, regs, nil, opts.MaxDepth, opts.MaxStmts)
+	fb.Output(ir.R(regs[rng.Intn(len(regs))]))
+	fb.Halt()
+	g.p.Entry = len(g.p.Funcs) - 1
+
+	if err := g.p.Finalize(); err != nil {
+		return nil, nil, err
+	}
+	in := make([]int64, opts.Inputs)
+	for i := range in {
+		in[i] = int64(rng.Intn(1000) - 500)
+	}
+	return g.p, in, nil
+}
+
+// seedRegs allocates a working register pool, initialized from params,
+// constants, and input.
+func (g *gen) seedRegs(fb *ir.FuncBuilder, params int) []ir.Reg {
+	var regs []ir.Reg
+	for i := 0; i < params; i++ {
+		regs = append(regs, fb.Param(i))
+	}
+	n := 3 + g.rng.Intn(4)
+	for i := 0; i < n; i++ {
+		r := fb.NewReg()
+		switch g.rng.Intn(3) {
+		case 0:
+			fb.Const(r, int64(g.rng.Intn(200)-100))
+		case 1:
+			fb.Input(r)
+		default:
+			fb.Const(r, int64(i))
+		}
+		regs = append(regs, r)
+	}
+	return regs
+}
+
+// pick chooses a random operand from the writable pool, the read-only pool
+// (loop induction variables), or an immediate.
+func (g *gen) pick(regs, ro []ir.Reg) ir.Operand {
+	if g.rng.Intn(4) == 0 {
+		return ir.Imm(int64(g.rng.Intn(64) - 32))
+	}
+	all := len(regs) + len(ro)
+	i := g.rng.Intn(all)
+	if i < len(regs) {
+		return ir.R(regs[i])
+	}
+	return ir.R(ro[i-len(regs)])
+}
+
+// body emits a random statement sequence with nested control flow. regs are
+// writable; ro (induction variables) are read-only so loops always
+// terminate.
+func (g *gen) body(fb *ir.FuncBuilder, regs, ro []ir.Reg, depth, budget int) {
+	nStmts := 2 + g.rng.Intn(budget/2+2)
+	for i := 0; i < nStmts; i++ {
+		switch k := g.rng.Intn(20); {
+		case k < 8: // arithmetic
+			ops := []ir.Op{ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpMod,
+				ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpEq, ir.OpLt, ir.OpGt}
+			dst := regs[g.rng.Intn(len(regs))]
+			fb.Bin(ops[g.rng.Intn(len(ops))], dst, g.pick(regs, ro), g.pick(regs, ro))
+		case k < 10: // store
+			fb.Store(g.pick(regs, ro), int64(g.rng.Intn(64)), g.pick(regs, ro))
+		case k < 12: // load
+			dst := regs[g.rng.Intn(len(regs))]
+			fb.Load(dst, g.pick(regs, ro), int64(g.rng.Intn(64)))
+		case k < 13: // input
+			fb.Input(regs[g.rng.Intn(len(regs))])
+		case k < 14: // output
+			fb.Output(g.pick(regs, ro))
+		case k < 16 && depth > 0: // if
+			cond := regs[g.rng.Intn(len(regs))]
+			hasElse := g.rng.Intn(2) == 0
+			var els func()
+			if hasElse {
+				els = func() { g.body(fb, regs, ro, depth-1, budget/2) }
+			}
+			fb.If(ir.R(cond), func() { g.body(fb, regs, ro, depth-1, budget/2) }, els)
+		case k < 18 && depth > 0: // bounded counted loop
+			iters := 1 + g.rng.Intn(g.opts.MaxLoopIter)
+			fb.For(ir.Imm(0), ir.Imm(int64(iters)), ir.Imm(1), func(i ir.Reg) {
+				inner := append(append([]ir.Reg{}, ro...), i)
+				g.body(fb, regs, inner, depth-1, budget/2)
+			})
+		case k < 19 && len(g.fns) > 0: // call
+			callee := g.fns[g.rng.Intn(len(g.fns))]
+			f := g.p.FuncByName(callee)
+			args := make([]ir.Operand, f.Params)
+			for j := range args {
+				args[j] = g.pick(regs, ro)
+			}
+			dst := regs[g.rng.Intn(len(regs))]
+			fb.Call(dst, callee, args...)
+		default: // mov
+			fb.Mov(regs[g.rng.Intn(len(regs))], g.pick(regs, ro))
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package query
+
+import (
+	"sort"
+
+	"wet/internal/core"
+	"wet/internal/ir"
+)
+
+// Invariance summarizes how predictable one statement's values are — the
+// value-profiling metric of Calder et al. that the paper cites as a
+// motivating consumer.
+type Invariance struct {
+	StmtID  int
+	Execs   uint64
+	Uniques int
+	// TopValue is the most frequent value; TopFraction its share of all
+	// executions (1.0 = fully invariant).
+	TopValue    int64
+	TopFraction float64
+}
+
+// ValueInvariance computes the invariance profile of every def-port
+// statement executed at least minExecs times, sorted by descending
+// TopFraction (most specializable first).
+func ValueInvariance(w *core.WET, tier core.Tier, minExecs uint64) ([]Invariance, error) {
+	var out []Invariance
+	for _, st := range w.Prog.Stmts {
+		if !st.Op.HasDef() || st.Dest < 0 {
+			continue
+		}
+		counts := map[int64]uint64{}
+		n, err := ValueTrace(w, tier, st.ID, func(s Sample) {
+			counts[s.Value]++
+		})
+		if err != nil {
+			return nil, err
+		}
+		if n < minExecs || n == 0 {
+			continue
+		}
+		inv := Invariance{StmtID: st.ID, Execs: n, Uniques: len(counts)}
+		var bestC uint64
+		for v, c := range counts {
+			if c > bestC {
+				bestC, inv.TopValue = c, v
+			}
+		}
+		inv.TopFraction = float64(bestC) / float64(n)
+		out = append(out, inv)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].TopFraction != out[j].TopFraction {
+			return out[i].TopFraction > out[j].TopFraction
+		}
+		return out[i].Execs > out[j].Execs
+	})
+	return out, nil
+}
+
+// RefPattern classifies a memory instruction's address stream.
+type RefPattern int
+
+const (
+	// RefConstant: the instruction always touches one address.
+	RefConstant RefPattern = iota
+	// RefStrided: a dominant repeated stride (prefetchable stream).
+	RefStrided
+	// RefIrregular: no dominant stride (pointer chasing).
+	RefIrregular
+)
+
+func (p RefPattern) String() string {
+	switch p {
+	case RefConstant:
+		return "constant"
+	case RefStrided:
+		return "strided"
+	default:
+		return "irregular"
+	}
+}
+
+// StrideProfile summarizes one load/store's reference behaviour — the hot
+// data stream detection of Chilimbi / Joseph–Grunwald the paper cites.
+type StrideProfile struct {
+	StmtID     int
+	Accesses   int
+	Pattern    RefPattern
+	Stride     int64
+	Confidence float64 // fraction of consecutive pairs showing Stride
+}
+
+// StrideProfiles classifies every load/store with at least minAccesses
+// dynamic accesses, hottest first.
+func StrideProfiles(w *core.WET, tier core.Tier, minAccesses int) ([]StrideProfile, error) {
+	var out []StrideProfile
+	for _, st := range w.Prog.Stmts {
+		if st.Op != ir.OpLoad && st.Op != ir.OpStore {
+			continue
+		}
+		var addrs []int64
+		if _, err := AddressTrace(w, tier, st.ID, func(s Sample) {
+			addrs = append(addrs, s.Value)
+		}); err != nil {
+			return nil, err
+		}
+		if len(addrs) < minAccesses || len(addrs) < 2 {
+			continue
+		}
+		strides := map[int64]int{}
+		for i := 1; i < len(addrs); i++ {
+			strides[addrs[i]-addrs[i-1]]++
+		}
+		var best int64
+		bestN := 0
+		for s, n := range strides {
+			if n > bestN {
+				best, bestN = s, n
+			}
+		}
+		sp := StrideProfile{
+			StmtID:     st.ID,
+			Accesses:   len(addrs),
+			Stride:     best,
+			Confidence: float64(bestN) / float64(len(addrs)-1),
+		}
+		switch {
+		case best == 0 && sp.Confidence > 0.95:
+			sp.Pattern = RefConstant
+		case sp.Confidence > 0.7:
+			sp.Pattern = RefStrided
+		default:
+			sp.Pattern = RefIrregular
+		}
+		out = append(out, sp)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Accesses > out[j].Accesses })
+	return out, nil
+}
+
+// ExtractCFRange walks the statement-level control flow trace between two
+// timestamps (inclusive), the paper's "part of the program path starting at
+// any execution point". It returns the number of statements emitted.
+func ExtractCFRange(w *core.WET, tier core.Tier, fromTS, toTS uint32, emit func(stmtID int)) (uint64, error) {
+	if fromTS < 1 {
+		fromTS = 1
+	}
+	if toTS > w.Time {
+		toTS = w.Time
+	}
+	if fromTS > toTS {
+		return 0, nil
+	}
+	wk := NewWalker(w, tier)
+	if err := wk.StartAt(fromTS); err != nil {
+		return 0, err
+	}
+	var n uint64
+	for {
+		for _, s := range w.Nodes[wk.Node].Stmts {
+			if emit != nil {
+				emit(s.ID)
+			}
+			n++
+		}
+		if wk.TS() >= toTS || !wk.Forward() {
+			return n, nil
+		}
+	}
+}

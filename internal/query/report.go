@@ -1,0 +1,106 @@
+package query
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"wet/internal/core"
+)
+
+// HotPath summarizes one Ball–Larus path's execution frequency — the "hot
+// program paths" analysis the paper cites as a primary consumer of control
+// flow profiles (Larus/Ball-Larus; used for path-sensitive optimization).
+type HotPath struct {
+	Node     int
+	Fn       int
+	PathID   int64
+	Execs    int
+	Stmts    int     // statements per execution
+	Coverage float64 // fraction of all dynamic statements spent in this path
+}
+
+// HotPaths ranks the WET's path nodes by the dynamic statements they cover
+// and returns the top n (all when n <= 0).
+func HotPaths(w *core.WET, n int) []HotPath {
+	var out []HotPath
+	var total uint64
+	for _, node := range w.Nodes {
+		total += uint64(node.Execs) * uint64(len(node.Stmts))
+	}
+	for _, node := range w.Nodes {
+		hp := HotPath{
+			Node: node.ID, Fn: node.Fn, PathID: node.PathID,
+			Execs: node.Execs, Stmts: len(node.Stmts),
+		}
+		if total > 0 {
+			hp.Coverage = float64(uint64(node.Execs)*uint64(len(node.Stmts))) / float64(total)
+		}
+		out = append(out, hp)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return uint64(out[i].Execs)*uint64(out[i].Stmts) > uint64(out[j].Execs)*uint64(out[j].Stmts)
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// WriteDOT renders a slice result as a Graphviz digraph: one node per
+// dynamic instance (labeled with its statement and, when available, its
+// value) and one edge per dependence instance traversed during a re-walk of
+// the slice. Output is deterministic.
+func WriteDOT(w *core.WET, tier core.Tier, res *SliceResult, out io.Writer) error {
+	inSlice := map[uint64]bool{}
+	for _, in := range res.Instances {
+		inSlice[pack(in)] = true
+	}
+	name := func(in Instance) string {
+		return fmt.Sprintf("i%d_%d_%d", in.Node, in.Pos, in.Ord)
+	}
+	if _, err := fmt.Fprintln(out, "digraph wetslice {"); err != nil {
+		return err
+	}
+	fmt.Fprintln(out, `  rankdir=BT; node [shape=box, fontname="monospace"];`)
+
+	insts := append([]Instance(nil), res.Instances...)
+	sort.Slice(insts, func(i, j int) bool { return pack(insts[i]) < pack(insts[j]) })
+	for _, in := range insts {
+		n := w.Nodes[in.Node]
+		s := n.Stmts[in.Pos]
+		label := fmt.Sprintf("%s\\nord=%d", s, in.Ord)
+		if s.Op.HasDef() && s.Dest >= 0 {
+			if v, err := w.Value(n, in.Pos, in.Ord, tier); err == nil {
+				label = fmt.Sprintf("%s = %d\\nord=%d", s, v, in.Ord)
+			}
+		}
+		style := ""
+		if in == res.Criterion {
+			style = ", style=filled, fillcolor=lightgrey"
+		}
+		fmt.Fprintf(out, "  %s [label=\"%s\"%s];\n", name(in), label, style)
+	}
+	// Re-resolve the dependence edges among slice members.
+	for _, in := range insts {
+		n := w.Nodes[in.Node]
+		for _, ei := range n.InEdges[in.Pos] {
+			e := w.Edges[ei]
+			sord := resolveSrc(w, tier, e, in.Ord)
+			if sord < 0 {
+				continue
+			}
+			src := Instance{Node: e.SrcNode, Pos: e.SrcPos, Ord: sord}
+			if !inSlice[pack(src)] {
+				continue
+			}
+			attr := ""
+			if e.Kind == core.CD {
+				attr = " [style=dashed, label=\"cd\"]"
+			}
+			fmt.Fprintf(out, "  %s -> %s%s;\n", name(src), name(in), attr)
+		}
+	}
+	_, err := fmt.Fprintln(out, "}")
+	return err
+}

@@ -1,0 +1,216 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"wet/internal/core"
+	"wet/internal/ir"
+)
+
+// Sample is one element of a per-instruction trace: the global timestamp of
+// the node execution that produced it and the value (or address).
+type Sample struct {
+	TS    uint32
+	Value int64
+}
+
+// occCursor iterates one occurrence of an instruction: the node's timestamp
+// sequence plus the group pattern resolve (ts, value) pairs in order.
+type occCursor struct {
+	w    *core.WET
+	tier core.Tier
+	node *core.Node
+	pos  int
+	ts   core.Seq
+	pat  core.Seq
+	uv   core.Seq
+	ord  int
+}
+
+func newOccCursor(w *core.WET, tier core.Tier, ref core.StmtRef) (*occCursor, error) {
+	n := w.Nodes[ref.Node]
+	g := n.Groups[n.GroupOf[ref.Pos]]
+	mi := g.ValMemberIndex(ref.Pos)
+	if mi < 0 {
+		return nil, fmt.Errorf("query: %s has no def port", n.Stmts[ref.Pos])
+	}
+	return &occCursor{
+		w: w, tier: tier, node: n, pos: ref.Pos,
+		ts:  w.TSSeq(n, tier),
+		pat: w.PatternSeq(g, tier),
+		uv:  w.UValSeq(g, mi, tier),
+	}, nil
+}
+
+// next returns the next (ts, value) sample of this occurrence, or false.
+func (c *occCursor) next() (Sample, bool) {
+	if c.ord >= c.node.Execs {
+		return Sample{}, false
+	}
+	ts := core.SeqAt(c.ts, c.ord)
+	idx := core.SeqAt(c.pat, c.ord)
+	v := int64(int32(core.SeqAt(c.uv, int(idx))))
+	c.ord++
+	return Sample{TS: ts, Value: v}, true
+}
+
+// ValueTrace extracts the complete value trace of one static statement in
+// execution order, merging its occurrences across WET nodes by timestamp.
+// This is the paper's "per instruction load value trace" when the statement
+// is a load (Table 7).
+func ValueTrace(w *core.WET, tier core.Tier, stmtID int, emit func(Sample)) (uint64, error) {
+	refs := w.StmtOcc[stmtID]
+	cursors := make([]*occCursor, 0, len(refs))
+	heads := make([]Sample, 0, len(refs))
+	for _, ref := range refs {
+		c, err := newOccCursor(w, tier, ref)
+		if err != nil {
+			return 0, err
+		}
+		if s, ok := c.next(); ok {
+			cursors = append(cursors, c)
+			heads = append(heads, s)
+		}
+	}
+	var count uint64
+	for len(cursors) > 0 {
+		// Pick the cursor with the smallest head timestamp (occurrence
+		// counts are small: one per path containing the block).
+		best := 0
+		for i := 1; i < len(cursors); i++ {
+			if heads[i].TS < heads[best].TS {
+				best = i
+			}
+		}
+		if emit != nil {
+			emit(heads[best])
+		}
+		count++
+		if s, ok := cursors[best].next(); ok {
+			heads[best] = s
+		} else {
+			cursors[best] = cursors[len(cursors)-1]
+			cursors = cursors[:len(cursors)-1]
+			heads[best] = heads[len(heads)-1]
+			heads = heads[:len(heads)-1]
+		}
+	}
+	return count, nil
+}
+
+// LoadValueTraces extracts the value trace of every load instruction
+// (Table 7). It returns the total number of samples (×4 bytes = the
+// paper's load value trace size).
+func LoadValueTraces(w *core.WET, tier core.Tier, emit func(stmtID int, s Sample)) (uint64, error) {
+	var total uint64
+	for _, st := range w.Prog.Stmts {
+		if st.Op != ir.OpLoad {
+			continue
+		}
+		n, err := ValueTrace(w, tier, st.ID, func(s Sample) {
+			if emit != nil {
+				emit(st.ID, s)
+			}
+		})
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// addrOperandIndex returns the dependence-operand index of the address
+// operand of a load/store, or -1 when the address is an immediate.
+func addrOperandIndex(st *ir.Stmt) int {
+	if st.Op != ir.OpLoad && st.Op != ir.OpStore {
+		return -1
+	}
+	if !st.A.IsReg {
+		return -1
+	}
+	return 0 // the address register is always the first use
+}
+
+// AddressTrace extracts the address trace of one load/store: for every
+// execution, the address operand's value (resolved through the DD edge to
+// its producer, per the paper: "addresses ... can be obtained by examining
+// the <t,v> sequences of statements that produce the operands") plus the
+// static displacement.
+func AddressTrace(w *core.WET, tier core.Tier, stmtID int, emit func(Sample)) (uint64, error) {
+	st := w.Prog.Stmts[stmtID]
+	if st.Op != ir.OpLoad && st.Op != ir.OpStore {
+		return 0, fmt.Errorf("query: statement %s is not a memory access", st)
+	}
+	mask := w.Prog.MemWords - 1
+	opIdx := addrOperandIndex(st)
+	var samples []Sample
+	for _, ref := range w.StmtOcc[stmtID] {
+		n := w.Nodes[ref.Node]
+		ts := w.TSSeq(n, tier)
+		if opIdx < 0 {
+			// Constant address: one sample per execution.
+			for ord := 0; ord < n.Execs; ord++ {
+				samples = append(samples, Sample{TS: core.SeqAt(ts, ord), Value: (st.A.Imm + st.Off) & mask})
+			}
+			continue
+		}
+		// Resolve through each incoming DD edge on the address operand.
+		for _, ei := range n.InEdges[ref.Pos] {
+			e := w.Edges[ei]
+			if e.Kind != core.DD || e.OpIdx != opIdx {
+				continue
+			}
+			srcNode := w.Nodes[e.SrcNode]
+			if e.Inferable {
+				for ord := 0; ord < n.Execs; ord++ {
+					v, err := w.Value(srcNode, e.SrcPos, ord, tier)
+					if err != nil {
+						return 0, err
+					}
+					samples = append(samples, Sample{TS: core.SeqAt(ts, ord), Value: (v + st.Off) & mask})
+				}
+				continue
+			}
+			dseq, sseq := w.EdgeLabels(e, tier)
+			for i := 0; i < dseq.Len(); i++ {
+				dord := core.SeqAt(dseq, i)
+				sord := core.SeqAt(sseq, i)
+				v, err := w.Value(srcNode, e.SrcPos, int(sord), tier)
+				if err != nil {
+					return 0, err
+				}
+				samples = append(samples, Sample{TS: core.SeqAt(ts, int(dord)), Value: (v + st.Off) & mask})
+			}
+		}
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i].TS < samples[j].TS })
+	if emit != nil {
+		for _, s := range samples {
+			emit(s)
+		}
+	}
+	return uint64(len(samples)), nil
+}
+
+// AddressTraces extracts the address trace of every load and store
+// (Table 8). It returns the total number of samples.
+func AddressTraces(w *core.WET, tier core.Tier, emit func(stmtID int, s Sample)) (uint64, error) {
+	var total uint64
+	for _, st := range w.Prog.Stmts {
+		if st.Op != ir.OpLoad && st.Op != ir.OpStore {
+			continue
+		}
+		n, err := AddressTrace(w, tier, st.ID, func(s Sample) {
+			if emit != nil {
+				emit(st.ID, s)
+			}
+		})
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	return total, nil
+}

@@ -1,0 +1,195 @@
+// Package query implements the paper's §2/§5.2 queries over a WET:
+// control-flow trace extraction (forward and backward, from any point),
+// per-instruction load value traces, per-instruction load/store address
+// traces, and backward/forward WET slices. Every query runs against either
+// tier-1 (customized-compressed) or tier-2 (fully compressed) labels.
+package query
+
+import (
+	"fmt"
+
+	"wet/internal/core"
+)
+
+// Walker reconstructs the control flow trace from node timestamps: the node
+// executed at time t+1 is the CF successor whose timestamp sequence
+// contains t+1 (paper §2, "Control flow path"). Walkers keep one timestamp
+// cursor per node, so sequential walks advance each cursor monotonically.
+type Walker struct {
+	w    *core.WET
+	tier core.Tier
+	seqs []core.Seq
+
+	// Node/Ord identify the current node execution; Node < 0 before the
+	// first step.
+	Node int
+	Ord  int
+	ts   uint32
+}
+
+// NewWalker returns a walker positioned before the start of the trace.
+// Walkers borrow the WET's per-node timestamp cursors, so at most one
+// walker (or other timestamp-sequence traversal) should be active on a WET
+// at a time; interleaved use still returns correct values but costs extra
+// cursor seeks.
+func NewWalker(w *core.WET, tier core.Tier) *Walker {
+	return &Walker{w: w, tier: tier, seqs: make([]core.Seq, len(w.Nodes)), Node: -1}
+}
+
+func (wk *Walker) seq(node int) core.Seq {
+	if wk.seqs[node] == nil {
+		wk.seqs[node] = wk.w.TSSeq(wk.w.Nodes[node], wk.tier)
+	}
+	return wk.seqs[node]
+}
+
+// TS returns the timestamp of the current node execution (0 before start).
+func (wk *Walker) TS() uint32 { return wk.ts }
+
+// findForward scans node's timestamp cursor forward for target; it returns
+// the ordinal or -1 (cursor is restored past-or-at larger values).
+func (wk *Walker) findForward(node int, target uint32) int {
+	s := wk.seq(node)
+	// The cursor may sit beyond the target (e.g. after a backward walk);
+	// rewind first while values exceed the target.
+	for s.Pos() > 0 {
+		v := s.Prev()
+		if v < target {
+			s.Next()
+			break
+		}
+		if v == target {
+			s.Next()
+			return s.Pos() - 1
+		}
+	}
+	for s.Pos() < s.Len() {
+		v := s.Next()
+		if v == target {
+			return s.Pos() - 1
+		}
+		if v > target {
+			s.Prev()
+			return -1
+		}
+	}
+	return -1
+}
+
+// Forward advances to the node executed at ts+1. It returns false at the
+// end of the trace.
+func (wk *Walker) Forward() bool {
+	target := wk.ts + 1
+	if target > wk.w.Time {
+		return false
+	}
+	var cands []int
+	if wk.Node < 0 {
+		cands = []int{wk.w.FirstNode}
+	} else {
+		cands = wk.w.Nodes[wk.Node].CFNext
+	}
+	for _, c := range cands {
+		if ord := wk.findForward(c, target); ord >= 0 {
+			wk.Node, wk.Ord, wk.ts = c, ord, target
+			return true
+		}
+	}
+	// Fall back to a global scan (starting mid-trace at an arbitrary point).
+	for c := range wk.w.Nodes {
+		if ord := wk.findForward(c, target); ord >= 0 {
+			wk.Node, wk.Ord, wk.ts = c, ord, target
+			return true
+		}
+	}
+	return false
+}
+
+// Backward retreats to the node executed at ts-1. It returns false at the
+// start of the trace.
+func (wk *Walker) Backward() bool {
+	if wk.ts <= 1 {
+		return false
+	}
+	target := wk.ts - 1
+	var cands []int
+	if wk.Node < 0 {
+		cands = []int{wk.w.LastNode}
+	} else {
+		cands = wk.w.Nodes[wk.Node].CFPrev
+	}
+	for _, c := range cands {
+		if ord := wk.findForward(c, target); ord >= 0 {
+			wk.Node, wk.Ord, wk.ts = c, ord, target
+			return true
+		}
+	}
+	for c := range wk.w.Nodes {
+		if ord := wk.findForward(c, target); ord >= 0 {
+			wk.Node, wk.Ord, wk.ts = c, ord, target
+			return true
+		}
+	}
+	return false
+}
+
+// SeekEnd positions the walker after the last execution, ready for a
+// backward walk.
+func (wk *Walker) SeekEnd() {
+	wk.Node = -1
+	wk.Ord = 0
+	wk.ts = wk.w.Time + 1
+}
+
+// SeekStart positions the walker before the first execution.
+func (wk *Walker) SeekStart() {
+	wk.Node = -1
+	wk.Ord = 0
+	wk.ts = 0
+}
+
+// StartAt positions the walker on the node execution holding timestamp t.
+func (wk *Walker) StartAt(t uint32) error {
+	if t < 1 || t > wk.w.Time {
+		return fmt.Errorf("query: timestamp %d outside [1,%d]", t, wk.w.Time)
+	}
+	for c := range wk.w.Nodes {
+		if ord := wk.findForward(c, t); ord >= 0 {
+			wk.Node, wk.Ord, wk.ts = c, ord, t
+			return nil
+		}
+	}
+	return fmt.Errorf("query: timestamp %d not found", t)
+}
+
+// ExtractCF walks the whole control-flow trace in the given direction,
+// invoking emit for every executed statement (in per-node static order; the
+// node-level order is exact execution order). It returns the number of
+// statements visited — times 4 bytes, the paper's CF trace size.
+func ExtractCF(w *core.WET, tier core.Tier, forward bool, emit func(stmtID int)) uint64 {
+	wk := NewWalker(w, tier)
+	var n uint64
+	if forward {
+		wk.SeekStart()
+		for wk.Forward() {
+			for _, s := range w.Nodes[wk.Node].Stmts {
+				if emit != nil {
+					emit(s.ID)
+				}
+				n++
+			}
+		}
+	} else {
+		wk.SeekEnd()
+		for wk.Backward() {
+			stmts := w.Nodes[wk.Node].Stmts
+			for i := len(stmts) - 1; i >= 0; i-- {
+				if emit != nil {
+					emit(stmts[i].ID)
+				}
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,256 @@
+// Package sequitur implements the Sequitur grammar-inference compressor
+// (Nevill-Manning & Witten, reference [16] of the paper). Larus used it to
+// compress whole-program paths [14] and Chilimbi for address traces [7].
+// WET's §4 argues that, although Sequitur output can be traversed in both
+// directions, value-predictor compressors beat it on value streams; this
+// package exists as the baseline for that ablation.
+package sequitur
+
+import "fmt"
+
+// symbol is a node in a rule's doubly linked symbol list. Exactly one of
+// (guardOf, r, terminal) roles applies: guard nodes delimit a rule's
+// circular list, r != nil marks a nonterminal reference, otherwise the node
+// is a terminal carrying term.
+type symbol struct {
+	next, prev *symbol
+	term       uint32
+	r          *rule
+	guardOf    *rule
+}
+
+func (s *symbol) isGuard() bool   { return s.guardOf != nil }
+func (s *symbol) isNonTerm() bool { return s.r != nil }
+
+type rule struct {
+	guard *symbol
+	refs  int
+	id    int
+}
+
+func (r *rule) first() *symbol { return r.guard.next }
+func (r *rule) last() *symbol  { return r.guard.prev }
+
+// digram is a content key for two adjacent symbols.
+type digram struct{ a, b uint64 }
+
+func symKey(s *symbol) uint64 {
+	if s.isNonTerm() {
+		return 1<<32 | uint64(s.r.id)
+	}
+	return uint64(s.term)
+}
+
+// Grammar is a Sequitur grammar; rule 0 derives the whole input.
+type Grammar struct {
+	rules   []*rule
+	digrams map[digram]*symbol
+	nextID  int
+	live    int // number of live rules (excluding inlined ones)
+}
+
+// Build infers the Sequitur grammar of vals.
+func Build(vals []uint32) *Grammar {
+	g := &Grammar{digrams: map[digram]*symbol{}}
+	s := g.newRule()
+	for _, v := range vals {
+		g.insertAfter(s.last(), &symbol{term: v})
+		if s.last().prev != s.guard {
+			g.check(s.last().prev)
+		}
+	}
+	return g
+}
+
+func (g *Grammar) newRule() *rule {
+	r := &rule{id: g.nextID}
+	g.nextID++
+	guard := &symbol{guardOf: r}
+	guard.next, guard.prev = guard, guard
+	r.guard = guard
+	g.rules = append(g.rules, r)
+	g.live++
+	return r
+}
+
+// join links left-right, dropping left's stale digram from the index.
+func (g *Grammar) join(left, right *symbol) {
+	if left.next != nil {
+		g.deleteDigram(left)
+	}
+	left.next = right
+	right.prev = left
+}
+
+// insertAfter places n after s.
+func (g *Grammar) insertAfter(s *symbol, n *symbol) {
+	g.join(n, s.next)
+	g.join(s, n)
+}
+
+// deleteDigram removes the digram starting at s from the index if it is the
+// indexed occurrence.
+func (g *Grammar) deleteDigram(s *symbol) {
+	if s.isGuard() || s.next == nil || s.next.isGuard() {
+		return
+	}
+	k := digram{symKey(s), symKey(s.next)}
+	if g.digrams[k] == s {
+		delete(g.digrams, k)
+	}
+}
+
+// remove unlinks s from its list, maintaining the digram index and rule
+// reference counts.
+func (g *Grammar) remove(s *symbol) {
+	g.join(s.prev, s.next)
+	if !s.isGuard() {
+		g.deleteDigram(s)
+		if s.isNonTerm() {
+			s.r.refs--
+		}
+	}
+}
+
+// check enforces digram uniqueness for the digram starting at s.
+func (g *Grammar) check(s *symbol) bool {
+	if s.isGuard() || s.next.isGuard() {
+		return false
+	}
+	k := digram{symKey(s), symKey(s.next)}
+	found, ok := g.digrams[k]
+	if !ok {
+		g.digrams[k] = s
+		return false
+	}
+	if found.next == s || s.next == found {
+		return false // overlapping occurrence (e.g. aaa)
+	}
+	g.match(s, found)
+	return true
+}
+
+// match handles a repeated digram: reuse an existing rule whose whole right
+// side is the digram, or create a new rule and substitute both occurrences.
+func (g *Grammar) match(s, found *symbol) {
+	var r *rule
+	if found.prev.isGuard() && found.next.next.isGuard() {
+		r = found.prev.guardOf
+		g.substitute(s, r)
+	} else {
+		r = g.newRule()
+		g.insertAfter(r.last(), g.copySym(s))
+		g.insertAfter(r.last(), g.copySym(s.next))
+		g.substitute(found, r)
+		g.substitute(s, r)
+		g.digrams[digram{symKey(r.first()), symKey(r.first().next)}] = r.first()
+	}
+	// Rule utility: inline rules referenced once.
+	if r.first().isNonTerm() && r.first().r.refs == 1 {
+		g.expand(r.first())
+	}
+}
+
+func (g *Grammar) copySym(s *symbol) *symbol {
+	if s.isNonTerm() {
+		s.r.refs++
+		return &symbol{r: s.r}
+	}
+	return &symbol{term: s.term}
+}
+
+// substitute replaces the digram starting at s with a reference to r.
+func (g *Grammar) substitute(s *symbol, r *rule) {
+	q := s.prev
+	g.remove(s)
+	g.remove(q.next)
+	r.refs++
+	g.insertAfter(q, &symbol{r: r})
+	if !g.check(q) {
+		g.check(q.next)
+	}
+}
+
+// expand inlines the once-referenced rule at occurrence s.
+func (g *Grammar) expand(s *symbol) {
+	left, right := s.prev, s.next
+	r := s.r
+	f, l := r.first(), r.last()
+	g.deleteDigram(s)
+	s.r.refs--
+	g.join(left, f)
+	g.join(l, right)
+	g.digrams[digram{symKey(l), symKey(l.next)}] = l
+	r.guard = nil // dead
+	g.live--
+}
+
+// Symbols returns the total number of symbols on all live rule right sides.
+func (g *Grammar) Symbols() int {
+	n := 0
+	for _, r := range g.rules {
+		if r.guard == nil {
+			continue
+		}
+		for s := r.first(); !s.isGuard(); s = s.next {
+			n++
+		}
+	}
+	return n
+}
+
+// Rules returns the number of live rules.
+func (g *Grammar) Rules() int { return g.live }
+
+// SizeBits charges 33 bits per grammar symbol (flag + 32-bit terminal or
+// rule id), matching the per-entry accounting of the predictor streams.
+func (g *Grammar) SizeBits() uint64 { return uint64(g.Symbols()) * 33 }
+
+// Expand regenerates the original stream from rule 0.
+func (g *Grammar) Expand() []uint32 {
+	var out []uint32
+	var walk func(r *rule)
+	walk = func(r *rule) {
+		for s := r.first(); !s.isGuard(); s = s.next {
+			if s.isNonTerm() {
+				walk(s.r)
+			} else {
+				out = append(out, s.term)
+			}
+		}
+	}
+	walk(g.rules[0])
+	return out
+}
+
+// Validate checks grammar invariants (for tests): reference counts match
+// actual occurrences and every live non-root rule is referenced at least
+// twice.
+func (g *Grammar) Validate() error {
+	counts := map[int]int{}
+	for _, r := range g.rules {
+		if r.guard == nil {
+			continue
+		}
+		for s := r.first(); !s.isGuard(); s = s.next {
+			if s.isNonTerm() {
+				counts[s.r.id]++
+			}
+		}
+	}
+	for _, r := range g.rules {
+		if r.guard == nil {
+			continue
+		}
+		if r.id == 0 {
+			continue
+		}
+		if counts[r.id] != r.refs {
+			return fmt.Errorf("sequitur: rule %d refs=%d actual=%d", r.id, r.refs, counts[r.id])
+		}
+		if counts[r.id] < 2 {
+			return fmt.Errorf("sequitur: rule %d referenced %d times", r.id, counts[r.id])
+		}
+	}
+	return nil
+}

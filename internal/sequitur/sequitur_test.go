@@ -1,0 +1,98 @@
+package sequitur
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func expandEquals(t *testing.T, vals []uint32) *Grammar {
+	t.Helper()
+	g := Build(vals)
+	got := g.Expand()
+	if len(got) != len(vals) {
+		t.Fatalf("Expand: %d values, want %d", len(got), len(vals))
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("Expand[%d] = %d, want %d", i, got[i], vals[i])
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestClassicExample(t *testing.T) {
+	// "abcabc" must produce a rule for "abc" (directly or via digram rules).
+	vals := []uint32{'a', 'b', 'c', 'a', 'b', 'c'}
+	g := expandEquals(t, vals)
+	if g.Rules() < 2 {
+		t.Fatalf("no rule inferred for repeated substring; rules=%d", g.Rules())
+	}
+	if g.Symbols() >= len(vals) {
+		t.Fatalf("grammar has %d symbols, input %d — no compression", g.Symbols(), len(vals))
+	}
+}
+
+func TestRepeatedSymbolRuns(t *testing.T) {
+	vals := make([]uint32, 100)
+	for i := range vals {
+		vals[i] = 7
+	}
+	g := expandEquals(t, vals)
+	if g.Symbols() > 20 {
+		t.Fatalf("run of 100 identical symbols kept %d grammar symbols", g.Symbols())
+	}
+}
+
+func TestPeriodicCompressesWell(t *testing.T) {
+	pat := []uint32{1, 2, 3, 4, 5, 6, 7, 8}
+	var vals []uint32
+	for i := 0; i < 128; i++ {
+		vals = append(vals, pat...)
+	}
+	g := expandEquals(t, vals)
+	if g.SizeBits() > uint64(len(vals))*33/8 {
+		t.Fatalf("periodic: %d bits for %d values", g.SizeBits(), len(vals))
+	}
+}
+
+func TestRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]uint32, 2000)
+	for i := range vals {
+		vals[i] = uint32(rng.Intn(50))
+	}
+	expandEquals(t, vals)
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(raw []byte) bool {
+		vals := make([]uint32, len(raw))
+		for i, b := range raw {
+			vals[i] = uint32(b % 8) // small alphabet stresses digram machinery
+		}
+		g := Build(vals)
+		got := g.Expand()
+		if len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				return false
+			}
+		}
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	expandEquals(t, nil)
+	expandEquals(t, []uint32{9})
+	expandEquals(t, []uint32{9, 9})
+}

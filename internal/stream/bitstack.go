@@ -1,0 +1,75 @@
+package stream
+
+// bitstack is an append/pop-at-end bit vector. Compressed entries are laid
+// out with their flag bit *last* so that popping from the end can first read
+// the flag and then the (optional) payload — the property that makes the
+// FR and BL entry stores of a bidirectional stream parse-able from the
+// cursor side.
+type bitstack struct {
+	words []uint64
+	n     uint64 // bit length
+}
+
+// pushBits appends the low k bits of v (k <= 32).
+func (b *bitstack) pushBits(v uint32, k uint) {
+	if k == 0 {
+		return
+	}
+	word := b.n >> 6
+	off := b.n & 63
+	for uint64(len(b.words)) <= (b.n+uint64(k)-1)>>6 {
+		b.words = append(b.words, 0)
+	}
+	mask := uint64(v) & ((1 << k) - 1)
+	b.words[word] |= mask << off
+	if off+uint64(k) > 64 {
+		b.words[word+1] |= mask >> (64 - off)
+	}
+	b.n += uint64(k)
+}
+
+// popBits removes and returns the top k bits (k <= 32). The last-pushed bit
+// is the most significant bit of the result.
+func (b *bitstack) popBits(k uint) uint32 {
+	if uint64(k) > b.n {
+		panic("bitstack: underflow")
+	}
+	b.n -= uint64(k)
+	start := b.n
+	word := start >> 6
+	off := start & 63
+	v := b.words[word] >> off
+	if off+uint64(k) > 64 && word+1 < uint64(len(b.words)) {
+		v |= b.words[word+1] << (64 - off)
+	}
+	v &= (1 << k) - 1
+	// Clear the vacated bits so future pushes OR cleanly.
+	b.words[word] &^= ((uint64(1)<<k - 1) << off)
+	if off+uint64(k) > 64 && word+1 < uint64(len(b.words)) {
+		b.words[word+1] &^= (uint64(1)<<k - 1) >> (64 - off)
+	}
+	return uint32(v)
+}
+
+// pushBit appends one bit.
+func (b *bitstack) pushBit(v bool) {
+	if v {
+		b.pushBits(1, 1)
+	} else {
+		b.pushBits(0, 1)
+	}
+}
+
+// popBit removes and returns the top bit.
+func (b *bitstack) popBit() bool { return b.popBits(1) == 1 }
+
+// bits returns the current bit length.
+func (b *bitstack) bits() uint64 { return b.n }
+
+// empty reports whether the stack holds no bits.
+func (b *bitstack) empty() bool { return b.n == 0 }
+
+// clone deep-copies the stack.
+func (b *bitstack) clone() bitstack {
+	return bitstack{words: append([]uint64(nil), b.words...), n: b.n}
+}

@@ -1,0 +1,212 @@
+package stream
+
+import "fmt"
+
+// fcmStream is the bidirectional FCM / differential-FCM compressed stream
+// (paper §4, Figures 5–6). Two predictor tables are kept: FRTB predicts a
+// value from its right context (used by the forward-compressed part) and
+// BLTB from its left context (backward-compressed part). Miss entries store
+// the table slot's *evicted* content while the slot keeps the actual value,
+// so each step's table mutation is exactly undone by the reverse step.
+//
+// In stride (differential) mode the tables store strides rather than
+// values: the prediction for an incoming value v after window w is
+// w[n-1] + BLTB[hash(strides(w))], per Goeman et al.'s dFCM.
+type fcmStream struct {
+	m      int
+	order  int // context length in values
+	stride bool
+	tbBits uint
+	frtb   []uint32
+	bltb   []uint32
+	fr, bl bitstack
+	win    []uint32 // win[0] is the oldest (leftmost) context value
+	pos    int
+	size   uint64
+}
+
+// tableBits picks a predictor table size proportional to the stream length
+// (clamped) so that table storage — which is counted in SizeBits — does not
+// dominate short streams.
+func tableBits(m int) uint {
+	b := uint(4)
+	for (1<<(b+4)) < m && b < 16 {
+		b++
+	}
+	return b
+}
+
+func newFCM(vals []uint32, order int, stride bool) *fcmStream {
+	if order < 1 {
+		panic("stream: fcm order must be >= 1")
+	}
+	win := order
+	if stride {
+		win = order + 1 // need order strides
+	}
+	s := &fcmStream{
+		m:      len(vals),
+		order:  order,
+		stride: stride,
+		tbBits: tableBits(len(vals)),
+		win:    make([]uint32, win),
+	}
+	s.frtb = make([]uint32, 1<<s.tbBits)
+	s.bltb = make([]uint32, 1<<s.tbBits)
+	// Initial compression: a forward pass consuming raw values (the stream
+	// is conceptually padded with a window of zeros on the left).
+	for _, v := range vals {
+		s.stepForward(v, true)
+	}
+	tables := uint64(2) * uint64(len(s.frtb)) * 32
+	s.size = s.fr.bits() + s.bl.bits() + uint64(len(s.win))*32 + tables + HeaderBits
+	if s.stride {
+		s.size += 0 // window already carries the values needed for strides
+	}
+	return s
+}
+
+func (s *fcmStream) Len() int         { return s.m }
+func (s *fcmStream) Pos() int         { return s.pos }
+func (s *fcmStream) SizeBits() uint64 { return s.size }
+
+func (s *fcmStream) Name() string {
+	if s.stride {
+		return fmt.Sprintf("dfcm%d", s.order)
+	}
+	return fmt.Sprintf("fcm%d", s.order)
+}
+
+func (s *fcmStream) hash() uint32 {
+	h := uint32(2166136261)
+	mix := func(x uint32) {
+		h = (h ^ x) * 16777619
+	}
+	if s.stride {
+		for i := 0; i+1 < len(s.win); i++ {
+			mix(s.win[i+1] - s.win[i])
+		}
+	} else {
+		for _, v := range s.win {
+			mix(v)
+		}
+	}
+	return (h ^ h>>16) & (1<<s.tbBits - 1)
+}
+
+// predictIncoming reconstructs a value from the left-context table content.
+func (s *fcmStream) predictIncoming(tbl uint32) uint32 {
+	if s.stride {
+		return s.win[len(s.win)-1] + tbl
+	}
+	return tbl
+}
+
+// encodeIncoming converts an actual incoming value to table content.
+func (s *fcmStream) encodeIncoming(v uint32) uint32 {
+	if s.stride {
+		return v - s.win[len(s.win)-1]
+	}
+	return v
+}
+
+// predictHead reconstructs the value to the window's left from the
+// right-context table content (after the window has shifted right).
+func (s *fcmStream) predictHead(tbl uint32) uint32 {
+	if s.stride {
+		return s.win[0] - tbl // table stores padded[c] - padded[c-1]
+	}
+	return tbl
+}
+
+// encodeHead converts an actual head value to right-context table content.
+func (s *fcmStream) encodeHead(h uint32) uint32 {
+	if s.stride {
+		return s.win[0] - h
+	}
+	return h
+}
+
+// stepForward advances the cursor by one. During initial construction
+// (construct == true) the incoming value is supplied raw in v and the BL
+// side is untouched; afterwards v is ignored and read from BL.
+func (s *fcmStream) stepForward(v uint32, construct bool) uint32 {
+	if !construct {
+		if s.pos >= s.m {
+			panic("stream: Next past end")
+		}
+		// Consume the BL entry for the incoming value using the left
+		// context (current window).
+		idx := s.hash()
+		miss := !s.bl.popBit()
+		var payload uint32
+		if miss {
+			payload = s.bl.popBits(32)
+		}
+		v = s.predictIncoming(s.bltb[idx])
+		if miss {
+			s.bltb[idx] = payload // restore the evicted content
+		}
+	}
+	// Shift the window: the head h leaves to the FR side.
+	h := s.win[0]
+	copy(s.win, s.win[1:])
+	s.win[len(s.win)-1] = v
+	// Compress h with its right context (the new window).
+	idx := s.hash()
+	if s.predictHead(s.frtb[idx]) == h {
+		s.fr.pushBit(true)
+	} else {
+		s.fr.pushBits(s.frtb[idx], 32) // evicted content
+		s.fr.pushBit(false)
+		s.frtb[idx] = s.encodeHead(h)
+	}
+	s.pos++
+	return v
+}
+
+func (s *fcmStream) Next() uint32 { return s.stepForward(0, false) }
+
+// Clone implements Stream.
+func (s *fcmStream) Clone() Stream {
+	c := *s
+	c.frtb = append([]uint32(nil), s.frtb...)
+	c.bltb = append([]uint32(nil), s.bltb...)
+	c.win = append([]uint32(nil), s.win...)
+	c.fr = s.fr.clone()
+	c.bl = s.bl.clone()
+	return &c
+}
+
+func (s *fcmStream) Prev() uint32 {
+	if s.pos == 0 {
+		panic("stream: Prev past start")
+	}
+	// Uncompress the FR entry for the value left of the window, using the
+	// right context (current window).
+	idx := s.hash()
+	miss := !s.fr.popBit()
+	var payload uint32
+	if miss {
+		payload = s.fr.popBits(32)
+	}
+	h := s.predictHead(s.frtb[idx])
+	if miss {
+		s.frtb[idx] = payload
+	}
+	// Shift the window right: the tail t leaves to the BL side.
+	t := s.win[len(s.win)-1]
+	copy(s.win[1:], s.win)
+	s.win[0] = h
+	// Compress t with its left context (the new window).
+	idx = s.hash()
+	if s.predictIncoming(s.bltb[idx]) == t {
+		s.bl.pushBit(true)
+	} else {
+		s.bl.pushBits(s.bltb[idx], 32)
+		s.bl.pushBit(false)
+		s.bltb[idx] = s.encodeIncoming(t)
+	}
+	s.pos--
+	return t
+}

@@ -1,0 +1,206 @@
+package stream
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// lastNStream is the bidirectional last-n predictor stream (paper §4,
+// Figure 7). A single move-to-front table of the n most recent distinct
+// values (or strides) serves both directions. FR entries carry the
+// move-to-front mutation (hit: the matching index; miss: the evicted
+// value), which the backward step undoes exactly; BL entries are pure
+// references against the current table (hit: index; miss: the literal
+// value) and mutate nothing, so the cursor state stays path-independent.
+type lastNStream struct {
+	m       int
+	n       int // table size (power of two)
+	idxBits uint
+	stride  bool
+	tb      []uint32 // tb[0] is the most recent
+	lastVal uint32   // previous value; stride mode only
+	fr, bl  bitstack
+	pos     int
+	size    uint64
+}
+
+func newLastN(vals []uint32, n int, stride bool) *lastNStream {
+	if n < 2 || n&(n-1) != 0 {
+		panic("stream: last-n table size must be a power of two >= 2")
+	}
+	s := &lastNStream{
+		m:       len(vals),
+		n:       n,
+		idxBits: uint(bits.TrailingZeros(uint(n))),
+		stride:  stride,
+		tb:      make([]uint32, n),
+	}
+	for _, v := range vals {
+		s.stepForward(v, true)
+	}
+	s.size = s.fr.bits() + s.bl.bits() + uint64(n)*32 + HeaderBits
+	if stride {
+		s.size += 32 // lastVal
+	}
+	return s
+}
+
+func (s *lastNStream) Len() int         { return s.m }
+func (s *lastNStream) Pos() int         { return s.pos }
+func (s *lastNStream) SizeBits() uint64 { return s.size }
+
+func (s *lastNStream) Name() string {
+	if s.stride {
+		return fmt.Sprintf("lastS%d", s.n)
+	}
+	return fmt.Sprintf("last%d", s.n)
+}
+
+// encode move-to-fronts x into the table and pushes the FR entry.
+func (s *lastNStream) encode(x uint32) {
+	for i, v := range s.tb {
+		if v == x {
+			// Hit: move to front; entry records the index for the undo.
+			copy(s.tb[1:i+1], s.tb[:i])
+			s.tb[0] = x
+			s.fr.pushBits(uint32(i), s.idxBits)
+			s.fr.pushBit(true)
+			return
+		}
+	}
+	evicted := s.tb[s.n-1]
+	copy(s.tb[1:], s.tb[:s.n-1])
+	s.tb[0] = x
+	s.fr.pushBits(evicted, 32)
+	s.fr.pushBit(false)
+}
+
+// decode pops an FR entry, undoes its table mutation, and returns the value.
+func (s *lastNStream) decode() uint32 {
+	x := s.tb[0]
+	if s.fr.popBit() {
+		i := int(s.fr.popBits(s.idxBits))
+		copy(s.tb[:i], s.tb[1:i+1])
+		s.tb[i] = x
+	} else {
+		evicted := s.fr.popBits(32)
+		copy(s.tb[:s.n-1], s.tb[1:])
+		s.tb[s.n-1] = evicted
+	}
+	return x
+}
+
+// pushRef pushes a BL reference to x against the current table.
+func (s *lastNStream) pushRef(x uint32) {
+	for i, v := range s.tb {
+		if v == x {
+			s.bl.pushBits(uint32(i), s.idxBits)
+			s.bl.pushBit(true)
+			return
+		}
+	}
+	s.bl.pushBits(x, 32)
+	s.bl.pushBit(false)
+}
+
+// popRef pops a BL reference and resolves it against the current table.
+func (s *lastNStream) popRef() uint32 {
+	if s.bl.popBit() {
+		return s.tb[s.bl.popBits(s.idxBits)]
+	}
+	return s.bl.popBits(32)
+}
+
+func (s *lastNStream) stepForward(v uint32, construct bool) uint32 {
+	var x uint32 // the symbol actually coded (value, or stride)
+	if construct {
+		x = v
+		if s.stride {
+			x = v - s.lastVal
+		}
+	} else {
+		if s.pos >= s.m {
+			panic("stream: Next past end")
+		}
+		x = s.popRef()
+		if s.stride {
+			v = s.lastVal + x
+		} else {
+			v = x
+		}
+	}
+	s.encode(x)
+	if s.stride {
+		s.lastVal = v
+	}
+	s.pos++
+	return v
+}
+
+func (s *lastNStream) Next() uint32 { return s.stepForward(0, false) }
+
+// Clone implements Stream.
+func (s *lastNStream) Clone() Stream {
+	c := *s
+	c.tb = append([]uint32(nil), s.tb...)
+	c.fr = s.fr.clone()
+	c.bl = s.bl.clone()
+	return &c
+}
+
+func (s *lastNStream) Prev() uint32 {
+	if s.pos == 0 {
+		panic("stream: Prev past start")
+	}
+	x := s.decode()
+	s.pushRef(x)
+	s.pos--
+	if s.stride {
+		v := s.lastVal
+		s.lastVal = v - x
+		return v
+	}
+	return x
+}
+
+// verbatim stores the stream uncompressed; the selection fallback for
+// streams no predictor helps with.
+type verbatim struct {
+	vals []uint32
+	pos  int
+}
+
+func newVerbatim(vals []uint32) *verbatim {
+	cp := make([]uint32, len(vals))
+	copy(cp, vals)
+	return &verbatim{vals: cp}
+}
+
+func (v *verbatim) Len() int     { return len(v.vals) }
+func (v *verbatim) Pos() int     { return v.pos }
+func (v *verbatim) Name() string { return "verbatim" }
+
+func (v *verbatim) SizeBits() uint64 { return uint64(len(v.vals))*32 + HeaderBits }
+
+// Clone implements Stream (the payload is immutable and shared).
+func (v *verbatim) Clone() Stream {
+	c := *v
+	return &c
+}
+
+func (v *verbatim) Next() uint32 {
+	if v.pos >= len(v.vals) {
+		panic("stream: Next past end")
+	}
+	x := v.vals[v.pos]
+	v.pos++
+	return x
+}
+
+func (v *verbatim) Prev() uint32 {
+	if v.pos == 0 {
+		panic("stream: Prev past start")
+	}
+	v.pos--
+	return v.vals[v.pos]
+}

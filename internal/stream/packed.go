@@ -1,0 +1,83 @@
+package stream
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// packed stores the stream with a fixed bit width — the smallest width that
+// holds the stream's maximum value. It is trivially bidirectional and is the
+// natural encoding for tier-1 pattern index sequences, so it participates in
+// method selection alongside the predictors.
+type packed struct {
+	data  bitstackRO
+	width uint
+	m     int
+	pos   int
+}
+
+// bitstackRO is a read-only bit vector with random access.
+type bitstackRO struct {
+	words []uint64
+}
+
+func (b *bitstackRO) get(start uint64, k uint) uint32 {
+	if k == 0 {
+		return 0
+	}
+	word := start >> 6
+	off := start & 63
+	v := b.words[word] >> off
+	if off+uint64(k) > 64 && word+1 < uint64(len(b.words)) {
+		v |= b.words[word+1] << (64 - off)
+	}
+	return uint32(v & (1<<k - 1))
+}
+
+func newPacked(vals []uint32) *packed {
+	var max uint32
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	width := uint(bits.Len32(max))
+	p := &packed{width: width, m: len(vals)}
+	var bs bitstack
+	for _, v := range vals {
+		bs.pushBits(v, width)
+	}
+	p.data.words = bs.words
+	return p
+}
+
+func (p *packed) Len() int     { return p.m }
+func (p *packed) Pos() int     { return p.pos }
+func (p *packed) Name() string { return fmt.Sprintf("packed%d", p.width) }
+
+func (p *packed) SizeBits() uint64 {
+	return uint64(p.m)*uint64(p.width) + HeaderBits
+}
+
+// Clone implements Stream (the packed payload is immutable and shared).
+func (p *packed) Clone() Stream {
+	c := *p
+	return &c
+}
+
+func (p *packed) Next() uint32 {
+	if p.pos >= p.m {
+		panic("stream: Next past end")
+	}
+	v := p.data.get(uint64(p.pos)*uint64(p.width), p.width)
+	p.pos++
+	return v
+}
+
+func (p *packed) Prev() uint32 {
+	if p.pos == 0 {
+		panic("stream: Prev past start")
+	}
+	p.pos--
+	return p.data.get(uint64(p.pos)*uint64(p.width), p.width)
+}

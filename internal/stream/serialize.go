@@ -1,0 +1,261 @@
+package stream
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Save writes the stream's complete compressed state to w, so a later Load
+// resumes traversal without recompressing. The cursor position is part of
+// the state. Callers that save many streams should pass a buffered writer.
+func Save(w io.Writer, s Stream) error {
+	switch t := s.(type) {
+	case *verbatim:
+		return t.save(w)
+	case *packed:
+		return t.save(w)
+	case *fcmStream:
+		return t.save(w)
+	case *lastNStream:
+		return t.save(w)
+	}
+	return fmt.Errorf("stream: cannot serialize %T", s)
+}
+
+// Load reads a stream previously written by Save. It consumes exactly the
+// bytes Save wrote, so streams can be concatenated in one container.
+func Load(r io.Reader) (Stream, error) {
+	var tag uint8
+	if err := binary.Read(r, binary.LittleEndian, &tag); err != nil {
+		return nil, err
+	}
+	switch Kind(tag) {
+	case KindVerbatim:
+		return loadVerbatim(r)
+	case KindPacked:
+		return loadPacked(r)
+	case KindFCM, KindDFCM:
+		return loadFCM(r)
+	case KindLastN, KindLastNStride:
+		return loadLastN(r)
+	}
+	return nil, fmt.Errorf("stream: unknown stream tag %d", tag)
+}
+
+// --- encoding helpers ---
+
+func writeAll(w io.Writer, vs ...interface{}) error {
+	for _, v := range vs {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readAll(r io.Reader, vs ...interface{}) error {
+	for _, v := range vs {
+		if err := binary.Read(r, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeU32s(w io.Writer, s []uint32) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(s))); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, s)
+}
+
+func readU32s(r io.Reader) ([]uint32, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n > 1<<28 {
+		return nil, fmt.Errorf("stream: implausible sequence length %d", n)
+	}
+	s := make([]uint32, n)
+	if err := binary.Read(r, binary.LittleEndian, s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func writeBits(w io.Writer, b *bitstack) error {
+	if err := binary.Write(w, binary.LittleEndian, b.n); err != nil {
+		return err
+	}
+	words := b.words[:(b.n+63)>>6]
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(words))); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, words)
+}
+
+func readBits(r io.Reader) (bitstack, error) {
+	var b bitstack
+	var nw uint32
+	if err := readAll(r, &b.n, &nw); err != nil {
+		return b, err
+	}
+	if nw > 1<<26 || b.n > uint64(nw)*64 {
+		return b, fmt.Errorf("stream: inconsistent bit vector (%d bits, %d words)", b.n, nw)
+	}
+	b.words = make([]uint64, nw)
+	if err := binary.Read(r, binary.LittleEndian, b.words); err != nil {
+		return b, err
+	}
+	return b, nil
+}
+
+// --- per-type state ---
+
+func (v *verbatim) save(w io.Writer) error {
+	if err := writeAll(w, uint8(KindVerbatim)); err != nil {
+		return err
+	}
+	if err := writeU32s(w, v.vals); err != nil {
+		return err
+	}
+	return writeAll(w, uint32(v.pos))
+}
+
+func loadVerbatim(r io.Reader) (*verbatim, error) {
+	vals, err := readU32s(r)
+	if err != nil {
+		return nil, err
+	}
+	var pos uint32
+	if err := readAll(r, &pos); err != nil {
+		return nil, err
+	}
+	return &verbatim{vals: vals, pos: int(pos)}, nil
+}
+
+func (p *packed) save(w io.Writer) error {
+	if err := writeAll(w, uint8(KindPacked), uint32(p.width), uint32(p.m), uint32(p.pos)); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(p.data.words))); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, p.data.words)
+}
+
+func loadPacked(r io.Reader) (*packed, error) {
+	var width, m, pos, nw uint32
+	if err := readAll(r, &width, &m, &pos, &nw); err != nil {
+		return nil, err
+	}
+	p := &packed{width: uint(width), m: int(m), pos: int(pos)}
+	p.data.words = make([]uint64, nw)
+	if err := binary.Read(r, binary.LittleEndian, p.data.words); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (s *fcmStream) save(w io.Writer) error {
+	kind := KindFCM
+	if s.stride {
+		kind = KindDFCM
+	}
+	if err := writeAll(w, uint8(kind), uint32(s.m), uint32(s.order),
+		uint32(s.tbBits), uint32(s.pos), s.size); err != nil {
+		return err
+	}
+	for _, tbl := range [][]uint32{s.frtb, s.bltb, s.win} {
+		if err := writeU32s(w, tbl); err != nil {
+			return err
+		}
+	}
+	if err := writeBits(w, &s.fr); err != nil {
+		return err
+	}
+	return writeBits(w, &s.bl)
+}
+
+func loadFCM(r io.Reader) (*fcmStream, error) {
+	// The tag was already consumed; the stride flag is recoverable from it,
+	// but we re-derive it below from the caller. To keep Load simple the
+	// tag is re-passed via a sentinel: re-read fields and infer stride from
+	// window length vs order.
+	var m, order, tbBits, pos uint32
+	var size uint64
+	if err := readAll(r, &m, &order, &tbBits, &pos, &size); err != nil {
+		return nil, err
+	}
+	s := &fcmStream{m: int(m), order: int(order), tbBits: uint(tbBits), pos: int(pos), size: size}
+	var err error
+	if s.frtb, err = readU32s(r); err != nil {
+		return nil, err
+	}
+	if s.bltb, err = readU32s(r); err != nil {
+		return nil, err
+	}
+	if s.win, err = readU32s(r); err != nil {
+		return nil, err
+	}
+	s.stride = len(s.win) == s.order+1
+	if s.fr, err = readBits(r); err != nil {
+		return nil, err
+	}
+	if s.bl, err = readBits(r); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *lastNStream) save(w io.Writer) error {
+	kind := KindLastN
+	if s.stride {
+		kind = KindLastNStride
+	}
+	if err := writeAll(w, uint8(kind), uint8(b2u8(s.stride)), uint32(s.m),
+		uint32(s.n), uint32(s.idxBits), uint32(s.pos), s.lastVal, s.size); err != nil {
+		return err
+	}
+	if err := writeU32s(w, s.tb); err != nil {
+		return err
+	}
+	if err := writeBits(w, &s.fr); err != nil {
+		return err
+	}
+	return writeBits(w, &s.bl)
+}
+
+func loadLastN(r io.Reader) (*lastNStream, error) {
+	var strideB uint8
+	var m, n, idxBits, pos uint32
+	var lastVal uint32
+	var size uint64
+	if err := readAll(r, &strideB, &m, &n, &idxBits, &pos, &lastVal, &size); err != nil {
+		return nil, err
+	}
+	s := &lastNStream{
+		m: int(m), n: int(n), idxBits: uint(idxBits), pos: int(pos),
+		lastVal: lastVal, size: size, stride: strideB == 1,
+	}
+	var err error
+	if s.tb, err = readU32s(r); err != nil {
+		return nil, err
+	}
+	if s.fr, err = readBits(r); err != nil {
+		return nil, err
+	}
+	if s.bl, err = readBits(r); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func b2u8(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,110 @@
+package stream
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	vals := make([]uint32, 1000)
+	for i := range vals {
+		vals[i] = uint32(rng.Intn(64)) * 3
+	}
+	for _, spec := range Candidates {
+		s := Compress(vals, spec)
+		SeekTo(s, 400) // arbitrary mid-stream cursor
+		var buf bytes.Buffer
+		if err := Save(&buf, s); err != nil {
+			t.Fatalf("%s: Save: %v", spec, err)
+		}
+		s2, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("%s: Load: %v", spec, err)
+		}
+		if s2.Len() != len(vals) || s2.Pos() != 400 {
+			t.Fatalf("%s: len/pos = %d/%d", spec, s2.Len(), s2.Pos())
+		}
+		if s2.Name() != s.Name() {
+			t.Fatalf("%s: name %s != %s", spec, s2.Name(), s.Name())
+		}
+		if s2.SizeBits() != s.SizeBits() && spec.Kind != KindVerbatim && spec.Kind != KindPacked {
+			t.Fatalf("%s: size %d != %d", spec, s2.SizeBits(), s.SizeBits())
+		}
+		// Traverse both directions from the restored cursor.
+		for i := 400; i < len(vals); i++ {
+			if got := s2.Next(); got != vals[i] {
+				t.Fatalf("%s: fwd val %d = %d, want %d", spec, i, got, vals[i])
+			}
+		}
+		for i := len(vals) - 1; i >= 0; i-- {
+			if got := s2.Prev(); got != vals[i] {
+				t.Fatalf("%s: bwd val %d = %d, want %d", spec, i, got, vals[i])
+			}
+		}
+	}
+}
+
+func TestSaveLoadConcatenated(t *testing.T) {
+	var buf bytes.Buffer
+	a := Compress([]uint32{1, 2, 3}, Spec{KindFCM, 1})
+	b := Compress([]uint32{9, 9, 9, 9}, Spec{KindLastN, 2})
+	c := Compress([]uint32{7}, Spec{KindVerbatim, 0})
+	for _, s := range []Stream{a, b, c} {
+		if err := Save(&buf, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range [][]uint32{{1, 2, 3}, {9, 9, 9, 9}, {7}} {
+		s, err := Load(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := Drain(s)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("concatenated load: got %v want %v", got, want)
+			}
+		}
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("%d trailing bytes", buf.Len())
+	}
+}
+
+func TestLoadBadTag(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte{0xFF})); err == nil {
+		t.Fatal("Load accepted bad tag")
+	}
+}
+
+// FuzzLoad ensures arbitrary bytes never panic the stream deserializer.
+func FuzzLoad(f *testing.F) {
+	vals := []uint32{1, 5, 5, 9, 1, 5}
+	for _, spec := range Candidates {
+		var buf bytes.Buffer
+		if err := Save(&buf, Compress(vals, spec)); err == nil {
+			f.Add(buf.Bytes())
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A stream that loads must traverse without panicking (walk a few
+		// steps each way, guarding cursor bounds).
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("traversal of loaded stream panicked: %v", r)
+			}
+		}()
+		for i := 0; i < 8 && s.Pos() < s.Len(); i++ {
+			s.Next()
+		}
+		for i := 0; i < 8 && s.Pos() > 0; i++ {
+			s.Prev()
+		}
+	})
+}

@@ -1,0 +1,215 @@
+// Package stream implements the paper's tier-2 generic compression: every
+// stream of 32-bit profile values (timestamps, values, dependence-label
+// halves) is compressed with a *bidirectional* value-predictor compressor
+// that can be traversed one step at a time in either direction without
+// decompressing the whole stream.
+//
+// A compressed stream is conceptually split into three parts (paper §4):
+//
+//	[FR 1..c] [window c..c+n-1] [BL c+n..m+n-1]
+//
+// FR holds entries forward-compressed with *right* context, BL entries
+// compressed with *left* context, and the window holds n uncompressed
+// values. Stepping the cursor converts one FR entry into a BL entry or vice
+// versa. The crucial trick making this exactly reversible: a miss entry
+// stores the predictor table's *evicted* content while the table keeps the
+// actual value, so every table mutation carries its own undo record, and the
+// state at a given cursor is identical no matter how it was reached.
+//
+// Methods (paper's Selection step): FCM, differential FCM, last-n, and
+// last-n stride, each in three context/table sizes, plus a verbatim
+// fallback. CompressBest picks, per stream, the method that performs best
+// on a prefix.
+package stream
+
+import "fmt"
+
+// Stream is a bidirectionally traversable compressed sequence of 32-bit
+// values. The cursor sits between elements: Pos()==p means Next() returns
+// element p. A Stream is not safe for concurrent use.
+type Stream interface {
+	// Len returns the number of values in the stream.
+	Len() int
+	// Pos returns the cursor position in [0, Len()].
+	Pos() int
+	// Next returns the value at Pos() and advances the cursor. It panics if
+	// the cursor is at the end.
+	Next() uint32
+	// Prev retreats the cursor and returns the value at the new position.
+	// It panics if the cursor is at the start.
+	Prev() uint32
+	// SizeBits returns the storage size of the compressed stream in bits,
+	// including predictor tables, the uncompressed window, and a fixed
+	// header, as of construction time.
+	SizeBits() uint64
+	// Name identifies the compression method.
+	Name() string
+	// Clone returns an independent cursor over the same stream: the copy
+	// can be stepped without affecting the original (tables and entry
+	// stores are duplicated; for packed/verbatim the payload is shared).
+	Clone() Stream
+}
+
+// HeaderBits is the fixed per-stream metadata charge (method id + length).
+const HeaderBits = 64
+
+// SeekStart rewinds s to position 0 by stepping backward.
+func SeekStart(s Stream) {
+	for s.Pos() > 0 {
+		s.Prev()
+	}
+}
+
+// SeekEnd advances s to position Len by stepping forward.
+func SeekEnd(s Stream) {
+	for s.Pos() < s.Len() {
+		s.Next()
+	}
+}
+
+// SeekTo positions the cursor at p.
+func SeekTo(s Stream, p int) {
+	if p < 0 || p > s.Len() {
+		panic(fmt.Sprintf("stream: seek to %d outside [0,%d]", p, s.Len()))
+	}
+	for s.Pos() > p {
+		s.Prev()
+	}
+	for s.Pos() < p {
+		s.Next()
+	}
+}
+
+// At reads the value at index i (cursor ends at i+1).
+func At(s Stream, i int) uint32 {
+	SeekTo(s, i)
+	return s.Next()
+}
+
+// Drain returns all values, leaving the cursor at the end.
+func Drain(s Stream) []uint32 {
+	SeekStart(s)
+	out := make([]uint32, 0, s.Len())
+	for s.Pos() < s.Len() {
+		out = append(out, s.Next())
+	}
+	return out
+}
+
+// Spec selects a compression method.
+type Spec struct {
+	Kind  Kind
+	Order int // FCM/dFCM context length (values), or last-n table size
+}
+
+// Kind enumerates tier-2 methods.
+type Kind uint8
+
+const (
+	// KindVerbatim stores the stream raw (selection fallback).
+	KindVerbatim Kind = iota
+	// KindFCM is the bidirectional finite context method predictor.
+	KindFCM
+	// KindDFCM is the bidirectional differential FCM (predicts strides).
+	KindDFCM
+	// KindLastN is the bidirectional last-n (move-to-front) predictor.
+	KindLastN
+	// KindLastNStride is last-n over strides.
+	KindLastNStride
+	// KindPacked stores values at the smallest fixed bit width.
+	KindPacked
+)
+
+func (s Spec) String() string {
+	switch s.Kind {
+	case KindVerbatim:
+		return "verbatim"
+	case KindFCM:
+		return fmt.Sprintf("fcm%d", s.Order)
+	case KindDFCM:
+		return fmt.Sprintf("dfcm%d", s.Order)
+	case KindLastN:
+		return fmt.Sprintf("last%d", s.Order)
+	case KindLastNStride:
+		return fmt.Sprintf("lastS%d", s.Order)
+	case KindPacked:
+		return "packed"
+	}
+	return "unknown"
+}
+
+// Compress builds a compressed stream from vals with the given method.
+// The cursor is left at position 0.
+func Compress(vals []uint32, spec Spec) Stream {
+	var s Stream
+	switch spec.Kind {
+	case KindVerbatim:
+		s = newVerbatim(vals)
+	case KindFCM:
+		s = newFCM(vals, spec.Order, false)
+	case KindDFCM:
+		s = newFCM(vals, spec.Order, true)
+	case KindLastN:
+		s = newLastN(vals, spec.Order, false)
+	case KindLastNStride:
+		s = newLastN(vals, spec.Order, true)
+	case KindPacked:
+		s = newPacked(vals)
+	default:
+		panic(fmt.Sprintf("stream: unknown kind %d", spec.Kind))
+	}
+	SeekStart(s)
+	return s
+}
+
+// Candidates is the method pool used by CompressBest: the paper's four
+// predictor families in three sizes each, plus the verbatim fallback.
+var Candidates = []Spec{
+	{KindVerbatim, 0},
+	{KindPacked, 0},
+	{KindFCM, 1}, {KindFCM, 2}, {KindFCM, 3},
+	{KindDFCM, 1}, {KindDFCM, 2}, {KindDFCM, 3},
+	{KindLastN, 2}, {KindLastN, 4}, {KindLastN, 8},
+	{KindLastNStride, 2}, {KindLastNStride, 4}, {KindLastNStride, 8},
+}
+
+// SelectionPrefix is how many leading values each candidate compresses
+// before the best method is chosen (the paper's "after a certain number of
+// instances we pick the method that performs the best up to that point").
+const SelectionPrefix = 4096
+
+// CompressBest compresses vals with every candidate on a prefix, picks the
+// method with the smallest compressed size, and compresses the full stream
+// with it. It returns the stream positioned at 0.
+func CompressBest(vals []uint32) Stream {
+	if len(vals) == 0 {
+		return newVerbatim(nil)
+	}
+	probe := vals
+	if len(probe) > SelectionPrefix {
+		probe = vals[:SelectionPrefix]
+	}
+	best := Candidates[0]
+	var bestBits uint64
+	for i, spec := range Candidates {
+		var s Stream
+		switch spec.Kind {
+		case KindVerbatim:
+			s = newVerbatim(probe)
+		case KindFCM:
+			s = newFCM(probe, spec.Order, false)
+		case KindDFCM:
+			s = newFCM(probe, spec.Order, true)
+		case KindLastN:
+			s = newLastN(probe, spec.Order, false)
+		case KindLastNStride:
+			s = newLastN(probe, spec.Order, true)
+		case KindPacked:
+			s = newPacked(probe)
+		}
+		if i == 0 || s.SizeBits() < bestBits {
+			best, bestBits = spec, s.SizeBits()
+		}
+	}
+	return Compress(vals, best)
+}

@@ -1,0 +1,379 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// datasets returns named value streams with different predictability
+// profiles, mirroring the stream shapes WET produces.
+func datasets() map[string][]uint32 {
+	rng := rand.New(rand.NewSource(7))
+	d := map[string][]uint32{}
+
+	constant := make([]uint32, 3000)
+	for i := range constant {
+		constant[i] = 42
+	}
+	d["constant"] = constant
+
+	strided := make([]uint32, 3000)
+	for i := range strided {
+		strided[i] = uint32(100 + 7*i)
+	}
+	d["strided"] = strided
+
+	periodic := make([]uint32, 3000)
+	pat := []uint32{3, 1, 4, 1, 5, 9, 2, 6}
+	for i := range periodic {
+		periodic[i] = pat[i%len(pat)]
+	}
+	d["periodic"] = periodic
+
+	random := make([]uint32, 3000)
+	for i := range random {
+		random[i] = rng.Uint32()
+	}
+	d["random"] = random
+
+	fewvals := make([]uint32, 3000)
+	for i := range fewvals {
+		fewvals[i] = uint32(rng.Intn(3)) * 1000
+	}
+	d["fewvals"] = fewvals
+
+	d["empty"] = nil
+	d["single"] = []uint32{99}
+	d["short"] = []uint32{5, 5, 5}
+	return d
+}
+
+func allSpecs() []Spec { return Candidates }
+
+func TestRoundTripAllMethodsAllDatasets(t *testing.T) {
+	for name, vals := range datasets() {
+		for _, spec := range allSpecs() {
+			s := Compress(vals, spec)
+			if s.Len() != len(vals) {
+				t.Fatalf("%s/%s: Len = %d, want %d", name, spec, s.Len(), len(vals))
+			}
+			got := Drain(s)
+			for i := range vals {
+				if got[i] != vals[i] {
+					t.Fatalf("%s/%s: value %d = %d, want %d", name, spec, i, got[i], vals[i])
+				}
+			}
+		}
+	}
+}
+
+func TestBackwardTraversalMatches(t *testing.T) {
+	for name, vals := range datasets() {
+		for _, spec := range allSpecs() {
+			s := Compress(vals, spec)
+			SeekEnd(s)
+			for i := len(vals) - 1; i >= 0; i-- {
+				got := s.Prev()
+				if got != vals[i] {
+					t.Fatalf("%s/%s: backward value %d = %d, want %d", name, spec, i, got, vals[i])
+				}
+			}
+			if s.Pos() != 0 {
+				t.Fatalf("%s/%s: Pos after full rewind = %d", name, spec, s.Pos())
+			}
+		}
+	}
+}
+
+// TestRandomWalkStateIndependence drives the cursor in a random walk and
+// checks every step's value against the raw stream — this exercises the
+// paper's key claim that the sequence of states is direction independent.
+func TestRandomWalkStateIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for name, vals := range datasets() {
+		if len(vals) == 0 {
+			continue
+		}
+		for _, spec := range allSpecs() {
+			s := Compress(vals, spec)
+			pos := 0
+			for step := 0; step < 2000; step++ {
+				fwd := rng.Intn(2) == 0
+				if pos == 0 {
+					fwd = true
+				}
+				if pos == len(vals) {
+					fwd = false
+				}
+				if fwd {
+					got := s.Next()
+					if got != vals[pos] {
+						t.Fatalf("%s/%s: step %d fwd at %d = %d, want %d", name, spec, step, pos, got, vals[pos])
+					}
+					pos++
+				} else {
+					got := s.Prev()
+					pos--
+					if got != vals[pos] {
+						t.Fatalf("%s/%s: step %d bwd at %d = %d, want %d", name, spec, step, pos, got, vals[pos])
+					}
+				}
+				if s.Pos() != pos {
+					t.Fatalf("%s/%s: Pos = %d, want %d", name, spec, s.Pos(), pos)
+				}
+			}
+		}
+	}
+}
+
+// TestQuickRoundTrip property-tests round-tripping over random streams for
+// every method.
+func TestQuickRoundTrip(t *testing.T) {
+	for _, spec := range allSpecs() {
+		spec := spec
+		f := func(vals []uint32) bool {
+			if len(vals) > 500 {
+				vals = vals[:500]
+			}
+			s := Compress(vals, spec)
+			got := Drain(s)
+			if len(got) != len(vals) {
+				return false
+			}
+			for i := range vals {
+				if got[i] != vals[i] {
+					return false
+				}
+			}
+			// And backward.
+			for i := len(vals) - 1; i >= 0; i-- {
+				if s.Prev() != vals[i] {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+	}
+}
+
+func TestCompressionEffectiveness(t *testing.T) {
+	d := datasets()
+	raw := func(vals []uint32) uint64 { return uint64(len(vals)) * 32 }
+
+	// FCM must crush a constant stream.
+	s := Compress(d["constant"], Spec{KindFCM, 2})
+	if s.SizeBits() > raw(d["constant"])/4 {
+		t.Fatalf("fcm2 on constant: %d bits vs raw %d", s.SizeBits(), raw(d["constant"]))
+	}
+	// dFCM must crush a strided stream; plain FCM must not.
+	sd := Compress(d["strided"], Spec{KindDFCM, 1})
+	if sd.SizeBits() > raw(d["strided"])/4 {
+		t.Fatalf("dfcm1 on strided: %d bits vs raw %d", sd.SizeBits(), raw(d["strided"]))
+	}
+	sf := Compress(d["strided"], Spec{KindFCM, 2})
+	if sf.SizeBits() < sd.SizeBits() {
+		t.Fatalf("fcm2 (%d bits) beat dfcm1 (%d bits) on a strided stream", sf.SizeBits(), sd.SizeBits())
+	}
+	// last-n must do well on a small working set of values.
+	sl := Compress(d["fewvals"], Spec{KindLastN, 4})
+	if sl.SizeBits() > raw(d["fewvals"])/3 {
+		t.Fatalf("last4 on fewvals: %d bits vs raw %d", sl.SizeBits(), raw(d["fewvals"]))
+	}
+	// Periodic streams are FCM's home turf.
+	sp := Compress(d["periodic"], Spec{KindFCM, 3})
+	if sp.SizeBits() > raw(d["periodic"])/4 {
+		t.Fatalf("fcm3 on periodic: %d bits vs raw %d", sp.SizeBits(), raw(d["periodic"]))
+	}
+}
+
+func TestCompressBestPicksSensibly(t *testing.T) {
+	d := datasets()
+	for name, vals := range d {
+		s := CompressBest(vals)
+		got := Drain(s)
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Fatalf("CompressBest(%s) corrupted value %d", name, i)
+			}
+		}
+	}
+	// On a strided stream the winner must be stride-aware or at least beat
+	// verbatim decisively.
+	s := CompressBest(d["strided"])
+	if s.SizeBits() > uint64(len(d["strided"]))*32/2 {
+		t.Fatalf("CompressBest(strided) picked %s with %d bits", s.Name(), s.SizeBits())
+	}
+	// On pure noise, selection must not blow up the stream badly: the pick
+	// must stay within ~36/32 of raw (a 1-bit-per-value penalty plus tables).
+	s = CompressBest(d["random"])
+	if s.SizeBits() > uint64(len(d["random"]))*40 {
+		t.Fatalf("CompressBest(random) = %s, %d bits for %d values", s.Name(), s.SizeBits(), len(d["random"]))
+	}
+}
+
+func TestSeekToAndAt(t *testing.T) {
+	vals := datasets()["periodic"]
+	s := Compress(vals, Spec{KindFCM, 2})
+	for _, i := range []int{0, 1, 17, 1000, 2999, 5, 2998} {
+		if got := At(s, i); got != vals[i] {
+			t.Fatalf("At(%d) = %d, want %d", i, got, vals[i])
+		}
+	}
+	SeekTo(s, 100)
+	if s.Pos() != 100 {
+		t.Fatalf("Pos = %d, want 100", s.Pos())
+	}
+}
+
+func TestEdgePanics(t *testing.T) {
+	s := Compress([]uint32{1, 2}, Spec{KindFCM, 1})
+	SeekStart(s)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Prev at start did not panic")
+			}
+		}()
+		s.Prev()
+	}()
+	SeekEnd(s)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Next at end did not panic")
+			}
+		}()
+		s.Next()
+	}()
+}
+
+func TestBitstack(t *testing.T) {
+	var b bitstack
+	b.pushBits(0xDEADBEEF, 32)
+	b.pushBit(true)
+	b.pushBits(5, 3)
+	b.pushBit(false)
+	if b.popBit() {
+		t.Fatal("top bit should be false")
+	}
+	if got := b.popBits(3); got != 5 {
+		t.Fatalf("popBits(3) = %d, want 5", got)
+	}
+	if !b.popBit() {
+		t.Fatal("next bit should be true")
+	}
+	if got := b.popBits(32); got != 0xDEADBEEF {
+		t.Fatalf("popBits(32) = %#x", got)
+	}
+	if !b.empty() {
+		t.Fatalf("stack not empty: %d bits", b.bits())
+	}
+}
+
+func TestBitstackQuick(t *testing.T) {
+	f := func(ops []uint16) bool {
+		var b bitstack
+		type rec struct {
+			v uint32
+			k uint
+		}
+		var pushed []rec
+		for _, op := range ops {
+			k := uint(op%32) + 1
+			v := uint32(op) & (1<<k - 1)
+			b.pushBits(v, k)
+			pushed = append(pushed, rec{v, k})
+		}
+		for i := len(pushed) - 1; i >= 0; i-- {
+			if got := b.popBits(pushed[i].k); got != pushed[i].v {
+				return false
+			}
+		}
+		return b.empty()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerbatimSize(t *testing.T) {
+	s := Compress([]uint32{1, 2, 3}, Spec{KindVerbatim, 0})
+	if s.SizeBits() != 3*32+HeaderBits {
+		t.Fatalf("verbatim size = %d", s.SizeBits())
+	}
+}
+
+func TestTableBitsScaling(t *testing.T) {
+	if tableBits(10) != 4 {
+		t.Fatalf("tableBits(10) = %d", tableBits(10))
+	}
+	if tableBits(1<<20) != 16 {
+		t.Fatalf("tableBits(1M) = %d", tableBits(1<<20))
+	}
+	if b := tableBits(1000); b < 4 || b > 16 {
+		t.Fatalf("tableBits(1000) = %d", b)
+	}
+}
+
+func BenchmarkFCMForward(b *testing.B) {
+	vals := make([]uint32, 1<<16)
+	for i := range vals {
+		vals[i] = uint32(i % 257)
+	}
+	s := Compress(vals, Spec{KindFCM, 2})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.Pos() == s.Len() {
+			SeekStart(s)
+		}
+		s.Next()
+	}
+}
+
+func BenchmarkLastNForward(b *testing.B) {
+	vals := make([]uint32, 1<<16)
+	for i := range vals {
+		vals[i] = uint32(i % 7)
+	}
+	s := Compress(vals, Spec{KindLastN, 4})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.Pos() == s.Len() {
+			SeekStart(s)
+		}
+		s.Next()
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	for name, vals := range datasets() {
+		if len(vals) < 10 {
+			continue
+		}
+		for _, spec := range allSpecs() {
+			s := Compress(vals, spec)
+			SeekTo(s, 5)
+			c := s.Clone()
+			if c.Pos() != 5 || c.Len() != s.Len() {
+				t.Fatalf("%s/%s: clone pos/len mismatch", name, spec)
+			}
+			// Walk the clone to the end and back; the original must not move.
+			SeekEnd(c)
+			SeekStart(c)
+			if s.Pos() != 5 {
+				t.Fatalf("%s/%s: original cursor moved to %d", name, spec, s.Pos())
+			}
+			// Both must continue to decode correctly.
+			if got := s.Next(); got != vals[5] {
+				t.Fatalf("%s/%s: original decodes %d, want %d", name, spec, got, vals[5])
+			}
+			if got := c.Next(); got != vals[0] {
+				t.Fatalf("%s/%s: clone decodes %d, want %d", name, spec, got, vals[0])
+			}
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// Package trace defines the dynamic-event protocol between the simulator
+// (internal/interp) and trace consumers such as the WET builder
+// (internal/core), plus size accounting for the *uncompressed* ("original")
+// Whole Execution Trace that the paper's Tables 1–3 use as the baseline.
+package trace
+
+import "wet/internal/ir"
+
+// Inst identifies one dynamic statement instance. Instances are numbered
+// densely from 1 in execution order; 0 means "no source" (immediates,
+// inputs, program start).
+type Inst = uint64
+
+// Sink consumes the dynamic event stream of one program run.
+//
+// Statement events arrive in execution order. Path boundaries arrive as
+// PathDone events: a PathDone(fn, pathID) covers every Stmt event since the
+// previous PathDone — path executions never interleave because calls
+// terminate Ball–Larus paths.
+type Sink interface {
+	// Stmt reports one executed statement instance.
+	//   inst   – dense instance id (starting at 1)
+	//   st     – the static statement
+	//   value  – the produced value; meaningful only when st.Op.HasDef()
+	//   ddSrcs – instance ids of the producers of each register operand, in
+	//            st.Uses order, with the memory-carried producer appended
+	//            for loads (0 = no producer); the slice is reused by the
+	//            caller and must be copied if retained
+	//   ddVals – the operand values carried by the corresponding ddSrcs
+	//            entries (the register contents / loaded value)
+	//   cdSrc  – instance id of the branch instance this statement's block
+	//            execution is control dependent on (0 = none)
+	Stmt(inst Inst, st *ir.Stmt, value int64, ddSrcs []Inst, ddVals []int64, cdSrc Inst)
+
+	// PathDone reports that the Ball–Larus path pathID of function fn has
+	// completed, closing the statement instances emitted since the previous
+	// PathDone.
+	PathDone(fn int, pathID int64)
+}
+
+// Paper-accurate storage units: the evaluation counts 32-bit words for
+// timestamps and values, so a timestamp pair is 8 bytes.
+const (
+	TSBytes   = 4 // one timestamp
+	ValBytes  = 4 // one value
+	PairBytes = 8 // one <ts,ts> dependence label
+)
+
+// RawStats accumulates the counts that determine the size of the
+// uncompressed WET: one timestamp per statement execution, one value per
+// def-port statement execution, one timestamp pair per dynamic dependence
+// (data and control).
+type RawStats struct {
+	StmtExecs  uint64 // dynamic statements (intermediate-code statements executed)
+	DefExecs   uint64 // dynamic statements with a def port
+	DynDD      uint64 // dynamic data dependences (per operand with a producer)
+	DynCD      uint64 // dynamic control dependences (statements with a controlling branch)
+	BlockExecs uint64 // basic-block executions (one original-WET time tick each)
+	PathExecs  uint64 // Ball–Larus path executions (one tier-1 time tick each)
+	Loads      uint64 // dynamic loads
+	Stores     uint64 // dynamic stores
+	Branches   uint64 // dynamic conditional branches
+}
+
+// OrigNodeTSBytes is the original WET size of the node timestamp labels:
+// every statement execution is labeled with its timestamp.
+func (r *RawStats) OrigNodeTSBytes() uint64 { return r.StmtExecs * TSBytes }
+
+// OrigNodeValBytes is the original WET size of the node value labels.
+func (r *RawStats) OrigNodeValBytes() uint64 { return r.DefExecs * ValBytes }
+
+// OrigEdgeBytes is the original WET size of the dependence edge labels.
+func (r *RawStats) OrigEdgeBytes() uint64 { return (r.DynDD + r.DynCD) * PairBytes }
+
+// OrigWETBytes is the total original WET size.
+func (r *RawStats) OrigWETBytes() uint64 {
+	return r.OrigNodeTSBytes() + r.OrigNodeValBytes() + r.OrigEdgeBytes()
+}
+
+// Counting is a Sink that only accumulates RawStats. It can wrap another
+// sink, forwarding every event.
+type Counting struct {
+	RawStats
+	Next Sink
+
+	curBlk  int
+	curFn   int
+	haveBlk bool
+}
+
+// NewCounting returns a counting sink forwarding to next (next may be nil).
+func NewCounting(next Sink) *Counting { return &Counting{Next: next} }
+
+// Stmt implements Sink.
+func (c *Counting) Stmt(inst Inst, st *ir.Stmt, value int64, ddSrcs []Inst, ddVals []int64, cdSrc Inst) {
+	c.StmtExecs++
+	if st.Op.HasDef() {
+		c.DefExecs++
+	}
+	for _, s := range ddSrcs {
+		if s != 0 {
+			c.DynDD++
+		}
+	}
+	if cdSrc != 0 {
+		c.DynCD++
+	}
+	switch st.Op {
+	case ir.OpLoad:
+		c.Loads++
+	case ir.OpStore:
+		c.Stores++
+	case ir.OpBr:
+		c.Branches++
+	}
+	if !c.haveBlk || c.curFn != st.Fn || c.curBlk != st.Blk || st.Idx == 0 {
+		c.BlockExecs++
+		c.haveBlk = true
+		c.curFn, c.curBlk = st.Fn, st.Blk
+	}
+	if c.Next != nil {
+		c.Next.Stmt(inst, st, value, ddSrcs, ddVals, cdSrc)
+	}
+}
+
+// PathDone implements Sink.
+func (c *Counting) PathDone(fn int, pathID int64) {
+	c.PathExecs++
+	c.haveBlk = false
+	if c.Next != nil {
+		c.Next.PathDone(fn, pathID)
+	}
+}
+
+// Event is a recorded statement event (for tests and small-scale debugging).
+type Event struct {
+	Inst   Inst
+	Stmt   *ir.Stmt
+	Value  int64
+	DDSrcs []Inst
+	DDVals []int64
+	CDSrc  Inst
+}
+
+// PathEvent is a recorded path completion.
+type PathEvent struct {
+	Fn     int
+	PathID int64
+	// Upto is the number of statement events covered so far (prefix length
+	// of Recording.Events belonging to this and earlier paths).
+	Upto int
+}
+
+// Recording is a Sink that stores every event; test-sized runs only.
+type Recording struct {
+	Events []Event
+	Paths  []PathEvent
+}
+
+// Stmt implements Sink.
+func (r *Recording) Stmt(inst Inst, st *ir.Stmt, value int64, ddSrcs []Inst, ddVals []int64, cdSrc Inst) {
+	cp := make([]Inst, len(ddSrcs))
+	copy(cp, ddSrcs)
+	vp := make([]int64, len(ddVals))
+	copy(vp, ddVals)
+	r.Events = append(r.Events, Event{Inst: inst, Stmt: st, Value: value, DDSrcs: cp, DDVals: vp, CDSrc: cdSrc})
+}
+
+// PathDone implements Sink.
+func (r *Recording) PathDone(fn int, pathID int64) {
+	r.Paths = append(r.Paths, PathEvent{Fn: fn, PathID: pathID, Upto: len(r.Events)})
+}

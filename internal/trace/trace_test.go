@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"testing"
+
+	"wet/internal/ir"
+)
+
+func stmt(op ir.Op, idx int) *ir.Stmt {
+	d := ir.Reg(0)
+	if !op.HasDef() {
+		d = ir.NoReg
+	}
+	return &ir.Stmt{Op: op, Dest: d, Idx: idx}
+}
+
+func TestCountingAccumulates(t *testing.T) {
+	c := NewCounting(nil)
+	// Block of three statements: add (def), store, br.
+	c.Stmt(1, stmt(ir.OpAdd, 0), 5, []Inst{0, 3}, []int64{0, 9}, 0)
+	c.Stmt(2, stmt(ir.OpStore, 1), 0, []Inst{1, 1}, []int64{4, 4}, 7)
+	c.Stmt(3, stmt(ir.OpBr, 2), 0, []Inst{1}, []int64{4}, 7)
+	c.PathDone(0, 0)
+
+	if c.StmtExecs != 3 {
+		t.Fatalf("StmtExecs = %d", c.StmtExecs)
+	}
+	if c.DefExecs != 1 {
+		t.Fatalf("DefExecs = %d (only the add has a def port)", c.DefExecs)
+	}
+	if c.DynDD != 4 { // one from add (3), two from store, one from br
+		t.Fatalf("DynDD = %d", c.DynDD)
+	}
+	if c.DynCD != 2 { // store and br carry cdSrc 7
+		t.Fatalf("DynCD = %d", c.DynCD)
+	}
+	if c.BlockExecs != 1 {
+		t.Fatalf("BlockExecs = %d", c.BlockExecs)
+	}
+	if c.PathExecs != 1 {
+		t.Fatalf("PathExecs = %d", c.PathExecs)
+	}
+	if c.Stores != 1 || c.Branches != 1 || c.Loads != 0 {
+		t.Fatalf("op counts: %d stores %d branches %d loads", c.Stores, c.Branches, c.Loads)
+	}
+}
+
+func TestCountingSizeFormulas(t *testing.T) {
+	r := RawStats{StmtExecs: 100, DefExecs: 60, DynDD: 120, DynCD: 90}
+	if r.OrigNodeTSBytes() != 400 {
+		t.Fatalf("ts bytes = %d", r.OrigNodeTSBytes())
+	}
+	if r.OrigNodeValBytes() != 240 {
+		t.Fatalf("val bytes = %d", r.OrigNodeValBytes())
+	}
+	if r.OrigEdgeBytes() != (120+90)*8 {
+		t.Fatalf("edge bytes = %d", r.OrigEdgeBytes())
+	}
+	if r.OrigWETBytes() != 400+240+1680 {
+		t.Fatalf("total = %d", r.OrigWETBytes())
+	}
+}
+
+func TestCountingForwards(t *testing.T) {
+	rec := &Recording{}
+	c := NewCounting(rec)
+	c.Stmt(1, stmt(ir.OpConst, 0), 9, nil, nil, 0)
+	c.PathDone(2, 17)
+	if len(rec.Events) != 1 || rec.Events[0].Value != 9 {
+		t.Fatalf("forwarded events: %+v", rec.Events)
+	}
+	if len(rec.Paths) != 1 || rec.Paths[0].Fn != 2 || rec.Paths[0].PathID != 17 {
+		t.Fatalf("forwarded paths: %+v", rec.Paths)
+	}
+}
+
+func TestRecordingCopiesSlices(t *testing.T) {
+	rec := &Recording{}
+	dd := []Inst{1, 2}
+	dv := []int64{10, 20}
+	rec.Stmt(1, stmt(ir.OpAdd, 0), 0, dd, dv, 0)
+	dd[0] = 99
+	dv[0] = 99
+	if rec.Events[0].DDSrcs[0] != 1 || rec.Events[0].DDVals[0] != 10 {
+		t.Fatal("Recording aliased the caller's slices")
+	}
+}
+
+func TestBlockExecsCountsReentries(t *testing.T) {
+	c := NewCounting(nil)
+	// Same block executed twice (e.g. a loop): Idx 0 marks each entry.
+	c.Stmt(1, stmt(ir.OpAdd, 0), 0, nil, nil, 0)
+	c.Stmt(2, stmt(ir.OpBr, 1), 0, nil, nil, 0)
+	c.Stmt(3, stmt(ir.OpAdd, 0), 0, nil, nil, 0)
+	c.Stmt(4, stmt(ir.OpBr, 1), 0, nil, nil, 0)
+	if c.BlockExecs != 2 {
+		t.Fatalf("BlockExecs = %d, want 2", c.BlockExecs)
+	}
+}

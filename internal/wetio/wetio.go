@@ -1,0 +1,574 @@
+// Package wetio persists frozen Whole Execution Traces to disk and loads
+// them back, preserving the compressed stream states — the WET never has to
+// be decompressed or rebuilt. The paper's scenario of keeping whole-run
+// profiles around for later mining depends on exactly this.
+//
+// Format (little endian): a magic/version header, the IR program, the raw
+// dynamic counts and size report, then per node and per edge the structural
+// identity plus each tier-2 stream saved via stream.Save. Derived data
+// (statement lists, value groups, adjacency, statement occurrences) is
+// recomputed at load from the program, so the file stays close to the
+// information-theoretic content of the WET.
+package wetio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"wet/internal/core"
+	"wet/internal/interp"
+	"wet/internal/ir"
+	"wet/internal/stream"
+)
+
+const (
+	magic   = uint32(0x57455446) // "WETF"
+	version = uint32(2)
+)
+
+var order = binary.LittleEndian
+
+// Save writes a frozen WET to w.
+func Save(w io.Writer, wet *core.WET) error {
+	if !wet.Frozen() {
+		return fmt.Errorf("wetio: WET must be frozen before saving")
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if err := writeVals(bw, magic, version); err != nil {
+		return err
+	}
+	if err := saveProgram(bw, wet.Prog); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, order, &wet.Raw); err != nil {
+		return err
+	}
+	if err := saveReport(bw, wet.Report()); err != nil {
+		return err
+	}
+	if err := writeVals(bw, wet.Time, int32(wet.FirstNode), int32(wet.LastNode)); err != nil {
+		return err
+	}
+
+	if err := writeVals(bw, uint32(len(wet.Nodes))); err != nil {
+		return err
+	}
+	for _, n := range wet.Nodes {
+		if err := writeVals(bw, int32(n.Fn), n.PathID, uint32(n.Execs)); err != nil {
+			return err
+		}
+		if err := stream.Save(bw, n.TSS); err != nil {
+			return err
+		}
+		if err := writeInts(bw, n.CFNext); err != nil {
+			return err
+		}
+		if err := writeInts(bw, n.CFPrev); err != nil {
+			return err
+		}
+		if err := writeVals(bw, uint32(len(n.Groups))); err != nil {
+			return err
+		}
+		for _, g := range n.Groups {
+			if err := writeVals(bw, uint32(g.UniqueKeys()), uint32(len(g.UValS))); err != nil {
+				return err
+			}
+			if err := stream.Save(bw, g.PatternS); err != nil {
+				return err
+			}
+			for _, uv := range g.UValS {
+				if err := stream.Save(bw, uv); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	if err := writeVals(bw, uint32(len(wet.Edges))); err != nil {
+		return err
+	}
+	for _, e := range wet.Edges {
+		if err := writeVals(bw, uint8(e.Kind), int32(e.SrcNode), int32(e.SrcPos),
+			int32(e.DstNode), int32(e.DstPos), int32(e.OpIdx), uint32(e.Count),
+			boolByte(e.Inferable), boolByte(e.Diagonal), int32(e.SharedWith)); err != nil {
+			return err
+		}
+		if !e.Inferable && e.SharedWith < 0 {
+			if err := stream.Save(bw, e.DstS); err != nil {
+				return err
+			}
+			if !e.Diagonal {
+				if err := stream.Save(bw, e.SrcS); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadOptions tunes Load.
+type LoadOptions struct {
+	// RestoreTier1 rehydrates the tier-1 slices (by draining each stream
+	// once) so tier-1 queries work on the loaded WET.
+	RestoreTier1 bool
+}
+
+// Load reads a WET written by Save.
+func Load(r io.Reader, opts LoadOptions) (*core.WET, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var m, v uint32
+	if err := readVals(br, &m, &v); err != nil {
+		return nil, err
+	}
+	if m != magic {
+		return nil, fmt.Errorf("wetio: bad magic %#x", m)
+	}
+	if v != version {
+		return nil, fmt.Errorf("wetio: unsupported version %d", v)
+	}
+	prog, err := loadProgram(br)
+	if err != nil {
+		return nil, err
+	}
+	st, err := interp.Analyze(prog)
+	if err != nil {
+		return nil, fmt.Errorf("wetio: reanalyze: %w", err)
+	}
+	wet := &core.WET{Prog: prog, Static: st}
+	if err := binary.Read(br, order, &wet.Raw); err != nil {
+		return nil, err
+	}
+	rep, err := loadReport(br)
+	if err != nil {
+		return nil, err
+	}
+	var first, last int32
+	if err := readVals(br, &wet.Time, &first, &last); err != nil {
+		return nil, err
+	}
+	wet.FirstNode, wet.LastNode = int(first), int(last)
+
+	var nNodes uint32
+	if err := readVals(br, &nNodes); err != nil {
+		return nil, err
+	}
+	for i := 0; i < int(nNodes); i++ {
+		var fn int32
+		var pathID int64
+		var execs uint32
+		if err := readVals(br, &fn, &pathID, &execs); err != nil {
+			return nil, err
+		}
+		n, err := core.RestoreNode(st, i, int(fn), pathID)
+		if err != nil {
+			return nil, err
+		}
+		n.Execs = int(execs)
+		if n.TSS, err = stream.Load(br); err != nil {
+			return nil, err
+		}
+		if n.CFNext, err = readInts(br); err != nil {
+			return nil, err
+		}
+		if n.CFPrev, err = readInts(br); err != nil {
+			return nil, err
+		}
+		var nGroups uint32
+		if err := readVals(br, &nGroups); err != nil {
+			return nil, err
+		}
+		if int(nGroups) != len(n.Groups) {
+			return nil, fmt.Errorf("wetio: node %d has %d groups, file says %d", i, len(n.Groups), nGroups)
+		}
+		for _, g := range n.Groups {
+			var uniq, nuv uint32
+			if err := readVals(br, &uniq, &nuv); err != nil {
+				return nil, err
+			}
+			g.RestoreUniqueKeys(int(uniq))
+			if int(nuv) != len(g.ValMembers) {
+				return nil, fmt.Errorf("wetio: group has %d value members, file says %d", len(g.ValMembers), nuv)
+			}
+			if g.PatternS, err = stream.Load(br); err != nil {
+				return nil, err
+			}
+			g.UValS = make([]stream.Stream, nuv)
+			for k := range g.UValS {
+				if g.UValS[k], err = stream.Load(br); err != nil {
+					return nil, err
+				}
+			}
+			if opts.RestoreTier1 {
+				g.Pattern = stream.Drain(g.PatternS)
+				g.UVals = make([][]uint32, nuv)
+				for k := range g.UValS {
+					g.UVals[k] = stream.Drain(g.UValS[k])
+				}
+			}
+		}
+		if opts.RestoreTier1 {
+			n.TS = stream.Drain(n.TSS)
+		}
+		wet.Nodes = append(wet.Nodes, n)
+	}
+
+	var nEdges uint32
+	if err := readVals(br, &nEdges); err != nil {
+		return nil, err
+	}
+	for i := 0; i < int(nEdges); i++ {
+		var kind, inferable, diagonal uint8
+		var srcN, srcP, dstN, dstP, opIdx, shared int32
+		var count uint32
+		if err := readVals(br, &kind, &srcN, &srcP, &dstN, &dstP, &opIdx,
+			&count, &inferable, &diagonal, &shared); err != nil {
+			return nil, err
+		}
+		e := &core.Edge{
+			Kind: core.EdgeKind(kind), SrcNode: int(srcN), SrcPos: int(srcP),
+			DstNode: int(dstN), DstPos: int(dstP), OpIdx: int(opIdx),
+			Count: int(count), Inferable: inferable == 1, Diagonal: diagonal == 1,
+			SharedWith: int(shared),
+		}
+		if err := checkEdge(wet, e, int(nEdges)); err != nil {
+			return nil, err
+		}
+		if !e.Inferable && e.SharedWith < 0 {
+			var err error
+			if e.DstS, err = stream.Load(br); err != nil {
+				return nil, err
+			}
+			if !e.Diagonal {
+				if e.SrcS, err = stream.Load(br); err != nil {
+					return nil, err
+				}
+			}
+			if opts.RestoreTier1 {
+				e.DstOrd = stream.Drain(e.DstS)
+				if !e.Diagonal {
+					e.SrcOrd = stream.Drain(e.SrcS)
+				}
+			}
+		}
+		wet.Edges = append(wet.Edges, e)
+		_ = i
+	}
+	if wet.FirstNode < 0 || wet.FirstNode >= len(wet.Nodes) ||
+		wet.LastNode < 0 || wet.LastNode >= len(wet.Nodes) {
+		return nil, fmt.Errorf("wetio: first/last node out of range")
+	}
+	wet.RestoreIndexes(rep)
+	return wet, nil
+}
+
+// checkEdge validates a deserialized edge's coordinates against the node
+// structure (corrupt files must error, not index out of range).
+func checkEdge(wet *core.WET, e *core.Edge, nEdges int) error {
+	if e.SrcNode < 0 || e.SrcNode >= len(wet.Nodes) || e.DstNode < 0 || e.DstNode >= len(wet.Nodes) {
+		return fmt.Errorf("wetio: edge node out of range")
+	}
+	if e.SrcPos < 0 || e.SrcPos >= len(wet.Nodes[e.SrcNode].Stmts) ||
+		e.DstPos < 0 || e.DstPos >= len(wet.Nodes[e.DstNode].Stmts) {
+		return fmt.Errorf("wetio: edge position out of range")
+	}
+	if e.SharedWith >= nEdges || e.SharedWith < -1 {
+		return fmt.Errorf("wetio: edge share reference out of range")
+	}
+	if e.Kind != core.DD && e.Kind != core.CD {
+		return fmt.Errorf("wetio: bad edge kind %d", e.Kind)
+	}
+	return nil
+}
+
+// --- program (de)serialization ---
+
+func saveProgram(w io.Writer, p *ir.Program) error {
+	if err := writeVals(w, p.MemWords, int32(p.Entry), uint32(len(p.Funcs))); err != nil {
+		return err
+	}
+	for _, f := range p.Funcs {
+		if err := writeString(w, f.Name); err != nil {
+			return err
+		}
+		if err := writeVals(w, int32(f.Params), int32(f.NumRegs), uint32(len(f.Blocks))); err != nil {
+			return err
+		}
+		for _, b := range f.Blocks {
+			if err := writeInts(w, b.Succs); err != nil {
+				return err
+			}
+			if err := writeVals(w, uint32(len(b.Stmts))); err != nil {
+				return err
+			}
+			for _, s := range b.Stmts {
+				if err := saveStmt(w, s); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func saveStmt(w io.Writer, s *ir.Stmt) error {
+	if err := writeVals(w, uint8(s.Op), int32(s.Dest)); err != nil {
+		return err
+	}
+	if err := saveOperand(w, s.A); err != nil {
+		return err
+	}
+	if err := saveOperand(w, s.B); err != nil {
+		return err
+	}
+	if err := writeVals(w, s.Off); err != nil {
+		return err
+	}
+	if s.Op == ir.OpCall {
+		if err := writeString(w, s.CalleeName); err != nil {
+			return err
+		}
+		if err := writeVals(w, uint32(len(s.Args))); err != nil {
+			return err
+		}
+		for _, a := range s.Args {
+			if err := saveOperand(w, a); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func saveOperand(w io.Writer, o ir.Operand) error {
+	return writeVals(w, boolByte(o.IsReg), int32(o.Reg), o.Imm)
+}
+
+func loadOperand(r io.Reader) (ir.Operand, error) {
+	var isReg uint8
+	var reg int32
+	var imm int64
+	if err := readVals(r, &isReg, &reg, &imm); err != nil {
+		return ir.Operand{}, err
+	}
+	return ir.Operand{IsReg: isReg == 1, Reg: ir.Reg(reg), Imm: imm}, nil
+}
+
+func loadProgram(r io.Reader) (*ir.Program, error) {
+	var memWords int64
+	var entry int32
+	var nFuncs uint32
+	if err := readVals(r, &memWords, &entry, &nFuncs); err != nil {
+		return nil, err
+	}
+	p := ir.NewProgram(memWords)
+	p.Entry = int(entry)
+	for fi := 0; fi < int(nFuncs); fi++ {
+		name, err := readString(r)
+		if err != nil {
+			return nil, err
+		}
+		var params, numRegs int32
+		var nBlocks uint32
+		if err := readVals(r, &params, &numRegs, &nBlocks); err != nil {
+			return nil, err
+		}
+		f := &ir.Func{Name: name, Params: int(params), NumRegs: int(numRegs)}
+		for bi := 0; bi < int(nBlocks); bi++ {
+			succs, err := readInts(r)
+			if err != nil {
+				return nil, err
+			}
+			var nStmts uint32
+			if err := readVals(r, &nStmts); err != nil {
+				return nil, err
+			}
+			b := &ir.Block{ID: bi, Succs: succs}
+			for si := 0; si < int(nStmts); si++ {
+				s, err := loadStmt(r)
+				if err != nil {
+					return nil, err
+				}
+				b.Stmts = append(b.Stmts, s)
+			}
+			f.Blocks = append(f.Blocks, b)
+		}
+		p.AddRawFunc(f)
+	}
+	if err := p.Finalize(); err != nil {
+		return nil, fmt.Errorf("wetio: refinalize: %w", err)
+	}
+	return p, nil
+}
+
+func loadStmt(r io.Reader) (*ir.Stmt, error) {
+	var op uint8
+	var dest int32
+	if err := readVals(r, &op, &dest); err != nil {
+		return nil, err
+	}
+	s := &ir.Stmt{Op: ir.Op(op), Dest: ir.Reg(dest)}
+	var err error
+	if s.A, err = loadOperand(r); err != nil {
+		return nil, err
+	}
+	if s.B, err = loadOperand(r); err != nil {
+		return nil, err
+	}
+	if err := readVals(r, &s.Off); err != nil {
+		return nil, err
+	}
+	if s.Op == ir.OpCall {
+		if s.CalleeName, err = readString(r); err != nil {
+			return nil, err
+		}
+		var nArgs uint32
+		if err := readVals(r, &nArgs); err != nil {
+			return nil, err
+		}
+		for i := 0; i < int(nArgs); i++ {
+			a, err := loadOperand(r)
+			if err != nil {
+				return nil, err
+			}
+			s.Args = append(s.Args, a)
+		}
+	}
+	return s, nil
+}
+
+// --- report ---
+
+func saveReport(w io.Writer, r *core.SizeReport) error {
+	if err := writeVals(w,
+		r.OrigTS, r.OrigVals, r.OrigEdges,
+		r.T1TS, r.T1Vals, r.T1Edges,
+		r.T2TS, r.T2Vals, r.T2Edges,
+		int64(r.InferableEdges), int64(r.SharedEdges), int64(r.OwnedEdges)); err != nil {
+		return err
+	}
+	if err := writeVals(w, uint32(len(r.Methods))); err != nil {
+		return err
+	}
+	for name, n := range r.Methods {
+		if err := writeString(w, name); err != nil {
+			return err
+		}
+		if err := writeVals(w, int64(n)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func loadReport(rd io.Reader) (*core.SizeReport, error) {
+	r := &core.SizeReport{Methods: map[string]int{}}
+	var inf, sh, own int64
+	if err := readVals(rd,
+		&r.OrigTS, &r.OrigVals, &r.OrigEdges,
+		&r.T1TS, &r.T1Vals, &r.T1Edges,
+		&r.T2TS, &r.T2Vals, &r.T2Edges,
+		&inf, &sh, &own); err != nil {
+		return nil, err
+	}
+	r.InferableEdges, r.SharedEdges, r.OwnedEdges = int(inf), int(sh), int(own)
+	var n uint32
+	if err := readVals(rd, &n); err != nil {
+		return nil, err
+	}
+	for i := 0; i < int(n); i++ {
+		name, err := readString(rd)
+		if err != nil {
+			return nil, err
+		}
+		var c int64
+		if err := readVals(rd, &c); err != nil {
+			return nil, err
+		}
+		r.Methods[name] = int(c)
+	}
+	return r, nil
+}
+
+// --- primitives ---
+
+func writeVals(w io.Writer, vs ...interface{}) error {
+	for _, v := range vs {
+		if err := binary.Write(w, order, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readVals(r io.Reader, vs ...interface{}) error {
+	for _, v := range vs {
+		if err := binary.Read(r, order, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := writeVals(w, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := w.Write([]byte(s))
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint32
+	if err := readVals(r, &n); err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", fmt.Errorf("wetio: implausible string length %d", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func writeInts(w io.Writer, s []int) error {
+	if err := writeVals(w, uint32(len(s))); err != nil {
+		return err
+	}
+	for _, v := range s {
+		if err := writeVals(w, int32(v)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readInts(r io.Reader) ([]int, error) {
+	var n uint32
+	if err := readVals(r, &n); err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		var v int32
+		if err := readVals(r, &v); err != nil {
+			return nil, err
+		}
+		out[i] = int(v)
+	}
+	return out, nil
+}
+
+func boolByte(b bool) uint8 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,307 @@
+package workload
+
+import "wet/internal/ir"
+
+// buildGo models 099.go: sweeps over a 19×19 board with data-dependent
+// branching on neighbour contents — the paper's benchmark with the most
+// complex control flow (and its worst compression ratios).
+func buildGo(scale int) (*ir.Program, []int64) {
+	const (
+		side  = 19
+		board = 0 // words [0, 361)
+		n     = side * side
+	)
+	p := ir.NewProgram(4096)
+	fb := p.NewFunc("main", 0)
+	seed := fb.ConstReg(1234567)
+	// Board cells: 0 empty, 1 black, 2 white.
+	fillRegion(fb, seed, board, n, 3)
+
+	score := fb.ConstReg(0)
+	cell := fb.NewReg()
+	nb := fb.NewReg()
+	same := fb.NewReg()
+	c := fb.NewReg()
+	tmp := fb.NewReg()
+
+	sweeps := int64(scale) * 3
+	fb.For(ir.Imm(0), ir.Imm(sweeps), ir.Imm(1), func(s ir.Reg) {
+		// Interior positions only, so neighbour loads stay on the board.
+		fb.For(ir.Imm(side+1), ir.Imm(n-side-1), ir.Imm(1), func(pos ir.Reg) {
+			fb.Load(cell, ir.R(pos), board)
+			fb.Ne(c, ir.R(cell), ir.Imm(0))
+			fb.If(ir.R(c), func() {
+				fb.Const(same, 0)
+				// Four neighbour checks, each a data-dependent branch.
+				for _, off := range []int64{-1, 1, -side, side} {
+					fb.Load(nb, ir.R(pos), board+off)
+					fb.Eq(c, ir.R(nb), ir.R(cell))
+					fb.If(ir.R(c), func() {
+						fb.Add(same, ir.R(same), ir.Imm(1))
+					}, nil)
+				}
+				// Group strength heuristic: the if-chain mimics go's
+				// irregular evaluation.
+				stats(fb, score, same, cell, nb)
+				fb.Eq(c, ir.R(same), ir.Imm(0))
+				fb.If(ir.R(c), func() {
+					// Lonely stone: capture it (mutates the board).
+					fb.Store(ir.R(pos), board, ir.Imm(0))
+					fb.Sub(score, ir.R(score), ir.Imm(5))
+				}, func() {
+					fb.Ge(c, ir.R(same), ir.Imm(3))
+					fb.If(ir.R(c), func() {
+						fb.Mul(tmp, ir.R(cell), ir.Imm(7))
+						fb.Add(score, ir.R(score), ir.R(tmp))
+					}, func() {
+						fb.Add(score, ir.R(score), ir.R(same))
+					})
+				})
+			}, nil)
+		})
+		fb.Output(ir.R(score))
+	})
+	fb.Halt()
+	p.MustFinalize()
+	return p, nil
+}
+
+// buildGCC models 126.gcc: a scanner over synthetic source text with
+// table-driven character classification and per-token-kind handling,
+// including symbol-table hashing.
+func buildGCC(scale int) (*ir.Program, []int64) {
+	const (
+		text    = 0    // words [0, textLen)
+		classTb = 3000 // 64 entries
+		symtab  = 3100 // 512 buckets
+		textLen = 2048
+	)
+	p := ir.NewProgram(8192)
+	fb := p.NewFunc("main", 0)
+	seed := fb.ConstReg(20260704)
+	// Synthetic "source": bytes 0..63.
+	fillRegion(fb, seed, text, textLen, 64)
+	// Character class table: 0 space, 1 letter, 2 digit, 3 operator.
+	cls := fb.NewReg()
+	fb.For(ir.Imm(0), ir.Imm(64), ir.Imm(1), func(ch ir.Reg) {
+		fb.Mod(cls, ir.R(ch), ir.Imm(8))
+		// Classes skewed: 0-2 letters, 3-4 digits, 5-6 space, 7 operator.
+		m := fb.NewReg()
+		fb.Lt(m, ir.R(cls), ir.Imm(3))
+		fb.If(ir.R(m), func() {
+			addrStore(fb, ch, classTb, 1)
+		}, func() {
+			fb.Lt(m, ir.R(cls), ir.Imm(5))
+			fb.If(ir.R(m), func() {
+				addrStore(fb, ch, classTb, 2)
+			}, func() {
+				fb.Lt(m, ir.R(cls), ir.Imm(7))
+				fb.If(ir.R(m), func() {
+					addrStore(fb, ch, classTb, 0)
+				}, func() {
+					addrStore(fb, ch, classTb, 3)
+				})
+			})
+		})
+	})
+
+	idents := fb.ConstReg(0)
+	nums := fb.ConstReg(0)
+	ops := fb.ConstReg(0)
+	ch := fb.NewReg()
+	kind := fb.NewReg()
+	c := fb.NewReg()
+	hash := fb.NewReg()
+	acc := fb.NewReg()
+	bucket := fb.NewReg()
+
+	passes := int64(scale) * 2
+	fb.For(ir.Imm(0), ir.Imm(passes), ir.Imm(1), func(pass ir.Reg) {
+		pos := fb.NewReg()
+		fb.Const(pos, 0)
+		fb.While(func() ir.Operand {
+			fb.Lt(c, ir.R(pos), ir.Imm(textLen))
+			return ir.R(c)
+		}, func() {
+			fb.Load(ch, ir.R(pos), text)
+			fb.Load(kind, ir.R(ch), classTb)
+			fb.Add(pos, ir.R(pos), ir.Imm(1))
+			stats(fb, ops, ch, kind)
+			fb.Switch(ir.R(kind), []int64{1, 2, 3}, []func(){
+				func() { // identifier: consume following letters, hash it
+					fb.Mov(hash, ir.R(ch))
+					fb.While(func() ir.Operand {
+						fb.Lt(c, ir.R(pos), ir.Imm(textLen))
+						fb.If(ir.R(c), func() {
+							fb.Load(ch, ir.R(pos), text)
+							fb.Load(kind, ir.R(ch), classTb)
+							fb.Eq(c, ir.R(kind), ir.Imm(1))
+						}, nil)
+						return ir.R(c)
+					}, func() {
+						fb.Mul(hash, ir.R(hash), ir.Imm(31))
+						fb.Add(hash, ir.R(hash), ir.R(ch))
+						fb.And(hash, ir.R(hash), ir.Imm(0xffff))
+						fb.Add(pos, ir.R(pos), ir.Imm(1))
+					})
+					fb.Mod(bucket, ir.R(hash), ir.Imm(512))
+					fb.Load(acc, ir.R(bucket), symtab)
+					fb.Add(acc, ir.R(acc), ir.Imm(1))
+					fb.Store(ir.R(bucket), symtab, ir.R(acc))
+					fb.Add(idents, ir.R(idents), ir.Imm(1))
+				},
+				func() { // number: accumulate digits
+					fb.Mov(acc, ir.R(ch))
+					fb.While(func() ir.Operand {
+						fb.Lt(c, ir.R(pos), ir.Imm(textLen))
+						fb.If(ir.R(c), func() {
+							fb.Load(ch, ir.R(pos), text)
+							fb.Load(kind, ir.R(ch), classTb)
+							fb.Eq(c, ir.R(kind), ir.Imm(2))
+						}, nil)
+						return ir.R(c)
+					}, func() {
+						fb.Mul(acc, ir.R(acc), ir.Imm(10))
+						fb.Add(acc, ir.R(acc), ir.R(ch))
+						fb.And(acc, ir.R(acc), ir.Imm(0xfffff))
+						fb.Add(pos, ir.R(pos), ir.Imm(1))
+					})
+					fb.Add(nums, ir.R(nums), ir.Imm(1))
+				},
+				func() { // operator
+					fb.Add(ops, ir.R(ops), ir.Imm(1))
+				},
+			}, nil)
+		})
+	})
+	fb.Output(ir.R(idents))
+	fb.Output(ir.R(nums))
+	fb.Output(ir.R(ops))
+	fb.Halt()
+	p.MustFinalize()
+	return p, nil
+}
+
+// addrStore stores an immediate at mem[reg + base].
+func addrStore(fb *ir.FuncBuilder, addr ir.Reg, base int64, v int64) {
+	fb.Store(ir.R(addr), base, ir.Imm(v))
+}
+
+// Bytecode opcodes interpreted by buildLi.
+const (
+	bcPush = iota
+	bcLoad
+	bcStore
+	bcAdd
+	bcSub
+	bcMul
+	bcJnz
+	bcHalt
+)
+
+// buildLi models 130.li: a bytecode interpreter (an interpreter being
+// interpreted, like xlisp evaluating lisp). The hosted program sums a
+// counted loop; the host's dispatch switch dominates the dynamic control
+// flow.
+func buildLi(scale int) (*ir.Program, []int64) {
+	const (
+		code   = 0
+		stack  = 1024
+		locals = 2048
+	)
+	// Hosted bytecode: acc=0; cnt=n; do { acc+=cnt*3; cnt-- } while cnt.
+	prog := []int64{
+		bcPush, int64(scale) * 400, // counter initial value
+		bcStore, 0,
+		bcPush, 0,
+		bcStore, 1,
+		// loop (pc=8):
+		bcLoad, 1,
+		bcLoad, 0,
+		bcPush, 3,
+		bcMul, 0,
+		bcAdd, 0,
+		bcStore, 1,
+		bcLoad, 0,
+		bcPush, 1,
+		bcSub, 0,
+		bcStore, 0,
+		bcLoad, 0,
+		bcJnz, 8,
+		bcHalt, 0,
+	}
+	p := ir.NewProgram(4096)
+	fb := p.NewFunc("main", 0)
+	for i, w := range prog {
+		fb.Store(ir.Imm(int64(i)), code, ir.Imm(w))
+	}
+	pc := fb.ConstReg(0)
+	sp := fb.ConstReg(stack)
+	running := fb.ConstReg(1)
+	op := fb.NewReg()
+	arg := fb.NewReg()
+	a := fb.NewReg()
+	b := fb.NewReg()
+	c := fb.NewReg()
+	cycles := fb.ConstReg(0)
+	fb.While(func() ir.Operand { return ir.R(running) }, func() {
+		fb.Load(op, ir.R(pc), code)
+		fb.Load(arg, ir.R(pc), code+1)
+		fb.Add(pc, ir.R(pc), ir.Imm(2))
+		stats(fb, cycles, op, arg)
+		fb.Switch(ir.R(op), []int64{bcPush, bcLoad, bcStore, bcAdd, bcSub, bcMul, bcJnz, bcHalt}, []func(){
+			func() {
+				fb.Store(ir.R(sp), 0, ir.R(arg))
+				fb.Add(sp, ir.R(sp), ir.Imm(1))
+			},
+			func() {
+				fb.Load(a, ir.R(arg), locals)
+				fb.Store(ir.R(sp), 0, ir.R(a))
+				fb.Add(sp, ir.R(sp), ir.Imm(1))
+			},
+			func() {
+				fb.Sub(sp, ir.R(sp), ir.Imm(1))
+				fb.Load(a, ir.R(sp), 0)
+				fb.Store(ir.R(arg), locals, ir.R(a))
+			},
+			func() {
+				fb.Sub(sp, ir.R(sp), ir.Imm(1))
+				fb.Load(a, ir.R(sp), 0)
+				fb.Load(b, ir.R(sp), -1)
+				fb.Add(b, ir.R(b), ir.R(a))
+				fb.Store(ir.R(sp), -1, ir.R(b))
+			},
+			func() {
+				fb.Sub(sp, ir.R(sp), ir.Imm(1))
+				fb.Load(a, ir.R(sp), 0)
+				fb.Load(b, ir.R(sp), -1)
+				fb.Sub(b, ir.R(b), ir.R(a))
+				fb.Store(ir.R(sp), -1, ir.R(b))
+			},
+			func() {
+				fb.Sub(sp, ir.R(sp), ir.Imm(1))
+				fb.Load(a, ir.R(sp), 0)
+				fb.Load(b, ir.R(sp), -1)
+				fb.Mul(b, ir.R(b), ir.R(a))
+				fb.Store(ir.R(sp), -1, ir.R(b))
+			},
+			func() {
+				fb.Sub(sp, ir.R(sp), ir.Imm(1))
+				fb.Load(a, ir.R(sp), 0)
+				fb.Ne(c, ir.R(a), ir.Imm(0))
+				fb.If(ir.R(c), func() {
+					fb.Mov(pc, ir.R(arg))
+				}, nil)
+			},
+			func() {
+				fb.Const(running, 0)
+			},
+		}, nil)
+	})
+	out := fb.NewReg()
+	fb.Load(out, ir.Imm(1), locals)
+	fb.Output(ir.R(out))
+	fb.Halt()
+	p.MustFinalize()
+	return p, nil
+}

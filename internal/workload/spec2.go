@@ -1,0 +1,255 @@
+package workload
+
+import "wet/internal/ir"
+
+// buildGzip models 164.gzip: LZ77-style matching over a sliding window with
+// a hash head table. Inner match loops have data-dependent trip counts and
+// the reference stream revisits recent addresses, like a deflate inner
+// loop.
+func buildGzip(scale int) (*ir.Program, []int64) {
+	const (
+		buf    = 0 // input bytes
+		heads  = 9000
+		hashSz = 1024
+		bufLen = 3000
+		maxCmp = 16
+	)
+	p := ir.NewProgram(16384)
+	fb := p.NewFunc("main", 0)
+	seed := fb.ConstReg(987654)
+	// Compressible input: small alphabet with long repeated stretches.
+	v := fb.NewReg()
+	r := fb.NewReg()
+	fb.For(ir.Imm(0), ir.Imm(bufLen), ir.Imm(1), func(i ir.Reg) {
+		lcg(fb, seed, r, 100)
+		cold := fb.NewReg()
+		fb.Lt(cold, ir.R(r), ir.Imm(15))
+		fb.If(ir.R(cold), func() {
+			lcg(fb, seed, v, 16) // fresh literal
+		}, nil) // else keep previous v: runs of repeats
+		fb.Store(ir.R(i), buf, ir.R(v))
+	})
+
+	lits := fb.ConstReg(0)
+	matches := fb.ConstReg(0)
+	totalLen := fb.ConstReg(0)
+	h := fb.NewReg()
+	c0 := fb.NewReg()
+	c1 := fb.NewReg()
+	c2 := fb.NewReg()
+	cand := fb.NewReg()
+	mlen := fb.NewReg()
+	cc := fb.NewReg()
+	a := fb.NewReg()
+	b := fb.NewReg()
+
+	passes := int64(scale)
+	fb.For(ir.Imm(0), ir.Imm(passes), ir.Imm(1), func(pass ir.Reg) {
+		fb.For(ir.Imm(0), ir.Imm(bufLen-maxCmp-3), ir.Imm(1), func(pos ir.Reg) {
+			fb.Load(c0, ir.R(pos), buf)
+			fb.Load(c1, ir.R(pos), buf+1)
+			fb.Load(c2, ir.R(pos), buf+2)
+			// h = (c0*33 + c1)*33 + c2 mod hashSz
+			fb.Mul(h, ir.R(c0), ir.Imm(33))
+			fb.Add(h, ir.R(h), ir.R(c1))
+			fb.Mul(h, ir.R(h), ir.Imm(33))
+			fb.Add(h, ir.R(h), ir.R(c2))
+			fb.Mod(h, ir.R(h), ir.Imm(hashSz))
+			stats(fb, totalLen, c0, c1, c2)
+			fb.Load(cand, ir.R(h), heads)
+			fb.Store(ir.R(h), heads, ir.R(pos))
+			// Try to extend a match at cand (cand < pos required).
+			fb.Lt(cc, ir.R(cand), ir.R(pos))
+			fb.If(ir.R(cc), func() {
+				fb.Const(mlen, 0)
+				fb.While(func() ir.Operand {
+					fb.Lt(cc, ir.R(mlen), ir.Imm(maxCmp))
+					fb.If(ir.R(cc), func() {
+						fb.Add(a, ir.R(pos), ir.R(mlen))
+						fb.Load(a, ir.R(a), buf)
+						fb.Add(b, ir.R(cand), ir.R(mlen))
+						fb.Load(b, ir.R(b), buf)
+						fb.Eq(cc, ir.R(a), ir.R(b))
+					}, nil)
+					return ir.R(cc)
+				}, func() {
+					fb.Add(mlen, ir.R(mlen), ir.Imm(1))
+				})
+				fb.Ge(cc, ir.R(mlen), ir.Imm(3))
+				fb.If(ir.R(cc), func() {
+					fb.Add(matches, ir.R(matches), ir.Imm(1))
+					fb.Add(totalLen, ir.R(totalLen), ir.R(mlen))
+				}, func() {
+					fb.Add(lits, ir.R(lits), ir.Imm(1))
+				})
+			}, func() {
+				fb.Add(lits, ir.R(lits), ir.Imm(1))
+			})
+		})
+	})
+	fb.Output(ir.R(matches))
+	fb.Output(ir.R(lits))
+	fb.Output(ir.R(totalLen))
+	fb.Halt()
+	p.MustFinalize()
+	return p, nil
+}
+
+// buildMCF models 181.mcf: repeated relaxation sweeps over an arc array of
+// a synthetic flow network — load-dominated with poor locality and highly
+// data-dependent compare-and-update branches.
+func buildMCF(scale int) (*ir.Program, []int64) {
+	const (
+		nodes   = 256
+		arcs    = 1024
+		dist    = 0    // [0, nodes)
+		arcSrc  = 1000 // [0, arcs)
+		arcDst  = 2100
+		arcCost = 3200
+	)
+	p := ir.NewProgram(8192)
+	fb := p.NewFunc("main", 0)
+	seed := fb.ConstReg(555555)
+	fillRegion(fb, seed, arcSrc, arcs, nodes)
+	fillRegion(fb, seed, arcDst, arcs, nodes)
+	fillRegion(fb, seed, arcCost, arcs, 50)
+	// dist[i] = big, dist[0] = 0.
+	fb.For(ir.Imm(0), ir.Imm(nodes), ir.Imm(1), func(i ir.Reg) {
+		fb.Store(ir.R(i), dist, ir.Imm(1<<20))
+	})
+	fb.Store(ir.Imm(0), dist, ir.Imm(0))
+
+	relaxed := fb.ConstReg(0)
+	u := fb.NewReg()
+	vv := fb.NewReg()
+	w := fb.NewReg()
+	du := fb.NewReg()
+	dv := fb.NewReg()
+	nd := fb.NewReg()
+	c := fb.NewReg()
+	sweeps := int64(scale) * 6
+	fb.For(ir.Imm(0), ir.Imm(sweeps), ir.Imm(1), func(s ir.Reg) {
+		fb.For(ir.Imm(0), ir.Imm(arcs), ir.Imm(1), func(ai ir.Reg) {
+			fb.Load(u, ir.R(ai), arcSrc)
+			fb.Load(vv, ir.R(ai), arcDst)
+			fb.Load(w, ir.R(ai), arcCost)
+			fb.Load(du, ir.R(u), dist)
+			fb.Load(dv, ir.R(vv), dist)
+			fb.Add(nd, ir.R(du), ir.R(w))
+			stats(fb, relaxed, u, vv, w)
+			fb.Lt(c, ir.R(nd), ir.R(dv))
+			fb.If(ir.R(c), func() {
+				fb.Store(ir.R(vv), dist, ir.R(nd))
+				fb.Add(relaxed, ir.R(relaxed), ir.Imm(1))
+			}, nil)
+		})
+	})
+	fb.Output(ir.R(relaxed))
+	fb.Halt()
+	p.MustFinalize()
+	return p, nil
+}
+
+// buildParser models 197.parser: tokenized "sentences" are looked up in a
+// hashed dictionary with linear probing, driving a small grammatical state
+// machine — pointer-ish probing plus table-driven branching.
+func buildParser(scale int) (*ir.Program, []int64) {
+	const (
+		dict    = 0 // open-addressed table: key words
+		dictSz  = 512
+		sent    = 1000 // token stream
+		sentLen = 600
+		kinds   = 1700 // dict: word kind (1 noun, 2 verb, 3 other)
+	)
+	p := ir.NewProgram(4096)
+	fb := p.NewFunc("main", 0)
+	seed := fb.ConstReg(31415926)
+
+	// Populate the dictionary with 300 words (values 1..600; tokens draw
+	// from the same range so lookups hit about half the time).
+	wv := fb.NewReg()
+	slot := fb.NewReg()
+	probe := fb.NewReg()
+	c := fb.NewReg()
+	fb.For(ir.Imm(0), ir.Imm(300), ir.Imm(1), func(i ir.Reg) {
+		lcg(fb, seed, wv, 600)
+		fb.Add(wv, ir.R(wv), ir.Imm(1))
+		fb.Mod(slot, ir.R(wv), ir.Imm(dictSz))
+		// Linear probe to a free slot.
+		fb.While(func() ir.Operand {
+			fb.Load(probe, ir.R(slot), dict)
+			fb.Ne(c, ir.R(probe), ir.Imm(0))
+			return ir.R(c)
+		}, func() {
+			fb.Add(slot, ir.R(slot), ir.Imm(1))
+			fb.Mod(slot, ir.R(slot), ir.Imm(dictSz))
+		})
+		fb.Store(ir.R(slot), dict, ir.R(wv))
+		k := fb.NewReg()
+		fb.Mod(k, ir.R(wv), ir.Imm(3))
+		fb.Add(k, ir.R(k), ir.Imm(1))
+		fb.Store(ir.R(slot), kinds, ir.R(k))
+	})
+	// Sentence tokens reuse dictionary-like values (some miss).
+	fillRegion(fb, seed, sent, sentLen, 600)
+
+	found := fb.ConstReg(0)
+	gramm := fb.ConstReg(0)
+	state := fb.ConstReg(0)
+	tok := fb.NewReg()
+	kind := fb.NewReg()
+	tries := fb.NewReg()
+	passes := int64(scale) * 2
+	fb.For(ir.Imm(0), ir.Imm(passes), ir.Imm(1), func(pass ir.Reg) {
+		fb.For(ir.Imm(0), ir.Imm(sentLen), ir.Imm(1), func(ti ir.Reg) {
+			fb.Load(tok, ir.R(ti), sent)
+			fb.Add(tok, ir.R(tok), ir.Imm(1))
+			fb.Mod(slot, ir.R(tok), ir.Imm(dictSz))
+			fb.Const(kind, 0)
+			fb.Const(tries, 0)
+			// Probe until the word, an empty slot, or probe exhaustion.
+			fb.While(func() ir.Operand {
+				fb.Lt(c, ir.R(tries), ir.Imm(8))
+				fb.If(ir.R(c), func() {
+					fb.Load(probe, ir.R(slot), dict)
+					fb.Ne(c, ir.R(probe), ir.Imm(0))
+					fb.If(ir.R(c), func() {
+						fb.Ne(c, ir.R(probe), ir.R(tok))
+					}, nil)
+				}, nil)
+				return ir.R(c)
+			}, func() {
+				fb.Add(slot, ir.R(slot), ir.Imm(1))
+				fb.Mod(slot, ir.R(slot), ir.Imm(dictSz))
+				fb.Add(tries, ir.R(tries), ir.Imm(1))
+			})
+			fb.Load(probe, ir.R(slot), dict)
+			stats(fb, gramm, tok, slot)
+			fb.Eq(c, ir.R(probe), ir.R(tok))
+			fb.If(ir.R(c), func() {
+				fb.Load(kind, ir.R(slot), kinds)
+				fb.Add(found, ir.R(found), ir.Imm(1))
+			}, nil)
+			// Grammar automaton: noun after verb scores; others reset.
+			fb.Switch(ir.R(kind), []int64{1, 2}, []func(){
+				func() { // noun
+					fb.Eq(c, ir.R(state), ir.Imm(2))
+					fb.If(ir.R(c), func() {
+						fb.Add(gramm, ir.R(gramm), ir.Imm(1))
+					}, nil)
+					fb.Const(state, 1)
+				},
+				func() { // verb
+					fb.Const(state, 2)
+				},
+			}, func() {
+				fb.Const(state, 0)
+			})
+		})
+	})
+	fb.Output(ir.R(found))
+	fb.Output(ir.R(gramm))
+	fb.Halt()
+	p.MustFinalize()
+	return p, nil
+}

@@ -1,0 +1,355 @@
+package workload
+
+import "wet/internal/ir"
+
+// buildVortex models 255.vortex: an in-memory object database processing a
+// transaction mix (insert / lookup / update) through subroutines — the
+// call-heavy benchmark (and the paper's best compression ratio).
+func buildVortex(scale int) (*ir.Program, []int64) {
+	const (
+		index   = 0 // hash index: key -> record id + 1 (0 empty)
+		idxSz   = 1024
+		records = 2048 // records of 4 fields
+		recFlds = 4
+		nextID  = 8000 // allocation counter cell
+	)
+	p := ir.NewProgram(16384)
+
+	// insert(key, f1, f2): allocates a record, fills fields, indexes it.
+	ins := p.NewFunc("insert", 3)
+	{
+		key, f1, f2 := ins.Param(0), ins.Param(1), ins.Param(2)
+		id := ins.NewReg()
+		ins.Load(id, ir.Imm(nextID), 0)
+		base := ins.NewReg()
+		ins.Mul(base, ir.R(id), ir.Imm(recFlds))
+		ins.Add(base, ir.R(base), ir.Imm(records))
+		ins.Store(ir.R(base), 0, ir.R(key))
+		ins.Store(ir.R(base), 1, ir.R(f1))
+		ins.Store(ir.R(base), 2, ir.R(f2))
+		ins.Store(ir.R(base), 3, ir.Imm(0)) // update counter
+		slot := ins.NewReg()
+		ins.Mod(slot, ir.R(key), ir.Imm(idxSz))
+		c := ins.NewReg()
+		probe := ins.NewReg()
+		ins.While(func() ir.Operand {
+			ins.Load(probe, ir.R(slot), index)
+			ins.Ne(c, ir.R(probe), ir.Imm(0))
+			return ir.R(c)
+		}, func() {
+			ins.Add(slot, ir.R(slot), ir.Imm(1))
+			ins.Mod(slot, ir.R(slot), ir.Imm(idxSz))
+		})
+		idp := ins.NewReg()
+		ins.Add(idp, ir.R(id), ir.Imm(1))
+		ins.Store(ir.R(slot), index, ir.R(idp))
+		ins.Add(id, ir.R(id), ir.Imm(1))
+		ins.Store(ir.Imm(nextID), 0, ir.R(id))
+		ins.Ret(ir.R(idp))
+	}
+
+	// lookup(key): returns record id + 1 or 0.
+	lk := p.NewFunc("lookup", 1)
+	{
+		key := lk.Param(0)
+		slot := lk.NewReg()
+		lk.Mod(slot, ir.R(key), ir.Imm(idxSz))
+		tries := lk.ConstReg(0)
+		probe := lk.NewReg()
+		c := lk.NewReg()
+		base := lk.NewReg()
+		rkey := lk.NewReg()
+		lk.While(func() ir.Operand {
+			lk.Lt(c, ir.R(tries), ir.Imm(12))
+			lk.If(ir.R(c), func() {
+				lk.Load(probe, ir.R(slot), index)
+				lk.Ne(c, ir.R(probe), ir.Imm(0))
+			}, nil)
+			return ir.R(c)
+		}, func() {
+			// Does the indexed record hold our key?
+			lk.Sub(base, ir.R(probe), ir.Imm(1))
+			lk.Mul(base, ir.R(base), ir.Imm(recFlds))
+			lk.Add(base, ir.R(base), ir.Imm(records))
+			lk.Load(rkey, ir.R(base), 0)
+			lk.Eq(c, ir.R(rkey), ir.R(key))
+			lk.If(ir.R(c), func() {
+				lk.Ret(ir.R(probe))
+			}, nil)
+			lk.Add(slot, ir.R(slot), ir.Imm(1))
+			lk.Mod(slot, ir.R(slot), ir.Imm(idxSz))
+			lk.Add(tries, ir.R(tries), ir.Imm(1))
+		})
+		lk.Ret(ir.Imm(0))
+	}
+
+	// update(id1): bumps a field of the record.
+	up := p.NewFunc("update", 1)
+	{
+		idp := up.Param(0)
+		base := up.NewReg()
+		up.Sub(base, ir.R(idp), ir.Imm(1))
+		up.Mul(base, ir.R(base), ir.Imm(recFlds))
+		up.Add(base, ir.R(base), ir.Imm(records))
+		cnt := up.NewReg()
+		up.Load(cnt, ir.R(base), 3)
+		up.Add(cnt, ir.R(cnt), ir.Imm(1))
+		up.Store(ir.R(base), 3, ir.R(cnt))
+		up.Ret(ir.R(cnt))
+	}
+
+	fb := p.NewFunc("main", 0)
+	seed := fb.ConstReg(271828)
+	fb.Store(ir.Imm(nextID), 0, ir.Imm(0))
+	hits := fb.ConstReg(0)
+	key := fb.NewReg()
+	f1 := fb.NewReg()
+	f2 := fb.NewReg()
+	op := fb.NewReg()
+	res := fb.NewReg()
+	c := fb.NewReg()
+	txns := int64(scale) * 500
+	fb.For(ir.Imm(0), ir.Imm(txns), ir.Imm(1), func(i ir.Reg) {
+		lcg(fb, seed, op, 10)
+		lcg(fb, seed, key, 700)
+		stats(fb, hits, op, key)
+		fb.Lt(c, ir.R(op), ir.Imm(3)) // 30% inserts (capped by region)
+		fb.If(ir.R(c), func() {
+			nid := fb.NewReg()
+			fb.Load(nid, ir.Imm(nextID), 0)
+			fb.Lt(c, ir.R(nid), ir.Imm(900)) // stay inside the region
+			fb.If(ir.R(c), func() {
+				fb.Mul(f1, ir.R(key), ir.Imm(7))
+				fb.Add(f2, ir.R(key), ir.Imm(100))
+				fb.Call(res, "insert", ir.R(key), ir.R(f1), ir.R(f2))
+			}, nil)
+		}, func() {
+			fb.Call(res, "lookup", ir.R(key))
+			fb.Ne(c, ir.R(res), ir.Imm(0))
+			fb.If(ir.R(c), func() {
+				fb.Add(hits, ir.R(hits), ir.Imm(1))
+				fb.Call(res, "update", ir.R(res))
+			}, nil)
+		})
+	})
+	fb.Output(ir.R(hits))
+	fb.Halt()
+	p.Entry = 3
+	p.MustFinalize()
+	return p, nil
+}
+
+// buildBzip2 models 256.bzip2: per block, an insertion sort (stand-in for
+// the BWT sort), a move-to-front pass with a small table, and run-length
+// counting — the paper's benchmark with the best timestamp compression.
+func buildBzip2(scale int) (*ir.Program, []int64) {
+	const (
+		block    = 0
+		mtf      = 500 // 16-entry MTF table
+		blockLen = 96
+	)
+	p := ir.NewProgram(4096)
+	fb := p.NewFunc("main", 0)
+	seed := fb.ConstReg(112358)
+	runs := fb.ConstReg(0)
+	zeros := fb.ConstReg(0)
+	a := fb.NewReg()
+	b := fb.NewReg()
+	c := fb.NewReg()
+	j := fb.NewReg()
+	sym := fb.NewReg()
+	idx := fb.NewReg()
+	prev := fb.NewReg()
+
+	blocks := int64(scale) * 4
+	fb.For(ir.Imm(0), ir.Imm(blocks), ir.Imm(1), func(blk ir.Reg) {
+		fillRegion(fb, seed, block, blockLen, 16)
+		// Insertion sort the block (data-dependent inner while).
+		fb.For(ir.Imm(1), ir.Imm(blockLen), ir.Imm(1), func(i ir.Reg) {
+			fb.Load(a, ir.R(i), block)
+			fb.Mov(j, ir.R(i))
+			fb.While(func() ir.Operand {
+				fb.Gt(c, ir.R(j), ir.Imm(0))
+				fb.If(ir.R(c), func() {
+					fb.Load(b, ir.R(j), block-1)
+					fb.Gt(c, ir.R(b), ir.R(a))
+				}, nil)
+				return ir.R(c)
+			}, func() {
+				fb.Store(ir.R(j), block, ir.R(b))
+				fb.Sub(j, ir.R(j), ir.Imm(1))
+			})
+			fb.Store(ir.R(j), block, ir.R(a))
+		})
+		// MTF init: table[k] = k.
+		fb.For(ir.Imm(0), ir.Imm(16), ir.Imm(1), func(k ir.Reg) {
+			kv := fb.NewReg()
+			fb.Mov(kv, ir.R(k))
+			fb.Store(ir.R(k), mtf, ir.R(kv))
+		})
+		// MTF encode + RLE of zero runs.
+		fb.Const(prev, -1)
+		fb.For(ir.Imm(0), ir.Imm(blockLen), ir.Imm(1), func(i ir.Reg) {
+			fb.Load(sym, ir.R(i), block)
+			// Find sym's index in the MTF table.
+			fb.Const(idx, 0)
+			fb.While(func() ir.Operand {
+				fb.Load(b, ir.R(idx), mtf)
+				fb.Ne(c, ir.R(b), ir.R(sym))
+				return ir.R(c)
+			}, func() {
+				fb.Add(idx, ir.R(idx), ir.Imm(1))
+			})
+			// Move to front: shift table[0..idx) up by one.
+			fb.Mov(j, ir.R(idx))
+			fb.While(func() ir.Operand {
+				fb.Gt(c, ir.R(j), ir.Imm(0))
+				return ir.R(c)
+			}, func() {
+				fb.Load(b, ir.R(j), mtf-1)
+				fb.Store(ir.R(j), mtf, ir.R(b))
+				fb.Sub(j, ir.R(j), ir.Imm(1))
+			})
+			fb.Store(ir.Imm(0), mtf, ir.R(sym))
+			stats(fb, runs, sym, idx)
+			// RLE over the MTF output.
+			fb.Eq(c, ir.R(idx), ir.Imm(0))
+			fb.If(ir.R(c), func() {
+				fb.Add(zeros, ir.R(zeros), ir.Imm(1))
+			}, func() {
+				fb.Ne(c, ir.R(idx), ir.R(prev))
+				fb.If(ir.R(c), func() {
+					fb.Add(runs, ir.R(runs), ir.Imm(1))
+				}, nil)
+			})
+			fb.Mov(prev, ir.R(idx))
+		})
+	})
+	fb.Output(ir.R(runs))
+	fb.Output(ir.R(zeros))
+	fb.Halt()
+	p.MustFinalize()
+	return p, nil
+}
+
+// buildTwolf models 300.twolf: simulated-annealing standard-cell placement:
+// propose a random cell swap, evaluate the wirelength delta (multiply
+// heavy), accept or reject against a cooling threshold.
+func buildTwolf(scale int) (*ir.Program, []int64) {
+	const (
+		cellX  = 0 // [0, nCells)
+		cellY  = 300
+		nets   = 600 // pairs (a, b) of connected cells
+		nCells = 128
+		nNets  = 256
+	)
+	p := ir.NewProgram(4096)
+
+	// cost(a): wirelength of cell a against its net partner.
+	cost := p.NewFunc("cost", 2) // (cellA, cellB)
+	{
+		ca, cb := cost.Param(0), cost.Param(1)
+		xa := cost.NewReg()
+		ya := cost.NewReg()
+		xb := cost.NewReg()
+		yb := cost.NewReg()
+		cost.Load(xa, ir.R(ca), cellX)
+		cost.Load(ya, ir.R(ca), cellY)
+		cost.Load(xb, ir.R(cb), cellX)
+		cost.Load(yb, ir.R(cb), cellY)
+		dx := cost.NewReg()
+		dy := cost.NewReg()
+		cost.Sub(dx, ir.R(xa), ir.R(xb))
+		cost.Sub(dy, ir.R(ya), ir.R(yb))
+		// |dx| + |dy| via branches (annealing's abs computations).
+		c := cost.NewReg()
+		cost.Lt(c, ir.R(dx), ir.Imm(0))
+		cost.If(ir.R(c), func() { cost.Neg(dx, ir.R(dx)) }, nil)
+		cost.Lt(c, ir.R(dy), ir.Imm(0))
+		cost.If(ir.R(c), func() { cost.Neg(dy, ir.R(dy)) }, nil)
+		s := cost.NewReg()
+		cost.Add(s, ir.R(dx), ir.R(dy))
+		cost.Ret(ir.R(s))
+	}
+
+	fb := p.NewFunc("main", 0)
+	seed := fb.ConstReg(424242)
+	v := fb.NewReg()
+	fb.For(ir.Imm(0), ir.Imm(nCells), ir.Imm(1), func(i ir.Reg) {
+		lcg(fb, seed, v, 100)
+		fb.Store(ir.R(i), cellX, ir.R(v))
+		lcg(fb, seed, v, 100)
+		fb.Store(ir.R(i), cellY, ir.R(v))
+	})
+	// Nets: random cell pairs.
+	fb.For(ir.Imm(0), ir.Imm(nNets), ir.Imm(1), func(i ir.Reg) {
+		ad := fb.NewReg()
+		fb.Mul(ad, ir.R(i), ir.Imm(2))
+		lcg(fb, seed, v, nCells)
+		fb.Store(ir.R(ad), nets, ir.R(v))
+		lcg(fb, seed, v, nCells)
+		fb.Store(ir.R(ad), nets+1, ir.R(v))
+	})
+
+	accepts := fb.ConstReg(0)
+	temp := fb.ConstReg(60)
+	na := fb.NewReg()
+	nb := fb.NewReg()
+	before := fb.NewReg()
+	after := fb.NewReg()
+	xa := fb.NewReg()
+	xb := fb.NewReg()
+	ya := fb.NewReg()
+	yb := fb.NewReg()
+	delta := fb.NewReg()
+	c := fb.NewReg()
+	netI := fb.NewReg()
+	ad := fb.NewReg()
+	moves := int64(scale) * 300
+	fb.For(ir.Imm(0), ir.Imm(moves), ir.Imm(1), func(mv ir.Reg) {
+		// Cool every 64 moves.
+		fb.Mod(c, ir.R(mv), ir.Imm(64))
+		fb.Eq(c, ir.R(c), ir.Imm(0))
+		fb.If(ir.R(c), func() {
+			fb.Gt(c, ir.R(temp), ir.Imm(2))
+			fb.If(ir.R(c), func() {
+				fb.Sub(temp, ir.R(temp), ir.Imm(2))
+			}, nil)
+		}, nil)
+		// Pick a net, evaluate its cost before and after swapping the
+		// endpoints' positions.
+		lcg(fb, seed, netI, nNets)
+		fb.Mul(ad, ir.R(netI), ir.Imm(2))
+		fb.Load(na, ir.R(ad), nets)
+		fb.Load(nb, ir.R(ad), nets+1)
+		fb.Call(before, "cost", ir.R(na), ir.R(nb))
+		// Swap positions.
+		fb.Load(xa, ir.R(na), cellX)
+		fb.Load(ya, ir.R(na), cellY)
+		fb.Load(xb, ir.R(nb), cellX)
+		fb.Load(yb, ir.R(nb), cellY)
+		fb.Store(ir.R(na), cellX, ir.R(xb))
+		fb.Store(ir.R(na), cellY, ir.R(yb))
+		fb.Store(ir.R(nb), cellX, ir.R(xa))
+		fb.Store(ir.R(nb), cellY, ir.R(ya))
+		fb.Call(after, "cost", ir.R(na), ir.R(nb))
+		fb.Sub(delta, ir.R(after), ir.R(before))
+		stats(fb, accepts, before, after, temp)
+		// Accept if better or within temperature.
+		fb.Le(c, ir.R(delta), ir.R(temp))
+		fb.If(ir.R(c), func() {
+			fb.Add(accepts, ir.R(accepts), ir.Imm(1))
+		}, func() {
+			// Reject: swap back.
+			fb.Store(ir.R(na), cellX, ir.R(xa))
+			fb.Store(ir.R(na), cellY, ir.R(ya))
+			fb.Store(ir.R(nb), cellX, ir.R(xb))
+			fb.Store(ir.R(nb), cellY, ir.R(yb))
+		})
+	})
+	fb.Output(ir.R(accepts))
+	fb.Halt()
+	p.Entry = 1
+	p.MustFinalize()
+	return p, nil
+}

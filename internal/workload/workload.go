@@ -1,0 +1,135 @@
+// Package workload provides the nine synthetic benchmark programs standing
+// in for the paper's SpecInt 95/2000 runs (099.go, 126.gcc, 130.li,
+// 164.gzip, 181.mcf, 197.parser, 255.vortex, 256.bzip2, 300.twolf). Each
+// program is written in the repo's IR and mimics the dominant dynamic
+// behaviour of its namesake — the control-flow irregularity, value
+// repetitiveness, and memory reference pattern that determine WET stream
+// compressibility. Run lengths scale linearly with the `scale` parameter.
+package workload
+
+import (
+	"fmt"
+
+	"wet/internal/interp"
+	"wet/internal/ir"
+)
+
+// Workload names one benchmark and builds its program and input tape.
+type Workload struct {
+	Name string
+	// Mimics documents which SPEC program the workload models.
+	Mimics string
+	// Build constructs the program and its input for a run of roughly
+	// scale × StmtsPerScale dynamic statements.
+	Build func(scale int) (*ir.Program, []int64)
+}
+
+// All returns the nine workloads in the paper's table order.
+func All() []Workload {
+	return []Workload{
+		{"go", "099.go — game position evaluation, complex branching", buildGo},
+		{"gcc", "126.gcc — scanning and table-driven token dispatch", buildGCC},
+		{"li", "130.li — bytecode interpretation (lisp interpreter)", buildLi},
+		{"gzip", "164.gzip — LZ77-style compression over a sliding window", buildGzip},
+		{"mcf", "181.mcf — network-simplex-like arc relaxation, pointer chasing", buildMCF},
+		{"parser", "197.parser — dictionary hashing and link-grammar-ish state", buildParser},
+		{"vortex", "255.vortex — object database transactions (call heavy)", buildVortex},
+		{"bzip2", "256.bzip2 — block sort + move-to-front + RLE", buildBzip2},
+		{"twolf", "300.twolf — simulated annealing placement", buildTwolf},
+	}
+}
+
+// ByName returns the named workload.
+func ByName(name string) (Workload, error) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("workload: unknown benchmark %q (have go gcc li gzip mcf parser vortex bzip2 twolf)", name)
+}
+
+// Steps runs the workload at the given scale counting dynamic statements
+// (no sinks attached).
+func Steps(w Workload, scale int) (uint64, error) {
+	p, in := w.Build(scale)
+	st, err := interp.Analyze(p)
+	if err != nil {
+		return 0, err
+	}
+	res, err := interp.Run(st, interp.Options{Inputs: in})
+	if err != nil {
+		return 0, err
+	}
+	return res.Steps, nil
+}
+
+// ScaleFor returns the scale at which the workload executes at least
+// targetStmts dynamic statements. Two calibration runs separate the fixed
+// setup cost from the per-scale increment.
+func ScaleFor(w Workload, targetStmts uint64) (int, error) {
+	s1, err := Steps(w, 1)
+	if err != nil {
+		return 0, err
+	}
+	s2, err := Steps(w, 2)
+	if err != nil {
+		return 0, err
+	}
+	if s2 <= s1 {
+		return 0, fmt.Errorf("workload %s does not scale (%d vs %d steps)", w.Name, s1, s2)
+	}
+	perScale := s2 - s1
+	if targetStmts <= s1 {
+		return 1, nil
+	}
+	s := 1 + int((targetStmts-s1+perScale-1)/perScale)
+	return s, nil
+}
+
+// --- shared IR idioms ---
+
+// lcg emits dst = next LCG state from seed register (updates the register
+// in place and leaves a bounded value in dst): seed = seed*1103515245 +
+// 12345 mod 2^31; dst = seed % bound.
+func lcg(fb *ir.FuncBuilder, seed, dst ir.Reg, bound int64) {
+	fb.Mul(seed, ir.R(seed), ir.Imm(1103515245))
+	fb.Add(seed, ir.R(seed), ir.Imm(12345))
+	fb.And(seed, ir.R(seed), ir.Imm(0x7fffffff))
+	// Use the high bits: the low bits of a power-of-two LCG are periodic.
+	fb.Shr(dst, ir.R(seed), ir.Imm(16))
+	fb.Mod(dst, ir.R(dst), ir.Imm(bound))
+}
+
+// fillRegion emits a loop storing an LCG sequence into mem[base..base+n).
+func fillRegion(fb *ir.FuncBuilder, seed ir.Reg, base, n, bound int64) {
+	v := fb.NewReg()
+	fb.For(ir.Imm(0), ir.Imm(n), ir.Imm(1), func(i ir.Reg) {
+		lcg(fb, seed, v, bound)
+		addr := fb.NewReg()
+		fb.Add(addr, ir.R(i), ir.Imm(base))
+		fb.Store(ir.R(addr), 0, ir.R(v))
+	})
+}
+
+// stats emits a small block of straight-line bookkeeping arithmetic mixing
+// the given operands into an accumulator — the kind of address arithmetic
+// and statistics code that pads real benchmarks' basic blocks. It exists to
+// keep statements-per-Ball-Larus-path in a realistic range (Trimaran's
+// SpecInt paths average tens of intermediate statements).
+func stats(fb *ir.FuncBuilder, acc ir.Reg, vals ...ir.Reg) {
+	t1 := fb.NewReg()
+	t2 := fb.NewReg()
+	t3 := fb.NewReg()
+	for _, v := range vals {
+		// Most of the block is a pure function of v, so its values repeat
+		// whenever v does (realistic for address arithmetic); only the
+		// final accumulation is loop carried.
+		fb.Shl(t1, ir.R(v), ir.Imm(1))
+		fb.Add(t1, ir.R(t1), ir.R(v))
+		fb.Shr(t2, ir.R(t1), ir.Imm(2))
+		fb.Xor(t3, ir.R(t1), ir.R(t2))
+		fb.Add(acc, ir.R(acc), ir.R(t3))
+		fb.And(acc, ir.R(acc), ir.Imm(0xffffff))
+	}
+}

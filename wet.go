@@ -1,0 +1,327 @@
+// Package wet is the public API of the Whole Execution Traces library — a
+// reproduction of "Whole Execution Traces" (Zhang & Gupta, MICRO 2004).
+//
+// A WET is a unified, compressed representation of every kind of dynamic
+// profile a program run produces: control flow, values, addresses, and
+// data/control dependences. It is organized as a static program graph whose
+// nodes are Ball–Larus paths labeled with dynamic profile sequences, and it
+// is compressed in two tiers — customized per-label-kind compression
+// followed by generic bidirectional stream compression — while remaining
+// directly traversable in both directions.
+//
+// Typical use:
+//
+//	prog := wet.NewProgram(1 << 14)
+//	fb := prog.NewFunc("main", 0)
+//	... build IR with fb ...
+//	prog.MustFinalize()
+//
+//	w, _, err := wet.BuildWET(prog, wet.RunOptions{})
+//	rep := w.Freeze(wet.FreezeOptions{})
+//	fmt.Println(rep)                 // sizes at each compression tier
+//
+//	n := wet.ExtractControlFlow(w, wet.Tier2, true, nil)
+//	sl, err := wet.Backward(w, wet.Tier2, criterion, 0)
+//
+// The heavy lifting lives in internal packages; this package re-exports the
+// stable surface: the IR builder (internal/ir), the simulator entry points
+// (internal/interp), the WET core (internal/core), the queries
+// (internal/query), and the benchmark workloads (internal/workload).
+package wet
+
+import (
+	"io"
+
+	"wet/internal/asm"
+	"wet/internal/core"
+	"wet/internal/interp"
+	"wet/internal/ir"
+	"wet/internal/query"
+	"wet/internal/stream"
+	"wet/internal/trace"
+	"wet/internal/wetio"
+	"wet/internal/workload"
+)
+
+// --- IR construction ---
+
+// Program is an IR program under construction or finalized.
+type Program = ir.Program
+
+// FuncBuilder builds one function with structured control flow.
+type FuncBuilder = ir.FuncBuilder
+
+// Reg is a virtual register; Operand is a register or immediate.
+type (
+	Reg     = ir.Reg
+	Operand = ir.Operand
+	Stmt    = ir.Stmt
+	Op      = ir.Op
+)
+
+// NoReg marks "no destination register".
+const NoReg = ir.NoReg
+
+// NewProgram returns an empty program with the given memory size in 64-bit
+// words (rounded up to a power of two).
+func NewProgram(memWords int64) *Program { return ir.NewProgram(memWords) }
+
+// R returns a register operand; Imm an immediate operand.
+func R(r Reg) Operand     { return ir.R(r) }
+func Imm(v int64) Operand { return ir.Imm(v) }
+
+// --- running programs and building WETs ---
+
+// RunOptions configures a profiled run.
+type RunOptions struct {
+	// Inputs is the tape consumed by input statements.
+	Inputs []int64
+	// MaxSteps bounds the run (0 = a large default).
+	MaxSteps uint64
+	// CheckDeterminism re-verifies the tier-1 value-grouping invariant on
+	// every node execution (slower; useful in tests).
+	CheckDeterminism bool
+	// Arch optionally receives branch/memory outcomes (see ArchRecorder).
+	Arch interp.ArchSink
+}
+
+// RunResult summarizes the program run that produced a WET.
+type RunResult = interp.Result
+
+// WET is a whole execution trace.
+type WET = core.WET
+
+// SizeReport holds per-component sizes at each compression level.
+type SizeReport = core.SizeReport
+
+// FreezeOptions tunes WET.Freeze.
+type FreezeOptions = core.FreezeOptions
+
+// Tier selects the representation a query reads.
+type Tier = core.Tier
+
+// Query tiers: Tier1 = customized compression only, Tier2 = fully
+// compressed (bidirectional streams).
+const (
+	Tier1 = core.Tier1
+	Tier2 = core.Tier2
+)
+
+// BuildWET executes the (finalized) program and constructs its WET. Call
+// Freeze on the result to apply tier-2 compression and obtain sizes.
+func BuildWET(p *Program, opts RunOptions) (*WET, *RunResult, error) {
+	st, err := interp.Analyze(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	if opts.CheckDeterminism {
+		b := core.NewBuilder(st)
+		b.CheckDeterminism = true
+		cnt := trace.NewCounting(b)
+		res, err := interp.Run(st, interp.Options{
+			Inputs: opts.Inputs, MaxSteps: opts.MaxSteps, Sink: cnt, Arch: opts.Arch,
+		})
+		if err != nil {
+			return nil, res, err
+		}
+		w, err := b.Finish()
+		if err != nil {
+			return nil, res, err
+		}
+		w.Raw = cnt.RawStats
+		return w, res, nil
+	}
+	return core.Build(st, interp.Options{
+		Inputs: opts.Inputs, MaxSteps: opts.MaxSteps, Arch: opts.Arch,
+	})
+}
+
+// RunProgram executes a finalized program without building a WET and
+// returns its outputs (a convenience for testing generated IR).
+func RunProgram(p *Program, inputs []int64) ([]int64, error) {
+	st, err := interp.Analyze(p)
+	if err != nil {
+		return nil, err
+	}
+	res, err := interp.Run(st, interp.Options{Inputs: inputs, CollectOutput: true})
+	if err != nil {
+		return nil, err
+	}
+	return res.Outputs, nil
+}
+
+// --- queries ---
+
+// Walker reconstructs the control-flow trace step by step in either
+// direction.
+type Walker = query.Walker
+
+// NewWalker returns a walker over w at the given tier.
+func NewWalker(w *WET, tier Tier) *Walker { return query.NewWalker(w, tier) }
+
+// ExtractControlFlow walks the entire control-flow trace (forward or
+// backward), calling emit per executed statement; it returns the statement
+// count.
+func ExtractControlFlow(w *WET, tier Tier, forward bool, emit func(stmtID int)) uint64 {
+	return query.ExtractCF(w, tier, forward, emit)
+}
+
+// Sample is one (timestamp, value) element of an extracted trace.
+type Sample = query.Sample
+
+// ValueTrace extracts the per-instruction value trace of one statement.
+func ValueTrace(w *WET, tier Tier, stmtID int, emit func(Sample)) (uint64, error) {
+	return query.ValueTrace(w, tier, stmtID, emit)
+}
+
+// AddressTrace extracts the per-instruction address trace of a load/store.
+func AddressTrace(w *WET, tier Tier, stmtID int, emit func(Sample)) (uint64, error) {
+	return query.AddressTrace(w, tier, stmtID, emit)
+}
+
+// Instance names a dynamic statement instance in WET coordinates.
+type Instance = query.Instance
+
+// SliceResult is a WET slice.
+type SliceResult = query.SliceResult
+
+// Backward computes the backward WET slice of an instance.
+func Backward(w *WET, tier Tier, from Instance, maxInstances int) (*SliceResult, error) {
+	return query.BackwardSlice(w, tier, from, maxInstances)
+}
+
+// Forward computes the forward WET slice of an instance.
+func Forward(w *WET, tier Tier, from Instance, maxInstances int) (*SliceResult, error) {
+	return query.ForwardSlice(w, tier, from, maxInstances)
+}
+
+// InstanceOfTS locates a statement's instance at a given timestamp.
+func InstanceOfTS(w *WET, tier Tier, stmtID int, ts uint32) (Instance, error) {
+	return query.InstanceOfTS(w, tier, stmtID, ts)
+}
+
+// --- streams (tier-2 compression, reusable standalone) ---
+
+// Stream is a bidirectionally traversable compressed value sequence.
+type Stream = stream.Stream
+
+// CompressBest compresses vals with the best of the predictor pool
+// (bidirectional FCM / dFCM / last-n / last-n stride / packed / verbatim).
+func CompressBest(vals []uint32) Stream { return stream.CompressBest(vals) }
+
+// --- workloads ---
+
+// Workload is one of the nine SpecInt-like benchmark programs.
+type Workload = workload.Workload
+
+// Workloads returns the nine benchmarks in the paper's order.
+func Workloads() []Workload { return workload.All() }
+
+// WorkloadByName returns one benchmark by name.
+func WorkloadByName(name string) (Workload, error) { return workload.ByName(name) }
+
+// Opcode constants re-exported for inspecting statements.
+const (
+	OpConst  = ir.OpConst
+	OpAdd    = ir.OpAdd
+	OpSub    = ir.OpSub
+	OpMul    = ir.OpMul
+	OpDiv    = ir.OpDiv
+	OpMod    = ir.OpMod
+	OpAnd    = ir.OpAnd
+	OpOr     = ir.OpOr
+	OpXor    = ir.OpXor
+	OpShl    = ir.OpShl
+	OpShr    = ir.OpShr
+	OpNeg    = ir.OpNeg
+	OpNot    = ir.OpNot
+	OpEq     = ir.OpEq
+	OpNe     = ir.OpNe
+	OpLt     = ir.OpLt
+	OpLe     = ir.OpLe
+	OpGt     = ir.OpGt
+	OpGe     = ir.OpGe
+	OpLoad   = ir.OpLoad
+	OpStore  = ir.OpStore
+	OpInput  = ir.OpInput
+	OpOutput = ir.OpOutput
+	OpJmp    = ir.OpJmp
+	OpBr     = ir.OpBr
+	OpCall   = ir.OpCall
+	OpRet    = ir.OpRet
+	OpHalt   = ir.OpHalt
+)
+
+// --- persistence ---
+
+// Save writes a frozen WET to w, preserving the compressed stream states.
+func Save(w io.Writer, t *WET) error { return wetio.Save(w, t) }
+
+// Load reads a WET written by Save. With restoreTier1, the tier-1 label
+// arrays are rehydrated so tier-1 queries work too.
+func Load(r io.Reader, restoreTier1 bool) (*WET, error) {
+	return wetio.Load(r, wetio.LoadOptions{RestoreTier1: restoreTier1})
+}
+
+// ParseProgram compiles the textual IR format (see internal/asm) into a
+// finalized program:
+//
+//	func main() {
+//	    x = const 41
+//	    y = add x, 1
+//	    output y
+//	    halt
+//	}
+func ParseProgram(src string) (*Program, error) { return asm.Parse(src) }
+
+// Chop computes the slice intersection: the instances through which `from`
+// influenced `to`.
+func Chop(w *WET, tier Tier, from, to Instance, maxInstances int) (*SliceResult, error) {
+	return query.Chop(w, tier, from, to, maxInstances)
+}
+
+// DependenceChain follows one backward data-dependence chain from an
+// instance, up to maxLen links.
+func DependenceChain(w *WET, tier Tier, from Instance, opIdx, maxLen int) ([]Instance, error) {
+	return query.DependenceChain(w, tier, from, opIdx, maxLen)
+}
+
+// HotPath summarizes a Ball–Larus path's execution frequency.
+type HotPath = query.HotPath
+
+// HotPaths ranks path nodes by dynamic statement coverage.
+func HotPaths(w *WET, n int) []HotPath { return query.HotPaths(w, n) }
+
+// WriteDOT renders a slice as a Graphviz digraph of dynamic instances and
+// their dependences.
+func WriteDOT(w *WET, tier Tier, res *SliceResult, out io.Writer) error {
+	return query.WriteDOT(w, tier, res, out)
+}
+
+// Invariance summarizes a statement's value predictability.
+type Invariance = query.Invariance
+
+// ValueInvariance profiles value predictability of every def statement.
+func ValueInvariance(w *WET, tier Tier, minExecs uint64) ([]Invariance, error) {
+	return query.ValueInvariance(w, tier, minExecs)
+}
+
+// StrideProfile classifies one memory instruction's reference pattern.
+type StrideProfile = query.StrideProfile
+
+// StrideProfiles classifies every load/store's address stream.
+func StrideProfiles(w *WET, tier Tier, minAccesses int) ([]StrideProfile, error) {
+	return query.StrideProfiles(w, tier, minAccesses)
+}
+
+// ExtractCFRange walks the control-flow trace between two timestamps.
+func ExtractCFRange(w *WET, tier Tier, fromTS, toTS uint32, emit func(stmtID int)) (uint64, error) {
+	return query.ExtractCFRange(w, tier, fromTS, toTS, emit)
+}
+
+// Reference pattern classes for StrideProfiles.
+const (
+	RefConstant  = query.RefConstant
+	RefStrided   = query.RefStrided
+	RefIrregular = query.RefIrregular
+)

@@ -1,0 +1,281 @@
+package wet_test
+
+// Tests of the public API surface, written as an external consumer would
+// use the library.
+
+import (
+	"bytes"
+	"testing"
+
+	"wet"
+)
+
+func buildSum(t *testing.T) (*wet.Program, *wet.Stmt) {
+	t.Helper()
+	p := wet.NewProgram(1 << 10)
+	fb := p.NewFunc("main", 0)
+	sum := fb.ConstReg(0)
+	fb.For(wet.Imm(1), wet.Imm(11), wet.Imm(1), func(i wet.Reg) {
+		fb.Add(sum, wet.R(sum), wet.R(i))
+		fb.Store(wet.R(i), 0, wet.R(sum))
+	})
+	out := fb.NewReg()
+	fb.Load(out, wet.Imm(10), 0)
+	fb.Output(wet.R(out))
+	outS := fb.LastEmitted()
+	fb.Halt()
+	p.MustFinalize()
+	return p, outS
+}
+
+func TestPublicBuildAndRun(t *testing.T) {
+	p, _ := buildSum(t)
+	outs, err := wet.RunProgram(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 1 || outs[0] != 55 {
+		t.Fatalf("outputs = %v, want [55]", outs)
+	}
+}
+
+func TestPublicWETPipeline(t *testing.T) {
+	p, outS := buildSum(t)
+	w, res, err := wet.BuildWET(p, wet.RunOptions{CheckDeterminism: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := w.Freeze(wet.FreezeOptions{})
+	if rep.T2Total() >= rep.OrigTotal() {
+		t.Fatalf("no compression: %d >= %d", rep.T2Total(), rep.OrigTotal())
+	}
+	if n := wet.ExtractControlFlow(w, wet.Tier2, true, nil); n != res.Steps {
+		t.Fatalf("CF trace %d stmts, ran %d", n, res.Steps)
+	}
+
+	// The output's backward slice must include every loop iteration's add.
+	ref := w.StmtOcc[outS.ID][0]
+	sl, err := wet.Backward(w, wet.Tier2, wet.Instance{Node: ref.Node, Pos: ref.Pos, Ord: 0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adds := 0
+	for _, in := range sl.Instances {
+		if w.Nodes[in.Node].Stmts[in.Pos].Op == wet.OpAdd && w.Nodes[in.Node].Stmts[in.Pos].Dest == 0 {
+			adds++
+		}
+	}
+	if adds < 10 {
+		t.Fatalf("slice reached %d sum updates, want >= 10", adds)
+	}
+}
+
+func TestPublicValueAndAddressTraces(t *testing.T) {
+	p, outS := buildSum(t)
+	w, _, err := wet.BuildWET(p, wet.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Freeze(wet.FreezeOptions{})
+	// Find the load feeding the output via its dependence structure: just
+	// query the load statement (the one before outS).
+	loadID := outS.ID - 1
+	var vals []int64
+	if _, err := wet.ValueTrace(w, wet.Tier2, loadID, func(s wet.Sample) {
+		vals = append(vals, s.Value)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 1 || vals[0] != 55 {
+		t.Fatalf("load value trace = %v", vals)
+	}
+	var addrs []int64
+	if _, err := wet.AddressTrace(w, wet.Tier2, loadID, func(s wet.Sample) {
+		addrs = append(addrs, s.Value)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(addrs) != 1 || addrs[0] != 10 {
+		t.Fatalf("load address trace = %v", addrs)
+	}
+}
+
+func TestPublicSaveLoad(t *testing.T) {
+	p, _ := buildSum(t)
+	w, _, err := wet.BuildWET(p, wet.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Freeze(wet.FreezeOptions{})
+	var buf bytes.Buffer
+	if err := wet.Save(&buf, w); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := wet.Load(&buf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b []int
+	wet.ExtractControlFlow(w, wet.Tier2, true, func(id int) { a = append(a, id) })
+	wet.ExtractControlFlow(w2, wet.Tier1, true, func(id int) { b = append(b, id) })
+	if len(a) != len(b) {
+		t.Fatalf("loaded CF trace %d stmts, want %d", len(b), len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace differs at %d", i)
+		}
+	}
+}
+
+func TestPublicWalkerBidirectional(t *testing.T) {
+	p, _ := buildSum(t)
+	w, _, err := wet.BuildWET(p, wet.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Freeze(wet.FreezeOptions{})
+	wk := wet.NewWalker(w, wet.Tier2)
+	var fwd []int
+	for wk.Forward() {
+		fwd = append(fwd, wk.Node)
+	}
+	wk.SeekEnd()
+	var bwd []int
+	for wk.Backward() {
+		bwd = append(bwd, wk.Node)
+	}
+	if len(fwd) != len(bwd) {
+		t.Fatalf("walk lengths differ: %d vs %d", len(fwd), len(bwd))
+	}
+	for i := range fwd {
+		if fwd[i] != bwd[len(bwd)-1-i] {
+			t.Fatalf("backward walk is not the reverse at %d", i)
+		}
+	}
+}
+
+func TestPublicWorkloads(t *testing.T) {
+	if len(wet.Workloads()) != 9 {
+		t.Fatalf("want 9 workloads")
+	}
+	wl, err := wet.WorkloadByName("bzip2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, in := wl.Build(1)
+	outs, err := wet.RunProgram(prog, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) == 0 {
+		t.Fatal("bzip2 produced no output")
+	}
+	if _, err := wet.WorkloadByName("missing"); err == nil {
+		t.Fatal("WorkloadByName accepted a bad name")
+	}
+}
+
+func TestPublicCompressBest(t *testing.T) {
+	vals := make([]uint32, 5000)
+	for i := range vals {
+		vals[i] = uint32(i * 3)
+	}
+	s := wet.CompressBest(vals)
+	if s.SizeBits() > uint64(len(vals))*8 {
+		t.Fatalf("strided stream compressed to %d bits only", s.SizeBits())
+	}
+	for i := range vals {
+		if got := s.Next(); got != vals[i] {
+			t.Fatalf("value %d = %d, want %d", i, got, vals[i])
+		}
+	}
+}
+
+func TestFacadeAnalysisHelpers(t *testing.T) {
+	prog, err := wet.ParseProgram(`
+func main() {
+    s = const 0
+    i = const 0
+loop:
+    c = lt i, 20
+    br c, body, done
+body:
+    v = mul i, i
+    s = add s, v
+    store i, 0, s
+    i = add i, 1
+    jmp loop
+done:
+    x = load 19, 0
+    output x
+    halt
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _, err := wet.BuildWET(prog, wet.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Freeze(wet.FreezeOptions{})
+
+	hps := wet.HotPaths(w, 2)
+	if len(hps) == 0 || hps[0].Execs == 0 {
+		t.Fatalf("HotPaths: %+v", hps)
+	}
+	invs, err := wet.ValueInvariance(w, wet.Tier2, 1)
+	if err != nil || len(invs) == 0 {
+		t.Fatalf("ValueInvariance: %v (%d)", err, len(invs))
+	}
+	sps, err := wet.StrideProfiles(w, wet.Tier2, 5)
+	if err != nil || len(sps) == 0 {
+		t.Fatalf("StrideProfiles: %v (%d)", err, len(sps))
+	}
+	if sps[0].Pattern != wet.RefStrided {
+		t.Fatalf("journal store not strided: %+v", sps[0])
+	}
+	n, err := wet.ExtractCFRange(w, wet.Tier2, 2, 5, nil)
+	if err != nil || n == 0 {
+		t.Fatalf("ExtractCFRange: %v (%d)", err, n)
+	}
+
+	// Chop input->output through the hot loop.
+	var outS, mulS *wet.Stmt
+	for _, s := range prog.Stmts {
+		switch s.Op {
+		case wet.OpOutput:
+			outS = s
+		case wet.OpMul:
+			mulS = s
+		}
+	}
+	mref := w.StmtOcc[mulS.ID][0]
+	oref := w.StmtOcc[outS.ID][0]
+	chop, err := wet.Chop(w, wet.Tier2,
+		wet.Instance{Node: mref.Node, Pos: mref.Pos, Ord: 0},
+		wet.Instance{Node: oref.Node, Pos: oref.Pos, Ord: 0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chop.Instances) == 0 {
+		t.Fatal("empty chop: the first square must influence the output")
+	}
+	chain, err := wet.DependenceChain(w, wet.Tier2,
+		wet.Instance{Node: oref.Node, Pos: oref.Pos, Ord: 0}, 0, 8)
+	if err != nil || len(chain) < 2 {
+		t.Fatalf("DependenceChain: %v (%d)", err, len(chain))
+	}
+	var dot bytes.Buffer
+	sl, err := wet.Backward(w, wet.Tier2, wet.Instance{Node: oref.Node, Pos: oref.Pos, Ord: 0}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wet.WriteDOT(w, wet.Tier2, sl, &dot); err != nil {
+		t.Fatal(err)
+	}
+	if dot.Len() == 0 {
+		t.Fatal("empty DOT output")
+	}
+}
