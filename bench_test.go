@@ -50,7 +50,7 @@ func BenchmarkTable1WETSizes(b *testing.B) {
 	var ratio float64
 	for i := 0; i < b.N; i++ {
 		wl := wls[i%len(wls)]
-		r, err := exp.BuildRun(wl, benchTarget)
+		r, err := exp.BuildRun(wl, benchTarget, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -241,6 +241,43 @@ func BenchmarkFigure8Components(b *testing.B) {
 	}
 }
 
+// BenchmarkFreezeParallel sweeps the tier-2 freeze worker pool over worker
+// counts on the BenchmarkTable5Construction workload. Output is
+// byte-identical at every worker count (TestFreezeParallelDeterminism), so
+// the sweep isolates pure wall-clock scaling of the freeze pipeline.
+func BenchmarkFreezeParallel(b *testing.B) {
+	wl, err := workload.ByName("li")
+	if err != nil {
+		b.Fatal(err)
+	}
+	scale, err := workload.ScaleFor(wl, benchTarget)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, in := wl.Build(scale)
+	st, err := interp.Analyze(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var t2 uint64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				w, _, err := core.Build(st, interp.Options{Inputs: in})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				rep := w.Freeze(core.FreezeOptions{Workers: workers})
+				t2 = rep.T2Total()
+			}
+			b.ReportMetric(float64(t2), "t2bytes")
+		})
+	}
+}
+
 // BenchmarkFigure9Scalability measures construction+compression at growing
 // run lengths (Figure 9's x axis).
 func BenchmarkFigure9Scalability(b *testing.B) {
@@ -253,7 +290,7 @@ func BenchmarkFigure9Scalability(b *testing.B) {
 		b.Run(sizeName(target), func(b *testing.B) {
 			var ratio float64
 			for i := 0; i < b.N; i++ {
-				r, err := exp.BuildRun(wl, target)
+				r, err := exp.BuildRun(wl, target, 0)
 				if err != nil {
 					b.Fatal(err)
 				}

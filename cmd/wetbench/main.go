@@ -27,16 +27,36 @@ func main() {
 	slices := flag.Int("slices", 25, "slice criteria for Table 9")
 	census := flag.Bool("census", false, "also print the tier-2 method selection census")
 	ablations := flag.Bool("ablations", false, "also print the design-choice ablations")
+	workers := flag.Int("workers", 0, "tier-2 freeze worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	freezeJSON := flag.String("freezejson", "", "run only the freeze bench and write its JSON record to this file")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
 
-	cfg := exp.Config{TargetStmts: *stmts, Slices: *slices}
+	cfg := exp.Config{TargetStmts: *stmts, Slices: *slices, Workers: *workers}
 	if *workloads != "" {
 		cfg.Workloads = strings.Split(*workloads, ",")
 	}
 	progress := os.Stderr
 	if *quiet {
 		progress = nil
+	}
+
+	if *freezeJSON != "" {
+		f, err := os.Create(*freezeJSON)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wetbench:", err)
+			os.Exit(1)
+		}
+		if err := exp.WriteFreezeBenchJSON(cfg, f, progress); err != nil {
+			fmt.Fprintln(os.Stderr, "wetbench:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "wetbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote freeze bench record to %s\n", *freezeJSON)
+		return
 	}
 
 	out := os.Stdout

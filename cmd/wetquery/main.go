@@ -59,7 +59,7 @@ func main() {
 		run = &exp.Run{Name: *load, Stmts: wt.Raw.StmtExecs, W: wt, Rep: wt.Report()}
 	} else {
 		fmt.Fprintf(os.Stderr, "building WET for %s...\n", w.Name)
-		run, err = exp.BuildRun(w, *stmts)
+		run, err = exp.BuildRun(w, *stmts, 0)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "wetquery:", err)
 			os.Exit(1)

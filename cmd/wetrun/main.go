@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"wet/internal/core"
 	"wet/internal/exp"
@@ -26,6 +27,7 @@ func main() {
 	census := flag.Bool("census", false, "print the tier-2 method selection census")
 	printIR := flag.Bool("ir", false, "dump the workload's IR")
 	outFile := flag.String("o", "", "save the frozen WET to this file")
+	workers := flag.Int("workers", 0, "tier-2 freeze worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
 	w, err := workload.ByName(*bench)
@@ -50,10 +52,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "wetrun:", err)
 			os.Exit(1)
 		}
-		rep := wet.Freeze(core.FreezeOptions{})
+		rep := wet.Freeze(core.FreezeOptions{Workers: *workers})
 		run = &exp.Run{Name: w.Name, Stmts: res.Steps, Scale: *scale, W: wet, Rep: rep}
 	} else {
-		run, err = exp.BuildRun(w, *stmts)
+		run, err = exp.BuildRun(w, *stmts, *workers)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "wetrun:", err)
 			os.Exit(1)
@@ -87,8 +89,18 @@ func main() {
 	fmt.Print(rep.String())
 	if *census {
 		fmt.Println()
-		for name, n := range rep.Methods {
-			fmt.Printf("  %-10s %d streams\n", name, n)
+		names := make([]string, 0, len(rep.Methods))
+		for name := range rep.Methods {
+			names = append(names, name)
+		}
+		sort.Slice(names, func(i, j int) bool {
+			if rep.Methods[names[i]] != rep.Methods[names[j]] {
+				return rep.Methods[names[i]] > rep.Methods[names[j]]
+			}
+			return names[i] < names[j]
+		})
+		for _, name := range names {
+			fmt.Printf("  %-10s %d streams\n", name, rep.Methods[name])
 		}
 	}
 }

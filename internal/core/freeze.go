@@ -3,6 +3,9 @@ package core
 import (
 	"fmt"
 	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"wet/internal/stream"
 	"wet/internal/trace"
@@ -63,14 +66,28 @@ type FreezeOptions struct {
 	AggressiveEdges bool
 	// NoGrouping disables the tier-1 value grouping for size accounting
 	// (ablation): tier-1 value labels are charged at the raw per-def-
-	// execution cost, and tier-2 compresses each statement's full value
+	// execution cost, and tier-2 sizes each statement's full value
 	// sequence (materialized from the groups) instead of UVals + Pattern.
+	// The grouped streams are still built, once each, for queries.
 	NoGrouping bool
+	// SkipFullSizing, with NoGrouping, skips the sizing-only pass over the
+	// materialized full value sequences (T2Vals and the value Methods
+	// entries are then omitted from the report). Use it when the ablation
+	// caller only needs a queryable ungrouped WET, not its size.
+	SkipFullSizing bool
+	// Workers bounds the tier-2 compression worker pool: 0 means
+	// GOMAXPROCS, 1 forces the serial path. Every stream is an independent
+	// compression job and the report is reduced in job order after the
+	// pool drains, so the frozen WET — stream bytes, Methods census, and
+	// every SizeReport counter — is byte-identical at any worker count.
+	Workers int
 }
 
 // Freeze applies the tier-1 edge label reductions (paper §3.3), compresses
 // every remaining stream with the tier-2 selector (paper §4), and computes
-// the size report. It is idempotent.
+// the size report. Tier-2 compression fans out over a worker pool (see
+// FreezeOptions.Workers); the result does not depend on the worker count.
+// Freeze is idempotent.
 func (w *WET) Freeze(opts FreezeOptions) *SizeReport {
 	if w.frozen {
 		return w.report
@@ -138,34 +155,65 @@ func (w *WET) Freeze(opts FreezeOptions) *SizeReport {
 		}
 	}
 
+	// --- Tier 2: every remaining stream is an independent compression job.
+	// Jobs fan out over a bounded worker pool; each job writes only its own
+	// stream slots. Accounting (Methods census, T2* counters) happens in
+	// the applies list, run serially in job order after the pool drains, so
+	// the report never depends on completion order.
+	var jobs []func(sc *stream.Scratch)
+	var applies []func()
+
 	// --- Sizes: timestamps.
 	for _, n := range w.Nodes {
+		n := n
 		r.T1TS += uint64(n.Execs) * trace.TSBytes
-		n.TSS = stream.CompressBest(n.TS)
-		r.Methods[n.TSS.Name()]++
-		r.T2TS += (n.TSS.SizeBits() + 7) / 8
+		jobs = append(jobs, func(sc *stream.Scratch) {
+			n.TSS = stream.CompressBestScratch(n.TS, sc)
+		})
+		applies = append(applies, func() {
+			r.Methods[n.TSS.Name()]++
+			r.T2TS += (n.TSS.SizeBits() + 7) / 8
+		})
 	}
 
 	// --- Sizes: values (groups).
 	if opts.NoGrouping {
 		// Ablation: no customized value compression. Tier-1 stores every
-		// def-port execution's value verbatim; tier-2 compresses the full
-		// per-statement-occurrence sequences.
+		// def-port execution's value verbatim; tier-2 is charged for the
+		// full per-statement-occurrence sequences, sized without building
+		// throwaway streams. Queries still need the grouped streams, each
+		// compressed exactly once.
 		r.T1Vals = w.Raw.OrigNodeValBytes()
 		for _, n := range w.Nodes {
 			for _, g := range n.Groups {
-				g.PatternS = stream.CompressBest(g.Pattern)
+				g := g
+				jobs = append(jobs, func(sc *stream.Scratch) {
+					g.PatternS = stream.CompressBestScratch(g.Pattern, sc)
+				})
 				g.UValS = make([]stream.Stream, len(g.UVals))
 				for mi := range g.UVals {
-					full := make([]uint32, len(g.Pattern))
-					for k, idx := range g.Pattern {
-						full[k] = g.UVals[mi][idx]
+					mi := mi
+					jobs = append(jobs, func(sc *stream.Scratch) {
+						g.UValS[mi] = stream.CompressBestScratch(g.UVals[mi], sc)
+					})
+					if opts.SkipFullSizing {
+						continue
 					}
-					s := stream.CompressBest(full)
-					r.Methods[s.Name()]++
-					r.T2Vals += (s.SizeBits() + 7) / 8
-					// Queries still need the grouped streams.
-					g.UValS[mi] = stream.CompressBest(g.UVals[mi])
+					res := &struct {
+						bits uint64
+						name string
+					}{}
+					jobs = append(jobs, func(sc *stream.Scratch) {
+						full := make([]uint32, len(g.Pattern))
+						for k, idx := range g.Pattern {
+							full[k] = g.UVals[mi][idx]
+						}
+						res.bits, res.name = stream.SizeBest(full, sc)
+					})
+					applies = append(applies, func() {
+						r.Methods[res.name]++
+						r.T2Vals += (res.bits + 7) / 8
+					})
 				}
 			}
 		}
@@ -175,6 +223,7 @@ func (w *WET) Freeze(opts FreezeOptions) *SizeReport {
 			break
 		}
 		for _, g := range n.Groups {
+			g := g
 			if len(g.ValMembers) == 0 && len(g.Pattern) == 0 {
 				continue
 			}
@@ -191,24 +240,34 @@ func (w *WET) Freeze(opts FreezeOptions) *SizeReport {
 				r.T1Vals += uvalBytes + (patBits+7)/8
 			}
 			// Tier 2: compress the pattern and each unique-value array.
-			g.PatternS = stream.CompressBest(g.Pattern)
+			jobs = append(jobs, func(sc *stream.Scratch) {
+				g.PatternS = stream.CompressBestScratch(g.Pattern, sc)
+			})
 			g.UValS = make([]stream.Stream, len(g.UVals))
-			var t2 uint64
-			for i, uv := range g.UVals {
-				g.UValS[i] = stream.CompressBest(uv)
-				r.Methods[g.UValS[i].Name()]++
-				t2 += g.UValS[i].SizeBits()
+			for i := range g.UVals {
+				i := i
+				jobs = append(jobs, func(sc *stream.Scratch) {
+					g.UValS[i] = stream.CompressBestScratch(g.UVals[i], sc)
+				})
 			}
-			if len(g.ValMembers) > 0 {
-				r.Methods[g.PatternS.Name()]++
-				t2 += g.PatternS.SizeBits()
-				r.T2Vals += (t2 + 7) / 8
-			}
+			applies = append(applies, func() {
+				var t2 uint64
+				for i := range g.UValS {
+					r.Methods[g.UValS[i].Name()]++
+					t2 += g.UValS[i].SizeBits()
+				}
+				if len(g.ValMembers) > 0 {
+					r.Methods[g.PatternS.Name()]++
+					t2 += g.PatternS.SizeBits()
+					r.T2Vals += (t2 + 7) / 8
+				}
+			})
 		}
 	}
 
 	// --- Sizes: edges.
 	for _, e := range w.Edges {
+		e := e
 		if e.Inferable || e.SharedWith >= 0 {
 			continue
 		}
@@ -222,15 +281,26 @@ func (w *WET) Freeze(opts FreezeOptions) *SizeReport {
 		} else {
 			r.T1EdgesCD += labelBytes
 		}
-		e.DstS = stream.CompressBest(e.DstOrd)
-		r.Methods[e.DstS.Name()]++
-		if e.Diagonal {
-			r.T2Edges += (e.DstS.SizeBits() + 7) / 8
-		} else {
-			e.SrcS = stream.CompressBest(e.SrcOrd)
-			r.Methods[e.SrcS.Name()]++
-			r.T2Edges += (e.DstS.SizeBits() + e.SrcS.SizeBits() + 15) / 8
-		}
+		jobs = append(jobs, func(sc *stream.Scratch) {
+			e.DstS = stream.CompressBestScratch(e.DstOrd, sc)
+			if !e.Diagonal {
+				e.SrcS = stream.CompressBestScratch(e.SrcOrd, sc)
+			}
+		})
+		applies = append(applies, func() {
+			r.Methods[e.DstS.Name()]++
+			if e.Diagonal {
+				r.T2Edges += (e.DstS.SizeBits() + 7) / 8
+			} else {
+				r.Methods[e.SrcS.Name()]++
+				r.T2Edges += (e.DstS.SizeBits() + e.SrcS.SizeBits() + 15) / 8
+			}
+		})
+	}
+
+	runJobs(jobs, opts.Workers)
+	for _, apply := range applies {
+		apply()
 	}
 
 	if opts.DropTier1 {
@@ -252,6 +322,45 @@ func (w *WET) Freeze(opts FreezeOptions) *SizeReport {
 
 // Report returns the size report (nil before Freeze).
 func (w *WET) Report() *SizeReport { return w.report }
+
+// runJobs drains the tier-2 job list over a bounded worker pool. Each
+// worker owns one stream.Scratch, so the selection phase's predictor
+// tables are borrowed from the size-keyed pools once per worker rather
+// than once per candidate. workers <= 0 means GOMAXPROCS.
+func runJobs(jobs []func(sc *stream.Scratch), workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		sc := stream.NewScratch()
+		defer sc.Release()
+		for _, job := range jobs {
+			job(sc)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := stream.NewScratch()
+			defer sc.Release()
+			for {
+				j := int(next.Add(1)) - 1
+				if j >= len(jobs) {
+					return
+				}
+				jobs[j](sc)
+			}
+		}()
+	}
+	wg.Wait()
+}
 
 // bitsFor returns the number of bits needed to represent v.
 func bitsFor(v uint64) int {

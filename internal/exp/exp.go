@@ -26,6 +26,9 @@ type Config struct {
 	// Slices is the number of slicing criteria for Table 9 (default 25,
 	// like the paper).
 	Slices int
+	// Workers bounds the tier-2 freeze worker pool (0 = GOMAXPROCS, 1 =
+	// serial). Results are identical at any worker count.
+	Workers int
 }
 
 // DefaultTargetStmts keeps the full suite comfortably fast while large
@@ -73,8 +76,9 @@ func (c Config) workloads() ([]workload.Workload, error) {
 }
 
 // BuildRun executes one workload at the target length and constructs its
-// frozen WET with the architecture recorder attached.
-func BuildRun(w workload.Workload, targetStmts uint64) (*Run, error) {
+// frozen WET with the architecture recorder attached. workers bounds the
+// freeze pool (0 = GOMAXPROCS).
+func BuildRun(w workload.Workload, targetStmts uint64, workers int) (*Run, error) {
 	scale, err := workload.ScaleFor(w, targetStmts)
 	if err != nil {
 		return nil, err
@@ -90,7 +94,7 @@ func BuildRun(w workload.Workload, targetStmts uint64) (*Run, error) {
 	if err != nil {
 		return nil, err
 	}
-	rep := wet.Freeze(core.FreezeOptions{})
+	rep := wet.Freeze(core.FreezeOptions{Workers: workers})
 	return &Run{
 		Name:      w.Name,
 		Stmts:     res.Steps,
@@ -113,7 +117,7 @@ func RunAll(cfg Config, progress io.Writer) ([]*Run, error) {
 		if progress != nil {
 			fmt.Fprintf(progress, "building %s (target %d stmts)...\n", w.Name, cfg.targets())
 		}
-		r, err := BuildRun(w, cfg.targets())
+		r, err := BuildRun(w, cfg.targets(), cfg.Workers)
 		if err != nil {
 			return nil, fmt.Errorf("exp: %s: %w", w.Name, err)
 		}

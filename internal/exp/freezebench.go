@@ -1,0 +1,134 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"reflect"
+	"runtime"
+	"time"
+
+	"wet/internal/core"
+	"wet/internal/interp"
+	"wet/internal/workload"
+)
+
+// FreezeBenchRow is one workload's freeze timing in a FreezeBenchResult.
+type FreezeBenchRow struct {
+	Name             string  `json:"name"`
+	Stmts            uint64  `json:"stmts"`
+	BuildMS          float64 `json:"build_ms"`
+	FreezeSerialMS   float64 `json:"freeze_serial_ms"`
+	FreezeParallelMS float64 `json:"freeze_parallel_ms"`
+	Speedup          float64 `json:"speedup"`
+	T2TotalBytes     uint64  `json:"t2_total_bytes"`
+	// Identical records that the serial and parallel SizeReports matched —
+	// the determinism guarantee, re-checked on every bench run.
+	Identical bool `json:"identical_reports"`
+}
+
+// FreezeBenchResult is the machine-readable freeze performance record the
+// CI smoke run archives (BENCH_freeze.json), so the perf trajectory of the
+// tier-2 pipeline is tracked across commits.
+type FreezeBenchResult struct {
+	TargetStmts uint64           `json:"target_stmts"`
+	GOMAXPROCS  int              `json:"gomaxprocs"`
+	Workers     int              `json:"workers"`
+	Workloads   []FreezeBenchRow `json:"workloads"`
+}
+
+// FreezeBench builds each configured workload's WET twice and times Freeze
+// serially (Workers=1) and with the worker pool (cfg.Workers, 0 =
+// GOMAXPROCS), verifying the two reports agree.
+func FreezeBench(cfg Config, progress io.Writer) (*FreezeBenchResult, error) {
+	ws, err := cfg.workloads()
+	if err != nil {
+		return nil, err
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	res := &FreezeBenchResult{
+		TargetStmts: cfg.targets(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Workers:     workers,
+	}
+	for _, wl := range ws {
+		if progress != nil {
+			fmt.Fprintf(progress, "freeze bench: %s (target %d stmts)...\n", wl.Name, cfg.targets())
+		}
+		row, err := freezeBenchRow(wl, cfg.targets(), workers)
+		if err != nil {
+			return nil, fmt.Errorf("exp: %s: %w", wl.Name, err)
+		}
+		res.Workloads = append(res.Workloads, *row)
+	}
+	return res, nil
+}
+
+func freezeBenchRow(wl workload.Workload, targetStmts uint64, workers int) (*FreezeBenchRow, error) {
+	build := func() (*core.WET, uint64, time.Duration, error) {
+		scale, err := workload.ScaleFor(wl, targetStmts)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		prog, in := wl.Build(scale)
+		st, err := interp.Analyze(prog)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		start := time.Now()
+		w, r, err := core.Build(st, interp.Options{Inputs: in})
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		return w, r.Steps, time.Since(start), nil
+	}
+
+	serial, stmts, buildTime, err := build()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	repSerial := serial.Freeze(core.FreezeOptions{Workers: 1})
+	serialTime := time.Since(start)
+
+	parallel, _, _, err := build()
+	if err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	repParallel := parallel.Freeze(core.FreezeOptions{Workers: workers})
+	parallelTime := time.Since(start)
+
+	return &FreezeBenchRow{
+		Name:             wl.Name,
+		Stmts:            stmts,
+		BuildMS:          ms(buildTime),
+		FreezeSerialMS:   ms(serialTime),
+		FreezeParallelMS: ms(parallelTime),
+		Speedup:          serialTime.Seconds() / parallelTime.Seconds(),
+		T2TotalBytes:     repParallel.T2Total(),
+		Identical:        reflect.DeepEqual(repSerial, repParallel),
+	}, nil
+}
+
+// WriteFreezeBenchJSON runs FreezeBench and writes the result as indented
+// JSON (the CI artifact format).
+func WriteFreezeBenchJSON(cfg Config, out io.Writer, progress io.Writer) error {
+	res, err := FreezeBench(cfg, progress)
+	if err != nil {
+		return err
+	}
+	for _, row := range res.Workloads {
+		if !row.Identical {
+			return fmt.Errorf("exp: %s: serial and parallel freeze reports differ", row.Name)
+		}
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }

@@ -208,7 +208,7 @@ func Figure9(cfg Config, w io.Writer, progress io.Writer) error {
 			if progress != nil {
 				fmt.Fprintf(progress, "figure9: %s x%d\n", wl.Name, m)
 			}
-			r, err := BuildRun(wl, base*m)
+			r, err := BuildRun(wl, base*m, cfg.Workers)
 			if err != nil {
 				return err
 			}

@@ -77,21 +77,26 @@ func (s *fcmStream) Name() string {
 	return fmt.Sprintf("fcm%d", s.order)
 }
 
-func (s *fcmStream) hash() uint32 {
+func (s *fcmStream) hash() uint32 { return fcmHash(s.win, s.stride, s.tbBits) }
+
+// fcmHash maps a context window (values, or strides of it) to a table
+// slot. Shared by the stream constructor and the dry-run sizer so the two
+// cannot diverge.
+func fcmHash(win []uint32, stride bool, tbBits uint) uint32 {
 	h := uint32(2166136261)
 	mix := func(x uint32) {
 		h = (h ^ x) * 16777619
 	}
-	if s.stride {
-		for i := 0; i+1 < len(s.win); i++ {
-			mix(s.win[i+1] - s.win[i])
+	if stride {
+		for i := 0; i+1 < len(win); i++ {
+			mix(win[i+1] - win[i])
 		}
 	} else {
-		for _, v := range s.win {
+		for _, v := range win {
 			mix(v)
 		}
 	}
-	return (h ^ h>>16) & (1<<s.tbBits - 1)
+	return (h ^ h>>16) & (1<<tbBits - 1)
 }
 
 // predictIncoming reconstructs a value from the left-context table content.

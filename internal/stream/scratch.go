@@ -1,0 +1,247 @@
+package stream
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+)
+
+// The selection phase of CompressBest is the hot path of WET freezing: it
+// sizes every candidate method on a stream prefix and discards all that
+// work except one number. This file makes that phase allocation-free and
+// safe to run from many workers at once:
+//
+//   - predictor tables and last-n rings are borrowed from sync.Pools keyed
+//     by table size instead of allocated per candidate;
+//   - candidates are *sized* by a dry-run that counts entry bits without
+//     materializing bitstacks or Stream objects (the counts reproduce the
+//     constructors' SizeBits exactly — TestSizeSpecMatchesConstruction
+//     pins the equivalence);
+//   - each worker owns one Scratch, so concurrent CompressBestScratch
+//     calls never contend on table memory.
+
+// maxPoolBits bounds the pooled table sizes: tableBits caps FCM tables at
+// 16 bits and last-n rings use 1–3 bits, so one pool array serves both.
+const maxPoolBits = 16
+
+// tablePools[b] holds zeroed []uint32 of length 1<<b. Entries are stored
+// as *[]uint32 to avoid boxing the slice header on every Put. The pool
+// invariant — every pooled table is all-zero — is what keeps compression
+// results independent of reuse history.
+var tablePools [maxPoolBits + 1]sync.Pool
+
+func grabTable(b uint) []uint32 {
+	if t, ok := tablePools[b].Get().(*[]uint32); ok {
+		return *t
+	}
+	return make([]uint32, 1<<b)
+}
+
+// Scratch is the per-worker reusable state for the selection phase. A
+// Scratch keeps the tables it borrows until Release, so a worker draining
+// a job queue touches the global pools only twice. A Scratch is not safe
+// for concurrent use; zero value is ready.
+type Scratch struct {
+	tbl [maxPoolBits + 1][]uint32
+}
+
+// NewScratch returns an empty scratch; tables are borrowed lazily.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// table returns a zeroed table of 1<<b entries. Sizers must re-zero it
+// (clear) before returning, preserving the all-zero invariant.
+func (sc *Scratch) table(b uint) []uint32 {
+	if sc.tbl[b] == nil {
+		sc.tbl[b] = grabTable(b)
+	}
+	return sc.tbl[b]
+}
+
+// Release returns all borrowed tables to the size-keyed pools. The scratch
+// can be reused afterwards; it will re-borrow on demand.
+func (sc *Scratch) Release() {
+	for b := range sc.tbl {
+		if sc.tbl[b] != nil {
+			t := sc.tbl[b]
+			sc.tbl[b] = nil
+			tablePools[b].Put(&t)
+		}
+	}
+}
+
+// scratchPool backs the convenience CompressBest wrapper for callers that
+// do not manage a per-worker Scratch themselves.
+var scratchPool = sync.Pool{New: func() interface{} { return NewScratch() }}
+
+// SizeSpec returns exactly Compress(vals, spec).SizeBits() without
+// building the stream: no entry stores, no table allocation.
+func SizeSpec(vals []uint32, spec Spec, sc *Scratch) uint64 {
+	switch spec.Kind {
+	case KindVerbatim:
+		return uint64(len(vals))*32 + HeaderBits
+	case KindPacked:
+		return sizePacked(vals)
+	case KindFCM:
+		return sizeFCM(vals, spec.Order, false, sc)
+	case KindDFCM:
+		return sizeFCM(vals, spec.Order, true, sc)
+	case KindLastN:
+		return sizeLastN(vals, spec.Order, false, sc)
+	case KindLastNStride:
+		return sizeLastN(vals, spec.Order, true, sc)
+	}
+	panic(fmt.Sprintf("stream: unknown kind %d", spec.Kind))
+}
+
+// BestSpec runs the paper's Selection step — size every candidate on a
+// prefix, keep the winner — without constructing any stream. It selects
+// exactly the spec CompressBest would.
+func BestSpec(vals []uint32, sc *Scratch) Spec {
+	probe := vals
+	if len(probe) > SelectionPrefix {
+		probe = vals[:SelectionPrefix]
+	}
+	best := Candidates[0]
+	var bestBits uint64
+	for i, spec := range Candidates {
+		b := SizeSpec(probe, spec, sc)
+		if i == 0 || b < bestBits {
+			best, bestBits = spec, b
+		}
+	}
+	return best
+}
+
+// CompressBestScratch is CompressBest with caller-owned scratch state:
+// the selection phase allocates nothing, and only the winning method's
+// stream is materialized.
+func CompressBestScratch(vals []uint32, sc *Scratch) Stream {
+	if len(vals) == 0 {
+		return newVerbatim(nil)
+	}
+	return Compress(vals, BestSpec(vals, sc))
+}
+
+// SizeBest runs selection and returns the winning method's exact full
+// compressed size and stream name (as Stream.Name() would report it)
+// without constructing the stream. Used for sizing-only accounting.
+func SizeBest(vals []uint32, sc *Scratch) (sz uint64, name string) {
+	if len(vals) == 0 {
+		return HeaderBits, "verbatim"
+	}
+	spec := BestSpec(vals, sc)
+	sz = SizeSpec(vals, spec, sc)
+	if spec.Kind == KindPacked {
+		var max uint32
+		for _, v := range vals {
+			if v > max {
+				max = v
+			}
+		}
+		return sz, fmt.Sprintf("packed%d", bits.Len32(max))
+	}
+	return sz, spec.String()
+}
+
+// --- dry-run sizers: must mirror the constructors bit for bit ---
+
+func sizePacked(vals []uint32) uint64 {
+	var max uint32
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	return uint64(len(vals))*uint64(bits.Len32(max)) + HeaderBits
+}
+
+// sizeFCM counts the FR entry bits of newFCM's construction pass: per
+// value, 1 bit on a hit and 33 on a miss, plus the window, both tables,
+// and the header. Only the forward (right-context) table is touched during
+// construction, so one borrowed table suffices.
+func sizeFCM(vals []uint32, order int, stride bool, sc *Scratch) uint64 {
+	if order < 1 {
+		panic("stream: fcm order must be >= 1")
+	}
+	wlen := order
+	if stride {
+		wlen = order + 1
+	}
+	var winBuf [4]uint32
+	var win []uint32
+	if wlen <= len(winBuf) {
+		win = winBuf[:wlen]
+	} else {
+		win = make([]uint32, wlen)
+	}
+	tbBits := tableBits(len(vals))
+	frtb := sc.table(tbBits)
+	var frBits uint64
+	for _, v := range vals {
+		h := win[0]
+		copy(win, win[1:])
+		win[wlen-1] = v
+		idx := fcmHash(win, stride, tbBits)
+		var pred uint32
+		if stride {
+			pred = win[0] - frtb[idx]
+		} else {
+			pred = frtb[idx]
+		}
+		if pred == h {
+			frBits++
+		} else {
+			frBits += 33
+			if stride {
+				frtb[idx] = win[0] - h
+			} else {
+				frtb[idx] = h
+			}
+		}
+	}
+	clear(frtb)
+	tables := uint64(2) * uint64(len(frtb)) * 32
+	return frBits + uint64(wlen)*32 + tables + HeaderBits
+}
+
+// sizeLastN counts the FR entry bits of newLastN's construction pass:
+// idxBits+1 bits on a table hit, 33 on a miss, plus the ring and header.
+func sizeLastN(vals []uint32, n int, stride bool, sc *Scratch) uint64 {
+	if n < 2 || n&(n-1) != 0 {
+		panic("stream: last-n table size must be a power of two >= 2")
+	}
+	idxBits := uint(bits.TrailingZeros(uint(n)))
+	tb := sc.table(idxBits)
+	var frBits uint64
+	var lastVal uint32
+	for _, v := range vals {
+		x := v
+		if stride {
+			x = v - lastVal
+		}
+		hit := false
+		for i, tv := range tb {
+			if tv == x {
+				copy(tb[1:i+1], tb[:i])
+				tb[0] = x
+				frBits += uint64(idxBits) + 1
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			copy(tb[1:], tb[:n-1])
+			tb[0] = x
+			frBits += 33
+		}
+		if stride {
+			lastVal = v
+		}
+	}
+	clear(tb)
+	sz := frBits + uint64(n)*32 + HeaderBits
+	if stride {
+		sz += 32
+	}
+	return sz
+}

@@ -181,35 +181,14 @@ const SelectionPrefix = 4096
 // CompressBest compresses vals with every candidate on a prefix, picks the
 // method with the smallest compressed size, and compresses the full stream
 // with it. It returns the stream positioned at 0.
+//
+// The selection phase sizes candidates with pooled scratch state instead of
+// building and discarding thirteen streams; callers running many
+// compressions on one goroutine should hold their own Scratch and call
+// CompressBestScratch directly.
 func CompressBest(vals []uint32) Stream {
-	if len(vals) == 0 {
-		return newVerbatim(nil)
-	}
-	probe := vals
-	if len(probe) > SelectionPrefix {
-		probe = vals[:SelectionPrefix]
-	}
-	best := Candidates[0]
-	var bestBits uint64
-	for i, spec := range Candidates {
-		var s Stream
-		switch spec.Kind {
-		case KindVerbatim:
-			s = newVerbatim(probe)
-		case KindFCM:
-			s = newFCM(probe, spec.Order, false)
-		case KindDFCM:
-			s = newFCM(probe, spec.Order, true)
-		case KindLastN:
-			s = newLastN(probe, spec.Order, false)
-		case KindLastNStride:
-			s = newLastN(probe, spec.Order, true)
-		case KindPacked:
-			s = newPacked(probe)
-		}
-		if i == 0 || s.SizeBits() < bestBits {
-			best, bestBits = spec, s.SizeBits()
-		}
-	}
-	return Compress(vals, best)
+	sc := scratchPool.Get().(*Scratch)
+	s := CompressBestScratch(vals, sc)
+	scratchPool.Put(sc)
+	return s
 }

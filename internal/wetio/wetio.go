@@ -16,6 +16,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sort"
 
 	"wet/internal/core"
 	"wet/internal/interp"
@@ -452,11 +453,18 @@ func saveReport(w io.Writer, r *core.SizeReport) error {
 	if err := writeVals(w, uint32(len(r.Methods))); err != nil {
 		return err
 	}
-	for name, n := range r.Methods {
+	// Sorted order: two saves of equal WETs must produce identical bytes
+	// (map iteration order would otherwise leak into the file).
+	names := make([]string, 0, len(r.Methods))
+	for name := range r.Methods {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
 		if err := writeString(w, name); err != nil {
 			return err
 		}
-		if err := writeVals(w, int64(n)); err != nil {
+		if err := writeVals(w, int64(r.Methods[name])); err != nil {
 			return err
 		}
 	}
