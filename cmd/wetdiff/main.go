@@ -5,11 +5,15 @@
 // mining the paper motivates ("identify program characteristics"), done on
 // the unified representation.
 //
+// Exit codes: 0 ok, 1 error, 2 usage, 3 integrity failure, 4 loaded with
+// data loss under -salvage.
+//
 // Usage:
 //
 //	wetprof -input 1,2,3 -o a.wet prog.wir
 //	wetprof -input 9,9,9 -o b.wet prog.wir
 //	wetdiff a.wet b.wet
+//	wetdiff -salvage damaged.wet b.wet
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"fmt"
 	"os"
 
+	"wet/internal/cliutil"
 	"wet/internal/core"
 	"wet/internal/query"
 	"wet/internal/wetio"
@@ -24,31 +29,28 @@ import (
 
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "wetdiff:", err)
-	os.Exit(1)
-}
-
-func load(path string) *core.WET {
-	f, err := os.Open(path)
-	if err != nil {
-		fail(err)
-	}
-	defer f.Close()
-	w, err := wetio.Load(f, wetio.LoadOptions{})
-	if err != nil {
-		fail(fmt.Errorf("%s: %w", path, err))
-	}
-	return w
+	os.Exit(cliutil.ExitError)
 }
 
 func main() {
 	top := flag.Int("top", 15, "number of diverging statements to list")
+	salvage := flag.Bool("salvage", false, "recover what damaged inputs still hold")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: wetdiff a.wet b.wet")
-		os.Exit(2)
+		fmt.Fprintln(os.Stderr, "usage: wetdiff [-salvage] a.wet b.wet")
+		os.Exit(cliutil.ExitUsage)
 	}
-	a := load(flag.Arg(0))
-	b := load(flag.Arg(1))
+	opts := wetio.LoadOptions{Salvage: *salvage}
+	// Nest the two loads so either file's integrity failure surfaces with
+	// its own exit code, and a lossy salvage of either raises 0 to 4.
+	os.Exit(cliutil.LoadWET("wetdiff", flag.Arg(0), opts, func(a *core.WET) int {
+		return cliutil.LoadWET("wetdiff", flag.Arg(1), opts, func(b *core.WET) int {
+			return diff(a, b, *top)
+		})
+	}))
+}
+
+func diff(a, b *core.WET, top int) int {
 	d, err := query.DiffWETs(a, b)
 	if err != nil {
 		fail(err)
@@ -61,15 +63,16 @@ func main() {
 
 	if len(d.Stmts) == 0 {
 		fmt.Println("no per-statement behaviour differences")
-		return
+		return cliutil.ExitOK
 	}
-	fmt.Printf("diverging statements (%d total, top %d by execution delta):\n", len(d.Stmts), *top)
+	fmt.Printf("diverging statements (%d total, top %d by execution delta):\n", len(d.Stmts), top)
 	fmt.Printf("%-34s %10s %10s %9s %9s\n", "statement", "execs A", "execs B", "uniq A", "uniq B")
 	for i, sd := range d.Stmts {
-		if i >= *top {
+		if i >= top {
 			break
 		}
 		fmt.Printf("%-34s %10d %10d %9d %9d\n",
 			a.Prog.Stmts[sd.StmtID], sd.ExecsA, sd.ExecsB, sd.UniqueA, sd.UniqueB)
 	}
+	return cliutil.ExitOK
 }

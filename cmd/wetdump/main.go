@@ -1,11 +1,17 @@
 // Command wetdump inspects a saved WET file: graph statistics, hot paths,
 // per-component sizes, the tier-2 method census, and optionally a DOT graph
-// of a backward slice.
+// of a backward slice. -verify walks the file's sections and reports each
+// checksum without loading; -salvage loads what a damaged file still holds.
+//
+// Exit codes: 0 ok, 1 error, 2 usage, 3 integrity failure, 4 loaded with
+// data loss under -salvage.
 //
 // Usage:
 //
 //	wetdump trace.wet
 //	wetdump -paths 20 trace.wet
+//	wetdump -verify trace.wet
+//	wetdump -salvage damaged.wet
 //	wetdump -slice-ts 1234 -dot slice.dot trace.wet
 package main
 
@@ -15,35 +21,72 @@ import (
 	"os"
 	"sort"
 
+	"wet/internal/cliutil"
 	"wet/internal/core"
 	"wet/internal/query"
 	"wet/internal/wetio"
 )
 
+// fail aborts the in-progress dump: by this point the WET loaded, so the
+// failure is a query/output error, not an integrity one.
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "wetdump:", err)
-	os.Exit(1)
+	os.Exit(cliutil.ExitError)
 }
 
 func main() {
 	paths := flag.Int("paths", 10, "number of hot paths to list")
 	sliceTS := flag.Uint("slice-ts", 0, "backward-slice the last def at this timestamp")
 	dotFile := flag.String("dot", "", "write the slice as Graphviz DOT to this file")
+	verify := flag.Bool("verify", false, "walk all sections and report per-section CRC status, loading nothing")
+	salvage := flag.Bool("salvage", false, "recover what a damaged file still holds")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: wetdump [flags] trace.wet")
-		os.Exit(2)
+		os.Exit(cliutil.ExitUsage)
 	}
-	f, err := os.Open(flag.Arg(0))
-	if err != nil {
-		fail(err)
+	if *verify {
+		os.Exit(runVerify(flag.Arg(0)))
 	}
-	w, err := wetio.Load(f, wetio.LoadOptions{})
-	f.Close()
-	if err != nil {
-		fail(err)
-	}
+	os.Exit(cliutil.LoadWET("wetdump", flag.Arg(0), wetio.LoadOptions{Salvage: *salvage},
+		func(w *core.WET) int {
+			dump(w, *paths, *sliceTS, *dotFile)
+			return cliutil.ExitOK
+		}))
+}
 
+// runVerify walks the file's sections, printing one CRC-status line each,
+// and returns ExitIntegrity on the first failure.
+func runVerify(path string) int {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wetdump:", err)
+		return cliutil.ExitError
+	}
+	defer f.Close()
+	res, err := wetio.Verify(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wetdump:", err)
+		return cliutil.ExitIntegrity
+	}
+	for _, s := range res.Sections {
+		fmt.Println(s)
+	}
+	if res.Truncated {
+		fmt.Println("file truncated: end marker never reached")
+	}
+	if res.TailSkipped > 0 {
+		fmt.Printf("unframeable tail: %d bytes\n", res.TailSkipped)
+	}
+	if !res.OK() {
+		fmt.Printf("FAILED: %d bad sections\n", res.BadSections)
+		return cliutil.ExitIntegrity
+	}
+	fmt.Printf("ok: %d sections verified\n", len(res.Sections))
+	return cliutil.ExitOK
+}
+
+func dump(w *core.WET, paths int, sliceTS uint, dotFile string) {
 	fmt.Printf("file         %s\n", flag.Arg(0))
 	fmt.Printf("program      %d funcs, %d statements, %d basic blocks\n",
 		len(w.Prog.Funcs), len(w.Prog.Stmts), w.Prog.NumBlocks())
@@ -73,15 +116,15 @@ func main() {
 	}
 	fmt.Println()
 
-	fmt.Printf("\nhot paths (top %d):\n", *paths)
+	fmt.Printf("\nhot paths (top %d):\n", paths)
 	fmt.Printf("%6s %4s %10s %8s %8s %10s\n", "node", "fn", "path", "execs", "stmts", "coverage")
-	for _, hp := range query.HotPaths(w, *paths) {
+	for _, hp := range query.HotPaths(w, paths) {
 		fmt.Printf("%6d %4d %10d %8d %8d %9.1f%%\n",
 			hp.Node, hp.Fn, hp.PathID, hp.Execs, hp.Stmts, 100*hp.Coverage)
 	}
 
-	if *sliceTS > 0 {
-		in, err := defAt(w, uint32(*sliceTS))
+	if sliceTS > 0 {
+		in, err := defAt(w, uint32(sliceTS))
 		if err != nil {
 			fail(err)
 		}
@@ -90,9 +133,9 @@ func main() {
 			fail(err)
 		}
 		fmt.Printf("\nbackward slice at ts %d: %d instances, %d edge instances\n",
-			*sliceTS, len(res.Instances), res.Edges)
-		if *dotFile != "" {
-			out, err := os.Create(*dotFile)
+			sliceTS, len(res.Instances), res.Edges)
+		if dotFile != "" {
+			out, err := os.Create(dotFile)
 			if err != nil {
 				fail(err)
 			}
@@ -102,7 +145,7 @@ func main() {
 			if err := out.Close(); err != nil {
 				fail(err)
 			}
-			fmt.Printf("wrote %s\n", *dotFile)
+			fmt.Printf("wrote %s\n", dotFile)
 		}
 	}
 }

@@ -1,12 +1,16 @@
 // Command wetquery builds a workload's WET and answers profile queries
 // against the compressed representation.
 //
+// Exit codes: 0 ok, 1 error, 2 usage, 3 integrity failure on -load,
+// 4 loaded with data loss under -salvage.
+//
 // Usage:
 //
 //	wetquery -bench li -query cftrace -tier 2 -dir backward
 //	wetquery -bench mcf -query values
 //	wetquery -bench gzip -query addresses -tier 1
 //	wetquery -bench twolf -query slice -slices 25
+//	wetquery -load damaged.wet -salvage -query cftrace
 package main
 
 import (
@@ -15,6 +19,7 @@ import (
 	"os"
 	"time"
 
+	"wet/internal/cliutil"
 	"wet/internal/core"
 	"wet/internal/exp"
 	"wet/internal/query"
@@ -31,54 +36,50 @@ func main() {
 	dir := flag.String("dir", "forward", "cftrace direction: forward | backward")
 	slices := flag.Int("slices", 25, "number of slices for -query slice")
 	load := flag.String("load", "", "query a saved WET file instead of rebuilding")
+	salvage := flag.Bool("salvage", false, "with -load: recover what a damaged file still holds")
 	flag.Parse()
 
-	w, err := workload.ByName(*bench)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "wetquery:", err)
-		os.Exit(1)
-	}
 	tier := core.Tier2
 	if *tierN == 1 {
 		tier = core.Tier1
 	}
 
-	var run *exp.Run
 	if *load != "" {
-		f, err := os.Open(*load)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "wetquery:", err)
-			os.Exit(1)
-		}
-		wt, err := wetio.Load(f, wetio.LoadOptions{RestoreTier1: *tierN == 1})
-		f.Close()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "wetquery:", err)
-			os.Exit(1)
-		}
-		run = &exp.Run{Name: *load, Stmts: wt.Raw.StmtExecs, W: wt, Rep: wt.Report()}
-	} else {
-		fmt.Fprintf(os.Stderr, "building WET for %s...\n", w.Name)
-		run, err = exp.BuildRun(w, *stmts, 0)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "wetquery:", err)
-			os.Exit(1)
-		}
+		opts := wetio.LoadOptions{RestoreTier1: *tierN == 1, Salvage: *salvage}
+		os.Exit(cliutil.LoadWET("wetquery", *load, opts, func(wt *core.WET) int {
+			run := &exp.Run{Name: *load, Stmts: wt.Raw.StmtExecs, W: wt, Rep: wt.Report()}
+			return runQuery(run, *q, tier, *dir, *slices)
+		}))
 	}
 
+	w, err := workload.ByName(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wetquery:", err)
+		os.Exit(cliutil.ExitError)
+	}
+	fmt.Fprintf(os.Stderr, "building WET for %s...\n", w.Name)
+	run, err := exp.BuildRun(w, *stmts, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wetquery:", err)
+		os.Exit(cliutil.ExitError)
+	}
+	os.Exit(runQuery(run, *q, tier, *dir, *slices))
+}
+
+func runQuery(run *exp.Run, q string, tier core.Tier, dir string, slices int) int {
 	start := time.Now()
-	switch *q {
+	switch q {
 	case "cftrace":
-		n := query.ExtractCF(run.W, tier, *dir == "forward", nil)
+		n := query.ExtractCF(run.W, tier, dir == "forward", nil)
 		d := time.Since(start)
 		bytes := n * trace.TSBytes
 		fmt.Printf("control flow trace: %d statements (%.2f MB) in %v (%s, %.2f MB/s)\n",
-			n, float64(bytes)/(1<<20), d, *dir, float64(bytes)/(1<<20)/d.Seconds())
+			n, float64(bytes)/(1<<20), d, dir, float64(bytes)/(1<<20)/d.Seconds())
 	case "values":
 		n, err := query.LoadValueTraces(run.W, tier, nil)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "wetquery:", err)
-			os.Exit(1)
+			return cliutil.ExitError
 		}
 		d := time.Since(start)
 		fmt.Printf("load value traces: %d samples (%.2f MB) in %v\n", n, float64(n*4)/(1<<20), d)
@@ -86,18 +87,18 @@ func main() {
 		n, err := query.AddressTraces(run.W, tier, nil)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "wetquery:", err)
-			os.Exit(1)
+			return cliutil.ExitError
 		}
 		d := time.Since(start)
 		fmt.Printf("load/store address traces: %d samples (%.2f MB) in %v\n", n, float64(n*4)/(1<<20), d)
 	case "slice":
-		crit := exp.SliceCriteria(run.W, *slices)
+		crit := exp.SliceCriteria(run.W, slices)
 		var instances int
 		for _, c := range crit {
 			res, err := query.BackwardSlice(run.W, tier, c, 0)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "wetquery:", err)
-				os.Exit(1)
+				return cliutil.ExitError
 			}
 			instances += len(res.Instances)
 		}
@@ -106,7 +107,8 @@ func main() {
 			len(crit), float64(instances)/float64(len(crit)),
 			float64(d.Microseconds())/1e3/float64(len(crit)))
 	default:
-		fmt.Fprintf(os.Stderr, "wetquery: unknown query %q\n", *q)
-		os.Exit(1)
+		fmt.Fprintf(os.Stderr, "wetquery: unknown query %q\n", q)
+		return cliutil.ExitUsage
 	}
+	return cliutil.ExitOK
 }

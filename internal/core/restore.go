@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"wet/internal/interp"
 )
 
@@ -27,8 +29,13 @@ func RestoreNode(st *interp.Static, id, fn int, pathID int64) (*Node, error) {
 }
 
 // RestoreUniqueKeys records the unique-input-tuple count of a deserialized
-// group (the keys map itself is not persisted).
-func (g *Group) RestoreUniqueKeys(n int) { g.restoredKeys = n }
+// group. The keys map itself is not persisted, and the empty map formGroups
+// installed must not shadow the restored count (UniqueKeys prefers the map
+// when present), so it is dropped here.
+func (g *Group) RestoreUniqueKeys(n int) {
+	g.keys = nil
+	g.restoredKeys = n
+}
 
 // RestoreIndexes rebuilds the derived indexes (statement occurrences and
 // edge adjacency) of a deserialized WET and marks it frozen.
@@ -45,4 +52,39 @@ func (w *WET) RestoreIndexes(rep *SizeReport) {
 	}
 	w.frozen = true
 	w.report = rep
+}
+
+// SanitizeSalvaged repairs the invariants RestoreIndexes and the query
+// layer rely on after a salvage load dropped node records: control-flow
+// successor/predecessor lists may point at nodes past the surviving prefix
+// (the trace walker indexes w.Nodes by these entries directly), and the
+// first/last node pointers may be gone. Call it on a WET holding the
+// salvaged node/edge prefix, before RestoreIndexes. It returns a human
+// readable line per repair applied.
+func (w *WET) SanitizeSalvaged() []string {
+	var adj []string
+	n := len(w.Nodes)
+	for _, node := range w.Nodes {
+		node.CFNext = dropOutOfRange(node.CFNext, n)
+		node.CFPrev = dropOutOfRange(node.CFPrev, n)
+	}
+	if w.FirstNode < 0 || w.FirstNode >= n {
+		adj = append(adj, fmt.Sprintf("first node %d not recovered; reset to 0", w.FirstNode))
+		w.FirstNode = 0
+	}
+	if w.LastNode < 0 || w.LastNode >= n {
+		adj = append(adj, fmt.Sprintf("last node %d not recovered; reset to %d", w.LastNode, n-1))
+		w.LastNode = n - 1
+	}
+	return adj
+}
+
+func dropOutOfRange(s []int, n int) []int {
+	out := s[:0]
+	for _, v := range s {
+		if v >= 0 && v < n {
+			out = append(out, v)
+		}
+	}
+	return out
 }

@@ -1,0 +1,48 @@
+package core
+
+import "testing"
+
+// TestSanitizeSalvaged checks the post-salvage repairs: control-flow lists
+// clamped to the surviving node prefix and first/last pointers remapped,
+// with each repair reported.
+func TestSanitizeSalvaged(t *testing.T) {
+	w := &WET{
+		Nodes: []*Node{
+			{ID: 0, CFNext: []int{1, 7, 0}, CFPrev: []int{-1, 1}},
+			{ID: 1, CFNext: []int{5}, CFPrev: []int{0}},
+		},
+		FirstNode: 0,
+		LastNode:  9, // points past the surviving prefix
+	}
+	adj := w.SanitizeSalvaged()
+	if got := w.Nodes[0].CFNext; len(got) != 2 || got[0] != 1 || got[1] != 0 {
+		t.Fatalf("CFNext not clamped: %v", got)
+	}
+	if got := w.Nodes[0].CFPrev; len(got) != 1 || got[0] != 1 {
+		t.Fatalf("CFPrev not clamped: %v", got)
+	}
+	if len(w.Nodes[1].CFNext) != 0 {
+		t.Fatalf("dangling CFNext survived: %v", w.Nodes[1].CFNext)
+	}
+	if w.FirstNode != 0 || w.LastNode != 1 {
+		t.Fatalf("first/last = %d/%d, want 0/1", w.FirstNode, w.LastNode)
+	}
+	if len(adj) != 1 {
+		t.Fatalf("adjustments = %v, want exactly the last-node repair", adj)
+	}
+}
+
+// TestSanitizeSalvagedNoop checks an intact WET passes through unchanged.
+func TestSanitizeSalvagedNoop(t *testing.T) {
+	w := &WET{
+		Nodes:     []*Node{{ID: 0, CFNext: []int{1}}, {ID: 1, CFPrev: []int{0}}},
+		FirstNode: 0,
+		LastNode:  1,
+	}
+	if adj := w.SanitizeSalvaged(); len(adj) != 0 {
+		t.Fatalf("intact WET adjusted: %v", adj)
+	}
+	if len(w.Nodes[0].CFNext) != 1 || w.Nodes[0].CFNext[0] != 1 {
+		t.Fatal("intact CFNext modified")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math/bits"
 )
 
 // Save writes the stream's complete compressed state to w, so a later Load
@@ -25,7 +26,23 @@ func Save(w io.Writer, s Stream) error {
 
 // Load reads a stream previously written by Save. It consumes exactly the
 // bytes Save wrote, so streams can be concatenated in one container.
-func Load(r io.Reader) (Stream, error) {
+//
+// Load is the package's error boundary for untrusted input: every length,
+// count, and structural field is validated (and allocations are bounded by
+// the bytes actually present), malformed input returns an error, and any
+// residual decoder panic is converted to an error rather than escaping.
+// The panics that remain on Stream itself — Next past the end, Prev past
+// the start, SeekTo out of range — are programmer-error assertions on
+// cursor discipline, not input validation, and are unchanged. A stream
+// whose entry stores were forged to pass structural validation can still
+// panic when stepped; callers loading from media without an outer
+// integrity check can certify traversal first with WalkCheck.
+func Load(r io.Reader) (s Stream, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			s, err = nil, fmt.Errorf("stream: corrupt stream state: %v", p)
+		}
+	}()
 	var tag uint8
 	if err := binary.Read(r, binary.LittleEndian, &tag); err != nil {
 		return nil, err
@@ -36,11 +53,29 @@ func Load(r io.Reader) (Stream, error) {
 	case KindPacked:
 		return loadPacked(r)
 	case KindFCM, KindDFCM:
-		return loadFCM(r)
+		return loadFCM(r, Kind(tag))
 	case KindLastN, KindLastNStride:
-		return loadLastN(r)
+		return loadLastN(r, Kind(tag))
 	}
 	return nil, fmt.Errorf("stream: unknown stream tag %d", tag)
+}
+
+// WalkCheck certifies that a deserialized stream can be traversed over its
+// whole length in both directions without panicking: it walks a clone from
+// the restored cursor to the start and then to the end under a recover
+// boundary, so both entry stores are fully decoded. Structurally valid but
+// forged entry stores fail here instead of panicking in a later query.
+// The original's cursor is untouched.
+func WalkCheck(s Stream) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("stream: corrupt stream state: %v", p)
+		}
+	}()
+	c := s.Clone()
+	SeekStart(c)
+	SeekEnd(c)
+	return nil
 }
 
 // --- encoding helpers ---
@@ -70,6 +105,11 @@ func writeU32s(w io.Writer, s []uint32) error {
 	return binary.Write(w, binary.LittleEndian, s)
 }
 
+// allocChunk bounds how many elements a single deserialization step
+// allocates: a forged count costs at most one chunk before the short read
+// surfaces, instead of a count-sized up-front allocation.
+const allocChunk = 1 << 16
+
 func readU32s(r io.Reader) ([]uint32, error) {
 	var n uint32
 	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
@@ -78,9 +118,17 @@ func readU32s(r io.Reader) ([]uint32, error) {
 	if n > 1<<28 {
 		return nil, fmt.Errorf("stream: implausible sequence length %d", n)
 	}
-	s := make([]uint32, n)
-	if err := binary.Read(r, binary.LittleEndian, s); err != nil {
-		return nil, err
+	if n == 0 {
+		return nil, nil
+	}
+	s := make([]uint32, 0, minInt(int(n), allocChunk))
+	for len(s) < int(n) {
+		c := minInt(int(n)-len(s), allocChunk)
+		old := len(s)
+		s = append(s, make([]uint32, c)...)
+		if err := binary.Read(r, binary.LittleEndian, s[old:]); err != nil {
+			return nil, err
+		}
 	}
 	return s, nil
 }
@@ -105,11 +153,26 @@ func readBits(r io.Reader) (bitstack, error) {
 	if nw > 1<<26 || b.n > uint64(nw)*64 {
 		return b, fmt.Errorf("stream: inconsistent bit vector (%d bits, %d words)", b.n, nw)
 	}
-	b.words = make([]uint64, nw)
-	if err := binary.Read(r, binary.LittleEndian, b.words); err != nil {
-		return b, err
+	if nw == 0 {
+		return b, nil
+	}
+	b.words = make([]uint64, 0, minInt(int(nw), allocChunk))
+	for len(b.words) < int(nw) {
+		c := minInt(int(nw)-len(b.words), allocChunk)
+		old := len(b.words)
+		b.words = append(b.words, make([]uint64, c)...)
+		if err := binary.Read(r, binary.LittleEndian, b.words[old:]); err != nil {
+			return b, err
+		}
 	}
 	return b, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // --- per-type state ---
@@ -133,6 +196,9 @@ func loadVerbatim(r io.Reader) (*verbatim, error) {
 	if err := readAll(r, &pos); err != nil {
 		return nil, err
 	}
+	if int(pos) > len(vals) {
+		return nil, fmt.Errorf("stream: verbatim cursor %d outside [0,%d]", pos, len(vals))
+	}
 	return &verbatim{vals: vals, pos: int(pos)}, nil
 }
 
@@ -151,10 +217,27 @@ func loadPacked(r io.Reader) (*packed, error) {
 	if err := readAll(r, &width, &m, &pos, &nw); err != nil {
 		return nil, err
 	}
+	if width > 32 {
+		return nil, fmt.Errorf("stream: packed width %d exceeds 32", width)
+	}
+	if m > 1<<28 || nw > 1<<26 {
+		return nil, fmt.Errorf("stream: implausible packed dimensions (%d values, %d words)", m, nw)
+	}
+	if pos > m {
+		return nil, fmt.Errorf("stream: packed cursor %d outside [0,%d]", pos, m)
+	}
+	if need := (uint64(m)*uint64(width) + 63) / 64; uint64(nw) < need {
+		return nil, fmt.Errorf("stream: packed payload has %d words, %d values of width %d need %d", nw, m, width, need)
+	}
 	p := &packed{width: uint(width), m: int(m), pos: int(pos)}
-	p.data.words = make([]uint64, nw)
-	if err := binary.Read(r, binary.LittleEndian, p.data.words); err != nil {
-		return nil, err
+	p.data.words = make([]uint64, 0, minInt(int(nw), allocChunk))
+	for len(p.data.words) < int(nw) {
+		c := minInt(int(nw)-len(p.data.words), allocChunk)
+		old := len(p.data.words)
+		p.data.words = append(p.data.words, make([]uint64, c)...)
+		if err := binary.Read(r, binary.LittleEndian, p.data.words[old:]); err != nil {
+			return nil, err
+		}
 	}
 	return p, nil
 }
@@ -179,15 +262,20 @@ func (s *fcmStream) save(w io.Writer) error {
 	return writeBits(w, &s.bl)
 }
 
-func loadFCM(r io.Reader) (*fcmStream, error) {
-	// The tag was already consumed; the stride flag is recoverable from it,
-	// but we re-derive it below from the caller. To keep Load simple the
-	// tag is re-passed via a sentinel: re-read fields and infer stride from
-	// window length vs order.
+func loadFCM(r io.Reader, kind Kind) (*fcmStream, error) {
 	var m, order, tbBits, pos uint32
 	var size uint64
 	if err := readAll(r, &m, &order, &tbBits, &pos, &size); err != nil {
 		return nil, err
+	}
+	if order < 1 || order > 64 {
+		return nil, fmt.Errorf("stream: fcm order %d outside [1,64]", order)
+	}
+	if tbBits > 26 {
+		return nil, fmt.Errorf("stream: fcm table bits %d exceed 26", tbBits)
+	}
+	if pos > m {
+		return nil, fmt.Errorf("stream: fcm cursor %d outside [0,%d]", pos, m)
 	}
 	s := &fcmStream{m: int(m), order: int(order), tbBits: uint(tbBits), pos: int(pos), size: size}
 	var err error
@@ -200,7 +288,21 @@ func loadFCM(r io.Reader) (*fcmStream, error) {
 	if s.win, err = readU32s(r); err != nil {
 		return nil, err
 	}
-	s.stride = len(s.win) == s.order+1
+	// The predictor tables are indexed by tbBits-masked hashes and the
+	// window length encodes the stride flag; any mismatch would index out
+	// of bounds when the stream is stepped.
+	if len(s.frtb) != 1<<s.tbBits || len(s.bltb) != 1<<s.tbBits {
+		return nil, fmt.Errorf("stream: fcm tables sized %d/%d, want %d", len(s.frtb), len(s.bltb), 1<<s.tbBits)
+	}
+	wantWin := s.order
+	if kind == KindDFCM {
+		wantWin = s.order + 1
+	}
+	if len(s.win) != wantWin {
+		return nil, fmt.Errorf("stream: fcm window has %d values, %v of order %d needs %d",
+			len(s.win), Spec{kind, s.order}, s.order, wantWin)
+	}
+	s.stride = kind == KindDFCM
 	if s.fr, err = readBits(r); err != nil {
 		return nil, err
 	}
@@ -228,13 +330,25 @@ func (s *lastNStream) save(w io.Writer) error {
 	return writeBits(w, &s.bl)
 }
 
-func loadLastN(r io.Reader) (*lastNStream, error) {
+func loadLastN(r io.Reader, kind Kind) (*lastNStream, error) {
 	var strideB uint8
 	var m, n, idxBits, pos uint32
 	var lastVal uint32
 	var size uint64
 	if err := readAll(r, &strideB, &m, &n, &idxBits, &pos, &lastVal, &size); err != nil {
 		return nil, err
+	}
+	if (strideB == 1) != (kind == KindLastNStride) {
+		return nil, fmt.Errorf("stream: last-n stride flag %d contradicts tag %v", strideB, kind)
+	}
+	if n < 2 || n > 1<<20 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("stream: last-n table size %d not a power of two in [2,2^20]", n)
+	}
+	if idxBits != uint32(bits.TrailingZeros32(n)) {
+		return nil, fmt.Errorf("stream: last-n index width %d inconsistent with table size %d", idxBits, n)
+	}
+	if pos > m {
+		return nil, fmt.Errorf("stream: last-n cursor %d outside [0,%d]", pos, m)
 	}
 	s := &lastNStream{
 		m: int(m), n: int(n), idxBits: uint(idxBits), pos: int(pos),
@@ -243,6 +357,11 @@ func loadLastN(r io.Reader) (*lastNStream, error) {
 	var err error
 	if s.tb, err = readU32s(r); err != nil {
 		return nil, err
+	}
+	// Hit entries index tb through idxBits-wide values; a short table would
+	// index out of bounds when the stream is stepped.
+	if len(s.tb) != int(n) {
+		return nil, fmt.Errorf("stream: last-n table has %d entries, want %d", len(s.tb), n)
 	}
 	if s.fr, err = readBits(r); err != nil {
 		return nil, err

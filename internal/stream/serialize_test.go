@@ -79,7 +79,9 @@ func TestLoadBadTag(t *testing.T) {
 	}
 }
 
-// FuzzLoad ensures arbitrary bytes never panic the stream deserializer.
+// FuzzLoad ensures arbitrary bytes never panic the stream deserializer, and
+// that WalkCheck's certification is sound: a stream it passes traverses its
+// whole length in both directions without panicking.
 func FuzzLoad(f *testing.F) {
 	vals := []uint32{1, 5, 5, 9, 1, 5}
 	for _, spec := range Candidates {
@@ -93,18 +95,150 @@ func FuzzLoad(f *testing.F) {
 		if err != nil {
 			return
 		}
-		// A stream that loads must traverse without panicking (walk a few
-		// steps each way, guarding cursor bounds).
+		// Structurally valid but forged entry stores are allowed to fail
+		// certification — that is WalkCheck's purpose.
+		if err := WalkCheck(s); err != nil {
+			return
+		}
+		// Certified: traversal must now be panic-free over the full length.
 		defer func() {
 			if r := recover(); r != nil {
-				t.Fatalf("traversal of loaded stream panicked: %v", r)
+				t.Fatalf("traversal of certified stream panicked: %v", r)
 			}
 		}()
-		for i := 0; i < 8 && s.Pos() < s.Len(); i++ {
+		for s.Pos() < s.Len() {
 			s.Next()
 		}
-		for i := 0; i < 8 && s.Pos() > 0; i++ {
+		for s.Pos() > 0 {
 			s.Prev()
 		}
 	})
+}
+
+// mutate returns a copy of b with the uint32 at off overwritten.
+func mutate(b []byte, off int, v uint32) []byte {
+	out := append([]byte(nil), b...)
+	out[off] = byte(v)
+	out[off+1] = byte(v >> 8)
+	out[off+2] = byte(v >> 16)
+	out[off+3] = byte(v >> 24)
+	return out
+}
+
+func saveBytes(t *testing.T, vals []uint32, spec Spec) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Save(&buf, Compress(vals, spec)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func wantLoadErr(t *testing.T, data []byte, what string) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("%s: Load panicked instead of erroring: %v", what, r)
+		}
+	}()
+	if _, err := Load(bytes.NewReader(data)); err == nil {
+		t.Fatalf("%s: Load accepted malformed input", what)
+	}
+}
+
+// TestLoadErrVerbatim covers the converted verbatim paths: cursor out of
+// range and truncated payload. Layout: tag(1) n(4) vals(4n) pos(4).
+func TestLoadErrVerbatim(t *testing.T) {
+	b := saveBytes(t, []uint32{7, 8, 9}, Spec{KindVerbatim, 0})
+	wantLoadErr(t, mutate(b, len(b)-4, 99), "cursor past end")
+	wantLoadErr(t, b[:len(b)-2], "truncated cursor")
+	wantLoadErr(t, mutate(b, 1, 1<<29), "implausible length")
+}
+
+// TestLoadErrPacked covers the converted packed paths. Layout: tag(1)
+// width(4) m(4) pos(4) nw(4) words(8nw).
+func TestLoadErrPacked(t *testing.T) {
+	b := saveBytes(t, []uint32{1, 2, 3, 1, 2, 3}, Spec{KindPacked, 0})
+	wantLoadErr(t, mutate(b, 1, 40), "width over 32")
+	wantLoadErr(t, mutate(b, 9, 1000), "cursor past end")
+	wantLoadErr(t, mutate(b, 13, 0), "word count below need")
+	wantLoadErr(t, mutate(b, 5, 1<<27), "value count without payload")
+	wantLoadErr(t, b[:len(b)-3], "truncated words")
+}
+
+// TestLoadErrFCM covers the converted FCM/dFCM paths. Layout: tag(1) m(4)
+// order(4) tbBits(4) pos(4) size(8) frtb bltb win frbits blbits.
+func TestLoadErrFCM(t *testing.T) {
+	vals := []uint32{1, 5, 5, 9, 1, 5, 2, 2}
+	for _, spec := range []Spec{{KindFCM, 2}, {KindDFCM, 2}} {
+		b := saveBytes(t, vals, spec)
+		wantLoadErr(t, mutate(b, 5, 0), "order zero")
+		wantLoadErr(t, mutate(b, 5, 100), "order over 64")
+		wantLoadErr(t, mutate(b, 9, 27), "table bits over 26")
+		wantLoadErr(t, mutate(b, 13, 1000), "cursor past end")
+		// Shrinking the forward table's length prefix desynchronizes or
+		// fails the table-size cross-check; either way it must error.
+		wantLoadErr(t, mutate(b, 25, 1), "table shorter than 1<<tbBits")
+		wantLoadErr(t, b[:len(b)/2], "truncated mid-state")
+	}
+}
+
+// TestLoadErrLastN covers the converted last-n paths. Layout: tag(1)
+// stride(1) m(4) n(4) idxBits(4) pos(4) lastVal(4) size(8) tb frbits blbits.
+func TestLoadErrLastN(t *testing.T) {
+	vals := []uint32{3, 3, 6, 3, 6, 6, 9, 3}
+	for _, spec := range []Spec{{KindLastN, 4}, {KindLastNStride, 4}} {
+		b := saveBytes(t, vals, spec)
+		wantLoadErr(t, mutate(b, 6, 3), "table size not a power of two")
+		wantLoadErr(t, mutate(b, 6, 1<<21), "table size over 2^20")
+		wantLoadErr(t, mutate(b, 10, 7), "index width inconsistent")
+		wantLoadErr(t, mutate(b, 14, 1000), "cursor past end")
+		wantLoadErr(t, b[:len(b)-1], "truncated bit store")
+		// Stride flag contradicting the kind tag.
+		flip := append([]byte(nil), b...)
+		flip[1] ^= 1
+		wantLoadErr(t, flip, "stride flag contradicts tag")
+	}
+}
+
+// TestWalkCheckCatchesForgedEntries hand-crafts an FCM state that passes
+// every structural check but whose entry stores are empty: Load must accept
+// it (the structure is self-consistent), and WalkCheck must reject it
+// instead of letting a later query panic on bitstack underflow.
+func TestWalkCheckCatchesForgedEntries(t *testing.T) {
+	var buf bytes.Buffer
+	writeAll(&buf, uint8(KindFCM),
+		uint32(2), // m: claims two values
+		uint32(1), // order
+		uint32(1), // tbBits
+		uint32(0), // pos
+		uint64(0)) // size
+	writeU32s(&buf, []uint32{0, 0}) // frtb (1<<tbBits)
+	writeU32s(&buf, []uint32{0, 0}) // bltb
+	writeU32s(&buf, []uint32{0})    // win (order entries)
+	writeAll(&buf, uint64(0), uint32(0)) // fr bitstack: 0 bits, 0 words
+	writeAll(&buf, uint64(0), uint32(0)) // bl bitstack: empty too
+	s, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("structurally valid forged stream rejected at Load: %v", err)
+	}
+	if err := WalkCheck(s); err == nil {
+		t.Fatal("WalkCheck certified a stream with empty entry stores")
+	}
+}
+
+// TestWalkCheckPassesValid certifies every candidate encoding of a real
+// sequence and checks the original cursor is untouched.
+func TestWalkCheckPassesValid(t *testing.T) {
+	vals := []uint32{1, 5, 5, 9, 1, 5, 2, 2, 4, 4}
+	for _, spec := range Candidates {
+		s := Compress(vals, spec)
+		SeekTo(s, 3)
+		if err := WalkCheck(s); err != nil {
+			t.Fatalf("%s: WalkCheck rejected a valid stream: %v", spec, err)
+		}
+		if s.Pos() != 3 {
+			t.Fatalf("%s: WalkCheck moved the cursor to %d", spec, s.Pos())
+		}
+	}
 }

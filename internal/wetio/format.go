@@ -1,0 +1,288 @@
+package wetio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// WET format v3 framing: after the 8-byte preamble (magic, version), the
+// file is a sequence of self-describing sections
+//
+//	tag(u8) payloadLen(u32 LE) payload[payloadLen] crc32c(u32 LE)
+//
+// where the CRC32-C covers tag, length, and payload. Every logical unit —
+// header, program, size report, each node record, each edge record — is its
+// own section, closed by an empty end-marker section. The framing lets Load
+// (a) bound every allocation by the bytes actually present, (b) attribute
+// corruption to the section containing it, and (c) skip damaged node/edge
+// records in salvage mode while keeping the rest of the file.
+const (
+	secHeader  = uint8(1) // raw stats, time, first/last node, node+edge counts
+	secProgram = uint8(2) // IR program
+	secReport  = uint8(3) // size report
+	secNode    = uint8(4) // one node record
+	secEdge    = uint8(5) // one edge record
+	secEnd     = uint8(6) // empty end marker
+)
+
+// maxSectionLen bounds a single section's declared payload size. It is a
+// framing-sanity limit, not an allocation bound: payloads are read in
+// bounded chunks, so a lying length field costs at most one chunk before
+// hitting EOF.
+const maxSectionLen = 1 << 30
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+func sectionName(tag uint8) string {
+	switch tag {
+	case secHeader:
+		return "header"
+	case secProgram:
+		return "program"
+	case secReport:
+		return "report"
+	case secNode:
+		return "node"
+	case secEdge:
+		return "edge"
+	case secEnd:
+		return "end"
+	}
+	return fmt.Sprintf("unknown(%d)", tag)
+}
+
+// FormatError reports a structural or integrity failure at a specific
+// location of a WET file.
+type FormatError struct {
+	// Section names the logical unit containing the failure ("header",
+	// "program", "node 12", "edge 480", ...).
+	Section string
+	// Offset is the file offset of the failing section's frame (0 when the
+	// failure precedes any framing, e.g. a bad magic number).
+	Offset int64
+	// Cause is the underlying error.
+	Cause error
+}
+
+func (e *FormatError) Error() string {
+	return fmt.Sprintf("wetio: %s section at offset %d: %v", e.Section, e.Offset, e.Cause)
+}
+
+func (e *FormatError) Unwrap() error { return e.Cause }
+
+// SalvageReport describes what LoadOptions.Salvage managed to recover.
+type SalvageReport struct {
+	Version int
+	// SectionsRead counts sections whose CRC validated and that parsed.
+	SectionsRead int
+	// SectionsDropped counts sections that failed their CRC, failed to
+	// parse, or were structurally inconsistent and were skipped.
+	SectionsDropped int
+	// BytesSkipped counts payload bytes of dropped sections plus any
+	// unframeable tail of the file.
+	BytesSkipped int64
+	// Truncated is set when the file ended before its end marker.
+	Truncated bool
+
+	NodesLoaded, NodesDropped int
+	EdgesLoaded, EdgesDropped int
+
+	// Adjustments lists the cross-reference repairs applied to keep the
+	// loaded prefix internally consistent (clamped control-flow successor
+	// lists, remapped first/last pointers, dropped shared-label edges).
+	Adjustments []string
+}
+
+// Clean reports whether the file loaded without any loss.
+func (r *SalvageReport) Clean() bool {
+	return r.SectionsDropped == 0 && r.BytesSkipped == 0 && !r.Truncated &&
+		r.NodesDropped == 0 && r.EdgesDropped == 0 && len(r.Adjustments) == 0
+}
+
+func (r *SalvageReport) String() string {
+	if r.Clean() {
+		return fmt.Sprintf("wetio: v%d file intact: %d sections, %d nodes, %d edges",
+			r.Version, r.SectionsRead, r.NodesLoaded, r.EdgesLoaded)
+	}
+	s := fmt.Sprintf("wetio: v%d salvage: %d sections read, %d dropped, %d bytes skipped; nodes %d/%d, edges %d/%d",
+		r.Version, r.SectionsRead, r.SectionsDropped, r.BytesSkipped,
+		r.NodesLoaded, r.NodesLoaded+r.NodesDropped,
+		r.EdgesLoaded, r.EdgesLoaded+r.EdgesDropped)
+	if r.Truncated {
+		s += "; file truncated"
+	}
+	for _, a := range r.Adjustments {
+		s += "\n  " + a
+	}
+	return s
+}
+
+// section is one scanned frame.
+type section struct {
+	tag     uint8
+	offset  int64  // file offset of the frame's tag byte
+	payload []byte // nil when crcOK is false and the payload was unreadable
+	crcOK   bool
+}
+
+func (s *section) name() string { return sectionName(s.tag) }
+
+// scanSections reads frames from r until the end marker, EOF, or a loss of
+// framing. CRCs are verified here — before any payload is parsed — so a
+// corrupt file is rejected at CRC cost rather than parse cost. strict makes
+// the scan stop at the first bad section (its caller returns a FormatError
+// immediately); otherwise the scan keeps framing past damaged sections as
+// long as tags remain recognizable, so salvage can use the intact remainder.
+// tailSkipped reports unframeable bytes at the point the scan gave up;
+// sawEnd reports whether the end marker was reached.
+func scanSections(r io.Reader, strict bool) (secs []section, tailSkipped int64, sawEnd bool, err error) {
+	off := int64(8) // preamble consumed by the caller
+	var hdr [5]byte
+	for {
+		n, herr := io.ReadFull(r, hdr[:])
+		if herr == io.EOF && n == 0 {
+			return secs, 0, false, nil // truncated between sections
+		}
+		if herr != nil {
+			return secs, int64(n), false, nil // truncated inside a frame header
+		}
+		tag := hdr[0]
+		plen := binary.LittleEndian.Uint32(hdr[1:])
+		known := tag >= secHeader && tag <= secEnd
+		if !known || plen > maxSectionLen {
+			// Framing lost: an unrecognizable tag or absurd length means the
+			// previous length field cannot be trusted to find the next frame.
+			tail := int64(len(hdr)) + drainCount(r)
+			return secs, tail, false, nil
+		}
+		payload, rerr := readCapped(r, int(plen))
+		if rerr != nil {
+			return secs, int64(len(hdr) + len(payload)), false, nil
+		}
+		var crcBuf [4]byte
+		if _, cerr := io.ReadFull(r, crcBuf[:]); cerr != nil {
+			return secs, int64(len(hdr) + len(payload)), false, nil
+		}
+		sum := crc32.Checksum(hdr[:], crcTable)
+		sum = crc32.Update(sum, crcTable, payload)
+		sec := section{tag: tag, offset: off, payload: payload, crcOK: sum == binary.LittleEndian.Uint32(crcBuf[:])}
+		off += int64(len(hdr)) + int64(plen) + 4
+		secs = append(secs, sec)
+		if strict && !sec.crcOK {
+			return secs, 0, false, &FormatError{Section: sec.name(), Offset: sec.offset,
+				Cause: fmt.Errorf("checksum mismatch")}
+		}
+		if sec.tag == secEnd && sec.crcOK {
+			return secs, 0, true, nil
+		}
+	}
+}
+
+// readCapped reads exactly n bytes in bounded chunks, so a forged length
+// field never allocates more than the input actually provides (plus one
+// chunk).
+func readCapped(r io.Reader, n int) ([]byte, error) {
+	const chunk = 1 << 20
+	buf := make([]byte, 0, minInt(n, chunk))
+	for len(buf) < n {
+		c := minInt(n-len(buf), chunk)
+		old := len(buf)
+		buf = append(buf, make([]byte, c)...)
+		if _, err := io.ReadFull(r, buf[old:]); err != nil {
+			return buf[:old], err
+		}
+	}
+	return buf, nil
+}
+
+// drainCount consumes the remainder of r, returning the byte count (used to
+// size the skipped tail when framing is lost).
+func drainCount(r io.Reader) int64 {
+	n, _ := io.Copy(io.Discard, r)
+	return n
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// sectionWriter accumulates one section payload and emits framed sections.
+type sectionWriter struct {
+	w   io.Writer
+	buf []byte
+}
+
+// Write implements io.Writer over the pending payload.
+func (sw *sectionWriter) Write(p []byte) (int, error) {
+	sw.buf = append(sw.buf, p...)
+	return len(p), nil
+}
+
+// emit frames the pending payload as one section and resets the buffer.
+func (sw *sectionWriter) emit(tag uint8) error {
+	var hdr [5]byte
+	hdr[0] = tag
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(sw.buf)))
+	sum := crc32.Checksum(hdr[:], crcTable)
+	sum = crc32.Update(sum, crcTable, sw.buf)
+	if _, err := sw.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := sw.w.Write(sw.buf); err != nil {
+		return err
+	}
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], sum)
+	_, err := sw.w.Write(crcBuf[:])
+	sw.buf = sw.buf[:0]
+	return err
+}
+
+// secReader parses one section's payload with every read bounded by the
+// payload's actual length: untrusted counts can never drive an allocation
+// past the bytes that are really there.
+type secReader struct {
+	sec *section
+	off int
+}
+
+func newSecReader(sec *section) *secReader { return &secReader{sec: sec} }
+
+// Read implements io.Reader over the remaining payload.
+func (r *secReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.sec.payload) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.sec.payload[r.off:])
+	r.off += n
+	return n, nil
+}
+
+func (r *secReader) remaining() int { return len(r.sec.payload) - r.off }
+
+// count reads a uint32 element count and bounds it by the payload bytes
+// remaining, given a minimum encoding size per element.
+func (r *secReader) count(elemMin int) (int, error) {
+	var n uint32
+	if err := binary.Read(r, order, &n); err != nil {
+		return 0, err
+	}
+	if int64(n)*int64(elemMin) > int64(r.remaining()) {
+		return 0, fmt.Errorf("count %d exceeds %d remaining payload bytes", n, r.remaining())
+	}
+	return int(n), nil
+}
+
+// done verifies the payload was consumed exactly (trailing garbage in a
+// CRC-valid section means a forged or mis-framed file).
+func (r *secReader) done() error {
+	if r.remaining() != 0 {
+		return fmt.Errorf("%d trailing bytes in section payload", r.remaining())
+	}
+	return nil
+}

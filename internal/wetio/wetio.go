@@ -1,14 +1,24 @@
 // Package wetio persists frozen Whole Execution Traces to disk and loads
 // them back, preserving the compressed stream states — the WET never has to
 // be decompressed or rebuilt. The paper's scenario of keeping whole-run
-// profiles around for later mining depends on exactly this.
+// profiles around for later mining depends on exactly this, which makes the
+// .wet file a long-lived artifact that must survive truncation, bit rot,
+// and version skew.
 //
-// Format (little endian): a magic/version header, the IR program, the raw
-// dynamic counts and size report, then per node and per edge the structural
-// identity plus each tier-2 stream saved via stream.Save. Derived data
-// (statement lists, value groups, adjacency, statement occurrences) is
-// recomputed at load from the program, so the file stays close to the
-// information-theoretic content of the WET.
+// Format v3 (little endian): a magic/version preamble followed by framed
+// sections — header, IR program, size report, one section per node record,
+// one per edge record, and an end marker — each carrying its byte length
+// and a CRC32-C (see format.go). Derived data (statement lists, value
+// groups, adjacency, statement occurrences) is recomputed at load from the
+// program, so the file stays close to the information-theoretic content of
+// the WET.
+//
+// Load verifies every section checksum before parsing anything, bounds all
+// allocations by the bytes actually present, converts decoder panics into
+// *FormatError, and in salvage mode degrades gracefully: damaged node/edge
+// records are skipped and the maximal loadable prefix is returned together
+// with a SalvageReport. Version 2 files (unframed, no checksums) still load
+// through the legacy reader in strict mode.
 package wetio
 
 import (
@@ -25,13 +35,14 @@ import (
 )
 
 const (
-	magic   = uint32(0x57455446) // "WETF"
-	version = uint32(2)
+	magic     = uint32(0x57455446) // "WETF"
+	version   = uint32(3)
+	versionV2 = uint32(2)
 )
 
 var order = binary.LittleEndian
 
-// Save writes a frozen WET to w.
+// Save writes a frozen WET to w in format v3.
 func Save(w io.Writer, wet *core.WET) error {
 	if !wet.Frozen() {
 		return fmt.Errorf("wetio: WET must be frozen before saving")
@@ -40,74 +51,101 @@ func Save(w io.Writer, wet *core.WET) error {
 	if err := writeVals(bw, magic, version); err != nil {
 		return err
 	}
-	if err := saveProgram(bw, wet.Prog); err != nil {
+	sw := &sectionWriter{w: bw}
+
+	if err := writeVals(sw, &wet.Raw, wet.Time, int32(wet.FirstNode), int32(wet.LastNode),
+		uint32(len(wet.Nodes)), uint32(len(wet.Edges))); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, order, &wet.Raw); err != nil {
-		return err
-	}
-	if err := saveReport(bw, wet.Report()); err != nil {
-		return err
-	}
-	if err := writeVals(bw, wet.Time, int32(wet.FirstNode), int32(wet.LastNode)); err != nil {
+	if err := sw.emit(secHeader); err != nil {
 		return err
 	}
 
-	if err := writeVals(bw, uint32(len(wet.Nodes))); err != nil {
+	if err := saveProgram(sw, wet.Prog); err != nil {
 		return err
 	}
+	if err := sw.emit(secProgram); err != nil {
+		return err
+	}
+
+	if err := saveReport(sw, wet.Report()); err != nil {
+		return err
+	}
+	if err := sw.emit(secReport); err != nil {
+		return err
+	}
+
 	for _, n := range wet.Nodes {
-		if err := writeVals(bw, int32(n.Fn), n.PathID, uint32(n.Execs)); err != nil {
+		if err := saveNodePayload(sw, n); err != nil {
 			return err
 		}
-		if err := stream.Save(bw, n.TSS); err != nil {
+		if err := sw.emit(secNode); err != nil {
 			return err
 		}
-		if err := writeInts(bw, n.CFNext); err != nil {
-			return err
-		}
-		if err := writeInts(bw, n.CFPrev); err != nil {
-			return err
-		}
-		if err := writeVals(bw, uint32(len(n.Groups))); err != nil {
-			return err
-		}
-		for _, g := range n.Groups {
-			if err := writeVals(bw, uint32(g.UniqueKeys()), uint32(len(g.UValS))); err != nil {
-				return err
-			}
-			if err := stream.Save(bw, g.PatternS); err != nil {
-				return err
-			}
-			for _, uv := range g.UValS {
-				if err := stream.Save(bw, uv); err != nil {
-					return err
-				}
-			}
-		}
-	}
-
-	if err := writeVals(bw, uint32(len(wet.Edges))); err != nil {
-		return err
 	}
 	for _, e := range wet.Edges {
-		if err := writeVals(bw, uint8(e.Kind), int32(e.SrcNode), int32(e.SrcPos),
-			int32(e.DstNode), int32(e.DstPos), int32(e.OpIdx), uint32(e.Count),
-			boolByte(e.Inferable), boolByte(e.Diagonal), int32(e.SharedWith)); err != nil {
+		if err := saveEdgePayload(sw, e); err != nil {
 			return err
 		}
-		if !e.Inferable && e.SharedWith < 0 {
-			if err := stream.Save(bw, e.DstS); err != nil {
+		if err := sw.emit(secEdge); err != nil {
+			return err
+		}
+	}
+	if err := sw.emit(secEnd); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func saveNodePayload(w io.Writer, n *core.Node) error {
+	if err := writeVals(w, int32(n.Fn), n.PathID, uint32(n.Execs)); err != nil {
+		return err
+	}
+	if err := stream.Save(w, n.TSS); err != nil {
+		return err
+	}
+	if err := writeInts(w, n.CFNext); err != nil {
+		return err
+	}
+	if err := writeInts(w, n.CFPrev); err != nil {
+		return err
+	}
+	if err := writeVals(w, uint32(len(n.Groups))); err != nil {
+		return err
+	}
+	for _, g := range n.Groups {
+		if err := writeVals(w, uint32(g.UniqueKeys()), uint32(len(g.UValS))); err != nil {
+			return err
+		}
+		if err := stream.Save(w, g.PatternS); err != nil {
+			return err
+		}
+		for _, uv := range g.UValS {
+			if err := stream.Save(w, uv); err != nil {
 				return err
-			}
-			if !e.Diagonal {
-				if err := stream.Save(bw, e.SrcS); err != nil {
-					return err
-				}
 			}
 		}
 	}
-	return bw.Flush()
+	return nil
+}
+
+func saveEdgePayload(w io.Writer, e *core.Edge) error {
+	if err := writeVals(w, uint8(e.Kind), int32(e.SrcNode), int32(e.SrcPos),
+		int32(e.DstNode), int32(e.DstPos), int32(e.OpIdx), uint32(e.Count),
+		boolByte(e.Inferable), boolByte(e.Diagonal), int32(e.SharedWith)); err != nil {
+		return err
+	}
+	if !e.Inferable && e.SharedWith < 0 {
+		if err := stream.Save(w, e.DstS); err != nil {
+			return err
+		}
+		if !e.Diagonal {
+			if err := stream.Save(w, e.SrcS); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // LoadOptions tunes Load.
@@ -115,91 +153,464 @@ type LoadOptions struct {
 	// RestoreTier1 rehydrates the tier-1 slices (by draining each stream
 	// once) so tier-1 queries work on the loaded WET.
 	RestoreTier1 bool
+	// Salvage makes Load of a damaged v3 file return the maximal loadable
+	// prefix instead of failing: node records after the first damaged one
+	// and individually damaged edge records are dropped, and cross
+	// references are repaired (see SalvageReport). Files that lose their
+	// header or program section are beyond salvage. v2 files predate the
+	// framing and always load strictly.
+	Salvage bool
+	// VerifyStreams additionally walks every deserialized stream over its
+	// full length (both directions, on a clone) so that a stream whose
+	// entry stores are inconsistent despite a valid checksum is rejected at
+	// load instead of panicking in a later query.
+	VerifyStreams bool
 }
 
-// Load reads a WET written by Save.
+// Load reads a WET written by Save. Failures are reported as *FormatError
+// where the file structure is at fault.
 func Load(r io.Reader, opts LoadOptions) (*core.WET, error) {
+	w, _, err := LoadWithReport(r, opts)
+	return w, err
+}
+
+// LoadWithReport is Load plus the per-section accounting: which sections
+// were read, dropped, or skipped. The report is non-nil whenever the WET
+// is (for clean strict loads it reports zero losses).
+func LoadWithReport(r io.Reader, opts LoadOptions) (*core.WET, *SalvageReport, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	var m, v uint32
 	if err := readVals(br, &m, &v); err != nil {
-		return nil, err
+		return nil, nil, &FormatError{Section: "preamble", Cause: err}
 	}
 	if m != magic {
-		return nil, fmt.Errorf("wetio: bad magic %#x", m)
+		return nil, nil, &FormatError{Section: "preamble", Cause: fmt.Errorf("bad magic %#x", m)}
 	}
-	if v != version {
-		return nil, fmt.Errorf("wetio: unsupported version %d", v)
-	}
-	prog, err := loadProgram(br)
-	if err != nil {
-		return nil, err
-	}
-	st, err := interp.Analyze(prog)
-	if err != nil {
-		return nil, fmt.Errorf("wetio: reanalyze: %w", err)
-	}
-	wet := &core.WET{Prog: prog, Static: st}
-	if err := binary.Read(br, order, &wet.Raw); err != nil {
-		return nil, err
-	}
-	rep, err := loadReport(br)
-	if err != nil {
-		return nil, err
-	}
-	var first, last int32
-	if err := readVals(br, &wet.Time, &first, &last); err != nil {
-		return nil, err
-	}
-	wet.FirstNode, wet.LastNode = int(first), int(last)
-
-	var nNodes uint32
-	if err := readVals(br, &nNodes); err != nil {
-		return nil, err
-	}
-	for i := 0; i < int(nNodes); i++ {
-		var fn int32
-		var pathID int64
-		var execs uint32
-		if err := readVals(br, &fn, &pathID, &execs); err != nil {
-			return nil, err
+	switch v {
+	case versionV2:
+		w, err := loadV2(br, opts)
+		if err != nil {
+			return nil, nil, err
 		}
-		n, err := core.RestoreNode(st, i, int(fn), pathID)
+		rep := &SalvageReport{Version: 2, NodesLoaded: len(w.Nodes), EdgesLoaded: len(w.Edges)}
+		return w, rep, nil
+	case version:
+		return loadV3(br, opts)
+	}
+	return nil, nil, &FormatError{Section: "preamble", Cause: fmt.Errorf("unsupported version %d", v)}
+}
+
+func loadV3(br io.Reader, opts LoadOptions) (*core.WET, *SalvageReport, error) {
+	strict := !opts.Salvage
+	secs, tail, sawEnd, err := scanSections(br, strict)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := &SalvageReport{Version: 3, BytesSkipped: tail, Truncated: !sawEnd}
+	if strict && !sawEnd {
+		off := int64(8)
+		if len(secs) > 0 {
+			last := secs[len(secs)-1]
+			off = last.offset + int64(len(last.payload)) + 9
+		}
+		return nil, nil, &FormatError{Section: "file", Offset: off,
+			Cause: fmt.Errorf("truncated or unframeable past this point: %w", io.ErrUnexpectedEOF)}
+	}
+	if strict {
+		w, err := parseStrict(secs, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep.SectionsRead = len(secs)
+		rep.NodesLoaded, rep.EdgesLoaded = len(w.Nodes), len(w.Edges)
+		return w, rep, nil
+	}
+	w, err := parseSalvage(secs, opts, rep)
+	if err != nil {
+		return nil, nil, err
+	}
+	return w, rep, nil
+}
+
+// parseStrict requires the exact section sequence header, program, report,
+// nNodes nodes, nEdges edges, end — anything else is a FormatError naming
+// the offending section.
+func parseStrict(secs []section, opts LoadOptions) (*core.WET, error) {
+	idx := 0
+	take := func(tag uint8) (*section, error) {
+		if idx >= len(secs) {
+			return nil, &FormatError{Section: sectionName(tag), Offset: -1,
+				Cause: fmt.Errorf("section missing (file ends after %d sections)", len(secs))}
+		}
+		s := &secs[idx]
+		if s.tag != tag {
+			return nil, &FormatError{Section: s.name(), Offset: s.offset,
+				Cause: fmt.Errorf("expected %s section here", sectionName(tag))}
+		}
+		idx++
+		return s, nil
+	}
+
+	hs, err := take(secHeader)
+	if err != nil {
+		return nil, err
+	}
+	wet, hdr, err := parseHeaderSec(hs)
+	if err != nil {
+		return nil, err
+	}
+	ps, err := take(secProgram)
+	if err != nil {
+		return nil, err
+	}
+	st, err := parseProgramSec(ps, wet)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := take(secReport)
+	if err != nil {
+		return nil, err
+	}
+	sizeRep, err := parseReportSec(rs)
+	if err != nil {
+		return nil, err
+	}
+
+	for i := 0; i < hdr.nNodes; i++ {
+		s, err := take(secNode)
 		if err != nil {
 			return nil, err
 		}
+		n, err := parseNodeSec(s, st, i, hdr.nNodes, opts)
+		if err != nil {
+			return nil, err
+		}
+		wet.Nodes = append(wet.Nodes, n)
+	}
+	for i := 0; i < hdr.nEdges; i++ {
+		s, err := take(secEdge)
+		if err != nil {
+			return nil, err
+		}
+		e, err := parseEdgeSec(s, wet, i, hdr.nEdges, opts)
+		if err != nil {
+			return nil, err
+		}
+		wet.Edges = append(wet.Edges, e)
+	}
+	es, err := take(secEnd)
+	if err != nil {
+		return nil, err
+	}
+	if idx != len(secs) {
+		extra := &secs[idx]
+		return nil, &FormatError{Section: extra.name(), Offset: extra.offset,
+			Cause: fmt.Errorf("unexpected section after end marker")}
+	}
+	if len(es.payload) != 0 {
+		return nil, &FormatError{Section: "end", Offset: es.offset,
+			Cause: fmt.Errorf("end marker carries %d payload bytes", len(es.payload))}
+	}
+	if wet.FirstNode < 0 || wet.FirstNode >= len(wet.Nodes) ||
+		wet.LastNode < 0 || wet.LastNode >= len(wet.Nodes) {
+		return nil, &FormatError{Section: "header", Offset: hs.offset,
+			Cause: fmt.Errorf("first/last node out of range")}
+	}
+	wet.RestoreIndexes(sizeRep)
+	return wet, nil
+}
+
+// parseSalvage keeps whatever validates: bad or out-of-place sections are
+// dropped, node records form the maximal intact prefix, edge records are
+// kept individually, and cross references are repaired afterwards.
+func parseSalvage(secs []section, opts LoadOptions, rep *SalvageReport) (*core.WET, error) {
+	var hdrSec, progSec, repSec *section
+	// Node and edge identities are positional (a node's ID is its index), so
+	// original indices are assigned by file order counting damaged sections
+	// too — a record must never slide into a dropped neighbour's slot, which
+	// would silently rebind every cross reference.
+	type tagged struct {
+		s    *section
+		orig int
+	}
+	var nodeSecs, edgeSecs []tagged
+	drop := func(s *section) {
+		rep.SectionsDropped++
+		rep.BytesSkipped += int64(len(s.payload)) + 9
+	}
+	for i := range secs {
+		s := &secs[i]
+		switch s.tag {
+		case secNode:
+			nodeSecs = append(nodeSecs, tagged{s, len(nodeSecs)})
+			continue
+		case secEdge:
+			edgeSecs = append(edgeSecs, tagged{s, len(edgeSecs)})
+			continue
+		}
+		if !s.crcOK {
+			drop(s)
+			continue
+		}
+		switch s.tag {
+		case secHeader:
+			if hdrSec == nil {
+				hdrSec = s
+			} else {
+				drop(s)
+			}
+		case secProgram:
+			if progSec == nil {
+				progSec = s
+			} else {
+				drop(s)
+			}
+		case secReport:
+			if repSec == nil {
+				repSec = s
+			} else {
+				drop(s)
+			}
+		case secEnd:
+			rep.SectionsRead++
+		}
+	}
+
+	// Header and program are the skeleton everything else hangs off; a file
+	// that lost either is beyond salvage.
+	if hdrSec == nil {
+		return nil, &FormatError{Section: "header", Offset: 8,
+			Cause: fmt.Errorf("header section damaged or missing; nothing salvageable")}
+	}
+	wet, hdr, err := parseHeaderSec(hdrSec)
+	if err != nil {
+		return nil, err
+	}
+	rep.SectionsRead++
+	if progSec == nil {
+		return nil, &FormatError{Section: "program", Offset: 8,
+			Cause: fmt.Errorf("program section damaged or missing; nothing salvageable")}
+	}
+	st, err := parseProgramSec(progSec, wet)
+	if err != nil {
+		return nil, err
+	}
+	rep.SectionsRead++
+
+	sizeRep := &core.SizeReport{Methods: map[string]int{}}
+	if repSec != nil {
+		if r, rerr := parseReportSec(repSec); rerr == nil {
+			sizeRep = r
+			rep.SectionsRead++
+		} else {
+			drop(repSec)
+		}
+	}
+
+	// Node records: a WET's node IDs are their slice indexes, so a damaged
+	// record ends the usable prefix — later records would shift into the
+	// wrong identity.
+	for _, ts := range nodeSecs {
+		if !ts.s.crcOK || ts.orig >= hdr.nNodes || len(wet.Nodes) != ts.orig {
+			drop(ts.s)
+			continue
+		}
+		n, nerr := parseNodeSec(ts.s, st, ts.orig, hdr.nNodes, opts)
+		if nerr != nil {
+			drop(ts.s)
+			continue
+		}
+		wet.Nodes = append(wet.Nodes, n)
+		rep.SectionsRead++
+	}
+	rep.NodesLoaded = len(wet.Nodes)
+	rep.NodesDropped = hdr.nNodes - len(wet.Nodes)
+	if len(wet.Nodes) == 0 {
+		return nil, &FormatError{Section: "node 0", Offset: 8,
+			Cause: fmt.Errorf("no loadable node records; nothing salvageable")}
+	}
+
+	// Edge records are independent of each other except for shared-label
+	// references, resolved below.
+	type keptEdge struct {
+		e    *core.Edge
+		orig int
+	}
+	var kept []keptEdge
+	for _, ts := range edgeSecs {
+		if !ts.s.crcOK || ts.orig >= hdr.nEdges {
+			drop(ts.s)
+			continue
+		}
+		e, eerr := parseEdgeSec(ts.s, wet, ts.orig, hdr.nEdges, opts)
+		if eerr != nil {
+			drop(ts.s)
+			continue
+		}
+		kept = append(kept, keptEdge{e, ts.orig})
+		rep.SectionsRead++
+	}
+
+	// Shared-label edges need their representative: drop sharers whose
+	// owner was lost or is not a valid owner, then remap indexes.
+	owners := make(map[int]*core.Edge, len(kept))
+	for _, k := range kept {
+		owners[k.orig] = k.e
+	}
+	var surviving []keptEdge
+	for _, k := range kept {
+		if k.e.SharedWith >= 0 {
+			own, ok := owners[k.e.SharedWith]
+			if !ok || own.SharedWith >= 0 || own.Inferable {
+				rep.Adjustments = append(rep.Adjustments,
+					fmt.Sprintf("edge record %d dropped: shared label representative %d not recovered", k.orig, k.e.SharedWith))
+				continue
+			}
+		}
+		surviving = append(surviving, k)
+	}
+	newIdx := make(map[int]int, len(surviving))
+	for i, k := range surviving {
+		newIdx[k.orig] = i
+	}
+	for _, k := range surviving {
+		if k.e.SharedWith >= 0 {
+			k.e.SharedWith = newIdx[k.e.SharedWith]
+		}
+		wet.Edges = append(wet.Edges, k.e)
+	}
+	rep.EdgesLoaded = len(wet.Edges)
+	rep.EdgesDropped = hdr.nEdges - len(wet.Edges)
+
+	rep.Adjustments = append(rep.Adjustments, wet.SanitizeSalvaged()...)
+	wet.RestoreIndexes(sizeRep)
+	return wet, nil
+}
+
+// header carries the counts the section sequence is checked against.
+type header struct {
+	nNodes, nEdges int
+}
+
+func parseHeaderSec(s *section) (*core.WET, header, error) {
+	wet := &core.WET{}
+	var hdr header
+	err := guard("header", s.offset, func() error {
+		sr := newSecReader(s)
+		var first, last int32
+		var nNodes, nEdges uint32
+		if err := readVals(sr, &wet.Raw, &wet.Time, &first, &last, &nNodes, &nEdges); err != nil {
+			return err
+		}
+		wet.FirstNode, wet.LastNode = int(first), int(last)
+		hdr.nNodes, hdr.nEdges = int(nNodes), int(nEdges)
+		return sr.done()
+	})
+	if err != nil {
+		return nil, header{}, err
+	}
+	return wet, hdr, nil
+}
+
+func parseProgramSec(s *section, wet *core.WET) (*interp.Static, error) {
+	var st *interp.Static
+	err := guard("program", s.offset, func() error {
+		sr := newSecReader(s)
+		prog, err := loadProgram(sr)
+		if err != nil {
+			return err
+		}
+		if err := sr.done(); err != nil {
+			return err
+		}
+		if st, err = interp.Analyze(prog); err != nil {
+			return fmt.Errorf("reanalyze: %w", err)
+		}
+		wet.Prog, wet.Static = prog, st
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func parseReportSec(s *section) (*core.SizeReport, error) {
+	var rep *core.SizeReport
+	err := guard("report", s.offset, func() error {
+		sr := newSecReader(s)
+		r, err := loadReport(sr)
+		if err != nil {
+			return err
+		}
+		rep = r
+		return sr.done()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+func parseNodeSec(s *section, st *interp.Static, id, nNodes int, opts LoadOptions) (*core.Node, error) {
+	var node *core.Node
+	err := guard(fmt.Sprintf("node %d", id), s.offset, func() error {
+		sr := newSecReader(s)
+		var fn int32
+		var pathID int64
+		var execs uint32
+		if err := readVals(sr, &fn, &pathID, &execs); err != nil {
+			return err
+		}
+		if fn < 0 || int(fn) >= len(st.Prog.Funcs) {
+			return fmt.Errorf("function index %d outside [0,%d)", fn, len(st.Prog.Funcs))
+		}
+		n, err := core.RestoreNode(st, id, int(fn), pathID)
+		if err != nil {
+			return err
+		}
 		n.Execs = int(execs)
-		if n.TSS, err = stream.Load(br); err != nil {
-			return nil, err
+		if n.TSS, err = loadStream(sr, opts); err != nil {
+			return err
 		}
-		if n.CFNext, err = readInts(br); err != nil {
-			return nil, err
+		if n.TSS.Len() != n.Execs {
+			return fmt.Errorf("timestamp stream has %d entries, node executed %d times", n.TSS.Len(), n.Execs)
 		}
-		if n.CFPrev, err = readInts(br); err != nil {
-			return nil, err
+		if n.CFNext, err = readCFList(sr, nNodes); err != nil {
+			return err
 		}
-		var nGroups uint32
-		if err := readVals(br, &nGroups); err != nil {
-			return nil, err
+		if n.CFPrev, err = readCFList(sr, nNodes); err != nil {
+			return err
 		}
-		if int(nGroups) != len(n.Groups) {
-			return nil, fmt.Errorf("wetio: node %d has %d groups, file says %d", i, len(n.Groups), nGroups)
+		nGroups, err := sr.count(1)
+		if err != nil {
+			return err
+		}
+		if nGroups != len(n.Groups) {
+			return fmt.Errorf("node has %d groups, file says %d", len(n.Groups), nGroups)
 		}
 		for _, g := range n.Groups {
 			var uniq, nuv uint32
-			if err := readVals(br, &uniq, &nuv); err != nil {
-				return nil, err
+			if err := readVals(sr, &uniq, &nuv); err != nil {
+				return err
 			}
 			g.RestoreUniqueKeys(int(uniq))
 			if int(nuv) != len(g.ValMembers) {
-				return nil, fmt.Errorf("wetio: group has %d value members, file says %d", len(g.ValMembers), nuv)
+				return fmt.Errorf("group has %d value members, file says %d", len(g.ValMembers), nuv)
 			}
-			if g.PatternS, err = stream.Load(br); err != nil {
-				return nil, err
+			if g.PatternS, err = loadStream(sr, opts); err != nil {
+				return err
+			}
+			if g.PatternS.Len() != n.Execs {
+				return fmt.Errorf("group pattern has %d entries, node executed %d times", g.PatternS.Len(), n.Execs)
 			}
 			g.UValS = make([]stream.Stream, nuv)
 			for k := range g.UValS {
-				if g.UValS[k], err = stream.Load(br); err != nil {
-					return nil, err
+				if g.UValS[k], err = loadStream(sr, opts); err != nil {
+					return err
+				}
+				if g.UValS[k].Len() != int(uniq) {
+					return fmt.Errorf("unique-value stream has %d entries, group has %d keys", g.UValS[k].Len(), uniq)
 				}
 			}
 			if opts.RestoreTier1 {
@@ -213,20 +624,25 @@ func Load(r io.Reader, opts LoadOptions) (*core.WET, error) {
 		if opts.RestoreTier1 {
 			n.TS = stream.Drain(n.TSS)
 		}
-		wet.Nodes = append(wet.Nodes, n)
-	}
-
-	var nEdges uint32
-	if err := readVals(br, &nEdges); err != nil {
+		node = n
+		return sr.done()
+	})
+	if err != nil {
 		return nil, err
 	}
-	for i := 0; i < int(nEdges); i++ {
+	return node, nil
+}
+
+func parseEdgeSec(s *section, wet *core.WET, id, nEdges int, opts LoadOptions) (*core.Edge, error) {
+	var edge *core.Edge
+	err := guard(fmt.Sprintf("edge %d", id), s.offset, func() error {
+		sr := newSecReader(s)
 		var kind, inferable, diagonal uint8
 		var srcN, srcP, dstN, dstP, opIdx, shared int32
 		var count uint32
-		if err := readVals(br, &kind, &srcN, &srcP, &dstN, &dstP, &opIdx,
+		if err := readVals(sr, &kind, &srcN, &srcP, &dstN, &dstP, &opIdx,
 			&count, &inferable, &diagonal, &shared); err != nil {
-			return nil, err
+			return err
 		}
 		e := &core.Edge{
 			Kind: core.EdgeKind(kind), SrcNode: int(srcN), SrcPos: int(srcP),
@@ -234,17 +650,23 @@ func Load(r io.Reader, opts LoadOptions) (*core.WET, error) {
 			Count: int(count), Inferable: inferable == 1, Diagonal: diagonal == 1,
 			SharedWith: int(shared),
 		}
-		if err := checkEdge(wet, e, int(nEdges)); err != nil {
-			return nil, err
+		if err := checkEdge(wet, e, nEdges); err != nil {
+			return err
 		}
 		if !e.Inferable && e.SharedWith < 0 {
 			var err error
-			if e.DstS, err = stream.Load(br); err != nil {
-				return nil, err
+			if e.DstS, err = loadStream(sr, opts); err != nil {
+				return err
+			}
+			if e.DstS.Len() != e.Count {
+				return fmt.Errorf("destination labels have %d entries, edge count is %d", e.DstS.Len(), e.Count)
 			}
 			if !e.Diagonal {
-				if e.SrcS, err = stream.Load(br); err != nil {
-					return nil, err
+				if e.SrcS, err = loadStream(sr, opts); err != nil {
+					return err
+				}
+				if e.SrcS.Len() != e.Count {
+					return fmt.Errorf("source labels have %d entries, edge count is %d", e.SrcS.Len(), e.Count)
 				}
 			}
 			if opts.RestoreTier1 {
@@ -254,15 +676,61 @@ func Load(r io.Reader, opts LoadOptions) (*core.WET, error) {
 				}
 			}
 		}
-		wet.Edges = append(wet.Edges, e)
-		_ = i
+		edge = e
+		return sr.done()
+	})
+	if err != nil {
+		return nil, err
 	}
-	if wet.FirstNode < 0 || wet.FirstNode >= len(wet.Nodes) ||
-		wet.LastNode < 0 || wet.LastNode >= len(wet.Nodes) {
-		return nil, fmt.Errorf("wetio: first/last node out of range")
+	return edge, nil
+}
+
+// loadStream deserializes one stream, optionally certifying full
+// traversability (LoadOptions.VerifyStreams).
+func loadStream(r io.Reader, opts LoadOptions) (stream.Stream, error) {
+	s, err := stream.Load(r)
+	if err != nil {
+		return nil, err
 	}
-	wet.RestoreIndexes(rep)
-	return wet, nil
+	if opts.VerifyStreams {
+		if err := stream.WalkCheck(s); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// readCFList reads a control-flow successor/predecessor list and validates
+// every entry names a node of this file.
+func readCFList(r io.Reader, nNodes int) ([]int, error) {
+	s, err := readInts(r)
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range s {
+		if v < 0 || v >= nNodes {
+			return nil, fmt.Errorf("control-flow list entry %d outside [0,%d)", v, nNodes)
+		}
+	}
+	return s, nil
+}
+
+// guard runs one section's parse under a recover boundary: structural
+// errors and decoder panics both surface as *FormatError locating the
+// section.
+func guard(name string, offset int64, fn func() error) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &FormatError{Section: name, Offset: offset, Cause: fmt.Errorf("decoder panic: %v", p)}
+		}
+	}()
+	if e := fn(); e != nil {
+		if fe, ok := e.(*FormatError); ok {
+			return fe
+		}
+		return &FormatError{Section: name, Offset: offset, Cause: e}
+	}
+	return nil
 }
 
 // checkEdge validates a deserialized edge's coordinates against the node
@@ -536,8 +1004,10 @@ func readString(r io.Reader) (string, error) {
 	if n > 1<<20 {
 		return "", fmt.Errorf("wetio: implausible string length %d", n)
 	}
-	b := make([]byte, n)
-	if _, err := io.ReadFull(r, b); err != nil {
+	// readCapped bounds the allocation by the bytes actually present, so a
+	// forged length on a short input cannot drive a large allocation.
+	b, err := readCapped(r, int(n))
+	if err != nil {
 		return "", err
 	}
 	return string(b), nil
@@ -555,6 +1025,9 @@ func writeInts(w io.Writer, s []int) error {
 	return nil
 }
 
+// readInts reads a length-prefixed int32 slice in bounded chunks: an
+// untrusted count allocates at most one chunk before the short read
+// surfaces.
 func readInts(r io.Reader) ([]int, error) {
 	var n uint32
 	if err := readVals(r, &n); err != nil {
@@ -563,13 +1036,17 @@ func readInts(r io.Reader) ([]int, error) {
 	if n == 0 {
 		return nil, nil
 	}
-	out := make([]int, n)
-	for i := range out {
-		var v int32
-		if err := readVals(r, &v); err != nil {
+	const chunk = 1 << 16
+	out := make([]int, 0, minInt(int(n), chunk))
+	tmp := make([]int32, minInt(int(n), chunk))
+	for len(out) < int(n) {
+		c := minInt(int(n)-len(out), chunk)
+		if err := readVals(r, tmp[:c]); err != nil {
 			return nil, err
 		}
-		out[i] = int(v)
+		for _, v := range tmp[:c] {
+			out = append(out, int(v))
+		}
 	}
 	return out, nil
 }

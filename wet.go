@@ -254,14 +254,39 @@ const (
 
 // --- persistence ---
 
-// Save writes a frozen WET to w, preserving the compressed stream states.
+// Save writes a frozen WET to w in format v3, preserving the compressed
+// stream states. Every section is framed with its length and a CRC32-C.
 func Save(w io.Writer, t *WET) error { return wetio.Save(w, t) }
 
 // Load reads a WET written by Save. With restoreTier1, the tier-1 label
-// arrays are rehydrated so tier-1 queries work too.
+// arrays are rehydrated so tier-1 queries work too. Structural or checksum
+// failures are reported as *FormatError.
 func Load(r io.Reader, restoreTier1 bool) (*WET, error) {
 	return wetio.Load(r, wetio.LoadOptions{RestoreTier1: restoreTier1})
 }
+
+// FormatError locates a structural or integrity failure in a WET file: the
+// section containing it, the file offset, and the underlying cause.
+type FormatError = wetio.FormatError
+
+// SalvageReport describes what a salvage load recovered and what it lost.
+type SalvageReport = wetio.SalvageReport
+
+// VerifyResult summarizes a section-by-section integrity walk.
+type VerifyResult = wetio.VerifyResult
+
+// LoadSalvage reads as much of a damaged v3 WET file as remains loadable:
+// damaged node records truncate the node list, damaged edge records are
+// dropped individually, and cross references are repaired. The report
+// details every loss; its Clean method distinguishes intact from lossy
+// loads. Files missing their header or program section return an error.
+func LoadSalvage(r io.Reader, restoreTier1 bool) (*WET, *SalvageReport, error) {
+	return wetio.LoadWithReport(r, wetio.LoadOptions{RestoreTier1: restoreTier1, Salvage: true})
+}
+
+// Verify walks a v3 WET file's sections, checking each checksum without
+// parsing any payload. v2 files carry no checksums and return an error.
+func Verify(r io.Reader) (*VerifyResult, error) { return wetio.Verify(r) }
 
 // ParseProgram compiles the textual IR format (see internal/asm) into a
 // finalized program:
