@@ -278,6 +278,38 @@ func BenchmarkFreezeParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkQueryParallel sweeps query.Batch over worker counts, replaying a
+// fixed mixed query batch (backward slices at both tiers plus whole-trace
+// extractions) against ONE shared frozen WET. Detached cursors make the
+// queries embarrassingly parallel; this tracks the wall-clock scaling.
+func BenchmarkQueryParallel(b *testing.B) {
+	runs := benchRuns(b)
+	r := runs[0]
+	crit := exp.SliceCriteria(r.W, 16)
+	var jobs []func()
+	for _, tier := range []core.Tier{core.Tier1, core.Tier2} {
+		tier := tier
+		for _, c := range crit {
+			c := c
+			jobs = append(jobs, func() { _, _ = query.BackwardSlice(r.W, tier, c, 0) })
+		}
+		jobs = append(jobs,
+			func() { query.ExtractCF(r.W, tier, true, nil) },
+			func() { _, _ = query.LoadValueTraces(r.W, tier, nil) },
+			func() { _, _ = query.AddressTraces(r.W, tier, nil) },
+		)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				query.Batch(workers, len(jobs), func(j int) { jobs[j]() })
+			}
+			b.ReportMetric(float64(len(jobs)), "queries/op")
+		})
+	}
+}
+
 // BenchmarkFigure9Scalability measures construction+compression at growing
 // run lengths (Figure 9's x axis).
 func BenchmarkFigure9Scalability(b *testing.B) {

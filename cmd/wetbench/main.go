@@ -29,6 +29,7 @@ func main() {
 	ablations := flag.Bool("ablations", false, "also print the design-choice ablations")
 	workers := flag.Int("workers", 0, "tier-2 freeze worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	freezeJSON := flag.String("freezejson", "", "run only the freeze bench and write its JSON record to this file")
+	queryJSON := flag.String("queryjson", "", "run only the parallel query bench and write its JSON record to this file")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
 
@@ -56,6 +57,24 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote freeze bench record to %s\n", *freezeJSON)
+		return
+	}
+
+	if *queryJSON != "" {
+		f, err := os.Create(*queryJSON)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wetbench:", err)
+			os.Exit(1)
+		}
+		if err := exp.WriteQueryBenchJSON(cfg, f, progress); err != nil {
+			fmt.Fprintln(os.Stderr, "wetbench:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "wetbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote query bench record to %s\n", *queryJSON)
 		return
 	}
 

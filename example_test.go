@@ -117,11 +117,12 @@ func ExampleCompressBest() {
 	s := wet.CompressBest(vals)
 	fmt.Println("method:", s.Name())
 	fmt.Println("compressed bits per value:", s.SizeBits()/uint64(len(vals)))
-	fmt.Println("first:", s.Next())
-	for s.Pos() < s.Len() {
-		s.Next()
+	c := s.NewCursor()
+	fmt.Println("first:", c.Next())
+	for c.Pos() < c.Len() {
+		c.Next()
 	}
-	fmt.Println("last:", s.Prev())
+	fmt.Println("last:", c.Prev())
 	// Output:
 	// method: lastS2
 	// compressed bits per value: 2

@@ -377,9 +377,14 @@ func formGroups(n *Node) {
 		}
 		g := groupAt[key]
 		sort.Ints(g.Members)
+		g.valIdx = make([]int32, len(n.Stmts))
+		for i := range g.valIdx {
+			g.valIdx[i] = -1
+		}
 		for _, pos := range g.Members {
 			n.GroupOf[pos] = len(n.Groups)
 			if n.Stmts[pos].Op.HasDef() && n.Stmts[pos].Dest != ir.NoReg {
+				g.valIdx[pos] = int32(len(g.ValMembers))
 				g.ValMembers = append(g.ValMembers, pos)
 				g.UVals = append(g.UVals, nil)
 			}
@@ -452,6 +457,10 @@ func Build(st *interp.Static, opts interp.Options) (*WET, *interp.Result, error)
 // Ensure Builder satisfies trace.Sink.
 var _ trace.Sink = (*Builder)(nil)
 
-// Ensure the slice sequence satisfies Seq like streams do.
+// Ensure the slice cursor satisfies both fast paths like stream cursors
+// satisfy Seq + Seeker.
 var _ Seq = (*sliceSeq)(nil)
-var _ Seq = (stream.Stream)(nil)
+var _ RandomAccess = (*sliceSeq)(nil)
+var _ Seeker = (*sliceSeq)(nil)
+var _ Seq = (stream.Cursor)(nil)
+var _ Seeker = (stream.Cursor)(nil)

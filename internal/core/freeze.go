@@ -30,6 +30,13 @@ type SizeReport struct {
 	InferableEdges, SharedEdges, OwnedEdges, DiagonalEdges int
 	// Methods counts tier-2 method selections by name.
 	Methods map[string]int
+
+	// CheckpointBytes is the in-memory cost of the tier-2 cursor checkpoint
+	// indexes (seek accelerators). It is reported separately and NOT added
+	// to T2Total: checkpoints are derived access structures, rebuilt on
+	// Load, never serialized, and not part of the paper's compressed-size
+	// metric. Recomputed by RestoreIndexes for deserialized WETs.
+	CheckpointBytes uint64
 }
 
 // OrigTotal is the uncompressed WET size in bytes.
@@ -81,6 +88,14 @@ type FreezeOptions struct {
 	// pool drains, so the frozen WET — stream bytes, Methods census, and
 	// every SizeReport counter — is byte-identical at any worker count.
 	Workers int
+	// CheckpointK sets the cursor checkpoint spacing of the tier-2 streams:
+	// a cursor Seek costs O(CheckpointK) steps instead of O(distance).
+	// 0 means automatic (stream.DefaultCheckpointK, widened so checkpoint
+	// state stays under 25% of a stream's payload); negative disables
+	// interior checkpoints (seeks fall back to stepping from an endpoint).
+	// Checkpoints never change stream bytes or SizeBits — only the
+	// CheckpointBytes line of the report and seek latency.
+	CheckpointK int
 }
 
 // Freeze applies the tier-1 edge label reductions (paper §3.3), compresses
@@ -162,13 +177,14 @@ func (w *WET) Freeze(opts FreezeOptions) *SizeReport {
 	// the report never depends on completion order.
 	var jobs []func(sc *stream.Scratch)
 	var applies []func()
+	ck := opts.CheckpointK
 
 	// --- Sizes: timestamps.
 	for _, n := range w.Nodes {
 		n := n
 		r.T1TS += uint64(n.Execs) * trace.TSBytes
 		jobs = append(jobs, func(sc *stream.Scratch) {
-			n.TSS = stream.CompressBestScratch(n.TS, sc)
+			n.TSS = stream.CompressBestScratchK(n.TS, sc, ck)
 		})
 		applies = append(applies, func() {
 			r.Methods[n.TSS.Name()]++
@@ -188,13 +204,13 @@ func (w *WET) Freeze(opts FreezeOptions) *SizeReport {
 			for _, g := range n.Groups {
 				g := g
 				jobs = append(jobs, func(sc *stream.Scratch) {
-					g.PatternS = stream.CompressBestScratch(g.Pattern, sc)
+					g.PatternS = stream.CompressBestScratchK(g.Pattern, sc, ck)
 				})
 				g.UValS = make([]stream.Stream, len(g.UVals))
 				for mi := range g.UVals {
 					mi := mi
 					jobs = append(jobs, func(sc *stream.Scratch) {
-						g.UValS[mi] = stream.CompressBestScratch(g.UVals[mi], sc)
+						g.UValS[mi] = stream.CompressBestScratchK(g.UVals[mi], sc, ck)
 					})
 					if opts.SkipFullSizing {
 						continue
@@ -241,13 +257,13 @@ func (w *WET) Freeze(opts FreezeOptions) *SizeReport {
 			}
 			// Tier 2: compress the pattern and each unique-value array.
 			jobs = append(jobs, func(sc *stream.Scratch) {
-				g.PatternS = stream.CompressBestScratch(g.Pattern, sc)
+				g.PatternS = stream.CompressBestScratchK(g.Pattern, sc, ck)
 			})
 			g.UValS = make([]stream.Stream, len(g.UVals))
 			for i := range g.UVals {
 				i := i
 				jobs = append(jobs, func(sc *stream.Scratch) {
-					g.UValS[i] = stream.CompressBestScratch(g.UVals[i], sc)
+					g.UValS[i] = stream.CompressBestScratchK(g.UVals[i], sc, ck)
 				})
 			}
 			applies = append(applies, func() {
@@ -282,9 +298,9 @@ func (w *WET) Freeze(opts FreezeOptions) *SizeReport {
 			r.T1EdgesCD += labelBytes
 		}
 		jobs = append(jobs, func(sc *stream.Scratch) {
-			e.DstS = stream.CompressBestScratch(e.DstOrd, sc)
+			e.DstS = stream.CompressBestScratchK(e.DstOrd, sc, ck)
 			if !e.Diagonal {
-				e.SrcS = stream.CompressBestScratch(e.SrcOrd, sc)
+				e.SrcS = stream.CompressBestScratchK(e.SrcOrd, sc, ck)
 			}
 		})
 		applies = append(applies, func() {
@@ -302,6 +318,7 @@ func (w *WET) Freeze(opts FreezeOptions) *SizeReport {
 	for _, apply := range applies {
 		apply()
 	}
+	r.CheckpointBytes = w.checkpointBytes()
 
 	if opts.DropTier1 {
 		for _, n := range w.Nodes {
@@ -322,6 +339,32 @@ func (w *WET) Freeze(opts FreezeOptions) *SizeReport {
 
 // Report returns the size report (nil before Freeze).
 func (w *WET) Report() *SizeReport { return w.report }
+
+// checkpointBytes sums the cursor checkpoint index sizes over every tier-2
+// stream. Checkpoints are derived (rebuilt on Load, never serialized), so
+// this is recomputed rather than persisted.
+func (w *WET) checkpointBytes() uint64 {
+	var bits uint64
+	add := func(s stream.Stream) {
+		if s != nil {
+			bits += s.CheckpointBits()
+		}
+	}
+	for _, n := range w.Nodes {
+		add(n.TSS)
+		for _, g := range n.Groups {
+			add(g.PatternS)
+			for _, s := range g.UValS {
+				add(s)
+			}
+		}
+	}
+	for _, e := range w.Edges {
+		add(e.DstS)
+		add(e.SrcS)
+	}
+	return (bits + 7) / 8
+}
 
 // runJobs drains the tier-2 job list over a bounded worker pool. Each
 // worker owns one stream.Scratch, so the selection phase's predictor
@@ -421,5 +464,6 @@ func (r *SizeReport) String() string {
 	s += line("total", r.OrigTotal(), r.T1Total(), r.T2Total())
 	s += fmt.Sprintf("edges: %d owned, %d inferable, %d shared (tier-1 labels: %d B data, %d B control)\n",
 		r.OwnedEdges, r.InferableEdges, r.SharedEdges, r.T1EdgesDD, r.T1EdgesCD)
+	s += fmt.Sprintf("cursor checkpoints: %d B (in-memory seek index, excluded from tier-2 size)\n", r.CheckpointBytes)
 	return s
 }

@@ -52,6 +52,11 @@ func (w *WET) RestoreIndexes(rep *SizeReport) {
 	}
 	w.frozen = true
 	w.report = rep
+	if rep != nil {
+		// Checkpoint indexes are rebuilt by stream loading, not persisted;
+		// refresh the report's view of their cost.
+		rep.CheckpointBytes = w.checkpointBytes()
+	}
 }
 
 // SanitizeSalvaged repairs the invariants RestoreIndexes and the query

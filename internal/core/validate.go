@@ -10,9 +10,9 @@ import (
 // strictly increasing and partition 1..Time exactly, group patterns index
 // inside their unique-value arrays, edges reference real statement
 // positions with labels of matching lengths, and adjacency lists agree with
-// the edge table. It reads tier-2 streams (the representation of record),
-// restoring every cursor it moves, and is intended for use after
-// deserialization or in tests; cost is O(size of the WET).
+// the edge table. It reads tier-2 streams (the representation of record)
+// through throwaway cursors, and is intended for use after deserialization
+// or in tests; cost is O(size of the WET).
 func (w *WET) Validate() error {
 	if !w.frozen {
 		return fmt.Errorf("core: Validate requires a frozen WET")
@@ -23,9 +23,9 @@ func (w *WET) Validate() error {
 			return fmt.Errorf("core: node %d ts stream has %d entries, executed %d times", n.ID, n.TSS.Len(), n.Execs)
 		}
 		last := uint32(0)
-		stream.SeekStart(n.TSS)
+		tsc := n.TSS.NewCursor()
 		for i := 0; i < n.Execs; i++ {
-			ts := n.TSS.Next()
+			ts := tsc.Next()
 			if ts <= last || ts > w.Time {
 				return fmt.Errorf("core: node %d timestamp %d out of order or range", n.ID, ts)
 			}
@@ -50,9 +50,9 @@ func (w *WET) Validate() error {
 				uniq = g.UValS[mi].Len()
 			}
 			if uniq >= 0 {
-				stream.SeekStart(g.PatternS)
+				pc := g.PatternS.NewCursor()
 				for i := 0; i < g.PatternS.Len(); i++ {
-					if idx := g.PatternS.Next(); int(idx) >= uniq {
+					if idx := pc.Next(); int(idx) >= uniq {
 						return fmt.Errorf("core: node %d group %d pattern index %d out of %d", n.ID, gi, idx, uniq)
 					}
 				}
@@ -87,16 +87,17 @@ func (w *WET) Validate() error {
 			if e.DstS.Len() != e.Count || (!e.Diagonal && e.SrcS.Len() != e.Count) {
 				return fmt.Errorf("core: edge %d label lengths, count %d", ei, e.Count)
 			}
-			stream.SeekStart(e.DstS)
+			dc := e.DstS.NewCursor()
+			var sc stream.Cursor
 			if !e.Diagonal {
-				stream.SeekStart(e.SrcS)
+				sc = e.SrcS.NewCursor()
 			}
 			lastD := int64(-1)
 			for i := 0; i < e.Count; i++ {
-				d := int64(e.DstS.Next())
+				d := int64(dc.Next())
 				s := d
 				if !e.Diagonal {
-					s = int64(e.SrcS.Next())
+					s = int64(sc.Next())
 				}
 				if d <= lastD {
 					return fmt.Errorf("core: edge %d destination ordinals not increasing", ei)

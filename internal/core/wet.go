@@ -87,8 +87,6 @@ type Edge struct {
 
 	// Tier-2 label streams (nil when Inferable or shared).
 	DstS, SrcS stream.Stream
-
-	dst1, src1 Seq // cached tier-1 adapters
 }
 
 // InputElem is one element of a group's input set: either a register value
@@ -138,8 +136,10 @@ type Group struct {
 	PatternS stream.Stream
 	UValS    []stream.Stream
 
-	pat1 Seq // cached tier-1 adapters
-	uv1  []Seq
+	// valIdx maps a node position to its ValMembers index (-1 when the
+	// statement has no def port), making ValMemberIndex O(1). Built by
+	// formGroups, so it exists on restored WETs too.
+	valIdx []int32
 }
 
 // UniqueKeys returns the number of distinct input tuples observed.
@@ -177,8 +177,6 @@ type Node struct {
 
 	// InEdges/OutEdges list indices into WET.Edges per position.
 	InEdges, OutEdges [][]int
-
-	ts1 Seq // cached tier-1 adapter
 }
 
 // PosOf returns the node position of static statement id, or -1.
@@ -226,8 +224,15 @@ func (w *WET) NodeOf(fn int, pathID int64) *Node {
 // Frozen reports whether Freeze has run (tier-2 streams are available).
 func (w *WET) Frozen() bool { return w.frozen }
 
-// Seq is a bidirectional cursor over one label sequence; both tiers
-// implement it (slices at tier 1, compressed streams at tier 2).
+// Seq is a detached bidirectional cursor over one label sequence; both
+// tiers implement it (slice cursors at tier 1, stream cursors at tier 2).
+//
+// Concurrency contract: every factory call (TSSeq, PatternSeq, UValSeq,
+// EdgeLabels) returns a FRESH cursor holding private traversal state —
+// cursors over the same sequence share nothing mutable, so any number may
+// traverse one frozen WET from concurrent goroutines without caller
+// synchronization. A single cursor is not safe for concurrent use; confine
+// each to one goroutine.
 type Seq interface {
 	Len() int
 	Pos() int
@@ -235,13 +240,22 @@ type Seq interface {
 	Prev() uint32
 }
 
-// RandomAccess is the optional fast path of a Seq: tier-1 label storage is
-// plain arrays, so reads need not step a cursor. Tier-2 streams deliberately
-// do not implement it — sequential stepping is the compressed
-// representation's access model (that asymmetry is what the paper's
+// RandomAccess is the O(1) fast path of a Seq: tier-1 label storage is
+// plain arrays, so reads need not step a cursor. Tier-2 stream cursors do
+// not implement it — they offer Seeker instead, whose checkpointed seeks
+// cost O(K) steps rather than O(1) (that asymmetry is what the paper's
 // tier-1-vs-tier-2 response time comparison measures).
 type RandomAccess interface {
 	At(i int) uint32
+}
+
+// Seeker is the repositioning fast path of a cursor: Seek(i) places the
+// cursor so the next Next() returns element i. Tier-2 stream cursors
+// implement it with checkpointed restores (cost bounded by the checkpoint
+// spacing K instead of the distance from the current position); tier-1
+// slice cursors implement it trivially.
+type Seeker interface {
+	Seek(i int)
 }
 
 // sliceSeq adapts a []uint32 to Seq.
@@ -252,6 +266,14 @@ type sliceSeq struct {
 
 // At implements RandomAccess without disturbing the cursor.
 func (s *sliceSeq) At(i int) uint32 { return s.v[i] }
+
+// Seek implements Seeker.
+func (s *sliceSeq) Seek(i int) {
+	if i < 0 || i > len(s.v) {
+		panic(fmt.Sprintf("core: seek to %d outside [0,%d]", i, len(s.v)))
+	}
+	s.pos = i
+}
 
 func (s *sliceSeq) Len() int { return len(s.v) }
 func (s *sliceSeq) Pos() int { return s.pos }
@@ -273,31 +295,31 @@ func (s *sliceSeq) Prev() uint32 {
 	return s.v[s.pos]
 }
 
-// seqOf wraps either representation. Seqs share cursor state across calls
-// (tier-2 returns the live stream object; tier-1 returns a cached adapter);
-// callers must not interleave two cursor traversals of the same sequence.
-func seqOf(cache *Seq, sl []uint32, st stream.Stream, tier Tier) Seq {
+// newSeq builds one fresh detached cursor over either representation:
+// tier-1 wraps the plain slice, tier-2 spawns a stream cursor carrying its
+// own predictor tables. No state is shared with any previous cursor.
+func newSeq(sl []uint32, st stream.Stream, tier Tier) Seq {
 	if tier == Tier2 {
 		if st == nil {
 			panic("core: tier-2 requested before Freeze")
 		}
-		return st
+		return st.NewCursor()
 	}
-	if sl == nil && *cache == nil {
+	if sl == nil {
 		panic("core: tier-1 labels were dropped (DropTier1)")
 	}
-	if *cache == nil {
-		*cache = &sliceSeq{v: sl}
-	}
-	return *cache
+	return &sliceSeq{v: sl}
 }
 
-// TSSeq returns the timestamp sequence of node n at the given tier.
-func (w *WET) TSSeq(n *Node, tier Tier) Seq { return seqOf(&n.ts1, n.TS, n.TSS, tier) }
+// TSSeq returns a fresh cursor over the timestamp sequence of node n at the
+// given tier.
+func (w *WET) TSSeq(n *Node, tier Tier) Seq { return newSeq(n.TS, n.TSS, tier) }
 
-// EdgeLabels returns the (dst, src) local-timestamp label sequences of e.
-// For shared edges the representative's labels are returned; Inferable
-// edges have implicit labels and return (nil, nil).
+// EdgeLabels returns fresh cursors over the (dst, src) local-timestamp
+// label sequences of e. For shared edges the representative's labels are
+// read; Inferable edges have implicit labels and return (nil, nil). For
+// Diagonal edges dst and src are two independent cursors over the single
+// stored ordinal stream (source ordinals equal destination ordinals).
 func (w *WET) EdgeLabels(e *Edge, tier Tier) (dst, src Seq) {
 	if e.Inferable {
 		return nil, nil
@@ -306,32 +328,29 @@ func (w *WET) EdgeLabels(e *Edge, tier Tier) (dst, src Seq) {
 		e = w.Edges[e.SharedWith]
 	}
 	if e.Diagonal {
-		d := seqOf(&e.dst1, e.DstOrd, e.DstS, tier)
-		return d, d // source ordinals equal destination ordinals
+		return newSeq(e.DstOrd, e.DstS, tier), newSeq(e.DstOrd, e.DstS, tier)
 	}
-	return seqOf(&e.dst1, e.DstOrd, e.DstS, tier), seqOf(&e.src1, e.SrcOrd, e.SrcS, tier)
+	return newSeq(e.DstOrd, e.DstS, tier), newSeq(e.SrcOrd, e.SrcS, tier)
 }
 
-// PatternSeq returns group g's pattern sequence at the given tier.
-func (w *WET) PatternSeq(g *Group, tier Tier) Seq { return seqOf(&g.pat1, g.Pattern, g.PatternS, tier) }
+// PatternSeq returns a fresh cursor over group g's pattern sequence at the
+// given tier.
+func (w *WET) PatternSeq(g *Group, tier Tier) Seq { return newSeq(g.Pattern, g.PatternS, tier) }
 
-// UValSeq returns the unique-value sequence for g.ValMembers[i].
+// UValSeq returns a fresh cursor over the unique-value sequence for
+// g.ValMembers[i].
 func (w *WET) UValSeq(g *Group, i int, tier Tier) Seq {
-	if g.uv1 == nil {
-		g.uv1 = make([]Seq, len(g.UVals))
-	}
-	return seqOf(&g.uv1[i], g.UVals[i], g.UValS[i], tier)
+	return newSeq(g.UVals[i], g.UValS[i], tier)
 }
 
 // ValMemberIndex returns the index of node position pos within g.ValMembers,
-// or -1 when the statement at pos has no def port.
+// or -1 when the statement at pos has no def port. O(1) via the position
+// index formGroups precomputes.
 func (g *Group) ValMemberIndex(pos int) int {
-	for i, p := range g.ValMembers {
-		if p == pos {
-			return i
-		}
+	if pos < 0 || pos >= len(g.valIdx) {
+		return -1
 	}
-	return -1
+	return int(g.valIdx[pos])
 }
 
 // Value returns the value produced by the statement at (n, pos) during the
@@ -352,10 +371,14 @@ func (w *WET) Value(n *Node, pos, ord int, tier Tier) (int64, error) {
 }
 
 // seqAt reads element i of s: directly for random-access (tier-1) storage,
-// by stepping the cursor for compressed streams.
+// through a checkpointed seek for stream cursors, by stepping otherwise.
 func seqAt(s Seq, i int) uint32 {
 	if ra, ok := s.(RandomAccess); ok {
 		return ra.At(i)
+	}
+	if sk, ok := s.(Seeker); ok {
+		sk.Seek(i)
+		return s.Next()
 	}
 	for s.Pos() > i {
 		s.Prev()

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -102,6 +103,36 @@ func TestBuildRunMetadata(t *testing.T) {
 func TestRunAllUnknownWorkload(t *testing.T) {
 	if _, err := RunAll(Config{Workloads: []string{"nope"}}, nil); err == nil {
 		t.Fatal("RunAll accepted unknown workload")
+	}
+}
+
+func TestWriteQueryBenchJSON(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := Config{TargetStmts: 20_000, Workloads: []string{"li"}, Slices: 4}
+	if err := WriteQueryBenchJSON(cfg, &buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var res QueryBenchResult
+	if err := json.Unmarshal(buf.Bytes(), &res); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(res.Workloads) != 1 {
+		t.Fatalf("got %d workload rows", len(res.Workloads))
+	}
+	row := res.Workloads[0]
+	if !row.Identical {
+		t.Fatal("parallel results flagged as diverging")
+	}
+	if row.Queries == 0 || len(row.Sweep) != 4 {
+		t.Fatalf("row = %+v", row)
+	}
+	for _, s := range row.Sweep {
+		if s.MS <= 0 || s.Speedup <= 0 {
+			t.Fatalf("degenerate timing %+v", s)
+		}
+	}
+	if row.Seeks == 0 {
+		t.Fatal("slice batch issued no cursor seeks")
 	}
 }
 

@@ -1,0 +1,166 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+
+	"wet/internal/core"
+	"wet/internal/query"
+	"wet/internal/stream"
+)
+
+// QueryBenchTiming is one worker-count sample of the parallel query sweep.
+type QueryBenchTiming struct {
+	Workers int     `json:"workers"`
+	MS      float64 `json:"ms"`
+	// Speedup is serial time over this configuration's time.
+	Speedup float64 `json:"speedup"`
+}
+
+// QueryBenchRow is one workload's parallel-query scaling record.
+type QueryBenchRow struct {
+	Name    string             `json:"name"`
+	Stmts   uint64             `json:"stmts"`
+	Queries int                `json:"queries"`
+	Sweep   []QueryBenchTiming `json:"sweep"`
+	// Identical records that every parallel run produced exactly the
+	// serial run's per-query results — the detached-cursor correctness
+	// guarantee, re-checked on every bench run.
+	Identical bool `json:"identical_results"`
+	// Seeks/CheckpointRestores/StepsPerSeek summarize cursor seek traffic
+	// during the serial pass (checkpoint effectiveness).
+	Seeks              uint64  `json:"seeks"`
+	CheckpointRestores uint64  `json:"checkpoint_restores"`
+	StepsPerSeek       float64 `json:"steps_per_seek"`
+}
+
+// QueryBenchResult is the machine-readable parallel query performance
+// record the CI smoke run archives (BENCH_query.json), alongside
+// BENCH_freeze.json.
+type QueryBenchResult struct {
+	TargetStmts uint64          `json:"target_stmts"`
+	GOMAXPROCS  int             `json:"gomaxprocs"`
+	Workloads   []QueryBenchRow `json:"workloads"`
+}
+
+// queryJobSet assembles the mixed query workload the sweep replays at each
+// worker count: backward slices over evenly spread criteria plus the
+// whole-trace extractions, at both tiers. Each job returns a digest so
+// parallel runs can be checked against the serial golden.
+func queryJobSet(w *core.WET, slices int) []func() string {
+	crit := SliceCriteria(w, slices)
+	var jobs []func() string
+	for _, tier := range []core.Tier{core.Tier1, core.Tier2} {
+		tier := tier
+		for _, c := range crit {
+			c := c
+			jobs = append(jobs, func() string {
+				res, err := query.BackwardSlice(w, tier, c, 0)
+				if err != nil {
+					return "err:" + err.Error()
+				}
+				return fmt.Sprintf("bs:%d:%d", len(res.Instances), res.Edges)
+			})
+		}
+		jobs = append(jobs,
+			func() string { return fmt.Sprintf("cf:%d", query.ExtractCF(w, tier, true, nil)) },
+			func() string {
+				n, err := query.LoadValueTraces(w, tier, nil)
+				if err != nil {
+					return "err:" + err.Error()
+				}
+				return fmt.Sprintf("lv:%d", n)
+			},
+			func() string {
+				n, err := query.AddressTraces(w, tier, nil)
+				if err != nil {
+					return "err:" + err.Error()
+				}
+				return fmt.Sprintf("at:%d", n)
+			},
+		)
+	}
+	return jobs
+}
+
+// QueryBench builds each configured workload's frozen WET and times the
+// mixed query job set (cfg.Slices criteria per tier plus the trace
+// extractions) through query.Batch at 1, 2, 4, and 8 workers, verifying
+// that every configuration reproduces the serial results.
+func QueryBench(cfg Config, progress io.Writer) (*QueryBenchResult, error) {
+	ws, err := cfg.workloads()
+	if err != nil {
+		return nil, err
+	}
+	res := &QueryBenchResult{
+		TargetStmts: cfg.targets(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+	for _, wl := range ws {
+		if progress != nil {
+			fmt.Fprintf(progress, "query bench: %s (target %d stmts)...\n", wl.Name, cfg.targets())
+		}
+		r, err := BuildRun(wl, cfg.targets(), cfg.Workers)
+		if err != nil {
+			return nil, fmt.Errorf("exp: %s: %w", wl.Name, err)
+		}
+		jobs := queryJobSet(r.W, cfg.slices())
+		row := QueryBenchRow{Name: wl.Name, Stmts: r.Stmts, Queries: len(jobs), Identical: true}
+
+		golden := make([]string, len(jobs))
+		var serialMS float64
+		for _, workers := range []int{1, 2, 4, 8} {
+			got := make([]string, len(jobs))
+			var before stream.SeekStats
+			if workers == 1 {
+				before = stream.ReadSeekStats()
+			}
+			workers := workers
+			d := timeIt(func() {
+				query.Batch(workers, len(jobs), func(i int) { got[i] = jobs[i]() })
+			})
+			if workers == 1 {
+				copy(golden, got)
+				serialMS = ms(d)
+				delta := stream.ReadSeekStats().Sub(before)
+				row.Seeks = delta.Seeks
+				row.CheckpointRestores = delta.Restores
+				if delta.Seeks > 0 {
+					row.StepsPerSeek = float64(delta.Steps) / float64(delta.Seeks)
+				}
+			} else {
+				for i := range got {
+					if got[i] != golden[i] {
+						row.Identical = false
+					}
+				}
+			}
+			t := QueryBenchTiming{Workers: workers, MS: ms(d)}
+			if t.MS > 0 {
+				t.Speedup = serialMS / t.MS
+			}
+			row.Sweep = append(row.Sweep, t)
+		}
+		res.Workloads = append(res.Workloads, row)
+	}
+	return res, nil
+}
+
+// WriteQueryBenchJSON runs QueryBench and writes the result as indented
+// JSON (the CI artifact format).
+func WriteQueryBenchJSON(cfg Config, out io.Writer, progress io.Writer) error {
+	res, err := QueryBench(cfg, progress)
+	if err != nil {
+		return err
+	}
+	for _, row := range res.Workloads {
+		if !row.Identical {
+			return fmt.Errorf("exp: %s: parallel query results differ from serial", row.Name)
+		}
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}

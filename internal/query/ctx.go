@@ -1,0 +1,79 @@
+package query
+
+import (
+	"fmt"
+
+	"wet/internal/core"
+)
+
+// qctx caches the detached cursors one logical query needs, so every label
+// sequence it touches is materialized once per query rather than once per
+// access. Spawning a tier-2 cursor copies the stream's predictor tables;
+// queries that revisit the same edge or group (slicing worklists, DOT
+// re-walks, address resolution) would otherwise pay that copy in their
+// inner loop.
+//
+// A qctx is confined to one goroutine — the cursors it holds are. That is
+// the whole concurrency story: independent queries against the same frozen
+// WET each build a private qctx, and the WET itself is never mutated.
+type qctx struct {
+	w     *core.WET
+	tier  core.Tier
+	edges map[*core.Edge][2]core.Seq
+	vals  map[uint64]*valReader
+}
+
+func newCtx(w *core.WET, tier core.Tier) *qctx {
+	return &qctx{w: w, tier: tier}
+}
+
+// edgeLabels is WET.EdgeLabels with per-query cursor reuse: the first call
+// for an edge spawns the (dst, src) cursor pair, later calls return the
+// same pair. Inferable edges return (nil, nil).
+func (q *qctx) edgeLabels(e *core.Edge) (dst, src core.Seq) {
+	if e.Inferable {
+		return nil, nil
+	}
+	if p, ok := q.edges[e]; ok {
+		return p[0], p[1]
+	}
+	d, s := q.w.EdgeLabels(e, q.tier)
+	if q.edges == nil {
+		q.edges = map[*core.Edge][2]core.Seq{}
+	}
+	q.edges[e] = [2]core.Seq{d, s}
+	return d, s
+}
+
+// valReader resolves one statement occurrence's values through hoisted
+// pattern and unique-value cursors (the two cursors WET.Value would spawn
+// per call).
+type valReader struct {
+	pat, uv core.Seq
+}
+
+// valueReader returns this query's cached reader for the statement at
+// (n, pos), or an error when the statement has no def port.
+func (q *qctx) valueReader(n *core.Node, pos int) (*valReader, error) {
+	key := uint64(n.ID)<<32 | uint64(uint32(pos))
+	if r, ok := q.vals[key]; ok {
+		return r, nil
+	}
+	g := n.Groups[n.GroupOf[pos]]
+	mi := g.ValMemberIndex(pos)
+	if mi < 0 {
+		return nil, fmt.Errorf("query: %s has no def port", n.Stmts[pos])
+	}
+	r := &valReader{pat: q.w.PatternSeq(g, q.tier), uv: q.w.UValSeq(g, mi, q.tier)}
+	if q.vals == nil {
+		q.vals = map[uint64]*valReader{}
+	}
+	q.vals[key] = r
+	return r, nil
+}
+
+// at returns the value produced at the occurrence's ord-th execution.
+func (r *valReader) at(ord int) int64 {
+	idx := core.SeqAt(r.pat, ord)
+	return int64(int32(core.SeqAt(r.uv, int(idx))))
+}

@@ -42,7 +42,9 @@ func ValueInvariance(w *core.WET, tier core.Tier, minExecs uint64) ([]Invariance
 		inv := Invariance{StmtID: st.ID, Execs: n, Uniques: len(counts)}
 		var bestC uint64
 		for v, c := range counts {
-			if c > bestC {
+			// Ties break toward the smaller value so the result does not
+			// depend on map iteration order.
+			if c > bestC || (c == bestC && v < inv.TopValue) {
 				bestC, inv.TopValue = c, v
 			}
 		}
@@ -115,7 +117,9 @@ func StrideProfiles(w *core.WET, tier core.Tier, minAccesses int) ([]StrideProfi
 		var best int64
 		bestN := 0
 		for s, n := range strides {
-			if n > bestN {
+			// Deterministic tie-break (smaller stride) — independent of map
+			// iteration order.
+			if n > bestN || (n == bestN && s < best) {
 				best, bestN = s, n
 			}
 		}

@@ -64,6 +64,7 @@ func WriteDOT(w *core.WET, tier core.Tier, res *SliceResult, out io.Writer) erro
 	}
 	fmt.Fprintln(out, `  rankdir=BT; node [shape=box, fontname="monospace"];`)
 
+	q := newCtx(w, tier)
 	insts := append([]Instance(nil), res.Instances...)
 	sort.Slice(insts, func(i, j int) bool { return pack(insts[i]) < pack(insts[j]) })
 	for _, in := range insts {
@@ -71,8 +72,8 @@ func WriteDOT(w *core.WET, tier core.Tier, res *SliceResult, out io.Writer) erro
 		s := n.Stmts[in.Pos]
 		label := fmt.Sprintf("%s\\nord=%d", s, in.Ord)
 		if s.Op.HasDef() && s.Dest >= 0 {
-			if v, err := w.Value(n, in.Pos, in.Ord, tier); err == nil {
-				label = fmt.Sprintf("%s = %d\\nord=%d", s, v, in.Ord)
+			if vr, err := q.valueReader(n, in.Pos); err == nil {
+				label = fmt.Sprintf("%s = %d\\nord=%d", s, vr.at(in.Ord), in.Ord)
 			}
 		}
 		style := ""
@@ -86,7 +87,7 @@ func WriteDOT(w *core.WET, tier core.Tier, res *SliceResult, out io.Writer) erro
 		n := w.Nodes[in.Node]
 		for _, ei := range n.InEdges[in.Pos] {
 			e := w.Edges[ei]
-			sord := resolveSrc(w, tier, e, in.Ord)
+			sord := resolveSrc(q, e, in.Ord)
 			if sord < 0 {
 				continue
 			}

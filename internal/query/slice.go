@@ -24,15 +24,18 @@ type SliceResult struct {
 }
 
 // resolveSrc finds the source ordinal of edge e for destination ordinal
-// dord, or -1 when the edge did not fire at that execution.
-func resolveSrc(w *core.WET, tier core.Tier, e *core.Edge, dord int) int {
+// dord, or -1 when the edge did not fire at that execution. It reads the
+// edge's labels through q's cached cursor pair, so repeated resolutions of
+// the same edge (slicing worklists) reuse one cursor.
+func resolveSrc(q *qctx, e *core.Edge, dord int) int {
+	w := q.w
 	if e.Inferable {
 		if dord < w.Nodes[e.DstNode].Execs {
 			return dord
 		}
 		return -1
 	}
-	dseq, sseq := w.EdgeLabels(e, tier)
+	dseq, sseq := q.edgeLabels(e)
 	target := uint32(dord)
 	// Destination ordinals are strictly increasing. Tier-1 storage allows a
 	// binary search; compressed streams are scanned from the cursor's
@@ -84,6 +87,7 @@ func BackwardSlice(w *core.WET, tier core.Tier, from Instance, maxInstances int)
 	if err := checkInstance(w, from); err != nil {
 		return nil, err
 	}
+	q := newCtx(w, tier)
 	res := &SliceResult{Criterion: from}
 	seen := map[uint64]bool{pack(from): true}
 	work := []Instance{from}
@@ -97,7 +101,7 @@ func BackwardSlice(w *core.WET, tier core.Tier, from Instance, maxInstances int)
 		n := w.Nodes[cur.Node]
 		for _, ei := range n.InEdges[cur.Pos] {
 			e := w.Edges[ei]
-			sord := resolveSrc(w, tier, e, cur.Ord)
+			sord := resolveSrc(q, e, cur.Ord)
 			if sord < 0 {
 				continue
 			}
@@ -124,6 +128,7 @@ func ForwardSlice(w *core.WET, tier core.Tier, from Instance, maxInstances int) 
 	if err := checkInstance(w, from); err != nil {
 		return nil, err
 	}
+	q := newCtx(w, tier)
 	res := &SliceResult{Criterion: from}
 	seen := map[uint64]bool{pack(from): true}
 	work := []Instance{from}
@@ -150,7 +155,7 @@ func ForwardSlice(w *core.WET, tier core.Tier, from Instance, maxInstances int) 
 				}
 				continue
 			}
-			dseq, sseq := w.EdgeLabels(e, tier)
+			dseq, sseq := q.edgeLabels(e)
 			for i := 0; i < sseq.Len(); i++ {
 				if int(core.SeqAt(sseq, i)) != cur.Ord {
 					continue
@@ -233,6 +238,7 @@ func DependenceChain(w *core.WET, tier core.Tier, from Instance, opIdx, maxLen i
 	if err := checkInstance(w, from); err != nil {
 		return nil, err
 	}
+	q := newCtx(w, tier)
 	chain := []Instance{from}
 	cur := from
 	for len(chain) < maxLen {
@@ -243,7 +249,7 @@ func DependenceChain(w *core.WET, tier core.Tier, from Instance, opIdx, maxLen i
 			if e.Kind != core.DD || e.OpIdx != opIdx {
 				continue
 			}
-			if sord := resolveSrc(w, tier, e, cur.Ord); sord >= 0 {
+			if sord := resolveSrc(q, e, cur.Ord); sord >= 0 {
 				next = Instance{Node: e.SrcNode, Pos: e.SrcPos, Ord: sord}
 				break
 			}

@@ -145,6 +145,7 @@ func AddressTrace(w *core.WET, tier core.Tier, stmtID int, emit func(Sample)) (u
 	}
 	mask := w.Prog.MemWords - 1
 	opIdx := addrOperandIndex(st)
+	q := newCtx(w, tier)
 	var samples []Sample
 	for _, ref := range w.StmtOcc[stmtID] {
 		n := w.Nodes[ref.Node]
@@ -156,32 +157,29 @@ func AddressTrace(w *core.WET, tier core.Tier, stmtID int, emit func(Sample)) (u
 			}
 			continue
 		}
-		// Resolve through each incoming DD edge on the address operand.
+		// Resolve through each incoming DD edge on the address operand; the
+		// producer's value reader is hoisted out of the per-instance loop.
 		for _, ei := range n.InEdges[ref.Pos] {
 			e := w.Edges[ei]
 			if e.Kind != core.DD || e.OpIdx != opIdx {
 				continue
 			}
 			srcNode := w.Nodes[e.SrcNode]
+			vr, err := q.valueReader(srcNode, e.SrcPos)
+			if err != nil {
+				return 0, err
+			}
 			if e.Inferable {
 				for ord := 0; ord < n.Execs; ord++ {
-					v, err := w.Value(srcNode, e.SrcPos, ord, tier)
-					if err != nil {
-						return 0, err
-					}
-					samples = append(samples, Sample{TS: core.SeqAt(ts, ord), Value: (v + st.Off) & mask})
+					samples = append(samples, Sample{TS: core.SeqAt(ts, ord), Value: (vr.at(ord) + st.Off) & mask})
 				}
 				continue
 			}
-			dseq, sseq := w.EdgeLabels(e, tier)
+			dseq, sseq := q.edgeLabels(e)
 			for i := 0; i < dseq.Len(); i++ {
 				dord := core.SeqAt(dseq, i)
 				sord := core.SeqAt(sseq, i)
-				v, err := w.Value(srcNode, e.SrcPos, int(sord), tier)
-				if err != nil {
-					return 0, err
-				}
-				samples = append(samples, Sample{TS: core.SeqAt(ts, int(dord)), Value: (v + st.Off) & mask})
+				samples = append(samples, Sample{TS: core.SeqAt(ts, int(dord)), Value: (vr.at(int(sord)) + st.Off) & mask})
 			}
 		}
 	}

@@ -13,8 +13,9 @@ import (
 
 // Walker reconstructs the control flow trace from node timestamps: the node
 // executed at time t+1 is the CF successor whose timestamp sequence
-// contains t+1 (paper §2, "Control flow path"). Walkers keep one timestamp
-// cursor per node, so sequential walks advance each cursor monotonically.
+// contains t+1 (paper §2, "Control flow path"). Walkers keep one private
+// timestamp cursor per node (created lazily), so sequential walks advance
+// each cursor monotonically.
 type Walker struct {
 	w    *core.WET
 	tier core.Tier
@@ -28,10 +29,10 @@ type Walker struct {
 }
 
 // NewWalker returns a walker positioned before the start of the trace.
-// Walkers borrow the WET's per-node timestamp cursors, so at most one
-// walker (or other timestamp-sequence traversal) should be active on a WET
-// at a time; interleaved use still returns correct values but costs extra
-// cursor seeks.
+// Every cursor a walker steps is its own (spawned from the WET's immutable
+// streams), so any number of walkers — and any other queries — may run
+// over one frozen WET concurrently; a single walker is confined to one
+// goroutine.
 func NewWalker(w *core.WET, tier core.Tier) *Walker {
 	return &Walker{w: w, tier: tier, seqs: make([]core.Seq, len(w.Nodes)), Node: -1}
 }

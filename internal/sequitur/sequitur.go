@@ -143,11 +143,25 @@ func (g *Grammar) match(s, found *symbol) {
 		g.insertAfter(r.last(), g.copySym(s.next))
 		g.substitute(found, r)
 		g.substitute(s, r)
-		g.digrams[digram{symKey(r.first()), symKey(r.first().next)}] = r.first()
+		if r.guard != nil {
+			g.digrams[digram{symKey(r.first()), symKey(r.first().next)}] = r.first()
+		}
 	}
-	// Rule utility: inline rules referenced once.
+	// substitute can recurse into match for the digrams it creates, and that
+	// recursion may leave r itself referenced once and inline it — in which
+	// case r is dead (guard nil) and there is nothing left to maintain here.
+	if r.guard == nil {
+		return
+	}
+	// Rule utility: inline rules referenced once. Both digram symbols can
+	// reference rules whose remaining occurrence is now inside r (the
+	// substitution removed their occurrence without adding one in the reuse
+	// branch), so the last symbol needs the same treatment as the first.
 	if r.first().isNonTerm() && r.first().r.refs == 1 {
 		g.expand(r.first())
+	}
+	if r.last().isNonTerm() && r.last().r.refs == 1 {
+		g.expand(r.last())
 	}
 }
 

@@ -68,6 +68,24 @@ func TestRandomRoundTrip(t *testing.T) {
 	expandEquals(t, vals)
 }
 
+// TestRuleUtilityBothSymbols pins a quick.Check-found input where the
+// second symbol of a substituted digram referenced a rule whose count
+// dropped to 1: the utility check used to inspect only the first symbol,
+// leaving a once-referenced rule alive (and, via recursive matches, could
+// even dereference a rule inlined out from under match).
+func TestRuleUtilityBothSymbols(t *testing.T) {
+	raw := []byte{
+		0xad, 0x2a, 0xc6, 0x3f, 0x11, 0xe8, 0x70, 0xd0, 0x8d, 0xa9, 0xbd,
+		0x65, 0xea, 0x17, 0x1e, 0xac, 0x06, 0xd2, 0x43, 0x07, 0x4e, 0xb2,
+		0x90, 0x19, 0x18, 0x8f, 0x62, 0x5d, 0x40, 0xc8, 0xd5, 0xbb, 0xfe, 0x2c,
+	}
+	vals := make([]uint32, len(raw))
+	for i, b := range raw {
+		vals[i] = uint32(b % 8)
+	}
+	expandEquals(t, vals)
+}
+
 func TestQuickRoundTrip(t *testing.T) {
 	f := func(raw []byte) bool {
 		vals := make([]uint32, len(raw))

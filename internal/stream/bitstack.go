@@ -73,3 +73,41 @@ func (b *bitstack) empty() bool { return b.n == 0 }
 func (b *bitstack) clone() bitstack {
 	return bitstack{words: append([]uint64(nil), b.words...), n: b.n}
 }
+
+// bitvec is an immutable bit vector with random access, used as the shared
+// read-only entry store behind detached cursors. A cursor addresses the
+// store by its current bit length: because entries carry their flag bit
+// *last*, the entry "on top" at length L has its flag at bit L-1 and its
+// payload just below.
+type bitvec struct {
+	words []uint64
+	n     uint64 // bit length
+}
+
+// freeze snapshots a bitstack into an immutable bitvec (the words are
+// copied, trimmed to the used length).
+func (b *bitstack) freeze() bitvec {
+	nw := (b.n + 63) >> 6
+	return bitvec{words: append([]uint64(nil), b.words[:nw]...), n: b.n}
+}
+
+// get reads k bits (k <= 32) starting at absolute bit position start.
+func (b *bitvec) get(start uint64, k uint) uint32 {
+	if k == 0 {
+		return 0
+	}
+	word := start >> 6
+	off := start & 63
+	v := b.words[word] >> off
+	if off+uint64(k) > 64 && word+1 < uint64(len(b.words)) {
+		v |= b.words[word+1] << (64 - off)
+	}
+	return uint32(v & (1<<k - 1))
+}
+
+// top reads the k bits ending at absolute position end (the entry payload
+// convention: last-pushed bit highest).
+func (b *bitvec) top(end uint64, k uint) uint32 { return b.get(end-uint64(k), k) }
+
+// sizeBits reports the storage the vector occupies.
+func (b *bitvec) sizeBits() uint64 { return uint64(len(b.words)) * 64 }

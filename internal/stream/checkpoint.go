@@ -1,0 +1,96 @@
+package stream
+
+import "sync/atomic"
+
+// Checkpoints trade space for seek time: a checkpoint snapshots the full
+// cursor state (entry-store lengths plus predictor tables/window) at one
+// position, so Seek(i) restores the nearest snapshot and steps at most the
+// spacing instead of walking from the current position. Two states come for
+// free and are always available: position 0 (tables are canonically
+// all-zero there, except the BL table which the stream stores anyway) and
+// position Len (the construction-end state, kept as the last checkpoint).
+
+// DefaultCheckpointK is the minimum checkpoint spacing (in values) the
+// automatic policy will use. With k == 0, the spacing is widened beyond
+// this floor for methods with large predictor tables so that total
+// checkpoint storage stays below ~25% of the raw (uncompressed) stream.
+const DefaultCheckpointK = 1024
+
+// ckSpacing resolves the checkpoint spacing for a stream of m values whose
+// per-checkpoint state costs stateBits: k > 0 is honored verbatim, k < 0
+// disables interior checkpoints, k == 0 applies the automatic budget.
+func ckSpacing(k, m int, stateBits uint64) int {
+	if k != 0 {
+		if k < 0 {
+			return 0
+		}
+		return k
+	}
+	if m == 0 || stateBits == 0 {
+		return 0
+	}
+	// Budget: all interior checkpoints together may cost at most 25% of the
+	// raw 32-bit stream (m*8 bits).
+	maxCks := uint64(m) * 8 / stateBits
+	if maxCks == 0 {
+		return 0
+	}
+	sp := (m + int(maxCks) - 1) / int(maxCks)
+	if sp < DefaultCheckpointK {
+		sp = DefaultCheckpointK
+	}
+	return sp
+}
+
+// restoreCost converts a checkpoint restore (copying stateWords words of
+// table state) into step-equivalents, so Seek can compare "jump to a
+// checkpoint and walk" against "walk from where the cursor is". Copying is
+// roughly 8 words per step-equivalent.
+func restoreCost(stateWords int) int { return stateWords/8 + 1 }
+
+// SeekStats aggregates the cost of all Cursor.Seek calls process-wide.
+// Counters are cumulative; CLI consumers print deltas around a query.
+type SeekStats struct {
+	// Seeks counts Seek invocations.
+	Seeks uint64
+	// Restores counts seeks served by restoring a checkpoint or a canonical
+	// start/end state (as opposed to stepping from the current position).
+	Restores uint64
+	// Steps counts single-value cursor steps walked on behalf of seeks.
+	Steps uint64
+}
+
+// Sub returns the counter deltas s - before, for bracketing a query with
+// two ReadSeekStats calls.
+func (s SeekStats) Sub(before SeekStats) SeekStats {
+	return SeekStats{
+		Seeks:    s.Seeks - before.Seeks,
+		Restores: s.Restores - before.Restores,
+		Steps:    s.Steps - before.Steps,
+	}
+}
+
+var (
+	statSeeks    atomic.Uint64
+	statRestores atomic.Uint64
+	statSteps    atomic.Uint64
+)
+
+// ReadSeekStats returns the cumulative process-wide seek statistics.
+func ReadSeekStats() SeekStats {
+	return SeekStats{
+		Seeks:    statSeeks.Load(),
+		Restores: statRestores.Load(),
+		Steps:    statSteps.Load(),
+	}
+}
+
+func noteSeek(restored bool, steps int) {
+	statSeeks.Add(1)
+	if restored {
+		statRestores.Add(1)
+	}
+	if steps > 0 {
+		statSteps.Add(uint64(steps))
+	}
+}

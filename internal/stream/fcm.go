@@ -1,29 +1,36 @@
 package stream
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
-// fcmStream is the bidirectional FCM / differential-FCM compressed stream
-// (paper §4, Figures 5–6). Two predictor tables are kept: FRTB predicts a
-// value from its right context (used by the forward-compressed part) and
-// BLTB from its left context (backward-compressed part). Miss entries store
-// the table slot's *evicted* content while the slot keeps the actual value,
-// so each step's table mutation is exactly undone by the reverse step.
+// The bidirectional FCM / differential-FCM method (paper §4, Figures 5–6)
+// is split into three pieces:
+//
+//   - fcmEnc: the mutable encoder. It owns live bitstacks and predictor
+//     tables and can step in both directions; construction and Load
+//     normalization run it over the whole stream.
+//   - fcmStream: the immutable artifact. It holds both entry stores in
+//     full — FR as it stands at position m, BL as it stands at position 0 —
+//     plus the canonical boundary states and interior checkpoints. It has
+//     no cursor state and is safe to share.
+//   - fcmCursor: a detached cursor. It reconstructs predictor-table
+//     context privately; stepping reads the shared stores by bit offset
+//     and never writes them.
+//
+// Two predictor tables are kept: FRTB predicts a value from its right
+// context (used by the forward-compressed part) and BLTB from its left
+// context (backward-compressed part). Miss entries store the table slot's
+// *evicted* content while the slot keeps the actual value, so each step's
+// table mutation is exactly undone by the reverse step — which also means
+// the cursor state at position p is identical no matter how p was reached.
+// At position 0 every table the forward pass touched is back to zero: the
+// canonical start state is all-zeros plus the stored BL table.
 //
 // In stride (differential) mode the tables store strides rather than
 // values: the prediction for an incoming value v after window w is
 // w[n-1] + BLTB[hash(strides(w))], per Goeman et al.'s dFCM.
-type fcmStream struct {
-	m      int
-	order  int // context length in values
-	stride bool
-	tbBits uint
-	frtb   []uint32
-	bltb   []uint32
-	fr, bl bitstack
-	win    []uint32 // win[0] is the oldest (leftmost) context value
-	pos    int
-	size   uint64
-}
 
 // tableBits picks a predictor table size proportional to the stream length
 // (clamped) so that table storage — which is counted in SizeBits — does not
@@ -36,51 +43,8 @@ func tableBits(m int) uint {
 	return b
 }
 
-func newFCM(vals []uint32, order int, stride bool) *fcmStream {
-	if order < 1 {
-		panic("stream: fcm order must be >= 1")
-	}
-	win := order
-	if stride {
-		win = order + 1 // need order strides
-	}
-	s := &fcmStream{
-		m:      len(vals),
-		order:  order,
-		stride: stride,
-		tbBits: tableBits(len(vals)),
-		win:    make([]uint32, win),
-	}
-	s.frtb = make([]uint32, 1<<s.tbBits)
-	s.bltb = make([]uint32, 1<<s.tbBits)
-	// Initial compression: a forward pass consuming raw values (the stream
-	// is conceptually padded with a window of zeros on the left).
-	for _, v := range vals {
-		s.stepForward(v, true)
-	}
-	tables := uint64(2) * uint64(len(s.frtb)) * 32
-	s.size = s.fr.bits() + s.bl.bits() + uint64(len(s.win))*32 + tables + HeaderBits
-	if s.stride {
-		s.size += 0 // window already carries the values needed for strides
-	}
-	return s
-}
-
-func (s *fcmStream) Len() int         { return s.m }
-func (s *fcmStream) Pos() int         { return s.pos }
-func (s *fcmStream) SizeBits() uint64 { return s.size }
-
-func (s *fcmStream) Name() string {
-	if s.stride {
-		return fmt.Sprintf("dfcm%d", s.order)
-	}
-	return fmt.Sprintf("fcm%d", s.order)
-}
-
-func (s *fcmStream) hash() uint32 { return fcmHash(s.win, s.stride, s.tbBits) }
-
 // fcmHash maps a context window (values, or strides of it) to a table
-// slot. Shared by the stream constructor and the dry-run sizer so the two
+// slot. Shared by the encoder, the cursor, and the dry-run sizer so they
 // cannot diverge.
 func fcmHash(win []uint32, stride bool, tbBits uint) uint32 {
 	h := uint32(2166136261)
@@ -99,119 +63,425 @@ func fcmHash(win []uint32, stride bool, tbBits uint) uint32 {
 	return (h ^ h>>16) & (1<<tbBits - 1)
 }
 
-// predictIncoming reconstructs a value from the left-context table content.
-func (s *fcmStream) predictIncoming(tbl uint32) uint32 {
-	if s.stride {
-		return s.win[len(s.win)-1] + tbl
+// fcmPredictIncoming reconstructs a value from the left-context table
+// content, given the current window.
+func fcmPredictIncoming(win []uint32, stride bool, tbl uint32) uint32 {
+	if stride {
+		return win[len(win)-1] + tbl
 	}
 	return tbl
 }
 
-// encodeIncoming converts an actual incoming value to table content.
-func (s *fcmStream) encodeIncoming(v uint32) uint32 {
-	if s.stride {
-		return v - s.win[len(s.win)-1]
+// fcmEncodeIncoming converts an actual incoming value to table content.
+func fcmEncodeIncoming(win []uint32, stride bool, v uint32) uint32 {
+	if stride {
+		return v - win[len(win)-1]
 	}
 	return v
 }
 
-// predictHead reconstructs the value to the window's left from the
+// fcmPredictHead reconstructs the value to the window's left from the
 // right-context table content (after the window has shifted right).
-func (s *fcmStream) predictHead(tbl uint32) uint32 {
-	if s.stride {
-		return s.win[0] - tbl // table stores padded[c] - padded[c-1]
+func fcmPredictHead(win []uint32, stride bool, tbl uint32) uint32 {
+	if stride {
+		return win[0] - tbl // table stores padded[c] - padded[c-1]
 	}
 	return tbl
 }
 
-// encodeHead converts an actual head value to right-context table content.
-func (s *fcmStream) encodeHead(h uint32) uint32 {
-	if s.stride {
-		return s.win[0] - h
+// fcmEncodeHead converts an actual head value to right-context table
+// content.
+func fcmEncodeHead(win []uint32, stride bool, h uint32) uint32 {
+	if stride {
+		return win[0] - h
 	}
 	return h
 }
 
-// stepForward advances the cursor by one. During initial construction
+// --- encoder ---
+
+type fcmEnc struct {
+	m      int
+	order  int // context length in values
+	stride bool
+	tbBits uint
+	frtb   []uint32
+	bltb   []uint32
+	fr, bl bitstack
+	win    []uint32 // win[0] is the oldest (leftmost) context value
+	pos    int
+}
+
+func newFCMEnc(vals []uint32, order int, stride bool) *fcmEnc {
+	if order < 1 {
+		panic("stream: fcm order must be >= 1")
+	}
+	win := order
+	if stride {
+		win = order + 1 // need order strides
+	}
+	e := &fcmEnc{
+		m:      len(vals),
+		order:  order,
+		stride: stride,
+		tbBits: tableBits(len(vals)),
+		win:    make([]uint32, win),
+	}
+	e.frtb = make([]uint32, 1<<e.tbBits)
+	e.bltb = make([]uint32, 1<<e.tbBits)
+	// Initial compression: a forward pass consuming raw values (the stream
+	// is conceptually padded with a window of zeros on the left).
+	for _, v := range vals {
+		e.stepForward(v, true)
+	}
+	return e
+}
+
+func (e *fcmEnc) hash() uint32 { return fcmHash(e.win, e.stride, e.tbBits) }
+
+// stepForward advances the encoder by one. During initial construction
 // (construct == true) the incoming value is supplied raw in v and the BL
 // side is untouched; afterwards v is ignored and read from BL.
-func (s *fcmStream) stepForward(v uint32, construct bool) uint32 {
+func (e *fcmEnc) stepForward(v uint32, construct bool) uint32 {
 	if !construct {
-		if s.pos >= s.m {
+		if e.pos >= e.m {
 			panic("stream: Next past end")
 		}
 		// Consume the BL entry for the incoming value using the left
 		// context (current window).
-		idx := s.hash()
-		miss := !s.bl.popBit()
+		idx := e.hash()
+		miss := !e.bl.popBit()
 		var payload uint32
 		if miss {
-			payload = s.bl.popBits(32)
+			payload = e.bl.popBits(32)
 		}
-		v = s.predictIncoming(s.bltb[idx])
+		v = fcmPredictIncoming(e.win, e.stride, e.bltb[idx])
 		if miss {
-			s.bltb[idx] = payload // restore the evicted content
+			e.bltb[idx] = payload // restore the evicted content
 		}
 	}
 	// Shift the window: the head h leaves to the FR side.
-	h := s.win[0]
-	copy(s.win, s.win[1:])
-	s.win[len(s.win)-1] = v
+	h := e.win[0]
+	copy(e.win, e.win[1:])
+	e.win[len(e.win)-1] = v
 	// Compress h with its right context (the new window).
-	idx := s.hash()
-	if s.predictHead(s.frtb[idx]) == h {
-		s.fr.pushBit(true)
+	idx := e.hash()
+	if fcmPredictHead(e.win, e.stride, e.frtb[idx]) == h {
+		e.fr.pushBit(true)
 	} else {
-		s.fr.pushBits(s.frtb[idx], 32) // evicted content
-		s.fr.pushBit(false)
-		s.frtb[idx] = s.encodeHead(h)
+		e.fr.pushBits(e.frtb[idx], 32) // evicted content
+		e.fr.pushBit(false)
+		e.frtb[idx] = fcmEncodeHead(e.win, e.stride, h)
 	}
-	s.pos++
+	e.pos++
 	return v
 }
 
-func (s *fcmStream) Next() uint32 { return s.stepForward(0, false) }
+func (e *fcmEnc) next() uint32 { return e.stepForward(0, false) }
 
-// Clone implements Stream.
-func (s *fcmStream) Clone() Stream {
-	c := *s
-	c.frtb = append([]uint32(nil), s.frtb...)
-	c.bltb = append([]uint32(nil), s.bltb...)
-	c.win = append([]uint32(nil), s.win...)
-	c.fr = s.fr.clone()
-	c.bl = s.bl.clone()
-	return &c
-}
-
-func (s *fcmStream) Prev() uint32 {
-	if s.pos == 0 {
+func (e *fcmEnc) prev() uint32 {
+	if e.pos == 0 {
 		panic("stream: Prev past start")
 	}
 	// Uncompress the FR entry for the value left of the window, using the
 	// right context (current window).
-	idx := s.hash()
-	miss := !s.fr.popBit()
+	idx := e.hash()
+	miss := !e.fr.popBit()
 	var payload uint32
 	if miss {
-		payload = s.fr.popBits(32)
+		payload = e.fr.popBits(32)
 	}
-	h := s.predictHead(s.frtb[idx])
+	h := fcmPredictHead(e.win, e.stride, e.frtb[idx])
 	if miss {
-		s.frtb[idx] = payload
+		e.frtb[idx] = payload
 	}
 	// Shift the window right: the tail t leaves to the BL side.
-	t := s.win[len(s.win)-1]
-	copy(s.win[1:], s.win)
-	s.win[0] = h
+	t := e.win[len(e.win)-1]
+	copy(e.win[1:], e.win)
+	e.win[0] = h
 	// Compress t with its left context (the new window).
-	idx = s.hash()
-	if s.predictIncoming(s.bltb[idx]) == t {
-		s.bl.pushBit(true)
+	idx = e.hash()
+	if fcmPredictIncoming(e.win, e.stride, e.bltb[idx]) == t {
+		e.bl.pushBit(true)
 	} else {
-		s.bl.pushBits(s.bltb[idx], 32)
-		s.bl.pushBit(false)
-		s.bltb[idx] = s.encodeIncoming(t)
+		e.bl.pushBits(e.bltb[idx], 32)
+		e.bl.pushBit(false)
+		e.bltb[idx] = fcmEncodeIncoming(e.win, e.stride, t)
 	}
-	s.pos--
+	e.pos--
 	return t
+}
+
+// finish freezes the encoder (which must be at position m with BL empty)
+// into an immutable stream: the FR store is snapshotted, then one backward
+// pass rebuilds the BL store while capturing checkpoints every k values
+// (k == 0: automatic spacing; k < 0: none).
+func (e *fcmEnc) finish(k int) *fcmStream {
+	s := &fcmStream{
+		m: e.m, order: e.order, stride: e.stride, tbBits: e.tbBits,
+	}
+	tables := uint64(2) * uint64(len(e.frtb)) * 32
+	s.size = e.fr.bits() + e.bl.bits() + uint64(len(e.win))*32 + tables + HeaderBits
+	s.fr = e.fr.freeze() // popBits clears bits, so copy before walking back
+	stateBits := tables + uint64(len(e.win))*32 + 3*64
+	sp := ckSpacing(k, e.m, stateBits)
+	cks := []fcmCk{e.snapshot()} // construction-end state at pos m
+	for e.pos > 0 {
+		e.prev()
+		if sp > 0 && e.pos > 0 && e.pos%sp == 0 {
+			cks = append(cks, e.snapshot())
+		}
+	}
+	s.bl = e.bl.freeze()
+	s.bltb0 = append([]uint32(nil), e.bltb...)
+	// The canonical start state: all predictor state zero except the stored
+	// BL table (shared, so it costs nothing extra).
+	cks = append(cks, fcmCk{pos: 0, frLen: 0, blLen: s.bl.n, bltb: s.bltb0})
+	sort.Slice(cks, func(i, j int) bool { return cks[i].pos < cks[j].pos })
+	s.cks = cks
+	for i := 1; i < len(cks); i++ { // index 0 is the free start state
+		s.ckBits += 3 * 64
+		s.ckBits += uint64(len(cks[i].frtb)+len(cks[i].bltb)+len(cks[i].win)) * 32
+	}
+	return s
+}
+
+// snapshot captures the encoder's current state as a checkpoint. All-zero
+// tables are stored as nil (restored by zero-filling).
+func (e *fcmEnc) snapshot() fcmCk {
+	return fcmCk{
+		pos: e.pos, frLen: e.fr.bits(), blLen: e.bl.bits(),
+		frtb: snapTable(e.frtb), bltb: snapTable(e.bltb), win: snapTable(e.win),
+	}
+}
+
+// snapTable copies t, or returns nil when t is all zeros.
+func snapTable(t []uint32) []uint32 {
+	for _, v := range t {
+		if v != 0 {
+			return append([]uint32(nil), t...)
+		}
+	}
+	return nil
+}
+
+// copyOrZero restores a snapshot into dst (nil snapshot = all zeros).
+func copyOrZero(dst, src []uint32) {
+	if src == nil {
+		clear(dst)
+	} else {
+		copy(dst, src)
+	}
+}
+
+// --- immutable stream ---
+
+// fcmCk is one seek checkpoint: the complete cursor state at pos.
+type fcmCk struct {
+	pos          int
+	frLen, blLen uint64
+	frtb, bltb   []uint32 // nil = all zeros
+	win          []uint32 // nil = all zeros
+}
+
+type fcmStream struct {
+	m      int
+	order  int
+	stride bool
+	tbBits uint
+	fr     bitvec   // full FR store (state at pos m)
+	bl     bitvec   // full BL store (state at pos 0)
+	bltb0  []uint32 // BL predictor table at pos 0
+	cks    []fcmCk  // ascending by pos; [0] is the start state, last is pos m
+	size   uint64
+	ckBits uint64
+}
+
+func (s *fcmStream) Len() int               { return s.m }
+func (s *fcmStream) SizeBits() uint64       { return s.size }
+func (s *fcmStream) CheckpointBits() uint64 { return s.ckBits }
+
+func (s *fcmStream) Name() string {
+	if s.stride {
+		return fmt.Sprintf("dfcm%d", s.order)
+	}
+	return fmt.Sprintf("fcm%d", s.order)
+}
+
+func (s *fcmStream) winLen() int {
+	if s.stride {
+		return s.order + 1
+	}
+	return s.order
+}
+
+// stateWords is the 64-bit word count a checkpoint restore copies, for the
+// seek cost model.
+func (s *fcmStream) stateWords() int { return (2*(1<<s.tbBits) + s.winLen()) / 2 }
+
+func (s *fcmStream) NewCursor() Cursor {
+	c := &fcmCursor{
+		s:     s,
+		blLen: s.bl.n,
+		frtb:  make([]uint32, 1<<s.tbBits),
+		bltb:  make([]uint32, 1<<s.tbBits),
+		win:   make([]uint32, s.winLen()),
+	}
+	copy(c.bltb, s.bltb0)
+	return c
+}
+
+// bestCk returns the checkpoint whose restore-plus-walk cost to reach i is
+// lowest, with that cost in step-equivalents.
+func (s *fcmStream) bestCk(i int) (*fcmCk, int) {
+	lo, hi := 0, len(s.cks)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.cks[mid].pos <= i {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	rc := restoreCost(s.stateWords())
+	var best *fcmCk
+	bestCost := int(^uint(0) >> 1)
+	if lo > 0 {
+		ck := &s.cks[lo-1]
+		if c := i - ck.pos + rc; c < bestCost {
+			best, bestCost = ck, c
+		}
+	}
+	if lo < len(s.cks) {
+		ck := &s.cks[lo]
+		if c := ck.pos - i + rc; c < bestCost {
+			best, bestCost = ck, c
+		}
+	}
+	return best, bestCost
+}
+
+// --- cursor ---
+
+type fcmCursor struct {
+	s            *fcmStream
+	pos          int
+	frLen, blLen uint64
+	frtb, bltb   []uint32
+	win          []uint32
+}
+
+func (c *fcmCursor) Len() int { return c.s.m }
+func (c *fcmCursor) Pos() int { return c.pos }
+
+func (c *fcmCursor) Clone() Cursor {
+	cp := *c
+	cp.frtb = append([]uint32(nil), c.frtb...)
+	cp.bltb = append([]uint32(nil), c.bltb...)
+	cp.win = append([]uint32(nil), c.win...)
+	return &cp
+}
+
+func (c *fcmCursor) Next() uint32 {
+	if c.pos >= c.s.m {
+		panic("stream: Next past end")
+	}
+	// Consume the BL entry for the incoming value using the left context.
+	idx := fcmHash(c.win, c.s.stride, c.s.tbBits)
+	hit := c.s.bl.top(c.blLen, 1) == 1
+	c.blLen--
+	var payload uint32
+	if !hit {
+		payload = c.s.bl.top(c.blLen, 32)
+		c.blLen -= 32
+	}
+	v := fcmPredictIncoming(c.win, c.s.stride, c.bltb[idx])
+	if !hit {
+		c.bltb[idx] = payload // restore the evicted content
+	}
+	// Shift the window: the head h leaves to the FR side. The FR entry for
+	// h is already in the store; recompute hit/miss to advance frLen and
+	// apply the same table mutation the encoder did.
+	h := c.win[0]
+	copy(c.win, c.win[1:])
+	c.win[len(c.win)-1] = v
+	idx = fcmHash(c.win, c.s.stride, c.s.tbBits)
+	if fcmPredictHead(c.win, c.s.stride, c.frtb[idx]) == h {
+		c.frLen++
+	} else {
+		c.frLen += 33
+		c.frtb[idx] = fcmEncodeHead(c.win, c.s.stride, h)
+	}
+	c.pos++
+	return v
+}
+
+func (c *fcmCursor) Prev() uint32 {
+	if c.pos == 0 {
+		panic("stream: Prev past start")
+	}
+	// Uncompress the FR entry for the value left of the window.
+	idx := fcmHash(c.win, c.s.stride, c.s.tbBits)
+	hit := c.s.fr.top(c.frLen, 1) == 1
+	c.frLen--
+	var payload uint32
+	if !hit {
+		payload = c.s.fr.top(c.frLen, 32)
+		c.frLen -= 32
+	}
+	h := fcmPredictHead(c.win, c.s.stride, c.frtb[idx])
+	if !hit {
+		c.frtb[idx] = payload
+	}
+	// Shift the window right: the tail t leaves to the BL side.
+	t := c.win[len(c.win)-1]
+	copy(c.win[1:], c.win)
+	c.win[0] = h
+	idx = fcmHash(c.win, c.s.stride, c.s.tbBits)
+	if fcmPredictIncoming(c.win, c.s.stride, c.bltb[idx]) == t {
+		c.blLen++
+	} else {
+		c.blLen += 33
+		c.bltb[idx] = fcmEncodeIncoming(c.win, c.s.stride, t)
+	}
+	c.pos--
+	return t
+}
+
+func (c *fcmCursor) restore(ck *fcmCk) {
+	c.pos = ck.pos
+	c.frLen = ck.frLen
+	c.blLen = ck.blLen
+	copyOrZero(c.frtb, ck.frtb)
+	copyOrZero(c.bltb, ck.bltb)
+	copyOrZero(c.win, ck.win)
+}
+
+func (c *fcmCursor) Seek(i int) {
+	if i < 0 || i > c.s.m {
+		panic(fmt.Sprintf("stream: seek to %d outside [0,%d]", i, c.s.m))
+	}
+	if i == c.pos {
+		noteSeek(false, 0)
+		return
+	}
+	walk := i - c.pos
+	if walk < 0 {
+		walk = -walk
+	}
+	restored := false
+	if ck, cost := c.s.bestCk(i); ck != nil && cost < walk {
+		c.restore(ck)
+		restored = true
+	}
+	steps := 0
+	for c.pos < i {
+		c.Next()
+		steps++
+	}
+	for c.pos > i {
+		c.Prev()
+		steps++
+	}
+	noteSeek(restored, steps)
 }

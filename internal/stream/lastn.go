@@ -3,16 +3,22 @@ package stream
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 )
 
-// lastNStream is the bidirectional last-n predictor stream (paper §4,
-// Figure 7). A single move-to-front table of the n most recent distinct
-// values (or strides) serves both directions. FR entries carry the
-// move-to-front mutation (hit: the matching index; miss: the evicted
-// value), which the backward step undoes exactly; BL entries are pure
-// references against the current table (hit: index; miss: the literal
-// value) and mutate nothing, so the cursor state stays path-independent.
-type lastNStream struct {
+// The bidirectional last-n predictor (paper §4, Figure 7) follows the same
+// encoder / immutable stream / detached cursor split as FCM. A single
+// move-to-front table of the n most recent distinct values (or strides)
+// serves both directions. FR entries carry the move-to-front mutation
+// (hit: the matching index; miss: the evicted value), which the backward
+// step undoes exactly; BL entries are pure references against the current
+// table (hit: index; miss: the literal value) and mutate nothing. Undoing
+// every mutation on the way back to position 0 returns the table to all
+// zeros, so the canonical start state needs no stored table at all.
+
+// --- encoder ---
+
+type lastNEnc struct {
 	m       int
 	n       int // table size (power of two)
 	idxBits uint
@@ -21,14 +27,13 @@ type lastNStream struct {
 	lastVal uint32   // previous value; stride mode only
 	fr, bl  bitstack
 	pos     int
-	size    uint64
 }
 
-func newLastN(vals []uint32, n int, stride bool) *lastNStream {
+func newLastNEnc(vals []uint32, n int, stride bool) *lastNEnc {
 	if n < 2 || n&(n-1) != 0 {
 		panic("stream: last-n table size must be a power of two >= 2")
 	}
-	s := &lastNStream{
+	e := &lastNEnc{
 		m:       len(vals),
 		n:       n,
 		idxBits: uint(bits.TrailingZeros(uint(n))),
@@ -36,18 +41,170 @@ func newLastN(vals []uint32, n int, stride bool) *lastNStream {
 		tb:      make([]uint32, n),
 	}
 	for _, v := range vals {
-		s.stepForward(v, true)
+		e.stepForward(v, true)
 	}
-	s.size = s.fr.bits() + s.bl.bits() + uint64(n)*32 + HeaderBits
-	if stride {
+	return e
+}
+
+// encode move-to-fronts x into the table and pushes the FR entry.
+func (e *lastNEnc) encode(x uint32) {
+	for i, v := range e.tb {
+		if v == x {
+			// Hit: move to front; entry records the index for the undo.
+			copy(e.tb[1:i+1], e.tb[:i])
+			e.tb[0] = x
+			e.fr.pushBits(uint32(i), e.idxBits)
+			e.fr.pushBit(true)
+			return
+		}
+	}
+	evicted := e.tb[e.n-1]
+	copy(e.tb[1:], e.tb[:e.n-1])
+	e.tb[0] = x
+	e.fr.pushBits(evicted, 32)
+	e.fr.pushBit(false)
+}
+
+// decode pops an FR entry, undoes its table mutation, and returns the value.
+func (e *lastNEnc) decode() uint32 {
+	x := e.tb[0]
+	if e.fr.popBit() {
+		i := int(e.fr.popBits(e.idxBits))
+		copy(e.tb[:i], e.tb[1:i+1])
+		e.tb[i] = x
+	} else {
+		evicted := e.fr.popBits(32)
+		copy(e.tb[:e.n-1], e.tb[1:])
+		e.tb[e.n-1] = evicted
+	}
+	return x
+}
+
+// pushRef pushes a BL reference to x against the current table.
+func (e *lastNEnc) pushRef(x uint32) {
+	for i, v := range e.tb {
+		if v == x {
+			e.bl.pushBits(uint32(i), e.idxBits)
+			e.bl.pushBit(true)
+			return
+		}
+	}
+	e.bl.pushBits(x, 32)
+	e.bl.pushBit(false)
+}
+
+// popRef pops a BL reference and resolves it against the current table.
+func (e *lastNEnc) popRef() uint32 {
+	if e.bl.popBit() {
+		return e.tb[e.bl.popBits(e.idxBits)]
+	}
+	return e.bl.popBits(32)
+}
+
+func (e *lastNEnc) stepForward(v uint32, construct bool) uint32 {
+	var x uint32 // the symbol actually coded (value, or stride)
+	if construct {
+		x = v
+		if e.stride {
+			x = v - e.lastVal
+		}
+	} else {
+		if e.pos >= e.m {
+			panic("stream: Next past end")
+		}
+		x = e.popRef()
+		if e.stride {
+			v = e.lastVal + x
+		} else {
+			v = x
+		}
+	}
+	e.encode(x)
+	if e.stride {
+		e.lastVal = v
+	}
+	e.pos++
+	return v
+}
+
+func (e *lastNEnc) next() uint32 { return e.stepForward(0, false) }
+
+func (e *lastNEnc) prev() uint32 {
+	if e.pos == 0 {
+		panic("stream: Prev past start")
+	}
+	x := e.decode()
+	e.pushRef(x)
+	e.pos--
+	if e.stride {
+		v := e.lastVal
+		e.lastVal = v - x
+		return v
+	}
+	return x
+}
+
+// finish freezes the encoder (at position m, BL empty) into an immutable
+// stream, rebuilding BL backward while capturing checkpoints (see
+// fcmEnc.finish).
+func (e *lastNEnc) finish(k int) *lastNStream {
+	s := &lastNStream{m: e.m, n: e.n, idxBits: e.idxBits, stride: e.stride}
+	s.size = e.fr.bits() + e.bl.bits() + uint64(e.n)*32 + HeaderBits
+	if e.stride {
 		s.size += 32 // lastVal
+	}
+	s.fr = e.fr.freeze()
+	stateBits := uint64(e.n)*32 + 32 + 3*64
+	sp := ckSpacing(k, e.m, stateBits)
+	cks := []lastNCk{e.snapshot()}
+	for e.pos > 0 {
+		e.prev()
+		if sp > 0 && e.pos > 0 && e.pos%sp == 0 {
+			cks = append(cks, e.snapshot())
+		}
+	}
+	s.bl = e.bl.freeze()
+	cks = append(cks, lastNCk{pos: 0, frLen: 0, blLen: s.bl.n}) // all-zero start
+	sort.Slice(cks, func(i, j int) bool { return cks[i].pos < cks[j].pos })
+	s.cks = cks
+	for i := 1; i < len(cks); i++ {
+		s.ckBits += 3*64 + 32 + uint64(len(cks[i].tb))*32
 	}
 	return s
 }
 
-func (s *lastNStream) Len() int         { return s.m }
-func (s *lastNStream) Pos() int         { return s.pos }
-func (s *lastNStream) SizeBits() uint64 { return s.size }
+func (e *lastNEnc) snapshot() lastNCk {
+	return lastNCk{
+		pos: e.pos, frLen: e.fr.bits(), blLen: e.bl.bits(),
+		tb: snapTable(e.tb), lastVal: e.lastVal,
+	}
+}
+
+// --- immutable stream ---
+
+// lastNCk is one seek checkpoint of a last-n stream.
+type lastNCk struct {
+	pos          int
+	frLen, blLen uint64
+	tb           []uint32 // nil = all zeros
+	lastVal      uint32
+}
+
+type lastNStream struct {
+	m       int
+	n       int
+	idxBits uint
+	stride  bool
+	fr      bitvec // full FR store (state at pos m)
+	bl      bitvec // full BL store (state at pos 0)
+	cks     []lastNCk
+	size    uint64
+	ckBits  uint64
+}
+
+func (s *lastNStream) Len() int               { return s.m }
+func (s *lastNStream) SizeBits() uint64       { return s.size }
+func (s *lastNStream) CheckpointBits() uint64 { return s.ckBits }
 
 func (s *lastNStream) Name() string {
 	if s.stride {
@@ -56,118 +213,171 @@ func (s *lastNStream) Name() string {
 	return fmt.Sprintf("last%d", s.n)
 }
 
-// encode move-to-fronts x into the table and pushes the FR entry.
-func (s *lastNStream) encode(x uint32) {
-	for i, v := range s.tb {
-		if v == x {
-			// Hit: move to front; entry records the index for the undo.
-			copy(s.tb[1:i+1], s.tb[:i])
-			s.tb[0] = x
-			s.fr.pushBits(uint32(i), s.idxBits)
-			s.fr.pushBit(true)
-			return
-		}
-	}
-	evicted := s.tb[s.n-1]
-	copy(s.tb[1:], s.tb[:s.n-1])
-	s.tb[0] = x
-	s.fr.pushBits(evicted, 32)
-	s.fr.pushBit(false)
+func (s *lastNStream) NewCursor() Cursor {
+	return &lastNCursor{s: s, blLen: s.bl.n, tb: make([]uint32, s.n)}
 }
 
-// decode pops an FR entry, undoes its table mutation, and returns the value.
-func (s *lastNStream) decode() uint32 {
-	x := s.tb[0]
-	if s.fr.popBit() {
-		i := int(s.fr.popBits(s.idxBits))
-		copy(s.tb[:i], s.tb[1:i+1])
-		s.tb[i] = x
-	} else {
-		evicted := s.fr.popBits(32)
-		copy(s.tb[:s.n-1], s.tb[1:])
-		s.tb[s.n-1] = evicted
-	}
-	return x
-}
-
-// pushRef pushes a BL reference to x against the current table.
-func (s *lastNStream) pushRef(x uint32) {
-	for i, v := range s.tb {
-		if v == x {
-			s.bl.pushBits(uint32(i), s.idxBits)
-			s.bl.pushBit(true)
-			return
-		}
-	}
-	s.bl.pushBits(x, 32)
-	s.bl.pushBit(false)
-}
-
-// popRef pops a BL reference and resolves it against the current table.
-func (s *lastNStream) popRef() uint32 {
-	if s.bl.popBit() {
-		return s.tb[s.bl.popBits(s.idxBits)]
-	}
-	return s.bl.popBits(32)
-}
-
-func (s *lastNStream) stepForward(v uint32, construct bool) uint32 {
-	var x uint32 // the symbol actually coded (value, or stride)
-	if construct {
-		x = v
-		if s.stride {
-			x = v - s.lastVal
-		}
-	} else {
-		if s.pos >= s.m {
-			panic("stream: Next past end")
-		}
-		x = s.popRef()
-		if s.stride {
-			v = s.lastVal + x
+func (s *lastNStream) bestCk(i int) (*lastNCk, int) {
+	lo, hi := 0, len(s.cks)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.cks[mid].pos <= i {
+			lo = mid + 1
 		} else {
-			v = x
+			hi = mid
 		}
 	}
-	s.encode(x)
-	if s.stride {
-		s.lastVal = v
+	rc := restoreCost(s.n/2 + 1)
+	var best *lastNCk
+	bestCost := int(^uint(0) >> 1)
+	if lo > 0 {
+		ck := &s.cks[lo-1]
+		if c := i - ck.pos + rc; c < bestCost {
+			best, bestCost = ck, c
+		}
 	}
-	s.pos++
+	if lo < len(s.cks) {
+		ck := &s.cks[lo]
+		if c := ck.pos - i + rc; c < bestCost {
+			best, bestCost = ck, c
+		}
+	}
+	return best, bestCost
+}
+
+// --- cursor ---
+
+type lastNCursor struct {
+	s            *lastNStream
+	pos          int
+	frLen, blLen uint64
+	tb           []uint32
+	lastVal      uint32
+}
+
+func (c *lastNCursor) Len() int { return c.s.m }
+func (c *lastNCursor) Pos() int { return c.pos }
+
+func (c *lastNCursor) Clone() Cursor {
+	cp := *c
+	cp.tb = append([]uint32(nil), c.tb...)
+	return &cp
+}
+
+func (c *lastNCursor) Next() uint32 {
+	if c.pos >= c.s.m {
+		panic("stream: Next past end")
+	}
+	// Consume the BL reference. Hit/miss of the reference equals hit/miss
+	// of the FR entry at this position (both searched the same table
+	// state), so frLen advances without reading the FR store.
+	var x uint32
+	if c.s.bl.top(c.blLen, 1) == 1 {
+		c.blLen--
+		i := int(c.s.bl.top(c.blLen, c.s.idxBits))
+		c.blLen -= uint64(c.s.idxBits)
+		x = c.tb[i]
+		copy(c.tb[1:i+1], c.tb[:i])
+		c.tb[0] = x
+		c.frLen += uint64(c.s.idxBits) + 1
+	} else {
+		c.blLen--
+		x = c.s.bl.top(c.blLen, 32)
+		c.blLen -= 32
+		copy(c.tb[1:], c.tb[:c.s.n-1])
+		c.tb[0] = x
+		c.frLen += 33
+	}
+	v := x
+	if c.s.stride {
+		v = c.lastVal + x
+		c.lastVal = v
+	}
+	c.pos++
 	return v
 }
 
-func (s *lastNStream) Next() uint32 { return s.stepForward(0, false) }
-
-// Clone implements Stream.
-func (s *lastNStream) Clone() Stream {
-	c := *s
-	c.tb = append([]uint32(nil), s.tb...)
-	c.fr = s.fr.clone()
-	c.bl = s.bl.clone()
-	return &c
-}
-
-func (s *lastNStream) Prev() uint32 {
-	if s.pos == 0 {
+func (c *lastNCursor) Prev() uint32 {
+	if c.pos == 0 {
 		panic("stream: Prev past start")
 	}
-	x := s.decode()
-	s.pushRef(x)
-	s.pos--
-	if s.stride {
-		v := s.lastVal
-		s.lastVal = v - x
+	// Pop the FR entry and undo its move-to-front mutation.
+	x := c.tb[0]
+	if c.s.fr.top(c.frLen, 1) == 1 {
+		c.frLen--
+		i := int(c.s.fr.top(c.frLen, c.s.idxBits))
+		c.frLen -= uint64(c.s.idxBits)
+		copy(c.tb[:i], c.tb[1:i+1])
+		c.tb[i] = x
+	} else {
+		c.frLen--
+		evicted := c.s.fr.top(c.frLen, 32)
+		c.frLen -= 32
+		copy(c.tb[:c.s.n-1], c.tb[1:])
+		c.tb[c.s.n-1] = evicted
+	}
+	// Advance blLen by the size of the BL reference to x against the
+	// restored table (what pushRef recorded on the way back).
+	ref := uint64(33)
+	for _, v := range c.tb {
+		if v == x {
+			ref = uint64(c.s.idxBits) + 1
+			break
+		}
+	}
+	c.blLen += ref
+	c.pos--
+	if c.s.stride {
+		v := c.lastVal
+		c.lastVal = v - x
 		return v
 	}
 	return x
 }
 
+func (c *lastNCursor) restore(ck *lastNCk) {
+	c.pos = ck.pos
+	c.frLen = ck.frLen
+	c.blLen = ck.blLen
+	copyOrZero(c.tb, ck.tb)
+	c.lastVal = ck.lastVal
+}
+
+func (c *lastNCursor) Seek(i int) {
+	if i < 0 || i > c.s.m {
+		panic(fmt.Sprintf("stream: seek to %d outside [0,%d]", i, c.s.m))
+	}
+	if i == c.pos {
+		noteSeek(false, 0)
+		return
+	}
+	walk := i - c.pos
+	if walk < 0 {
+		walk = -walk
+	}
+	restored := false
+	if ck, cost := c.s.bestCk(i); ck != nil && cost < walk {
+		c.restore(ck)
+		restored = true
+	}
+	steps := 0
+	for c.pos < i {
+		c.Next()
+		steps++
+	}
+	for c.pos > i {
+		c.Prev()
+		steps++
+	}
+	noteSeek(restored, steps)
+}
+
+// --- verbatim ---
+
 // verbatim stores the stream uncompressed; the selection fallback for
-// streams no predictor helps with.
+// streams no predictor helps with. It is trivially immutable.
 type verbatim struct {
 	vals []uint32
-	pos  int
 }
 
 func newVerbatim(vals []uint32) *verbatim {
@@ -176,31 +386,47 @@ func newVerbatim(vals []uint32) *verbatim {
 	return &verbatim{vals: cp}
 }
 
-func (v *verbatim) Len() int     { return len(v.vals) }
-func (v *verbatim) Pos() int     { return v.pos }
-func (v *verbatim) Name() string { return "verbatim" }
+func (v *verbatim) Len() int               { return len(v.vals) }
+func (v *verbatim) Name() string           { return "verbatim" }
+func (v *verbatim) SizeBits() uint64       { return uint64(len(v.vals))*32 + HeaderBits }
+func (v *verbatim) CheckpointBits() uint64 { return 0 }
 
-func (v *verbatim) SizeBits() uint64 { return uint64(len(v.vals))*32 + HeaderBits }
+func (v *verbatim) NewCursor() Cursor { return &verbatimCursor{v: v} }
 
-// Clone implements Stream (the payload is immutable and shared).
-func (v *verbatim) Clone() Stream {
-	c := *v
-	return &c
+type verbatimCursor struct {
+	v   *verbatim
+	pos int
 }
 
-func (v *verbatim) Next() uint32 {
-	if v.pos >= len(v.vals) {
+func (c *verbatimCursor) Len() int { return len(c.v.vals) }
+func (c *verbatimCursor) Pos() int { return c.pos }
+
+func (c *verbatimCursor) Clone() Cursor {
+	cp := *c
+	return &cp
+}
+
+func (c *verbatimCursor) Next() uint32 {
+	if c.pos >= len(c.v.vals) {
 		panic("stream: Next past end")
 	}
-	x := v.vals[v.pos]
-	v.pos++
+	x := c.v.vals[c.pos]
+	c.pos++
 	return x
 }
 
-func (v *verbatim) Prev() uint32 {
-	if v.pos == 0 {
+func (c *verbatimCursor) Prev() uint32 {
+	if c.pos == 0 {
 		panic("stream: Prev past start")
 	}
-	v.pos--
-	return v.vals[v.pos]
+	c.pos--
+	return c.v.vals[c.pos]
+}
+
+func (c *verbatimCursor) Seek(i int) {
+	if i < 0 || i > len(c.v.vals) {
+		panic(fmt.Sprintf("stream: seek to %d outside [0,%d]", i, len(c.v.vals)))
+	}
+	c.pos = i
+	noteSeek(false, 0)
 }

@@ -6,32 +6,14 @@ import (
 )
 
 // packed stores the stream with a fixed bit width — the smallest width that
-// holds the stream's maximum value. It is trivially bidirectional and is the
-// natural encoding for tier-1 pattern index sequences, so it participates in
-// method selection alongside the predictors.
+// holds the stream's maximum value. It is trivially bidirectional with O(1)
+// random access and is the natural encoding for tier-1 pattern index
+// sequences, so it participates in method selection alongside the
+// predictors. The payload is immutable; cursors carry only a position.
 type packed struct {
-	data  bitstackRO
+	data  bitvec
 	width uint
 	m     int
-	pos   int
-}
-
-// bitstackRO is a read-only bit vector with random access.
-type bitstackRO struct {
-	words []uint64
-}
-
-func (b *bitstackRO) get(start uint64, k uint) uint32 {
-	if k == 0 {
-		return 0
-	}
-	word := start >> 6
-	off := start & 63
-	v := b.words[word] >> off
-	if off+uint64(k) > 64 && word+1 < uint64(len(b.words)) {
-		v |= b.words[word+1] << (64 - off)
-	}
-	return uint32(v & (1<<k - 1))
 }
 
 func newPacked(vals []uint32) *packed {
@@ -47,37 +29,54 @@ func newPacked(vals []uint32) *packed {
 	for _, v := range vals {
 		bs.pushBits(v, width)
 	}
-	p.data.words = bs.words
+	p.data = bs.freeze()
 	return p
 }
 
-func (p *packed) Len() int     { return p.m }
-func (p *packed) Pos() int     { return p.pos }
-func (p *packed) Name() string { return fmt.Sprintf("packed%d", p.width) }
+func (p *packed) Len() int               { return p.m }
+func (p *packed) Name() string           { return fmt.Sprintf("packed%d", p.width) }
+func (p *packed) CheckpointBits() uint64 { return 0 }
 
 func (p *packed) SizeBits() uint64 {
 	return uint64(p.m)*uint64(p.width) + HeaderBits
 }
 
-// Clone implements Stream (the packed payload is immutable and shared).
-func (p *packed) Clone() Stream {
-	c := *p
-	return &c
+func (p *packed) NewCursor() Cursor { return &packedCursor{p: p} }
+
+type packedCursor struct {
+	p   *packed
+	pos int
 }
 
-func (p *packed) Next() uint32 {
-	if p.pos >= p.m {
+func (c *packedCursor) Len() int { return c.p.m }
+func (c *packedCursor) Pos() int { return c.pos }
+
+func (c *packedCursor) Clone() Cursor {
+	cp := *c
+	return &cp
+}
+
+func (c *packedCursor) Next() uint32 {
+	if c.pos >= c.p.m {
 		panic("stream: Next past end")
 	}
-	v := p.data.get(uint64(p.pos)*uint64(p.width), p.width)
-	p.pos++
+	v := c.p.data.get(uint64(c.pos)*uint64(c.p.width), c.p.width)
+	c.pos++
 	return v
 }
 
-func (p *packed) Prev() uint32 {
-	if p.pos == 0 {
+func (c *packedCursor) Prev() uint32 {
+	if c.pos == 0 {
 		panic("stream: Prev past start")
 	}
-	p.pos--
-	return p.data.get(uint64(p.pos)*uint64(p.width), p.width)
+	c.pos--
+	return c.p.data.get(uint64(c.pos)*uint64(c.p.width), c.p.width)
+}
+
+func (c *packedCursor) Seek(i int) {
+	if i < 0 || i > c.p.m {
+		panic(fmt.Sprintf("stream: seek to %d outside [0,%d]", i, c.p.m))
+	}
+	c.pos = i
+	noteSeek(false, 0)
 }

@@ -8,8 +8,13 @@ import (
 )
 
 // Save writes the stream's complete compressed state to w, so a later Load
-// resumes traversal without recompressing. The cursor position is part of
-// the state. Callers that save many streams should pass a buffered writer.
+// resumes traversal without recompressing. The state written is the
+// canonical position-0 form — FR empty, BL full, predictor tables as they
+// stand at the stream start (all zeros except last-n-free BL table) — which
+// is byte-identical to what earlier versions wrote for a freshly compressed
+// stream, so the format is unchanged. Checkpoints are not serialized; Load
+// rebuilds them. Callers that save many streams should pass a buffered
+// writer.
 func Save(w io.Writer, s Stream) error {
 	switch t := s.(type) {
 	case *verbatim:
@@ -31,12 +36,13 @@ func Save(w io.Writer, s Stream) error {
 // count, and structural field is validated (and allocations are bounded by
 // the bytes actually present), malformed input returns an error, and any
 // residual decoder panic is converted to an error rather than escaping.
-// The panics that remain on Stream itself — Next past the end, Prev past
-// the start, SeekTo out of range — are programmer-error assertions on
-// cursor discipline, not input validation, and are unchanged. A stream
-// whose entry stores were forged to pass structural validation can still
-// panic when stepped; callers loading from media without an outer
-// integrity check can certify traversal first with WalkCheck.
+// After structural validation, Load normalizes the state by traversing the
+// whole stream (to the start, to the end, and back) — rebuilding the seek
+// checkpoints and certifying that both entry stores decode over the full
+// length. Entry stores forged to pass structural validation therefore fail
+// here, at Load, not in a later query. The panics that remain on Cursor
+// itself — Next past the end, Prev past the start, Seek out of range — are
+// programmer-error assertions on cursor discipline, not input validation.
 func Load(r io.Reader) (s Stream, err error) {
 	defer func() {
 		if p := recover(); p != nil {
@@ -60,21 +66,24 @@ func Load(r io.Reader) (s Stream, err error) {
 	return nil, fmt.Errorf("stream: unknown stream tag %d", tag)
 }
 
-// WalkCheck certifies that a deserialized stream can be traversed over its
-// whole length in both directions without panicking: it walks a clone from
-// the restored cursor to the start and then to the end under a recover
-// boundary, so both entry stores are fully decoded. Structurally valid but
-// forged entry stores fail here instead of panicking in a later query.
-// The original's cursor is untouched.
+// WalkCheck certifies that a stream can be traversed over its whole length
+// in both directions without panicking: it walks a fresh cursor to the end
+// and back under a recover boundary, so both entry stores are fully
+// decoded. Load already performs this certification during normalization;
+// WalkCheck remains for callers holding streams from other sources.
 func WalkCheck(s Stream) (err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("stream: corrupt stream state: %v", p)
 		}
 	}()
-	c := s.Clone()
-	SeekStart(c)
-	SeekEnd(c)
+	c := s.NewCursor()
+	for c.Pos() < c.Len() {
+		c.Next()
+	}
+	for c.Pos() > 0 {
+		c.Prev()
+	}
 	return nil
 }
 
@@ -103,6 +112,23 @@ func writeU32s(w io.Writer, s []uint32) error {
 		return err
 	}
 	return binary.Write(w, binary.LittleEndian, s)
+}
+
+// writeZeroU32s writes a length-prefixed all-zero sequence (the canonical
+// serialized form of a predictor table at position 0).
+func writeZeroU32s(w io.Writer, n int) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(n)); err != nil {
+		return err
+	}
+	zeros := make([]uint32, minInt(n, allocChunk))
+	for n > 0 {
+		c := minInt(n, allocChunk)
+		if err := binary.Write(w, binary.LittleEndian, zeros[:c]); err != nil {
+			return err
+		}
+		n -= c
+	}
+	return nil
 }
 
 // allocChunk bounds how many elements a single deserialization step
@@ -142,6 +168,23 @@ func writeBits(w io.Writer, b *bitstack) error {
 		return err
 	}
 	return binary.Write(w, binary.LittleEndian, words)
+}
+
+// writeBitvec writes an immutable bit vector in the bitstack wire form.
+func writeBitvec(w io.Writer, v *bitvec) error {
+	if err := binary.Write(w, binary.LittleEndian, v.n); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(v.words))); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, v.words)
+}
+
+// writeEmptyBits writes a zero-length bit vector (the canonical FR store at
+// position 0).
+func writeEmptyBits(w io.Writer) error {
+	return writeAll(w, uint64(0), uint32(0))
 }
 
 func readBits(r io.Reader) (bitstack, error) {
@@ -184,7 +227,7 @@ func (v *verbatim) save(w io.Writer) error {
 	if err := writeU32s(w, v.vals); err != nil {
 		return err
 	}
-	return writeAll(w, uint32(v.pos))
+	return writeAll(w, uint32(0)) // canonical cursor-free position
 }
 
 func loadVerbatim(r io.Reader) (*verbatim, error) {
@@ -199,11 +242,11 @@ func loadVerbatim(r io.Reader) (*verbatim, error) {
 	if int(pos) > len(vals) {
 		return nil, fmt.Errorf("stream: verbatim cursor %d outside [0,%d]", pos, len(vals))
 	}
-	return &verbatim{vals: vals, pos: int(pos)}, nil
+	return &verbatim{vals: vals}, nil
 }
 
 func (p *packed) save(w io.Writer) error {
-	if err := writeAll(w, uint8(KindPacked), uint32(p.width), uint32(p.m), uint32(p.pos)); err != nil {
+	if err := writeAll(w, uint8(KindPacked), uint32(p.width), uint32(p.m), uint32(0)); err != nil {
 		return err
 	}
 	if err := binary.Write(w, binary.LittleEndian, uint32(len(p.data.words))); err != nil {
@@ -229,16 +272,17 @@ func loadPacked(r io.Reader) (*packed, error) {
 	if need := (uint64(m)*uint64(width) + 63) / 64; uint64(nw) < need {
 		return nil, fmt.Errorf("stream: packed payload has %d words, %d values of width %d need %d", nw, m, width, need)
 	}
-	p := &packed{width: uint(width), m: int(m), pos: int(pos)}
-	p.data.words = make([]uint64, 0, minInt(int(nw), allocChunk))
-	for len(p.data.words) < int(nw) {
-		c := minInt(int(nw)-len(p.data.words), allocChunk)
-		old := len(p.data.words)
-		p.data.words = append(p.data.words, make([]uint64, c)...)
-		if err := binary.Read(r, binary.LittleEndian, p.data.words[old:]); err != nil {
+	p := &packed{width: uint(width), m: int(m)}
+	words := make([]uint64, 0, minInt(int(nw), allocChunk))
+	for len(words) < int(nw) {
+		c := minInt(int(nw)-len(words), allocChunk)
+		old := len(words)
+		words = append(words, make([]uint64, c)...)
+		if err := binary.Read(r, binary.LittleEndian, words[old:]); err != nil {
 			return nil, err
 		}
 	}
+	p.data = bitvec{words: words, n: uint64(m) * uint64(width)}
 	return p, nil
 }
 
@@ -248,18 +292,23 @@ func (s *fcmStream) save(w io.Writer) error {
 		kind = KindDFCM
 	}
 	if err := writeAll(w, uint8(kind), uint32(s.m), uint32(s.order),
-		uint32(s.tbBits), uint32(s.pos), s.size); err != nil {
+		uint32(s.tbBits), uint32(0), s.size); err != nil {
 		return err
 	}
-	for _, tbl := range [][]uint32{s.frtb, s.bltb, s.win} {
-		if err := writeU32s(w, tbl); err != nil {
-			return err
-		}
-	}
-	if err := writeBits(w, &s.fr); err != nil {
+	// Position-0 state: FR table and window are canonically all zeros.
+	if err := writeZeroU32s(w, 1<<s.tbBits); err != nil {
 		return err
 	}
-	return writeBits(w, &s.bl)
+	if err := writeU32s(w, s.bltb0); err != nil {
+		return err
+	}
+	if err := writeZeroU32s(w, s.winLen()); err != nil {
+		return err
+	}
+	if err := writeEmptyBits(w); err != nil {
+		return err
+	}
+	return writeBitvec(w, &s.bl)
 }
 
 func loadFCM(r io.Reader, kind Kind) (*fcmStream, error) {
@@ -277,39 +326,55 @@ func loadFCM(r io.Reader, kind Kind) (*fcmStream, error) {
 	if pos > m {
 		return nil, fmt.Errorf("stream: fcm cursor %d outside [0,%d]", pos, m)
 	}
-	s := &fcmStream{m: int(m), order: int(order), tbBits: uint(tbBits), pos: int(pos), size: size}
+	e := &fcmEnc{m: int(m), order: int(order), tbBits: uint(tbBits), pos: int(pos)}
 	var err error
-	if s.frtb, err = readU32s(r); err != nil {
+	if e.frtb, err = readU32s(r); err != nil {
 		return nil, err
 	}
-	if s.bltb, err = readU32s(r); err != nil {
+	if e.bltb, err = readU32s(r); err != nil {
 		return nil, err
 	}
-	if s.win, err = readU32s(r); err != nil {
+	if e.win, err = readU32s(r); err != nil {
 		return nil, err
 	}
 	// The predictor tables are indexed by tbBits-masked hashes and the
 	// window length encodes the stride flag; any mismatch would index out
 	// of bounds when the stream is stepped.
-	if len(s.frtb) != 1<<s.tbBits || len(s.bltb) != 1<<s.tbBits {
-		return nil, fmt.Errorf("stream: fcm tables sized %d/%d, want %d", len(s.frtb), len(s.bltb), 1<<s.tbBits)
+	if len(e.frtb) != 1<<e.tbBits || len(e.bltb) != 1<<e.tbBits {
+		return nil, fmt.Errorf("stream: fcm tables sized %d/%d, want %d", len(e.frtb), len(e.bltb), 1<<e.tbBits)
 	}
-	wantWin := s.order
+	wantWin := e.order
 	if kind == KindDFCM {
-		wantWin = s.order + 1
+		wantWin = e.order + 1
 	}
-	if len(s.win) != wantWin {
+	if len(e.win) != wantWin {
 		return nil, fmt.Errorf("stream: fcm window has %d values, %v of order %d needs %d",
-			len(s.win), Spec{kind, s.order}, s.order, wantWin)
+			len(e.win), Spec{kind, e.order}, e.order, wantWin)
 	}
-	s.stride = kind == KindDFCM
-	if s.fr, err = readBits(r); err != nil {
+	e.stride = kind == KindDFCM
+	if e.fr, err = readBits(r); err != nil {
 		return nil, err
 	}
-	if s.bl, err = readBits(r); err != nil {
+	if e.bl, err = readBits(r); err != nil {
 		return nil, err
 	}
-	return s, nil
+	// Normalize: walk to the start (FR must drain exactly), to the end (BL
+	// must drain exactly), then freeze — rebuilding checkpoints and
+	// certifying full traversal. Decoding panics on forged stores are
+	// converted to errors by Load's recover boundary.
+	for e.pos > 0 {
+		e.prev()
+	}
+	if !e.fr.empty() {
+		return nil, fmt.Errorf("stream: fcm FR store holds %d bits beyond the cursor", e.fr.bits())
+	}
+	for e.pos < e.m {
+		e.next()
+	}
+	if !e.bl.empty() {
+		return nil, fmt.Errorf("stream: fcm BL store holds %d bits beyond the stream", e.bl.bits())
+	}
+	return e.finish(0), nil
 }
 
 func (s *lastNStream) save(w io.Writer) error {
@@ -318,16 +383,18 @@ func (s *lastNStream) save(w io.Writer) error {
 		kind = KindLastNStride
 	}
 	if err := writeAll(w, uint8(kind), uint8(b2u8(s.stride)), uint32(s.m),
-		uint32(s.n), uint32(s.idxBits), uint32(s.pos), s.lastVal, s.size); err != nil {
+		uint32(s.n), uint32(s.idxBits), uint32(0), uint32(0), s.size); err != nil {
 		return err
 	}
-	if err := writeU32s(w, s.tb); err != nil {
+	// Position-0 state: the move-to-front table is canonically all zeros
+	// and lastVal is 0 (written above).
+	if err := writeZeroU32s(w, s.n); err != nil {
 		return err
 	}
-	if err := writeBits(w, &s.fr); err != nil {
+	if err := writeEmptyBits(w); err != nil {
 		return err
 	}
-	return writeBits(w, &s.bl)
+	return writeBitvec(w, &s.bl)
 }
 
 func loadLastN(r io.Reader, kind Kind) (*lastNStream, error) {
@@ -350,26 +417,39 @@ func loadLastN(r io.Reader, kind Kind) (*lastNStream, error) {
 	if pos > m {
 		return nil, fmt.Errorf("stream: last-n cursor %d outside [0,%d]", pos, m)
 	}
-	s := &lastNStream{
+	e := &lastNEnc{
 		m: int(m), n: int(n), idxBits: uint(idxBits), pos: int(pos),
-		lastVal: lastVal, size: size, stride: strideB == 1,
+		lastVal: lastVal, stride: strideB == 1,
 	}
 	var err error
-	if s.tb, err = readU32s(r); err != nil {
+	if e.tb, err = readU32s(r); err != nil {
 		return nil, err
 	}
 	// Hit entries index tb through idxBits-wide values; a short table would
 	// index out of bounds when the stream is stepped.
-	if len(s.tb) != int(n) {
-		return nil, fmt.Errorf("stream: last-n table has %d entries, want %d", len(s.tb), n)
+	if len(e.tb) != int(n) {
+		return nil, fmt.Errorf("stream: last-n table has %d entries, want %d", len(e.tb), n)
 	}
-	if s.fr, err = readBits(r); err != nil {
+	if e.fr, err = readBits(r); err != nil {
 		return nil, err
 	}
-	if s.bl, err = readBits(r); err != nil {
+	if e.bl, err = readBits(r); err != nil {
 		return nil, err
 	}
-	return s, nil
+	// Normalize exactly as loadFCM does.
+	for e.pos > 0 {
+		e.prev()
+	}
+	if !e.fr.empty() {
+		return nil, fmt.Errorf("stream: last-n FR store holds %d bits beyond the cursor", e.fr.bits())
+	}
+	for e.pos < e.m {
+		e.next()
+	}
+	if !e.bl.empty() {
+		return nil, fmt.Errorf("stream: last-n BL store holds %d bits beyond the stream", e.bl.bits())
+	}
+	return e.finish(0), nil
 }
 
 func b2u8(b bool) uint8 {

@@ -14,34 +14,49 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 	for _, spec := range Candidates {
 		s := Compress(vals, spec)
-		SeekTo(s, 400) // arbitrary mid-stream cursor
 		var buf bytes.Buffer
 		if err := Save(&buf, s); err != nil {
 			t.Fatalf("%s: Save: %v", spec, err)
 		}
+		saved := append([]byte(nil), buf.Bytes()...)
 		s2, err := Load(&buf)
 		if err != nil {
 			t.Fatalf("%s: Load: %v", spec, err)
 		}
-		if s2.Len() != len(vals) || s2.Pos() != 400 {
-			t.Fatalf("%s: len/pos = %d/%d", spec, s2.Len(), s2.Pos())
+		if s2.Len() != len(vals) {
+			t.Fatalf("%s: len = %d", spec, s2.Len())
 		}
 		if s2.Name() != s.Name() {
 			t.Fatalf("%s: name %s != %s", spec, s2.Name(), s.Name())
 		}
-		if s2.SizeBits() != s.SizeBits() && spec.Kind != KindVerbatim && spec.Kind != KindPacked {
+		if s2.SizeBits() != s.SizeBits() {
 			t.Fatalf("%s: size %d != %d", spec, s2.SizeBits(), s.SizeBits())
 		}
-		// Traverse both directions from the restored cursor.
-		for i := 400; i < len(vals); i++ {
-			if got := s2.Next(); got != vals[i] {
+		// Full traversal in both directions through a cursor, plus a
+		// checkpointed seek into the middle.
+		c := s2.NewCursor()
+		for i := 0; i < len(vals); i++ {
+			if got := c.Next(); got != vals[i] {
 				t.Fatalf("%s: fwd val %d = %d, want %d", spec, i, got, vals[i])
 			}
 		}
 		for i := len(vals) - 1; i >= 0; i-- {
-			if got := s2.Prev(); got != vals[i] {
+			if got := c.Prev(); got != vals[i] {
 				t.Fatalf("%s: bwd val %d = %d, want %d", spec, i, got, vals[i])
 			}
+		}
+		c.Seek(400)
+		if got := c.Next(); got != vals[400] {
+			t.Fatalf("%s: Seek(400)+Next = %d, want %d", spec, got, vals[400])
+		}
+		// Save is canonical: re-saving the loaded stream must reproduce the
+		// bytes exactly (the fixed point the container format relies on).
+		var buf2 bytes.Buffer
+		if err := Save(&buf2, s2); err != nil {
+			t.Fatalf("%s: re-Save: %v", spec, err)
+		}
+		if !bytes.Equal(saved, buf2.Bytes()) {
+			t.Fatalf("%s: Save→Load→Save not a byte fixed point (%d vs %d bytes)", spec, len(saved), buf2.Len())
 		}
 	}
 }
@@ -80,7 +95,7 @@ func TestLoadBadTag(t *testing.T) {
 }
 
 // FuzzLoad ensures arbitrary bytes never panic the stream deserializer, and
-// that WalkCheck's certification is sound: a stream it passes traverses its
+// that Load's normalization is sound: a stream it accepts traverses its
 // whole length in both directions without panicking.
 func FuzzLoad(f *testing.F) {
 	vals := []uint32{1, 5, 5, 9, 1, 5}
@@ -95,22 +110,21 @@ func FuzzLoad(f *testing.F) {
 		if err != nil {
 			return
 		}
-		// Structurally valid but forged entry stores are allowed to fail
-		// certification — that is WalkCheck's purpose.
 		if err := WalkCheck(s); err != nil {
-			return
+			t.Fatalf("Load accepted a stream WalkCheck rejects: %v", err)
 		}
-		// Certified: traversal must now be panic-free over the full length.
+		// Accepted: traversal must now be panic-free over the full length.
 		defer func() {
 			if r := recover(); r != nil {
-				t.Fatalf("traversal of certified stream panicked: %v", r)
+				t.Fatalf("traversal of loaded stream panicked: %v", r)
 			}
 		}()
-		for s.Pos() < s.Len() {
-			s.Next()
+		c := s.NewCursor()
+		for c.Pos() < c.Len() {
+			c.Next()
 		}
-		for s.Pos() > 0 {
-			s.Prev()
+		for c.Pos() > 0 {
+			c.Prev()
 		}
 	})
 }
@@ -201,11 +215,11 @@ func TestLoadErrLastN(t *testing.T) {
 	}
 }
 
-// TestWalkCheckCatchesForgedEntries hand-crafts an FCM state that passes
-// every structural check but whose entry stores are empty: Load must accept
-// it (the structure is self-consistent), and WalkCheck must reject it
-// instead of letting a later query panic on bitstack underflow.
-func TestWalkCheckCatchesForgedEntries(t *testing.T) {
+// TestLoadRejectsForgedEntries hand-crafts an FCM state that passes every
+// structural check but whose entry stores are empty: Load's normalizing
+// traversal must reject it outright (it used to be accepted, relying on a
+// separate WalkCheck pass to catch the forgery before a query panicked).
+func TestLoadRejectsForgedEntries(t *testing.T) {
 	var buf bytes.Buffer
 	writeAll(&buf, uint8(KindFCM),
 		uint32(2), // m: claims two values
@@ -213,32 +227,79 @@ func TestWalkCheckCatchesForgedEntries(t *testing.T) {
 		uint32(1), // tbBits
 		uint32(0), // pos
 		uint64(0)) // size
-	writeU32s(&buf, []uint32{0, 0}) // frtb (1<<tbBits)
-	writeU32s(&buf, []uint32{0, 0}) // bltb
-	writeU32s(&buf, []uint32{0})    // win (order entries)
+	writeU32s(&buf, []uint32{0, 0})      // frtb (1<<tbBits)
+	writeU32s(&buf, []uint32{0, 0})      // bltb
+	writeU32s(&buf, []uint32{0})         // win (order entries)
 	writeAll(&buf, uint64(0), uint32(0)) // fr bitstack: 0 bits, 0 words
 	writeAll(&buf, uint64(0), uint32(0)) // bl bitstack: empty too
-	s, err := Load(bytes.NewReader(buf.Bytes()))
-	if err != nil {
-		t.Fatalf("structurally valid forged stream rejected at Load: %v", err)
+	if _, err := Load(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("Load accepted a stream with empty entry stores")
 	}
-	if err := WalkCheck(s); err == nil {
-		t.Fatal("WalkCheck certified a stream with empty entry stores")
+}
+
+// TestLoadNormalizesMidStreamCursor feeds Load a state saved at an interior
+// position (as older writers could produce) and checks it is accepted and
+// reads back the full sequence. The state is produced by running the
+// encoder forward only part way.
+func TestLoadNormalizesMidStreamCursor(t *testing.T) {
+	vals := []uint32{4, 8, 15, 16, 23, 42, 4, 8}
+	for _, spec := range []Spec{{KindFCM, 1}, {KindDFCM, 1}, {KindLastN, 2}, {KindLastNStride, 2}} {
+		// Build an encoder, walk it to an interior position, and serialize
+		// that state by hand in the wire layout.
+		var buf bytes.Buffer
+		switch spec.Kind {
+		case KindFCM, KindDFCM:
+			enc := newFCMEnc(vals, spec.Order, spec.Kind == KindDFCM)
+			for enc.pos > 3 {
+				enc.prev()
+			}
+			kind := KindFCM
+			if enc.stride {
+				kind = KindDFCM
+			}
+			writeAll(&buf, uint8(kind), uint32(enc.m), uint32(enc.order),
+				uint32(enc.tbBits), uint32(enc.pos), uint64(0))
+			writeU32s(&buf, enc.frtb)
+			writeU32s(&buf, enc.bltb)
+			writeU32s(&buf, enc.win)
+			writeBits(&buf, &enc.fr)
+			writeBits(&buf, &enc.bl)
+		default:
+			enc := newLastNEnc(vals, spec.Order, spec.Kind == KindLastNStride)
+			for enc.pos > 3 {
+				enc.prev()
+			}
+			kind := KindLastN
+			if enc.stride {
+				kind = KindLastNStride
+			}
+			writeAll(&buf, uint8(kind), uint8(b2u8(enc.stride)), uint32(enc.m),
+				uint32(enc.n), uint32(enc.idxBits), uint32(enc.pos), enc.lastVal, uint64(0))
+			writeU32s(&buf, enc.tb)
+			writeBits(&buf, &enc.fr)
+			writeBits(&buf, &enc.bl)
+		}
+		s, err := Load(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: Load of mid-stream state: %v", spec, err)
+		}
+		got := Drain(s)
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Fatalf("%s: normalized stream value %d = %d, want %d", spec, i, got[i], vals[i])
+			}
+		}
 	}
 }
 
 // TestWalkCheckPassesValid certifies every candidate encoding of a real
-// sequence and checks the original cursor is untouched.
+// sequence.
 func TestWalkCheckPassesValid(t *testing.T) {
 	vals := []uint32{1, 5, 5, 9, 1, 5, 2, 2, 4, 4}
 	for _, spec := range Candidates {
 		s := Compress(vals, spec)
-		SeekTo(s, 3)
 		if err := WalkCheck(s); err != nil {
 			t.Fatalf("%s: WalkCheck rejected a valid stream: %v", spec, err)
-		}
-		if s.Pos() != 3 {
-			t.Fatalf("%s: WalkCheck moved the cursor to %d", spec, s.Pos())
 		}
 	}
 }

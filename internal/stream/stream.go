@@ -6,29 +6,62 @@
 //
 // A compressed stream is conceptually split into three parts (paper §4):
 //
-//	[FR 1..c] [window c..c+n-1] [BL c+n..m+n-1]
+//	[FR 1..c] [window] [BL c+1..m]
 //
 // FR holds entries forward-compressed with *right* context, BL entries
 // compressed with *left* context, and the window holds n uncompressed
-// values. Stepping the cursor converts one FR entry into a BL entry or vice
+// values. Stepping a cursor converts one FR entry into a BL entry or vice
 // versa. The crucial trick making this exactly reversible: a miss entry
 // stores the predictor table's *evicted* content while the table keeps the
 // actual value, so every table mutation carries its own undo record, and the
-// state at a given cursor is identical no matter how it was reached.
+// cursor state at a given position is identical no matter how it was
+// reached.
+//
+// That path independence is what makes the access layer concurrency-safe:
+// a Stream is an immutable artifact holding both entry stores in full (the
+// FR store as it stands at position Len, the BL store as it stands at
+// position 0) plus periodic state checkpoints, and every traversal happens
+// through a detached Cursor that owns private predictor-table state. Any
+// number of cursors can read one stream from any number of goroutines.
 //
 // Methods (paper's Selection step): FCM, differential FCM, last-n, and
-// last-n stride, each in three context/table sizes, plus a verbatim
-// fallback. CompressBest picks, per stream, the method that performs best
-// on a prefix.
+// last-n stride, each in three context/table sizes, plus packed and a
+// verbatim fallback. CompressBest picks, per stream, the method that
+// performs best on a prefix.
 package stream
 
 import "fmt"
 
-// Stream is a bidirectionally traversable compressed sequence of 32-bit
-// values. The cursor sits between elements: Pos()==p means Next() returns
-// element p. A Stream is not safe for concurrent use.
+// Stream is an immutable, bidirectionally traversable compressed sequence
+// of 32-bit values. A Stream carries no cursor state of its own: all
+// traversal happens through detached cursors obtained from NewCursor. A
+// frozen Stream is safe for concurrent use by any number of cursors.
 type Stream interface {
 	// Len returns the number of values in the stream.
+	Len() int
+	// SizeBits returns the storage size of the compressed stream in bits,
+	// including predictor tables, the uncompressed window, and a fixed
+	// header, as of construction time. Checkpoints are excluded (see
+	// CheckpointBits).
+	SizeBits() uint64
+	// CheckpointBits returns the extra storage spent on seek checkpoints
+	// (position/state snapshots recorded every K values), reported
+	// separately from SizeBits because checkpoints are an access-time
+	// accelerator, not part of the paper's compressed representation.
+	CheckpointBits() uint64
+	// Name identifies the compression method.
+	Name() string
+	// NewCursor returns a fresh independent cursor positioned at 0. Cursors
+	// from one stream never share mutable state.
+	NewCursor() Cursor
+}
+
+// Cursor is a detached read cursor over a Stream. The cursor sits between
+// elements: Pos()==p means Next() returns element p. A Cursor owns its
+// predictor-table reconstruction and is not safe for concurrent use, but
+// distinct cursors over one stream are fully independent.
+type Cursor interface {
+	// Len returns the underlying stream's length.
 	Len() int
 	// Pos returns the cursor position in [0, Len()].
 	Pos() int
@@ -38,60 +71,42 @@ type Stream interface {
 	// Prev retreats the cursor and returns the value at the new position.
 	// It panics if the cursor is at the start.
 	Prev() uint32
-	// SizeBits returns the storage size of the compressed stream in bits,
-	// including predictor tables, the uncompressed window, and a fixed
-	// header, as of construction time.
-	SizeBits() uint64
-	// Name identifies the compression method.
-	Name() string
-	// Clone returns an independent cursor over the same stream: the copy
-	// can be stepped without affecting the original (tables and entry
-	// stores are duplicated; for packed/verbatim the payload is shared).
-	Clone() Stream
+	// Seek positions the cursor at p, restoring predictor state from the
+	// nearest checkpoint (or the canonical start/end state) and stepping
+	// the remainder, so the cost is O(checkpoint spacing) rather than
+	// O(|p - Pos()|). It panics if p is outside [0, Len()].
+	Seek(p int)
+	// Clone returns an independent copy of this cursor at the same
+	// position.
+	Clone() Cursor
 }
 
 // HeaderBits is the fixed per-stream metadata charge (method id + length).
 const HeaderBits = 64
 
-// SeekStart rewinds s to position 0 by stepping backward.
-func SeekStart(s Stream) {
-	for s.Pos() > 0 {
-		s.Prev()
-	}
-}
+// SeekStart rewinds c to position 0.
+func SeekStart(c Cursor) { c.Seek(0) }
 
-// SeekEnd advances s to position Len by stepping forward.
-func SeekEnd(s Stream) {
-	for s.Pos() < s.Len() {
-		s.Next()
-	}
-}
+// SeekEnd advances c to position Len.
+func SeekEnd(c Cursor) { c.Seek(c.Len()) }
 
 // SeekTo positions the cursor at p.
-func SeekTo(s Stream, p int) {
-	if p < 0 || p > s.Len() {
-		panic(fmt.Sprintf("stream: seek to %d outside [0,%d]", p, s.Len()))
-	}
-	for s.Pos() > p {
-		s.Prev()
-	}
-	for s.Pos() < p {
-		s.Next()
-	}
-}
+func SeekTo(c Cursor, p int) { c.Seek(p) }
 
-// At reads the value at index i (cursor ends at i+1).
+// At reads the value at index i through a throwaway cursor. Callers reading
+// many positions should hold their own cursor and Seek it.
 func At(s Stream, i int) uint32 {
-	SeekTo(s, i)
-	return s.Next()
+	c := s.NewCursor()
+	c.Seek(i)
+	return c.Next()
 }
 
-// Drain returns all values, leaving the cursor at the end.
+// Drain returns all values of s in order.
 func Drain(s Stream) []uint32 {
-	SeekStart(s)
+	c := s.NewCursor()
 	out := make([]uint32, 0, s.Len())
-	for s.Pos() < s.Len() {
-		out = append(out, s.Next())
+	for c.Pos() < c.Len() {
+		out = append(out, c.Next())
 	}
 	return out
 }
@@ -138,28 +153,30 @@ func (s Spec) String() string {
 	return "unknown"
 }
 
-// Compress builds a compressed stream from vals with the given method.
-// The cursor is left at position 0.
-func Compress(vals []uint32, spec Spec) Stream {
-	var s Stream
+// Compress builds an immutable compressed stream from vals with the given
+// method, recording seek checkpoints at the default spacing policy.
+func Compress(vals []uint32, spec Spec) Stream { return CompressK(vals, spec, 0) }
+
+// CompressK is Compress with explicit checkpoint spacing k: k == 0 applies
+// the automatic policy (see DefaultCheckpointK), k < 0 records no interior
+// checkpoints, and k > 0 records one checkpoint every k values.
+func CompressK(vals []uint32, spec Spec, k int) Stream {
 	switch spec.Kind {
 	case KindVerbatim:
-		s = newVerbatim(vals)
+		return newVerbatim(vals)
 	case KindFCM:
-		s = newFCM(vals, spec.Order, false)
+		return newFCMEnc(vals, spec.Order, false).finish(k)
 	case KindDFCM:
-		s = newFCM(vals, spec.Order, true)
+		return newFCMEnc(vals, spec.Order, true).finish(k)
 	case KindLastN:
-		s = newLastN(vals, spec.Order, false)
+		return newLastNEnc(vals, spec.Order, false).finish(k)
 	case KindLastNStride:
-		s = newLastN(vals, spec.Order, true)
+		return newLastNEnc(vals, spec.Order, true).finish(k)
 	case KindPacked:
-		s = newPacked(vals)
+		return newPacked(vals)
 	default:
 		panic(fmt.Sprintf("stream: unknown kind %d", spec.Kind))
 	}
-	SeekStart(s)
-	return s
 }
 
 // Candidates is the method pool used by CompressBest: the paper's four
@@ -180,7 +197,7 @@ const SelectionPrefix = 4096
 
 // CompressBest compresses vals with every candidate on a prefix, picks the
 // method with the smallest compressed size, and compresses the full stream
-// with it. It returns the stream positioned at 0.
+// with it.
 //
 // The selection phase sizes candidates with pooled scratch state instead of
 // building and discarding thirteen streams; callers running many

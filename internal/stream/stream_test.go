@@ -2,6 +2,7 @@ package stream
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -71,22 +72,22 @@ func TestRoundTripAllMethodsAllDatasets(t *testing.T) {
 func TestBackwardTraversalMatches(t *testing.T) {
 	for name, vals := range datasets() {
 		for _, spec := range allSpecs() {
-			s := Compress(vals, spec)
-			SeekEnd(s)
+			c := Compress(vals, spec).NewCursor()
+			SeekEnd(c)
 			for i := len(vals) - 1; i >= 0; i-- {
-				got := s.Prev()
+				got := c.Prev()
 				if got != vals[i] {
 					t.Fatalf("%s/%s: backward value %d = %d, want %d", name, spec, i, got, vals[i])
 				}
 			}
-			if s.Pos() != 0 {
-				t.Fatalf("%s/%s: Pos after full rewind = %d", name, spec, s.Pos())
+			if c.Pos() != 0 {
+				t.Fatalf("%s/%s: Pos after full rewind = %d", name, spec, c.Pos())
 			}
 		}
 	}
 }
 
-// TestRandomWalkStateIndependence drives the cursor in a random walk and
+// TestRandomWalkStateIndependence drives a cursor in a random walk and
 // checks every step's value against the raw stream — this exercises the
 // paper's key claim that the sequence of states is direction independent.
 func TestRandomWalkStateIndependence(t *testing.T) {
@@ -96,7 +97,7 @@ func TestRandomWalkStateIndependence(t *testing.T) {
 			continue
 		}
 		for _, spec := range allSpecs() {
-			s := Compress(vals, spec)
+			c := Compress(vals, spec).NewCursor()
 			pos := 0
 			for step := 0; step < 2000; step++ {
 				fwd := rng.Intn(2) == 0
@@ -107,23 +108,113 @@ func TestRandomWalkStateIndependence(t *testing.T) {
 					fwd = false
 				}
 				if fwd {
-					got := s.Next()
+					got := c.Next()
 					if got != vals[pos] {
 						t.Fatalf("%s/%s: step %d fwd at %d = %d, want %d", name, spec, step, pos, got, vals[pos])
 					}
 					pos++
 				} else {
-					got := s.Prev()
+					got := c.Prev()
 					pos--
 					if got != vals[pos] {
 						t.Fatalf("%s/%s: step %d bwd at %d = %d, want %d", name, spec, step, pos, got, vals[pos])
 					}
 				}
-				if s.Pos() != pos {
-					t.Fatalf("%s/%s: Pos = %d, want %d", name, spec, s.Pos(), pos)
+				if c.Pos() != pos {
+					t.Fatalf("%s/%s: Pos = %d, want %d", name, spec, c.Pos(), pos)
 				}
 			}
 		}
+	}
+}
+
+// TestSeekMatchesLinearWalk is the checkpointed-access property test: for
+// every method/spec combination and every checkpoint spacing mode, a
+// cursor that Seeks to a random position must read exactly what a pure
+// linear walk from position 0 reads — and a second untouched cursor must
+// stay byte-identical in behaviour (seeking must not leak state between
+// cursors).
+func TestSeekMatchesLinearWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for name, vals := range datasets() {
+		if len(vals) == 0 {
+			continue
+		}
+		for _, spec := range allSpecs() {
+			// k=61: odd spacing that exercises interior checkpoints on every
+			// dataset; k=-1: no interior checkpoints (boundary states only);
+			// k=0: the automatic policy.
+			for _, k := range []int{61, -1, 0} {
+				s := CompressK(vals, spec, k)
+				seeker := s.NewCursor()
+				linear := s.NewCursor()
+				for trial := 0; trial < 40; trial++ {
+					i := rng.Intn(len(vals))
+					seeker.Seek(i)
+					if seeker.Pos() != i {
+						t.Fatalf("%s/%s/k=%d: Seek(%d) left Pos=%d", name, spec, k, i, seeker.Pos())
+					}
+					if got := seeker.Next(); got != vals[i] {
+						t.Fatalf("%s/%s/k=%d: Seek(%d)+Next = %d, want %d", name, spec, k, i, got, vals[i])
+					}
+					// The linear cursor only ever steps.
+					for linear.Pos() > i {
+						linear.Prev()
+					}
+					for linear.Pos() < i {
+						linear.Next()
+					}
+					if got := linear.Next(); got != vals[i] {
+						t.Fatalf("%s/%s/k=%d: linear walk at %d = %d, want %d", name, spec, k, i, got, vals[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCursorsShareNothing runs many cursors over one stream concurrently
+// under -race: an immutable stream plus detached cursors must be safe with
+// zero synchronization.
+func TestCursorsShareNothing(t *testing.T) {
+	vals := datasets()["periodic"]
+	for _, spec := range allSpecs() {
+		s := Compress(vals, spec)
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(g)))
+				c := s.NewCursor()
+				for trial := 0; trial < 50; trial++ {
+					i := rng.Intn(len(vals))
+					c.Seek(i)
+					if got := c.Next(); got != vals[i] {
+						t.Errorf("%s: goroutine %d read %d at %d, want %d", spec, g, got, i, vals[i])
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+	}
+}
+
+func TestCheckpointAccounting(t *testing.T) {
+	vals := datasets()["periodic"]
+	s := CompressK(vals, Spec{KindLastN, 4}, 256)
+	if s.CheckpointBits() == 0 {
+		t.Fatal("explicit k=256 recorded no checkpoint bits")
+	}
+	none := CompressK(vals, Spec{KindLastN, 4}, -1)
+	if none.CheckpointBits() >= s.CheckpointBits() {
+		t.Fatalf("k=-1 checkpoint bits %d not below k=256's %d", none.CheckpointBits(), s.CheckpointBits())
+	}
+	// SizeBits is the paper's compressed-size metric and must not move with
+	// the checkpoint policy.
+	if s.SizeBits() != none.SizeBits() {
+		t.Fatalf("SizeBits varies with checkpoint spacing: %d vs %d", s.SizeBits(), none.SizeBits())
 	}
 }
 
@@ -147,8 +238,10 @@ func TestQuickRoundTrip(t *testing.T) {
 				}
 			}
 			// And backward.
+			c := s.NewCursor()
+			SeekEnd(c)
 			for i := len(vals) - 1; i >= 0; i-- {
-				if s.Prev() != vals[i] {
+				if c.Prev() != vals[i] {
 					return false
 				}
 			}
@@ -223,31 +316,32 @@ func TestSeekToAndAt(t *testing.T) {
 			t.Fatalf("At(%d) = %d, want %d", i, got, vals[i])
 		}
 	}
-	SeekTo(s, 100)
-	if s.Pos() != 100 {
-		t.Fatalf("Pos = %d, want 100", s.Pos())
+	c := s.NewCursor()
+	SeekTo(c, 100)
+	if c.Pos() != 100 {
+		t.Fatalf("Pos = %d, want 100", c.Pos())
 	}
 }
 
 func TestEdgePanics(t *testing.T) {
-	s := Compress([]uint32{1, 2}, Spec{KindFCM, 1})
-	SeekStart(s)
+	c := Compress([]uint32{1, 2}, Spec{KindFCM, 1}).NewCursor()
+	SeekStart(c)
 	func() {
 		defer func() {
 			if recover() == nil {
 				t.Fatal("Prev at start did not panic")
 			}
 		}()
-		s.Prev()
+		c.Prev()
 	}()
-	SeekEnd(s)
+	SeekEnd(c)
 	func() {
 		defer func() {
 			if recover() == nil {
 				t.Fatal("Next at end did not panic")
 			}
 		}()
-		s.Next()
+		c.Next()
 	}()
 }
 
@@ -300,6 +394,29 @@ func TestBitstackQuick(t *testing.T) {
 	}
 }
 
+// TestBitvecMatchesBitstack pins the read-only store to the mutable stack:
+// freezing a stack and reading entries by absolute offset must reproduce
+// what popping returns.
+func TestBitvecMatchesBitstack(t *testing.T) {
+	var b bitstack
+	vals := []uint32{0xDEADBEEF, 5, 1, 0, 0xFFFFFFFF, 1234567}
+	widths := []uint{32, 3, 1, 2, 32, 21}
+	for i := range vals {
+		b.pushBits(vals[i], widths[i])
+	}
+	v := b.freeze()
+	end := v.n
+	for i := len(vals) - 1; i >= 0; i-- {
+		if got := v.top(end, widths[i]); got != vals[i] {
+			t.Fatalf("top at %d = %#x, want %#x", i, got, vals[i])
+		}
+		end -= uint64(widths[i])
+	}
+	if end != 0 {
+		t.Fatalf("residual bits: %d", end)
+	}
+}
+
 func TestVerbatimSize(t *testing.T) {
 	s := Compress([]uint32{1, 2, 3}, Spec{KindVerbatim, 0})
 	if s.SizeBits() != 3*32+HeaderBits {
@@ -324,13 +441,13 @@ func BenchmarkFCMForward(b *testing.B) {
 	for i := range vals {
 		vals[i] = uint32(i % 257)
 	}
-	s := Compress(vals, Spec{KindFCM, 2})
+	c := Compress(vals, Spec{KindFCM, 2}).NewCursor()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if s.Pos() == s.Len() {
-			SeekStart(s)
+		if c.Pos() == c.Len() {
+			c.Seek(0)
 		}
-		s.Next()
+		c.Next()
 	}
 }
 
@@ -339,13 +456,27 @@ func BenchmarkLastNForward(b *testing.B) {
 	for i := range vals {
 		vals[i] = uint32(i % 7)
 	}
-	s := Compress(vals, Spec{KindLastN, 4})
+	c := Compress(vals, Spec{KindLastN, 4}).NewCursor()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if s.Pos() == s.Len() {
-			SeekStart(s)
+		if c.Pos() == c.Len() {
+			c.Seek(0)
 		}
-		s.Next()
+		c.Next()
+	}
+}
+
+func BenchmarkSeekCheckpointed(b *testing.B) {
+	vals := make([]uint32, 1<<16)
+	for i := range vals {
+		vals[i] = uint32(i % 257)
+	}
+	s := Compress(vals, Spec{KindFCM, 2})
+	c := s.NewCursor()
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Seek(rng.Intn(len(vals)))
 	}
 }
 
@@ -356,19 +487,20 @@ func TestCloneIndependence(t *testing.T) {
 		}
 		for _, spec := range allSpecs() {
 			s := Compress(vals, spec)
-			SeekTo(s, 5)
-			c := s.Clone()
-			if c.Pos() != 5 || c.Len() != s.Len() {
+			cur := s.NewCursor()
+			SeekTo(cur, 5)
+			c := cur.Clone()
+			if c.Pos() != 5 || c.Len() != cur.Len() {
 				t.Fatalf("%s/%s: clone pos/len mismatch", name, spec)
 			}
 			// Walk the clone to the end and back; the original must not move.
 			SeekEnd(c)
 			SeekStart(c)
-			if s.Pos() != 5 {
-				t.Fatalf("%s/%s: original cursor moved to %d", name, spec, s.Pos())
+			if cur.Pos() != 5 {
+				t.Fatalf("%s/%s: original cursor moved to %d", name, spec, cur.Pos())
 			}
 			// Both must continue to decode correctly.
-			if got := s.Next(); got != vals[5] {
+			if got := cur.Next(); got != vals[5] {
 				t.Fatalf("%s/%s: original decodes %d, want %d", name, spec, got, vals[5])
 			}
 			if got := c.Next(); got != vals[0] {

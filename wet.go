@@ -202,12 +202,35 @@ func InstanceOfTS(w *WET, tier Tier, stmtID int, ts uint32) (Instance, error) {
 
 // --- streams (tier-2 compression, reusable standalone) ---
 
-// Stream is a bidirectionally traversable compressed value sequence.
+// Stream is an immutable compressed value sequence. Traversal happens
+// through detached cursors: NewCursor spawns any number of independent
+// readers over one stream, each safe in its own goroutine.
 type Stream = stream.Stream
+
+// Cursor is a detached bidirectional reader over one Stream, with
+// checkpointed Seek (cost bounded by the stream's checkpoint spacing
+// rather than the distance travelled).
+type Cursor = stream.Cursor
+
+// SeekStats aggregates process-wide cursor seek counters; see ReadSeekStats.
+type SeekStats = stream.SeekStats
+
+// ReadSeekStats returns cumulative cursor seek statistics (seeks issued,
+// checkpoint restores used, steps walked) across all streams. Useful for
+// observing checkpoint effectiveness under -v style reporting.
+func ReadSeekStats() SeekStats { return stream.ReadSeekStats() }
 
 // CompressBest compresses vals with the best of the predictor pool
 // (bidirectional FCM / dFCM / last-n / last-n stride / packed / verbatim).
 func CompressBest(vals []uint32) Stream { return stream.CompressBest(vals) }
+
+// --- parallel queries ---
+
+// Batch runs n independent query jobs over one shared frozen WET from
+// `workers` goroutines (0 = GOMAXPROCS) and blocks until all complete.
+// Queries need no caller synchronization: the access layer gives every
+// query its own detached cursors.
+func Batch(workers, n int, job func(i int)) { query.Batch(workers, n, job) }
 
 // --- workloads ---
 

@@ -185,10 +185,18 @@ func TestPublicCompressBest(t *testing.T) {
 	if s.SizeBits() > uint64(len(vals))*8 {
 		t.Fatalf("strided stream compressed to %d bits only", s.SizeBits())
 	}
+	c := s.NewCursor()
 	for i := range vals {
-		if got := s.Next(); got != vals[i] {
+		if got := c.Next(); got != vals[i] {
 			t.Fatalf("value %d = %d, want %d", i, got, vals[i])
 		}
+	}
+	// A second cursor is independent of the first (which is parked at the
+	// end) and supports checkpointed seeks.
+	c2 := s.NewCursor()
+	c2.Seek(len(vals) / 2)
+	if got := c2.Next(); got != vals[len(vals)/2] {
+		t.Fatalf("seeked cursor read %d, want %d", got, vals[len(vals)/2])
 	}
 }
 
