@@ -11,6 +11,7 @@
 //	wetdump trace.wet
 //	wetdump -paths 20 trace.wet
 //	wetdump -verify trace.wet
+//	wetdump -verify -semantic trace.wet
 //	wetdump -salvage damaged.wet
 //	wetdump -slice-ts 1234 -dot slice.dot trace.wet
 package main
@@ -39,6 +40,7 @@ func main() {
 	sliceTS := flag.Uint("slice-ts", 0, "backward-slice the last def at this timestamp")
 	dotFile := flag.String("dot", "", "write the slice as Graphviz DOT to this file")
 	verify := flag.Bool("verify", false, "walk all sections and report per-section CRC status, loading nothing")
+	semantic := flag.Bool("semantic", false, "with -verify: also validate structure and certify the trace against its program's static semantics")
 	salvage := flag.Bool("salvage", false, "recover what a damaged file still holds")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -46,7 +48,7 @@ func main() {
 		os.Exit(cliutil.ExitUsage)
 	}
 	if *verify {
-		os.Exit(runVerify(flag.Arg(0)))
+		os.Exit(runVerify(flag.Arg(0), *semantic))
 	}
 	os.Exit(cliutil.LoadWET("wetdump", flag.Arg(0), wetio.LoadOptions{Salvage: *salvage},
 		func(w *core.WET) int {
@@ -57,13 +59,16 @@ func main() {
 
 // runVerify walks the file's sections, printing one CRC-status line each,
 // and returns ExitIntegrity on the first failure.
-func runVerify(path string) int {
+func runVerify(path string, semantic bool) int {
 	f, err := os.Open(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wetdump:", err)
 		return cliutil.ExitError
 	}
 	defer f.Close()
+	if semantic {
+		return runVerifySemantic(f)
+	}
 	res, err := wetio.Verify(f)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wetdump:", err)
@@ -83,6 +88,36 @@ func runVerify(path string) int {
 		return cliutil.ExitIntegrity
 	}
 	fmt.Printf("ok: %d sections verified\n", len(res.Sections))
+	return cliutil.ExitOK
+}
+
+// runVerifySemantic climbs the full verification ladder: bytes (CRCs),
+// structure (core.Validate), semantics (sanalysis.VerifyWET).
+func runVerifySemantic(f *os.File) int {
+	res, err := wetio.VerifySemantic(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wetdump:", err)
+		return cliutil.ExitIntegrity
+	}
+	switch {
+	case !res.Bytes.OK():
+		fmt.Printf("bytes: FAILED (%d bad sections, truncated=%v)\n", res.Bytes.BadSections, res.Bytes.Truncated)
+		return cliutil.ExitIntegrity
+	case res.StructureErr != nil:
+		fmt.Printf("bytes: ok (%d sections)\nstructure: FAILED: %v\n", len(res.Bytes.Sections), res.StructureErr)
+		return cliutil.ExitIntegrity
+	}
+	fmt.Printf("bytes: ok (%d sections)\nstructure: ok\n", len(res.Bytes.Sections))
+	rep := res.Semantic
+	for _, fd := range rep.Findings {
+		fmt.Println(fd)
+	}
+	if !rep.OK() {
+		fmt.Printf("semantics: FAILED (%d findings)\n", len(rep.Findings))
+		return cliutil.ExitIntegrity
+	}
+	fmt.Printf("semantics: ok (%d nodes, %d edges, %d labels, %d transitions certified)\n",
+		rep.Nodes, rep.Edges, rep.Labels, rep.Transitions)
 	return cliutil.ExitOK
 }
 

@@ -1,0 +1,425 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"wet/internal/sanalysis"
+)
+
+// srcFinding is one determinism hazard in a Go source tree.
+type srcFinding struct {
+	Pos  string         `json:"pos"` // file:line:col
+	Rule sanalysis.Rule `json:"rule"`
+	Msg  string         `json:"msg"`
+}
+
+// lintConfig scopes the source rules: each rule only fires inside the trees
+// whose output or behavior it protects. Paths are slash-separated segment
+// sequences matched anywhere in a directory path, so tests can stage
+// fixtures under a temp root.
+type lintConfig struct {
+	// RangePaths: serialization/report code, where map iteration order
+	// leaks into output (SRC001).
+	RangePaths []string
+	// KernelPaths: deterministic trace/stream construction code, where
+	// wall-clock and randomness have no place (SRC002, SRC003).
+	KernelPaths []string
+}
+
+// defaultLintConfig covers this repository's layout: wetio and the exp
+// report emitters serialize, core and stream must replay deterministically.
+var defaultLintConfig = lintConfig{
+	RangePaths:  []string{"internal/wetio", "internal/exp"},
+	KernelPaths: []string{"internal/core", "internal/stream"},
+}
+
+// pathMatches reports whether dir contains one of the patterns as a
+// consecutive run of path segments.
+func pathMatches(dir string, pats []string) bool {
+	s := "/" + filepath.ToSlash(dir) + "/"
+	for _, p := range pats {
+		if strings.Contains(s, "/"+p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// expandDirs resolves command-line package arguments: "dir/..." walks the
+// tree under dir, anything else names one directory. testdata, vendor, and
+// hidden directories are skipped.
+func expandDirs(args []string) ([]string, error) {
+	var out []string
+	seen := map[string]bool{}
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	for _, a := range args {
+		root, walk := a, false
+		if strings.HasSuffix(a, "/...") {
+			root, walk = strings.TrimSuffix(a, "/..."), true
+			if root == "" {
+				root = "."
+			}
+		}
+		if !walk {
+			add(filepath.Clean(root))
+			continue
+		}
+		err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			add(filepath.Clean(p))
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// lintSource runs the determinism rules over every directory a rule scopes
+// to. Type information is best-effort: when an expression cannot be typed
+// (broken dependency, exotic build), the typed rule skips it rather than
+// guessing — the syntactic rules still run.
+func lintSource(dirs []string, cfg lintConfig) ([]srcFinding, error) {
+	fset := token.NewFileSet()
+	im := newSrcImporter(fset)
+	var out []srcFinding
+	for _, dir := range dirs {
+		wantRange := pathMatches(dir, cfg.RangePaths)
+		wantKernel := pathMatches(dir, cfg.KernelPaths)
+		if !wantRange && !wantKernel {
+			continue
+		}
+		files, err := parseLintDir(fset, dir)
+		if err != nil {
+			return out, err
+		}
+		if len(files) == 0 {
+			continue
+		}
+		if wantKernel {
+			for _, f := range files {
+				out = append(out, kernelChecks(fset, f)...)
+			}
+		}
+		if wantRange {
+			info := typeCheckDir(fset, im, dir, files)
+			for _, f := range files {
+				out = append(out, rangeChecks(fset, info, f)...)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out, nil
+}
+
+// parseLintDir parses every non-test .go file of dir's primary package.
+func parseLintDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, 0)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", filepath.Join(dir, name), err)
+		}
+		files = append(files, f)
+	}
+	// A directory holds one package (plus possibly an external test package,
+	// already filtered); keep the majority package name defensively.
+	if len(files) > 1 {
+		count := map[string]int{}
+		for _, f := range files {
+			count[f.Name.Name]++
+		}
+		best := files[0].Name.Name
+		for name, n := range count {
+			if n > count[best] || (n == count[best] && name < best) {
+				best = name
+			}
+		}
+		kept := files[:0]
+		for _, f := range files {
+			if f.Name.Name == best {
+				kept = append(kept, f)
+			}
+		}
+		files = kept
+	}
+	return files, nil
+}
+
+// kernelChecks flags wall-clock reads and math/rand in deterministic kernel
+// code. Both are syntactic: an import of math/rand is a finding by itself,
+// and any call through the "time" package named Now is a finding.
+func kernelChecks(fset *token.FileSet, f *ast.File) []srcFinding {
+	var out []srcFinding
+	timeName := ""
+	for _, imp := range f.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		switch path {
+		case "math/rand", "math/rand/v2":
+			out = append(out, srcFinding{
+				Pos:  fset.Position(imp.Pos()).String(),
+				Rule: sanalysis.RuleSrcRandom,
+				Msg:  fmt.Sprintf("import %q: %s", path, sanalysis.RuleDescriptions[sanalysis.RuleSrcRandom]),
+			})
+		case "time":
+			timeName = "time"
+			if imp.Name != nil {
+				timeName = imp.Name.Name
+			}
+		}
+	}
+	if timeName == "" || timeName == "_" {
+		return out
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Now" {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && id.Name == timeName {
+			out = append(out, srcFinding{
+				Pos:  fset.Position(call.Pos()).String(),
+				Rule: sanalysis.RuleSrcWallClock,
+				Msg:  fmt.Sprintf("%s.Now(): %s", timeName, sanalysis.RuleDescriptions[sanalysis.RuleSrcWallClock]),
+			})
+		}
+		return true
+	})
+	return out
+}
+
+// rangeChecks flags `range` over a map in serialization/report code
+// (SRC001). The collect-then-sort idiom is exempt: a body consisting solely
+// of append assignments gathers keys for later sorting and leaks no order.
+// Expressions without type information are skipped.
+func rangeChecks(fset *token.FileSet, info *types.Info, f *ast.File) []srcFinding {
+	var out []srcFinding
+	ast.Inspect(f, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := info.Types[rs.X]
+		if !ok || tv.Type == nil {
+			return true // type info missing: degrade silently
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if appendOnlyBody(rs.Body) {
+			return true
+		}
+		out = append(out, srcFinding{
+			Pos:  fset.Position(rs.Pos()).String(),
+			Rule: sanalysis.RuleSrcMapRange,
+			Msg: fmt.Sprintf("range over %s: %s", tv.Type,
+				sanalysis.RuleDescriptions[sanalysis.RuleSrcMapRange]),
+		})
+		return true
+	})
+	return out
+}
+
+// appendOnlyBody reports whether every statement in the block is an
+// assignment whose right-hand sides are all append calls — the safe
+// collect-then-sort prologue.
+func appendOnlyBody(body *ast.BlockStmt) bool {
+	if body == nil || len(body.List) == 0 {
+		return false
+	}
+	for _, st := range body.List {
+		as, ok := st.(*ast.AssignStmt)
+		if !ok {
+			return false
+		}
+		for _, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "append" {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// typeCheckDir typechecks one lint target best-effort and returns its
+// expression types. Errors are collected and discarded: a partial Info is
+// exactly the graceful degradation rangeChecks expects.
+func typeCheckDir(fset *token.FileSet, im *srcImporter, dir string, files []*ast.File) *types.Info {
+	info := &types.Info{Types: make(map[ast.Expr]types.TypeAndValue)}
+	conf := types.Config{Importer: im, Error: func(error) {}, FakeImportC: true}
+	im.setModuleFor(dir)
+	path := im.pathForDir(dir)
+	conf.Check(path, fset, files, info) // error ignored: partial info is fine
+	return info
+}
+
+// srcImporter resolves imports for the lint's typechecker without any
+// toolchain invocation: module-local packages are typechecked from source
+// (recursively, memoized), the standard library comes from the stdlib
+// source importer, and anything unresolvable degrades to an empty stub so
+// the check continues with partial type information.
+type srcImporter struct {
+	fset *token.FileSet
+	std  types.ImporterFrom
+
+	modName, modRoot string
+	pkgs             map[string]*types.Package
+	checking         map[string]bool
+}
+
+func newSrcImporter(fset *token.FileSet) *srcImporter {
+	im := &srcImporter{
+		fset:     fset,
+		pkgs:     map[string]*types.Package{},
+		checking: map[string]bool{},
+	}
+	if std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom); ok {
+		im.std = std
+	}
+	return im
+}
+
+// setModuleFor locates the enclosing go.mod of dir and records the module
+// name and root, so module-local import paths map back to directories.
+func (im *srcImporter) setModuleFor(dir string) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if name, ok := strings.CutPrefix(line, "module "); ok {
+					im.modName = strings.TrimSpace(name)
+					im.modRoot = d
+					return
+				}
+			}
+			return
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return
+		}
+		d = parent
+	}
+}
+
+// pathForDir names the package being linted: its module import path when
+// known, else the directory itself.
+func (im *srcImporter) pathForDir(dir string) string {
+	abs, err := filepath.Abs(dir)
+	if err != nil || im.modRoot == "" {
+		return dir
+	}
+	rel, err := filepath.Rel(im.modRoot, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return dir
+	}
+	if rel == "." {
+		return im.modName
+	}
+	return im.modName + "/" + filepath.ToSlash(rel)
+}
+
+func (im *srcImporter) Import(path string) (*types.Package, error) {
+	return im.ImportFrom(path, "", 0)
+}
+
+func (im *srcImporter) ImportFrom(path, dir string, _ types.ImportMode) (*types.Package, error) {
+	if p := im.pkgs[path]; p != nil {
+		return p, nil
+	}
+	if im.modName != "" && (path == im.modName || strings.HasPrefix(path, im.modName+"/")) {
+		p := im.checkModulePkg(path)
+		im.pkgs[path] = p
+		return p, nil
+	}
+	if im.std != nil {
+		if p, err := im.std.ImportFrom(path, dir, 0); err == nil {
+			im.pkgs[path] = p
+			return p, nil
+		}
+	}
+	p := im.stub(path)
+	im.pkgs[path] = p
+	return p, nil
+}
+
+// checkModulePkg typechecks a module-local package from source. Failures
+// yield a stub, never an error: the caller's check proceeds with whatever
+// types resolved.
+func (im *srcImporter) checkModulePkg(path string) *types.Package {
+	if im.checking[path] {
+		return im.stub(path) // import cycle: broken elsewhere, degrade here
+	}
+	im.checking[path] = true
+	defer delete(im.checking, path)
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, im.modName), "/")
+	dir := filepath.Join(im.modRoot, filepath.FromSlash(rel))
+	files, err := parseLintDir(im.fset, dir)
+	if err != nil || len(files) == 0 {
+		return im.stub(path)
+	}
+	conf := types.Config{Importer: im, Error: func(error) {}, FakeImportC: true}
+	pkg, _ := conf.Check(path, im.fset, files, nil)
+	if pkg == nil {
+		return im.stub(path)
+	}
+	return pkg
+}
+
+// stub is the degradation unit: an empty complete package. Selector
+// expressions through it lose their types, and the typed rules skip them.
+func (im *srcImporter) stub(path string) *types.Package {
+	base := path
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		base = path[i+1:]
+	}
+	p := types.NewPackage(path, base)
+	p.MarkComplete()
+	return p
+}

@@ -1,0 +1,182 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"wet/internal/sanalysis"
+)
+
+// stage writes source files under a temp root that mimics the repository
+// layout, so the default path scoping applies to the fixtures.
+func stage(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, src := range files {
+		p := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func lintTree(t *testing.T, root string) []srcFinding {
+	t.Helper()
+	dirs, err := expandDirs([]string{root + "/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := lintSource(dirs, defaultLintConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func countRule(fs []srcFinding, r sanalysis.Rule) int {
+	n := 0
+	for _, f := range fs {
+		if f.Rule == r {
+			n++
+		}
+	}
+	return n
+}
+
+func TestMapRangeFlagged(t *testing.T) {
+	root := stage(t, map[string]string{
+		"internal/wetio/emit.go": `package wetio
+
+import "fmt"
+
+func Emit(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+`,
+	})
+	fs := lintTree(t, root)
+	if got := countRule(fs, sanalysis.RuleSrcMapRange); got != 1 {
+		t.Fatalf("SRC001 findings = %d, want 1 (%v)", got, fs)
+	}
+}
+
+func TestCollectThenSortExempt(t *testing.T) {
+	root := stage(t, map[string]string{
+		"internal/wetio/emit.go": `package wetio
+
+import (
+	"fmt"
+	"sort"
+)
+
+func Emit(m map[string]int) {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Println(k, m[k])
+	}
+}
+`,
+	})
+	if fs := lintTree(t, root); len(fs) != 0 {
+		t.Fatalf("collect-then-sort flagged: %v", fs)
+	}
+}
+
+func TestMapRangeNeedsTypeInfoAcrossPackages(t *testing.T) {
+	// The ranged map's type comes from a sibling package: detection needs
+	// the importer to typecheck module-local dependencies from source.
+	root := stage(t, map[string]string{
+		"go.mod": "module lintfix\n\ngo 1.22\n",
+		"internal/rep/rep.go": `package rep
+
+type Report struct {
+	Methods map[string]int
+}
+`,
+		"internal/wetio/emit.go": `package wetio
+
+import (
+	"fmt"
+
+	"lintfix/internal/rep"
+)
+
+func Emit(r *rep.Report) {
+	for k, v := range r.Methods {
+		fmt.Println(k, v)
+	}
+}
+`,
+	})
+	fs := lintTree(t, root)
+	if got := countRule(fs, sanalysis.RuleSrcMapRange); got != 1 {
+		t.Fatalf("cross-package SRC001 findings = %d, want 1 (%v)", got, fs)
+	}
+}
+
+func TestKernelWallClockAndRand(t *testing.T) {
+	root := stage(t, map[string]string{
+		"internal/core/build.go": `package core
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`,
+		"internal/stream/pick.go": `package stream
+
+import "math/rand"
+
+func Pick(n int) int { return rand.Intn(n) }
+`,
+	})
+	fs := lintTree(t, root)
+	if got := countRule(fs, sanalysis.RuleSrcWallClock); got != 1 {
+		t.Fatalf("SRC002 findings = %d, want 1 (%v)", got, fs)
+	}
+	if got := countRule(fs, sanalysis.RuleSrcRandom); got != 1 {
+		t.Fatalf("SRC003 findings = %d, want 1 (%v)", got, fs)
+	}
+}
+
+func TestOutOfScopeDirsIgnored(t *testing.T) {
+	// The same hazards outside the scoped trees are not this lint's business.
+	root := stage(t, map[string]string{
+		"internal/query/emit.go": `package query
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func Emit(m map[string]int) {
+	for k := range m {
+		fmt.Println(k, time.Now(), rand.Int())
+	}
+}
+`,
+	})
+	if fs := lintTree(t, root); len(fs) != 0 {
+		t.Fatalf("out-of-scope findings: %v", fs)
+	}
+}
+
+func TestRepositoryLintsClean(t *testing.T) {
+	// The repository's own serialization and kernel trees must stay free of
+	// determinism hazards — this is the test-suite twin of the CI lint step.
+	fs := lintTree(t, "../..")
+	if len(fs) != 0 {
+		t.Fatalf("repository has determinism hazards:\n%v", fs)
+	}
+}

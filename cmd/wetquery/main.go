@@ -11,6 +11,7 @@
 //	wetquery -bench gzip -query addresses -tier 1
 //	wetquery -bench twolf -query slice -slices 25
 //	wetquery -bench twolf -query slice -parallel 8 -v
+//	wetquery -bench vortex -query slice -cdprune
 //	wetquery -bench li -query slice -criteria crit.txt -parallel 4
 //	wetquery -load damaged.wet -salvage -query cftrace
 //
@@ -33,6 +34,7 @@ import (
 	"wet/internal/core"
 	"wet/internal/exp"
 	"wet/internal/query"
+	"wet/internal/sanalysis"
 	"wet/internal/stream"
 	"wet/internal/trace"
 	"wet/internal/wetio"
@@ -47,6 +49,7 @@ type opts struct {
 	parallel int
 	criteria string
 	verbose  bool
+	cdprune  bool
 }
 
 func main() {
@@ -58,6 +61,7 @@ func main() {
 	slices := flag.Int("slices", 25, "number of slices for -query slice")
 	parallel := flag.Int("parallel", 1, "worker goroutines for -query slice (0 = GOMAXPROCS)")
 	criteria := flag.String("criteria", "", "file of 'node pos ord' slicing criteria for -query slice")
+	cdprune := flag.Bool("cdprune", false, "prune CD edges not supported by static control dependence before resolving their labels")
 	verbose := flag.Bool("v", false, "per-query wall time and cursor checkpoint seek stats")
 	load := flag.String("load", "", "query a saved WET file instead of rebuilding")
 	salvage := flag.Bool("salvage", false, "with -load: recover what a damaged file still holds")
@@ -71,6 +75,7 @@ func main() {
 		parallel: *parallel,
 		criteria: *criteria,
 		verbose:  *verbose,
+		cdprune:  *cdprune,
 	}
 	if *tierN == 1 {
 		o.tier = core.Tier1
@@ -155,18 +160,29 @@ func runSlices(run *exp.Run, o opts, before stream.SeekStats, start time.Time) i
 		return cliutil.ExitError
 	}
 
+	sopts := query.SliceOptions{}
+	if o.cdprune {
+		an, err := sanalysis.Analyze(run.W.Prog)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wetquery:", err)
+			return cliutil.ExitError
+		}
+		sopts.CDOracle = an
+	}
 	sizes := make([]int, len(crit))
 	durs := make([]time.Duration, len(crit))
 	errs := make([]error, len(crit))
+	pruned := make([]int, len(crit))
 	query.Batch(o.parallel, len(crit), func(i int) {
 		qs := time.Now()
-		res, err := query.BackwardSlice(run.W, o.tier, crit[i], 0)
+		res, err := query.BackwardSliceOpts(run.W, o.tier, crit[i], sopts)
 		durs[i] = time.Since(qs)
 		if err != nil {
 			errs[i] = err
 			return
 		}
 		sizes[i] = len(res.Instances)
+		pruned[i] = res.PrunedCD
 	})
 	wall := time.Since(start)
 	delta := stream.ReadSeekStats().Sub(before)
@@ -190,6 +206,13 @@ func runSlices(run *exp.Run, o opts, before stream.SeekStats, start time.Time) i
 	fmt.Printf("%d backward WET slices on %d workers: avg %.1f instances, avg %.3f ms, wall %v\n",
 		len(crit), o.parallel, float64(instances)/float64(len(crit)),
 		float64(cpu)/1e6/float64(len(crit)), wall.Round(time.Microsecond))
+	if o.cdprune {
+		var p int64
+		for _, n := range pruned {
+			p += int64(n)
+		}
+		fmt.Printf("static-CD pruning: %d control edges refuted before label resolution\n", p)
+	}
 	if o.verbose {
 		printSeekStats(delta)
 	}

@@ -5,6 +5,7 @@
 //
 //	wetrun -bench gzip -stmts 500000
 //	wetrun -bench li -scale 4 -census
+//	wetrun -bench mcf -certify -o mcf.wet
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"wet/internal/core"
 	"wet/internal/exp"
 	"wet/internal/interp"
+	_ "wet/internal/sanalysis" // registers the semantic certifier for -certify
 	"wet/internal/wetio"
 	"wet/internal/workload"
 )
@@ -28,6 +30,7 @@ func main() {
 	printIR := flag.Bool("ir", false, "dump the workload's IR")
 	outFile := flag.String("o", "", "save the frozen WET to this file")
 	workers := flag.Int("workers", 0, "tier-2 freeze worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	certify := flag.Bool("certify", false, "semantically certify the frozen WET against its static analysis before reporting/saving")
 	flag.Parse()
 
 	w, err := workload.ByName(*bench)
@@ -63,6 +66,13 @@ func main() {
 	}
 
 	wet, rep := run.W, run.Rep
+	if *certify {
+		if err := wet.Certify(); err != nil {
+			fmt.Fprintln(os.Stderr, "wetrun:", err)
+			os.Exit(3)
+		}
+		fmt.Println("certified: trace is semantically consistent with its program")
+	}
 	if *outFile != "" {
 		f, err := os.Create(*outFile)
 		if err != nil {

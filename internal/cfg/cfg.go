@@ -148,10 +148,10 @@ func Dominators(g *Graph) []int {
 // PostDominators computes the immediate post-dominator of every block of f
 // with respect to the virtual exit. The result has len(f.Blocks)+1 entries;
 // the last is the virtual exit itself. Blocks that cannot reach the exit
-// (infinite loops) get -1.
+// (infinite loops) get -1. It delegates to the shared dominator pass in
+// internal/ir (the same one Finalize's flow validation runs).
 func PostDominators(f *ir.Func) []int {
-	g := FromFunc(f)
-	return Dominators(g.Reverse(VirtualExit(f)))
+	return ir.PostDominators(f)
 }
 
 // ControlDeps records static block-level control dependence for a function:
@@ -166,8 +166,7 @@ type ControlDeps struct {
 // u->v where v does not post-dominate u, every node on the post-dominator
 // tree path from v up to (but excluding) ipdom(u) is control dependent on u.
 func ControlDependence(f *ir.Func) (*ControlDeps, error) {
-	g := FromFunc(f)
-	ipdom := Dominators(g.Reverse(VirtualExit(f)))
+	ipdom := ir.PostDominators(f)
 	n := len(f.Blocks)
 	cd := &ControlDeps{Parents: make([][]int, n)}
 	have := make([]map[int]bool, n)

@@ -1,6 +1,7 @@
 package cfg
 
 import (
+	"strings"
 	"testing"
 
 	"wet/internal/ir"
@@ -170,21 +171,22 @@ func TestNestedLoopControlDependence(t *testing.T) {
 }
 
 func TestInfiniteLoopRejected(t *testing.T) {
-	// Hand-build: b0: jmp b0 — cannot reach exit.
+	// Hand-build: b0: jmp b0 — cannot reach exit. Finalize now rejects such
+	// CFGs outright (ir.validateFlow), so control dependence never sees a
+	// block with undefined post-dominators.
 	p := ir.NewProgram(1024)
 	fb := p.NewFunc("spin", 0)
 	fb.Func().Blocks[0].Stmts = []*ir.Stmt{{Op: ir.OpJmp, Dest: ir.NoReg}}
 	fb.Func().Blocks[0].Succs = []int{0}
-	// Add an unreachable branch block so ControlDependence has work to do.
 	fb2 := p.NewFunc("main", 0)
 	fb2.Halt()
 	p.Entry = 1
-	p.MustFinalize()
-	f := p.Funcs[0]
-	cd, err := ControlDependence(f)
-	// spin has no branch blocks, so no error expected; add the branch case:
-	if err != nil || cd == nil {
-		t.Fatalf("ControlDependence(spin) err=%v", err)
+	err := p.Finalize()
+	if err == nil {
+		t.Fatal("Finalize accepted a function that cannot reach exit")
+	}
+	if !strings.Contains(err.Error(), "no path to a ret/halt exit") {
+		t.Fatalf("Finalize error = %v, want a no-path-to-exit rejection", err)
 	}
 }
 

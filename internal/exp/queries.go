@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"wet/internal/core"
@@ -220,13 +221,19 @@ func Figure9(cfg Config, w io.Writer, progress io.Writer) error {
 }
 
 // MethodCensus prints which tier-2 methods the selector picked (diagnostic,
-// mirrors the paper's §4 Selection discussion).
+// mirrors the paper's §4 Selection discussion). Method names are emitted in
+// sorted order so the report is byte-stable across runs.
 func MethodCensus(runs []*Run, w io.Writer) {
 	fmt.Fprintf(w, "Tier-2 method selection census (streams per method).\n")
 	for _, r := range runs {
 		fmt.Fprintf(w, "%-10s", r.Name)
-		for name, n := range r.Rep.Methods {
-			fmt.Fprintf(w, "  %s:%d", name, n)
+		names := make([]string, 0, len(r.Rep.Methods))
+		for name := range r.Rep.Methods {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(w, "  %s:%d", name, r.Rep.Methods[name])
 		}
 		fmt.Fprintf(w, "\n")
 	}

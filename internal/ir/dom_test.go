@@ -1,0 +1,89 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// loopProg hand-builds: b0: br -> b1/b2; b1: jmp b0 (loop); b2: halt.
+func loopProg(t *testing.T) *Program {
+	t.Helper()
+	p := NewProgram(1024)
+	fb := p.NewFunc("main", 0)
+	f := fb.Func()
+	f.NumRegs = 1
+	f.Blocks[0].Stmts = []*Stmt{
+		{Op: OpConst, Dest: 0, A: Imm(1)},
+		{Op: OpBr, Dest: NoReg, A: R(0)},
+	}
+	f.Blocks[0].Succs = []int{1, 2}
+	f.Blocks = append(f.Blocks,
+		&Block{ID: 1, Stmts: []*Stmt{{Op: OpJmp, Dest: NoReg}}, Succs: []int{0}},
+		&Block{ID: 2, Stmts: []*Stmt{{Op: OpHalt, Dest: NoReg}}},
+	)
+	return p
+}
+
+func TestDominatorsLoop(t *testing.T) {
+	p := loopProg(t)
+	if err := p.Finalize(); err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	f := p.Funcs[0]
+	idom := Dominators(f)
+	if idom[0] != 0 || idom[1] != 0 || idom[2] != 0 {
+		t.Fatalf("idom = %v, want [0 0 0]", idom)
+	}
+	ipdom := PostDominators(f)
+	exit := ExitBlock(f)
+	// b0 is post-dominated by b2 (the only route to halt), b1 by b0.
+	if ipdom[0] != 2 || ipdom[1] != 0 || ipdom[2] != exit || ipdom[exit] != exit {
+		t.Fatalf("ipdom = %v (exit %d)", ipdom, exit)
+	}
+}
+
+// TestValidateRejectsUnreachableBlock pins the Finalize-time rejection of a
+// block that cannot be reached from the entry: before the dominator-based
+// flow validation, such blocks silently produced degenerate dominance and
+// control-dependence facts.
+func TestValidateRejectsUnreachableBlock(t *testing.T) {
+	p := NewProgram(1024)
+	fb := p.NewFunc("main", 0)
+	f := fb.Func()
+	f.Blocks[0].Stmts = []*Stmt{{Op: OpHalt, Dest: NoReg}}
+	// Block 1 is never a successor of anything.
+	f.Blocks = append(f.Blocks, &Block{ID: 1, Stmts: []*Stmt{{Op: OpHalt, Dest: NoReg}}})
+	err := p.Finalize()
+	if err == nil {
+		t.Fatal("Finalize accepted a CFG with an unreachable block")
+	}
+	if !strings.Contains(err.Error(), "unreachable from the entry block") {
+		t.Fatalf("error = %v, want unreachable-from-entry rejection", err)
+	}
+}
+
+// TestValidateRejectsNoExitPath pins the rejection of a block from which no
+// Ret/Halt is reachable (its post-dominators are undefined).
+func TestValidateRejectsNoExitPath(t *testing.T) {
+	p := NewProgram(1024)
+	fb := p.NewFunc("main", 0)
+	f := fb.Func()
+	f.NumRegs = 1
+	f.Blocks[0].Stmts = []*Stmt{
+		{Op: OpConst, Dest: 0, A: Imm(1)},
+		{Op: OpBr, Dest: NoReg, A: R(0)},
+	}
+	f.Blocks[0].Succs = []int{1, 2}
+	f.Blocks = append(f.Blocks,
+		// b1 spins forever: reachable, but no path to exit.
+		&Block{ID: 1, Stmts: []*Stmt{{Op: OpJmp, Dest: NoReg}}, Succs: []int{1}},
+		&Block{ID: 2, Stmts: []*Stmt{{Op: OpHalt, Dest: NoReg}}},
+	)
+	err := p.Finalize()
+	if err == nil {
+		t.Fatal("Finalize accepted a block with no path to exit")
+	}
+	if !strings.Contains(err.Error(), "no path to a ret/halt exit") {
+		t.Fatalf("error = %v, want no-path-to-exit rejection", err)
+	}
+}

@@ -86,5 +86,26 @@ func (p *Program) validateFunc(f *Func) error {
 			return fmt.Errorf("ir: %s block %d: %s has %d successors, want %d", f.Name, b.ID, b.Term(), len(b.Succs), want)
 		}
 	}
+	return p.validateFlow(f)
+}
+
+// validateFlow rejects degenerate control flow the dominator analyses would
+// otherwise silently mishandle: blocks unreachable from the entry (their
+// dominators are undefined) and blocks with no path to a Ret/Halt
+// terminator (their post-dominators are undefined, which would make static
+// control dependence degenerate).
+func (p *Program) validateFlow(f *Func) error {
+	idom := Dominators(f)
+	for b, d := range idom {
+		if d < 0 {
+			return fmt.Errorf("ir: %s block %d is unreachable from the entry block", f.Name, b)
+		}
+	}
+	ipdom := PostDominators(f)
+	for b := 0; b < len(f.Blocks); b++ {
+		if ipdom[b] < 0 {
+			return fmt.Errorf("ir: %s block %d has no path to a ret/halt exit", f.Name, b)
+		}
+	}
 	return nil
 }

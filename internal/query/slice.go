@@ -21,6 +21,41 @@ type SliceResult struct {
 	Instances []Instance
 	// Edges counts dependence edge instances traversed.
 	Edges int
+	// PrunedCD counts CD edges skipped without label resolution because the
+	// static oracle refuted them (see SliceOptions.CDOracle).
+	PrunedCD int
+}
+
+// CDOracle answers whether block blk of function fn is statically control
+// dependent on the branch ending block branchBlk. sanalysis.Analysis
+// satisfies it; query takes the interface so the dependence stays one-way.
+type CDOracle interface {
+	IsControlDep(fn, branchBlk, blk int) bool
+}
+
+// SliceOptions tunes a slice traversal.
+type SliceOptions struct {
+	// MaxInstances bounds the work (0 = unbounded).
+	MaxInstances int
+	// CDOracle, when non-nil, prunes CD edges that no static control
+	// dependence supports before their labels are resolved. On a certified
+	// WET every CD edge is statically supported, so pruning only saves the
+	// label-cursor work for cross-function edges (which static control
+	// dependence never spans); on an uncertified or damaged WET it keeps
+	// semantically impossible control edges out of the slice.
+	CDOracle CDOracle
+}
+
+// cdPruned reports whether opts' oracle refutes CD edge e: the source must
+// end a branch block in the same function as the destination, and that pair
+// must be a static control dependence.
+func (o SliceOptions) cdPruned(w *core.WET, e *core.Edge) bool {
+	if o.CDOracle == nil || e.Kind != core.CD {
+		return false
+	}
+	src := w.Nodes[e.SrcNode].Stmts[e.SrcPos]
+	dst := w.Nodes[e.DstNode].Stmts[e.DstPos]
+	return src.Fn != dst.Fn || !o.CDOracle.IsControlDep(src.Fn, src.Blk, dst.Blk)
 }
 
 // resolveSrc finds the source ordinal of edge e for destination ordinal
@@ -84,6 +119,12 @@ func resolveSrc(q *qctx, e *core.Edge, dord int) int {
 // every instance whose value or control outcome contributed (transitively)
 // to it, via DD and CD edges. maxInstances bounds the work (0 = unbounded).
 func BackwardSlice(w *core.WET, tier core.Tier, from Instance, maxInstances int) (*SliceResult, error) {
+	return BackwardSliceOpts(w, tier, from, SliceOptions{MaxInstances: maxInstances})
+}
+
+// BackwardSliceOpts is BackwardSlice with full options, including the
+// static-CD pruning oracle.
+func BackwardSliceOpts(w *core.WET, tier core.Tier, from Instance, opts SliceOptions) (*SliceResult, error) {
 	if err := checkInstance(w, from); err != nil {
 		return nil, err
 	}
@@ -95,12 +136,16 @@ func BackwardSlice(w *core.WET, tier core.Tier, from Instance, maxInstances int)
 		cur := work[len(work)-1]
 		work = work[:len(work)-1]
 		res.Instances = append(res.Instances, cur)
-		if maxInstances > 0 && len(res.Instances) >= maxInstances {
+		if opts.MaxInstances > 0 && len(res.Instances) >= opts.MaxInstances {
 			break
 		}
 		n := w.Nodes[cur.Node]
 		for _, ei := range n.InEdges[cur.Pos] {
 			e := w.Edges[ei]
+			if opts.cdPruned(w, e) {
+				res.PrunedCD++
+				continue
+			}
 			sord := resolveSrc(q, e, cur.Ord)
 			if sord < 0 {
 				continue

@@ -1,0 +1,46 @@
+package sanalysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"wet/internal/core"
+)
+
+// TestFreezeCertified exercises the option-gated build hook: freezing with
+// certification must pass on a clean build and walk the tier-2 streams.
+func TestFreezeCertified(t *testing.T) {
+	w := buildRaw(t, "li", 3)
+	if _, err := w.FreezeCertified(core.FreezeOptions{CheckpointK: 64}); err != nil {
+		t.Fatalf("FreezeCertified: %v", err)
+	}
+	if !w.Frozen() {
+		t.Fatal("WET not frozen after FreezeCertified")
+	}
+}
+
+// TestCertifyReportsFindings corrupts a frozen WET and checks the certifier
+// renders the rule id into its error.
+func TestCertifyReportsFindings(t *testing.T) {
+	w := buildRaw(t, "li", 3)
+	w.Freeze(core.FreezeOptions{CheckpointK: 64})
+	// Repoint a labeled CD edge's source ordinal stream is invasive; the
+	// cheap corruption with the same effect at tier-1 is retargeting an
+	// unfrozen copy — so corrupt the static side instead: verify against an
+	// analysis for a different path numbering is not possible here, so flip
+	// the first labeled edge's kind, which breaks the static instance check.
+	for _, e := range w.Edges {
+		if e.Kind == core.CD && !e.Inferable && e.SharedWith < 0 {
+			e.Kind = core.DD
+			e.OpIdx = 0
+			break
+		}
+	}
+	err := w.Certify()
+	if err == nil {
+		t.Fatal("certifier passed a corrupted WET")
+	}
+	if !strings.Contains(err.Error(), "DD0") {
+		t.Fatalf("certifier error lacks a DD rule id: %v", err)
+	}
+}

@@ -1,0 +1,4 @@
+package sanalysis
+
+// DefinesReg exposes the local-edge def test to the external test package.
+var DefinesReg = definesReg

@@ -1,0 +1,126 @@
+package sanalysis_test
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+
+	"wet/internal/core"
+	. "wet/internal/sanalysis"
+	"wet/internal/workload"
+)
+
+// cdDigest canonically serializes the control-dependence relation (every
+// block's sorted CD-parent list, in function and block order) and returns
+// its FNV-1a digest plus the number of (block, parent) facts.
+func cdDigest(a *Analysis) (uint64, int) {
+	h := fnv.New64a()
+	facts := 0
+	for fi, fa := range a.Funcs {
+		for b, ps := range fa.CDParents {
+			for _, p := range ps {
+				fmt.Fprintf(h, "%d:%d<-%d;", fi, b, p)
+				facts++
+			}
+		}
+	}
+	return h.Sum64(), facts
+}
+
+// rdDigest canonically serializes the def–use relation (every statement's
+// per-operand sorted reaching-definition list; the memory operand rendered
+// as "mem") and returns its FNV-1a digest plus the number of def–use pairs.
+func rdDigest(a *Analysis) (uint64, int) {
+	h := fnv.New64a()
+	pairs := 0
+	for id := range a.Prog.Stmts {
+		for op := 0; op < a.NumDepOperands(id); op++ {
+			defs, mem := a.ReachingDefs(id, op)
+			if mem {
+				fmt.Fprintf(h, "%d.%d<-mem;", id, op)
+				pairs++
+				continue
+			}
+			for _, d := range defs {
+				fmt.Fprintf(h, "%d.%d<-%d;", id, op, d)
+				pairs++
+			}
+		}
+	}
+	return h.Sum64(), pairs
+}
+
+// golden pins the static-analysis results for three workload programs: any
+// change to the IR builders, the CFG analyses, or the reaching-definition
+// solver shows up as a digest mismatch here and must be reviewed.
+var golden = map[string]struct {
+	cdDigest uint64
+	cdFacts  int
+	rdDigest uint64
+	rdPairs  int
+}{
+	"li":   {0x486f5ea0b7dcefff, 29, 0xa6b050536f9e89ca, 159},
+	"gzip": {0xd945265aa980a0f, 25, 0xc0a9a8789996a1ed, 128},
+	"mcf":  {0x6ba9f9295ce5b235, 17, 0x1ab50cfc716342b2, 118},
+}
+
+func TestGoldenStaticTables(t *testing.T) {
+	for name, want := range golden {
+		wl, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, _ := wl.Build(1)
+		a, err := Analyze(p)
+		if err != nil {
+			t.Fatalf("%s: Analyze: %v", name, err)
+		}
+		cdD, cdN := cdDigest(a)
+		rdD, rdN := rdDigest(a)
+		if cdD != want.cdDigest || cdN != want.cdFacts {
+			t.Errorf("%s: control dependence digest %#x (%d facts), golden %#x (%d facts)", name, cdD, cdN, want.cdDigest, want.cdFacts)
+		}
+		if rdD != want.rdDigest || rdN != want.rdPairs {
+			t.Errorf("%s: reaching-def digest %#x (%d pairs), golden %#x (%d pairs)", name, rdD, rdN, want.rdDigest, want.rdPairs)
+		}
+	}
+}
+
+// TestDynamicWithinStatic cross-checks the dynamic dependence edges of real
+// runs against the static tables: every dynamic CD/DD edge must instantiate
+// a static fact (dynamic ⊆ static), and the runs must exercise a non-zero
+// fraction of the static facts (the static tables are not vacuously large).
+func TestDynamicWithinStatic(t *testing.T) {
+	for _, name := range []string{"li", "gzip", "mcf"} {
+		w := buildRaw(t, name, 1)
+		a, err := AnalyzeWithPaths(w.Prog, w.Static.Paths)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cdSeen := map[[2]int]bool{} // (branch stmt, dst stmt)
+		ddSeen := map[[3]int]bool{} // (def stmt, use stmt, operand)
+		for _, e := range w.Edges {
+			src := w.Nodes[e.SrcNode].Stmts[e.SrcPos]
+			dst := w.Nodes[e.DstNode].Stmts[e.DstPos]
+			switch e.Kind {
+			case core.CD:
+				if src.Fn != dst.Fn || !a.IsControlDep(src.Fn, src.Blk, dst.Blk) {
+					t.Fatalf("%s: dynamic CD edge [%d]%s -> [%d]%s has no static counterpart", name, src.ID, src, dst.ID, dst)
+				}
+				cdSeen[[2]int{src.ID, dst.ID}] = true
+			case core.DD:
+				if !a.IsReachingDef(src.ID, dst.ID, e.OpIdx) {
+					t.Fatalf("%s: dynamic DD edge [%d]%s -> [%d]%s op %d has no static counterpart", name, src.ID, src, dst.ID, dst, e.OpIdx)
+				}
+				ddSeen[[3]int{src.ID, dst.ID, e.OpIdx}] = true
+			}
+		}
+		_, cdFacts := cdDigest(a)
+		_, rdPairs := rdDigest(a)
+		if len(cdSeen) == 0 || len(ddSeen) == 0 {
+			t.Fatalf("%s: run exercised no dependences (cd=%d dd=%d)", name, len(cdSeen), len(ddSeen))
+		}
+		t.Logf("%s: dynamic CD pairs %d over %d static block facts; dynamic DD triples %d over %d static def–use pairs",
+			name, len(cdSeen), cdFacts, len(ddSeen), rdPairs)
+	}
+}

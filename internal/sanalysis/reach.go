@@ -1,0 +1,359 @@
+package sanalysis
+
+import (
+	"fmt"
+	"sort"
+
+	"wet/internal/ir"
+)
+
+// Static reaching definitions, mirroring exactly how the simulator
+// propagates dependence tags (internal/interp):
+//
+//   - a register def (any statement with a def port and a destination)
+//     reaches uses of that register along register-kill-free CFG paths
+//     within the frame; call statements do not disturb caller registers
+//     except the return destination, which they redefine;
+//   - a callee's parameter register initially holds whatever definition
+//     reached the corresponding argument at some call site (interprocedural,
+//     resolved transitively);
+//   - a call's return destination holds whatever definition reached the
+//     returned operand at some Ret of the callee (interprocedural);
+//   - the memory operand of a Load may be defined by any Store in the
+//     program (the flat word memory is not statically resolvable).
+//
+// Definition sites are encoded as ints: id >= 0 is the program-wide
+// statement id of a concrete def; id < 0 is -(symIdx+1), a symbolic site
+// (function parameter or function return value) resolved to concrete
+// statements by the call-graph fixpoint below.
+
+type symKind uint8
+
+const (
+	symParam symKind = iota // value of parameter idx on entry to fn
+	symRet                  // value returned by fn
+)
+
+type symbol struct {
+	kind symKind
+	fn   int
+	idx  int // parameter index (symParam)
+}
+
+// siteSet is a small set of definition sites.
+type siteSet map[int]struct{}
+
+func (s siteSet) clone() siteSet {
+	c := make(siteSet, len(s))
+	for k := range s {
+		c[k] = struct{}{}
+	}
+	return c
+}
+
+// reachDefs holds the solved program-wide def–use facts.
+type reachDefs struct {
+	prog *ir.Program
+	syms []symbol
+
+	// useDefs[stmtID][k] is the sorted set of concrete def statement ids
+	// that may reach the k-th register use (ir.Stmt.Uses order) of the
+	// statement. The memory operand of a Load is NOT included here; it is
+	// index memOpIdx[stmtID] and its def set is "every Store".
+	useDefs [][][]int
+
+	// memOpIdx[stmtID] is the dependence-operand index of the statement's
+	// memory operand (Loads only), or -1.
+	memOpIdx []int
+
+	// numRegUses[stmtID] caches len(Uses) per statement.
+	numRegUses []int
+}
+
+// MemOperandIndex returns the dependence-operand index of the statement's
+// memory operand, or -1 when the statement has none.
+func (a *Analysis) MemOperandIndex(stmtID int) int { return a.rd.memOpIdx[stmtID] }
+
+// NumDepOperands returns how many dependence operands the statement has:
+// its register uses plus one memory operand for Loads.
+func (a *Analysis) NumDepOperands(stmtID int) int {
+	n := a.rd.numRegUses[stmtID]
+	if a.rd.memOpIdx[stmtID] >= 0 {
+		n++
+	}
+	return n
+}
+
+// ReachingDefs returns the sorted concrete def statement ids that may reach
+// the opIdx-th dependence operand of statement use. For a Load's memory
+// operand the set is implicit ("any Store") and nil is returned with
+// mem=true. The returned slice is shared; callers must not modify it.
+func (a *Analysis) ReachingDefs(useStmtID, opIdx int) (defs []int, mem bool) {
+	rd := a.rd
+	if useStmtID < 0 || useStmtID >= len(rd.useDefs) {
+		return nil, false
+	}
+	if opIdx == rd.memOpIdx[useStmtID] && opIdx >= 0 {
+		return nil, true
+	}
+	if opIdx < 0 || opIdx >= len(rd.useDefs[useStmtID]) {
+		return nil, false
+	}
+	return rd.useDefs[useStmtID][opIdx], false
+}
+
+// IsReachingDef reports whether the definition at statement defID may
+// statically reach the opIdx-th dependence operand of statement useID.
+func (a *Analysis) IsReachingDef(defID, useID, opIdx int) bool {
+	defs, mem := a.ReachingDefs(useID, opIdx)
+	if mem {
+		return defID >= 0 && defID < len(a.Prog.Stmts) && a.Prog.Stmts[defID].Op == ir.OpStore
+	}
+	i := sort.SearchInts(defs, defID)
+	return i < len(defs) && defs[i] == defID
+}
+
+// solveReachingDefs computes the program-wide def–use relation.
+func solveReachingDefs(p *ir.Program) (*reachDefs, error) {
+	rd := &reachDefs{
+		prog:       p,
+		useDefs:    make([][][]int, len(p.Stmts)),
+		memOpIdx:   make([]int, len(p.Stmts)),
+		numRegUses: make([]int, len(p.Stmts)),
+	}
+
+	// Intern the symbolic sites: one Ret per function, one Param per
+	// (function, parameter).
+	retSym := make([]int, len(p.Funcs))
+	paramSym := make([][]int, len(p.Funcs))
+	for fi, f := range p.Funcs {
+		retSym[fi] = len(rd.syms)
+		rd.syms = append(rd.syms, symbol{kind: symRet, fn: fi})
+		paramSym[fi] = make([]int, f.Params)
+		for i := 0; i < f.Params; i++ {
+			paramSym[fi][i] = len(rd.syms)
+			rd.syms = append(rd.syms, symbol{kind: symParam, fn: fi, idx: i})
+		}
+	}
+	enc := func(symIdx int) int { return -(symIdx + 1) }
+
+	// rawUse[stmtID][k] collects per-use site sets (symbolic + concrete);
+	// argSites[stmtID][i] the sites of call argument i (nil for immediates);
+	// retSites[stmtID] the sites of a Ret's returned operand.
+	rawUse := make([][]siteSet, len(p.Stmts))
+	argSites := make([][]siteSet, len(p.Stmts))
+	retSites := make([]siteSet, len(p.Stmts))
+
+	var uses []ir.Reg
+	for fi, f := range p.Funcs {
+		// Per-block dataflow state: out[b][r] = sites reaching the block
+		// exit for register r. Entry block seeds parameters.
+		out := make([][]siteSet, len(f.Blocks))
+		for b := range out {
+			out[b] = make([]siteSet, f.NumRegs)
+		}
+		entryIn := make([]siteSet, f.NumRegs)
+		for i := 0; i < f.Params; i++ {
+			entryIn[i] = siteSet{enc(paramSym[fi][i]): {}}
+		}
+
+		// defSite returns the site a statement defines into its destination,
+		// or (-1, NoReg) when it defines nothing.
+		defOf := func(s *ir.Stmt) (int, ir.Reg) {
+			if s.Op.HasDef() && s.Dest != ir.NoReg {
+				return s.ID, s.Dest
+			}
+			if s.Op == ir.OpCall && s.Dest != ir.NoReg {
+				return enc(retSym[s.Callee]), s.Dest
+			}
+			return 0, ir.NoReg
+		}
+
+		// transfer applies one block to a register state in place.
+		transfer := func(b *ir.Block, state []siteSet) {
+			for _, s := range b.Stmts {
+				if site, r := defOf(s); r != ir.NoReg {
+					state[r] = siteSet{site: {}}
+				}
+			}
+		}
+
+		// Iterate to fixpoint over blocks in layout order (programs are
+		// small; plain rounds converge quickly).
+		merged := make([]siteSet, f.NumRegs)
+		for changed := true; changed; {
+			changed = false
+			for _, b := range f.Blocks {
+				for r := range merged {
+					merged[r] = nil
+				}
+				if b.ID == 0 {
+					for r, s := range entryIn {
+						if s != nil {
+							merged[r] = s.clone()
+						}
+					}
+				}
+				for _, pred := range b.Preds {
+					for r, s := range out[pred] {
+						if len(s) == 0 {
+							continue
+						}
+						if merged[r] == nil {
+							merged[r] = siteSet{}
+						}
+						for k := range s {
+							merged[r][k] = struct{}{}
+						}
+					}
+				}
+				transfer(b, merged)
+				for r, s := range merged {
+					old := out[b.ID][r]
+					if len(s) != len(old) {
+						out[b.ID][r] = s.clone()
+						changed = true
+						continue
+					}
+					for k := range s {
+						if _, ok := old[k]; !ok {
+							out[b.ID][r] = s.clone()
+							changed = true
+							break
+						}
+					}
+				}
+			}
+		}
+
+		// Per-statement use sites: re-walk each block from its IN state.
+		state := make([]siteSet, f.NumRegs)
+		for _, b := range f.Blocks {
+			for r := range state {
+				state[r] = nil
+			}
+			if b.ID == 0 {
+				for r, s := range entryIn {
+					if s != nil {
+						state[r] = s.clone()
+					}
+				}
+			}
+			for _, pred := range b.Preds {
+				for r, s := range out[pred] {
+					if len(s) == 0 {
+						continue
+					}
+					if state[r] == nil {
+						state[r] = siteSet{}
+					}
+					for k := range s {
+						state[r][k] = struct{}{}
+					}
+				}
+			}
+			for _, s := range b.Stmts {
+				uses = s.Uses(uses[:0])
+				rd.numRegUses[s.ID] = len(uses)
+				rd.memOpIdx[s.ID] = -1
+				if s.Op == ir.OpLoad {
+					rd.memOpIdx[s.ID] = len(uses)
+				}
+				rawUse[s.ID] = make([]siteSet, len(uses))
+				for k, r := range uses {
+					if state[r] != nil {
+						rawUse[s.ID][k] = state[r].clone()
+					}
+				}
+				if s.Op == ir.OpCall {
+					argSites[s.ID] = make([]siteSet, len(s.Args))
+					for i, arg := range s.Args {
+						if arg.IsReg && state[arg.Reg] != nil {
+							argSites[s.ID][i] = state[arg.Reg].clone()
+						}
+					}
+				}
+				if s.Op == ir.OpRet && s.A.IsReg && state[s.A.Reg] != nil {
+					retSites[s.ID] = state[s.A.Reg].clone()
+				}
+				if site, r := defOf(s); r != ir.NoReg {
+					state[r] = siteSet{site: {}}
+				}
+			}
+		}
+	}
+
+	// Interprocedural fixpoint: resolve each symbolic site to the concrete
+	// statements that may feed it. expand folds the current values of
+	// symbolic sites into a concrete set.
+	val := make([]siteSet, len(rd.syms))
+	for i := range val {
+		val[i] = siteSet{}
+	}
+	expand := func(dst siteSet, src siteSet) bool {
+		grew := false
+		for k := range src {
+			if k >= 0 {
+				if _, ok := dst[k]; !ok {
+					dst[k] = struct{}{}
+					grew = true
+				}
+				continue
+			}
+			for c := range val[-k-1] {
+				if _, ok := dst[c]; !ok {
+					dst[c] = struct{}{}
+					grew = true
+				}
+			}
+		}
+		return grew
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, s := range p.Stmts {
+			switch s.Op {
+			case ir.OpCall:
+				for i, sites := range argSites[s.ID] {
+					if sites == nil || i >= len(paramSym[s.Callee]) {
+						continue
+					}
+					if expand(val[paramSym[s.Callee][i]], sites) {
+						changed = true
+					}
+				}
+			case ir.OpRet:
+				if retSites[s.ID] != nil {
+					if expand(val[retSym[s.Fn]], retSites[s.ID]) {
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Materialize per-use concrete def sets, sorted.
+	for id, opSets := range rawUse {
+		if opSets == nil {
+			continue
+		}
+		rd.useDefs[id] = make([][]int, len(opSets))
+		for k, sites := range opSets {
+			if sites == nil {
+				continue
+			}
+			concrete := siteSet{}
+			expand(concrete, sites)
+			ds := make([]int, 0, len(concrete))
+			for c := range concrete {
+				ds = append(ds, c)
+			}
+			sort.Ints(ds)
+			rd.useDefs[id][k] = ds
+		}
+	}
+	if len(rd.useDefs) != len(p.Stmts) {
+		return nil, fmt.Errorf("sanalysis: def–use table covers %d of %d statements", len(rd.useDefs), len(p.Stmts))
+	}
+	return rd, nil
+}

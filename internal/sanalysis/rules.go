@@ -1,0 +1,77 @@
+package sanalysis
+
+// Rule identifies one class of semantic-verification finding. The semantic
+// level sits above the byte level (PR 2's CRC frame walk) and the structure
+// level (core.Validate): it certifies that every dynamic fact the WET
+// records is an instance of a static fact of its program.
+type Rule string
+
+const (
+	// RuleCFAnchor: the first/last timestamp is not anchored correctly —
+	// timestamp 1 must live on FirstNode, which must be an entry-function
+	// path starting at block 0; timestamp Time must live on LastNode, whose
+	// path must end at a halt.
+	RuleCFAnchor Rule = "CF001"
+	// RuleCFTransition: two consecutive timestamps are connected by an
+	// intra-function transition that is not a path-terminating static CF
+	// edge, or execution continues past a halt.
+	RuleCFTransition Rule = "CF002"
+	// RuleCFCallStack: a call/return transition violates stack discipline —
+	// a call does not enter the callee's entry path, a return does not
+	// resume the caller at the call's continuation block, or a return fires
+	// with an empty call stack.
+	RuleCFCallStack Rule = "CF003"
+	// RuleCFPath: a node's Ball–Larus path id is not statically enumerable
+	// (out of range, undecodable, or its stored block sequence disagrees
+	// with the static decode).
+	RuleCFPath Rule = "CF004"
+	// RuleTSOrder: the per-node timestamp sequences do not merge into the
+	// dense total order 1..Time.
+	RuleTSOrder Rule = "TS001"
+	// RuleCDStatic: a CD edge is not an instance of a static control
+	// dependence (source not a branch, cross-function, or the destination
+	// block is not in the source block's postdominance frontier).
+	RuleCDStatic Rule = "CD001"
+	// RuleCDOrder: a CD label pair is acausal — the branch execution does
+	// not precede the dependent execution.
+	RuleCDOrder Rule = "CD002"
+	// RuleDDStatic: a DD edge's definition is not a static reaching
+	// definition of the use operand.
+	RuleDDStatic Rule = "DD001"
+	// RuleDDOrder: a DD label pair is acausal — the definition does not
+	// precede the use.
+	RuleDDOrder Rule = "DD002"
+	// RuleLocalEdge: an edge marked inferable (labels dropped) is not
+	// certified by static sole-source facts: it must be node-local,
+	// definition before use, fire on every execution, and admit no
+	// intervening kill (DD) or closer CD-parent branch (CD) on the path.
+	RuleLocalEdge Rule = "LE001"
+
+	// RuleSrcMapRange: wetlint -source — iteration over an unordered map in
+	// a serialization or report path, an output-determinism hazard.
+	RuleSrcMapRange Rule = "SRC001"
+	// RuleSrcWallClock: wetlint -source — time.Now in trace construction or
+	// stream code, which must be a pure function of the program and inputs.
+	RuleSrcWallClock Rule = "SRC002"
+	// RuleSrcRandom: wetlint -source — math/rand in trace construction or
+	// stream code.
+	RuleSrcRandom Rule = "SRC003"
+)
+
+// RuleDescriptions maps every rule id to its one-line meaning (rendered by
+// wetlint -json and the DESIGN.md verification-levels table).
+var RuleDescriptions = map[Rule]string{
+	RuleCFAnchor:     "first/last timestamp not anchored at entry path / halting path",
+	RuleCFTransition: "consecutive timestamps not connected by a path-terminating static CF edge",
+	RuleCFCallStack:  "call/return transition violates call-stack discipline",
+	RuleCFPath:       "node path id not statically enumerable or block sequence mismatch",
+	RuleTSOrder:      "node timestamps do not merge into a dense total order 1..Time",
+	RuleCDStatic:     "CD edge is not an instance of a static control dependence",
+	RuleCDOrder:      "CD label pair is acausal",
+	RuleDDStatic:     "DD edge definition is not a static reaching definition of the use",
+	RuleDDOrder:      "DD label pair is acausal",
+	RuleLocalEdge:    "inferable local edge contradicts static sole-source facts",
+	RuleSrcMapRange:  "map iteration order leaks into serialization or report output",
+	RuleSrcWallClock: "wall-clock read in deterministic trace/stream code",
+	RuleSrcRandom:    "math/rand in deterministic trace/stream code",
+}

@@ -1,0 +1,185 @@
+// Package sanalysis is the static semantic-analysis layer over internal/ir
+// programs: dominators and post-dominators (shared pass in internal/ir),
+// control dependence computed from the postdominance frontier, inter- and
+// intraprocedural static reaching definitions (def–use chains with
+// parameter/return flow resolved by a call-graph fixpoint), and static
+// Ball–Larus path enumeration.
+//
+// Every dynamic fact a WET records must be an instance of a static fact of
+// its program: each dynamic control dependence an instance of a
+// Ferrante–Ottenstein static control dependence, each dynamic data
+// dependence an instance of a static reaching definition, each consecutive
+// timestamp pair a static control-flow edge, and each node a statically
+// enumerable Ball–Larus path. VerifyWET (verify.go) certifies a WET against
+// exactly these facts, walking the compressed representation through
+// detached stream cursors without materializing any sequence.
+package sanalysis
+
+import (
+	"fmt"
+	"sort"
+
+	"wet/internal/ballarus"
+	"wet/internal/ir"
+)
+
+// FuncAnalysis holds the per-function static control facts.
+type FuncAnalysis struct {
+	F *ir.Func
+
+	// Idom[b] is the immediate dominator of block b (entry's is itself).
+	Idom []int
+	// Ipdom has len(Blocks)+1 entries; index ir.ExitBlock(F) is the virtual
+	// exit. Finalized programs guarantee every entry is defined (>= 0).
+	Ipdom []int
+
+	// CDParents[b] lists, sorted ascending, the branch blocks that block b
+	// is control dependent on: exactly the postdominance frontier of b.
+	CDParents [][]int
+}
+
+// IsControlDep reports whether block blk is control dependent on branch
+// block branchBlk.
+func (fa *FuncAnalysis) IsControlDep(branchBlk, blk int) bool {
+	if blk < 0 || blk >= len(fa.CDParents) {
+		return false
+	}
+	ps := fa.CDParents[blk]
+	i := sort.SearchInts(ps, branchBlk)
+	return i < len(ps) && ps[i] == branchBlk
+}
+
+// Analysis bundles the static facts of one program: per-function control
+// analyses, Ball–Larus path numbering, and program-wide reaching
+// definitions.
+type Analysis struct {
+	Prog  *ir.Program
+	Funcs []*FuncAnalysis
+	// Paths holds the Ball–Larus numbering the analysis enumerates paths
+	// with. By default it is built here (standard numbering); AnalyzeWithPaths
+	// accepts the profiles a WET was actually built with (e.g. the per-block
+	// ablation) so verification matches the trace's own numbering.
+	Paths []*ballarus.Profile
+
+	rd *reachDefs
+}
+
+// Analyze computes the full static-analysis layer for a finalized program.
+func Analyze(p *ir.Program) (*Analysis, error) {
+	profiles := make([]*ballarus.Profile, len(p.Funcs))
+	for i, f := range p.Funcs {
+		pp, err := ballarus.New(f)
+		if err != nil {
+			return nil, err
+		}
+		profiles[i] = pp
+	}
+	return AnalyzeWithPaths(p, profiles)
+}
+
+// AnalyzeWithPaths is Analyze with caller-provided Ball–Larus profiles (one
+// per function, in function order).
+func AnalyzeWithPaths(p *ir.Program, paths []*ballarus.Profile) (*Analysis, error) {
+	if len(p.Funcs) == 0 {
+		return nil, fmt.Errorf("sanalysis: empty program")
+	}
+	if len(paths) != len(p.Funcs) {
+		return nil, fmt.Errorf("sanalysis: %d path profiles for %d functions", len(paths), len(p.Funcs))
+	}
+	a := &Analysis{Prog: p, Paths: paths}
+	for _, f := range p.Funcs {
+		fa, err := analyzeFunc(f)
+		if err != nil {
+			return nil, err
+		}
+		a.Funcs = append(a.Funcs, fa)
+	}
+	rd, err := solveReachingDefs(p)
+	if err != nil {
+		return nil, err
+	}
+	a.rd = rd
+	return a, nil
+}
+
+// analyzeFunc computes dominators, post-dominators, and the
+// postdominance-frontier control dependence of one function.
+func analyzeFunc(f *ir.Func) (*FuncAnalysis, error) {
+	fa := &FuncAnalysis{
+		F:     f,
+		Idom:  ir.Dominators(f),
+		Ipdom: ir.PostDominators(f),
+	}
+	for b, d := range fa.Idom {
+		if d < 0 {
+			return nil, fmt.Errorf("sanalysis: %s block %d unreachable from entry", f.Name, b)
+		}
+	}
+	for b := 0; b < len(f.Blocks); b++ {
+		if fa.Ipdom[b] < 0 {
+			return nil, fmt.Errorf("sanalysis: %s block %d cannot reach exit", f.Name, b)
+		}
+	}
+
+	// Postdominance frontier via the Cytron run-up, on the reverse graph:
+	// for every branch edge u->v, every block on the post-dominator tree
+	// path from v up to (excluding) ipdom(u) has u in its frontier — i.e.
+	// is control dependent on u.
+	n := len(f.Blocks)
+	sets := make([]map[int]bool, n)
+	for _, b := range f.Blocks {
+		if len(b.Succs) < 2 {
+			continue
+		}
+		u := b.ID
+		stop := fa.Ipdom[u]
+		for _, v := range b.Succs {
+			for w := v; w != stop; w = fa.Ipdom[w] {
+				if w == ir.ExitBlock(f) {
+					return nil, fmt.Errorf("sanalysis: %s: frontier walk from %d->%d escaped to exit", f.Name, u, v)
+				}
+				if sets[w] == nil {
+					sets[w] = map[int]bool{}
+				}
+				sets[w][u] = true
+				if fa.Ipdom[w] == w {
+					break
+				}
+			}
+		}
+	}
+	fa.CDParents = make([][]int, n)
+	for b, s := range sets {
+		for u := range s {
+			fa.CDParents[b] = append(fa.CDParents[b], u)
+		}
+		sort.Ints(fa.CDParents[b])
+	}
+	return fa, nil
+}
+
+// IsControlDep reports whether, within function fn, block blk is control
+// dependent on branch block branchBlk.
+func (a *Analysis) IsControlDep(fn, branchBlk, blk int) bool {
+	if fn < 0 || fn >= len(a.Funcs) {
+		return false
+	}
+	return a.Funcs[fn].IsControlDep(branchBlk, blk)
+}
+
+// NumPaths returns the static Ball–Larus path count of function fn.
+func (a *Analysis) NumPaths(fn int) int64 { return a.Paths[fn].NumPaths }
+
+// PathBlocks enumerates the block sequence of one static Ball–Larus path.
+func (a *Analysis) PathBlocks(fn int, pathID int64) ([]int, error) {
+	return a.Paths[fn].Blocks(pathID)
+}
+
+// IsPathTerminatingEdge reports whether CFG edge (u, succIdx) of function fn
+// ends a Ball–Larus path (a removed back edge or call-continuation edge):
+// the only intra-function edges a node-level control-flow transition may
+// take between two path executions of one frame.
+func (a *Analysis) IsPathTerminatingEdge(fn, u, succIdx int) bool {
+	es := a.Paths[fn].Edges[u]
+	return succIdx >= 0 && succIdx < len(es) && es[succIdx].Removed
+}

@@ -1,0 +1,60 @@
+package wetio
+
+import (
+	"fmt"
+	"io"
+
+	"wet/internal/core"
+	"wet/internal/sanalysis"
+)
+
+// SemanticResult bundles the three verification levels of one file: the
+// byte level (per-section CRCs), the structure level (core.Validate over the
+// parsed representation), and the semantic level (sanalysis.VerifyWET
+// against the program's static analysis).
+type SemanticResult struct {
+	Bytes *VerifyResult
+	// StructureErr is nil when the parsed WET is internally consistent.
+	StructureErr error
+	// Semantic is nil when the byte or structure level already failed badly
+	// enough that the WET could not be loaded.
+	Semantic *sanalysis.Report
+}
+
+// OK reports whether all three levels passed.
+func (r *SemanticResult) OK() bool {
+	return r.Bytes.OK() && r.StructureErr == nil && r.Semantic != nil && r.Semantic.OK()
+}
+
+// VerifySemantic runs the full verification ladder over a WET file:
+// CRC-walk the sections, load and structurally validate the trace, then
+// semantically certify it against the static analysis of its embedded
+// program, walking the tier-2 streams through detached cursors only.
+func VerifySemantic(r io.ReadSeeker) (*SemanticResult, error) {
+	vr, err := Verify(r)
+	if err != nil {
+		return nil, err
+	}
+	res := &SemanticResult{Bytes: vr}
+	if !vr.OK() {
+		return res, nil // unreadable bytes; the upper levels have no input
+	}
+	if _, err := r.Seek(0, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("wetio: rewind for semantic verify: %w", err)
+	}
+	w, err := Load(r, LoadOptions{})
+	if err != nil {
+		res.StructureErr = err
+		return res, nil
+	}
+	if err := w.Validate(); err != nil {
+		res.StructureErr = err
+		return res, nil
+	}
+	rep, err := sanalysis.VerifyWET(w, sanalysis.VerifyOptions{Tier: core.Tier2})
+	if err != nil {
+		return nil, err
+	}
+	res.Semantic = rep
+	return res, nil
+}

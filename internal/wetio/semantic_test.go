@@ -1,0 +1,48 @@
+package wetio
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+// TestVerifySemanticFixture climbs the full verification ladder over the
+// committed v3 fixture: bytes, structure, and semantics must all pass, with
+// non-trivial certified coverage.
+func TestVerifySemanticFixture(t *testing.T) {
+	f, err := os.Open("testdata/li_v3.wet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	res, err := VerifySemantic(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("fixture failed verification: bytes ok=%v structure=%v semantic=%+v",
+			res.Bytes.OK(), res.StructureErr, res.Semantic)
+	}
+	rep := res.Semantic
+	if rep.Nodes == 0 || rep.Edges == 0 || rep.Labels == 0 || rep.Transitions == 0 {
+		t.Fatalf("trivial coverage: %+v", rep)
+	}
+}
+
+// TestVerifySemanticRoundtrip certifies a freshly built and saved workload
+// WET through the same entry point the CLIs use.
+func TestVerifySemanticRoundtrip(t *testing.T) {
+	w := buildFrozen(t, "mcf")
+	var buf bytes.Buffer
+	if err := Save(&buf, w); err != nil {
+		t.Fatal(err)
+	}
+	res, err := VerifySemantic(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("roundtrip failed verification: bytes ok=%v structure=%v semantic=%+v",
+			res.Bytes.OK(), res.StructureErr, res.Semantic)
+	}
+}
