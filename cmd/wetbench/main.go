@@ -8,6 +8,7 @@
 //	wetbench -figure 9        # a single figure
 //	wetbench -stmts 1000000   # longer runs
 //	wetbench -workloads go,li # a subset of benchmarks
+//	wetbench -epochjson BENCH_epoch.json   # epoch-segmentation memory bench
 package main
 
 import (
@@ -30,6 +31,7 @@ func main() {
 	workers := flag.Int("workers", 0, "tier-2 freeze worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	freezeJSON := flag.String("freezejson", "", "run only the freeze bench and write its JSON record to this file")
 	queryJSON := flag.String("queryjson", "", "run only the parallel query bench and write its JSON record to this file")
+	epochJSON := flag.String("epochjson", "", "run only the epoch-segmentation bench and write its JSON record to this file")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
 
@@ -40,6 +42,36 @@ func main() {
 	progress := os.Stderr
 	if *quiet {
 		progress = nil
+	}
+
+	if *epochJSON != "" {
+		// The epoch bench sizes itself (exp.DefaultEpochBenchStmts) unless
+		// -stmts was given explicitly: its epoch-size ladder needs runs
+		// several epochs long, where the suite default fits in one.
+		stmtsSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "stmts" {
+				stmtsSet = true
+			}
+		})
+		if !stmtsSet {
+			cfg.TargetStmts = 0
+		}
+		f, err := os.Create(*epochJSON)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wetbench:", err)
+			os.Exit(1)
+		}
+		if err := exp.WriteEpochBenchJSON(cfg, f, progress); err != nil {
+			fmt.Fprintln(os.Stderr, "wetbench:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "wetbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote epoch bench record to %s\n", *epochJSON)
+		return
 	}
 
 	if *freezeJSON != "" {

@@ -3,7 +3,9 @@
 // diverged: execution-count deltas per statement, value diversity changes,
 // and the Ball–Larus paths exercised by only one run. This is the profile
 // mining the paper motivates ("identify program characteristics"), done on
-// the unified representation.
+// the unified representation. Inputs may mix formats freely: single-epoch
+// v2/v3 files and epoch-segmented v4 files diff against each other — the
+// queries see one timeline either way.
 //
 // Exit codes: 0 ok, 1 error, 2 usage, 3 integrity failure, 4 loaded with
 // data loss under -salvage.
@@ -56,8 +58,8 @@ func diff(a, b *core.WET, top int) int {
 		fail(err)
 	}
 
-	fmt.Printf("run A: %d statements, %d path execs   run B: %d statements, %d path execs\n",
-		a.Raw.StmtExecs, a.Raw.PathExecs, b.Raw.StmtExecs, b.Raw.PathExecs)
+	fmt.Printf("run A: %d statements, %d path execs%s   run B: %d statements, %d path execs%s\n",
+		a.Raw.StmtExecs, a.Raw.PathExecs, epochInfo(a), b.Raw.StmtExecs, b.Raw.PathExecs, epochInfo(b))
 	fmt.Printf("paths: %d shared, %d only in A, %d only in B\n\n",
 		d.SharedPaths, d.PathsOnlyA, d.PathsOnlyB)
 
@@ -75,4 +77,12 @@ func diff(a, b *core.WET, top int) int {
 			a.Prog.Stmts[sd.StmtID], sd.ExecsA, sd.ExecsB, sd.UniqueA, sd.UniqueB)
 	}
 	return cliutil.ExitOK
+}
+
+// epochInfo annotates a run header when the file was epoch-segmented.
+func epochInfo(w *core.WET) string {
+	if !w.Segmented() {
+		return ""
+	}
+	return fmt.Sprintf(" (%d epochs)", w.Epochs)
 }

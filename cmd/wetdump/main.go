@@ -1,6 +1,6 @@
-// Command wetdump inspects a saved WET file: graph statistics, hot paths,
-// per-component sizes, the tier-2 method census, and optionally a DOT graph
-// of a backward slice. -verify walks the file's sections and reports each
+// Command wetdump inspects a saved WET file (v2, v3, or epoch-segmented
+// v4): graph statistics, hot paths, per-component sizes, the tier-2 method
+// census, and optionally a DOT graph of a backward slice. -verify walks the file's sections and reports each
 // checksum without loading; -salvage loads what a damaged file still holds.
 //
 // Exit codes: 0 ok, 1 error, 2 usage, 3 integrity failure, 4 loaded with
@@ -129,6 +129,9 @@ func dump(w *core.WET, paths int, sliceTS uint, dotFile string) {
 		w.Raw.StmtExecs, w.Raw.BlockExecs, w.Raw.PathExecs)
 	fmt.Printf("dependences  %d data, %d control\n", w.Raw.DynDD, w.Raw.DynCD)
 	fmt.Printf("graph        %d path nodes, %d dependence edges\n", len(w.Nodes), len(w.Edges))
+	if w.Segmented() {
+		fmt.Printf("epochs       %d sealed at %d timestamps each (format v4)\n", w.Epochs, w.EpochTS)
+	}
 	fmt.Println()
 	fmt.Print(w.Report().String())
 

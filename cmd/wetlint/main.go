@@ -4,7 +4,9 @@
 // File mode (default) climbs the full verification ladder over each .wet
 // file — bytes (per-section CRCs), structure (core.Validate), semantics
 // (sanalysis.VerifyWET against the embedded program's static analysis) —
-// and reports findings by rule id (CF001..LE001).
+// and reports findings by rule id (CF001..LE001). Both single-epoch v3 and
+// epoch-segmented v4 files climb the same ladder: the semantic rules run on
+// the federated view, so every epoch's labels are certified.
 //
 // Source mode (-source) is a determinism lint over Go source trees built on
 // the stdlib go/ast and go/types only: it flags map iteration in

@@ -8,6 +8,7 @@
 //	wetprof prog.wir
 //	wetprof -input 3,1,4,1,5 -o prog.wet prog.wir
 //	wetprof -show-outputs prog.wir
+//	wetprof -epoch 4096 -o prog.wet prog.wir   # streaming, epoch-segmented v4
 package main
 
 import (
@@ -33,6 +34,7 @@ func main() {
 	outFile := flag.String("o", "", "save the frozen WET to this file")
 	showOut := flag.Bool("show-outputs", false, "print the program's output values")
 	maxSteps := flag.Uint64("max-steps", 1<<28, "dynamic statement budget")
+	epoch := flag.Uint("epoch", 0, "epoch size in timestamps: seal and tier-2 compress the profile per epoch while the program runs (0 = single-epoch; saves format v4)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: wetprof [flags] program.wir")
@@ -63,17 +65,21 @@ func main() {
 		fail(err)
 	}
 	opts := interp.Options{Inputs: tape, MaxSteps: *maxSteps, CollectOutput: *showOut}
-	// Collecting outputs requires a direct run first (core.Build overrides
+	// Collecting outputs requires a direct run first (the builders override
 	// the sink but not output collection — it flows through Result).
-	w, res, err := core.Build(st, opts)
+	// BuildStreaming with epoch 0 is exactly Build + Freeze.
+	w, rep, res, err := core.BuildStreaming(st, opts, core.FreezeOptions{EpochTS: uint32(*epoch)})
 	if err != nil {
 		fail(err)
 	}
-	rep := w.Freeze(core.FreezeOptions{})
 
 	fmt.Printf("program      %s (%d funcs, %d statements)\n", flag.Arg(0), len(prog.Funcs), len(prog.Stmts))
 	fmt.Printf("executed     %d dynamic statements, %d path executions\n", res.Steps, w.Raw.PathExecs)
-	fmt.Printf("WET          %d nodes, %d dependence edges\n\n", len(w.Nodes), len(w.Edges))
+	fmt.Printf("WET          %d nodes, %d dependence edges\n", len(w.Nodes), len(w.Edges))
+	if w.Segmented() {
+		fmt.Printf("epochs       %d sealed at %d timestamps each\n", w.Epochs, w.EpochTS)
+	}
+	fmt.Println()
 	fmt.Print(rep.String())
 	if *showOut {
 		fmt.Printf("\noutputs: %v\n", res.Outputs)

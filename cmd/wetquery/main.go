@@ -7,6 +7,7 @@
 // Usage:
 //
 //	wetquery -bench li -query cftrace -tier 2 -dir backward
+//	wetquery -bench li -query cfrange -from 1000 -to 2000
 //	wetquery -bench mcf -query values
 //	wetquery -bench gzip -query addresses -tier 1
 //	wetquery -bench twolf -query slice -slices 25
@@ -24,6 +25,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -45,6 +47,7 @@ type opts struct {
 	q        string
 	tier     core.Tier
 	dir      string
+	from, to uint32
 	slices   int
 	parallel int
 	criteria string
@@ -55,9 +58,11 @@ type opts struct {
 func main() {
 	bench := flag.String("bench", "gzip", "workload name")
 	stmts := flag.Uint64("stmts", 400_000, "target dynamic statements")
-	q := flag.String("query", "cftrace", "query: cftrace | values | addresses | slice")
+	q := flag.String("query", "cftrace", "query: cftrace | cfrange | values | addresses | slice")
 	tierN := flag.Int("tier", 2, "compression tier to query (1 or 2)")
 	dir := flag.String("dir", "forward", "cftrace direction: forward | backward")
+	fromTS := flag.Uint("from", 1, "cfrange window start timestamp (inclusive)")
+	toTS := flag.Uint("to", 0, "cfrange window end timestamp (inclusive; 0 = end of trace)")
 	slices := flag.Int("slices", 25, "number of slices for -query slice")
 	parallel := flag.Int("parallel", 1, "worker goroutines for -query slice (0 = GOMAXPROCS)")
 	criteria := flag.String("criteria", "", "file of 'node pos ord' slicing criteria for -query slice")
@@ -71,6 +76,8 @@ func main() {
 		q:        *q,
 		tier:     core.Tier2,
 		dir:      *dir,
+		from:     uint32(*fromTS),
+		to:       uint32(*toTS),
 		slices:   *slices,
 		parallel: *parallel,
 		criteria: *criteria,
@@ -113,6 +120,25 @@ func runQuery(run *exp.Run, o opts) int {
 		bytes := n * trace.TSBytes
 		fmt.Printf("control flow trace: %d statements (%.2f MB) in %v (%s, %.2f MB/s)\n",
 			n, float64(bytes)/(1<<20), d, o.dir, float64(bytes)/(1<<20)/d.Seconds())
+	case "cfrange":
+		to := o.to
+		if to == 0 {
+			to = run.W.Time
+		}
+		n, err := query.ExtractCFRange(run.W, o.tier, o.from, to, nil)
+		if err != nil {
+			// An inverted window is a usage error, reported as such rather
+			// than as an empty trace.
+			var re *query.RangeError
+			if errors.As(err, &re) {
+				fmt.Fprintln(os.Stderr, "wetquery:", re)
+				return cliutil.ExitUsage
+			}
+			fmt.Fprintln(os.Stderr, "wetquery:", err)
+			return cliutil.ExitError
+		}
+		d := time.Since(start)
+		fmt.Printf("control flow window [%d, %d]: %d statements in %v\n", o.from, to, n, d)
 	case "values":
 		n, err := query.LoadValueTraces(run.W, o.tier, nil)
 		if err != nil {

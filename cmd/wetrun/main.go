@@ -6,6 +6,7 @@
 //	wetrun -bench gzip -stmts 500000
 //	wetrun -bench li -scale 4 -census
 //	wetrun -bench mcf -certify -o mcf.wet
+//	wetrun -bench gcc -stmts 5000000 -epoch 65536   # streaming, epoch-segmented
 package main
 
 import (
@@ -31,6 +32,7 @@ func main() {
 	outFile := flag.String("o", "", "save the frozen WET to this file")
 	workers := flag.Int("workers", 0, "tier-2 freeze worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	certify := flag.Bool("certify", false, "semantically certify the frozen WET against its static analysis before reporting/saving")
+	epoch := flag.Uint("epoch", 0, "epoch size in timestamps: seal and tier-2 compress the profile per epoch while the run executes (0 = single-epoch; saves format v4)")
 	flag.Parse()
 
 	w, err := workload.ByName(*bench)
@@ -40,8 +42,16 @@ func main() {
 	}
 
 	var run *exp.Run
-	if *scale > 0 {
-		prog, in := w.Build(*scale)
+	if *scale > 0 || *epoch > 0 {
+		sc := *scale
+		if sc == 0 {
+			sc, err = workload.ScaleFor(w, *stmts)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "wetrun:", err)
+				os.Exit(1)
+			}
+		}
+		prog, in := w.Build(sc)
 		if *printIR {
 			fmt.Print(prog.String())
 		}
@@ -50,13 +60,15 @@ func main() {
 			fmt.Fprintln(os.Stderr, "wetrun:", err)
 			os.Exit(1)
 		}
-		wet, res, err := core.Build(st, interp.Options{Inputs: in})
+		// BuildStreaming with epoch 0 is exactly Build + Freeze.
+		wet, rep, res, err := core.BuildStreaming(st, interp.Options{Inputs: in}, core.FreezeOptions{
+			Workers: *workers, EpochTS: uint32(*epoch),
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "wetrun:", err)
 			os.Exit(1)
 		}
-		rep := wet.Freeze(core.FreezeOptions{Workers: *workers})
-		run = &exp.Run{Name: w.Name, Stmts: res.Steps, Scale: *scale, W: wet, Rep: rep}
+		run = &exp.Run{Name: w.Name, Stmts: res.Steps, Scale: sc, W: wet, Rep: rep}
 	} else {
 		run, err = exp.BuildRun(w, *stmts, *workers)
 		if err != nil {
@@ -94,6 +106,9 @@ func main() {
 	fmt.Printf("paths        %d executions of %d distinct Ball-Larus paths\n", wet.Raw.PathExecs, len(wet.Nodes))
 	fmt.Printf("blocks       %d executions\n", wet.Raw.BlockExecs)
 	fmt.Printf("dependences  %d data, %d control\n", wet.Raw.DynDD, wet.Raw.DynCD)
+	if wet.Segmented() {
+		fmt.Printf("epochs       %d sealed at %d timestamps each\n", wet.Epochs, wet.EpochTS)
+	}
 	fmt.Printf("edges        %d static dependence edges\n", len(wet.Edges))
 	fmt.Println()
 	fmt.Print(rep.String())

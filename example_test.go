@@ -1,6 +1,8 @@
 package wet_test
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
 
 	"wet"
@@ -128,4 +130,152 @@ func ExampleCompressBest() {
 	// compressed bits per value: 2
 	// first: 1000
 	// last: 40996
+}
+
+// ExampleRun is the handle-based quick start: build, freeze, and query a
+// program's whole execution trace through one wet.Trace value. EpochTS
+// selects the epoch-segmented streaming pipeline — the profile is tier-2
+// compressed in fixed-size timestamp epochs while the program runs.
+func ExampleRun() {
+	prog, err := wet.ParseProgram(`
+func main() {
+    i = const 300
+    acc = const 0
+loop:
+    acc = add acc, i
+    i = sub i, 1
+    c = gt i, 0
+    br c, loop, done
+done:
+    output acc
+    halt
+}
+`)
+	if err != nil {
+		panic(err)
+	}
+	t, res, err := wet.Run(prog, wet.RunOptions{}, wet.FreezeOptions{EpochTS: 64})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("steps:", res.Steps)
+	fmt.Println("segmented:", t.Segmented(), "epochs:", t.Epochs())
+	fmt.Println("forward:", t.ExtractControlFlow(true, nil))
+	fmt.Println("backward:", t.ExtractControlFlow(false, nil))
+
+	// Trace the accumulator's values across the run.
+	var accID int
+	for _, s := range prog.Stmts {
+		if s.Op == wet.OpAdd {
+			accID = s.ID
+		}
+	}
+	var last int64
+	n, err := t.ValueTrace(accID, func(s wet.Sample) { last = s.Value })
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("adds:", n, "final acc:", last)
+
+	// Slice backward from the output through the dependence edges.
+	var outID int
+	for _, s := range prog.Stmts {
+		if s.Op == wet.OpOutput {
+			outID = s.ID
+		}
+	}
+	inst, err := t.InstanceOfTS(outID, t.Time())
+	if err != nil {
+		panic(err)
+	}
+	sl, err := t.Backward(inst, 0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("slice instances:", len(sl.Instances))
+	// Output:
+	// steps: 1205
+	// segmented: true epochs: 5
+	// forward: 1205
+	// backward: 1205
+	// adds: 300 final acc: 45150
+	// slice instances: 1200
+}
+
+// ExampleOpen round-trips a trace through the file format and back via the
+// unified Open entry point, covering the strict, tier-1, and verify-only
+// paths.
+func ExampleOpen() {
+	prog, err := wet.ParseProgram(`
+func main() {
+    i = const 10
+loop:
+    i = sub i, 1
+    c = gt i, 0
+    br c, loop, done
+done:
+    halt
+}
+`)
+	if err != nil {
+		panic(err)
+	}
+	t, _, err := wet.Run(prog, wet.RunOptions{}, wet.FreezeOptions{EpochTS: 8})
+	if err != nil {
+		panic(err)
+	}
+	var buf bytes.Buffer
+	if err := t.Save(&buf); err != nil {
+		panic(err)
+	}
+
+	// Verify-only: a checksum walk, no trace constructed.
+	_, rep, err := wet.Open(bytes.NewReader(buf.Bytes()), wet.WithVerifyOnly())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("version:", rep.Version, "intact:", rep.Verify.OK())
+
+	// Strict load with tier-1 rehydration; tier-1 and tier-2 views agree.
+	got, _, err := wet.Open(bytes.NewReader(buf.Bytes()), wet.WithTier1())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("tier2:", got.ExtractControlFlow(true, nil),
+		"tier1:", got.AtTier(wet.Tier1).ExtractControlFlow(true, nil))
+	// Output:
+	// version: 4 intact: true
+	// tier2: 33 tier1: 33
+}
+
+// ExampleTrace_ExtractCFRange extracts a window of the control-flow trace;
+// an inverted window is a typed error, not a silent empty result.
+func ExampleTrace_ExtractCFRange() {
+	prog, err := wet.ParseProgram(`
+func main() {
+    i = const 5
+loop:
+    i = sub i, 1
+    c = gt i, 0
+    br c, loop, done
+done:
+    halt
+}
+`)
+	if err != nil {
+		panic(err)
+	}
+	t, _, err := wet.Run(prog, wet.RunOptions{}, wet.FreezeOptions{})
+	if err != nil {
+		panic(err)
+	}
+	n, err := t.ExtractCFRange(2, 7, nil)
+	fmt.Println("window:", n, err)
+	var re *wet.RangeError
+	if _, err := t.ExtractCFRange(7, 2, nil); errors.As(err, &re) {
+		fmt.Println("inverted:", re)
+	}
+	// Output:
+	// window: 13 <nil>
+	// inverted: query: inverted timestamp range [7, 2]
 }

@@ -22,10 +22,11 @@ type Builder struct {
 	nodeIdx map[nodeKey]int
 
 	// Per-instance location records (dropped after Finish): where each
-	// dynamic statement instance landed. Indexed by instance id.
-	instNode []int32
-	instOrd  []uint32
-	instPos  []int32
+	// dynamic statement instance landed, packed one word per instance as
+	// node(16) | pos(12) | ord(32) — see packInstLoc. Indexed by instance
+	// id; this table is the only builder structure that must grow with the
+	// full trace even when streaming.
+	instLoc []uint64
 
 	// Pending events of the currently executing path.
 	pending []pendingEvent
@@ -34,6 +35,11 @@ type Builder struct {
 
 	time     uint32
 	prevNode int
+
+	// Streaming (epoch-segmented) state; zero/nil on single-epoch builds.
+	epochTS uint32
+	fopts   FreezeOptions
+	pipe    *freezePool
 
 	// CheckDeterminism re-verifies the tier-1 value-grouping invariant on
 	// every execution: a repeated input tuple must reproduce the stored
@@ -80,9 +86,7 @@ func NewBuilder(st *interp.Static) *Builder {
 		w:        &WET{Prog: st.Prog, Static: st, StmtOcc: make([][]StmtRef, len(st.Prog.Stmts))},
 		nodeIdx:  map[nodeKey]int{},
 		edgeIdx:  map[edgeKey]int{},
-		instNode: make([]int32, 1, 1024), // instance ids start at 1
-		instOrd:  make([]uint32, 1, 1024),
-		instPos:  make([]int32, 1, 1024),
+		instLoc:  make([]uint64, 1, 1024), // instance ids start at 1
 		prevNode: -1,
 	}
 }
@@ -145,21 +149,21 @@ func (b *Builder) flushPath(fn int, pathID int64) error {
 			return fmt.Errorf("core: path (fn %d, id %d) statement %d is [%d]%s, node expects [%d]%s",
 				fn, pathID, i, ev.st.ID, ev.st, node.Stmts[i].ID, node.Stmts[i])
 		}
-		b.instNode = append(b.instNode, int32(node.ID))
-		b.instOrd = append(b.instOrd, ord)
-		b.instPos = append(b.instPos, int32(i))
+		b.instLoc = append(b.instLoc, packInstLoc(node.ID, i, ord))
 
 		for opIdx, src := range ev.dd {
 			if src == 0 {
 				continue
 			}
-			if src >= trace.Inst(len(b.instNode)) {
+			if src >= trace.Inst(len(b.instLoc)) {
 				return fmt.Errorf("core: dependence source instance %d not yet recorded", src)
 			}
-			b.label(DD, int(b.instNode[src]), int(b.instPos[src]), node.ID, i, opIdx, ord, b.instOrd[src])
+			sn, sp, so := unpackInstLoc(b.instLoc[src])
+			b.label(DD, sn, sp, node.ID, i, opIdx, ord, so)
 		}
 		if ev.cd != 0 {
-			b.label(CD, int(b.instNode[ev.cd]), int(b.instPos[ev.cd]), node.ID, i, -1, ord, b.instOrd[ev.cd])
+			sn, sp, so := unpackInstLoc(b.instLoc[ev.cd])
+			b.label(CD, sn, sp, node.ID, i, -1, ord, so)
 		}
 	}
 
@@ -168,7 +172,25 @@ func (b *Builder) flushPath(fn int, pathID int64) error {
 		return err
 	}
 	b.pending = b.pending[:0]
+
+	// Streaming: the timestamp just issued closed its epoch — seal it and
+	// hand the epoch's label slices to the compression pool. A path carries
+	// exactly one timestamp, so a path never spans epochs.
+	if b.epochTS > 0 && b.time%b.epochTS == 0 {
+		b.sealEpoch(int(b.time/b.epochTS) - 1)
+	}
 	return nil
+}
+
+// packInstLoc packs an instance location into one word: node(16) | pos(12) |
+// ord(32). The widths match packEdgeKey's; Builder.node rejects programs
+// that outgrow them.
+func packInstLoc(node, pos int, ord uint32) uint64 {
+	return uint64(node)<<44 | uint64(pos)<<32 | uint64(ord)
+}
+
+func unpackInstLoc(l uint64) (node, pos int, ord uint32) {
+	return int(l >> 44), int(l >> 32 & 0xfff), uint32(l)
 }
 
 // label appends a <dstOrd, srcOrd> pair to the dependence edge, creating the
@@ -246,6 +268,9 @@ func (b *Builder) node(fn int, pathID int64) (*Node, error) {
 			b.w.StmtOcc[s.ID] = append(b.w.StmtOcc[s.ID], StmtRef{Node: n.ID, Pos: len(n.Stmts)})
 			n.Stmts = append(n.Stmts, s)
 		}
+	}
+	if n.ID >= 1<<16 || len(n.Stmts) > 1<<12 {
+		return nil, fmt.Errorf("core: node %d (%d statements) exceeds packed location widths", n.ID, len(n.Stmts))
 	}
 	n.InEdges = make([][]int, len(n.Stmts))
 	n.OutEdges = make([][]int, len(n.Stmts))
@@ -406,6 +431,9 @@ func formGroups(n *Node) {
 
 // Finish validates and returns the built WET (tier-1 labeled, not frozen).
 func (b *Builder) Finish() (*WET, error) {
+	if b.pipe != nil {
+		return nil, fmt.Errorf("core: streaming builder must finish via FinishStreaming")
+	}
 	if b.err != nil {
 		return nil, b.err
 	}
@@ -422,7 +450,7 @@ func (b *Builder) Finish() (*WET, error) {
 		src.OutEdges[e.SrcPos] = append(src.OutEdges[e.SrcPos], i)
 	}
 	// Release instance records.
-	b.instNode, b.instOrd, b.instPos = nil, nil, nil
+	b.instLoc = nil
 	return w, nil
 }
 

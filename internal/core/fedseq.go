@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+
+	"wet/internal/stream"
+)
+
+// fedPart is one segment's contribution to a federated label sequence:
+// either a tier-2 stream (with a lazily spawned private cursor) or a
+// synthesized ramp for an inferable edge segment, whose k-th element is
+// ramp+k and needs no storage at all. add is added to every value read from
+// the part — it re-bases a segment's local timestamps to global time (zero
+// for sequences whose stored values are already global: patterns, unique
+// values, edge ordinals).
+type fedPart struct {
+	n    int
+	add  uint32
+	s    stream.Stream // nil for a synthesized ramp part
+	ramp uint32        // first value of the ramp when s == nil
+	cur  stream.Cursor // lazily spawned from s
+}
+
+// fedSeq federates per-epoch segment streams behind the Seq contract: one
+// logical bidirectional cursor over the concatenation of all parts. Each
+// fedSeq owns private per-part cursors, so the detached-cursor concurrency
+// contract of the factory API carries over unchanged: any number of fedSeqs
+// may traverse one frozen segmented WET concurrently. Sequential Next/Prev
+// runs touch the underlying cursors without seeks; repositioning costs one
+// checkpointed seek inside the target segment.
+type fedSeq struct {
+	parts  []fedPart
+	starts []int // starts[i] = global index of parts[i]'s first element
+	pos    int
+}
+
+// newFedSeq builds a federated sequence over parts (in segment order).
+func newFedSeq(parts []fedPart) *fedSeq {
+	starts := make([]int, len(parts)+1)
+	for i := range parts {
+		starts[i+1] = starts[i] + parts[i].n
+	}
+	return &fedSeq{parts: parts, starts: starts}
+}
+
+func (f *fedSeq) Len() int { return f.starts[len(f.parts)] }
+func (f *fedSeq) Pos() int { return f.pos }
+
+// Seek implements Seeker: it only moves the logical position; the segment
+// cursor repositions (checkpointed) on the next read.
+func (f *fedSeq) Seek(i int) {
+	if i < 0 || i > f.Len() {
+		panic(fmt.Sprintf("core: seek to %d outside [0,%d]", i, f.Len()))
+	}
+	f.pos = i
+}
+
+// partAt returns the index of the part containing global element i (i < Len).
+func (f *fedSeq) partAt(i int) int {
+	lo, hi := 0, len(f.parts)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if f.starts[mid+1] <= i {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func (f *fedSeq) Next() uint32 {
+	if f.pos >= f.Len() {
+		panic("core: Seq Next past end")
+	}
+	pi := f.partAt(f.pos)
+	local := f.pos - f.starts[pi]
+	f.pos++
+	p := &f.parts[pi]
+	if p.s == nil {
+		return p.ramp + uint32(local)
+	}
+	if p.cur == nil {
+		p.cur = p.s.NewCursor()
+	}
+	if p.cur.Pos() != local {
+		p.cur.Seek(local)
+	}
+	return p.cur.Next() + p.add
+}
+
+func (f *fedSeq) Prev() uint32 {
+	if f.pos == 0 {
+		panic("core: Seq Prev past start")
+	}
+	f.pos--
+	pi := f.partAt(f.pos)
+	local := f.pos - f.starts[pi]
+	p := &f.parts[pi]
+	if p.s == nil {
+		return p.ramp + uint32(local)
+	}
+	if p.cur == nil {
+		p.cur = p.s.NewCursor()
+	}
+	// Position the segment cursor just past the element so its Prev yields
+	// it; a sequential backward run then needs no further seeks.
+	if p.cur.Pos() != local+1 {
+		p.cur.Seek(local + 1)
+	}
+	return p.cur.Prev() + p.add
+}
+
+var (
+	_ Seq    = (*fedSeq)(nil)
+	_ Seeker = (*fedSeq)(nil)
+)
+
+// tsFed returns a federated cursor over n's timestamp segments, re-basing
+// each segment's local timestamps by its epoch base.
+func (w *WET) tsFed(n *Node) Seq {
+	parts := make([]fedPart, len(n.TSSegs))
+	for i, sg := range n.TSSegs {
+		parts[i] = fedPart{n: sg.N, add: uint32(sg.Epoch) * w.EpochTS, s: sg.S}
+	}
+	return newFedSeq(parts)
+}
+
+// patFed returns a federated cursor over g's pattern segments. Pattern
+// entries index the run-global unique-value table, so no re-basing applies.
+func (w *WET) patFed(g *Group) Seq {
+	parts := make([]fedPart, len(g.PatSegs))
+	for i, sg := range g.PatSegs {
+		parts[i] = fedPart{n: sg.N, s: sg.S}
+	}
+	return newFedSeq(parts)
+}
+
+// uvalFed returns a federated cursor over the unique values of
+// g.ValMembers[mi]. Each segment holds the values first observed in its
+// epoch, so the concatenation is the run-global discovery order.
+func (w *WET) uvalFed(g *Group, mi int) Seq {
+	segs := g.UValSegs[mi]
+	parts := make([]fedPart, len(segs))
+	for i, sg := range segs {
+		parts[i] = fedPart{n: sg.N, s: sg.S}
+	}
+	return newFedSeq(parts)
+}
+
+// edgeFed returns federated (dst, src) cursors over e's label segments:
+// inferable segments synthesize their ordinal ramp, shared segments read the
+// representative edge's streams, and diagonal segments read the destination
+// stream on both sides (through independent cursors).
+func (w *WET) edgeFed(e *Edge) (dst, src Seq) {
+	dp := make([]fedPart, len(e.Segs))
+	sp := make([]fedPart, len(e.Segs))
+	for i, sg := range e.Segs {
+		if sg.Inferable {
+			dp[i] = fedPart{n: sg.N, ramp: sg.RampBase}
+			sp[i] = fedPart{n: sg.N, ramp: sg.RampBase}
+			continue
+		}
+		ds, ss, diag := sg.DstS, sg.SrcS, sg.Diagonal
+		if sg.SharedWith >= 0 {
+			rs := w.Edges[sg.SharedWith].Segs[sg.SharedSeg]
+			ds, ss, diag = rs.DstS, rs.SrcS, rs.Diagonal
+		}
+		dp[i] = fedPart{n: sg.N, s: ds}
+		if diag {
+			sp[i] = fedPart{n: sg.N, s: ds}
+		} else {
+			sp[i] = fedPart{n: sg.N, s: ss}
+		}
+	}
+	return newFedSeq(dp), newFedSeq(sp)
+}

@@ -96,6 +96,14 @@ type FreezeOptions struct {
 	// Checkpoints never change stream bytes or SizeBits — only the
 	// CheckpointBytes line of the report and seek latency.
 	CheckpointK int
+	// EpochTS selects the epoch-segmented streaming pipeline (segment.go):
+	// the dynamic profile is sealed and tier-2 compressed in epochs of
+	// EpochTS timestamps while the interpreter runs, bounding peak memory
+	// by the epoch size instead of the trace length. 0 (the default) keeps
+	// the single-epoch behavior — build fully, then Freeze — whose output
+	// is byte-identical to the pre-streaming pipeline. Only consulted by
+	// BuildStreaming/NewStreamingBuilder; Freeze itself ignores it.
+	EpochTS uint32
 }
 
 // Freeze applies the tier-1 edge label reductions (paper §3.3), compresses
@@ -350,18 +358,32 @@ func (w *WET) checkpointBytes() uint64 {
 			bits += s.CheckpointBits()
 		}
 	}
+	addSegs := func(segs []*LabelSeg) {
+		for _, sg := range segs {
+			add(sg.S)
+		}
+	}
 	for _, n := range w.Nodes {
 		add(n.TSS)
+		addSegs(n.TSSegs)
 		for _, g := range n.Groups {
 			add(g.PatternS)
+			addSegs(g.PatSegs)
 			for _, s := range g.UValS {
 				add(s)
+			}
+			for _, segs := range g.UValSegs {
+				addSegs(segs)
 			}
 		}
 	}
 	for _, e := range w.Edges {
 		add(e.DstS)
 		add(e.SrcS)
+		for _, sg := range e.Segs {
+			add(sg.DstS)
+			add(sg.SrcS)
+		}
 	}
 	return (bits + 7) / 8
 }
@@ -419,15 +441,20 @@ func bitsFor(v uint64) int {
 }
 
 func labelHash(e *Edge) uint64 {
+	if e.Diagonal {
+		return labelHashRaw(e.DstOrd, e.DstOrd)
+	}
+	return labelHashRaw(e.DstOrd, e.SrcOrd)
+}
+
+// labelHashRaw hashes a (dst, src) label pair sequence given as raw slices
+// (the per-epoch sealer shares it with the whole-run path).
+func labelHashRaw(dst, src []uint32) uint64 {
 	h := fnv.New64a()
 	var buf [8]byte
-	for i := range e.DstOrd {
-		put32(buf[:4], e.DstOrd[i])
-		if e.Diagonal {
-			put32(buf[4:], e.DstOrd[i])
-		} else {
-			put32(buf[4:], e.SrcOrd[i])
-		}
+	for i := range dst {
+		put32(buf[:4], dst[i])
+		put32(buf[4:], src[i])
 		h.Write(buf[:])
 	}
 	return h.Sum64()

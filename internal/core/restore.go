@@ -59,6 +59,46 @@ func (w *WET) RestoreIndexes(rep *SizeReport) {
 	}
 }
 
+// MaterializeTier1 rehydrates the tier-1 slices of a segmented WET by
+// draining the federated tier-2 cursors once: global node timestamps,
+// run-global patterns and unique values, and full edge label pairs (ramp
+// and shared segments are materialized into plain labels). It is the
+// segmented counterpart of LoadOptions.RestoreTier1's per-stream draining;
+// wetio calls it after a v4 parse when tier-1 access was requested.
+func (w *WET) MaterializeTier1() {
+	drain := func(s Seq) []uint32 {
+		out := make([]uint32, s.Len())
+		if sk, ok := s.(Seeker); ok {
+			sk.Seek(0)
+		}
+		for i := range out {
+			out[i] = s.Next()
+		}
+		return out
+	}
+	for _, n := range w.Nodes {
+		if n.TSSegs == nil {
+			continue
+		}
+		n.TS = drain(w.TSSeq(n, Tier2))
+		for _, g := range n.Groups {
+			g.Pattern = drain(w.PatternSeq(g, Tier2))
+			g.UVals = make([][]uint32, len(g.ValMembers))
+			for mi := range g.UVals {
+				g.UVals[mi] = drain(w.UValSeq(g, mi, Tier2))
+			}
+		}
+	}
+	for _, e := range w.Edges {
+		if e.Inferable || e.Segs == nil {
+			continue
+		}
+		d, s := w.EdgeLabels(e, Tier2)
+		e.DstOrd = drain(d)
+		e.SrcOrd = drain(s)
+	}
+}
+
 // SanitizeSalvaged repairs the invariants RestoreIndexes and the query
 // layer rely on after a salvage load dropped node records: control-flow
 // successor/predecessor lists may point at nodes past the surviving prefix

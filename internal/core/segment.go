@@ -1,0 +1,520 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"wet/internal/interp"
+	"wet/internal/stream"
+	"wet/internal/trace"
+)
+
+// The epoch-segmented streaming pipeline: instead of holding the whole
+// uncompressed tier-1 trace until the run ends, the builder seals the
+// dynamic profile into fixed-size timestamp epochs (FreezeOptions.EpochTS
+// timestamps each). Epoch e covers global timestamps (e*E, (e+1)*E]; as the
+// interpreter crosses an epoch boundary the epoch's label slices are handed
+// to a bounded worker pool and tier-2 compressed while execution continues,
+// so peak memory is bounded by one epoch of tier-1 labels plus the in-flight
+// compression jobs — not by trace length.
+//
+// Segment storage keeps every cross-segment invariant the single-epoch
+// representation has:
+//
+//   - Node timestamps are stored LOCAL to the epoch (global = epoch base +
+//     local, base = epoch*EpochTS); everything else stays GLOBAL.
+//   - Pattern entries index the run-global unique-value table (the key map
+//     lives for the whole run), and each unique-value segment holds the
+//     values first observed in its epoch, so concatenating segments
+//     reproduces the run-global discovery order exactly.
+//   - Edge labels live in the segment of their use-side (destination)
+//     timestamp — a cross-epoch dependence is recorded where it is consumed,
+//     and its source ordinal (a run-global execution ordinal) may point into
+//     any earlier epoch.
+//
+// Because concatenation reproduces the exact single-epoch sequences, the
+// federated cursors (fedseq.go) make every query return identical results on
+// a segmented and a single-epoch WET of the same run.
+
+// LabelSeg is one epoch's frozen slice of a label sequence (timestamps,
+// group pattern, or unique values).
+type LabelSeg struct {
+	Epoch int
+	N     int
+	S     stream.Stream
+}
+
+// EdgeSeg is one epoch's slice of a dependence edge's label pairs, carrying
+// the per-epoch forms of the §3.3 reductions: Inferable segments cover every
+// node execution of their epoch with <k,k> pairs starting at RampBase and
+// store nothing; shared segments reuse the identical labels of
+// Edges[SharedWith].Segs[SharedSeg] (the representative always has a smaller
+// edge index); Diagonal segments store only the destination ordinals.
+type EdgeSeg struct {
+	Epoch int
+	N     int
+
+	Inferable bool
+	RampBase  uint32
+	Diagonal  bool
+
+	SharedWith int // owning edge index, or -1
+	SharedSeg  int // segment index within the owner, or -1
+
+	DstS, SrcS stream.Stream
+}
+
+// freezePool is the bounded asynchronous compression pool the sealer hands
+// epoch slices to. The jobs channel is small on purpose: a submit blocks
+// once workers fall behind, so un-compressed sealed epochs cannot pile up
+// and the streaming memory bound holds under any workload.
+type freezePool struct {
+	jobs chan func(*stream.Scratch)
+	wg   sync.WaitGroup
+}
+
+func newFreezePool(workers int) *freezePool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &freezePool{jobs: make(chan func(*stream.Scratch), workers*2)}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			sc := stream.NewScratch()
+			defer sc.Release()
+			for job := range p.jobs {
+				job(sc)
+			}
+		}()
+	}
+	return p
+}
+
+func (p *freezePool) submit(job func(*stream.Scratch)) { p.jobs <- job }
+
+func (p *freezePool) drain() {
+	close(p.jobs)
+	p.wg.Wait()
+}
+
+// sealEpoch freezes every label appended during the epoch that just closed:
+// it moves the tier-1 slices out of the live builder state (appends restart
+// empty for the next epoch), decides the per-segment edge reductions while
+// the uncompressed labels are still at hand, and submits one compression job
+// per surviving stream. Runs on the interpreter goroutine; only the
+// compression itself is concurrent. Segment lists hold pointers so later
+// appends never move a segment a worker is still writing.
+func (b *Builder) sealEpoch(epoch int) {
+	base := uint32(epoch) * b.epochTS
+	ck := b.fopts.CheckpointK
+
+	for _, n := range b.w.Nodes {
+		if len(n.TS) > 0 {
+			ts := n.TS
+			n.TS = nil
+			for i := range ts {
+				ts[i] -= base
+			}
+			seg := &LabelSeg{Epoch: epoch, N: len(ts)}
+			n.TSSegs = append(n.TSSegs, seg)
+			b.pipe.submit(func(sc *stream.Scratch) { seg.S = stream.CompressBestScratchK(ts, sc, ck) })
+		}
+		for _, g := range n.Groups {
+			if len(g.Pattern) > 0 {
+				pat := g.Pattern
+				g.Pattern = nil
+				seg := &LabelSeg{Epoch: epoch, N: len(pat)}
+				g.PatSegs = append(g.PatSegs, seg)
+				b.pipe.submit(func(sc *stream.Scratch) { seg.S = stream.CompressBestScratchK(pat, sc, ck) })
+			}
+			if g.UValSegs == nil && len(g.ValMembers) > 0 {
+				g.UValSegs = make([][]*LabelSeg, len(g.ValMembers))
+			}
+			for mi := range g.UVals {
+				if len(g.UVals[mi]) == 0 {
+					continue
+				}
+				uv := g.UVals[mi]
+				g.UVals[mi] = nil
+				seg := &LabelSeg{Epoch: epoch, N: len(uv)}
+				g.UValSegs[mi] = append(g.UValSegs[mi], seg)
+				b.pipe.submit(func(sc *stream.Scratch) { seg.S = stream.CompressBestScratchK(uv, sc, ck) })
+			}
+		}
+	}
+
+	b.sealEpochEdges(epoch)
+
+	// Advance the per-node sealed-execution watermark only after the edge
+	// pass: segment inference needs the epoch's starting ordinal.
+	for _, n := range b.w.Nodes {
+		n.sealedExecs = n.Execs
+	}
+}
+
+// sealEpochEdges applies the per-segment §3.3 reductions to every edge that
+// fired during the epoch and submits the surviving label streams for
+// compression. Sharing is per-epoch and per (src node, dst node, kind):
+// identical uncompressed label slices are detected in edge-index order, so a
+// representative always has a smaller index than its sharers.
+func (b *Builder) sealEpochEdges(epoch int) {
+	ck := b.fopts.CheckpointK
+	type shareKey struct {
+		srcNode, dstNode int
+		kind             EdgeKind
+		h                uint64
+	}
+	type owner struct {
+		edgeIdx, segIdx int
+		seg             *EdgeSeg
+		dst, src        []uint32
+	}
+	var reps map[shareKey][]owner
+	if !b.fopts.NoShare {
+		reps = map[shareKey][]owner{}
+	}
+
+	for ei, e := range b.w.Edges {
+		if len(e.DstOrd) == 0 {
+			continue
+		}
+		dst, src := e.DstOrd, e.SrcOrd
+		e.DstOrd, e.SrcOrd = nil, nil
+		seg := &EdgeSeg{Epoch: epoch, N: len(dst), SharedWith: -1, SharedSeg: -1}
+		e.Segs = append(e.Segs, seg)
+
+		// Per-segment inference: the edge fired on every execution of its
+		// node this epoch and every pair is <k,k> along the epoch's ordinal
+		// ramp.
+		if !b.fopts.NoInfer && e.SrcNode == e.DstNode {
+			node := b.w.Nodes[e.DstNode]
+			start := uint32(node.sealedExecs)
+			if len(dst) == node.Execs-node.sealedExecs {
+				ramp := true
+				for k := range dst {
+					if dst[k] != start+uint32(k) || src[k] != dst[k] {
+						ramp = false
+						break
+					}
+				}
+				if ramp {
+					seg.Inferable = true
+					seg.RampBase = start
+					continue
+				}
+			}
+		}
+		if b.fopts.AggressiveEdges {
+			diag := true
+			for k := range dst {
+				if dst[k] != src[k] {
+					diag = false
+					break
+				}
+			}
+			if diag {
+				seg.Diagonal = true
+				src = nil
+			}
+		}
+		if reps != nil {
+			k := shareKey{e.SrcNode, e.DstNode, e.Kind, segLabelHash(dst, src, seg.Diagonal)}
+			found := false
+			for _, o := range reps[k] {
+				if segLabelsEqual(o.dst, o.src, o.seg.Diagonal, dst, src, seg.Diagonal) {
+					seg.SharedWith = o.edgeIdx
+					seg.SharedSeg = o.segIdx
+					seg.Diagonal = false
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			reps[k] = append(reps[k], owner{edgeIdx: ei, segIdx: len(e.Segs) - 1, seg: seg, dst: dst, src: src})
+		}
+		dstBuf, srcBuf, diag := dst, src, seg.Diagonal
+		b.pipe.submit(func(sc *stream.Scratch) {
+			seg.DstS = stream.CompressBestScratchK(dstBuf, sc, ck)
+			if !diag {
+				seg.SrcS = stream.CompressBestScratchK(srcBuf, sc, ck)
+			}
+		})
+	}
+}
+
+// segLabelHash mirrors labelHash over raw slices (diagonal segments hash the
+// destination ordinals on both sides, like diagonal edges do).
+func segLabelHash(dst, src []uint32, diag bool) uint64 {
+	if diag {
+		return labelHashRaw(dst, dst)
+	}
+	return labelHashRaw(dst, src)
+}
+
+// segLabelsEqual mirrors labelsEqual over raw slices.
+func segLabelsEqual(aDst, aSrc []uint32, aDiag bool, bDst, bSrc []uint32, bDiag bool) bool {
+	if len(aDst) != len(bDst) || aDiag != bDiag {
+		return false
+	}
+	for i := range aDst {
+		if aDst[i] != bDst[i] {
+			return false
+		}
+		if !aDiag && aSrc[i] != bSrc[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// finishStreaming completes a streaming build after the interpreter stops:
+// seals the trailing partial epoch, waits for the compression pool, promotes
+// whole-run inferable edges, and assembles the size report.
+func (b *Builder) finishStreaming() error {
+	e := b.epochTS
+	if b.time > 0 && b.time%e != 0 {
+		b.sealEpoch(int(b.time / e))
+	}
+	b.pipe.drain()
+	w := b.w
+	w.EpochTS = e
+	w.Epochs = int((uint64(b.time) + uint64(e) - 1) / uint64(e))
+
+	// Whole-run inference: an edge whose every segment is inferable and
+	// that fired on every node execution carries exactly the labels the
+	// single-epoch Freeze drops — promote it so the edge-level fast paths
+	// (queries, semantic verifier) apply unchanged.
+	for _, ed := range w.Edges {
+		if ed.SrcNode != ed.DstNode || ed.Count != w.Nodes[ed.DstNode].Execs || len(ed.Segs) == 0 {
+			continue
+		}
+		all := true
+		for _, sg := range ed.Segs {
+			if !sg.Inferable {
+				all = false
+				break
+			}
+		}
+		if all {
+			ed.Inferable = true
+			ed.Segs = nil
+		}
+	}
+	return nil
+}
+
+// streamingReport assembles the SizeReport of a streamed WET. Tier-1 costs
+// are charged per segment (an epoch-local inference or share drops only its
+// own epoch's labels), so tier-1 edge bytes can differ from a single-epoch
+// freeze of the same run; tier-2 sizes are the measured stream bits either
+// way. Deterministic: nodes, groups, and edges are walked in index order
+// after the pool has drained.
+func (w *WET) streamingReport(opts FreezeOptions) *SizeReport {
+	r := &SizeReport{Methods: map[string]int{}}
+	r.OrigTS = w.Raw.OrigNodeTSBytes()
+	r.OrigVals = w.Raw.OrigNodeValBytes()
+	r.OrigEdges = w.Raw.OrigEdgeBytes()
+
+	addSeg := func(sg *LabelSeg) {
+		r.Methods[sg.S.Name()]++
+	}
+	for _, n := range w.Nodes {
+		r.T1TS += uint64(n.Execs) * trace.TSBytes
+		var bits uint64
+		for _, sg := range n.TSSegs {
+			addSeg(sg)
+			bits += sg.S.SizeBits()
+		}
+		r.T2TS += (bits + 7) / 8
+
+		for _, g := range n.Groups {
+			if len(g.ValMembers) == 0 && len(g.PatSegs) == 0 {
+				continue
+			}
+			uniq := uint64(g.UniqueKeys())
+			var patBits uint64
+			if uniq > 1 {
+				patBits = uint64(n.Execs) * uint64(bitsFor(uniq-1))
+			}
+			if len(g.ValMembers) > 0 {
+				r.T1Vals += uniq*uint64(len(g.ValMembers))*trace.ValBytes + (patBits+7)/8
+			}
+			var t2 uint64
+			for _, segs := range g.UValSegs {
+				for _, sg := range segs {
+					addSeg(sg)
+					t2 += sg.S.SizeBits()
+				}
+			}
+			if len(g.ValMembers) > 0 {
+				for _, sg := range g.PatSegs {
+					addSeg(sg)
+					t2 += sg.S.SizeBits()
+				}
+				r.T2Vals += (t2 + 7) / 8
+			}
+		}
+	}
+
+	for _, e := range w.Edges {
+		if e.Inferable {
+			r.InferableEdges++
+			continue
+		}
+		ownedSegs, sharedSegs := 0, 0
+		var t1 uint64
+		var t2bits uint64
+		for _, sg := range e.Segs {
+			switch {
+			case sg.Inferable:
+			case sg.SharedWith >= 0:
+				sharedSegs++
+			default:
+				ownedSegs++
+				if sg.Diagonal {
+					t1 += uint64(sg.N) * trace.TSBytes
+					r.Methods[sg.DstS.Name()]++
+					t2bits += sg.DstS.SizeBits()
+				} else {
+					t1 += uint64(sg.N) * trace.PairBytes
+					r.Methods[sg.DstS.Name()]++
+					r.Methods[sg.SrcS.Name()]++
+					t2bits += sg.DstS.SizeBits() + sg.SrcS.SizeBits()
+				}
+				if sg.Diagonal {
+					r.DiagonalEdges++
+				}
+			}
+		}
+		r.T1Edges += t1
+		if e.Kind == DD {
+			r.T1EdgesDD += t1
+		} else {
+			r.T1EdgesCD += t1
+		}
+		r.T2Edges += (t2bits + 7) / 8
+		if ownedSegs == 0 && sharedSegs > 0 {
+			r.SharedEdges++
+		} else {
+			r.OwnedEdges++
+		}
+	}
+	r.CheckpointBytes = w.checkpointBytes()
+	return r
+}
+
+// NewStreamingBuilder returns a builder that seals and tier-2 compresses
+// the profile in epochs of opts.EpochTS timestamps while events arrive (see
+// the package comment above). The returned builder implements trace.Sink
+// like NewBuilder; FinishStreaming must be called instead of Finish.
+// Streaming implies DropTier1: the per-epoch tier-1 slices are released as
+// each epoch seals. The value-grouping ablations (NoGrouping,
+// SkipFullSizing) are incompatible with streaming.
+func NewStreamingBuilder(st *interp.Static, opts FreezeOptions) (*Builder, error) {
+	if opts.EpochTS == 0 {
+		return nil, fmt.Errorf("core: streaming builder requires EpochTS > 0")
+	}
+	if opts.NoGrouping || opts.SkipFullSizing {
+		return nil, fmt.Errorf("core: NoGrouping/SkipFullSizing are single-epoch ablations; not available when streaming")
+	}
+	b := NewBuilder(st)
+	b.epochTS = opts.EpochTS
+	b.fopts = opts
+	b.pipe = newFreezePool(opts.Workers)
+	return b, nil
+}
+
+// FinishStreaming validates and returns the streamed WET: frozen, segmented,
+// with the size report attached. The WET's Raw stats must be set by the
+// caller before the report is meaningful only for Orig* lines; Raw is
+// assigned here from the counting sink when built via BuildStreaming.
+func (b *Builder) FinishStreaming() (*WET, error) {
+	if b.pipe == nil {
+		return nil, fmt.Errorf("core: FinishStreaming on a non-streaming builder")
+	}
+	if b.err != nil {
+		b.pipe.drain()
+		return nil, b.err
+	}
+	if len(b.pending) != 0 {
+		b.pipe.drain()
+		return nil, fmt.Errorf("core: %d statement events not covered by a path", len(b.pending))
+	}
+	w := b.w
+	w.Time = b.time
+	if err := b.finishStreaming(); err != nil {
+		return nil, err
+	}
+	for i, e := range w.Edges {
+		dst := w.Nodes[e.DstNode]
+		dst.InEdges[e.DstPos] = append(dst.InEdges[e.DstPos], i)
+		src := w.Nodes[e.SrcNode]
+		src.OutEdges[e.SrcPos] = append(src.OutEdges[e.SrcPos], i)
+	}
+	b.instLoc = nil
+	return w, nil
+}
+
+// BuildStreaming runs the program and constructs its epoch-segmented,
+// frozen WET in one call (the streaming counterpart of Build + Freeze).
+// When opts.EpochTS is 0 it falls back to exactly the single-epoch path, so
+// its output — including Save bytes — is identical to the pre-streaming
+// pipeline.
+func BuildStreaming(st *interp.Static, ropts interp.Options, opts FreezeOptions) (*WET, *SizeReport, *interp.Result, error) {
+	return buildStreaming(st, ropts, opts, false)
+}
+
+// BuildStreamingChecked is BuildStreaming with the tier-1 value-grouping
+// determinism re-verification enabled on every node execution (the
+// streaming counterpart of setting Builder.CheckDeterminism; slower).
+func BuildStreamingChecked(st *interp.Static, ropts interp.Options, opts FreezeOptions) (*WET, *SizeReport, *interp.Result, error) {
+	return buildStreaming(st, ropts, opts, true)
+}
+
+func buildStreaming(st *interp.Static, ropts interp.Options, opts FreezeOptions, check bool) (*WET, *SizeReport, *interp.Result, error) {
+	var b *Builder
+	if opts.EpochTS == 0 {
+		b = NewBuilder(st)
+	} else {
+		var err error
+		b, err = NewStreamingBuilder(st, opts)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	b.CheckDeterminism = check
+	cnt := trace.NewCounting(b)
+	ropts.Sink = cnt
+	res, err := interp.Run(st, ropts)
+	if err != nil {
+		if b.pipe != nil {
+			// Drain the pool so worker goroutines never outlive a failed
+			// build.
+			b.pipe.drain()
+		}
+		return nil, nil, res, err
+	}
+	if opts.EpochTS == 0 {
+		w, err := b.Finish()
+		if err != nil {
+			return nil, nil, res, err
+		}
+		w.Raw = cnt.RawStats
+		rep := w.Freeze(opts)
+		return w, rep, res, nil
+	}
+	w, err := b.FinishStreaming()
+	if err != nil {
+		return nil, nil, res, err
+	}
+	w.Raw = cnt.RawStats
+	rep := w.streamingReport(opts)
+	w.frozen = true
+	w.report = rep
+	return w, rep, res, nil
+}

@@ -2,28 +2,37 @@ package core
 
 import (
 	"fmt"
-
-	"wet/internal/stream"
 )
 
 // Validate checks a frozen WET's internal consistency: node timestamps are
 // strictly increasing and partition 1..Time exactly, group patterns index
 // inside their unique-value arrays, edges reference real statement
 // positions with labels of matching lengths, and adjacency lists agree with
-// the edge table. It reads tier-2 streams (the representation of record)
-// through throwaway cursors, and is intended for use after deserialization
-// or in tests; cost is O(size of the WET).
+// the edge table. On segmented WETs it additionally checks the segment
+// structure (epoch ranges, per-epoch execution tiling, share and ramp
+// references) and then reads the label sequences through the same federated
+// cursors queries use. It reads tier-2 streams (the representation of
+// record) through throwaway cursors, and is intended for use after
+// deserialization or in tests; cost is O(size of the WET).
 func (w *WET) Validate() error {
 	if !w.frozen {
 		return fmt.Errorf("core: Validate requires a frozen WET")
 	}
+	if w.Segmented() {
+		if err := w.validateSegments(); err != nil {
+			return err
+		}
+	}
 	seen := make(map[uint32]bool, w.Time)
 	for _, n := range w.Nodes {
-		if n.TSS == nil || n.TSS.Len() != n.Execs {
-			return fmt.Errorf("core: node %d ts stream has %d entries, executed %d times", n.ID, n.TSS.Len(), n.Execs)
+		if !w.Segmented() && (n.TSS == nil || n.TSS.Len() != n.Execs) {
+			return fmt.Errorf("core: node %d ts stream has %d entries, executed %d times", n.ID, seqLenOrZero(n), n.Execs)
+		}
+		tsc := w.TSSeq(n, Tier2)
+		if tsc.Len() != n.Execs {
+			return fmt.Errorf("core: node %d ts sequence has %d entries, executed %d times", n.ID, tsc.Len(), n.Execs)
 		}
 		last := uint32(0)
-		tsc := n.TSS.NewCursor()
 		for i := 0; i < n.Execs; i++ {
 			ts := tsc.Next()
 			if ts <= last || ts > w.Time {
@@ -36,22 +45,23 @@ func (w *WET) Validate() error {
 			last = ts
 		}
 		for gi, g := range n.Groups {
-			if g.PatternS == nil {
+			if !w.Segmented() && g.PatternS == nil {
 				return fmt.Errorf("core: node %d group %d has no pattern stream", n.ID, gi)
 			}
-			if g.PatternS.Len() != n.Execs {
-				return fmt.Errorf("core: node %d group %d pattern has %d entries, want %d", n.ID, gi, g.PatternS.Len(), n.Execs)
+			pc := w.PatternSeq(g, Tier2)
+			if pc.Len() != n.Execs {
+				return fmt.Errorf("core: node %d group %d pattern has %d entries, want %d", n.ID, gi, pc.Len(), n.Execs)
 			}
 			uniq := -1
-			for mi := range g.UValS {
-				if uniq >= 0 && g.UValS[mi].Len() != uniq {
+			for mi := range g.ValMembers {
+				l := w.UValSeq(g, mi, Tier2).Len()
+				if uniq >= 0 && l != uniq {
 					return fmt.Errorf("core: node %d group %d unique-value arrays disagree", n.ID, gi)
 				}
-				uniq = g.UValS[mi].Len()
+				uniq = l
 			}
 			if uniq >= 0 {
-				pc := g.PatternS.NewCursor()
-				for i := 0; i < g.PatternS.Len(); i++ {
+				for i := 0; i < pc.Len(); i++ {
 					if idx := pc.Next(); int(idx) >= uniq {
 						return fmt.Errorf("core: node %d group %d pattern index %d out of %d", n.ID, gi, idx, uniq)
 					}
@@ -81,24 +91,19 @@ func (w *WET) Validate() error {
 				return fmt.Errorf("core: edge %d has bad share representative %d", ei, e.SharedWith)
 			}
 		default:
-			if e.DstS == nil || (!e.Diagonal && e.SrcS == nil) {
-				return fmt.Errorf("core: edge %d lacks label streams", ei)
+			if !w.Segmented() {
+				if e.DstS == nil || (!e.Diagonal && e.SrcS == nil) {
+					return fmt.Errorf("core: edge %d lacks label streams", ei)
+				}
 			}
-			if e.DstS.Len() != e.Count || (!e.Diagonal && e.SrcS.Len() != e.Count) {
+			dc, sc := w.EdgeLabels(e, Tier2)
+			if dc.Len() != e.Count || sc.Len() != e.Count {
 				return fmt.Errorf("core: edge %d label lengths, count %d", ei, e.Count)
-			}
-			dc := e.DstS.NewCursor()
-			var sc stream.Cursor
-			if !e.Diagonal {
-				sc = e.SrcS.NewCursor()
 			}
 			lastD := int64(-1)
 			for i := 0; i < e.Count; i++ {
 				d := int64(dc.Next())
-				s := d
-				if !e.Diagonal {
-					s = int64(sc.Next())
-				}
+				s := int64(sc.Next())
 				if d <= lastD {
 					return fmt.Errorf("core: edge %d destination ordinals not increasing", ei)
 				}
@@ -123,6 +128,126 @@ func (w *WET) Validate() error {
 		}
 		if !foundIn || !foundOut {
 			return fmt.Errorf("core: edge %d missing from adjacency lists", ei)
+		}
+	}
+	return nil
+}
+
+func seqLenOrZero(n *Node) int {
+	if n.TSS == nil {
+		return 0
+	}
+	return n.TSS.Len()
+}
+
+// validateSegments checks the segment structure of a streamed WET: every
+// label segment carries a stream of the recorded length, epochs are in
+// range and strictly increasing per sequence, the per-node segments tile
+// the execution count, per-segment share references point to an earlier
+// owning edge's materialized segment, and inferable edge segments match the
+// destination node's per-epoch execution window exactly.
+func (w *WET) validateSegments() error {
+	if w.Epochs < 0 || (w.Time > 0 && w.Epochs != int((uint64(w.Time)+uint64(w.EpochTS)-1)/uint64(w.EpochTS))) {
+		return fmt.Errorf("core: %d epochs inconsistent with time %d at epoch size %d", w.Epochs, w.Time, w.EpochTS)
+	}
+	checkSegs := func(what string, segs []*LabelSeg, wantTotal int) error {
+		total, lastEpoch := 0, -1
+		for _, sg := range segs {
+			if sg.Epoch <= lastEpoch || sg.Epoch >= w.Epochs {
+				return fmt.Errorf("core: %s segment epoch %d out of order or range", what, sg.Epoch)
+			}
+			lastEpoch = sg.Epoch
+			if sg.S == nil || sg.S.Len() != sg.N || sg.N <= 0 {
+				return fmt.Errorf("core: %s segment (epoch %d) stream/length mismatch", what, sg.Epoch)
+			}
+			total += sg.N
+		}
+		if wantTotal >= 0 && total != wantTotal {
+			return fmt.Errorf("core: %s segments hold %d entries, want %d", what, total, wantTotal)
+		}
+		return nil
+	}
+
+	// nodeEpochWindow[node][epoch] = (starting ordinal, executions) —
+	// derived from the timestamp segments, used to pin inferable edge
+	// segment ramps.
+	type window struct{ start, n int }
+	windows := make([]map[int]window, len(w.Nodes))
+	for _, n := range w.Nodes {
+		if err := checkSegs(fmt.Sprintf("node %d ts", n.ID), n.TSSegs, n.Execs); err != nil {
+			return err
+		}
+		wm := make(map[int]window, len(n.TSSegs))
+		start := 0
+		for _, sg := range n.TSSegs {
+			if uint64(sg.N) > uint64(w.EpochTS) {
+				return fmt.Errorf("core: node %d ts segment (epoch %d) holds %d executions, epoch has %d timestamps", n.ID, sg.Epoch, sg.N, w.EpochTS)
+			}
+			wm[sg.Epoch] = window{start: start, n: sg.N}
+			start += sg.N
+		}
+		windows[n.ID] = wm
+		for gi, g := range n.Groups {
+			if err := checkSegs(fmt.Sprintf("node %d group %d pattern", n.ID, gi), g.PatSegs, n.Execs); err != nil {
+				return err
+			}
+			for mi := range g.UValSegs {
+				if err := checkSegs(fmt.Sprintf("node %d group %d uvals[%d]", n.ID, gi, mi), g.UValSegs[mi], -1); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	for ei, e := range w.Edges {
+		if e.Inferable {
+			continue
+		}
+		if e.DstNode < 0 || e.DstNode >= len(w.Nodes) {
+			return fmt.Errorf("core: edge %d node out of range", ei)
+		}
+		total, lastEpoch := 0, -1
+		for si, sg := range e.Segs {
+			if sg.Epoch <= lastEpoch || sg.Epoch >= w.Epochs {
+				return fmt.Errorf("core: edge %d segment %d epoch %d out of order or range", ei, si, sg.Epoch)
+			}
+			lastEpoch = sg.Epoch
+			if sg.N <= 0 {
+				return fmt.Errorf("core: edge %d segment %d empty", ei, si)
+			}
+			total += sg.N
+			wn, ok := windows[e.DstNode][sg.Epoch]
+			if !ok {
+				return fmt.Errorf("core: edge %d segment %d: destination node %d did not execute in epoch %d", ei, si, e.DstNode, sg.Epoch)
+			}
+			switch {
+			case sg.Inferable:
+				if sg.N != wn.n || int(sg.RampBase) != wn.start {
+					return fmt.Errorf("core: edge %d segment %d: inferable ramp [%d,+%d) does not match node window [%d,+%d)", ei, si, sg.RampBase, sg.N, wn.start, wn.n)
+				}
+			case sg.SharedWith >= 0:
+				if sg.SharedWith >= ei || sg.SharedWith < 0 {
+					return fmt.Errorf("core: edge %d segment %d shares with non-earlier edge %d", ei, si, sg.SharedWith)
+				}
+				rep := w.Edges[sg.SharedWith]
+				if sg.SharedSeg < 0 || sg.SharedSeg >= len(rep.Segs) {
+					return fmt.Errorf("core: edge %d segment %d share reference out of range", ei, si)
+				}
+				rs := rep.Segs[sg.SharedSeg]
+				if rs.Inferable || rs.SharedWith >= 0 || rs.DstS == nil || rs.Epoch != sg.Epoch || rs.N != sg.N {
+					return fmt.Errorf("core: edge %d segment %d has bad share representative", ei, si)
+				}
+			default:
+				if sg.DstS == nil || sg.DstS.Len() != sg.N || (!sg.Diagonal && (sg.SrcS == nil || sg.SrcS.Len() != sg.N)) {
+					return fmt.Errorf("core: edge %d segment %d stream/length mismatch", ei, si)
+				}
+			}
+			if sg.N > wn.n {
+				return fmt.Errorf("core: edge %d segment %d holds %d labels, node executed %d times in epoch %d", ei, si, sg.N, wn.n, sg.Epoch)
+			}
+		}
+		if total != e.Count {
+			return fmt.Errorf("core: edge %d segments hold %d labels, count is %d", ei, total, e.Count)
 		}
 	}
 	return nil

@@ -87,6 +87,10 @@ type Edge struct {
 
 	// Tier-2 label streams (nil when Inferable or shared).
 	DstS, SrcS stream.Stream
+
+	// Segs holds the per-epoch label segments of a streamed (segmented)
+	// WET; nil on single-epoch WETs and on whole-run Inferable edges.
+	Segs []*EdgeSeg
 }
 
 // InputElem is one element of a group's input set: either a register value
@@ -136,6 +140,12 @@ type Group struct {
 	PatternS stream.Stream
 	UValS    []stream.Stream
 
+	// Per-epoch segments of a streamed WET (see segment.go). Pattern
+	// entries stay run-global indexes; UValSegs[i] concatenates to the
+	// run-global discovery order of ValMembers[i]'s unique values.
+	PatSegs  []*LabelSeg
+	UValSegs [][]*LabelSeg
+
 	// valIdx maps a node position to its ValMembers index (-1 when the
 	// statement has no def port), making ValMemberIndex O(1). Built by
 	// formGroups, so it exists on restored WETs too.
@@ -167,6 +177,12 @@ type Node struct {
 	TS []uint32
 	// TSS is the tier-2 compressed timestamp stream.
 	TSS stream.Stream
+	// TSSegs holds the per-epoch timestamp segments of a streamed WET
+	// (stored epoch-local; global = epoch*EpochTS + local).
+	TSSegs []*LabelSeg
+	// sealedExecs is the execution count already sealed into segments
+	// (builder-only watermark for per-epoch edge inference).
+	sealedExecs int
 
 	Groups  []*Group
 	GroupOf []int // per position
@@ -207,9 +223,18 @@ type WET struct {
 	// FirstNode/LastNode are the nodes holding timestamps 1 and Time.
 	FirstNode, LastNode int
 
+	// EpochTS is the epoch size (timestamps per epoch) of a streamed WET;
+	// 0 means single-epoch. Epochs is the number of epochs sealed.
+	EpochTS uint32
+	Epochs  int
+
 	frozen bool
 	report *SizeReport
 }
+
+// Segmented reports whether the dynamic profile is stored in per-epoch
+// segments (built by the streaming pipeline or loaded from a v4 file).
+func (w *WET) Segmented() bool { return w.EpochTS > 0 }
 
 // NodeOf returns the node for (fn, pathID), or nil.
 func (w *WET) NodeOf(fn int, pathID int64) *Node {
@@ -312,17 +337,29 @@ func newSeq(sl []uint32, st stream.Stream, tier Tier) Seq {
 }
 
 // TSSeq returns a fresh cursor over the timestamp sequence of node n at the
-// given tier.
-func (w *WET) TSSeq(n *Node, tier Tier) Seq { return newSeq(n.TS, n.TSS, tier) }
+// given tier. On a segmented WET the tier-2 cursor federates the per-epoch
+// segments (re-based to global time); tier-1 reads the materialized slices
+// when present (MaterializeTier1 / LoadOptions.RestoreTier1).
+func (w *WET) TSSeq(n *Node, tier Tier) Seq {
+	if tier == Tier2 && n.TSSegs != nil {
+		return w.tsFed(n)
+	}
+	return newSeq(n.TS, n.TSS, tier)
+}
 
 // EdgeLabels returns fresh cursors over the (dst, src) local-timestamp
 // label sequences of e. For shared edges the representative's labels are
 // read; Inferable edges have implicit labels and return (nil, nil). For
 // Diagonal edges dst and src are two independent cursors over the single
-// stored ordinal stream (source ordinals equal destination ordinals).
+// stored ordinal stream (source ordinals equal destination ordinals). On a
+// segmented WET the tier-2 cursors federate the per-epoch segments,
+// synthesizing inferable segments and resolving per-segment sharing.
 func (w *WET) EdgeLabels(e *Edge, tier Tier) (dst, src Seq) {
 	if e.Inferable {
 		return nil, nil
+	}
+	if tier == Tier2 && e.Segs != nil {
+		return w.edgeFed(e)
 	}
 	if e.SharedWith >= 0 {
 		e = w.Edges[e.SharedWith]
@@ -335,11 +372,19 @@ func (w *WET) EdgeLabels(e *Edge, tier Tier) (dst, src Seq) {
 
 // PatternSeq returns a fresh cursor over group g's pattern sequence at the
 // given tier.
-func (w *WET) PatternSeq(g *Group, tier Tier) Seq { return newSeq(g.Pattern, g.PatternS, tier) }
+func (w *WET) PatternSeq(g *Group, tier Tier) Seq {
+	if tier == Tier2 && g.PatSegs != nil {
+		return w.patFed(g)
+	}
+	return newSeq(g.Pattern, g.PatternS, tier)
+}
 
 // UValSeq returns a fresh cursor over the unique-value sequence for
 // g.ValMembers[i].
 func (w *WET) UValSeq(g *Group, i int, tier Tier) Seq {
+	if tier == Tier2 && g.UValSegs != nil {
+		return w.uvalFed(g, i)
+	}
 	return newSeq(g.UVals[i], g.UValS[i], tier)
 }
 

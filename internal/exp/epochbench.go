@@ -1,0 +1,202 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"runtime"
+	"time"
+
+	"wet/internal/core"
+	"wet/internal/interp"
+	"wet/internal/query"
+	"wet/internal/workload"
+)
+
+// DefaultEpochBenchStmts sizes the epoch bench workloads. The epoch sizes
+// under test are fixed absolute timestamp counts (DefaultEpochTSList), so
+// the run has to be long enough — roughly 25 dynamic statements per
+// node timestamp — for EpochTS=1<<16 to close several epochs; the suite
+// default of 400k statements would fit in a single epoch and measure
+// nothing.
+const DefaultEpochBenchStmts = 5_000_000
+
+// DefaultEpochTSList is the epoch-size ladder the CI record tracks:
+// single-epoch baseline, an epoch size small enough to bound peak memory
+// well below the trace length, and one near the trace length.
+func DefaultEpochTSList() []uint32 { return []uint32{0, 1 << 16, 1 << 18} }
+
+// EpochBenchRow is one (workload, epoch size) cell: the cost of building
+// and freezing the WET with that epoch size.
+type EpochBenchRow struct {
+	EpochTS uint32 `json:"epoch_ts"`
+	Epochs  int    `json:"epochs"`
+	// WallMS is the full build+freeze wall time (the streaming pipeline
+	// overlaps the two, so it is reported as one number for every row).
+	WallMS float64 `json:"wall_ms"`
+	// PeakHeapBytes is the peak live heap observed during the build by a
+	// background sampler, minus nothing: it includes the interpreter and
+	// the WET under construction. The streaming rows should sit below the
+	// single-epoch row because sealed epochs release their tier-1 slices
+	// while the run continues.
+	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
+	T2TotalBytes  uint64 `json:"t2_total_bytes"`
+	// QueryDigest fingerprints the trace as queries see it (forward
+	// control flow + trace length), as a hex string so JSON consumers do
+	// not round it. Equal digests across rows are the query-identity
+	// guarantee, re-checked on every bench run.
+	QueryDigest string `json:"query_digest"`
+}
+
+// EpochBenchWorkload is one workload's ladder of epoch sizes.
+type EpochBenchWorkload struct {
+	Name  string          `json:"name"`
+	Stmts uint64          `json:"stmts"`
+	Time  uint32          `json:"time"`
+	Rows  []EpochBenchRow `json:"rows"`
+	// DigestsAgree records that every epoch size produced the same query
+	// digest.
+	DigestsAgree bool `json:"digests_agree"`
+}
+
+// EpochBenchResult is the machine-readable epoch-segmentation record the
+// CI run archives (BENCH_epoch.json): peak memory and wall time of the
+// streaming pipeline at each epoch size, against the single-epoch
+// baseline.
+type EpochBenchResult struct {
+	TargetStmts uint64               `json:"target_stmts"`
+	GOMAXPROCS  int                  `json:"gomaxprocs"`
+	Workloads   []EpochBenchWorkload `json:"workloads"`
+}
+
+// EpochBench builds each configured workload (default: gcc, the heaviest
+// profile) once per epoch size in epochTSList, sampling peak heap during
+// the build and fingerprinting the result.
+func EpochBench(cfg Config, epochTSList []uint32, progress io.Writer) (*EpochBenchResult, error) {
+	if len(epochTSList) == 0 {
+		epochTSList = DefaultEpochTSList()
+	}
+	names := cfg.Workloads
+	if len(names) == 0 {
+		names = []string{"gcc"}
+	}
+	target := cfg.TargetStmts
+	if target == 0 {
+		target = DefaultEpochBenchStmts
+	}
+	res := &EpochBenchResult{TargetStmts: target, GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	for _, name := range names {
+		wl, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		row, err := epochBenchWorkload(wl, target, cfg.Workers, epochTSList, progress)
+		if err != nil {
+			return nil, fmt.Errorf("exp: %s: %w", name, err)
+		}
+		res.Workloads = append(res.Workloads, *row)
+	}
+	return res, nil
+}
+
+func epochBenchWorkload(wl workload.Workload, targetStmts uint64, workers int, epochTSList []uint32, progress io.Writer) (*EpochBenchWorkload, error) {
+	scale, err := workload.ScaleFor(wl, targetStmts)
+	if err != nil {
+		return nil, err
+	}
+	out := &EpochBenchWorkload{Name: wl.Name, DigestsAgree: true}
+	for _, epochTS := range epochTSList {
+		if progress != nil {
+			fmt.Fprintf(progress, "epoch bench: %s epochTS=%d (target %d stmts)...\n", wl.Name, epochTS, targetStmts)
+		}
+		prog, in := wl.Build(scale)
+		st, err := interp.Analyze(prog)
+		if err != nil {
+			return nil, err
+		}
+		// Settle the heap so the sampler measures this build, not the
+		// garbage of the previous one.
+		runtime.GC()
+		stop := make(chan struct{})
+		peakCh := make(chan uint64, 1)
+		go sampleHeapPeak(stop, peakCh)
+		start := time.Now()
+		w, rep, res, err := core.BuildStreaming(st, interp.Options{Inputs: in}, core.FreezeOptions{
+			EpochTS: epochTS, Workers: workers,
+		})
+		wall := time.Since(start)
+		close(stop)
+		peak := <-peakCh
+		if err != nil {
+			return nil, err
+		}
+		row := EpochBenchRow{
+			EpochTS:       epochTS,
+			Epochs:        w.Epochs,
+			WallMS:        float64(wall.Microseconds()) / 1000,
+			PeakHeapBytes: peak,
+			T2TotalBytes:  rep.T2Total(),
+			QueryDigest:   fmt.Sprintf("%016x", queryDigest(w)),
+		}
+		out.Stmts = res.Steps
+		out.Time = w.Time
+		out.Rows = append(out.Rows, row)
+		if row.QueryDigest != out.Rows[0].QueryDigest {
+			out.DigestsAgree = false
+		}
+	}
+	return out, nil
+}
+
+// sampleHeapPeak polls the live heap until stop closes and reports the
+// maximum it saw. ReadMemStats stops the world, so the poll period trades
+// resolution against build-time interference.
+func sampleHeapPeak(stop <-chan struct{}, peakCh chan<- uint64) {
+	var peak uint64
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	read := func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc > peak {
+			peak = ms.HeapAlloc
+		}
+	}
+	for {
+		select {
+		case <-stop:
+			read()
+			peakCh <- peak
+			return
+		case <-tick.C:
+			read()
+		}
+	}
+}
+
+// queryDigest fingerprints the trace as queries observe it: the forward
+// control-flow statement sequence plus the trace length.
+func queryDigest(w *core.WET) uint64 {
+	h := fnv.New64a()
+	var b [4]byte
+	emit := func(v uint32) {
+		b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+		h.Write(b[:])
+	}
+	emit(w.Time)
+	query.ExtractCF(w, core.Tier2, true, func(stmtID int) { emit(uint32(stmtID)) })
+	return h.Sum64()
+}
+
+// WriteEpochBenchJSON runs EpochBench at the default epoch-size ladder and
+// writes the JSON record consumed by CI (BENCH_epoch.json).
+func WriteEpochBenchJSON(cfg Config, w io.Writer, progress io.Writer) error {
+	res, err := EpochBench(cfg, nil, progress)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}

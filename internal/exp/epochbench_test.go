@@ -1,0 +1,37 @@
+package exp
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestEpochBench(t *testing.T) {
+	// Small epochs on a short run so the test stays fast while still
+	// covering a multi-epoch streamed build against the baseline.
+	cfg := Config{TargetStmts: 30_000, Workloads: []string{"li"}}
+	res, err := EpochBench(cfg, []uint32{0, 1 << 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Workloads) != 1 || len(res.Workloads[0].Rows) != 2 {
+		t.Fatalf("unexpected shape: %+v", res)
+	}
+	wl := res.Workloads[0]
+	if !wl.DigestsAgree {
+		t.Fatalf("query digests differ across epoch sizes: %+v", wl.Rows)
+	}
+	if wl.Rows[0].Epochs != 0 {
+		t.Fatalf("baseline row has %d epochs", wl.Rows[0].Epochs)
+	}
+	if wl.Rows[1].Epochs < 2 {
+		t.Fatalf("streamed row sealed %d epochs, want >= 2", wl.Rows[1].Epochs)
+	}
+	for _, r := range wl.Rows {
+		if r.PeakHeapBytes == 0 || r.T2TotalBytes == 0 || r.WallMS <= 0 {
+			t.Fatalf("degenerate row: %+v", r)
+		}
+	}
+	if _, err := json.Marshal(res); err != nil {
+		t.Fatal(err)
+	}
+}

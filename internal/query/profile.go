@@ -1,6 +1,7 @@
 package query
 
 import (
+	"fmt"
 	"sort"
 
 	"wet/internal/core"
@@ -143,10 +144,27 @@ func StrideProfiles(w *core.WET, tier core.Tier, minAccesses int) ([]StrideProfi
 	return out, nil
 }
 
+// RangeError reports an inverted timestamp range handed to ExtractCFRange:
+// the caller asked for a window that ends before it starts. It used to be
+// swallowed as an empty extraction, which made off-by-swap bugs in callers
+// invisible.
+type RangeError struct {
+	From, To uint32
+}
+
+func (e *RangeError) Error() string {
+	return fmt.Sprintf("query: inverted timestamp range [%d, %d]", e.From, e.To)
+}
+
 // ExtractCFRange walks the statement-level control flow trace between two
 // timestamps (inclusive), the paper's "part of the program path starting at
-// any execution point". It returns the number of statements emitted.
+// any execution point". It returns the number of statements emitted. An
+// inverted range (fromTS > toTS) returns a *RangeError; a range merely
+// clipped by the ends of the trace is extracted as far as it exists.
 func ExtractCFRange(w *core.WET, tier core.Tier, fromTS, toTS uint32, emit func(stmtID int)) (uint64, error) {
+	if fromTS > toTS {
+		return 0, &RangeError{From: fromTS, To: toTS}
+	}
 	if fromTS < 1 {
 		fromTS = 1
 	}
@@ -154,6 +172,7 @@ func ExtractCFRange(w *core.WET, tier core.Tier, fromTS, toTS uint32, emit func(
 		toTS = w.Time
 	}
 	if fromTS > toTS {
+		// The whole window lies past the end of the trace.
 		return 0, nil
 	}
 	wk := NewWalker(w, tier)

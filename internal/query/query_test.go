@@ -1,6 +1,7 @@
 package query
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -611,8 +612,22 @@ func TestExtractCFRange(t *testing.T) {
 	if !found {
 		t.Fatal("window trace is not a contiguous slice of the full trace")
 	}
-	// Degenerate ranges.
-	if n, err := ExtractCFRange(w, core.Tier2, 10, 5, nil); err != nil || n != 0 {
-		t.Fatalf("inverted range: n=%d err=%v", n, err)
+	// An inverted range is a caller bug and must surface as *RangeError,
+	// not a silent empty extraction.
+	n, err := ExtractCFRange(w, core.Tier2, 10, 5, nil)
+	if n != 0 || err == nil {
+		t.Fatalf("inverted range: n=%d err=%v, want typed error", n, err)
+	}
+	var re *RangeError
+	if !errors.As(err, &re) || re.From != 10 || re.To != 5 {
+		t.Fatalf("inverted range error is %#v, want *RangeError{10, 5}", err)
+	}
+	// A well-ordered window merely clipped by the trace ends is not an
+	// error: clamping still applies.
+	if n, err := ExtractCFRange(w, core.Tier2, 0, w.Time+100, nil); err != nil || n == 0 {
+		t.Fatalf("clipped full range: n=%d err=%v", n, err)
+	}
+	if n, err := ExtractCFRange(w, core.Tier2, w.Time+1, w.Time+10, nil); err != nil || n != 0 {
+		t.Fatalf("window past end of trace: n=%d err=%v", n, err)
 	}
 }

@@ -1,0 +1,396 @@
+package wetio
+
+// Format v4: the epoch-segmented container. The preamble, section framing
+// (length + CRC32-C), section sequence, program section, and report section
+// are exactly v3's; only the header gains two fields and the node/edge
+// payloads change shape:
+//
+//	header   v3 header ++ epochTS u32, epochs u32
+//	node     fn i32, pathID i64, execs u32
+//	         tsSegs: count u32, then per segment epoch u32, n u32, stream
+//	         cfNext ints, cfPrev ints
+//	         groups: count u32, then per group
+//	           uniq u32, nValMembers u32
+//	           patSegs (count u32 + segments)
+//	           per value member: uvalSegs (count u32 + segments)
+//	edge     v3 fixed head (kind u8, src/dst node+pos i32, opIdx i32,
+//	         count u32, inferable u8, diagonal u8, sharedWith i32)
+//	         segs: count u32, then per segment
+//	           epoch u32, n u32, flags u8
+//	           flags bit0 (inferable): rampBase u32, no streams
+//	           flags bit2 (shared):    sharedWith i32, sharedSeg i32
+//	           otherwise:              dst stream, src stream unless bit1
+//	                                   (diagonal)
+//
+// Node timestamps inside a segment are epoch-local; pattern indices,
+// unique-value order, and edge ordinals are run-global (see
+// core/segment.go). Whole-run inferable edges write zero segments. A
+// shared segment's representative is always an earlier edge record, so a
+// strict load validates share targets as it goes and a salvage load drops
+// sharers of lost owners (cascading: a dropped edge may itself have owned
+// segments).
+
+import (
+	"fmt"
+	"io"
+
+	"wet/internal/core"
+	"wet/internal/interp"
+	"wet/internal/stream"
+)
+
+const (
+	segInferable = 1 << 0
+	segDiagonal  = 1 << 1
+	segShared    = 1 << 2
+)
+
+func saveLabelSegs(w io.Writer, segs []*core.LabelSeg) error {
+	if err := writeVals(w, uint32(len(segs))); err != nil {
+		return err
+	}
+	for _, sg := range segs {
+		if err := writeVals(w, uint32(sg.Epoch), uint32(sg.N)); err != nil {
+			return err
+		}
+		if err := stream.Save(w, sg.S); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func saveNodePayloadV4(w io.Writer, n *core.Node) error {
+	if err := writeVals(w, int32(n.Fn), n.PathID, uint32(n.Execs)); err != nil {
+		return err
+	}
+	if err := saveLabelSegs(w, n.TSSegs); err != nil {
+		return err
+	}
+	if err := writeInts(w, n.CFNext); err != nil {
+		return err
+	}
+	if err := writeInts(w, n.CFPrev); err != nil {
+		return err
+	}
+	if err := writeVals(w, uint32(len(n.Groups))); err != nil {
+		return err
+	}
+	for _, g := range n.Groups {
+		if err := writeVals(w, uint32(g.UniqueKeys()), uint32(len(g.ValMembers))); err != nil {
+			return err
+		}
+		if err := saveLabelSegs(w, g.PatSegs); err != nil {
+			return err
+		}
+		for mi := range g.ValMembers {
+			var segs []*core.LabelSeg
+			if mi < len(g.UValSegs) {
+				segs = g.UValSegs[mi]
+			}
+			if err := saveLabelSegs(w, segs); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func saveEdgePayloadV4(w io.Writer, e *core.Edge) error {
+	if err := writeVals(w, uint8(e.Kind), int32(e.SrcNode), int32(e.SrcPos),
+		int32(e.DstNode), int32(e.DstPos), int32(e.OpIdx), uint32(e.Count),
+		boolByte(e.Inferable), boolByte(e.Diagonal), int32(e.SharedWith)); err != nil {
+		return err
+	}
+	if err := writeVals(w, uint32(len(e.Segs))); err != nil {
+		return err
+	}
+	for _, sg := range e.Segs {
+		var flags uint8
+		switch {
+		case sg.Inferable:
+			flags = segInferable
+		case sg.SharedWith >= 0:
+			flags = segShared
+		case sg.Diagonal:
+			flags = segDiagonal
+		}
+		if err := writeVals(w, uint32(sg.Epoch), uint32(sg.N), flags); err != nil {
+			return err
+		}
+		switch {
+		case sg.Inferable:
+			if err := writeVals(w, sg.RampBase); err != nil {
+				return err
+			}
+		case sg.SharedWith >= 0:
+			if err := writeVals(w, int32(sg.SharedWith), int32(sg.SharedSeg)); err != nil {
+				return err
+			}
+		default:
+			if err := stream.Save(w, sg.DstS); err != nil {
+				return err
+			}
+			if !sg.Diagonal {
+				if err := stream.Save(w, sg.SrcS); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// loadLabelSegs reads one segment list, checking epochs are strictly
+// increasing inside [0, epochs), each stream matches its declared length,
+// and the lengths sum to wantTotal (pass -1 to skip the sum check).
+func loadLabelSegs(sr *secReader, epochs, wantTotal int, what string, opts LoadOptions) ([]*core.LabelSeg, error) {
+	count, err := sr.count(9)
+	if err != nil {
+		return nil, err
+	}
+	segs := make([]*core.LabelSeg, 0, count)
+	total, lastEpoch := 0, -1
+	for i := 0; i < count; i++ {
+		var epoch, n uint32
+		if err := readVals(sr, &epoch, &n); err != nil {
+			return nil, err
+		}
+		if int(epoch) <= lastEpoch || int(epoch) >= epochs {
+			return nil, fmt.Errorf("%s segment epoch %d out of order or range", what, epoch)
+		}
+		lastEpoch = int(epoch)
+		if n == 0 {
+			return nil, fmt.Errorf("%s segment (epoch %d) empty", what, epoch)
+		}
+		s, err := loadStream(sr, opts)
+		if err != nil {
+			return nil, err
+		}
+		if s.Len() != int(n) {
+			return nil, fmt.Errorf("%s segment (epoch %d) stream has %d entries, record says %d", what, epoch, s.Len(), n)
+		}
+		total += int(n)
+		segs = append(segs, &core.LabelSeg{Epoch: int(epoch), N: int(n), S: s})
+	}
+	if wantTotal >= 0 && total != wantTotal {
+		return nil, fmt.Errorf("%s segments hold %d entries, want %d", what, total, wantTotal)
+	}
+	return segs, nil
+}
+
+func parseNodeSecV4(s *section, st *interp.Static, id, nNodes int, wet *core.WET, opts LoadOptions) (*core.Node, error) {
+	var node *core.Node
+	err := guard(fmt.Sprintf("node %d", id), s.offset, func() error {
+		sr := newSecReader(s)
+		var fn int32
+		var pathID int64
+		var execs uint32
+		if err := readVals(sr, &fn, &pathID, &execs); err != nil {
+			return err
+		}
+		if fn < 0 || int(fn) >= len(st.Prog.Funcs) {
+			return fmt.Errorf("function index %d outside [0,%d)", fn, len(st.Prog.Funcs))
+		}
+		n, err := core.RestoreNode(st, id, int(fn), pathID)
+		if err != nil {
+			return err
+		}
+		n.Execs = int(execs)
+		if n.TSSegs, err = loadLabelSegs(sr, wet.Epochs, n.Execs, "timestamp", opts); err != nil {
+			return err
+		}
+		for _, sg := range n.TSSegs {
+			if uint64(sg.N) > uint64(wet.EpochTS) {
+				return fmt.Errorf("timestamp segment (epoch %d) holds %d executions, epoch has %d timestamps", sg.Epoch, sg.N, wet.EpochTS)
+			}
+		}
+		if n.CFNext, err = readCFList(sr, nNodes); err != nil {
+			return err
+		}
+		if n.CFPrev, err = readCFList(sr, nNodes); err != nil {
+			return err
+		}
+		nGroups, err := sr.count(1)
+		if err != nil {
+			return err
+		}
+		if nGroups != len(n.Groups) {
+			return fmt.Errorf("node has %d groups, file says %d", len(n.Groups), nGroups)
+		}
+		for gi, g := range n.Groups {
+			var uniq, nuv uint32
+			if err := readVals(sr, &uniq, &nuv); err != nil {
+				return err
+			}
+			g.RestoreUniqueKeys(int(uniq))
+			if int(nuv) != len(g.ValMembers) {
+				return fmt.Errorf("group has %d value members, file says %d", len(g.ValMembers), nuv)
+			}
+			if g.PatSegs, err = loadLabelSegs(sr, wet.Epochs, n.Execs, fmt.Sprintf("group %d pattern", gi), opts); err != nil {
+				return err
+			}
+			if nuv > 0 {
+				g.UValSegs = make([][]*core.LabelSeg, nuv)
+				for mi := range g.UValSegs {
+					if g.UValSegs[mi], err = loadLabelSegs(sr, wet.Epochs, int(uniq), fmt.Sprintf("group %d uvals[%d]", gi, mi), opts); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		node = n
+		return sr.done()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return node, nil
+}
+
+func parseEdgeSecV4(s *section, wet *core.WET, id, nEdges int, opts LoadOptions) (*core.Edge, error) {
+	var edge *core.Edge
+	err := guard(fmt.Sprintf("edge %d", id), s.offset, func() error {
+		sr := newSecReader(s)
+		var kind, inferable, diagonal uint8
+		var srcN, srcP, dstN, dstP, opIdx, shared int32
+		var count uint32
+		if err := readVals(sr, &kind, &srcN, &srcP, &dstN, &dstP, &opIdx,
+			&count, &inferable, &diagonal, &shared); err != nil {
+			return err
+		}
+		e := &core.Edge{
+			Kind: core.EdgeKind(kind), SrcNode: int(srcN), SrcPos: int(srcP),
+			DstNode: int(dstN), DstPos: int(dstP), OpIdx: int(opIdx),
+			Count: int(count), Inferable: inferable == 1, Diagonal: diagonal == 1,
+			SharedWith: int(shared),
+		}
+		if err := checkEdge(wet, e, nEdges); err != nil {
+			return err
+		}
+		// The streaming pipeline reduces per segment, not per whole edge:
+		// the edge-level diagonal/shared forms never appear in a v4 file.
+		if e.Diagonal || e.SharedWith >= 0 {
+			return fmt.Errorf("edge-level diagonal/shared forms are not valid in v4")
+		}
+		nSegs, err := sr.count(9)
+		if err != nil {
+			return err
+		}
+		if e.Inferable {
+			if nSegs != 0 {
+				return fmt.Errorf("whole-run inferable edge carries %d segments", nSegs)
+			}
+			edge = e
+			return sr.done()
+		}
+		total, lastEpoch := 0, -1
+		for si := 0; si < nSegs; si++ {
+			var epoch, n uint32
+			var flags uint8
+			if err := readVals(sr, &epoch, &n, &flags); err != nil {
+				return err
+			}
+			if int(epoch) <= lastEpoch || int(epoch) >= wet.Epochs {
+				return fmt.Errorf("segment %d epoch %d out of order or range", si, epoch)
+			}
+			lastEpoch = int(epoch)
+			if n == 0 || int(n) > e.Count {
+				return fmt.Errorf("segment %d holds %d labels, edge count is %d", si, n, e.Count)
+			}
+			sg := &core.EdgeSeg{Epoch: int(epoch), N: int(n), SharedWith: -1, SharedSeg: -1}
+			switch flags {
+			case segInferable:
+				if err := readVals(sr, &sg.RampBase); err != nil {
+					return err
+				}
+				sg.Inferable = true
+			case segShared:
+				var ow, os int32
+				if err := readVals(sr, &ow, &os); err != nil {
+					return err
+				}
+				if ow < 0 || int(ow) >= id || os < 0 {
+					return fmt.Errorf("segment %d shares with edge %d segment %d (this is edge %d)", si, ow, os, id)
+				}
+				sg.SharedWith, sg.SharedSeg = int(ow), int(os)
+			case segDiagonal, 0:
+				if sg.DstS, err = loadStream(sr, opts); err != nil {
+					return err
+				}
+				if sg.DstS.Len() != sg.N {
+					return fmt.Errorf("segment %d destination labels have %d entries, record says %d", si, sg.DstS.Len(), sg.N)
+				}
+				if flags == segDiagonal {
+					sg.Diagonal = true
+				} else {
+					if sg.SrcS, err = loadStream(sr, opts); err != nil {
+						return err
+					}
+					if sg.SrcS.Len() != sg.N {
+						return fmt.Errorf("segment %d source labels have %d entries, record says %d", si, sg.SrcS.Len(), sg.N)
+					}
+				}
+			default:
+				return fmt.Errorf("segment %d has invalid flags %#x", si, flags)
+			}
+			total += sg.N
+			e.Segs = append(e.Segs, sg)
+		}
+		if total != e.Count {
+			return fmt.Errorf("segments hold %d labels, edge count is %d", total, e.Count)
+		}
+		edge = e
+		return sr.done()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return edge, nil
+}
+
+// checkSegShares validates the share references of one just-loaded edge
+// against the edges already in the table (strict loads append in file
+// order, so every legal representative is present).
+func checkSegShares(wet *core.WET, e *core.Edge, id int) error {
+	for si, sg := range e.Segs {
+		if sg.SharedWith < 0 {
+			continue
+		}
+		rep := wet.Edges[sg.SharedWith]
+		if sg.SharedSeg >= len(rep.Segs) {
+			return fmt.Errorf("segment %d share reference %d/%d out of range", si, sg.SharedWith, sg.SharedSeg)
+		}
+		rs := rep.Segs[sg.SharedSeg]
+		if rs.Inferable || rs.SharedWith >= 0 || rs.DstS == nil {
+			return fmt.Errorf("segment %d representative %d/%d holds no labels", si, sg.SharedWith, sg.SharedSeg)
+		}
+		if rs.Epoch != sg.Epoch || rs.N != sg.N {
+			return fmt.Errorf("segment %d disagrees with representative %d/%d on epoch or length", si, sg.SharedWith, sg.SharedSeg)
+		}
+	}
+	return nil
+}
+
+// segShareDamage reports why a salvaged edge must be dropped ("" when it is
+// intact): some segment's representative was lost, is not earlier in the
+// file, or does not actually hold labels of the same epoch and length.
+func segShareDamage(owners map[int]*core.Edge, alive map[int]bool, e *core.Edge, orig int) string {
+	for si, sg := range e.Segs {
+		if sg.SharedWith < 0 {
+			continue
+		}
+		if sg.SharedWith >= orig || !alive[sg.SharedWith] {
+			return fmt.Sprintf("segment %d shared label representative %d not recovered", si, sg.SharedWith)
+		}
+		rep := owners[sg.SharedWith]
+		if sg.SharedSeg >= len(rep.Segs) {
+			return fmt.Sprintf("segment %d share reference %d/%d out of range", si, sg.SharedWith, sg.SharedSeg)
+		}
+		rs := rep.Segs[sg.SharedSeg]
+		if rs.Inferable || rs.SharedWith >= 0 || rs.DstS == nil || rs.Epoch != sg.Epoch || rs.N != sg.N {
+			return fmt.Sprintf("segment %d representative %d/%d does not hold matching labels", si, sg.SharedWith, sg.SharedSeg)
+		}
+	}
+	return ""
+}

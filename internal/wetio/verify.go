@@ -56,7 +56,7 @@ func Verify(r io.Reader) (*VerifyResult, error) {
 	switch v {
 	case versionV2:
 		return nil, fmt.Errorf("wetio: v2 files carry no checksums and cannot be verified; re-save to upgrade to v3")
-	case version:
+	case version, versionV4:
 	default:
 		return nil, &FormatError{Section: "preamble", Cause: fmt.Errorf("unsupported version %d", v)}
 	}

@@ -19,6 +19,13 @@
 // records are skipped and the maximal loadable prefix is returned together
 // with a SalvageReport. Version 2 files (unframed, no checksums) still load
 // through the legacy reader in strict mode.
+//
+// Format v4 (see v4.go) reuses the v3 preamble and section framing
+// unchanged but stores epoch-segmented WETs: the header additionally
+// carries the epoch size and count, and node/edge payloads hold one label
+// segment per epoch instead of one whole-run stream. Save picks the
+// version from the WET itself — a non-segmented WET always writes v3, so
+// pre-segmentation output is byte-identical.
 package wetio
 
 import (
@@ -38,17 +45,26 @@ const (
 	magic     = uint32(0x57455446) // "WETF"
 	version   = uint32(3)
 	versionV2 = uint32(2)
+	versionV4 = uint32(4)
 )
 
 var order = binary.LittleEndian
 
-// Save writes a frozen WET to w in format v3.
+// Save writes a frozen WET to w. Single-epoch WETs use format v3 —
+// byte-for-byte the pre-segmentation format — and epoch-segmented WETs
+// (core.WET.Segmented) use format v4, which frames the same section
+// machinery around per-epoch label segments.
 func Save(w io.Writer, wet *core.WET) error {
 	if !wet.Frozen() {
 		return fmt.Errorf("wetio: WET must be frozen before saving")
 	}
+	v4 := wet.Segmented()
+	ver := version
+	if v4 {
+		ver = versionV4
+	}
 	bw := bufio.NewWriterSize(w, 1<<16)
-	if err := writeVals(bw, magic, version); err != nil {
+	if err := writeVals(bw, magic, ver); err != nil {
 		return err
 	}
 	sw := &sectionWriter{w: bw}
@@ -56,6 +72,11 @@ func Save(w io.Writer, wet *core.WET) error {
 	if err := writeVals(sw, &wet.Raw, wet.Time, int32(wet.FirstNode), int32(wet.LastNode),
 		uint32(len(wet.Nodes)), uint32(len(wet.Edges))); err != nil {
 		return err
+	}
+	if v4 {
+		if err := writeVals(sw, wet.EpochTS, uint32(wet.Epochs)); err != nil {
+			return err
+		}
 	}
 	if err := sw.emit(secHeader); err != nil {
 		return err
@@ -76,7 +97,13 @@ func Save(w io.Writer, wet *core.WET) error {
 	}
 
 	for _, n := range wet.Nodes {
-		if err := saveNodePayload(sw, n); err != nil {
+		var err error
+		if v4 {
+			err = saveNodePayloadV4(sw, n)
+		} else {
+			err = saveNodePayload(sw, n)
+		}
+		if err != nil {
 			return err
 		}
 		if err := sw.emit(secNode); err != nil {
@@ -84,7 +111,13 @@ func Save(w io.Writer, wet *core.WET) error {
 		}
 	}
 	for _, e := range wet.Edges {
-		if err := saveEdgePayload(sw, e); err != nil {
+		var err error
+		if v4 {
+			err = saveEdgePayloadV4(sw, e)
+		} else {
+			err = saveEdgePayload(sw, e)
+		}
+		if err != nil {
 			return err
 		}
 		if err := sw.emit(secEdge); err != nil {
@@ -195,18 +228,24 @@ func LoadWithReport(r io.Reader, opts LoadOptions) (*core.WET, *SalvageReport, e
 		rep := &SalvageReport{Version: 2, NodesLoaded: len(w.Nodes), EdgesLoaded: len(w.Edges)}
 		return w, rep, nil
 	case version:
-		return loadV3(br, opts)
+		return loadFramed(br, opts, false)
+	case versionV4:
+		return loadFramed(br, opts, true)
 	}
 	return nil, nil, &FormatError{Section: "preamble", Cause: fmt.Errorf("unsupported version %d", v)}
 }
 
-func loadV3(br io.Reader, opts LoadOptions) (*core.WET, *SalvageReport, error) {
+func loadFramed(br io.Reader, opts LoadOptions, v4 bool) (*core.WET, *SalvageReport, error) {
 	strict := !opts.Salvage
 	secs, tail, sawEnd, err := scanSections(br, strict)
 	if err != nil {
 		return nil, nil, err
 	}
-	rep := &SalvageReport{Version: 3, BytesSkipped: tail, Truncated: !sawEnd}
+	fileVer := 3
+	if v4 {
+		fileVer = 4
+	}
+	rep := &SalvageReport{Version: fileVer, BytesSkipped: tail, Truncated: !sawEnd}
 	if strict && !sawEnd {
 		off := int64(8)
 		if len(secs) > 0 {
@@ -217,7 +256,7 @@ func loadV3(br io.Reader, opts LoadOptions) (*core.WET, *SalvageReport, error) {
 			Cause: fmt.Errorf("truncated or unframeable past this point: %w", io.ErrUnexpectedEOF)}
 	}
 	if strict {
-		w, err := parseStrict(secs, opts)
+		w, err := parseStrict(secs, opts, v4)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -225,7 +264,7 @@ func loadV3(br io.Reader, opts LoadOptions) (*core.WET, *SalvageReport, error) {
 		rep.NodesLoaded, rep.EdgesLoaded = len(w.Nodes), len(w.Edges)
 		return w, rep, nil
 	}
-	w, err := parseSalvage(secs, opts, rep)
+	w, err := parseSalvage(secs, opts, rep, v4)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -235,7 +274,7 @@ func loadV3(br io.Reader, opts LoadOptions) (*core.WET, *SalvageReport, error) {
 // parseStrict requires the exact section sequence header, program, report,
 // nNodes nodes, nEdges edges, end — anything else is a FormatError naming
 // the offending section.
-func parseStrict(secs []section, opts LoadOptions) (*core.WET, error) {
+func parseStrict(secs []section, opts LoadOptions, v4 bool) (*core.WET, error) {
 	idx := 0
 	take := func(tag uint8) (*section, error) {
 		if idx >= len(secs) {
@@ -255,7 +294,7 @@ func parseStrict(secs []section, opts LoadOptions) (*core.WET, error) {
 	if err != nil {
 		return nil, err
 	}
-	wet, hdr, err := parseHeaderSec(hs)
+	wet, hdr, err := parseHeaderSec(hs, v4)
 	if err != nil {
 		return nil, err
 	}
@@ -281,7 +320,12 @@ func parseStrict(secs []section, opts LoadOptions) (*core.WET, error) {
 		if err != nil {
 			return nil, err
 		}
-		n, err := parseNodeSec(s, st, i, hdr.nNodes, opts)
+		var n *core.Node
+		if v4 {
+			n, err = parseNodeSecV4(s, st, i, hdr.nNodes, wet, opts)
+		} else {
+			n, err = parseNodeSec(s, st, i, hdr.nNodes, opts)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -292,11 +336,21 @@ func parseStrict(secs []section, opts LoadOptions) (*core.WET, error) {
 		if err != nil {
 			return nil, err
 		}
-		e, err := parseEdgeSec(s, wet, i, hdr.nEdges, opts)
+		var e *core.Edge
+		if v4 {
+			e, err = parseEdgeSecV4(s, wet, i, hdr.nEdges, opts)
+		} else {
+			e, err = parseEdgeSec(s, wet, i, hdr.nEdges, opts)
+		}
 		if err != nil {
 			return nil, err
 		}
 		wet.Edges = append(wet.Edges, e)
+		if v4 {
+			if err := checkSegShares(wet, e, i); err != nil {
+				return nil, &FormatError{Section: fmt.Sprintf("edge %d", i), Offset: s.offset, Cause: err}
+			}
+		}
 	}
 	es, err := take(secEnd)
 	if err != nil {
@@ -316,6 +370,11 @@ func parseStrict(secs []section, opts LoadOptions) (*core.WET, error) {
 		return nil, &FormatError{Section: "header", Offset: hs.offset,
 			Cause: fmt.Errorf("first/last node out of range")}
 	}
+	if v4 && opts.RestoreTier1 {
+		// Segmented tier-1 is rehydrated in one pass over the federated
+		// cursors once the whole edge table (share targets included) exists.
+		wet.MaterializeTier1()
+	}
 	wet.RestoreIndexes(sizeRep)
 	return wet, nil
 }
@@ -323,7 +382,7 @@ func parseStrict(secs []section, opts LoadOptions) (*core.WET, error) {
 // parseSalvage keeps whatever validates: bad or out-of-place sections are
 // dropped, node records form the maximal intact prefix, edge records are
 // kept individually, and cross references are repaired afterwards.
-func parseSalvage(secs []section, opts LoadOptions, rep *SalvageReport) (*core.WET, error) {
+func parseSalvage(secs []section, opts LoadOptions, rep *SalvageReport, v4 bool) (*core.WET, error) {
 	var hdrSec, progSec, repSec *section
 	// Node and edge identities are positional (a node's ID is its index), so
 	// original indices are assigned by file order counting damaged sections
@@ -382,7 +441,7 @@ func parseSalvage(secs []section, opts LoadOptions, rep *SalvageReport) (*core.W
 		return nil, &FormatError{Section: "header", Offset: 8,
 			Cause: fmt.Errorf("header section damaged or missing; nothing salvageable")}
 	}
-	wet, hdr, err := parseHeaderSec(hdrSec)
+	wet, hdr, err := parseHeaderSec(hdrSec, v4)
 	if err != nil {
 		return nil, err
 	}
@@ -415,7 +474,13 @@ func parseSalvage(secs []section, opts LoadOptions, rep *SalvageReport) (*core.W
 			drop(ts.s)
 			continue
 		}
-		n, nerr := parseNodeSec(ts.s, st, ts.orig, hdr.nNodes, opts)
+		var n *core.Node
+		var nerr error
+		if v4 {
+			n, nerr = parseNodeSecV4(ts.s, st, ts.orig, hdr.nNodes, wet, opts)
+		} else {
+			n, nerr = parseNodeSec(ts.s, st, ts.orig, hdr.nNodes, opts)
+		}
 		if nerr != nil {
 			drop(ts.s)
 			continue
@@ -442,7 +507,13 @@ func parseSalvage(secs []section, opts LoadOptions, rep *SalvageReport) (*core.W
 			drop(ts.s)
 			continue
 		}
-		e, eerr := parseEdgeSec(ts.s, wet, ts.orig, hdr.nEdges, opts)
+		var e *core.Edge
+		var eerr error
+		if v4 {
+			e, eerr = parseEdgeSecV4(ts.s, wet, ts.orig, hdr.nEdges, opts)
+		} else {
+			e, eerr = parseEdgeSec(ts.s, wet, ts.orig, hdr.nEdges, opts)
+		}
 		if eerr != nil {
 			drop(ts.s)
 			continue
@@ -452,22 +523,50 @@ func parseSalvage(secs []section, opts LoadOptions, rep *SalvageReport) (*core.W
 	}
 
 	// Shared-label edges need their representative: drop sharers whose
-	// owner was lost or is not a valid owner, then remap indexes.
+	// owner was lost or is not a valid owner, then remap indexes. v4 shares
+	// per segment, and a dropped edge can itself own segments other edges
+	// share, so the drop cascades to a fixpoint there.
 	owners := make(map[int]*core.Edge, len(kept))
 	for _, k := range kept {
 		owners[k.orig] = k.e
 	}
 	var surviving []keptEdge
-	for _, k := range kept {
-		if k.e.SharedWith >= 0 {
-			own, ok := owners[k.e.SharedWith]
-			if !ok || own.SharedWith >= 0 || own.Inferable {
-				rep.Adjustments = append(rep.Adjustments,
-					fmt.Sprintf("edge record %d dropped: shared label representative %d not recovered", k.orig, k.e.SharedWith))
-				continue
+	if v4 {
+		alive := make(map[int]bool, len(kept))
+		for _, k := range kept {
+			alive[k.orig] = true
+		}
+		for changed := true; changed; {
+			changed = false
+			for _, k := range kept {
+				if !alive[k.orig] {
+					continue
+				}
+				if why := segShareDamage(owners, alive, k.e, k.orig); why != "" {
+					alive[k.orig] = false
+					changed = true
+					rep.Adjustments = append(rep.Adjustments,
+						fmt.Sprintf("edge record %d dropped: %s", k.orig, why))
+				}
 			}
 		}
-		surviving = append(surviving, k)
+		for _, k := range kept {
+			if alive[k.orig] {
+				surviving = append(surviving, k)
+			}
+		}
+	} else {
+		for _, k := range kept {
+			if k.e.SharedWith >= 0 {
+				own, ok := owners[k.e.SharedWith]
+				if !ok || own.SharedWith >= 0 || own.Inferable {
+					rep.Adjustments = append(rep.Adjustments,
+						fmt.Sprintf("edge record %d dropped: shared label representative %d not recovered", k.orig, k.e.SharedWith))
+					continue
+				}
+			}
+			surviving = append(surviving, k)
+		}
 	}
 	newIdx := make(map[int]int, len(surviving))
 	for i, k := range surviving {
@@ -477,12 +576,20 @@ func parseSalvage(secs []section, opts LoadOptions, rep *SalvageReport) (*core.W
 		if k.e.SharedWith >= 0 {
 			k.e.SharedWith = newIdx[k.e.SharedWith]
 		}
+		for _, sg := range k.e.Segs {
+			if sg.SharedWith >= 0 {
+				sg.SharedWith = newIdx[sg.SharedWith]
+			}
+		}
 		wet.Edges = append(wet.Edges, k.e)
 	}
 	rep.EdgesLoaded = len(wet.Edges)
 	rep.EdgesDropped = hdr.nEdges - len(wet.Edges)
 
 	rep.Adjustments = append(rep.Adjustments, wet.SanitizeSalvaged()...)
+	if v4 && opts.RestoreTier1 {
+		wet.MaterializeTier1()
+	}
 	wet.RestoreIndexes(sizeRep)
 	return wet, nil
 }
@@ -492,7 +599,7 @@ type header struct {
 	nNodes, nEdges int
 }
 
-func parseHeaderSec(s *section) (*core.WET, header, error) {
+func parseHeaderSec(s *section, v4 bool) (*core.WET, header, error) {
 	wet := &core.WET{}
 	var hdr header
 	err := guard("header", s.offset, func() error {
@@ -504,6 +611,19 @@ func parseHeaderSec(s *section) (*core.WET, header, error) {
 		}
 		wet.FirstNode, wet.LastNode = int(first), int(last)
 		hdr.nNodes, hdr.nEdges = int(nNodes), int(nEdges)
+		if v4 {
+			var epochs uint32
+			if err := readVals(sr, &wet.EpochTS, &epochs); err != nil {
+				return err
+			}
+			wet.Epochs = int(epochs)
+			if wet.EpochTS == 0 {
+				return fmt.Errorf("v4 file with epoch size 0")
+			}
+			if want := (uint64(wet.Time) + uint64(wet.EpochTS) - 1) / uint64(wet.EpochTS); uint64(wet.Epochs) != want {
+				return fmt.Errorf("%d epochs inconsistent with time %d at epoch size %d", wet.Epochs, wet.Time, wet.EpochTS)
+			}
+		}
 		return sr.done()
 	})
 	if err != nil {

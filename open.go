@@ -1,0 +1,81 @@
+package wet
+
+import (
+	"io"
+
+	"wet/internal/wetio"
+)
+
+// OpenOption configures Open.
+type OpenOption func(*openConfig)
+
+type openConfig struct {
+	tier1      bool
+	salvage    bool
+	verifyOnly bool
+}
+
+// WithTier1 rehydrates the tier-1 label arrays on load so tier-1 queries
+// work on the opened trace (Open(r, WithTier1()) ≡ Load(r, true)).
+func WithTier1() OpenOption { return func(c *openConfig) { c.tier1 = true } }
+
+// WithSalvage loads as much of a damaged file as remains loadable instead
+// of failing on the first structural or checksum error; the OpenReport's
+// Salvage field details every loss (Open(r, WithSalvage()) ≡ LoadSalvage).
+func WithSalvage() OpenOption { return func(c *openConfig) { c.salvage = true } }
+
+// WithVerifyOnly walks the file's sections checking each checksum without
+// parsing any payload; Open returns a nil Trace and the OpenReport's
+// Verify field holds the walk (Open(r, WithVerifyOnly()) ≡ Verify).
+func WithVerifyOnly() OpenOption { return func(c *openConfig) { c.verifyOnly = true } }
+
+// OpenReport describes what Open found in the file.
+type OpenReport struct {
+	// Version is the file format version (2, 3, or 4).
+	Version int
+	// Verify holds the section-by-section integrity walk; set only with
+	// WithVerifyOnly.
+	Verify *VerifyResult
+	// Salvage accounts for sections read, dropped, and repaired; set only
+	// with WithSalvage. Its Clean method distinguishes intact from lossy
+	// loads.
+	Salvage *SalvageReport
+}
+
+// Open reads a WET file written by Save (or (*Trace).Save) and returns it
+// as a query handle. It unifies the older free functions behind one entry
+// point:
+//
+//	Open(r)                   ≡ Load(r, false)        strict load, tier-2 only
+//	Open(r, WithTier1())      ≡ Load(r, true)         strict load + tier-1 arrays
+//	Open(r, WithSalvage())    ≡ LoadSalvage(r, ...)   best-effort load of damage
+//	Open(r, WithVerifyOnly()) ≡ Verify(r)             checksum walk, nil Trace
+//
+// Options compose (WithSalvage() with WithTier1() salvages and rehydrates),
+// except WithVerifyOnly, which never constructs a trace. Structural or
+// checksum failures on the strict path are reported as *FormatError.
+func Open(r io.Reader, opts ...OpenOption) (*Trace, *OpenReport, error) {
+	var cfg openConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.verifyOnly {
+		res, err := wetio.Verify(r)
+		if err != nil {
+			return nil, nil, err
+		}
+		return nil, &OpenReport{Version: res.Version, Verify: res}, nil
+	}
+	w, rep, err := wetio.LoadWithReport(r, wetio.LoadOptions{
+		RestoreTier1: cfg.tier1,
+		Salvage:      cfg.salvage,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	out := &OpenReport{Version: rep.Version}
+	if cfg.salvage {
+		out.Salvage = rep
+	}
+	return NewTrace(w), out, nil
+}

@@ -1,0 +1,164 @@
+package wet
+
+import (
+	"io"
+
+	"wet/internal/core"
+	"wet/internal/interp"
+	"wet/internal/query"
+	"wet/internal/wetio"
+)
+
+// Trace is the handle-based entry point to a whole execution trace: one
+// value that carries the WET together with the tier queries read, so call
+// sites stop threading a (w, tier) pair through every query. Obtain one
+// from Run (build + freeze in one step), Open (from a saved file), or
+// NewTrace (wrapping a *WET built through the lower-level API).
+//
+// A Trace is immutable and cheap to copy; AtTier returns a sibling handle
+// over the same WET at a different tier. All query methods are safe for
+// concurrent use on a frozen trace — every query gets its own detached
+// cursors.
+type Trace struct {
+	w    *WET
+	tier Tier
+}
+
+// NewTrace wraps an already-built WET in a handle. The tier defaults to
+// Tier2 when the WET is frozen and Tier1 otherwise; override with AtTier.
+func NewTrace(w *WET) *Trace {
+	t := &Trace{w: w, tier: Tier1}
+	if w.Frozen() {
+		t.tier = Tier2
+	}
+	return t
+}
+
+// Run executes the (finalized) program and returns its frozen trace in one
+// call. With fopts.EpochTS > 0 the dynamic profile is sealed and tier-2
+// compressed in epochs of that many timestamps while the interpreter runs
+// (the streaming pipeline), bounding peak memory by the epoch size; with
+// EpochTS == 0 the profile is built fully and then frozen, producing output
+// byte-identical to BuildWET followed by Freeze.
+func Run(p *Program, ropts RunOptions, fopts FreezeOptions) (*Trace, *RunResult, error) {
+	st, err := interp.Analyze(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	iopts := interp.Options{Inputs: ropts.Inputs, MaxSteps: ropts.MaxSteps, Arch: ropts.Arch}
+	build := core.BuildStreaming
+	if ropts.CheckDeterminism {
+		build = core.BuildStreamingChecked
+	}
+	w, _, res, err := build(st, iopts, fopts)
+	if err != nil {
+		return nil, res, err
+	}
+	return &Trace{w: w, tier: Tier2}, res, nil
+}
+
+// WET returns the underlying whole execution trace for use with the
+// lower-level free-function API.
+func (t *Trace) WET() *WET { return t.w }
+
+// Tier returns the tier this handle's queries read.
+func (t *Trace) Tier() Tier { return t.tier }
+
+// AtTier returns a handle over the same WET that queries at the given tier.
+func (t *Trace) AtTier(tier Tier) *Trace { return &Trace{w: t.w, tier: tier} }
+
+// Report returns the compression size report (nil before Freeze).
+func (t *Trace) Report() *SizeReport { return t.w.Report() }
+
+// Segmented reports whether the trace was built epoch-segmented.
+func (t *Trace) Segmented() bool { return t.w.Segmented() }
+
+// EpochTS returns the epoch size in timestamps (0 = single-epoch).
+func (t *Trace) EpochTS() uint32 { return t.w.EpochTS }
+
+// Epochs returns the number of sealed epochs (0 for single-epoch traces).
+func (t *Trace) Epochs() int { return t.w.Epochs }
+
+// Time returns the trace length: the timestamp of the last statement.
+func (t *Trace) Time() uint32 { return t.w.Time }
+
+// Validate checks the structural invariants of the trace.
+func (t *Trace) Validate() error { return t.w.Validate() }
+
+// Save writes the frozen trace to w (format v3, or v4 when segmented).
+func (t *Trace) Save(w io.Writer) error { return wetio.Save(w, t.w) }
+
+// Walker returns a bidirectional control-flow walker at the handle's tier.
+func (t *Trace) Walker() *Walker { return query.NewWalker(t.w, t.tier) }
+
+// ExtractControlFlow walks the entire control-flow trace (forward or
+// backward), calling emit per executed statement; it returns the count.
+func (t *Trace) ExtractControlFlow(forward bool, emit func(stmtID int)) uint64 {
+	return query.ExtractCF(t.w, t.tier, forward, emit)
+}
+
+// ExtractCFRange walks the control-flow trace between two timestamps
+// (inclusive). An inverted range returns a *RangeError; a range merely
+// clipped by the ends of the trace is extracted as far as it exists.
+func (t *Trace) ExtractCFRange(fromTS, toTS uint32, emit func(stmtID int)) (uint64, error) {
+	return query.ExtractCFRange(t.w, t.tier, fromTS, toTS, emit)
+}
+
+// ValueTrace extracts the per-instruction value trace of one statement.
+func (t *Trace) ValueTrace(stmtID int, emit func(Sample)) (uint64, error) {
+	return query.ValueTrace(t.w, t.tier, stmtID, emit)
+}
+
+// AddressTrace extracts the per-instruction address trace of a load/store.
+func (t *Trace) AddressTrace(stmtID int, emit func(Sample)) (uint64, error) {
+	return query.AddressTrace(t.w, t.tier, stmtID, emit)
+}
+
+// InstanceOfTS locates a statement's instance at a given timestamp.
+func (t *Trace) InstanceOfTS(stmtID int, ts uint32) (Instance, error) {
+	return query.InstanceOfTS(t.w, t.tier, stmtID, ts)
+}
+
+// Backward computes the backward WET slice of an instance.
+func (t *Trace) Backward(from Instance, maxInstances int) (*SliceResult, error) {
+	return query.BackwardSlice(t.w, t.tier, from, maxInstances)
+}
+
+// Forward computes the forward WET slice of an instance.
+func (t *Trace) Forward(from Instance, maxInstances int) (*SliceResult, error) {
+	return query.ForwardSlice(t.w, t.tier, from, maxInstances)
+}
+
+// Chop computes the slice intersection: the instances through which `from`
+// influenced `to`.
+func (t *Trace) Chop(from, to Instance, maxInstances int) (*SliceResult, error) {
+	return query.Chop(t.w, t.tier, from, to, maxInstances)
+}
+
+// DependenceChain follows one backward data-dependence chain from an
+// instance, up to maxLen links.
+func (t *Trace) DependenceChain(from Instance, opIdx, maxLen int) ([]Instance, error) {
+	return query.DependenceChain(t.w, t.tier, from, opIdx, maxLen)
+}
+
+// HotPaths ranks path nodes by dynamic statement coverage.
+func (t *Trace) HotPaths(n int) []HotPath { return query.HotPaths(t.w, n) }
+
+// WriteDOT renders a slice as a Graphviz digraph of dynamic instances and
+// their dependences.
+func (t *Trace) WriteDOT(res *SliceResult, out io.Writer) error {
+	return query.WriteDOT(t.w, t.tier, res, out)
+}
+
+// ValueInvariance profiles value predictability of every def statement.
+func (t *Trace) ValueInvariance(minExecs uint64) ([]Invariance, error) {
+	return query.ValueInvariance(t.w, t.tier, minExecs)
+}
+
+// StrideProfiles classifies every load/store's address stream.
+func (t *Trace) StrideProfiles(minAccesses int) ([]StrideProfile, error) {
+	return query.StrideProfiles(t.w, t.tier, minAccesses)
+}
+
+// RangeError reports an inverted timestamp range handed to ExtractCFRange.
+type RangeError = query.RangeError

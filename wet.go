@@ -109,6 +109,10 @@ const (
 
 // BuildWET executes the (finalized) program and constructs its WET. Call
 // Freeze on the result to apply tier-2 compression and obtain sizes.
+//
+// Deprecated: use Run, which builds, freezes, and returns a query handle
+// in one call (and supports epoch-segmented streaming via
+// FreezeOptions.EpochTS).
 func BuildWET(p *Program, opts RunOptions) (*WET, *RunResult, error) {
 	st, err := interp.Analyze(p)
 	if err != nil {
@@ -157,11 +161,15 @@ func RunProgram(p *Program, inputs []int64) ([]int64, error) {
 type Walker = query.Walker
 
 // NewWalker returns a walker over w at the given tier.
+//
+// Deprecated: use (*Trace).Walker.
 func NewWalker(w *WET, tier Tier) *Walker { return query.NewWalker(w, tier) }
 
 // ExtractControlFlow walks the entire control-flow trace (forward or
 // backward), calling emit per executed statement; it returns the statement
 // count.
+//
+// Deprecated: use (*Trace).ExtractControlFlow.
 func ExtractControlFlow(w *WET, tier Tier, forward bool, emit func(stmtID int)) uint64 {
 	return query.ExtractCF(w, tier, forward, emit)
 }
@@ -170,11 +178,15 @@ func ExtractControlFlow(w *WET, tier Tier, forward bool, emit func(stmtID int)) 
 type Sample = query.Sample
 
 // ValueTrace extracts the per-instruction value trace of one statement.
+//
+// Deprecated: use (*Trace).ValueTrace.
 func ValueTrace(w *WET, tier Tier, stmtID int, emit func(Sample)) (uint64, error) {
 	return query.ValueTrace(w, tier, stmtID, emit)
 }
 
 // AddressTrace extracts the per-instruction address trace of a load/store.
+//
+// Deprecated: use (*Trace).AddressTrace.
 func AddressTrace(w *WET, tier Tier, stmtID int, emit func(Sample)) (uint64, error) {
 	return query.AddressTrace(w, tier, stmtID, emit)
 }
@@ -186,16 +198,22 @@ type Instance = query.Instance
 type SliceResult = query.SliceResult
 
 // Backward computes the backward WET slice of an instance.
+//
+// Deprecated: use (*Trace).Backward.
 func Backward(w *WET, tier Tier, from Instance, maxInstances int) (*SliceResult, error) {
 	return query.BackwardSlice(w, tier, from, maxInstances)
 }
 
 // Forward computes the forward WET slice of an instance.
+//
+// Deprecated: use (*Trace).Forward.
 func Forward(w *WET, tier Tier, from Instance, maxInstances int) (*SliceResult, error) {
 	return query.ForwardSlice(w, tier, from, maxInstances)
 }
 
 // InstanceOfTS locates a statement's instance at a given timestamp.
+//
+// Deprecated: use (*Trace).InstanceOfTS.
 func InstanceOfTS(w *WET, tier Tier, stmtID int, ts uint32) (Instance, error) {
 	return query.InstanceOfTS(w, tier, stmtID, ts)
 }
@@ -277,13 +295,18 @@ const (
 
 // --- persistence ---
 
-// Save writes a frozen WET to w in format v3, preserving the compressed
-// stream states. Every section is framed with its length and a CRC32-C.
+// Save writes a frozen WET to w, preserving the compressed stream states:
+// format v3 for single-epoch WETs (byte-identical to earlier releases),
+// v4 for epoch-segmented ones. Every section is framed with its length and
+// a CRC32-C.
 func Save(w io.Writer, t *WET) error { return wetio.Save(w, t) }
 
 // Load reads a WET written by Save. With restoreTier1, the tier-1 label
 // arrays are rehydrated so tier-1 queries work too. Structural or checksum
 // failures are reported as *FormatError.
+//
+// Deprecated: use Open (Load(r, false) ≡ Open(r); Load(r, true) ≡
+// Open(r, WithTier1())).
 func Load(r io.Reader, restoreTier1 bool) (*WET, error) {
 	return wetio.Load(r, wetio.LoadOptions{RestoreTier1: restoreTier1})
 }
@@ -298,17 +321,21 @@ type SalvageReport = wetio.SalvageReport
 // VerifyResult summarizes a section-by-section integrity walk.
 type VerifyResult = wetio.VerifyResult
 
-// LoadSalvage reads as much of a damaged v3 WET file as remains loadable:
+// LoadSalvage reads as much of a damaged WET file as remains loadable:
 // damaged node records truncate the node list, damaged edge records are
 // dropped individually, and cross references are repaired. The report
 // details every loss; its Clean method distinguishes intact from lossy
 // loads. Files missing their header or program section return an error.
+//
+// Deprecated: use Open with WithSalvage (and WithTier1 for restoreTier1).
 func LoadSalvage(r io.Reader, restoreTier1 bool) (*WET, *SalvageReport, error) {
 	return wetio.LoadWithReport(r, wetio.LoadOptions{RestoreTier1: restoreTier1, Salvage: true})
 }
 
-// Verify walks a v3 WET file's sections, checking each checksum without
+// Verify walks a v3/v4 WET file's sections, checking each checksum without
 // parsing any payload. v2 files carry no checksums and return an error.
+//
+// Deprecated: use Open with WithVerifyOnly.
 func Verify(r io.Reader) (*VerifyResult, error) { return wetio.Verify(r) }
 
 // ParseProgram compiles the textual IR format (see internal/asm) into a
@@ -324,12 +351,16 @@ func ParseProgram(src string) (*Program, error) { return asm.Parse(src) }
 
 // Chop computes the slice intersection: the instances through which `from`
 // influenced `to`.
+//
+// Deprecated: use (*Trace).Chop.
 func Chop(w *WET, tier Tier, from, to Instance, maxInstances int) (*SliceResult, error) {
 	return query.Chop(w, tier, from, to, maxInstances)
 }
 
 // DependenceChain follows one backward data-dependence chain from an
 // instance, up to maxLen links.
+//
+// Deprecated: use (*Trace).DependenceChain.
 func DependenceChain(w *WET, tier Tier, from Instance, opIdx, maxLen int) ([]Instance, error) {
 	return query.DependenceChain(w, tier, from, opIdx, maxLen)
 }
@@ -338,10 +369,14 @@ func DependenceChain(w *WET, tier Tier, from Instance, opIdx, maxLen int) ([]Ins
 type HotPath = query.HotPath
 
 // HotPaths ranks path nodes by dynamic statement coverage.
+//
+// Deprecated: use (*Trace).HotPaths.
 func HotPaths(w *WET, n int) []HotPath { return query.HotPaths(w, n) }
 
 // WriteDOT renders a slice as a Graphviz digraph of dynamic instances and
 // their dependences.
+//
+// Deprecated: use (*Trace).WriteDOT.
 func WriteDOT(w *WET, tier Tier, res *SliceResult, out io.Writer) error {
 	return query.WriteDOT(w, tier, res, out)
 }
@@ -350,6 +385,8 @@ func WriteDOT(w *WET, tier Tier, res *SliceResult, out io.Writer) error {
 type Invariance = query.Invariance
 
 // ValueInvariance profiles value predictability of every def statement.
+//
+// Deprecated: use (*Trace).ValueInvariance.
 func ValueInvariance(w *WET, tier Tier, minExecs uint64) ([]Invariance, error) {
 	return query.ValueInvariance(w, tier, minExecs)
 }
@@ -358,11 +395,16 @@ func ValueInvariance(w *WET, tier Tier, minExecs uint64) ([]Invariance, error) {
 type StrideProfile = query.StrideProfile
 
 // StrideProfiles classifies every load/store's address stream.
+//
+// Deprecated: use (*Trace).StrideProfiles.
 func StrideProfiles(w *WET, tier Tier, minAccesses int) ([]StrideProfile, error) {
 	return query.StrideProfiles(w, tier, minAccesses)
 }
 
-// ExtractCFRange walks the control-flow trace between two timestamps.
+// ExtractCFRange walks the control-flow trace between two timestamps
+// (inclusive). An inverted range (fromTS > toTS) returns a *RangeError.
+//
+// Deprecated: use (*Trace).ExtractCFRange.
 func ExtractCFRange(w *WET, tier Tier, fromTS, toTS uint32, emit func(stmtID int)) (uint64, error) {
 	return query.ExtractCFRange(w, tier, fromTS, toTS, emit)
 }

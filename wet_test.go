@@ -5,6 +5,7 @@ package wet_test
 
 import (
 	"bytes"
+	"io"
 	"testing"
 
 	"wet"
@@ -285,5 +286,108 @@ done:
 	}
 	if dot.Len() == 0 {
 		t.Fatal("empty DOT output")
+	}
+}
+
+// TestDeprecatedSurface pins the deprecated free-function wrappers: each
+// must keep its signature (compile-time via the assignments below) and
+// return the same results as the Trace method that replaced it.
+func TestDeprecatedSurface(t *testing.T) {
+	// Signature pins — a changed wrapper breaks this compile.
+	var (
+		_ func(*wet.Program, wet.RunOptions) (*wet.WET, *wet.RunResult, error)                       = wet.BuildWET
+		_ func(*wet.WET, wet.Tier) *wet.Walker                                                       = wet.NewWalker
+		_ func(*wet.WET, wet.Tier, bool, func(int)) uint64                                           = wet.ExtractControlFlow
+		_ func(*wet.WET, wet.Tier, uint32, uint32, func(int)) (uint64, error)                        = wet.ExtractCFRange
+		_ func(*wet.WET, wet.Tier, int, func(wet.Sample)) (uint64, error)                            = wet.ValueTrace
+		_ func(*wet.WET, wet.Tier, int, func(wet.Sample)) (uint64, error)                            = wet.AddressTrace
+		_ func(*wet.WET, wet.Tier, wet.Instance, int) (*wet.SliceResult, error)                      = wet.Backward
+		_ func(*wet.WET, wet.Tier, wet.Instance, int) (*wet.SliceResult, error)                      = wet.Forward
+		_ func(*wet.WET, wet.Tier, int, uint32) (wet.Instance, error)                                = wet.InstanceOfTS
+		_ func(*wet.WET, wet.Tier, wet.Instance, wet.Instance, int) (*wet.SliceResult, error)        = wet.Chop
+		_ func(*wet.WET, wet.Tier, wet.Instance, int, int) ([]wet.Instance, error)                   = wet.DependenceChain
+		_ func(*wet.WET, int) []wet.HotPath                                                          = wet.HotPaths
+		_ func(*wet.WET, wet.Tier, uint64) ([]wet.Invariance, error)                                 = wet.ValueInvariance
+		_ func(*wet.WET, wet.Tier, int) ([]wet.StrideProfile, error)                                 = wet.StrideProfiles
+		_ func(io.Reader, bool) (*wet.WET, error)                                                    = wet.Load
+		_ func(io.Reader, bool) (*wet.WET, *wet.SalvageReport, error)                                = wet.LoadSalvage
+		_ func(io.Reader) (*wet.VerifyResult, error)                                                 = wet.Verify
+	)
+
+	// Behaviour: wrapper and method answer identically, on both a
+	// single-epoch and a streamed build of the same program.
+	prog, outS := buildSum(t)
+	for _, epochTS := range []uint32{0, 4} {
+		tr, _, err := wet.Run(prog, wet.RunOptions{}, wet.FreezeOptions{EpochTS: epochTS})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := tr.WET()
+		if got, want := tr.ExtractControlFlow(true, nil), wet.ExtractControlFlow(w, wet.Tier2, true, nil); got != want {
+			t.Fatalf("epochTS=%d: method %d vs wrapper %d", epochTS, got, want)
+		}
+		inst, err := tr.InstanceOfTS(outS.ID, tr.Time())
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := tr.Backward(inst, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := wet.Backward(w, wet.Tier2, inst, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Instances) != len(b.Instances) {
+			t.Fatalf("epochTS=%d: slice %d vs %d instances", epochTS, len(a.Instances), len(b.Instances))
+		}
+	}
+}
+
+// TestOpenMatchesLoad pins the documented Open ↔ Load/LoadSalvage/Verify
+// mapping on a saved streamed trace.
+func TestOpenMatchesLoad(t *testing.T) {
+	prog, _ := buildSum(t)
+	tr, _, err := wet.Run(prog, wet.RunOptions{}, wet.FreezeOptions{EpochTS: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	got, rep, err := wet.Open(bytes.NewReader(buf.Bytes()), wet.WithTier1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Version != 4 || rep.Salvage != nil || rep.Verify != nil {
+		t.Fatalf("open report: %+v", rep)
+	}
+	old, err := wet.Load(bytes.NewReader(buf.Bytes()), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := got.ExtractControlFlow(true, nil), wet.ExtractControlFlow(old, wet.Tier1, true, nil); a != b {
+		t.Fatalf("open vs load: %d vs %d statements", a, b)
+	}
+	if got.AtTier(wet.Tier1).ExtractControlFlow(true, nil) != got.ExtractControlFlow(true, nil) {
+		t.Fatal("tier-1 rehydration mismatch")
+	}
+
+	sv, srep, err := wet.Open(bytes.NewReader(buf.Bytes()), wet.WithSalvage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srep.Salvage == nil || !srep.Salvage.Clean() || sv.Epochs() != tr.Epochs() {
+		t.Fatalf("salvage open of intact file: %+v", srep.Salvage)
+	}
+
+	none, vrep, err := wet.Open(bytes.NewReader(buf.Bytes()), wet.WithVerifyOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none != nil || vrep.Verify == nil || !vrep.Verify.OK() || vrep.Version != 4 {
+		t.Fatalf("verify-only open: trace=%v report=%+v", none, vrep)
 	}
 }
