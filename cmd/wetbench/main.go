@@ -9,9 +9,11 @@
 //	wetbench -stmts 1000000   # longer runs
 //	wetbench -workloads go,li # a subset of benchmarks
 //	wetbench -epochjson BENCH_epoch.json   # epoch-segmentation memory bench
+//	wetbench -openjson BENCH_open.json     # open/decode-path bench (eager vs lazy vs parallel)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +34,9 @@ func main() {
 	freezeJSON := flag.String("freezejson", "", "run only the freeze bench and write its JSON record to this file")
 	queryJSON := flag.String("queryjson", "", "run only the parallel query bench and write its JSON record to this file")
 	epochJSON := flag.String("epochjson", "", "run only the epoch-segmentation bench and write its JSON record to this file")
+	openJSON := flag.String("openjson", "", "run only the open-path bench (cold open eager/lazy/parallel, backward scans) and write its JSON record to this file")
+	openBaseline := flag.String("openbaseline", "", "with -openjson: committed baseline record to compare dimensionless speedups against")
+	openTol := flag.Float64("opentol", 0.20, "with -openbaseline: fail when a speedup falls more than this fraction below the baseline")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
 
@@ -71,6 +76,62 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote epoch bench record to %s\n", *epochJSON)
+		return
+	}
+
+	if *openJSON != "" {
+		// Like the epoch bench, the open bench sizes itself
+		// (exp.DefaultOpenBenchStmts) unless -stmts was given explicitly:
+		// the cold-open numbers need a multi-epoch file of real size.
+		stmtsSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "stmts" {
+				stmtsSet = true
+			}
+		})
+		if !stmtsSet {
+			cfg.TargetStmts = 0
+		}
+		res, err := exp.OpenBench(cfg, progress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wetbench:", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*openJSON)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wetbench:", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, "wetbench:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "wetbench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote open bench record to %s\n", *openJSON)
+		if *openBaseline != "" {
+			raw, err := os.ReadFile(*openBaseline)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "wetbench:", err)
+				os.Exit(1)
+			}
+			var base exp.OpenBenchResult
+			if err := json.Unmarshal(raw, &base); err != nil {
+				fmt.Fprintln(os.Stderr, "wetbench:", err)
+				os.Exit(1)
+			}
+			if bad := exp.CheckOpenBench(res, &base, *openTol); len(bad) > 0 {
+				for _, b := range bad {
+					fmt.Fprintln(os.Stderr, "wetbench: open bench regression:", b)
+				}
+				os.Exit(1)
+			}
+			fmt.Printf("open bench speedups within %.0f%% of %s\n", 100**openTol, *openBaseline)
+		}
 		return
 	}
 

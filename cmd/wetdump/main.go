@@ -25,6 +25,7 @@ import (
 	"wet/internal/cliutil"
 	"wet/internal/core"
 	"wet/internal/query"
+	"wet/internal/stream"
 	"wet/internal/wetio"
 )
 
@@ -42,6 +43,7 @@ func main() {
 	verify := flag.Bool("verify", false, "walk all sections and report per-section CRC status, loading nothing")
 	semantic := flag.Bool("semantic", false, "with -verify: also validate structure and certify the trace against its program's static semantics")
 	salvage := flag.Bool("salvage", false, "recover what a damaged file still holds")
+	lazy := flag.Bool("lazy", false, "defer stream decode to first query touch (the per-epoch lines then show which segments a dump actually decoded)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: wetdump [flags] trace.wet")
@@ -50,7 +52,7 @@ func main() {
 	if *verify {
 		os.Exit(runVerify(flag.Arg(0), *semantic))
 	}
-	os.Exit(cliutil.LoadWET("wetdump", flag.Arg(0), wetio.LoadOptions{Salvage: *salvage},
+	os.Exit(cliutil.LoadWET("wetdump", flag.Arg(0), wetio.LoadOptions{Salvage: *salvage, Lazy: *lazy},
 		func(w *core.WET) int {
 			dump(w, *paths, *sliceTS, *dotFile)
 			return cliutil.ExitOK
@@ -131,6 +133,10 @@ func dump(w *core.WET, paths int, sliceTS uint, dotFile string) {
 	fmt.Printf("graph        %d path nodes, %d dependence edges\n", len(w.Nodes), len(w.Edges))
 	if w.Segmented() {
 		fmt.Printf("epochs       %d sealed at %d timestamps each (format v4)\n", w.Epochs, w.EpochTS)
+		for e, st := range epochSegStats(w) {
+			fmt.Printf("  epoch %-4d %5d segments %10d payload bytes  decoded %d/%d\n",
+				e, st.segs, st.bytes, st.decoded, st.segs)
+		}
 	}
 	fmt.Println()
 	fmt.Print(w.Report().String())
@@ -186,6 +192,62 @@ func dump(w *core.WET, paths int, sliceTS uint, dotFile string) {
 			fmt.Printf("wrote %s\n", dotFile)
 		}
 	}
+}
+
+// segStats aggregates one epoch's segment storage: stream-backed segment
+// count, compressed payload bytes, and how many of those segments are
+// decoded (an eager open decodes all; a -lazy open decodes only what the
+// dump's own queries touched).
+type segStats struct {
+	segs, decoded int
+	bytes         uint64
+}
+
+// epochSegStats walks every stream-backed segment of a segmented WET —
+// node timestamps, group patterns, unique values, edge labels — without
+// forcing any deferred decode, and buckets them by epoch. Shared edge
+// segments reference their representative's streams and are not re-counted;
+// inferable segments store nothing and do not appear.
+func epochSegStats(w *core.WET) []segStats {
+	st := make([]segStats, w.Epochs)
+	add := func(epoch int, s stream.Stream) {
+		if s == nil {
+			return
+		}
+		e := &st[epoch]
+		e.segs++
+		e.bytes += (s.SizeBits() + 7) / 8
+		if stream.Materialized(s) {
+			e.decoded++
+		}
+	}
+	for _, n := range w.Nodes {
+		for _, sg := range n.TSSegs {
+			add(sg.Epoch, sg.S)
+		}
+		for _, g := range n.Groups {
+			for _, sg := range g.PatSegs {
+				add(sg.Epoch, sg.S)
+			}
+			for _, segs := range g.UValSegs {
+				for _, sg := range segs {
+					add(sg.Epoch, sg.S)
+				}
+			}
+		}
+	}
+	for _, e := range w.Edges {
+		for _, sg := range e.Segs {
+			if sg.SharedWith >= 0 {
+				continue
+			}
+			add(sg.Epoch, sg.DstS)
+			if !sg.Diagonal {
+				add(sg.Epoch, sg.SrcS)
+			}
+		}
+	}
+	return st
 }
 
 // defAt finds the last def-port statement instance at the given timestamp.

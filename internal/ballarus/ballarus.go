@@ -14,6 +14,7 @@ package ballarus
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"wet/internal/ir"
 )
@@ -55,6 +56,7 @@ type Profile struct {
 	exit     int
 	entry    int
 
+	mu      sync.Mutex      // guards decoded (Blocks may run concurrently)
 	decoded map[int64][]int // path id -> executed block sequence (lazy)
 }
 
@@ -280,8 +282,11 @@ func (p *Profile) classifyEdges(removed map[int64]bool) {
 }
 
 // Blocks decodes a path id into its executed basic-block sequence. Results
-// are cached; the returned slice must not be modified.
+// are cached; the returned slice must not be modified. Blocks is safe for
+// concurrent use (parallel section decode calls it from worker goroutines).
 func (p *Profile) Blocks(pathID int64) ([]int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if seq, ok := p.decoded[pathID]; ok {
 		return seq, nil
 	}

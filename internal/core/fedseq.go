@@ -111,9 +111,101 @@ func (f *fedSeq) Prev() uint32 {
 	return p.cur.Prev() + p.add
 }
 
+// NextN batches a forward run across segment boundaries: one part lookup
+// and at most one (checkpointed) cursor reposition per segment crossed, with
+// the inner decode delegated to the segment cursor's batched stepping.
+func (f *fedSeq) NextN(dst []uint32) int {
+	total := f.Len() - f.pos
+	if total > len(dst) {
+		total = len(dst)
+	}
+	if total <= 0 {
+		return 0
+	}
+	for done := 0; done < total; {
+		pi := f.partAt(f.pos)
+		local := f.pos - f.starts[pi]
+		p := &f.parts[pi]
+		take := p.n - local
+		if rem := total - done; take > rem {
+			take = rem
+		}
+		out := dst[done : done+take]
+		if p.s == nil {
+			base := p.ramp + uint32(local)
+			for i := range out {
+				out[i] = base + uint32(i)
+			}
+		} else {
+			if p.cur == nil {
+				p.cur = p.s.NewCursor()
+			}
+			if p.cur.Pos() != local {
+				p.cur.Seek(local)
+			}
+			p.cur.NextN(out)
+			if p.add != 0 {
+				for i := range out {
+					out[i] += p.add
+				}
+			}
+		}
+		done += take
+		f.pos += take
+	}
+	return total
+}
+
+// PrevN batches a backward run the same way (dst in traversal order): each
+// segment is entered with a single checkpointed seek to its right edge
+// instead of one per element, so Prev-heavy scans stop replaying from the
+// segment start at every step.
+func (f *fedSeq) PrevN(dst []uint32) int {
+	total := f.pos
+	if total > len(dst) {
+		total = len(dst)
+	}
+	if total <= 0 {
+		return 0
+	}
+	for done := 0; done < total; {
+		pi := f.partAt(f.pos - 1)
+		local := f.pos - f.starts[pi] // elements of this part below f.pos
+		p := &f.parts[pi]
+		take := local
+		if rem := total - done; take > rem {
+			take = rem
+		}
+		out := dst[done : done+take]
+		if p.s == nil {
+			base := p.ramp + uint32(local)
+			for i := range out {
+				out[i] = base - uint32(i+1)
+			}
+		} else {
+			if p.cur == nil {
+				p.cur = p.s.NewCursor()
+			}
+			if p.cur.Pos() != local {
+				p.cur.Seek(local)
+			}
+			p.cur.PrevN(out)
+			if p.add != 0 {
+				for i := range out {
+					out[i] += p.add
+				}
+			}
+		}
+		done += take
+		f.pos -= take
+	}
+	return total
+}
+
 var (
-	_ Seq    = (*fedSeq)(nil)
-	_ Seeker = (*fedSeq)(nil)
+	_ Seq     = (*fedSeq)(nil)
+	_ Seeker  = (*fedSeq)(nil)
+	_ BulkSeq = (*fedSeq)(nil)
 )
 
 // tsFed returns a federated cursor over n's timestamp segments, re-basing

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"wet/internal/interp"
+	"wet/internal/stream"
 )
 
 // RestoreNode rebuilds the static side of a WET node (statement list,
@@ -65,38 +66,51 @@ func (w *WET) RestoreIndexes(rep *SizeReport) {
 // and shared segments are materialized into plain labels). It is the
 // segmented counterpart of LoadOptions.RestoreTier1's per-stream draining;
 // wetio calls it after a v4 parse when tier-1 access was requested.
-func (w *WET) MaterializeTier1() {
+func (w *WET) MaterializeTier1() { w.MaterializeTier1N(1) }
+
+// MaterializeTier1N is MaterializeTier1 fanned over workers goroutines
+// (<= 0: GOMAXPROCS). Each node's and each edge's drain is an independent
+// job writing only that object's tier-1 fields, so the result is identical
+// at any width; drains read batched (one segment-cursor reposition per
+// segment instead of per element).
+func (w *WET) MaterializeTier1N(workers int) {
 	drain := func(s Seq) []uint32 {
 		out := make([]uint32, s.Len())
 		if sk, ok := s.(Seeker); ok {
 			sk.Seek(0)
 		}
-		for i := range out {
-			out[i] = s.Next()
-		}
+		SeqNextN(s, out)
 		return out
 	}
+	var jobs []func(sc *stream.Scratch)
 	for _, n := range w.Nodes {
 		if n.TSSegs == nil {
 			continue
 		}
-		n.TS = drain(w.TSSeq(n, Tier2))
-		for _, g := range n.Groups {
-			g.Pattern = drain(w.PatternSeq(g, Tier2))
-			g.UVals = make([][]uint32, len(g.ValMembers))
-			for mi := range g.UVals {
-				g.UVals[mi] = drain(w.UValSeq(g, mi, Tier2))
+		n := n
+		jobs = append(jobs, func(*stream.Scratch) {
+			n.TS = drain(w.TSSeq(n, Tier2))
+			for _, g := range n.Groups {
+				g.Pattern = drain(w.PatternSeq(g, Tier2))
+				g.UVals = make([][]uint32, len(g.ValMembers))
+				for mi := range g.UVals {
+					g.UVals[mi] = drain(w.UValSeq(g, mi, Tier2))
+				}
 			}
-		}
+		})
 	}
 	for _, e := range w.Edges {
 		if e.Inferable || e.Segs == nil {
 			continue
 		}
-		d, s := w.EdgeLabels(e, Tier2)
-		e.DstOrd = drain(d)
-		e.SrcOrd = drain(s)
+		e := e
+		jobs = append(jobs, func(*stream.Scratch) {
+			d, s := w.EdgeLabels(e, Tier2)
+			e.DstOrd = drain(d)
+			e.SrcOrd = drain(s)
+		})
 	}
+	runJobs(jobs, workers)
 }
 
 // SanitizeSalvaged repairs the invariants RestoreIndexes and the query

@@ -283,6 +283,51 @@ type Seeker interface {
 	Seek(i int)
 }
 
+// BulkSeq is the batched fast path of a Seq — stream.Cursor's NextN/PrevN
+// contract lifted to the Seq level. NextN fills dst[i] with the value at
+// Pos()+i and advances; PrevN fills dst in traversal order (dst[i] holds the
+// value at Pos()-1-i) and retreats; both return the count read. Every
+// sequence this package hands out implements it: tier-1 slice cursors copy,
+// tier-2 stream cursors decode in a hoisted loop, and federated cursors
+// shard the batch across segments so a long run pays one segment lookup and
+// at most one cursor reposition per segment crossed instead of per element.
+type BulkSeq interface {
+	NextN(dst []uint32) int
+	PrevN(dst []uint32) int
+}
+
+// SeqNextN reads a forward run from s into dst, batched when s implements
+// BulkSeq and by per-element stepping otherwise.
+func SeqNextN(s Seq, dst []uint32) int {
+	if b, ok := s.(BulkSeq); ok {
+		return b.NextN(dst)
+	}
+	n := s.Len() - s.Pos()
+	if n > len(dst) {
+		n = len(dst)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = s.Next()
+	}
+	return n
+}
+
+// SeqPrevN reads a backward run from s into dst in traversal order, batched
+// when s implements BulkSeq.
+func SeqPrevN(s Seq, dst []uint32) int {
+	if b, ok := s.(BulkSeq); ok {
+		return b.PrevN(dst)
+	}
+	n := s.Pos()
+	if n > len(dst) {
+		n = len(dst)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = s.Prev()
+	}
+	return n
+}
+
 // sliceSeq adapts a []uint32 to Seq.
 type sliceSeq struct {
 	v   []uint32
@@ -318,6 +363,24 @@ func (s *sliceSeq) Prev() uint32 {
 	}
 	s.pos--
 	return s.v[s.pos]
+}
+
+func (s *sliceSeq) NextN(dst []uint32) int {
+	n := copy(dst, s.v[s.pos:])
+	s.pos += n
+	return n
+}
+
+func (s *sliceSeq) PrevN(dst []uint32) int {
+	n := s.pos
+	if n > len(dst) {
+		n = len(dst)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = s.v[s.pos-1-i]
+	}
+	s.pos -= n
+	return n
 }
 
 // newSeq builds one fresh detached cursor over either representation:

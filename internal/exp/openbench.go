@@ -1,0 +1,293 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"wet/internal/core"
+	"wet/internal/interp"
+	"wet/internal/query"
+	"wet/internal/wetio"
+	"wet/internal/workload"
+)
+
+// DefaultOpenBenchStmts sizes the open-path workloads. The bench saves a
+// multi-epoch v4 file and re-opens it repeatedly, so the run must be long
+// enough for several epochs at DefaultOpenBenchEpochTS (like the epoch
+// bench, roughly 25 dynamic statements per node timestamp).
+const DefaultOpenBenchStmts = 5_000_000
+
+// DefaultOpenBenchEpochTS seals the bench file into multiple epochs, so the
+// open path exercises segment federation, shared edge segments, and the
+// per-section decode fan.
+const DefaultOpenBenchEpochTS = uint32(1 << 16)
+
+// OpenBenchWorkload is one workload's open-path measurements: cold-open wall
+// time under the three decode strategies and the backward-traversal rates
+// the batched cursor stepping is pinned by.
+type OpenBenchWorkload struct {
+	Name      string `json:"name"`
+	Stmts     uint64 `json:"stmts"`
+	Time      uint32 `json:"time"`
+	Epochs    int    `json:"epochs"`
+	FileBytes int    `json:"file_bytes"`
+
+	// Cold-open wall times (best of OpenBenchIters) for an eager serial
+	// open, a lazy open (streams deferred to first touch), and a parallel
+	// open (section decode fanned over GOMAXPROCS workers).
+	EagerOpenMS    float64 `json:"eager_open_ms"`
+	LazyOpenMS     float64 `json:"lazy_open_ms"`
+	ParallelOpenMS float64 `json:"parallel_open_ms"`
+	// Speedups are dimensionless (eager / variant), so the CI threshold
+	// transfers across machines.
+	LazySpeedup     float64 `json:"lazy_speedup"`
+	ParallelSpeedup float64 `json:"parallel_speedup"`
+
+	// Backward label-drain cost over every node's timestamp sequence:
+	// single-step Prev versus batched PrevN through one reusable buffer.
+	BackwardSingleMS  float64 `json:"backward_single_ms"`
+	BackwardBatchedMS float64 `json:"backward_batched_ms"`
+	BackwardSpeedup   float64 `json:"backward_speedup"`
+	// BackwardCFKStmtsPerSec is the full backward control-flow extraction
+	// rate on the eager-opened trace (the end-to-end number the batched
+	// walker scans feed).
+	BackwardCFKStmtsPerSec float64 `json:"backward_cf_kstmts_per_sec"`
+
+	// DigestsAgree records that eager, lazy, and parallel opens produced
+	// query-identical traces (forward CF digest), and that the single-step
+	// and batched backward drains read identical values.
+	DigestsAgree bool `json:"digests_agree"`
+}
+
+// OpenBenchResult is the machine-readable open-path record CI archives
+// (BENCH_open.json).
+type OpenBenchResult struct {
+	TargetStmts uint64              `json:"target_stmts"`
+	EpochTS     uint32              `json:"epoch_ts"`
+	GOMAXPROCS  int                 `json:"gomaxprocs"`
+	Workloads   []OpenBenchWorkload `json:"workloads"`
+}
+
+// OpenBenchIters is the per-measurement repetition count; each wall time
+// reported is the minimum observed (noise on shared CI runners only adds).
+const OpenBenchIters = 3
+
+// OpenBench builds each configured workload (default: gcc, the heaviest
+// profile) into a multi-epoch v4 file in memory, then measures the open
+// path: eager, lazy, and parallel cold opens, plus the backward-traversal
+// rates. Every variant's trace is digest-checked against the eager one.
+func OpenBench(cfg Config, progress io.Writer) (*OpenBenchResult, error) {
+	names := cfg.Workloads
+	if len(names) == 0 {
+		names = []string{"gcc"}
+	}
+	target := cfg.TargetStmts
+	if target == 0 {
+		target = DefaultOpenBenchStmts
+	}
+	res := &OpenBenchResult{
+		TargetStmts: target,
+		EpochTS:     DefaultOpenBenchEpochTS,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+	for _, name := range names {
+		wl, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		row, err := openBenchWorkload(wl, target, cfg.Workers, progress)
+		if err != nil {
+			return nil, fmt.Errorf("exp: %s: %w", name, err)
+		}
+		res.Workloads = append(res.Workloads, *row)
+	}
+	return res, nil
+}
+
+func openBenchWorkload(wl workload.Workload, targetStmts uint64, workers int, progress io.Writer) (*OpenBenchWorkload, error) {
+	if progress != nil {
+		fmt.Fprintf(progress, "open bench: building %s (target %d stmts, epochTS %d)...\n",
+			wl.Name, targetStmts, DefaultOpenBenchEpochTS)
+	}
+	scale, err := workload.ScaleFor(wl, targetStmts)
+	if err != nil {
+		return nil, err
+	}
+	prog, in := wl.Build(scale)
+	st, err := interp.Analyze(prog)
+	if err != nil {
+		return nil, err
+	}
+	w, _, ires, err := core.BuildStreaming(st, interp.Options{Inputs: in}, core.FreezeOptions{
+		EpochTS: DefaultOpenBenchEpochTS, Workers: workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := wetio.Save(&buf, w); err != nil {
+		return nil, err
+	}
+	file := buf.Bytes()
+
+	out := &OpenBenchWorkload{
+		Name:      wl.Name,
+		Stmts:     ires.Steps,
+		Time:      w.Time,
+		Epochs:    w.Epochs,
+		FileBytes: len(file),
+	}
+
+	// Cold opens. Each variant's first opened trace is kept for the digest
+	// check; the lazy digest doubles as the concurrent-materialization
+	// exercise because the query walk is its first touch.
+	eager, eagerMS, err := timeOpen(file, wetio.LoadOptions{})
+	if err != nil {
+		return nil, err
+	}
+	lazyW, lazyMS, err := timeOpen(file, wetio.LoadOptions{Lazy: true})
+	if err != nil {
+		return nil, err
+	}
+	parW, parMS, err := timeOpen(file, wetio.LoadOptions{Workers: 0})
+	if err != nil {
+		return nil, err
+	}
+	out.EagerOpenMS, out.LazyOpenMS, out.ParallelOpenMS = eagerMS, lazyMS, parMS
+	out.LazySpeedup = eagerMS / lazyMS
+	out.ParallelSpeedup = eagerMS / parMS
+	if progress != nil {
+		fmt.Fprintf(progress, "open bench: %s cold open eager %.1fms lazy %.1fms (%.1fx) parallel %.1fms (%.1fx)\n",
+			wl.Name, eagerMS, lazyMS, out.LazySpeedup, parMS, out.ParallelSpeedup)
+	}
+
+	dig := fmt.Sprintf("%016x", queryDigest(eager))
+	out.DigestsAgree = dig == fmt.Sprintf("%016x", queryDigest(lazyW)) &&
+		dig == fmt.Sprintf("%016x", queryDigest(parW))
+
+	// Backward drain of every node's tier-2 timestamp sequence, single-step
+	// versus batched. The sums double as the value-identity check.
+	singleMS, singleSum := backwardDrain(eager, false)
+	batchedMS, batchedSum := backwardDrain(eager, true)
+	out.BackwardSingleMS, out.BackwardBatchedMS = singleMS, batchedMS
+	out.BackwardSpeedup = singleMS / batchedMS
+	if singleSum != batchedSum {
+		out.DigestsAgree = false
+	}
+
+	// End-to-end backward control-flow extraction rate.
+	start := time.Now()
+	n := query.ExtractCF(eager, core.Tier2, false, nil)
+	out.BackwardCFKStmtsPerSec = float64(n) / 1e3 / time.Since(start).Seconds()
+	if progress != nil {
+		fmt.Fprintf(progress, "open bench: %s backward drain %.1fms single vs %.1fms batched (%.1fx), CF walk %.0f Kstmts/s\n",
+			wl.Name, singleMS, batchedMS, out.BackwardSpeedup, out.BackwardCFKStmtsPerSec)
+	}
+	return out, nil
+}
+
+// timeOpen opens file OpenBenchIters times with opts and returns the first
+// trace and the minimum wall time in milliseconds.
+func timeOpen(file []byte, opts wetio.LoadOptions) (*core.WET, float64, error) {
+	var first *core.WET
+	best := 0.0
+	for i := 0; i < OpenBenchIters; i++ {
+		start := time.Now()
+		w, err := wetio.Load(bytes.NewReader(file), opts)
+		ms := float64(time.Since(start).Microseconds()) / 1000
+		if err != nil {
+			return nil, 0, err
+		}
+		if first == nil {
+			first = w
+		}
+		if i == 0 || ms < best {
+			best = ms
+		}
+	}
+	return first, best, nil
+}
+
+// backwardDrain walks every node's tier-2 timestamp sequence from its end to
+// its start, either one Prev per element or in PrevN batches through one
+// reusable buffer, and returns the wall time (ms) and the value sum.
+func backwardDrain(w *core.WET, batched bool) (float64, uint64) {
+	var sum uint64
+	buf := make([]uint32, 256)
+	start := time.Now()
+	for _, n := range w.Nodes {
+		s := w.TSSeq(n, core.Tier2)
+		seqSeekEnd(s)
+		if batched {
+			for s.Pos() > 0 {
+				got := core.SeqPrevN(s, buf)
+				for i := 0; i < got; i++ {
+					sum += uint64(buf[i])
+				}
+			}
+		} else {
+			for s.Pos() > 0 {
+				sum += uint64(s.Prev())
+			}
+		}
+	}
+	return float64(time.Since(start).Microseconds()) / 1000, sum
+}
+
+func seqSeekEnd(s core.Seq) {
+	if sk, ok := s.(core.Seeker); ok {
+		sk.Seek(s.Len())
+		return
+	}
+	for s.Pos() < s.Len() {
+		s.Next()
+	}
+}
+
+// WriteOpenBenchJSON runs OpenBench and writes the JSON record consumed by
+// CI (BENCH_open.json).
+func WriteOpenBenchJSON(cfg Config, w io.Writer, progress io.Writer) error {
+	res, err := OpenBench(cfg, progress)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}
+
+// CheckOpenBench compares a fresh open-bench record against a committed
+// baseline and returns one finding per regression: a dimensionless speedup
+// (lazy, parallel, backward) falling more than tol below the baseline's, or
+// a digest disagreement. Absolute wall times are machine-dependent and are
+// not compared.
+func CheckOpenBench(cur, base *OpenBenchResult, tol float64) []string {
+	var bad []string
+	byName := map[string]OpenBenchWorkload{}
+	for _, b := range base.Workloads {
+		byName[b.Name] = b
+	}
+	for _, c := range cur.Workloads {
+		if !c.DigestsAgree {
+			bad = append(bad, fmt.Sprintf("%s: open variants disagree on query digest", c.Name))
+		}
+		b, ok := byName[c.Name]
+		if !ok {
+			continue
+		}
+		check := func(metric string, cv, bv float64) {
+			if bv > 0 && cv < bv*(1-tol) {
+				bad = append(bad, fmt.Sprintf("%s: %s %.2fx fell more than %.0f%% below baseline %.2fx",
+					c.Name, metric, cv, 100*tol, bv))
+			}
+		}
+		check("lazy cold-open speedup", c.LazySpeedup, b.LazySpeedup)
+		check("parallel cold-open speedup", c.ParallelSpeedup, b.ParallelSpeedup)
+		check("backward batched-drain speedup", c.BackwardSpeedup, b.BackwardSpeedup)
+	}
+	return bad
+}

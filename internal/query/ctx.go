@@ -21,6 +21,7 @@ type qctx struct {
 	tier  core.Tier
 	edges map[*core.Edge][2]core.Seq
 	vals  map[uint64]*valReader
+	buf   [walkChunk]uint32 // reusable batch buffer for ordered-label scans
 }
 
 func newCtx(w *core.WET, tier core.Tier) *qctx {

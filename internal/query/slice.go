@@ -91,26 +91,8 @@ func resolveSrc(q *qctx, e *core.Edge, dord int) int {
 		}
 		return -1
 	}
-	for dseq.Pos() > 0 {
-		v := dseq.Prev()
-		if v < target {
-			dseq.Next()
-			break
-		}
-		if v == target {
-			dseq.Next()
-			return int(core.SeqAt(sseq, dseq.Pos()-1))
-		}
-	}
-	for dseq.Pos() < dseq.Len() {
-		v := dseq.Next()
-		if v == target {
-			return int(core.SeqAt(sseq, dseq.Pos()-1))
-		}
-		if v > target {
-			dseq.Prev()
-			return -1
-		}
+	if i := findOrdered(dseq, target, q.buf[:]); i >= 0 {
+		return int(core.SeqAt(sseq, i))
 	}
 	return -1
 }
@@ -200,17 +182,27 @@ func ForwardSlice(w *core.WET, tier core.Tier, from Instance, maxInstances int) 
 				}
 				continue
 			}
+			// Source ordinals are unordered (a value can be used many times,
+			// in any interleaving), so the whole label sequence is scanned —
+			// batched, draining the cached cursor in chunks instead of one
+			// checkpointed SeqAt per element.
 			dseq, sseq := q.edgeLabels(e)
-			for i := 0; i < sseq.Len(); i++ {
-				if int(core.SeqAt(sseq, i)) != cur.Ord {
-					continue
+			seqSeek(sseq, 0)
+			buf := q.buf[:]
+			for base := 0; base < sseq.Len(); {
+				got := core.SeqNextN(sseq, buf)
+				for i := 0; i < got; i++ {
+					if int(buf[i]) != cur.Ord {
+						continue
+					}
+					res.Edges++
+					dst := Instance{Node: e.DstNode, Pos: e.DstPos, Ord: int(core.SeqAt(dseq, base+i))}
+					if k := pack(dst); !seen[k] {
+						seen[k] = true
+						work = append(work, dst)
+					}
 				}
-				res.Edges++
-				dst := Instance{Node: e.DstNode, Pos: e.DstPos, Ord: int(core.SeqAt(dseq, i))}
-				if k := pack(dst); !seen[k] {
-					seen[k] = true
-					work = append(work, dst)
-				}
+				base += got
 			}
 		}
 	}

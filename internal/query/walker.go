@@ -20,6 +20,7 @@ type Walker struct {
 	w    *core.WET
 	tier core.Tier
 	seqs []core.Seq
+	buf  [walkChunk]uint32 // reusable batch buffer for findForward's scans
 
 	// Node/Ord identify the current node execution; Node < 0 before the
 	// first step.
@@ -47,34 +48,103 @@ func (wk *Walker) seq(node int) core.Seq {
 // TS returns the timestamp of the current node execution (0 before start).
 func (wk *Walker) TS() uint32 { return wk.ts }
 
-// findForward scans node's timestamp cursor forward for target; it returns
-// the ordinal or -1 (cursor is restored past-or-at larger values).
+// findForward scans node's timestamp cursor for target; it returns the
+// ordinal or -1 (cursor is restored past-or-at larger values).
 func (wk *Walker) findForward(node int, target uint32) int {
-	s := wk.seq(node)
-	// The cursor may sit beyond the target (e.g. after a backward walk);
-	// rewind first while values exceed the target.
-	for s.Pos() > 0 {
+	return findOrdered(wk.seq(node), target, wk.buf[:])
+}
+
+// walkChunk is the batch width of findOrdered's long scans: one batched
+// decode replaces walkChunk interface-dispatched single steps (and, on a
+// segmented trace, walkChunk part lookups per federated cursor), while the
+// overshoot a chunk can run past its target stays within one seek of the
+// checkpoint spacing.
+const walkChunk = 64
+
+// findOrdered locates target in the strictly increasing sequence s, scanning
+// from wherever the cursor sits, and returns the element's index or -1. The
+// cursor ends exactly where a single-step scan would leave it: just past a
+// match, or before the first value above the target — sequential walks then
+// find the next target adjacent. Adjacent elements are probed singly (the
+// hot case); longer scans decode in batches through buf.
+func findOrdered(s core.Seq, target uint32, buf []uint32) int {
+	if s.Pos() > 0 {
+		// The cursor may sit beyond the target (e.g. after a backward walk).
 		v := s.Prev()
-		if v < target {
-			s.Next()
-			break
-		}
 		if v == target {
 			s.Next()
-			return s.Pos() - 1
-		}
-	}
-	for s.Pos() < s.Len() {
-		v := s.Next()
-		if v == target {
 			return s.Pos() - 1
 		}
 		if v > target {
-			s.Prev()
-			return -1
+			return rewindOrdered(s, target, buf)
+		}
+		s.Next()
+	}
+	if s.Pos() >= s.Len() {
+		return -1
+	}
+	v := s.Next()
+	if v == target {
+		return s.Pos() - 1
+	}
+	if v > target {
+		s.Prev()
+		return -1
+	}
+	for s.Pos() < s.Len() {
+		start := s.Pos()
+		n := core.SeqNextN(s, buf)
+		for i := 0; i < n; i++ {
+			if v := buf[i]; v >= target {
+				if v == target {
+					seqSeek(s, start+i+1)
+					return start + i
+				}
+				seqSeek(s, start+i)
+				return -1
+			}
 		}
 	}
 	return -1
+}
+
+// rewindOrdered is findOrdered's backward half, entered with every value at
+// or behind the cursor known to exceed the target: scan back in chunks until
+// the target or the first smaller value. Strict monotonicity lets a smaller
+// value conclude -1 outright — the element just above it was already seen to
+// exceed the target.
+func rewindOrdered(s core.Seq, target uint32, buf []uint32) int {
+	for s.Pos() > 0 {
+		start := s.Pos()
+		n := core.SeqPrevN(s, buf)
+		for i := 0; i < n; i++ {
+			if v := buf[i]; v <= target {
+				// buf[i] sits at start-1-i; leave the cursor just past it.
+				if v == target {
+					seqSeek(s, start-i)
+					return start - 1 - i
+				}
+				seqSeek(s, start-i)
+				return -1
+			}
+		}
+	}
+	return -1
+}
+
+// seqSeek repositions s so the next Next() reads element i, via the Seeker
+// fast path when the sequence has one.
+func seqSeek(s core.Seq, i int) {
+	if sk, ok := s.(core.Seeker); ok {
+		sk.Seek(i)
+		return
+	}
+	for s.Pos() > i {
+		s.Prev()
+	}
+	for s.Pos() < i {
+		s.Next()
+	}
 }
 
 // Forward advances to the node executed at ts+1. It returns false at the

@@ -448,6 +448,97 @@ func (c *fcmCursor) Prev() uint32 {
 	return t
 }
 
+// NextN is Next unrolled over a batch: the stream reference, predictor
+// tables, window, and store offsets are hoisted into locals for the whole
+// run, so a long sequential decode pays the per-step bookkeeping once per
+// batch instead of once per value. The step body must mirror Next exactly
+// (pinned by the stream equivalence property tests).
+func (c *fcmCursor) NextN(dst []uint32) int {
+	n := c.s.m - c.pos
+	if n > len(dst) {
+		n = len(dst)
+	}
+	if n <= 0 {
+		return 0
+	}
+	s := c.s
+	stride, tbBits := s.stride, s.tbBits
+	win, frtb, bltb := c.win, c.frtb, c.bltb
+	frLen, blLen := c.frLen, c.blLen
+	for i := 0; i < n; i++ {
+		idx := fcmHash(win, stride, tbBits)
+		hit := s.bl.top(blLen, 1) == 1
+		blLen--
+		var payload uint32
+		if !hit {
+			payload = s.bl.top(blLen, 32)
+			blLen -= 32
+		}
+		v := fcmPredictIncoming(win, stride, bltb[idx])
+		if !hit {
+			bltb[idx] = payload
+		}
+		h := win[0]
+		copy(win, win[1:])
+		win[len(win)-1] = v
+		idx = fcmHash(win, stride, tbBits)
+		if fcmPredictHead(win, stride, frtb[idx]) == h {
+			frLen++
+		} else {
+			frLen += 33
+			frtb[idx] = fcmEncodeHead(win, stride, h)
+		}
+		dst[i] = v
+	}
+	c.frLen, c.blLen = frLen, blLen
+	c.pos += n
+	return n
+}
+
+// PrevN is Prev unrolled over a batch (see NextN); dst is filled in
+// traversal order, dst[i] holding the value at the original Pos()-1-i.
+func (c *fcmCursor) PrevN(dst []uint32) int {
+	n := c.pos
+	if n > len(dst) {
+		n = len(dst)
+	}
+	if n <= 0 {
+		return 0
+	}
+	s := c.s
+	stride, tbBits := s.stride, s.tbBits
+	win, frtb, bltb := c.win, c.frtb, c.bltb
+	frLen, blLen := c.frLen, c.blLen
+	for i := 0; i < n; i++ {
+		idx := fcmHash(win, stride, tbBits)
+		hit := s.fr.top(frLen, 1) == 1
+		frLen--
+		var payload uint32
+		if !hit {
+			payload = s.fr.top(frLen, 32)
+			frLen -= 32
+		}
+		h := fcmPredictHead(win, stride, frtb[idx])
+		if !hit {
+			frtb[idx] = payload
+		}
+		t := win[len(win)-1]
+		copy(win[1:], win)
+		win[0] = h
+		idx = fcmHash(win, stride, tbBits)
+		if fcmPredictIncoming(win, stride, bltb[idx]) == t {
+			blLen++
+		} else {
+			blLen += 33
+			bltb[idx] = fcmEncodeIncoming(win, stride, t)
+		}
+		dst[i] = t
+	}
+	c.frLen, c.blLen = frLen, blLen
+	c.pos -= n
+	return n
+}
+
 func (c *fcmCursor) restore(ck *fcmCk) {
 	c.pos = ck.pos
 	c.frLen = ck.frLen

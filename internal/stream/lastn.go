@@ -335,6 +335,103 @@ func (c *lastNCursor) Prev() uint32 {
 	return x
 }
 
+// NextN is Next unrolled over a batch with the table and store offsets held
+// in locals; the step body must mirror Next exactly (pinned by the stream
+// equivalence property tests).
+func (c *lastNCursor) NextN(dst []uint32) int {
+	n := c.s.m - c.pos
+	if n > len(dst) {
+		n = len(dst)
+	}
+	if n <= 0 {
+		return 0
+	}
+	s := c.s
+	idxBits := s.idxBits
+	tb := c.tb
+	frLen, blLen := c.frLen, c.blLen
+	lastVal := c.lastVal
+	for i := 0; i < n; i++ {
+		var x uint32
+		if s.bl.top(blLen, 1) == 1 {
+			blLen--
+			j := int(s.bl.top(blLen, idxBits))
+			blLen -= uint64(idxBits)
+			x = tb[j]
+			copy(tb[1:j+1], tb[:j])
+			tb[0] = x
+			frLen += uint64(idxBits) + 1
+		} else {
+			blLen--
+			x = s.bl.top(blLen, 32)
+			blLen -= 32
+			copy(tb[1:], tb[:s.n-1])
+			tb[0] = x
+			frLen += 33
+		}
+		v := x
+		if s.stride {
+			v = lastVal + x
+			lastVal = v
+		}
+		dst[i] = v
+	}
+	c.frLen, c.blLen, c.lastVal = frLen, blLen, lastVal
+	c.pos += n
+	return n
+}
+
+// PrevN is Prev unrolled over a batch (see NextN); dst is filled in
+// traversal order, dst[i] holding the value at the original Pos()-1-i.
+func (c *lastNCursor) PrevN(dst []uint32) int {
+	n := c.pos
+	if n > len(dst) {
+		n = len(dst)
+	}
+	if n <= 0 {
+		return 0
+	}
+	s := c.s
+	idxBits := s.idxBits
+	tb := c.tb
+	frLen, blLen := c.frLen, c.blLen
+	lastVal := c.lastVal
+	for i := 0; i < n; i++ {
+		x := tb[0]
+		if s.fr.top(frLen, 1) == 1 {
+			frLen--
+			j := int(s.fr.top(frLen, idxBits))
+			frLen -= uint64(idxBits)
+			copy(tb[:j], tb[1:j+1])
+			tb[j] = x
+		} else {
+			frLen--
+			evicted := s.fr.top(frLen, 32)
+			frLen -= 32
+			copy(tb[:s.n-1], tb[1:])
+			tb[s.n-1] = evicted
+		}
+		ref := uint64(33)
+		for _, v := range tb {
+			if v == x {
+				ref = uint64(idxBits) + 1
+				break
+			}
+		}
+		blLen += ref
+		if s.stride {
+			v := lastVal
+			lastVal = v - x
+			dst[i] = v
+		} else {
+			dst[i] = x
+		}
+	}
+	c.frLen, c.blLen, c.lastVal = frLen, blLen, lastVal
+	c.pos -= n
+	return n
+}
+
 func (c *lastNCursor) restore(ck *lastNCk) {
 	c.pos = ck.pos
 	c.frLen = ck.frLen
@@ -421,6 +518,24 @@ func (c *verbatimCursor) Prev() uint32 {
 	}
 	c.pos--
 	return c.v.vals[c.pos]
+}
+
+func (c *verbatimCursor) NextN(dst []uint32) int {
+	n := copy(dst, c.v.vals[c.pos:])
+	c.pos += n
+	return n
+}
+
+func (c *verbatimCursor) PrevN(dst []uint32) int {
+	n := c.pos
+	if n > len(dst) {
+		n = len(dst)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = c.v.vals[c.pos-1-i]
+	}
+	c.pos -= n
+	return n
 }
 
 func (c *verbatimCursor) Seek(i int) {

@@ -1,0 +1,77 @@
+package stream
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// lazyStream defers a predictor-backed stream's normalization traversal —
+// the dominant cost of Load — until a cursor first touches it. The header
+// facts a container parser needs up front (length, method name, serialized
+// size) were read structurally by Scan and answer without decoding;
+// NewCursor forces the decode exactly once (sync.Once single-flight), so
+// any number of goroutines can race on the first touch and all observe the
+// one materialized stream. CheckpointBits reports 0 until the decode has
+// run: checkpoints do not exist yet, and size accounting over a lazily
+// opened container must not itself force every segment.
+type lazyStream struct {
+	name string
+	m    int
+	size uint64
+
+	once  sync.Once
+	done  atomic.Bool
+	force func() (Stream, error) // nil once materialized
+	inner Stream
+	err   error
+}
+
+func newLazyStream(name string, m int, size uint64, force func() (Stream, error)) *lazyStream {
+	return &lazyStream{name: name, m: m, size: size, force: force}
+}
+
+// materialize runs the deferred decode (once) and returns the inner stream.
+// A decode failure — a store forged to pass structural validation — panics
+// with the deferred Load error; Scan documents this trade.
+func (l *lazyStream) materialize() Stream {
+	l.once.Do(func() {
+		l.inner, l.err = l.force()
+		l.force = nil
+		l.done.Store(true)
+	})
+	if l.err != nil {
+		panic(fmt.Sprintf("stream: deferred decode: %v", l.err))
+	}
+	return l.inner
+}
+
+// peek returns the materialized inner stream, or nil when the decode has
+// not happened (or failed). It never forces, and is safe against a
+// concurrent first touch: done is only stored after inner is written.
+func (l *lazyStream) peek() Stream {
+	if l.done.Load() && l.err == nil {
+		return l.inner
+	}
+	return nil
+}
+
+func (l *lazyStream) Len() int         { return l.m }
+func (l *lazyStream) SizeBits() uint64 { return l.size }
+func (l *lazyStream) Name() string     { return l.name }
+
+func (l *lazyStream) CheckpointBits() uint64 {
+	if s := l.peek(); s != nil {
+		return s.CheckpointBits()
+	}
+	return 0
+}
+
+func (l *lazyStream) NewCursor() Cursor { return l.materialize().NewCursor() }
+
+// Materialized reports whether s is fully decoded: false only for a stream
+// returned by Scan whose first touch has not happened yet.
+func Materialized(s Stream) bool {
+	l, ok := s.(*lazyStream)
+	return !ok || l.peek() != nil
+}

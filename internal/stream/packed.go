@@ -73,6 +73,38 @@ func (c *packedCursor) Prev() uint32 {
 	return c.p.data.get(uint64(c.pos)*uint64(c.p.width), c.p.width)
 }
 
+func (c *packedCursor) NextN(dst []uint32) int {
+	n := c.p.m - c.pos
+	if n > len(dst) {
+		n = len(dst)
+	}
+	if n <= 0 {
+		return 0
+	}
+	width := c.p.width
+	for i := 0; i < n; i++ {
+		dst[i] = c.p.data.get(uint64(c.pos+i)*uint64(width), width)
+	}
+	c.pos += n
+	return n
+}
+
+func (c *packedCursor) PrevN(dst []uint32) int {
+	n := c.pos
+	if n > len(dst) {
+		n = len(dst)
+	}
+	if n <= 0 {
+		return 0
+	}
+	width := c.p.width
+	for i := 0; i < n; i++ {
+		dst[i] = c.p.data.get(uint64(c.pos-1-i)*uint64(width), width)
+	}
+	c.pos -= n
+	return n
+}
+
 func (c *packedCursor) Seek(i int) {
 	if i < 0 || i > c.p.m {
 		panic(fmt.Sprintf("stream: seek to %d outside [0,%d]", i, c.p.m))

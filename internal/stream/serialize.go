@@ -25,6 +25,8 @@ func Save(w io.Writer, s Stream) error {
 		return t.save(w)
 	case *lastNStream:
 		return t.save(w)
+	case *lazyStream:
+		return Save(w, t.materialize())
 	}
 	return fmt.Errorf("stream: cannot serialize %T", s)
 }
@@ -64,6 +66,80 @@ func Load(r io.Reader) (s Stream, err error) {
 		return loadLastN(r, Kind(tag))
 	}
 	return nil, fmt.Errorf("stream: unknown stream tag %d", tag)
+}
+
+// Scan reads a stream previously written by Save, consuming exactly the
+// bytes Load would, but defers the normalization traversal: predictor-backed
+// streams (FCM, dFCM, last-n families) come back as lazy streams that run
+// the decode and checkpoint rebuild on first NewCursor — single-flight, so
+// concurrent first touches materialize once — while verbatim and packed
+// streams, which have no normalization cost, are returned materialized.
+//
+// Scan performs the same structural validation as Load (every length,
+// count, and table size is checked here), but the traversal certification
+// Load performs eagerly is deferred with the decode: an entry store forged
+// to pass structural checks surfaces as a panic at first touch rather than
+// an error at load time. Callers wanting up-front certification of
+// untrusted input should use Load.
+func Scan(r io.Reader) (s Stream, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			s, err = nil, fmt.Errorf("stream: corrupt stream state: %v", p)
+		}
+	}()
+	var tag uint8
+	if err := binary.Read(r, binary.LittleEndian, &tag); err != nil {
+		return nil, err
+	}
+	switch kind := Kind(tag); kind {
+	case KindVerbatim:
+		return loadVerbatim(r)
+	case KindPacked:
+		return loadPacked(r)
+	case KindFCM, KindDFCM:
+		e, size, err := readFCMState(r, kind)
+		if err != nil {
+			return nil, err
+		}
+		name := Spec{kind, e.order}.String()
+		return newLazyStream(name, e.m, size, func() (Stream, error) {
+			return runNormalize(func() (Stream, error) {
+				st, err := normalizeFCM(e)
+				if err != nil {
+					return nil, err
+				}
+				return st, nil
+			})
+		}), nil
+	case KindLastN, KindLastNStride:
+		e, size, err := readLastNState(r, kind)
+		if err != nil {
+			return nil, err
+		}
+		name := Spec{kind, e.n}.String()
+		return newLazyStream(name, e.m, size, func() (Stream, error) {
+			return runNormalize(func() (Stream, error) {
+				st, err := normalizeLastN(e)
+				if err != nil {
+					return nil, err
+				}
+				return st, nil
+			})
+		}), nil
+	}
+	return nil, fmt.Errorf("stream: unknown stream tag %d", tag)
+}
+
+// runNormalize runs a deferred normalization under the same recover boundary
+// Load gives the eager one, so a decoding panic on a forged store comes back
+// as an error no matter when the decode happens.
+func runNormalize(fn func() (Stream, error)) (s Stream, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			s, err = nil, fmt.Errorf("stream: corrupt stream state: %v", p)
+		}
+	}()
+	return fn()
 }
 
 // WalkCheck certifies that a stream can be traversed over its whole length
@@ -312,56 +388,71 @@ func (s *fcmStream) save(w io.Writer) error {
 }
 
 func loadFCM(r io.Reader, kind Kind) (*fcmStream, error) {
+	e, _, err := readFCMState(r, kind)
+	if err != nil {
+		return nil, err
+	}
+	return normalizeFCM(e)
+}
+
+// readFCMState performs the structural half of loadFCM: it consumes exactly
+// the serialized bytes, validates every length, count, and table size, and
+// returns the still-unnormalized encoder plus the size the writer recorded.
+func readFCMState(r io.Reader, kind Kind) (*fcmEnc, uint64, error) {
 	var m, order, tbBits, pos uint32
 	var size uint64
 	if err := readAll(r, &m, &order, &tbBits, &pos, &size); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if order < 1 || order > 64 {
-		return nil, fmt.Errorf("stream: fcm order %d outside [1,64]", order)
+		return nil, 0, fmt.Errorf("stream: fcm order %d outside [1,64]", order)
 	}
 	if tbBits > 26 {
-		return nil, fmt.Errorf("stream: fcm table bits %d exceed 26", tbBits)
+		return nil, 0, fmt.Errorf("stream: fcm table bits %d exceed 26", tbBits)
 	}
 	if pos > m {
-		return nil, fmt.Errorf("stream: fcm cursor %d outside [0,%d]", pos, m)
+		return nil, 0, fmt.Errorf("stream: fcm cursor %d outside [0,%d]", pos, m)
 	}
 	e := &fcmEnc{m: int(m), order: int(order), tbBits: uint(tbBits), pos: int(pos)}
 	var err error
 	if e.frtb, err = readU32s(r); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if e.bltb, err = readU32s(r); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if e.win, err = readU32s(r); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	// The predictor tables are indexed by tbBits-masked hashes and the
 	// window length encodes the stride flag; any mismatch would index out
 	// of bounds when the stream is stepped.
 	if len(e.frtb) != 1<<e.tbBits || len(e.bltb) != 1<<e.tbBits {
-		return nil, fmt.Errorf("stream: fcm tables sized %d/%d, want %d", len(e.frtb), len(e.bltb), 1<<e.tbBits)
+		return nil, 0, fmt.Errorf("stream: fcm tables sized %d/%d, want %d", len(e.frtb), len(e.bltb), 1<<e.tbBits)
 	}
 	wantWin := e.order
 	if kind == KindDFCM {
 		wantWin = e.order + 1
 	}
 	if len(e.win) != wantWin {
-		return nil, fmt.Errorf("stream: fcm window has %d values, %v of order %d needs %d",
+		return nil, 0, fmt.Errorf("stream: fcm window has %d values, %v of order %d needs %d",
 			len(e.win), Spec{kind, e.order}, e.order, wantWin)
 	}
 	e.stride = kind == KindDFCM
 	if e.fr, err = readBits(r); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if e.bl, err = readBits(r); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	// Normalize: walk to the start (FR must drain exactly), to the end (BL
-	// must drain exactly), then freeze — rebuilding checkpoints and
-	// certifying full traversal. Decoding panics on forged stores are
-	// converted to errors by Load's recover boundary.
+	return e, size, nil
+}
+
+// normalizeFCM walks the loaded encoder to the start (FR must drain
+// exactly), to the end (BL must drain exactly), then freezes — rebuilding
+// the seek checkpoints and certifying full traversal. Decoding panics on
+// forged stores are converted to errors by the Load/Scan recover boundary.
+func normalizeFCM(e *fcmEnc) (*fcmStream, error) {
 	for e.pos > 0 {
 		e.prev()
 	}
@@ -398,24 +489,33 @@ func (s *lastNStream) save(w io.Writer) error {
 }
 
 func loadLastN(r io.Reader, kind Kind) (*lastNStream, error) {
+	e, _, err := readLastNState(r, kind)
+	if err != nil {
+		return nil, err
+	}
+	return normalizeLastN(e)
+}
+
+// readLastNState is the structural half of loadLastN (see readFCMState).
+func readLastNState(r io.Reader, kind Kind) (*lastNEnc, uint64, error) {
 	var strideB uint8
 	var m, n, idxBits, pos uint32
 	var lastVal uint32
 	var size uint64
 	if err := readAll(r, &strideB, &m, &n, &idxBits, &pos, &lastVal, &size); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if (strideB == 1) != (kind == KindLastNStride) {
-		return nil, fmt.Errorf("stream: last-n stride flag %d contradicts tag %v", strideB, kind)
+		return nil, 0, fmt.Errorf("stream: last-n stride flag %d contradicts tag %v", strideB, kind)
 	}
 	if n < 2 || n > 1<<20 || n&(n-1) != 0 {
-		return nil, fmt.Errorf("stream: last-n table size %d not a power of two in [2,2^20]", n)
+		return nil, 0, fmt.Errorf("stream: last-n table size %d not a power of two in [2,2^20]", n)
 	}
 	if idxBits != uint32(bits.TrailingZeros32(n)) {
-		return nil, fmt.Errorf("stream: last-n index width %d inconsistent with table size %d", idxBits, n)
+		return nil, 0, fmt.Errorf("stream: last-n index width %d inconsistent with table size %d", idxBits, n)
 	}
 	if pos > m {
-		return nil, fmt.Errorf("stream: last-n cursor %d outside [0,%d]", pos, m)
+		return nil, 0, fmt.Errorf("stream: last-n cursor %d outside [0,%d]", pos, m)
 	}
 	e := &lastNEnc{
 		m: int(m), n: int(n), idxBits: uint(idxBits), pos: int(pos),
@@ -423,20 +523,24 @@ func loadLastN(r io.Reader, kind Kind) (*lastNStream, error) {
 	}
 	var err error
 	if e.tb, err = readU32s(r); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	// Hit entries index tb through idxBits-wide values; a short table would
 	// index out of bounds when the stream is stepped.
 	if len(e.tb) != int(n) {
-		return nil, fmt.Errorf("stream: last-n table has %d entries, want %d", len(e.tb), n)
+		return nil, 0, fmt.Errorf("stream: last-n table has %d entries, want %d", len(e.tb), n)
 	}
 	if e.fr, err = readBits(r); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if e.bl, err = readBits(r); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	// Normalize exactly as loadFCM does.
+	return e, size, nil
+}
+
+// normalizeLastN normalizes exactly as normalizeFCM does.
+func normalizeLastN(e *lastNEnc) (*lastNStream, error) {
 	for e.pos > 0 {
 		e.prev()
 	}

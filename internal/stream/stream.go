@@ -76,6 +76,18 @@ type Cursor interface {
 	// the remainder, so the cost is O(checkpoint spacing) rather than
 	// O(|p - Pos()|). It panics if p is outside [0, Len()].
 	Seek(p int)
+	// NextN decodes up to len(dst) values forward in one call: dst[i]
+	// receives the value at position Pos()+i. It returns the count decoded
+	// — min(len(dst), Len()-Pos()) — and advances the cursor past them.
+	// Batching amortizes per-step dispatch and table-state loads over the
+	// whole run, so hot sequential walks should prefer NextN with a
+	// reusable buffer over per-element Next.
+	NextN(dst []uint32) int
+	// PrevN decodes up to len(dst) values backward in one call, in
+	// traversal order: dst[i] receives the value at position Pos()-1-i. It
+	// returns the count decoded — min(len(dst), Pos()) — and retreats the
+	// cursor past them.
+	PrevN(dst []uint32) int
 	// Clone returns an independent copy of this cursor at the same
 	// position.
 	Clone() Cursor
@@ -103,11 +115,8 @@ func At(s Stream, i int) uint32 {
 
 // Drain returns all values of s in order.
 func Drain(s Stream) []uint32 {
-	c := s.NewCursor()
-	out := make([]uint32, 0, s.Len())
-	for c.Pos() < c.Len() {
-		out = append(out, c.Next())
-	}
+	out := make([]uint32, s.Len())
+	s.NewCursor().NextN(out)
 	return out
 }
 

@@ -180,6 +180,54 @@ func scanSections(r io.Reader, strict bool) (secs []section, tailSkipped int64, 
 	}
 }
 
+// walkSections frames r exactly as a non-strict scanSections does but never
+// retains a payload: each section's bytes stream through one reusable chunk
+// buffer into the CRC, so the walk allocates a constant amount regardless of
+// file size. Verify uses it — an integrity walk needs section identities and
+// checksums, not payloads. Return values mirror scanSections' tailSkipped
+// and sawEnd.
+func walkSections(r io.Reader, visit func(tag uint8, offset int64, plen int, crcOK bool)) (tailSkipped int64, sawEnd bool) {
+	off := int64(8) // preamble consumed by the caller
+	var hdr [5]byte
+	buf := make([]byte, 1<<16)
+	for {
+		n, herr := io.ReadFull(r, hdr[:])
+		if herr == io.EOF && n == 0 {
+			return 0, false // truncated between sections
+		}
+		if herr != nil {
+			return int64(n), false // truncated inside a frame header
+		}
+		tag := hdr[0]
+		plen := binary.LittleEndian.Uint32(hdr[1:])
+		known := tag >= secHeader && tag <= secEnd
+		if !known || plen > maxSectionLen {
+			return int64(len(hdr)) + drainCount(r), false
+		}
+		sum := crc32.Checksum(hdr[:], crcTable)
+		read := 0
+		for read < int(plen) {
+			c := minInt(int(plen)-read, len(buf))
+			m, rerr := io.ReadFull(r, buf[:c])
+			sum = crc32.Update(sum, crcTable, buf[:m])
+			read += m
+			if rerr != nil {
+				return int64(len(hdr) + read), false
+			}
+		}
+		var crcBuf [4]byte
+		if _, cerr := io.ReadFull(r, crcBuf[:]); cerr != nil {
+			return int64(len(hdr) + read), false
+		}
+		crcOK := sum == binary.LittleEndian.Uint32(crcBuf[:])
+		visit(tag, off, int(plen), crcOK)
+		off += int64(len(hdr)) + int64(plen) + 4
+		if tag == secEnd && crcOK {
+			return 0, true
+		}
+	}
+}
+
 // readCapped reads exactly n bytes in bounded chunks, so a forged length
 // field never allocates more than the input actually provides (plus one
 // chunk).

@@ -41,8 +41,10 @@ func (v *VerifyResult) OK() bool {
 	return v.BadSections == 0 && v.TailSkipped == 0 && !v.Truncated
 }
 
-// Verify walks a WET file's sections, checking each CRC, without parsing
-// any payload. v2 files carry no checksums and return an error: they are
+// Verify walks a WET file's sections, checking each CRC, without parsing —
+// or retaining — any payload: section bytes stream through one fixed-size
+// buffer into the checksum, so verifying a multi-gigabyte file costs O(1)
+// memory. v2 files carry no checksums and return an error: they are
 // unverifiable by construction.
 func Verify(r io.Reader) (*VerifyResult, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
@@ -60,15 +62,11 @@ func Verify(r io.Reader) (*VerifyResult, error) {
 	default:
 		return nil, &FormatError{Section: "preamble", Cause: fmt.Errorf("unsupported version %d", v)}
 	}
-	secs, tail, sawEnd, err := scanSections(br, false)
-	if err != nil {
-		return nil, err
-	}
-	res := &VerifyResult{Version: int(v), TailSkipped: tail, Truncated: !sawEnd}
+	res := &VerifyResult{Version: int(v)}
 	nodeIdx, edgeIdx := 0, 0
-	for _, s := range secs {
-		name := s.name()
-		switch s.tag {
+	tail, sawEnd := walkSections(br, func(tag uint8, offset int64, plen int, crcOK bool) {
+		name := sectionName(tag)
+		switch tag {
 		case secNode:
 			name = fmt.Sprintf("node %d", nodeIdx)
 			nodeIdx++
@@ -77,11 +75,12 @@ func Verify(r io.Reader) (*VerifyResult, error) {
 			edgeIdx++
 		}
 		res.Sections = append(res.Sections, SectionStatus{
-			Section: name, Offset: s.offset, Length: len(s.payload), CRCOK: s.crcOK,
+			Section: name, Offset: offset, Length: plen, CRCOK: crcOK,
 		})
-		if !s.crcOK {
+		if !crcOK {
 			res.BadSections++
 		}
-	}
+	})
+	res.TailSkipped, res.Truncated = tail, !sawEnd
 	return res, nil
 }

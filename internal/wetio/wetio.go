@@ -33,7 +33,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"wet/internal/core"
 	"wet/internal/interp"
@@ -196,8 +199,25 @@ type LoadOptions struct {
 	// VerifyStreams additionally walks every deserialized stream over its
 	// full length (both directions, on a clone) so that a stream whose
 	// entry stores are inconsistent despite a valid checksum is rejected at
-	// load instead of panicking in a later query.
+	// load instead of panicking in a later query. VerifyStreams overrides
+	// Lazy: certification requires the decode.
 	VerifyStreams bool
+	// Workers bounds the goroutines decoding node and edge sections (and
+	// rehydrating segmented tier-1) in parallel: 0 means GOMAXPROCS, 1
+	// decodes serially. Assembly is deterministic — the loaded WET and any
+	// error reported are identical at every width. The salvage path always
+	// decodes serially (its share-repair cascade is order-dependent).
+	Workers int
+	// Lazy defers each stream's decode — the normalization traversal that
+	// dominates load time — until a cursor first touches it, so queries pay
+	// decompression proportional to the segments they cross rather than the
+	// trace length. Framing, checksums, and every structural field are
+	// still validated up front; single-flight materialization keeps
+	// concurrent first touches safe. The trade: a stream whose entry stores
+	// were forged to pass structural checks panics at first touch instead
+	// of failing the load (use VerifyStreams or an eager load for untrusted
+	// files). Ignored on the salvage path, which must find damage eagerly.
+	Lazy bool
 }
 
 // Load reads a WET written by Save. Failures are reported as *FormatError
@@ -264,6 +284,7 @@ func loadFramed(br io.Reader, opts LoadOptions, v4 bool) (*core.WET, *SalvageRep
 		rep.NodesLoaded, rep.EdgesLoaded = len(w.Nodes), len(w.Edges)
 		return w, rep, nil
 	}
+	opts.Lazy = false // salvage must decode eagerly to find damage
 	w, err := parseSalvage(secs, opts, rep, v4)
 	if err != nil {
 		return nil, nil, err
@@ -315,40 +336,68 @@ func parseStrict(secs []section, opts LoadOptions, v4 bool) (*core.WET, error) {
 		return nil, err
 	}
 
-	for i := 0; i < hdr.nNodes; i++ {
+	// Collect the node and edge sections up front, then fan their payload
+	// decode — the bulk of load time — over the worker pool. Each section
+	// decodes into its own slot and touches no shared state (RestoreNode's
+	// path decode is internally synchronized), so assembly is deterministic:
+	// the slices below are identical at every worker count, and a corrupt
+	// file reports the lowest-indexed failing section just as a serial parse
+	// would.
+	nodeSecs := make([]*section, hdr.nNodes)
+	for i := range nodeSecs {
 		s, err := take(secNode)
 		if err != nil {
 			return nil, err
 		}
-		var n *core.Node
-		if v4 {
-			n, err = parseNodeSecV4(s, st, i, hdr.nNodes, wet, opts)
-		} else {
-			n, err = parseNodeSec(s, st, i, hdr.nNodes, opts)
-		}
-		if err != nil {
-			return nil, err
-		}
-		wet.Nodes = append(wet.Nodes, n)
+		nodeSecs[i] = s
 	}
-	for i := 0; i < hdr.nEdges; i++ {
+	edgeSecs := make([]*section, hdr.nEdges)
+	for i := range edgeSecs {
 		s, err := take(secEdge)
 		if err != nil {
 			return nil, err
 		}
-		var e *core.Edge
+		edgeSecs[i] = s
+	}
+
+	nodes := make([]*core.Node, hdr.nNodes)
+	nodeErrs := make([]error, hdr.nNodes)
+	fan(hdr.nNodes, opts.Workers, func(i int) {
 		if v4 {
-			e, err = parseEdgeSecV4(s, wet, i, hdr.nEdges, opts)
+			nodes[i], nodeErrs[i] = parseNodeSecV4(nodeSecs[i], st, i, hdr.nNodes, wet, opts)
 		} else {
-			e, err = parseEdgeSec(s, wet, i, hdr.nEdges, opts)
+			nodes[i], nodeErrs[i] = parseNodeSec(nodeSecs[i], st, i, hdr.nNodes, opts)
 		}
+	})
+	for _, err := range nodeErrs {
 		if err != nil {
 			return nil, err
 		}
-		wet.Edges = append(wet.Edges, e)
+	}
+	wet.Nodes = nodes
+
+	// Edge decode reads only the (now complete) node table; the v4 share
+	// references point at earlier edges, so they are validated serially in
+	// file order once every slot is filled.
+	edges := make([]*core.Edge, hdr.nEdges)
+	edgeErrs := make([]error, hdr.nEdges)
+	fan(hdr.nEdges, opts.Workers, func(i int) {
 		if v4 {
+			edges[i], edgeErrs[i] = parseEdgeSecV4(edgeSecs[i], wet, i, hdr.nEdges, opts)
+		} else {
+			edges[i], edgeErrs[i] = parseEdgeSec(edgeSecs[i], wet, i, hdr.nEdges, opts)
+		}
+	})
+	for _, err := range edgeErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	wet.Edges = edges
+	if v4 {
+		for i, e := range wet.Edges {
 			if err := checkSegShares(wet, e, i); err != nil {
-				return nil, &FormatError{Section: fmt.Sprintf("edge %d", i), Offset: s.offset, Cause: err}
+				return nil, &FormatError{Section: fmt.Sprintf("edge %d", i), Offset: edgeSecs[i].offset, Cause: err}
 			}
 		}
 	}
@@ -373,7 +422,7 @@ func parseStrict(secs []section, opts LoadOptions, v4 bool) (*core.WET, error) {
 	if v4 && opts.RestoreTier1 {
 		// Segmented tier-1 is rehydrated in one pass over the federated
 		// cursors once the whole edge table (share targets included) exists.
-		wet.MaterializeTier1()
+		wet.MaterializeTier1N(opts.Workers)
 	}
 	wet.RestoreIndexes(sizeRep)
 	return wet, nil
@@ -805,9 +854,47 @@ func parseEdgeSec(s *section, wet *core.WET, id, nEdges int, opts LoadOptions) (
 	return edge, nil
 }
 
+// fan runs fn(0..n-1) over a pool of workers goroutines (<= 0: GOMAXPROCS);
+// with one worker it degenerates to a plain loop. Callers give fn a private
+// result slot per index, so output is position-stable at any width.
+func fan(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // loadStream deserializes one stream, optionally certifying full
-// traversability (LoadOptions.VerifyStreams).
+// traversability (LoadOptions.VerifyStreams) or deferring the decode until
+// first touch (LoadOptions.Lazy; structural validation still happens here).
 func loadStream(r io.Reader, opts LoadOptions) (stream.Stream, error) {
+	if opts.Lazy && !opts.VerifyStreams {
+		return stream.Scan(r)
+	}
 	s, err := stream.Load(r)
 	if err != nil {
 		return nil, err

@@ -13,6 +13,8 @@ type openConfig struct {
 	tier1      bool
 	salvage    bool
 	verifyOnly bool
+	workers    int
+	lazy       bool
 }
 
 // WithTier1 rehydrates the tier-1 label arrays on load so tier-1 queries
@@ -28,6 +30,23 @@ func WithSalvage() OpenOption { return func(c *openConfig) { c.salvage = true } 
 // parsing any payload; Open returns a nil Trace and the OpenReport's
 // Verify field holds the walk (Open(r, WithVerifyOnly()) ≡ Verify).
 func WithVerifyOnly() OpenOption { return func(c *openConfig) { c.verifyOnly = true } }
+
+// WithWorkers decodes the file's node and edge sections on n goroutines
+// (n <= 0: GOMAXPROCS; 1: serial). The result is bit-identical to a serial
+// open at every width — sections are framed in file order and assembled by
+// index, and the first error in file order wins. Salvage loads are always
+// serial.
+func WithWorkers(n int) OpenOption { return func(c *openConfig) { c.workers = n } }
+
+// WithLazy defers each stream's decode until a cursor first touches it.
+// Framing, checksums, and serialized-state structure are still validated up
+// front, so Open's error contract is unchanged for well-formed framing; a
+// stream whose deferred decode fails (possible only on a forged store that
+// passed its CRC) panics at first touch. Materialization is single-flight
+// and safe under concurrent first touch from parallel queries. Ignored with
+// WithSalvage (damage must be found eagerly) and moot with WithTier1 (tier-1
+// rehydration drains every stream at open).
+func WithLazy() OpenOption { return func(c *openConfig) { c.lazy = true } }
 
 // OpenReport describes what Open found in the file.
 type OpenReport struct {
@@ -51,6 +70,10 @@ type OpenReport struct {
 //	Open(r, WithSalvage())    ≡ LoadSalvage(r, ...)   best-effort load of damage
 //	Open(r, WithVerifyOnly()) ≡ Verify(r)             checksum walk, nil Trace
 //
+// WithWorkers(n) and WithLazy() tune the decode path — parallel section
+// decode and deferred stream materialization — without changing any observed
+// result.
+//
 // Options compose (WithSalvage() with WithTier1() salvages and rehydrates),
 // except WithVerifyOnly, which never constructs a trace. Structural or
 // checksum failures on the strict path are reported as *FormatError.
@@ -69,6 +92,8 @@ func Open(r io.Reader, opts ...OpenOption) (*Trace, *OpenReport, error) {
 	w, rep, err := wetio.LoadWithReport(r, wetio.LoadOptions{
 		RestoreTier1: cfg.tier1,
 		Salvage:      cfg.salvage,
+		Workers:      cfg.workers,
+		Lazy:         cfg.lazy,
 	})
 	if err != nil {
 		return nil, nil, err

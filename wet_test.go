@@ -391,3 +391,70 @@ func TestOpenMatchesLoad(t *testing.T) {
 		t.Fatalf("verify-only open: trace=%v report=%+v", none, vrep)
 	}
 }
+
+// TestOpenLazyAndParallel pins the fast open paths at the facade: every
+// combination of WithLazy and WithWorkers must yield a trace that answers
+// queries — both traversal directions, and a full backward slice —
+// identically to a plain eager Open.
+func TestOpenLazyAndParallel(t *testing.T) {
+	prog, outS := buildSum(t)
+	tr, _, err := wet.Run(prog, wet.RunOptions{}, wet.FreezeOptions{EpochTS: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	eager, _, err := wet.Open(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fwd, bwd []int
+	eager.ExtractControlFlow(true, func(id int) { fwd = append(fwd, id) })
+	eager.ExtractControlFlow(false, func(id int) { bwd = append(bwd, id) })
+	ref := eager.WET().StmtOcc[outS.ID][0]
+	crit := wet.Instance{Node: ref.Node, Pos: ref.Pos, Ord: 0}
+	baseSlice, err := eager.Backward(crit, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name string
+		opts []wet.OpenOption
+	}{
+		{"lazy", []wet.OpenOption{wet.WithLazy()}},
+		{"workers", []wet.OpenOption{wet.WithWorkers(4)}},
+		{"lazy_parallel", []wet.OpenOption{wet.WithLazy(), wet.WithWorkers(0)}},
+		{"lazy_tier1", []wet.OpenOption{wet.WithLazy(), wet.WithTier1()}},
+	} {
+		got, rep, err := wet.Open(bytes.NewReader(buf.Bytes()), tc.opts...)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if rep.Version != 4 {
+			t.Fatalf("%s: version %d", tc.name, rep.Version)
+		}
+		var f, b []int
+		got.ExtractControlFlow(true, func(id int) { f = append(f, id) })
+		got.ExtractControlFlow(false, func(id int) { b = append(b, id) })
+		if len(f) != len(fwd) || len(b) != len(bwd) {
+			t.Fatalf("%s: CF lengths %d/%d, want %d/%d", tc.name, len(f), len(b), len(fwd), len(bwd))
+		}
+		for i := range fwd {
+			if f[i] != fwd[i] || b[i] != bwd[i] {
+				t.Fatalf("%s: CF trace diverges at %d", tc.name, i)
+			}
+		}
+		sl, err := got.Backward(crit, 0)
+		if err != nil {
+			t.Fatalf("%s: backward slice: %v", tc.name, err)
+		}
+		if len(sl.Instances) != len(baseSlice.Instances) || sl.Edges != baseSlice.Edges {
+			t.Fatalf("%s: slice %d/%d, want %d/%d", tc.name,
+				len(sl.Instances), sl.Edges, len(baseSlice.Instances), baseSlice.Edges)
+		}
+	}
+}
