@@ -8,19 +8,54 @@
 //	wetbench -figure 9        # a single figure
 //	wetbench -stmts 1000000   # longer runs
 //	wetbench -workloads go,li # a subset of benchmarks
+//	wetbench -timeout 10m     # bound the whole run (exit 5 on expiry)
 //	wetbench -epochjson BENCH_epoch.json   # epoch-segmentation memory bench
 //	wetbench -openjson BENCH_open.json     # open/decode-path bench (eager vs lazy vs parallel)
+//
+// JSON artifacts (-epochjson/-openjson/-freezejson/-queryjson) are written
+// atomically: a bench that fails or is interrupted mid-write leaves any
+// previous artifact intact instead of a torn JSON file.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
+	"wet/internal/atomicfile"
+	"wet/internal/cliutil"
 	"wet/internal/exp"
 )
+
+// ctx is the command's root context: cancelled by SIGINT, deadline-bounded
+// by -timeout. The exp benchmarks are checkpointed between stages, so the
+// cancellation granularity is one bench stage.
+var ctx context.Context
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wetbench:", err)
+	os.Exit(cliutil.ExitCode(err))
+}
+
+// checkCtx aborts between stages once the context has died.
+func checkCtx() {
+	if ctx.Err() != nil {
+		fatal(context.Cause(ctx))
+	}
+}
+
+// writeArtifact writes one JSON bench record through the atomic temp+rename
+// path: the destination is replaced all-or-nothing.
+func writeArtifact(path, what string, write func(w io.Writer) error) {
+	if err := atomicfile.Write(path, write); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s record to %s\n", what, path)
+}
 
 func main() {
 	table := flag.Int("table", 0, "print only this table (1-9)")
@@ -37,8 +72,13 @@ func main() {
 	openJSON := flag.String("openjson", "", "run only the open-path bench (cold open eager/lazy/parallel, backward scans) and write its JSON record to this file")
 	openBaseline := flag.String("openbaseline", "", "with -openjson: committed baseline record to compare dimensionless speedups against")
 	openTol := flag.Float64("opentol", 0.20, "with -openbaseline: fail when a speedup falls more than this fraction below the baseline")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (exit code 5); 0 = no limit")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
+
+	var stop context.CancelFunc
+	ctx, stop = cliutil.Context(*timeout)
+	defer stop()
 
 	cfg := exp.Config{TargetStmts: *stmts, Slices: *slices, Workers: *workers}
 	if *workloads != "" {
@@ -62,20 +102,9 @@ func main() {
 		if !stmtsSet {
 			cfg.TargetStmts = 0
 		}
-		f, err := os.Create(*epochJSON)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "wetbench:", err)
-			os.Exit(1)
-		}
-		if err := exp.WriteEpochBenchJSON(cfg, f, progress); err != nil {
-			fmt.Fprintln(os.Stderr, "wetbench:", err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "wetbench:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("wrote epoch bench record to %s\n", *epochJSON)
+		writeArtifact(*epochJSON, "epoch bench", func(w io.Writer) error {
+			return exp.WriteEpochBenchJSON(cfg, w, progress)
+		})
 		return
 	}
 
@@ -94,35 +123,22 @@ func main() {
 		}
 		res, err := exp.OpenBench(cfg, progress)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "wetbench:", err)
-			os.Exit(1)
+			fatal(err)
 		}
-		f, err := os.Create(*openJSON)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "wetbench:", err)
-			os.Exit(1)
-		}
-		enc := json.NewEncoder(f)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(res); err != nil {
-			fmt.Fprintln(os.Stderr, "wetbench:", err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "wetbench:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("wrote open bench record to %s\n", *openJSON)
+		checkCtx()
+		writeArtifact(*openJSON, "open bench", func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(res)
+		})
 		if *openBaseline != "" {
 			raw, err := os.ReadFile(*openBaseline)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "wetbench:", err)
-				os.Exit(1)
+				fatal(err)
 			}
 			var base exp.OpenBenchResult
 			if err := json.Unmarshal(raw, &base); err != nil {
-				fmt.Fprintln(os.Stderr, "wetbench:", err)
-				os.Exit(1)
+				fatal(err)
 			}
 			if bad := exp.CheckOpenBench(res, &base, *openTol); len(bad) > 0 {
 				for _, b := range bad {
@@ -136,38 +152,16 @@ func main() {
 	}
 
 	if *freezeJSON != "" {
-		f, err := os.Create(*freezeJSON)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "wetbench:", err)
-			os.Exit(1)
-		}
-		if err := exp.WriteFreezeBenchJSON(cfg, f, progress); err != nil {
-			fmt.Fprintln(os.Stderr, "wetbench:", err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "wetbench:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("wrote freeze bench record to %s\n", *freezeJSON)
+		writeArtifact(*freezeJSON, "freeze bench", func(w io.Writer) error {
+			return exp.WriteFreezeBenchJSON(cfg, w, progress)
+		})
 		return
 	}
 
 	if *queryJSON != "" {
-		f, err := os.Create(*queryJSON)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "wetbench:", err)
-			os.Exit(1)
-		}
-		if err := exp.WriteQueryBenchJSON(cfg, f, progress); err != nil {
-			fmt.Fprintln(os.Stderr, "wetbench:", err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "wetbench:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("wrote query bench record to %s\n", *queryJSON)
+		writeArtifact(*queryJSON, "query bench", func(w io.Writer) error {
+			return exp.WriteQueryBenchJSON(cfg, w, progress)
+		})
 		return
 	}
 
@@ -178,10 +172,10 @@ func main() {
 	if needRuns {
 		runs, err = exp.RunAll(cfg, progress)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "wetbench:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 	}
+	checkCtx()
 
 	want := func(t int) bool { return (*table == 0 && *figure == 0) || *table == t }
 	wantFig := func(f int) bool { return (*table == 0 && *figure == 0) || *figure == f }
@@ -212,33 +206,31 @@ func main() {
 	}
 	if want(7) {
 		if err := exp.Table7(runs, out); err != nil {
-			fmt.Fprintln(os.Stderr, "wetbench:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Fprintln(out)
 	}
+	checkCtx()
 	if want(8) {
 		if err := exp.Table8(runs, out); err != nil {
-			fmt.Fprintln(os.Stderr, "wetbench:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Fprintln(out)
 	}
 	if want(9) {
 		if err := exp.Table9(runs, cfg.Slices, out); err != nil {
-			fmt.Fprintln(os.Stderr, "wetbench:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Fprintln(out)
 	}
+	checkCtx()
 	if wantFig(8) {
 		exp.Figure8(runs, out)
 		fmt.Fprintln(out)
 	}
 	if wantFig(9) {
 		if err := exp.Figure9(cfg, out, progress); err != nil {
-			fmt.Fprintln(os.Stderr, "wetbench:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Fprintln(out)
 	}
@@ -246,16 +238,15 @@ func main() {
 		exp.MethodCensus(runs, out)
 	}
 	if *ablations && runs != nil {
+		checkCtx()
 		if err := exp.AblationBLvsBB("go", *stmts, out); err != nil {
-			fmt.Fprintln(os.Stderr, "wetbench:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Fprintln(out)
 		exp.AblationStreamMethods(runs, out)
 		fmt.Fprintln(out)
 		if err := exp.AblationValueGrouping("bzip2", *stmts, out); err != nil {
-			fmt.Fprintln(os.Stderr, "wetbench:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Fprintln(out)
 		exp.AblationLocalTS(runs, out)
@@ -263,8 +254,7 @@ func main() {
 		exp.AblationSelection(runs, out)
 		fmt.Fprintln(out)
 		if err := exp.AblationAggressiveEdges("mcf", *stmts, out); err != nil {
-			fmt.Fprintln(os.Stderr, "wetbench:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 	}
 }

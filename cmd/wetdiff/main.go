@@ -37,12 +37,17 @@ func fail(err error) {
 func main() {
 	top := flag.Int("top", 15, "number of diverging statements to list")
 	salvage := flag.Bool("salvage", false, "recover what damaged inputs still hold")
+	timeout := flag.Duration("timeout", 0, "abort after this duration (exit code 5); 0 = no limit")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: wetdiff [-salvage] a.wet b.wet")
 		os.Exit(cliutil.ExitUsage)
 	}
-	opts := wetio.LoadOptions{Salvage: *salvage}
+	// ^C or -timeout expiry cancels whichever load is in flight; a cancelled
+	// run exits with code 5, not an integrity code.
+	ctx, stop := cliutil.Context(*timeout)
+	defer stop()
+	opts := wetio.LoadOptions{Ctx: ctx, Salvage: *salvage}
 	// Nest the two loads so either file's integrity failure surfaces with
 	// its own exit code, and a lossy salvage of either raises 0 to 4.
 	os.Exit(cliutil.LoadWET("wetdiff", flag.Arg(0), opts, func(a *core.WET) int {

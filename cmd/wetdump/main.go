@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -44,15 +45,20 @@ func main() {
 	semantic := flag.Bool("semantic", false, "with -verify: also validate structure and certify the trace against its program's static semantics")
 	salvage := flag.Bool("salvage", false, "recover what a damaged file still holds")
 	lazy := flag.Bool("lazy", false, "defer stream decode to first query touch (the per-epoch lines then show which segments a dump actually decoded)")
+	timeout := flag.Duration("timeout", 0, "abort after this duration (exit code 5); 0 = no limit")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: wetdump [flags] trace.wet")
 		os.Exit(cliutil.ExitUsage)
 	}
+	// ^C or -timeout expiry cancels the load/verify walk cooperatively; a
+	// cancelled run exits with code 5 rather than reporting the file corrupt.
+	ctx, stop := cliutil.Context(*timeout)
+	defer stop()
 	if *verify {
-		os.Exit(runVerify(flag.Arg(0), *semantic))
+		os.Exit(runVerify(ctx, flag.Arg(0), *semantic))
 	}
-	os.Exit(cliutil.LoadWET("wetdump", flag.Arg(0), wetio.LoadOptions{Salvage: *salvage, Lazy: *lazy},
+	os.Exit(cliutil.LoadWET("wetdump", flag.Arg(0), wetio.LoadOptions{Ctx: ctx, Salvage: *salvage, Lazy: *lazy},
 		func(w *core.WET) int {
 			dump(w, *paths, *sliceTS, *dotFile)
 			return cliutil.ExitOK
@@ -61,7 +67,7 @@ func main() {
 
 // runVerify walks the file's sections, printing one CRC-status line each,
 // and returns ExitIntegrity on the first failure.
-func runVerify(path string, semantic bool) int {
+func runVerify(ctx context.Context, path string, semantic bool) int {
 	f, err := os.Open(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wetdump:", err)
@@ -71,9 +77,12 @@ func runVerify(path string, semantic bool) int {
 	if semantic {
 		return runVerifySemantic(f)
 	}
-	res, err := wetio.Verify(f)
+	res, err := wetio.VerifyCtx(ctx, f)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wetdump:", err)
+		if cliutil.IsCancelled(err) {
+			return cliutil.ExitCancelled
+		}
 		return cliutil.ExitIntegrity
 	}
 	for _, s := range res.Sections {

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"wet/internal/asm"
+	"wet/internal/cliutil"
 	"wet/internal/core"
 	"wet/internal/interp"
 	"wet/internal/wetio"
@@ -26,7 +27,7 @@ import (
 
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "wetprof:", err)
-	os.Exit(1)
+	os.Exit(cliutil.ExitCode(err))
 }
 
 func main() {
@@ -35,11 +36,17 @@ func main() {
 	showOut := flag.Bool("show-outputs", false, "print the program's output values")
 	maxSteps := flag.Uint64("max-steps", 1<<28, "dynamic statement budget")
 	epoch := flag.Uint("epoch", 0, "epoch size in timestamps: seal and tier-2 compress the profile per epoch while the program runs (0 = single-epoch; saves format v4)")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (exit code 5); 0 = no limit")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: wetprof [flags] program.wir")
 		os.Exit(2)
 	}
+
+	// ^C or -timeout expiry stops the interpreter within 4096 steps and an
+	// interrupted -o save leaves no torn file behind.
+	ctx, stop := cliutil.Context(*timeout)
+	defer stop()
 
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
@@ -64,7 +71,7 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	opts := interp.Options{Inputs: tape, MaxSteps: *maxSteps, CollectOutput: *showOut}
+	opts := interp.Options{Ctx: ctx, Inputs: tape, MaxSteps: *maxSteps, CollectOutput: *showOut}
 	// Collecting outputs requires a direct run first (the builders override
 	// the sink but not output collection — it flows through Result).
 	// BuildStreaming with epoch 0 is exactly Build + Freeze.
@@ -85,14 +92,9 @@ func main() {
 		fmt.Printf("\noutputs: %v\n", res.Outputs)
 	}
 	if *outFile != "" {
-		f, err := os.Create(*outFile)
-		if err != nil {
-			fail(err)
-		}
-		if err := wetio.Save(f, w); err != nil {
-			fail(err)
-		}
-		if err := f.Close(); err != nil {
+		// Atomic save: temp file + fsync + rename, so a failed or
+		// interrupted save never leaves a torn .wet behind.
+		if err := wetio.SaveFileCtx(ctx, *outFile, w); err != nil {
 			fail(err)
 		}
 		fmt.Printf("\nsaved WET to %s\n", *outFile)

@@ -25,6 +25,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -44,6 +45,7 @@ import (
 )
 
 type opts struct {
+	ctx      context.Context
 	q        string
 	tier     core.Tier
 	dir      string
@@ -70,9 +72,16 @@ func main() {
 	verbose := flag.Bool("v", false, "per-query wall time and cursor checkpoint seek stats")
 	load := flag.String("load", "", "query a saved WET file instead of rebuilding")
 	salvage := flag.Bool("salvage", false, "with -load: recover what a damaged file still holds")
+	timeout := flag.Duration("timeout", 0, "abort after this duration (exit code 5); 0 = no limit")
 	flag.Parse()
 
+	// ^C or -timeout expiry cancels the load and the query batch
+	// cooperatively; a cancelled run exits with code 5.
+	ctx, stop := cliutil.Context(*timeout)
+	defer stop()
+
 	o := opts{
+		ctx:      ctx,
 		q:        *q,
 		tier:     core.Tier2,
 		dir:      *dir,
@@ -89,7 +98,7 @@ func main() {
 	}
 
 	if *load != "" {
-		lopts := wetio.LoadOptions{RestoreTier1: *tierN == 1, Salvage: *salvage}
+		lopts := wetio.LoadOptions{Ctx: ctx, RestoreTier1: *tierN == 1, Salvage: *salvage}
 		os.Exit(cliutil.LoadWET("wetquery", *load, lopts, func(wt *core.WET) int {
 			run := &exp.Run{Name: *load, Stmts: wt.Raw.StmtExecs, W: wt, Rep: wt.Report()}
 			return runQuery(run, o)
@@ -115,7 +124,11 @@ func runQuery(run *exp.Run, o opts) int {
 	start := time.Now()
 	switch o.q {
 	case "cftrace":
-		n := query.ExtractCF(run.W, o.tier, o.dir == "forward", nil)
+		n, err := query.ExtractCFCtx(o.ctx, run.W, o.tier, o.dir == "forward", nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wetquery:", err)
+			return cliutil.ExitCode(err)
+		}
 		d := time.Since(start)
 		bytes := n * trace.TSBytes
 		fmt.Printf("control flow trace: %d statements (%.2f MB) in %v (%s, %.2f MB/s)\n",
@@ -125,7 +138,7 @@ func runQuery(run *exp.Run, o opts) int {
 		if to == 0 {
 			to = run.W.Time
 		}
-		n, err := query.ExtractCFRange(run.W, o.tier, o.from, to, nil)
+		n, err := query.ExtractCFRangeCtx(o.ctx, run.W, o.tier, o.from, to, nil)
 		if err != nil {
 			// An inverted window is a usage error, reported as such rather
 			// than as an empty trace.
@@ -135,7 +148,7 @@ func runQuery(run *exp.Run, o opts) int {
 				return cliutil.ExitUsage
 			}
 			fmt.Fprintln(os.Stderr, "wetquery:", err)
-			return cliutil.ExitError
+			return cliutil.ExitCode(err)
 		}
 		d := time.Since(start)
 		fmt.Printf("control flow window [%d, %d]: %d statements in %v\n", o.from, to, n, d)
@@ -197,27 +210,25 @@ func runSlices(run *exp.Run, o opts, before stream.SeekStats, start time.Time) i
 	}
 	sizes := make([]int, len(crit))
 	durs := make([]time.Duration, len(crit))
-	errs := make([]error, len(crit))
 	pruned := make([]int, len(crit))
-	query.Batch(o.parallel, len(crit), func(i int) {
+	// The batch stops claiming criteria once the context dies or a slice
+	// fails; the first error (context.Cause on ^C / -timeout) surfaces here.
+	if err := query.BatchCtx(o.ctx, o.parallel, len(crit), func(i int) error {
 		qs := time.Now()
 		res, err := query.BackwardSliceOpts(run.W, o.tier, crit[i], sopts)
 		durs[i] = time.Since(qs)
 		if err != nil {
-			errs[i] = err
-			return
+			return fmt.Errorf("criterion %d (%+v): %w", i, crit[i], err)
 		}
 		sizes[i] = len(res.Instances)
 		pruned[i] = res.PrunedCD
-	})
+		return nil
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "wetquery:", err)
+		return cliutil.ExitCode(err)
+	}
 	wall := time.Since(start)
 	delta := stream.ReadSeekStats().Sub(before)
-	for i, err := range errs {
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "wetquery: criterion %d (%+v): %v\n", i, crit[i], err)
-			return cliutil.ExitError
-		}
-	}
 	if o.verbose {
 		for i, c := range crit {
 			fmt.Printf("  slice %3d: node=%-4d pos=%-3d ord=%-8d %8d instances  %v\n",

@@ -15,6 +15,7 @@ import (
 	"os"
 	"sort"
 
+	"wet/internal/cliutil"
 	"wet/internal/core"
 	"wet/internal/exp"
 	"wet/internal/interp"
@@ -22,6 +23,11 @@ import (
 	"wet/internal/wetio"
 	"wet/internal/workload"
 )
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wetrun:", err)
+	os.Exit(cliutil.ExitCode(err))
+}
 
 func main() {
 	bench := flag.String("bench", "gzip", "workload name (go gcc li gzip mcf parser vortex bzip2 twolf)")
@@ -33,12 +39,18 @@ func main() {
 	workers := flag.Int("workers", 0, "tier-2 freeze worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	certify := flag.Bool("certify", false, "semantically certify the frozen WET against its static analysis before reporting/saving")
 	epoch := flag.Uint("epoch", 0, "epoch size in timestamps: seal and tier-2 compress the profile per epoch while the run executes (0 = single-epoch; saves format v4)")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (exit code 5); 0 = no limit")
 	flag.Parse()
+
+	// ^C or -timeout expiry unwinds the pipeline cooperatively: the
+	// interpreter stops within 4096 steps, partially built epochs are
+	// released, and an interrupted -o save leaves no torn file behind.
+	ctx, stop := cliutil.Context(*timeout)
+	defer stop()
 
 	w, err := workload.ByName(*bench)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "wetrun:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 
 	var run *exp.Run
@@ -47,8 +59,7 @@ func main() {
 		if sc == 0 {
 			sc, err = workload.ScaleFor(w, *stmts)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "wetrun:", err)
-				os.Exit(1)
+				fatal(err)
 			}
 		}
 		prog, in := w.Build(sc)
@@ -57,23 +68,20 @@ func main() {
 		}
 		st, err := interp.Analyze(prog)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "wetrun:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		// BuildStreaming with epoch 0 is exactly Build + Freeze.
-		wet, rep, res, err := core.BuildStreaming(st, interp.Options{Inputs: in}, core.FreezeOptions{
+		wet, rep, res, err := core.BuildStreaming(st, interp.Options{Ctx: ctx, Inputs: in}, core.FreezeOptions{
 			Workers: *workers, EpochTS: uint32(*epoch),
 		})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "wetrun:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		run = &exp.Run{Name: w.Name, Stmts: res.Steps, Scale: sc, W: wet, Rep: rep}
 	} else {
 		run, err = exp.BuildRun(w, *stmts, *workers)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "wetrun:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 	}
 
@@ -86,18 +94,10 @@ func main() {
 		fmt.Println("certified: trace is semantically consistent with its program")
 	}
 	if *outFile != "" {
-		f, err := os.Create(*outFile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "wetrun:", err)
-			os.Exit(1)
-		}
-		if err := wetio.Save(f, wet); err != nil {
-			fmt.Fprintln(os.Stderr, "wetrun:", err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "wetrun:", err)
-			os.Exit(1)
+		// Atomic save: temp file + fsync + rename, so an interrupted or
+		// failed save never leaves a torn .wet behind.
+		if err := wetio.SaveFileCtx(ctx, *outFile, wet); err != nil {
+			fatal(err)
 		}
 		fmt.Printf("saved WET to %s\n", *outFile)
 	}

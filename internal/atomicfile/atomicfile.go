@@ -1,0 +1,84 @@
+// Package atomicfile writes files all-or-nothing: content lands in a
+// temporary file in the destination directory, is fsynced, and is renamed
+// over the target only once complete. A crash — or an injected fault — at
+// any point leaves either the old file or the new one, never a torn
+// prefix, and never a stray temp file on the error path.
+package atomicfile
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"wet/internal/faultpoint"
+)
+
+var (
+	fpSync   = faultpoint.New("atomicfile.sync")
+	fpRename = faultpoint.New("atomicfile.rename")
+)
+
+// Write atomically replaces path with whatever write produces. The write
+// callback receives the temp file; on any failure the temp file is
+// removed and the target is left untouched.
+func Write(path string, write func(w io.Writer) error) (err error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	// CreateTemp makes the file 0600; match what the rename will replace —
+	// the destination's current mode, or a conventional 0644 for a fresh
+	// file — so atomic replacement never tightens permissions.
+	mode := os.FileMode(0o644)
+	if st, serr := os.Stat(path); serr == nil {
+		mode = st.Mode().Perm()
+	}
+	if cerr := tmp.Chmod(mode); cerr != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("atomicfile: chmod: %w", cerr)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return err
+	}
+	if err = fpSync.Hit(); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("atomicfile: sync: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("atomicfile: close: %w", err)
+	}
+	if err = fpRename.Hit(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("atomicfile: rename: %w", err)
+	}
+	syncDir(dir)
+	return nil
+}
+
+// syncDir makes the rename durable. Best-effort: directory fsync is not
+// supported on every platform, and the rename's atomicity does not depend
+// on it.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

@@ -1,0 +1,159 @@
+package atomicfile
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"wet/internal/faultpoint"
+)
+
+// noDroppings asserts the directory holds exactly the named files: a
+// failed Write must remove its temp file.
+func noDroppings(t *testing.T, dir string, want ...string) {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSet := map[string]bool{}
+	for _, w := range want {
+		wantSet[w] = true
+	}
+	for _, e := range ents {
+		if !wantSet[e.Name()] {
+			t.Fatalf("stray file %q left in %s", e.Name(), dir)
+		}
+		delete(wantSet, e.Name())
+	}
+	for w := range wantSet {
+		t.Fatalf("expected file %q missing from %s", w, dir)
+	}
+}
+
+func TestWriteReplacesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := Write(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("new content"))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "new content" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	noDroppings(t, dir, "out.bin")
+}
+
+func TestWriteCallbackFailureKeepsOldFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err := Write(path, func(w io.Writer) error {
+		w.Write([]byte("half a file"))
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Write returned %v, want the callback's error", err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "old" {
+		t.Fatalf("destination changed to %q after failed write", got)
+	}
+	noDroppings(t, dir, "out.bin")
+}
+
+func TestWriteFailpointsKeepOldFile(t *testing.T) {
+	for _, point := range []string{"atomicfile.sync", "atomicfile.rename"} {
+		t.Run(point, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "out.bin")
+			if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if err := faultpoint.Arm(point, faultpoint.Spec{Action: faultpoint.ActENOSPC}); err != nil {
+				t.Fatal(err)
+			}
+			defer faultpoint.DisarmAll()
+			err := Write(path, func(w io.Writer) error {
+				_, err := w.Write([]byte("new"))
+				return err
+			})
+			var fe *faultpoint.Error
+			if !errors.As(err, &fe) || fe.Point != point {
+				t.Fatalf("Write returned %v, want *faultpoint.Error from %s", err, point)
+			}
+			got, _ := os.ReadFile(path)
+			if string(got) != "old" {
+				t.Fatalf("destination changed to %q after injected %s failure", got, point)
+			}
+			noDroppings(t, dir, "out.bin")
+		})
+	}
+}
+
+func TestWriteCreatesMissingDestination(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fresh.bin")
+	if err := Write(path, func(w io.Writer) error {
+		_, err := w.Write([]byte("x"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	noDroppings(t, dir, "fresh.bin")
+}
+
+func TestWriteRelativePath(t *testing.T) {
+	dir := t.TempDir()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(old)
+	if err := Write("rel.bin", func(w io.Writer) error {
+		_, err := w.Write([]byte("x"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	noDroppings(t, dir, "rel.bin")
+}
+
+// TestWriteFileModes: a fresh file gets the conventional 0644, and
+// replacing an existing file keeps its mode — atomic replacement must not
+// tighten permissions to CreateTemp's 0600.
+func TestWriteFileModes(t *testing.T) {
+	dir := t.TempDir()
+	fresh := filepath.Join(dir, "fresh.bin")
+	if err := Write(fresh, func(w io.Writer) error { _, err := w.Write([]byte("x")); return err }); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := os.Stat(fresh); err != nil || st.Mode().Perm() != 0o644 {
+		t.Fatalf("fresh file mode = %v (%v), want 0644", st.Mode().Perm(), err)
+	}
+	kept := filepath.Join(dir, "kept.bin")
+	if err := os.WriteFile(kept, []byte("old"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(kept, func(w io.Writer) error { _, err := w.Write([]byte("new")); return err }); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := os.Stat(kept); err != nil || st.Mode().Perm() != 0o600 {
+		t.Fatalf("replaced file mode = %v (%v), want the original 0600", st.Mode().Perm(), err)
+	}
+}

@@ -1,0 +1,53 @@
+package cliutil
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+)
+
+// ExitCancelled is returned when the command was cancelled (SIGINT) or ran
+// past its -timeout deadline. Scripts can dispatch on it the same way they
+// do on ExitIntegrity/ExitSalvaged.
+const ExitCancelled = 5
+
+// Context builds the root context of a command: cancelled on SIGINT (so ^C
+// unwinds the pipeline cooperatively — partial state released, temp files
+// cleaned — instead of killing the process mid-write), and additionally
+// deadline-bounded when timeout > 0. The returned stop releases the signal
+// registration; a second SIGINT while unwinding still kills the process via
+// the default handler, so a wedged command stays interruptible.
+func Context(timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	if timeout <= 0 {
+		return ctx, stop
+	}
+	// The cause wraps DeadlineExceeded so IsCancelled/ExitCode recognize it
+	// after it has propagated out as context.Cause.
+	tctx, cancel := context.WithTimeoutCause(ctx, timeout,
+		fmt.Errorf("cliutil: -timeout %v elapsed: %w", timeout, context.DeadlineExceeded))
+	return tctx, func() { cancel(); stop() }
+}
+
+// IsCancelled reports whether err is (or wraps) a context cancellation or
+// deadline expiry — the errors Context produces when ^C or -timeout fires.
+func IsCancelled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// ExitCode maps an error to the command exit code convention: nil is
+// ExitOK, cancellation/deadline is ExitCancelled, everything else
+// ExitError. Callers that distinguish integrity failures check those first.
+func ExitCode(err error) int {
+	switch {
+	case err == nil:
+		return ExitOK
+	case IsCancelled(err):
+		return ExitCancelled
+	default:
+		return ExitError
+	}
+}

@@ -37,6 +37,11 @@ func LoadWET(cmd, path string, opts wetio.LoadOptions, run func(*core.WET) int) 
 	f.Close()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%s: %s: %v\n", cmd, path, err)
+		// A cancelled load (LoadOptions.Ctx) is reported as cancellation,
+		// never as an integrity failure — the file may be fine.
+		if IsCancelled(err) {
+			return ExitCancelled
+		}
 		var fe *wetio.FormatError
 		if errors.As(err, &fe) {
 			return ExitIntegrity

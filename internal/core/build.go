@@ -47,6 +47,21 @@ type Builder struct {
 	CheckDeterminism bool
 
 	err error
+	// abort, when set (buildStreaming wires it to a CancelCauseFunc),
+	// propagates a builder failure to the interpreter's context so the
+	// run stops within one ctx-check window instead of streaming events
+	// into a dead build. Called only from the interpreter goroutine.
+	abort func(error)
+}
+
+// fail records the first builder error and aborts the surrounding run.
+func (b *Builder) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+	if b.abort != nil {
+		b.abort(b.err)
+	}
 }
 
 type nodeKey struct {
@@ -117,7 +132,14 @@ func (b *Builder) PathDone(fn int, pathID int64) {
 		return
 	}
 	if err := b.flushPath(fn, pathID); err != nil {
-		b.err = err
+		b.fail(err)
+		return
+	}
+	// A failed compression worker flips the pool's bad flag; surface it
+	// here (the interpreter goroutine) so the run aborts promptly rather
+	// than discovering the failure at drain time.
+	if b.pipe != nil && b.pipe.bad.Load() {
+		b.fail(b.pipe.firstErr())
 	}
 }
 

@@ -1,15 +1,21 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"wet/internal/faultpoint"
 	"wet/internal/stream"
 	"wet/internal/trace"
 )
+
+// fpFreezeJob injects worker faults (typically panics) into the tier-2
+// compression pool, rehearsing a buggy compression job.
+var fpFreezeJob = faultpoint.New("core.freeze.job")
 
 // SizeReport gives the storage cost of each WET component (bytes) at each
 // compression level, in the units of the paper's Tables 1–3: 4 bytes per
@@ -37,6 +43,12 @@ type SizeReport struct {
 	// Load, never serialized, and not part of the paper's compressed-size
 	// metric. Recomputed by RestoreIndexes for deserialized WETs.
 	CheckpointBytes uint64
+
+	// Degradation records what FreezeOptions.MemBudget traded away (nil
+	// when no budget was set or nothing degraded). In-memory only: it
+	// describes how this freeze ran, not the frozen bytes, so wetio does
+	// not serialize it.
+	Degradation *DegradationReport
 }
 
 // OrigTotal is the uncompressed WET size in bytes.
@@ -104,18 +116,49 @@ type FreezeOptions struct {
 	// is byte-identical to the pre-streaming pipeline. Only consulted by
 	// BuildStreaming/NewStreamingBuilder; Freeze itself ignores it.
 	EpochTS uint32
+	// Ctx cancels the freeze (and, through BuildStreaming, the whole
+	// build) cooperatively: worker pools stop claiming jobs, the
+	// interpreter's step loop aborts, and the context cause is returned.
+	// Nil means never cancelled.
+	Ctx context.Context
+	// MemBudget is a soft ceiling, in bytes, on the freeze's working set.
+	// When the planned configuration would exceed it the pipeline degrades
+	// instead of failing — parallel workers fall back to serial, a
+	// streaming build's epoch shrinks toward minEpochTS — and the rungs
+	// taken are reported in SizeReport.Degradation. 0 means unlimited.
+	MemBudget uint64
 }
 
 // Freeze applies the tier-1 edge label reductions (paper §3.3), compresses
 // every remaining stream with the tier-2 selector (paper §4), and computes
 // the size report. Tier-2 compression fans out over a worker pool (see
 // FreezeOptions.Workers); the result does not depend on the worker count.
-// Freeze is idempotent.
+// Freeze is idempotent. It panics on a worker fault or cancellation —
+// callers holding a context or armed failpoints should use FreezeErr.
 func (w *WET) Freeze(opts FreezeOptions) *SizeReport {
-	if w.frozen {
-		return w.report
+	r, err := w.FreezeErr(opts)
+	if err != nil {
+		panic(fmt.Sprintf("core: Freeze: %v (use FreezeErr for a returned error)", err))
 	}
-	r := &SizeReport{Methods: map[string]int{}}
+	return r
+}
+
+// FreezeErr is Freeze with cancellation (FreezeOptions.Ctx), budget
+// degradation (FreezeOptions.MemBudget), and worker faults surfaced as
+// returned errors. On error the WET is left unfrozen and every partially
+// built tier-2 stream is released — no half-frozen hybrid survives the
+// failure.
+func (w *WET) FreezeErr(opts FreezeOptions) (*SizeReport, error) {
+	if w.frozen {
+		return w.report, nil
+	}
+	ctx := opts.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var deg *DegradationReport
+	opts, deg = planFreezeBudget(opts)
+	r := &SizeReport{Methods: map[string]int{}, Degradation: deg}
 	r.OrigTS = w.Raw.OrigNodeTSBytes()
 	r.OrigVals = w.Raw.OrigNodeValBytes()
 	r.OrigEdges = w.Raw.OrigEdgeBytes()
@@ -322,7 +365,10 @@ func (w *WET) Freeze(opts FreezeOptions) *SizeReport {
 		})
 	}
 
-	runJobs(jobs, opts.Workers)
+	if err := runJobsCtx(ctx, jobs, opts.Workers); err != nil {
+		w.releasePartialTier2()
+		return nil, err
+	}
 	for _, apply := range applies {
 		apply()
 	}
@@ -342,7 +388,24 @@ func (w *WET) Freeze(opts FreezeOptions) *SizeReport {
 	}
 	w.frozen = true
 	w.report = r
-	return r
+	return r, nil
+}
+
+// releasePartialTier2 drops whatever tier-2 streams a failed freeze had
+// already built, returning the WET to its pre-Freeze (tier-1 only) state
+// so the failure neither leaks the partial streams nor leaves a
+// half-frozen hybrid behind.
+func (w *WET) releasePartialTier2() {
+	for _, n := range w.Nodes {
+		n.TSS = nil
+		for _, g := range n.Groups {
+			g.PatternS = nil
+			g.UValS = nil
+		}
+	}
+	for _, e := range w.Edges {
+		e.DstS, e.SrcS = nil, nil
+	}
 }
 
 // Report returns the size report (nil before Freeze).
@@ -388,26 +451,81 @@ func (w *WET) checkpointBytes() uint64 {
 	return (bits + 7) / 8
 }
 
-// runJobs drains the tier-2 job list over a bounded worker pool. Each
+// PanicError is a panic recovered from a worker-pool job, surfaced as a
+// typed error: the pool joins its goroutines and returns this instead of
+// crashing the process. Value is the original panic value; when it is
+// itself an error, Unwrap exposes it to errors.Is/As.
+type PanicError struct {
+	Op    string // which pool: "freeze", "seal", "materialize", "batch"
+	Value any
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("core: %s worker panic: %v", e.Op, e.Value) }
+
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// recoverJob converts a job panic into a typed error slot assignment. A
+// *stream.DecodeError travels as itself (it is a deferred Load failure
+// that had to cross the no-error-return cursor API, not a bug), anything
+// else as a *PanicError.
+func recoverJob(op string, slot *error) {
+	switch p := recover().(type) {
+	case nil:
+	case *stream.DecodeError:
+		*slot = p
+	default:
+		*slot = &PanicError{Op: op, Value: p}
+	}
+}
+
+// runJobsCtx drains the tier-2 job list over a bounded worker pool. Each
 // worker owns one stream.Scratch, so the selection phase's predictor
 // tables are borrowed from the size-keyed pools once per worker rather
 // than once per candidate. workers <= 0 means GOMAXPROCS.
-func runJobs(jobs []func(sc *stream.Scratch), workers int) {
+//
+// Cancellation is checked between jobs: a cancelled context stops claims
+// promptly, the pool joins every worker, and context.Cause is returned.
+// A job panic (including an armed core.freeze.job failpoint) is recovered
+// to a typed error — first failing job in claim order wins — never a
+// crashed process or a leaked goroutine.
+func runJobsCtx(ctx context.Context, jobs []func(sc *stream.Scratch), workers int) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+	errs := make([]error, len(jobs))
+	run := func(j int, sc *stream.Scratch) {
+		defer recoverJob("freeze", &errs[j])
+		if err := fpFreezeJob.Hit(); err != nil {
+			errs[j] = err
+			return
+		}
+		jobs[j](sc)
+	}
+	done := ctx.Done()
 	if workers <= 1 {
 		sc := stream.NewScratch()
 		defer sc.Release()
-		for _, job := range jobs {
-			job(sc)
+		for j := range jobs {
+			if ctx.Err() != nil {
+				return context.Cause(ctx)
+			}
+			run(j, sc)
+			if errs[j] != nil {
+				return errs[j]
+			}
 		}
-		return
+		return nil
 	}
 	var next atomic.Int64
+	var failed atomic.Bool
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
@@ -416,15 +534,35 @@ func runJobs(jobs []func(sc *stream.Scratch), workers int) {
 			sc := stream.NewScratch()
 			defer sc.Release()
 			for {
+				if failed.Load() {
+					return
+				}
+				select {
+				case <-done:
+					return
+				default:
+				}
 				j := int(next.Add(1)) - 1
 				if j >= len(jobs) {
 					return
 				}
-				jobs[j](sc)
+				run(j, sc)
+				if errs[j] != nil {
+					failed.Store(true)
+				}
 			}
 		}()
 	}
 	wg.Wait()
+	if ctx.Err() != nil {
+		return context.Cause(ctx)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // bitsFor returns the number of bits needed to represent v.

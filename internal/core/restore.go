@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"wet/internal/interp"
@@ -65,15 +66,23 @@ func (w *WET) RestoreIndexes(rep *SizeReport) {
 // run-global patterns and unique values, and full edge label pairs (ramp
 // and shared segments are materialized into plain labels). It is the
 // segmented counterpart of LoadOptions.RestoreTier1's per-stream draining;
-// wetio calls it after a v4 parse when tier-1 access was requested.
-func (w *WET) MaterializeTier1() { w.MaterializeTier1N(1) }
+// wetio calls it after a v4 parse when tier-1 access was requested. A
+// deferred-decode failure on a lazily opened stream surfaces as a
+// *stream.DecodeError, not a panic.
+func (w *WET) MaterializeTier1() error { return w.MaterializeTier1N(1) }
 
 // MaterializeTier1N is MaterializeTier1 fanned over workers goroutines
 // (<= 0: GOMAXPROCS). Each node's and each edge's drain is an independent
 // job writing only that object's tier-1 fields, so the result is identical
 // at any width; drains read batched (one segment-cursor reposition per
 // segment instead of per element).
-func (w *WET) MaterializeTier1N(workers int) {
+func (w *WET) MaterializeTier1N(workers int) error {
+	return w.MaterializeTier1Ctx(context.Background(), workers)
+}
+
+// MaterializeTier1Ctx is MaterializeTier1N with cooperative cancellation
+// between per-node/per-edge drain jobs; context.Cause is returned.
+func (w *WET) MaterializeTier1Ctx(ctx context.Context, workers int) error {
 	drain := func(s Seq) []uint32 {
 		out := make([]uint32, s.Len())
 		if sk, ok := s.(Seeker); ok {
@@ -110,7 +119,7 @@ func (w *WET) MaterializeTier1N(workers int) {
 			e.SrcOrd = drain(s)
 		})
 	}
-	runJobs(jobs, workers)
+	return runJobsCtx(ctx, jobs, workers)
 }
 
 // SanitizeSalvaged repairs the invariants RestoreIndexes and the query

@@ -1,14 +1,21 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
+	"wet/internal/faultpoint"
 	"wet/internal/interp"
 	"wet/internal/stream"
 	"wet/internal/trace"
 )
+
+// fpSealEpoch injects faults at the moment an epoch closes — the natural
+// place for a deadline to expire mid-build or a sealer bug to surface.
+var fpSealEpoch = faultpoint.New("core.seal.epoch")
 
 // The epoch-segmented streaming pipeline: instead of holding the whole
 // uncompressed tier-1 trace until the run ends, the builder seals the
@@ -69,16 +76,28 @@ type EdgeSeg struct {
 // epoch slices to. The jobs channel is small on purpose: a submit blocks
 // once workers fall behind, so un-compressed sealed epochs cannot pile up
 // and the streaming memory bound holds under any workload.
+//
+// Failure discipline: a cancelled context or a failed job flips the pool
+// into drain-only mode — workers keep consuming the queue (so submits
+// never deadlock) but stop running jobs, and drain reports the first
+// failure (or the cancellation cause) after every goroutine has joined.
 type freezePool struct {
+	ctx  context.Context
 	jobs chan func(*stream.Scratch)
 	wg   sync.WaitGroup
+	bad  atomic.Bool
+	mu   sync.Mutex
+	err  error
 }
 
-func newFreezePool(workers int) *freezePool {
+func newFreezePool(ctx context.Context, workers int) *freezePool {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	p := &freezePool{jobs: make(chan func(*stream.Scratch), workers*2)}
+	p := &freezePool{ctx: ctx, jobs: make(chan func(*stream.Scratch), workers*2)}
 	for i := 0; i < workers; i++ {
 		p.wg.Add(1)
 		go func() {
@@ -86,18 +105,65 @@ func newFreezePool(workers int) *freezePool {
 			sc := stream.NewScratch()
 			defer sc.Release()
 			for job := range p.jobs {
-				job(sc)
+				if p.bad.Load() || p.ctx.Err() != nil {
+					continue // drain-only: the build is aborting
+				}
+				p.run(job, sc)
 			}
 		}()
 	}
 	return p
 }
 
-func (p *freezePool) submit(job func(*stream.Scratch)) { p.jobs <- job }
+func (p *freezePool) run(job func(*stream.Scratch), sc *stream.Scratch) {
+	var err error
+	func() {
+		defer recoverJob("seal", &err)
+		if err = fpFreezeJob.Hit(); err != nil {
+			return
+		}
+		job(sc)
+	}()
+	if err != nil {
+		p.setErr(err)
+	}
+}
 
-func (p *freezePool) drain() {
+func (p *freezePool) setErr(err error) {
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.mu.Unlock()
+	p.bad.Store(true)
+}
+
+func (p *freezePool) firstErr() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// submit blocks while workers are behind (that is the memory bound), but
+// gives up on cancellation: the dropped job is moot because the aborted
+// build discards the WET.
+func (p *freezePool) submit(job func(*stream.Scratch)) {
+	select {
+	case p.jobs <- job:
+	case <-p.ctx.Done():
+	}
+}
+
+func (p *freezePool) drain() error {
 	close(p.jobs)
 	p.wg.Wait()
+	if err := p.firstErr(); err != nil {
+		return err
+	}
+	if p.ctx.Err() != nil {
+		return context.Cause(p.ctx)
+	}
+	return nil
 }
 
 // sealEpoch freezes every label appended during the epoch that just closed:
@@ -108,6 +174,10 @@ func (p *freezePool) drain() {
 // compression itself is concurrent. Segment lists hold pointers so later
 // appends never move a segment a worker is still writing.
 func (b *Builder) sealEpoch(epoch int) {
+	if err := fpSealEpoch.Hit(); err != nil {
+		b.fail(err)
+		return
+	}
 	base := uint32(epoch) * b.epochTS
 	ck := b.fopts.CheckpointK
 
@@ -280,7 +350,12 @@ func (b *Builder) finishStreaming() error {
 	if b.time > 0 && b.time%e != 0 {
 		b.sealEpoch(int(b.time / e))
 	}
-	b.pipe.drain()
+	if err := b.pipe.drain(); err != nil {
+		return err
+	}
+	if b.err != nil {
+		return b.err
+	}
 	w := b.w
 	w.EpochTS = e
 	w.Epochs = int((uint64(b.time) + uint64(e) - 1) / uint64(e))
@@ -425,7 +500,7 @@ func NewStreamingBuilder(st *interp.Static, opts FreezeOptions) (*Builder, error
 	b := NewBuilder(st)
 	b.epochTS = opts.EpochTS
 	b.fopts = opts
-	b.pipe = newFreezePool(opts.Workers)
+	b.pipe = newFreezePool(opts.Ctx, opts.Workers)
 	return b, nil
 }
 
@@ -477,20 +552,47 @@ func BuildStreamingChecked(st *interp.Static, ropts interp.Options, opts FreezeO
 }
 
 func buildStreaming(st *interp.Static, ropts interp.Options, opts FreezeOptions, check bool) (*WET, *SizeReport, *interp.Result, error) {
+	// One cancellable context spans the whole pipeline: the caller's
+	// deadline (ropts.Ctx / opts.Ctx) cancels it from outside, and a
+	// builder or pool failure cancels it from inside so the interpreter
+	// aborts within one ctx-check window instead of running to completion
+	// against a dead build.
+	parent := ropts.Ctx
+	if parent == nil {
+		parent = opts.Ctx
+	}
+	if parent == nil {
+		parent = context.Background()
+	}
+	bctx, cancel := context.WithCancelCause(parent)
+	defer cancel(nil)
+	ropts.Ctx = bctx
+
+	var deg *DegradationReport
 	var b *Builder
 	if opts.EpochTS == 0 {
 		b = NewBuilder(st)
 	} else {
+		sopts := opts
+		sopts.Ctx = bctx
+		sopts, deg = planFreezeBudget(sopts)
 		var err error
-		b, err = NewStreamingBuilder(st, opts)
+		b, err = NewStreamingBuilder(st, sopts)
 		if err != nil {
 			return nil, nil, nil, err
 		}
+		opts = sopts
 	}
 	b.CheckDeterminism = check
+	b.abort = cancel
 	cnt := trace.NewCounting(b)
 	ropts.Sink = cnt
-	res, err := interp.Run(st, ropts)
+	res, err := runInterp(st, ropts)
+	if b.err != nil {
+		// The builder aborted the run; its error is the root cause, not
+		// the cancellation the interpreter observed.
+		err = b.err
+	}
 	if err != nil {
 		if b.pipe != nil {
 			// Drain the pool so worker goroutines never outlive a failed
@@ -505,7 +607,12 @@ func buildStreaming(st *interp.Static, ropts interp.Options, opts FreezeOptions,
 			return nil, nil, res, err
 		}
 		w.Raw = cnt.RawStats
-		rep := w.Freeze(opts)
+		fopts := opts
+		fopts.Ctx = parent
+		rep, err := w.FreezeErr(fopts)
+		if err != nil {
+			return nil, nil, res, err
+		}
 		return w, rep, res, nil
 	}
 	w, err := b.FinishStreaming()
@@ -514,7 +621,25 @@ func buildStreaming(st *interp.Static, ropts interp.Options, opts FreezeOptions,
 	}
 	w.Raw = cnt.RawStats
 	rep := w.streamingReport(opts)
+	rep.Degradation = deg
 	w.frozen = true
 	w.report = rep
 	return w, rep, res, nil
+}
+
+// runInterp runs the interpreter with a recover boundary that converts an
+// armed-failpoint panic escaping the sink (e.g. a panic-action
+// core.seal.epoch) into its typed error; any other panic is a real bug
+// and propagates.
+func runInterp(st *interp.Static, ropts interp.Options) (res *interp.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			fe, ok := p.(*faultpoint.Error)
+			if !ok {
+				panic(p)
+			}
+			err = fe
+		}
+	}()
+	return interp.Run(st, ropts)
 }

@@ -1,0 +1,310 @@
+// Package faultpoint is a fault-injection registry for rehearsing failure
+// modes that are hard to produce on demand: short reads, slow writers, full
+// disks, worker panics, deadlines expiring mid-epoch. Code under test
+// declares named injection sites at package init:
+//
+//	var fpWrite = faultpoint.New("wetio.save.write")
+//
+// and consults them on the hot path:
+//
+//	if err := fpWrite.Hit(); err != nil { return err }
+//
+// A disarmed point costs one atomic pointer load, so sites may sit on
+// paths that run millions of times. Tests (or an operator, via the
+// WET_FAILPOINTS environment variable) arm points by name:
+//
+//	faultpoint.Arm("wetio.save.write", faultpoint.Spec{Action: faultpoint.ActENOSPC})
+//	defer faultpoint.DisarmAll()
+//
+// Every injected failure surfaces as a *faultpoint.Error so harnesses can
+// tell an injected fault from an organic one with errors.As.
+//
+// The environment spec is a semicolon-separated list of
+// name=action[:detail][@after][#times] entries, e.g.
+//
+//	WET_FAILPOINTS='wetio.save.write=enospc;stream.decode=err:boom@3'
+//
+// where after is the 1-based hit at which the point starts firing
+// (default 1) and times bounds how many hits fire (default unlimited).
+package faultpoint
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// Actions a point can take when hit.
+const (
+	// ActErr returns a generic injected error (detail overrides the message).
+	ActErr = "err"
+	// ActENOSPC returns an error wrapping syscall.ENOSPC, as a full disk would.
+	ActENOSPC = "enospc"
+	// ActShort returns an error wrapping io.ErrUnexpectedEOF-like truncation;
+	// sites interpret it as a short read or write.
+	ActShort = "short"
+	// ActPanic panics with a *Error value, as a buggy worker would.
+	ActPanic = "panic"
+	// ActSleep blocks for Delay (detail, e.g. "50ms") and then proceeds
+	// normally — a slow writer or stalled decode, not a failure.
+	ActSleep = "sleep"
+)
+
+// ErrInjected is the sentinel cause for ActErr with no detail message.
+var ErrInjected = errors.New("injected fault")
+
+// ErrShort is the sentinel cause for ActShort.
+var ErrShort = errors.New("injected short read/write")
+
+// Error is the typed error every armed faultpoint surfaces. Harnesses
+// detect injection with errors.As(err, new(*faultpoint.Error)).
+type Error struct {
+	Point string // registered point name
+	Cause error  // what was injected
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("faultpoint %s: %v", e.Point, e.Cause) }
+
+func (e *Error) Unwrap() error { return e.Cause }
+
+// Spec describes what an armed point does.
+type Spec struct {
+	Action string        // ActErr, ActENOSPC, ActShort, ActPanic, ActSleep
+	Detail string        // message for err/panic, duration for sleep
+	After  int           // 1-based hit at which firing starts (<=1: first hit)
+	Times  int           // number of hits that fire (<=0: unlimited)
+	Delay  time.Duration // parsed sleep duration (set from Detail if empty)
+}
+
+type arming struct {
+	spec Spec
+	hits atomic.Int64 // total Hit calls while armed
+	fire atomic.Int64 // hits that actually fired
+}
+
+// Point is a named injection site. Create with New at package init.
+type Point struct {
+	name string
+	arm  atomic.Pointer[arming]
+}
+
+// Name returns the registered name.
+func (p *Point) Name() string { return p.name }
+
+// Enabled reports whether the point is currently armed. Sites can gate
+// expensive setup (e.g. wrapping a writer) behind it.
+func (p *Point) Enabled() bool { return p.arm.Load() != nil }
+
+// Fired returns how many times the point has fired since it was armed.
+func (p *Point) Fired() int64 {
+	a := p.arm.Load()
+	if a == nil {
+		return 0
+	}
+	return a.fire.Load()
+}
+
+// Hit consults the point. Disarmed: returns nil at the cost of one atomic
+// load. Armed: applies the spec — returning a *Error, panicking with one,
+// or sleeping — once the configured hit window is reached.
+func (p *Point) Hit() error {
+	a := p.arm.Load()
+	if a == nil {
+		return nil
+	}
+	return p.slowHit(a)
+}
+
+func (p *Point) slowHit(a *arming) error {
+	n := a.hits.Add(1)
+	after := int64(a.spec.After)
+	if after < 1 {
+		after = 1
+	}
+	if n < after {
+		return nil
+	}
+	if a.spec.Times > 0 && n >= after+int64(a.spec.Times) {
+		return nil
+	}
+	a.fire.Add(1)
+	switch a.spec.Action {
+	case ActSleep:
+		time.Sleep(a.spec.Delay)
+		return nil
+	case ActPanic:
+		panic(&Error{Point: p.name, Cause: fmt.Errorf("injected panic: %s", detailOr(a.spec.Detail, "worker fault"))})
+	case ActENOSPC:
+		return &Error{Point: p.name, Cause: fmt.Errorf("write: %w", syscall.ENOSPC)}
+	case ActShort:
+		return &Error{Point: p.name, Cause: ErrShort}
+	default: // ActErr
+		if a.spec.Detail != "" {
+			return &Error{Point: p.name, Cause: errors.New(a.spec.Detail)}
+		}
+		return &Error{Point: p.name, Cause: ErrInjected}
+	}
+}
+
+func detailOr(d, def string) string {
+	if d == "" {
+		return def
+	}
+	return d
+}
+
+var (
+	regMu  sync.Mutex
+	points = map[string]*Point{}
+)
+
+// New registers a named point. It is meant to be called from var
+// initializers; registering the same name twice panics.
+func New(name string) *Point {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := points[name]; dup {
+		panic("faultpoint: duplicate point " + name)
+	}
+	p := &Point{name: name}
+	points[name] = p
+	p.armFromEnv()
+	return p
+}
+
+// Lookup returns the point registered under name, or nil.
+func Lookup(name string) *Point {
+	regMu.Lock()
+	defer regMu.Unlock()
+	return points[name]
+}
+
+// Names returns every registered point name, sorted. This is the sweep
+// harness's registry: every name here must be rehearsed.
+func Names() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]string, 0, len(points))
+	for n := range points {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Arm activates the named point with spec. Unknown names error so typos in
+// test setups fail loudly.
+func Arm(name string, spec Spec) error {
+	if err := normalize(&spec); err != nil {
+		return fmt.Errorf("faultpoint %s: %w", name, err)
+	}
+	p := Lookup(name)
+	if p == nil {
+		return fmt.Errorf("faultpoint: unknown point %q", name)
+	}
+	p.arm.Store(&arming{spec: spec})
+	return nil
+}
+
+// Disarm deactivates the named point (no-op when unknown or disarmed).
+func Disarm(name string) {
+	if p := Lookup(name); p != nil {
+		p.arm.Store(nil)
+	}
+}
+
+// DisarmAll deactivates every registered point. Deferred by tests so one
+// case's arming never leaks into the next.
+func DisarmAll() {
+	regMu.Lock()
+	defer regMu.Unlock()
+	for _, p := range points {
+		p.arm.Store(nil)
+	}
+}
+
+func normalize(spec *Spec) error {
+	switch spec.Action {
+	case "", ActErr:
+		spec.Action = ActErr
+	case ActENOSPC, ActShort, ActPanic:
+	case ActSleep:
+		if spec.Delay == 0 {
+			d, err := time.ParseDuration(detailOr(spec.Detail, "10ms"))
+			if err != nil {
+				return fmt.Errorf("bad sleep duration %q: %w", spec.Detail, err)
+			}
+			spec.Delay = d
+		}
+	default:
+		return fmt.Errorf("unknown action %q", spec.Action)
+	}
+	return nil
+}
+
+// ParseSpec parses one name=action[:detail][@after][#times] entry.
+func ParseSpec(s string) (name string, spec Spec, err error) {
+	name, rest, ok := strings.Cut(strings.TrimSpace(s), "=")
+	name = strings.TrimSpace(name)
+	if !ok || name == "" {
+		return "", Spec{}, fmt.Errorf("faultpoint: bad spec %q (want name=action[:detail][@after][#times])", s)
+	}
+	if i := strings.LastIndexByte(rest, '#'); i >= 0 {
+		t, err := strconv.Atoi(rest[i+1:])
+		if err != nil {
+			return "", Spec{}, fmt.Errorf("faultpoint: bad times in %q: %w", s, err)
+		}
+		spec.Times, rest = t, rest[:i]
+	}
+	if i := strings.LastIndexByte(rest, '@'); i >= 0 {
+		a, err := strconv.Atoi(rest[i+1:])
+		if err != nil {
+			return "", Spec{}, fmt.Errorf("faultpoint: bad after in %q: %w", s, err)
+		}
+		spec.After, rest = a, rest[:i]
+	}
+	spec.Action, spec.Detail, _ = strings.Cut(rest, ":")
+	if err := normalize(&spec); err != nil {
+		return "", Spec{}, fmt.Errorf("faultpoint: %q: %w", s, err)
+	}
+	return name, spec, nil
+}
+
+// envSpecs holds the parsed WET_FAILPOINTS entries; points registered
+// after process start (all of them — registration happens at package
+// init) arm themselves lazily as they appear.
+var envSpecs = parseEnv(os.Getenv("WET_FAILPOINTS"))
+
+func parseEnv(env string) map[string]Spec {
+	if env == "" {
+		return nil
+	}
+	out := map[string]Spec{}
+	for _, entry := range strings.Split(env, ";") {
+		if strings.TrimSpace(entry) == "" {
+			continue
+		}
+		name, spec, err := ParseSpec(entry)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "faultpoint: ignoring", err)
+			continue
+		}
+		out[name] = spec
+	}
+	return out
+}
+
+// armFromEnv applies a WET_FAILPOINTS entry to a freshly registered point.
+// Called under regMu from New.
+func (p *Point) armFromEnv() {
+	if spec, ok := envSpecs[p.name]; ok {
+		p.arm.Store(&arming{spec: spec})
+	}
+}

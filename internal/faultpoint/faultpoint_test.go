@@ -1,0 +1,206 @@
+package faultpoint
+
+import (
+	"errors"
+	"io"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// tp registers a uniquely named point for one test.
+func tp(t *testing.T) *Point {
+	t.Helper()
+	p := New("test." + t.Name())
+	t.Cleanup(func() { Disarm(p.Name()) })
+	return p
+}
+
+func TestDisarmedHitIsFree(t *testing.T) {
+	p := tp(t)
+	for i := 0; i < 1000; i++ {
+		if err := p.Hit(); err != nil {
+			t.Fatalf("disarmed Hit returned %v", err)
+		}
+	}
+	if p.Enabled() || p.Fired() != 0 {
+		t.Fatalf("disarmed point reports Enabled=%v Fired=%d", p.Enabled(), p.Fired())
+	}
+}
+
+func TestActionsSurfaceTypedErrors(t *testing.T) {
+	p := tp(t)
+	cases := []struct {
+		spec Spec
+		want error
+	}{
+		{Spec{Action: ActErr}, ErrInjected},
+		{Spec{Action: ActShort}, ErrShort},
+		{Spec{Action: ActENOSPC}, syscall.ENOSPC},
+	}
+	for _, c := range cases {
+		if err := Arm(p.Name(), c.spec); err != nil {
+			t.Fatal(err)
+		}
+		err := p.Hit()
+		var fe *Error
+		if !errors.As(err, &fe) {
+			t.Fatalf("%s: Hit returned %T, want *faultpoint.Error", c.spec.Action, err)
+		}
+		if fe.Point != p.Name() {
+			t.Fatalf("%s: error names point %q", c.spec.Action, fe.Point)
+		}
+		if !errors.Is(err, c.want) {
+			t.Fatalf("%s: error %v does not wrap %v", c.spec.Action, err, c.want)
+		}
+	}
+}
+
+func TestErrDetailOverridesMessage(t *testing.T) {
+	p := tp(t)
+	if err := Arm(p.Name(), Spec{Action: ActErr, Detail: "boom"}); err != nil {
+		t.Fatal(err)
+	}
+	err := p.Hit()
+	if err == nil || !errors.As(err, new(*Error)) {
+		t.Fatalf("Hit returned %v", err)
+	}
+	if got := err.Error(); got != "faultpoint "+p.Name()+": boom" {
+		t.Fatalf("message %q", got)
+	}
+}
+
+func TestPanicActionPanicsWithTypedValue(t *testing.T) {
+	p := tp(t)
+	if err := Arm(p.Name(), Spec{Action: ActPanic}); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		if _, ok := r.(*Error); !ok {
+			t.Fatalf("panicked with %T (%v), want *faultpoint.Error", r, r)
+		}
+	}()
+	p.Hit()
+	t.Fatal("armed panic point did not panic")
+}
+
+func TestAfterAndTimesWindow(t *testing.T) {
+	p := tp(t)
+	// Fire on hits 3 and 4 only.
+	if err := Arm(p.Name(), Spec{Action: ActErr, After: 3, Times: 2}); err != nil {
+		t.Fatal(err)
+	}
+	var pattern []bool
+	for i := 0; i < 6; i++ {
+		pattern = append(pattern, p.Hit() != nil)
+	}
+	want := []bool{false, false, true, true, false, false}
+	for i := range want {
+		if pattern[i] != want[i] {
+			t.Fatalf("hit %d fired=%v, want %v (pattern %v)", i+1, pattern[i], want[i], pattern)
+		}
+	}
+	if p.Fired() != 2 {
+		t.Fatalf("Fired() = %d, want 2", p.Fired())
+	}
+}
+
+func TestSleepActionDelaysThenProceeds(t *testing.T) {
+	p := tp(t)
+	if err := Arm(p.Name(), Spec{Action: ActSleep, Detail: "30ms"}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := p.Hit(); err != nil {
+		t.Fatalf("sleep action returned error %v", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("sleep action returned after %v, want >= 30ms", d)
+	}
+}
+
+func TestArmUnknownPointErrors(t *testing.T) {
+	if err := Arm("no.such.point", Spec{}); err == nil {
+		t.Fatal("arming an unregistered point succeeded")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		in   string
+		name string
+		spec Spec
+	}{
+		{"a.b=err", "a.b", Spec{Action: ActErr}},
+		{"a.b=enospc", "a.b", Spec{Action: ActENOSPC}},
+		{"a.b=err:boom@3#2", "a.b", Spec{Action: ActErr, Detail: "boom", After: 3, Times: 2}},
+		{"a.b=short@5", "a.b", Spec{Action: ActShort, After: 5}},
+		{"a.b=panic", "a.b", Spec{Action: ActPanic}},
+	}
+	for _, c := range cases {
+		name, spec, err := ParseSpec(c.in)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", c.in, err)
+		}
+		if name != c.name || spec.Action != c.spec.Action || spec.After != c.spec.After || spec.Times != c.spec.Times {
+			t.Fatalf("ParseSpec(%q) = %q %+v, want %q %+v", c.in, name, spec, c.name, c.spec)
+		}
+	}
+	for _, bad := range []string{"", "noequals", "a.b=warp", "a.b=err@x", "a.b=err#x", "a.b=sleep:fast"} {
+		if _, _, err := ParseSpec(bad); err == nil {
+			t.Fatalf("ParseSpec(%q) accepted a bad spec", bad)
+		}
+	}
+}
+
+func TestParseEnvSkipsBadEntries(t *testing.T) {
+	specs := parseEnv("a.b=err; ;bogus;c.d=short@2")
+	if len(specs) != 2 {
+		t.Fatalf("parseEnv kept %d entries, want 2: %v", len(specs), specs)
+	}
+	if specs["a.b"].Action != ActErr || specs["c.d"].After != 2 {
+		t.Fatalf("parseEnv specs wrong: %v", specs)
+	}
+}
+
+func TestNamesIncludesRegisteredPoints(t *testing.T) {
+	p := tp(t)
+	found := false
+	for _, n := range Names() {
+		if n == p.Name() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Names() omits %q", p.Name())
+	}
+}
+
+func TestDisarmAll(t *testing.T) {
+	p := tp(t)
+	if err := Arm(p.Name(), Spec{Action: ActErr}); err != nil {
+		t.Fatal(err)
+	}
+	DisarmAll()
+	if err := p.Hit(); err != nil {
+		t.Fatalf("Hit after DisarmAll returned %v", err)
+	}
+}
+
+// TestShortActionComposesWithIO pins the contract sites rely on: a short
+// injection is distinguishable from the sentinel truncation errors the io
+// package produces organically.
+func TestShortActionComposesWithIO(t *testing.T) {
+	p := tp(t)
+	if err := Arm(p.Name(), Spec{Action: ActShort}); err != nil {
+		t.Fatal(err)
+	}
+	err := p.Hit()
+	if errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatal("injected short error must not alias io.ErrUnexpectedEOF; sites translate it themselves")
+	}
+	if !errors.Is(err, ErrShort) {
+		t.Fatalf("short error %v does not wrap ErrShort", err)
+	}
+}

@@ -6,6 +6,7 @@
 package interp
 
 import (
+	"context"
 	"fmt"
 
 	"wet/internal/ballarus"
@@ -30,7 +31,16 @@ type Options struct {
 	Arch     ArchSink
 	// CollectOutput keeps values written by OpOutput (tests, examples).
 	CollectOutput bool
+	// Ctx cancels the run cooperatively: the step loop polls it every
+	// ctxCheckMask+1 dynamic statements and returns context.Cause. Nil
+	// means never cancelled.
+	Ctx context.Context
 }
+
+// ctxCheckMask spaces cancellation polls: one ctx.Err() per 4096 dynamic
+// statements keeps the check off the profile while bounding cancellation
+// latency to microseconds at interpreter speeds.
+const ctxCheckMask = 1<<12 - 1
 
 // Result summarizes a completed run.
 type Result struct {
@@ -144,6 +154,9 @@ func Run(st *Static, opts Options) (*Result, error) {
 		for _, s := range b.Stmts {
 			if res.Steps >= maxSteps {
 				return res, fmt.Errorf("interp: exceeded %d steps in %s", maxSteps, fr.f.Name)
+			}
+			if opts.Ctx != nil && res.Steps&ctxCheckMask == 0 && opts.Ctx.Err() != nil {
+				return res, context.Cause(opts.Ctx)
 			}
 			res.Steps++
 			inst++

@@ -1,0 +1,45 @@
+// Package leakcheck asserts that a test leaves no goroutines behind. The
+// cancellation paths promise "partial state released, workers gone"; this
+// is the teeth behind that promise, with no dependency beyond the runtime.
+//
+// Usage, first line of the test:
+//
+//	defer leakcheck.Check(t)()
+//
+// The returned func polls until the goroutine count returns to the
+// baseline taken at Check time. Pool workers exit asynchronously after a
+// cancelled call returns, so a bounded settle window — not an instant
+// snapshot — is the correct assertion.
+package leakcheck
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// settle bounds how long workers may take to unwind after cancellation.
+const settle = 5 * time.Second
+
+// Check snapshots the current goroutine count and returns the assertion
+// to defer. Tests using it must not call t.Parallel(): a sibling test's
+// goroutines would show up as this test's leak.
+func Check(t testing.TB) func() {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	return func() {
+		deadline := time.Now().Add(settle)
+		for {
+			n := runtime.NumGoroutine()
+			if n <= base {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				buf = buf[:runtime.Stack(buf, true)]
+				t.Fatalf("goroutine leak: %d goroutines, baseline %d; stacks:\n%s", n, base, buf)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"wet/internal/core"
 	"wet/internal/ir"
+	"wet/internal/stream"
 )
 
 // Invariance summarizes how predictable one statement's values are — the
@@ -161,7 +162,8 @@ func (e *RangeError) Error() string {
 // any execution point". It returns the number of statements emitted. An
 // inverted range (fromTS > toTS) returns a *RangeError; a range merely
 // clipped by the ends of the trace is extracted as far as it exists.
-func ExtractCFRange(w *core.WET, tier core.Tier, fromTS, toTS uint32, emit func(stmtID int)) (uint64, error) {
+func ExtractCFRange(w *core.WET, tier core.Tier, fromTS, toTS uint32, emit func(stmtID int)) (n uint64, err error) {
+	defer stream.RecoverDecode(&err)
 	if fromTS > toTS {
 		return 0, &RangeError{From: fromTS, To: toTS}
 	}
@@ -179,7 +181,6 @@ func ExtractCFRange(w *core.WET, tier core.Tier, fromTS, toTS uint32, emit func(
 	if err := wk.StartAt(fromTS); err != nil {
 		return 0, err
 	}
-	var n uint64
 	for {
 		for _, s := range w.Nodes[wk.Node].Stmts {
 			if emit != nil {

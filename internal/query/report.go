@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"wet/internal/core"
+	"wet/internal/stream"
 )
 
 // HotPath summarizes one Ball–Larus path's execution frequency — the "hot
@@ -50,8 +51,10 @@ func HotPaths(w *core.WET, n int) []HotPath {
 // WriteDOT renders a slice result as a Graphviz digraph: one node per
 // dynamic instance (labeled with its statement and, when available, its
 // value) and one edge per dependence instance traversed during a re-walk of
-// the slice. Output is deterministic.
-func WriteDOT(w *core.WET, tier core.Tier, res *SliceResult, out io.Writer) error {
+// the slice. Output is deterministic. Deferred-decode failures surface as a
+// *stream.DecodeError, not a panic.
+func WriteDOT(w *core.WET, tier core.Tier, res *SliceResult, out io.Writer) (err error) {
+	defer stream.RecoverDecode(&err)
 	inSlice := map[uint64]bool{}
 	for _, in := range res.Instances {
 		inSlice[pack(in)] = true
@@ -102,6 +105,6 @@ func WriteDOT(w *core.WET, tier core.Tier, res *SliceResult, out io.Writer) erro
 			fmt.Fprintf(out, "  %s -> %s%s;\n", name(src), name(in), attr)
 		}
 	}
-	_, err := fmt.Fprintln(out, "}")
+	_, err = fmt.Fprintln(out, "}")
 	return err
 }

@@ -1,0 +1,210 @@
+package query
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"wet/internal/core"
+	"wet/internal/faultpoint"
+	"wet/internal/stream"
+)
+
+// fpBatchJob fires once per BatchCtx job, before the job runs: the "err"
+// action fails the batch with the injected error, "panic" exercises the
+// recover boundary (the batch must report it as a *core.PanicError, never
+// crash the process).
+var fpBatchJob = faultpoint.New("query.batch.job")
+
+// ctxCheckMask paces the cooperative cancellation checks of the long scans
+// (ExtractCFCtx, ExtractCFRangeCtx): one context poll per 4096 node steps,
+// the same cadence the interpreter uses.
+const ctxCheckMask = 1<<12 - 1
+
+// BatchCtx is Batch with cooperative cancellation and error collection:
+// workers stop claiming jobs once the context dies or any job fails, and the
+// first error (in claiming order for ties, context.Cause on cancellation)
+// is returned after all in-flight jobs finish. A job that panics with a
+// *stream.DecodeError — a lazily loaded stream whose deferred decode failed
+// on first touch — fails the batch with that typed error; any other panic
+// surfaces as a *core.PanicError. Jobs already running when one fails are
+// not interrupted (they hold no cancellation hook), so cancellation latency
+// is one job.
+func BatchCtx(ctx context.Context, workers, n int, job func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	run := func(i int) (err error) {
+		defer recoverQueryPanic(&err)
+		if err := fpBatchJob.Hit(); err != nil {
+			return err
+		}
+		return job(i)
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return context.Cause(ctx)
+			}
+			if err := run(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var failed atomic.Bool
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if failed.Load() || ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := run(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if ctx.Err() != nil {
+		return context.Cause(ctx)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// recoverQueryPanic converts the two panics a query can legitimately hit
+// into returned errors: a lazily loaded stream failing its deferred decode
+// (*stream.DecodeError, kept as-is — it names the failing stream) and
+// anything else a job does (wrapped as *core.PanicError). The query entry
+// points use stream.RecoverDecode directly; BatchCtx uses this wider net
+// because it runs arbitrary caller code.
+func recoverQueryPanic(slot *error) {
+	p := recover()
+	if p == nil {
+		return
+	}
+	if de, ok := p.(*stream.DecodeError); ok {
+		*slot = de
+		return
+	}
+	*slot = &core.PanicError{Op: "query job", Value: p}
+}
+
+// ExtractCFCtx is ExtractCF with cooperative cancellation (polled every 4096
+// node steps) and with deferred-decode failures surfacing as a typed error
+// instead of a panic. A cancelled extraction returns the statements emitted
+// so far together with context.Cause.
+func ExtractCFCtx(ctx context.Context, w *core.WET, tier core.Tier, forward bool, emit func(stmtID int)) (n uint64, err error) {
+	defer stream.RecoverDecode(&err)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// A context dead on entry returns immediately: short traces may never
+	// reach the periodic poll.
+	if ctx.Err() != nil {
+		return 0, context.Cause(ctx)
+	}
+	wk := NewWalker(w, tier)
+	var steps uint64
+	check := func() bool {
+		steps++
+		return steps&ctxCheckMask == 0 && ctx.Err() != nil
+	}
+	if forward {
+		wk.SeekStart()
+		for wk.Forward() {
+			for _, s := range w.Nodes[wk.Node].Stmts {
+				if emit != nil {
+					emit(s.ID)
+				}
+				n++
+			}
+			if check() {
+				return n, context.Cause(ctx)
+			}
+		}
+	} else {
+		wk.SeekEnd()
+		for wk.Backward() {
+			stmts := w.Nodes[wk.Node].Stmts
+			for i := len(stmts) - 1; i >= 0; i-- {
+				if emit != nil {
+					emit(stmts[i].ID)
+				}
+				n++
+			}
+			if check() {
+				return n, context.Cause(ctx)
+			}
+		}
+	}
+	return n, nil
+}
+
+// ExtractCFRangeCtx is ExtractCFRange with cooperative cancellation, at the
+// same 4096-node-step cadence as ExtractCFCtx.
+func ExtractCFRangeCtx(ctx context.Context, w *core.WET, tier core.Tier, fromTS, toTS uint32, emit func(stmtID int)) (n uint64, err error) {
+	defer stream.RecoverDecode(&err)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if fromTS > toTS {
+		return 0, &RangeError{From: fromTS, To: toTS}
+	}
+	if ctx.Err() != nil {
+		return 0, context.Cause(ctx)
+	}
+	if fromTS < 1 {
+		fromTS = 1
+	}
+	if toTS > w.Time {
+		toTS = w.Time
+	}
+	if fromTS > toTS {
+		return 0, nil
+	}
+	wk := NewWalker(w, tier)
+	if err := wk.StartAt(fromTS); err != nil {
+		return 0, err
+	}
+	var steps uint64
+	for {
+		for _, s := range w.Nodes[wk.Node].Stmts {
+			if emit != nil {
+				emit(s.ID)
+			}
+			n++
+		}
+		if steps++; steps&ctxCheckMask == 0 && ctx.Err() != nil {
+			return n, context.Cause(ctx)
+		}
+		if wk.TS() >= toTS || !wk.Forward() {
+			return n, nil
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"wet/internal/core"
+	"wet/internal/stream"
 )
 
 // Instance names one dynamic statement instance in WET coordinates: the
@@ -105,13 +106,15 @@ func BackwardSlice(w *core.WET, tier core.Tier, from Instance, maxInstances int)
 }
 
 // BackwardSliceOpts is BackwardSlice with full options, including the
-// static-CD pruning oracle.
-func BackwardSliceOpts(w *core.WET, tier core.Tier, from Instance, opts SliceOptions) (*SliceResult, error) {
+// static-CD pruning oracle. Deferred-decode failures on a lazily loaded WET
+// surface as a *stream.DecodeError, not a panic.
+func BackwardSliceOpts(w *core.WET, tier core.Tier, from Instance, opts SliceOptions) (res *SliceResult, err error) {
+	defer stream.RecoverDecode(&err)
 	if err := checkInstance(w, from); err != nil {
 		return nil, err
 	}
 	q := newCtx(w, tier)
-	res := &SliceResult{Criterion: from}
+	res = &SliceResult{Criterion: from}
 	seen := map[uint64]bool{pack(from): true}
 	work := []Instance{from}
 	for len(work) > 0 {
@@ -150,13 +153,15 @@ func pack(in Instance) uint64 {
 }
 
 // ForwardSlice computes the forward WET slice: every instance whose
-// computation was influenced by the given instance.
-func ForwardSlice(w *core.WET, tier core.Tier, from Instance, maxInstances int) (*SliceResult, error) {
+// computation was influenced by the given instance. Deferred-decode
+// failures surface as a *stream.DecodeError, not a panic.
+func ForwardSlice(w *core.WET, tier core.Tier, from Instance, maxInstances int) (res *SliceResult, err error) {
+	defer stream.RecoverDecode(&err)
 	if err := checkInstance(w, from); err != nil {
 		return nil, err
 	}
 	q := newCtx(w, tier)
-	res := &SliceResult{Criterion: from}
+	res = &SliceResult{Criterion: from}
 	seen := map[uint64]bool{pack(from): true}
 	work := []Instance{from}
 	for len(work) > 0 {
@@ -226,7 +231,8 @@ func checkInstance(w *core.WET, in Instance) error {
 // InstanceOfTS locates the instance of a static statement executed at the
 // node execution holding timestamp ts (a convenience for picking slicing
 // criteria from a point in time).
-func InstanceOfTS(w *core.WET, tier core.Tier, stmtID int, ts uint32) (Instance, error) {
+func InstanceOfTS(w *core.WET, tier core.Tier, stmtID int, ts uint32) (in Instance, err error) {
+	defer stream.RecoverDecode(&err)
 	for _, ref := range w.StmtOcc[stmtID] {
 		n := w.Nodes[ref.Node]
 		seq := w.TSSeq(n, tier)
@@ -271,12 +277,13 @@ func Chop(w *core.WET, tier core.Tier, from, to Instance, maxInstances int) (*Sl
 // index (or the control dependence when opIdx < 0 yields no DD edge),
 // recording up to maxLen instances. It is the paper's "chains of data
 // dependences ... can all be easily found by traversing the WET" query.
-func DependenceChain(w *core.WET, tier core.Tier, from Instance, opIdx, maxLen int) ([]Instance, error) {
+func DependenceChain(w *core.WET, tier core.Tier, from Instance, opIdx, maxLen int) (chain []Instance, err error) {
+	defer stream.RecoverDecode(&err)
 	if err := checkInstance(w, from); err != nil {
 		return nil, err
 	}
 	q := newCtx(w, tier)
-	chain := []Instance{from}
+	chain = []Instance{from}
 	cur := from
 	for len(chain) < maxLen {
 		n := w.Nodes[cur.Node]

@@ -6,6 +6,7 @@ import (
 
 	"wet/internal/core"
 	"wet/internal/ir"
+	"wet/internal/stream"
 )
 
 // Sample is one element of a per-instruction trace: the global timestamp of
@@ -58,8 +59,10 @@ func (c *occCursor) next() (Sample, bool) {
 // ValueTrace extracts the complete value trace of one static statement in
 // execution order, merging its occurrences across WET nodes by timestamp.
 // This is the paper's "per instruction load value trace" when the statement
-// is a load (Table 7).
-func ValueTrace(w *core.WET, tier core.Tier, stmtID int, emit func(Sample)) (uint64, error) {
+// is a load (Table 7). On a lazily loaded WET, a stream failing its deferred
+// decode surfaces as a *stream.DecodeError, not a panic.
+func ValueTrace(w *core.WET, tier core.Tier, stmtID int, emit func(Sample)) (count uint64, err error) {
+	defer stream.RecoverDecode(&err)
 	refs := w.StmtOcc[stmtID]
 	cursors := make([]*occCursor, 0, len(refs))
 	heads := make([]Sample, 0, len(refs))
@@ -73,7 +76,6 @@ func ValueTrace(w *core.WET, tier core.Tier, stmtID int, emit func(Sample)) (uin
 			heads = append(heads, s)
 		}
 	}
-	var count uint64
 	for len(cursors) > 0 {
 		// Pick the cursor with the smallest head timestamp (occurrence
 		// counts are small: one per path containing the block).
@@ -137,8 +139,10 @@ func addrOperandIndex(st *ir.Stmt) int {
 // execution, the address operand's value (resolved through the DD edge to
 // its producer, per the paper: "addresses ... can be obtained by examining
 // the <t,v> sequences of statements that produce the operands") plus the
-// static displacement.
-func AddressTrace(w *core.WET, tier core.Tier, stmtID int, emit func(Sample)) (uint64, error) {
+// static displacement. Deferred-decode failures surface as a
+// *stream.DecodeError, not a panic.
+func AddressTrace(w *core.WET, tier core.Tier, stmtID int, emit func(Sample)) (count uint64, err error) {
+	defer stream.RecoverDecode(&err)
 	st := w.Prog.Stmts[stmtID]
 	if st.Op != ir.OpLoad && st.Op != ir.OpStore {
 		return 0, fmt.Errorf("query: statement %s is not a memory access", st)

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"wet/internal/core"
+	"wet/internal/stream"
 )
 
 // Walker reconstructs the control flow trace from node timestamps: the node
@@ -220,7 +221,9 @@ func (wk *Walker) SeekStart() {
 }
 
 // StartAt positions the walker on the node execution holding timestamp t.
-func (wk *Walker) StartAt(t uint32) error {
+// Deferred-decode failures surface as a *stream.DecodeError, not a panic.
+func (wk *Walker) StartAt(t uint32) (err error) {
+	defer stream.RecoverDecode(&err)
 	if t < 1 || t > wk.w.Time {
 		return fmt.Errorf("query: timestamp %d outside [1,%d]", t, wk.w.Time)
 	}
@@ -236,7 +239,10 @@ func (wk *Walker) StartAt(t uint32) error {
 // ExtractCF walks the whole control-flow trace in the given direction,
 // invoking emit for every executed statement (in per-node static order; the
 // node-level order is exact execution order). It returns the number of
-// statements visited — times 4 bytes, the paper's CF trace size.
+// statements visited — times 4 bytes, the paper's CF trace size. On a
+// lazily loaded WET a deferred-decode failure panics with a
+// *stream.DecodeError (this signature has no error slot); use ExtractCFCtx
+// to receive it as a typed error instead.
 func ExtractCF(w *core.WET, tier core.Tier, forward bool, emit func(stmtID int)) uint64 {
 	wk := NewWalker(w, tier)
 	var n uint64

@@ -4,7 +4,29 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"wet/internal/faultpoint"
 )
+
+// fpDecode injects deferred-decode failures at first touch, standing in
+// for a forged store that passed structural validation.
+var fpDecode = faultpoint.New("stream.decode")
+
+// DecodeError is the typed failure of a deferred stream decode: a store
+// forged to pass structural validation whose normalization walk failed at
+// first touch. It is the panic value raised by Cursor-producing methods on
+// a lazy stream (the Stream interface has no error returns) and the error
+// returned by Force and TryNewCursor, which recover it.
+type DecodeError struct {
+	Stream string // method name of the failed stream
+	Cause  error
+}
+
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("stream: deferred decode of %s: %v", e.Stream, e.Cause)
+}
+
+func (e *DecodeError) Unwrap() error { return e.Cause }
 
 // lazyStream defers a predictor-backed stream's normalization traversal —
 // the dominant cost of Load — until a cursor first touches it. The header
@@ -24,7 +46,7 @@ type lazyStream struct {
 	done  atomic.Bool
 	force func() (Stream, error) // nil once materialized
 	inner Stream
-	err   error
+	err   *DecodeError
 }
 
 func newLazyStream(name string, m int, size uint64, force func() (Stream, error)) *lazyStream {
@@ -33,15 +55,22 @@ func newLazyStream(name string, m int, size uint64, force func() (Stream, error)
 
 // materialize runs the deferred decode (once) and returns the inner stream.
 // A decode failure — a store forged to pass structural validation — panics
-// with the deferred Load error; Scan documents this trade.
+// with a *DecodeError; Force and TryNewCursor recover it into a returned
+// error, and error-returning query entry points do the same.
 func (l *lazyStream) materialize() Stream {
 	l.once.Do(func() {
-		l.inner, l.err = l.force()
+		if err := fpDecode.Hit(); err != nil {
+			l.err = &DecodeError{Stream: l.name, Cause: err}
+		} else if inner, err := l.force(); err != nil {
+			l.err = &DecodeError{Stream: l.name, Cause: err}
+		} else {
+			l.inner = inner
+		}
 		l.force = nil
 		l.done.Store(true)
 	})
 	if l.err != nil {
-		panic(fmt.Sprintf("stream: deferred decode: %v", l.err))
+		panic(l.err)
 	}
 	return l.inner
 }
@@ -74,4 +103,42 @@ func (l *lazyStream) NewCursor() Cursor { return l.materialize().NewCursor() }
 func Materialized(s Stream) bool {
 	l, ok := s.(*lazyStream)
 	return !ok || l.peek() != nil
+}
+
+// Force materializes a lazy stream now, converting a deferred-decode
+// failure into its typed *DecodeError instead of the panic NewCursor
+// raises. Non-lazy streams return nil immediately.
+func Force(s Stream) (err error) {
+	l, ok := s.(*lazyStream)
+	if !ok {
+		return nil
+	}
+	defer RecoverDecode(&err)
+	l.materialize()
+	return nil
+}
+
+// TryNewCursor is NewCursor with the deferred-decode failure returned as a
+// *DecodeError instead of panicking. Callers holding error returns should
+// prefer it over Stream.NewCursor for streams that may be lazy.
+func TryNewCursor(s Stream) (c Cursor, err error) {
+	defer RecoverDecode(&err)
+	return s.NewCursor(), nil
+}
+
+// RecoverDecode is a deferred helper that converts an in-flight
+// *DecodeError panic into an assignment to *err, re-raising anything else.
+// Error-returning entry points that walk possibly-lazy streams guard with
+//
+//	defer stream.RecoverDecode(&err)
+func RecoverDecode(err *error) {
+	switch p := recover().(type) {
+	case nil:
+	case *DecodeError:
+		if *err == nil {
+			*err = p
+		}
+	default:
+		panic(p)
+	}
 }

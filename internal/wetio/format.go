@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+
+	"wet/internal/core"
 )
 
 // WET format v3 framing: after the 8-byte preamble (magic, version), the
@@ -93,6 +95,11 @@ type SalvageReport struct {
 	// loaded prefix internally consistent (clamped control-flow successor
 	// lists, remapped first/last pointers, dropped shared-label edges).
 	Adjustments []string
+
+	// Degradation records the rungs LoadOptions.MemBudget forced the load
+	// down (nil when no budget was set or nothing was shed). Budget
+	// degradation is not data loss, so it does not affect Clean().
+	Degradation *core.DegradationReport
 }
 
 // Clean reports whether the file loaded without any loss.

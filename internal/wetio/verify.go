@@ -2,6 +2,7 @@ package wetio
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 )
@@ -47,10 +48,17 @@ func (v *VerifyResult) OK() bool {
 // memory. v2 files carry no checksums and return an error: they are
 // unverifiable by construction.
 func Verify(r io.Reader) (*VerifyResult, error) {
-	br := bufio.NewReaderSize(r, 1<<16)
+	return VerifyCtx(context.Background(), r)
+}
+
+// VerifyCtx is Verify with cooperative cancellation: the walk aborts within
+// one buffer refill of the context dying and returns context.Cause.
+func VerifyCtx(ctx context.Context, r io.Reader) (*VerifyResult, error) {
+	ctx = orBackground(ctx)
+	br := bufio.NewReaderSize(loadReader(ctx, r), 1<<16)
 	var m, v uint32
 	if err := readVals(br, &m, &v); err != nil {
-		return nil, &FormatError{Section: "preamble", Cause: err}
+		return nil, ctxCause(ctx, &FormatError{Section: "preamble", Cause: err})
 	}
 	if m != magic {
 		return nil, &FormatError{Section: "preamble", Cause: fmt.Errorf("bad magic %#x", m)}
@@ -81,6 +89,11 @@ func Verify(r io.Reader) (*VerifyResult, error) {
 			res.BadSections++
 		}
 	})
+	// walkSections treats any read error as truncation; a cancelled walk
+	// must report the cancellation, not a phantom torn file.
+	if ctx.Err() != nil {
+		return nil, context.Cause(ctx)
+	}
 	res.TailSkipped, res.Truncated = tail, !sawEnd
 	return res, nil
 }

@@ -30,6 +30,7 @@ package wetio
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -56,8 +57,13 @@ var order = binary.LittleEndian
 // Save writes a frozen WET to w. Single-epoch WETs use format v3 —
 // byte-for-byte the pre-segmentation format — and epoch-segmented WETs
 // (core.WET.Segmented) use format v4, which frames the same section
-// machinery around per-epoch label segments.
+// machinery around per-epoch label segments. See SaveCtx for cancellation
+// and SaveFile for an atomic (crash-safe) destination.
 func Save(w io.Writer, wet *core.WET) error {
+	return saveCtx(context.Background(), w, wet)
+}
+
+func saveCtx(ctx context.Context, w io.Writer, wet *core.WET) error {
 	if !wet.Frozen() {
 		return fmt.Errorf("wetio: WET must be frozen before saving")
 	}
@@ -66,7 +72,7 @@ func Save(w io.Writer, wet *core.WET) error {
 	if v4 {
 		ver = versionV4
 	}
-	bw := bufio.NewWriterSize(w, 1<<16)
+	bw := bufio.NewWriterSize(failWriter{w}, 1<<16)
 	if err := writeVals(bw, magic, ver); err != nil {
 		return err
 	}
@@ -99,7 +105,14 @@ func Save(w io.Writer, wet *core.WET) error {
 		return err
 	}
 
+	// Cancellation granularity is one record section: a cancelled Save
+	// stops at a section boundary (the torn-write recovery tests rely on
+	// boundary-aligned tears being the worst case the salvage loader sees
+	// from a cooperative abort).
 	for _, n := range wet.Nodes {
+		if ctx.Err() != nil {
+			return context.Cause(ctx)
+		}
 		var err error
 		if v4 {
 			err = saveNodePayloadV4(sw, n)
@@ -114,6 +127,9 @@ func Save(w io.Writer, wet *core.WET) error {
 		}
 	}
 	for _, e := range wet.Edges {
+		if ctx.Err() != nil {
+			return context.Cause(ctx)
+		}
 		var err error
 		if v4 {
 			err = saveEdgePayloadV4(sw, e)
@@ -186,6 +202,19 @@ func saveEdgePayload(w io.Writer, e *core.Edge) error {
 
 // LoadOptions tunes Load.
 type LoadOptions struct {
+	// Ctx cancels the load cooperatively: the streaming read aborts within
+	// one buffer refill, section decode between sections, tier-1
+	// rehydration between drain jobs. A cancelled Load returns
+	// context.Cause(Ctx) — never a *FormatError, a cancelled file is not a
+	// corrupt one. Nil means context.Background().
+	Ctx context.Context
+	// MemBudget is a soft ceiling, in bytes, on the load's working set.
+	// When the estimate for the requested options exceeds it, the load
+	// degrades gracefully instead of failing — parallel decode falls back
+	// to serial, tier-1 rehydration is dropped, eager decode falls back to
+	// lazy — and reports what it shed in SalvageReport.Degradation. Zero
+	// means unlimited. See planLoadBudget for the ladder.
+	MemBudget uint64
 	// RestoreTier1 rehydrates the tier-1 slices (by draining each stream
 	// once) so tier-1 queries work on the loaded WET.
 	RestoreTier1 bool
@@ -231,10 +260,10 @@ func Load(r io.Reader, opts LoadOptions) (*core.WET, error) {
 // were read, dropped, or skipped. The report is non-nil whenever the WET
 // is (for clean strict loads it reports zero losses).
 func LoadWithReport(r io.Reader, opts LoadOptions) (*core.WET, *SalvageReport, error) {
-	br := bufio.NewReaderSize(r, 1<<16)
+	br := bufio.NewReaderSize(loadReader(opts.Ctx, r), 1<<16)
 	var m, v uint32
 	if err := readVals(br, &m, &v); err != nil {
-		return nil, nil, &FormatError{Section: "preamble", Cause: err}
+		return nil, nil, ctxCause(opts.Ctx, &FormatError{Section: "preamble", Cause: err})
 	}
 	if m != magic {
 		return nil, nil, &FormatError{Section: "preamble", Cause: fmt.Errorf("bad magic %#x", m)}
@@ -259,7 +288,12 @@ func loadFramed(br io.Reader, opts LoadOptions, v4 bool) (*core.WET, *SalvageRep
 	strict := !opts.Salvage
 	secs, tail, sawEnd, err := scanSections(br, strict)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, ctxCause(opts.Ctx, err)
+	}
+	// scanSections treats read errors as truncation; a load cancelled
+	// mid-scan must report the cancellation, not salvage a phantom prefix.
+	if opts.Ctx != nil && opts.Ctx.Err() != nil {
+		return nil, nil, context.Cause(opts.Ctx)
 	}
 	fileVer := 3
 	if v4 {
@@ -275,10 +309,15 @@ func loadFramed(br io.Reader, opts LoadOptions, v4 bool) (*core.WET, *SalvageRep
 		return nil, nil, &FormatError{Section: "file", Offset: off,
 			Cause: fmt.Errorf("truncated or unframeable past this point: %w", io.ErrUnexpectedEOF)}
 	}
+	// The budget ladder adjusts the options before any decode starts; the
+	// rungs taken (if any) ride along on the report.
+	var deg *core.DegradationReport
+	opts, deg = planLoadBudget(opts, secs)
+	rep.Degradation = deg
 	if strict {
 		w, err := parseStrict(secs, opts, v4)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, ctxCause(opts.Ctx, err)
 		}
 		rep.SectionsRead = len(secs)
 		rep.NodesLoaded, rep.EdgesLoaded = len(w.Nodes), len(w.Edges)
@@ -287,7 +326,7 @@ func loadFramed(br io.Reader, opts LoadOptions, v4 bool) (*core.WET, *SalvageRep
 	opts.Lazy = false // salvage must decode eagerly to find damage
 	w, err := parseSalvage(secs, opts, rep, v4)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, ctxCause(opts.Ctx, err)
 	}
 	return w, rep, nil
 }
@@ -296,6 +335,7 @@ func loadFramed(br io.Reader, opts LoadOptions, v4 bool) (*core.WET, *SalvageRep
 // nNodes nodes, nEdges edges, end — anything else is a FormatError naming
 // the offending section.
 func parseStrict(secs []section, opts LoadOptions, v4 bool) (*core.WET, error) {
+	ctx := orBackground(opts.Ctx)
 	idx := 0
 	take := func(tag uint8) (*section, error) {
 		if idx >= len(secs) {
@@ -363,6 +403,13 @@ func parseStrict(secs []section, opts LoadOptions, v4 bool) (*core.WET, error) {
 	nodes := make([]*core.Node, hdr.nNodes)
 	nodeErrs := make([]error, hdr.nNodes)
 	fan(hdr.nNodes, opts.Workers, func(i int) {
+		// Cancellation granularity on the decode fan is one section: a dead
+		// context skips the remaining sections, and the cause surfaces
+		// through ctxCause in loadFramed rather than as a FormatError.
+		if ctx.Err() != nil {
+			nodeErrs[i] = context.Cause(ctx)
+			return
+		}
 		if v4 {
 			nodes[i], nodeErrs[i] = parseNodeSecV4(nodeSecs[i], st, i, hdr.nNodes, wet, opts)
 		} else {
@@ -382,6 +429,10 @@ func parseStrict(secs []section, opts LoadOptions, v4 bool) (*core.WET, error) {
 	edges := make([]*core.Edge, hdr.nEdges)
 	edgeErrs := make([]error, hdr.nEdges)
 	fan(hdr.nEdges, opts.Workers, func(i int) {
+		if ctx.Err() != nil {
+			edgeErrs[i] = context.Cause(ctx)
+			return
+		}
 		if v4 {
 			edges[i], edgeErrs[i] = parseEdgeSecV4(edgeSecs[i], wet, i, hdr.nEdges, opts)
 		} else {
@@ -422,7 +473,12 @@ func parseStrict(secs []section, opts LoadOptions, v4 bool) (*core.WET, error) {
 	if v4 && opts.RestoreTier1 {
 		// Segmented tier-1 is rehydrated in one pass over the federated
 		// cursors once the whole edge table (share targets included) exists.
-		wet.MaterializeTier1N(opts.Workers)
+		// A deferred-decode failure or cancellation surfaces as the typed
+		// error (a *stream.DecodeError names the stream better than any
+		// section offset could, so it is not re-wrapped as a FormatError).
+		if err := wet.MaterializeTier1Ctx(ctx, opts.Workers); err != nil {
+			return nil, err
+		}
 	}
 	wet.RestoreIndexes(sizeRep)
 	return wet, nil
@@ -637,7 +693,12 @@ func parseSalvage(secs []section, opts LoadOptions, rep *SalvageReport, v4 bool)
 
 	rep.Adjustments = append(rep.Adjustments, wet.SanitizeSalvaged()...)
 	if v4 && opts.RestoreTier1 {
-		wet.MaterializeTier1()
+		// Salvage decoded every stream eagerly, so a drain here cannot hit a
+		// deferred decode; an error would mean an internal inconsistency and
+		// still must not panic out of a salvage load.
+		if err := wet.MaterializeTier1(); err != nil {
+			return nil, err
+		}
 	}
 	wet.RestoreIndexes(sizeRep)
 	return wet, nil

@@ -1,6 +1,7 @@
 package wet
 
 import (
+	"context"
 	"io"
 
 	"wet/internal/wetio"
@@ -10,11 +11,13 @@ import (
 type OpenOption func(*openConfig)
 
 type openConfig struct {
+	ctx        context.Context
 	tier1      bool
 	salvage    bool
 	verifyOnly bool
 	workers    int
 	lazy       bool
+	memBudget  uint64
 }
 
 // WithTier1 rehydrates the tier-1 label arrays on load so tier-1 queries
@@ -42,11 +45,30 @@ func WithWorkers(n int) OpenOption { return func(c *openConfig) { c.workers = n 
 // Framing, checksums, and serialized-state structure are still validated up
 // front, so Open's error contract is unchanged for well-formed framing; a
 // stream whose deferred decode fails (possible only on a forged store that
-// passed its CRC) panics at first touch. Materialization is single-flight
-// and safe under concurrent first touch from parallel queries. Ignored with
-// WithSalvage (damage must be found eagerly) and moot with WithTier1 (tier-1
-// rehydration drains every stream at open).
+// passed its CRC) surfaces a *DecodeError at first touch — as the error
+// return of the query that touched it, or as a typed panic from raw cursor
+// stepping. Materialization is single-flight and safe under concurrent
+// first touch from parallel queries. Ignored with WithSalvage (damage must
+// be found eagerly) and moot with WithTier1 (tier-1 rehydration drains
+// every stream at open).
 func WithLazy() OpenOption { return func(c *openConfig) { c.lazy = true } }
+
+// WithContext makes the open cancellable: the streaming read aborts within
+// one buffer refill of ctx dying, section decode between sections, tier-1
+// rehydration between drain jobs. A cancelled Open returns the context's
+// cancellation cause, never a *FormatError.
+func WithContext(ctx context.Context) OpenOption {
+	return func(c *openConfig) { c.ctx = ctx }
+}
+
+// WithMemBudget sets a soft ceiling, in bytes, on the open's working set.
+// When the requested options would exceed it, the open degrades gracefully
+// instead of failing — parallel decode falls back to serial, tier-1
+// rehydration is dropped, eager decode falls back to lazy — and records the
+// rungs taken in OpenReport.Degradation. Zero means unlimited.
+func WithMemBudget(bytes uint64) OpenOption {
+	return func(c *openConfig) { c.memBudget = bytes }
+}
 
 // OpenReport describes what Open found in the file.
 type OpenReport struct {
@@ -59,6 +81,9 @@ type OpenReport struct {
 	// with WithSalvage. Its Clean method distinguishes intact from lossy
 	// loads.
 	Salvage *SalvageReport
+	// Degradation lists the options WithMemBudget forced the open to shed
+	// (nil when no budget was set or nothing degraded).
+	Degradation *DegradationReport
 }
 
 // Open reads a WET file written by Save (or (*Trace).Save) and returns it
@@ -72,7 +97,8 @@ type OpenReport struct {
 //
 // WithWorkers(n) and WithLazy() tune the decode path — parallel section
 // decode and deferred stream materialization — without changing any observed
-// result.
+// result; WithContext makes it cancellable and WithMemBudget bounds its
+// working set.
 //
 // Options compose (WithSalvage() with WithTier1() salvages and rehydrates),
 // except WithVerifyOnly, which never constructs a trace. Structural or
@@ -83,13 +109,15 @@ func Open(r io.Reader, opts ...OpenOption) (*Trace, *OpenReport, error) {
 		o(&cfg)
 	}
 	if cfg.verifyOnly {
-		res, err := wetio.Verify(r)
+		res, err := wetio.VerifyCtx(cfg.ctx, r)
 		if err != nil {
 			return nil, nil, err
 		}
 		return nil, &OpenReport{Version: res.Version, Verify: res}, nil
 	}
 	w, rep, err := wetio.LoadWithReport(r, wetio.LoadOptions{
+		Ctx:          cfg.ctx,
+		MemBudget:    cfg.memBudget,
 		RestoreTier1: cfg.tier1,
 		Salvage:      cfg.salvage,
 		Workers:      cfg.workers,
@@ -98,7 +126,7 @@ func Open(r io.Reader, opts ...OpenOption) (*Trace, *OpenReport, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	out := &OpenReport{Version: rep.Version}
+	out := &OpenReport{Version: rep.Version, Degradation: rep.Degradation}
 	if cfg.salvage {
 		out.Salvage = rep
 	}

@@ -1,6 +1,7 @@
 package wet
 
 import (
+	"context"
 	"io"
 
 	"wet/internal/core"
@@ -45,7 +46,7 @@ func Run(p *Program, ropts RunOptions, fopts FreezeOptions) (*Trace, *RunResult,
 	if err != nil {
 		return nil, nil, err
 	}
-	iopts := interp.Options{Inputs: ropts.Inputs, MaxSteps: ropts.MaxSteps, Arch: ropts.Arch}
+	iopts := interp.Options{Ctx: ropts.Ctx, Inputs: ropts.Inputs, MaxSteps: ropts.MaxSteps, Arch: ropts.Arch}
 	build := core.BuildStreaming
 	if ropts.CheckDeterminism {
 		build = core.BuildStreamingChecked
@@ -87,6 +88,16 @@ func (t *Trace) Validate() error { return t.w.Validate() }
 
 // Save writes the frozen trace to w (format v3, or v4 when segmented).
 func (t *Trace) Save(w io.Writer) error { return wetio.Save(w, t.w) }
+
+// SaveFile writes the frozen trace to path atomically (temp file + fsync +
+// rename): a crash or failure mid-save leaves any previous file intact.
+func (t *Trace) SaveFile(path string) error { return wetio.SaveFile(path, t.w) }
+
+// SaveFileCtx is SaveFile with cooperative cancellation; a cancelled save
+// removes its temp file and returns context.Cause.
+func (t *Trace) SaveFileCtx(ctx context.Context, path string) error {
+	return wetio.SaveFileCtx(ctx, path, t.w)
+}
 
 // Walker returns a bidirectional control-flow walker at the handle's tier.
 func (t *Trace) Walker() *Walker { return query.NewWalker(t.w, t.tier) }

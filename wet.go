@@ -30,6 +30,7 @@
 package wet
 
 import (
+	"context"
 	"io"
 
 	"wet/internal/asm"
@@ -74,6 +75,11 @@ func Imm(v int64) Operand { return ir.Imm(v) }
 
 // RunOptions configures a profiled run.
 type RunOptions struct {
+	// Ctx cancels the run cooperatively: the interpreter polls it every
+	// 4096 steps, the streaming freeze pipeline between seal jobs. A
+	// cancelled run returns context.Cause(Ctx) with all partially built
+	// state released. Nil means context.Background().
+	Ctx context.Context
 	// Inputs is the tape consumed by input statements.
 	Inputs []int64
 	// MaxSteps bounds the run (0 = a large default).
@@ -123,7 +129,7 @@ func BuildWET(p *Program, opts RunOptions) (*WET, *RunResult, error) {
 		b.CheckDeterminism = true
 		cnt := trace.NewCounting(b)
 		res, err := interp.Run(st, interp.Options{
-			Inputs: opts.Inputs, MaxSteps: opts.MaxSteps, Sink: cnt, Arch: opts.Arch,
+			Ctx: opts.Ctx, Inputs: opts.Inputs, MaxSteps: opts.MaxSteps, Sink: cnt, Arch: opts.Arch,
 		})
 		if err != nil {
 			return nil, res, err
@@ -136,7 +142,7 @@ func BuildWET(p *Program, opts RunOptions) (*WET, *RunResult, error) {
 		return w, res, nil
 	}
 	return core.Build(st, interp.Options{
-		Inputs: opts.Inputs, MaxSteps: opts.MaxSteps, Arch: opts.Arch,
+		Ctx: opts.Ctx, Inputs: opts.Inputs, MaxSteps: opts.MaxSteps, Arch: opts.Arch,
 	})
 }
 
@@ -250,6 +256,16 @@ func CompressBest(vals []uint32) Stream { return stream.CompressBest(vals) }
 // query its own detached cursors.
 func Batch(workers, n int, job func(i int)) { query.Batch(workers, n, job) }
 
+// BatchCtx is Batch with cooperative cancellation and error collection:
+// workers stop claiming jobs once ctx dies or any job fails, and the first
+// error — context.Cause on cancellation — is returned after in-flight jobs
+// finish. A job panicking with a *DecodeError (a lazily opened stream
+// failing its deferred decode) fails the batch with that typed error
+// instead of crashing the process.
+func BatchCtx(ctx context.Context, workers, n int, job func(i int) error) error {
+	return query.BatchCtx(ctx, workers, n, job)
+}
+
 // --- workloads ---
 
 // Workload is one of the nine SpecInt-like benchmark programs.
@@ -300,6 +316,34 @@ const (
 // v4 for epoch-segmented ones. Every section is framed with its length and
 // a CRC32-C.
 func Save(w io.Writer, t *WET) error { return wetio.Save(w, t) }
+
+// SaveFile writes a frozen WET to path atomically: through a temp file in
+// the same directory, fsynced, and renamed over the target only once every
+// section is durable. A crash, disk-full error, or cancellation mid-save
+// leaves any previous file intact; the new file appears all-or-nothing.
+func SaveFile(path string, t *WET) error { return wetio.SaveFile(path, t) }
+
+// SaveFileCtx is SaveFile with cooperative cancellation: the writer stops
+// at a section boundary and returns context.Cause, and the temp file is
+// removed — the destination never observes the tear.
+func SaveFileCtx(ctx context.Context, path string, t *WET) error {
+	return wetio.SaveFileCtx(ctx, path, t)
+}
+
+// DegradationReport lists what a memory budget (WithMemBudget,
+// FreezeOptions.MemBudget) forced a pipeline stage to shed, machine-readable
+// (JSON tags) for tooling.
+type DegradationReport = core.DegradationReport
+
+// DegradationAction is one rung of a DegradationReport.
+type DegradationAction = core.DegradationAction
+
+// DecodeError reports a lazily opened stream whose deferred decode failed
+// at first touch (possible only on a forged store that passed its CRC).
+// Queries return it as an error; raw cursor stepping panics with it — use
+// Force/TryNewCursor from the stream layer, or eager loads, for untrusted
+// files.
+type DecodeError = stream.DecodeError
 
 // Load reads a WET written by Save. With restoreTier1, the tier-1 label
 // arrays are rehydrated so tier-1 queries work too. Structural or checksum
