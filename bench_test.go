@@ -1,4 +1,4 @@
-package wet
+package wet_test
 
 // One benchmark per table and figure of the paper's evaluation, plus
 // ablation benches for the design choices called out in DESIGN.md.

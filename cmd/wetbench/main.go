@@ -11,8 +11,9 @@
 //	wetbench -timeout 10m     # bound the whole run (exit 5 on expiry)
 //	wetbench -epochjson BENCH_epoch.json   # epoch-segmentation memory bench
 //	wetbench -openjson BENCH_open.json     # open/decode-path bench (eager vs lazy vs parallel)
+//	wetbench -servejson BENCH_serve.json   # wetd serving bench (QPS, latency quantiles, cache hit rate)
 //
-// JSON artifacts (-epochjson/-openjson/-freezejson/-queryjson) are written
+// JSON artifacts (-epochjson/-openjson/-servejson/-freezejson/-queryjson) are written
 // atomically: a bench that fails or is interrupted mid-write leaves any
 // previous artifact intact instead of a torn JSON file.
 package main
@@ -72,6 +73,7 @@ func main() {
 	openJSON := flag.String("openjson", "", "run only the open-path bench (cold open eager/lazy/parallel, backward scans) and write its JSON record to this file")
 	openBaseline := flag.String("openbaseline", "", "with -openjson: committed baseline record to compare dimensionless speedups against")
 	openTol := flag.Float64("opentol", 0.20, "with -openbaseline: fail when a speedup falls more than this fraction below the baseline")
+	serveJSON := flag.String("servejson", "", "run only the serving bench (wetd load over a byte-budgeted corpus) and write its JSON record to this file")
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (exit code 5); 0 = no limit")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
@@ -148,6 +150,25 @@ func main() {
 			}
 			fmt.Printf("open bench speedups within %.0f%% of %s\n", 100**openTol, *openBaseline)
 		}
+		return
+	}
+
+	if *serveJSON != "" {
+		// The serve bench sizes itself (exp.DefaultServeBenchStmts) unless
+		// -stmts was given explicitly: its corpus must dwarf the segment
+		// budget, where the suite default targets build throughput.
+		stmtsSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "stmts" {
+				stmtsSet = true
+			}
+		})
+		if !stmtsSet {
+			cfg.TargetStmts = 0
+		}
+		writeArtifact(*serveJSON, "serve bench", func(w io.Writer) error {
+			return exp.WriteServeBenchJSON(cfg, w, progress)
+		})
 		return
 	}
 

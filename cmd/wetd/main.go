@@ -1,0 +1,172 @@
+// Command wetd is the trace-query daemon: it loads a corpus of .wet files
+// and serves them over HTTP/JSON with a segment-granular, byte-budgeted
+// cache — many traces stay addressable while only the decoded state queries
+// actually touch stays resident.
+//
+// Exit codes: 0 ok, 1 error, 2 usage, 3 a corpus file failed integrity
+// checks, 5 cancelled (^C or -timeout).
+//
+// Usage:
+//
+//	wetd -listen :9120 li.wet gzip.wet mcf.wet
+//	wetd -listen :9120 -budget 64MiB -workers 8 -queue 64 traces/*.wet
+//	wetd -bench li,gzip,mcf -listen :9120       # build a demo corpus in-process
+//
+// Endpoints:
+//
+//	GET /healthz                         liveness
+//	GET /metrics                         Prometheus text exposition
+//	GET /v1/stats                        corpus + admission pool counters (JSON)
+//	GET /v1/traces                       served traces and available queries
+//	GET /v1/traces/{key}                 trace info (key, name, or key prefix)
+//	GET /v1/traces/{key}/{query}?...     run a query; see /v1/traces for names
+//
+// ^C (or -timeout) shuts the daemon down gracefully: listeners close,
+// in-flight queries finish, then the process exits with code 5 on timeout
+// or 0 on a clean signal-free exit.
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"wet"
+	"wet/internal/cliutil"
+	"wet/internal/corpus"
+	"wet/internal/serve"
+	"wet/internal/wetio"
+	"wet/internal/workload"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	listen := flag.String("listen", ":9120", "address to serve on")
+	budget := flag.String("budget", "32MiB", "decoded segment cache budget (bytes; supports KiB/MiB/GiB suffixes; 0 = unlimited)")
+	workers := flag.Int("workers", 0, "concurrent query executions (0 = 4)")
+	queue := flag.Int("queue", 0, "queries allowed to wait for a worker before shedding (0 = 4x workers)")
+	deadline := flag.Duration("deadline", 30*time.Second, "per-request deadline")
+	bench := flag.String("bench", "", "comma-separated workload names to build and serve in-process (instead of .wet files)")
+	timeout := flag.Duration("timeout", 0, "shut down after this duration (exit code 5); 0 = run until signalled")
+	flag.Parse()
+
+	budgetBytes, err := parseBytes(*budget)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wetd: %v\n", err)
+		return cliutil.ExitUsage
+	}
+	if flag.NArg() == 0 && *bench == "" {
+		fmt.Fprintln(os.Stderr, "wetd: no corpus: pass .wet files or -bench names")
+		flag.Usage()
+		return cliutil.ExitUsage
+	}
+
+	ctx, stop := cliutil.Context(*timeout)
+	defer stop()
+
+	c := corpus.New(budgetBytes)
+	for _, path := range flag.Args() {
+		e, err := c.AddFile("", path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wetd: %s: %v\n", path, err)
+			var fe *wetio.FormatError
+			if errors.As(err, &fe) {
+				return cliutil.ExitIntegrity
+			}
+			return cliutil.ExitError
+		}
+		fmt.Printf("wetd: loaded %s as %s (%s, %d segments)\n", path, e.Name, e.Key[:12], e.Segs.Len())
+	}
+	for _, name := range splitList(*bench) {
+		if err := addBench(c, name); err != nil {
+			fmt.Fprintf(os.Stderr, "wetd: %v\n", err)
+			return cliutil.ExitError
+		}
+		fmt.Printf("wetd: built and loaded workload %s\n", name)
+	}
+
+	s := serve.New(c, serve.Options{Workers: *workers, Queue: *queue, Deadline: *deadline})
+	srv := &http.Server{Addr: *listen, Handler: s.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("wetd: serving %d traces on %s (budget %s)\n", len(c.Entries()), *listen, *budget)
+
+	select {
+	case <-ctx.Done():
+		shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shctx)
+		if cliutil.IsCancelled(context.Cause(ctx)) {
+			fmt.Fprintln(os.Stderr, "wetd: shut down:", context.Cause(ctx))
+			return cliutil.ExitCancelled
+		}
+		return cliutil.ExitOK
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "wetd: %v\n", err)
+		return cliutil.ExitError
+	}
+}
+
+// addBench builds the named workload in-process and registers it.
+func addBench(c *corpus.Corpus, name string) error {
+	wl, err := workload.ByName(name)
+	if err != nil {
+		return err
+	}
+	prog, in := wl.Build(1)
+	tr, _, err := wet.Run(prog, wet.RunOptions{Inputs: in}, wet.FreezeOptions{EpochTS: 1 << 8})
+	if err != nil {
+		return fmt.Errorf("build %s: %w", name, err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		return fmt.Errorf("save %s: %w", name, err)
+	}
+	_, err = c.Add(name, buf.Bytes())
+	return err
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// parseBytes reads "0", "4096", "64KiB", "32MiB", "1GiB" (and KB/MB/GB as
+// the same power-of-two units).
+func parseBytes(s string) (uint64, error) {
+	t := strings.TrimSpace(s)
+	mult := uint64(1)
+	for _, suf := range []struct {
+		s string
+		m uint64
+	}{{"GiB", 1 << 30}, {"GB", 1 << 30}, {"MiB", 1 << 20}, {"MB", 1 << 20}, {"KiB", 1 << 10}, {"KB", 1 << 10}, {"B", 1}} {
+		if strings.HasSuffix(t, suf.s) {
+			t, mult = strings.TrimSuffix(t, suf.s), suf.m
+			break
+		}
+	}
+	n, err := strconv.ParseUint(strings.TrimSpace(t), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad byte size %q", s)
+	}
+	return n * mult, nil
+}

@@ -1,0 +1,101 @@
+// Command wetdload is the load generator for wetd: it discovers the served
+// traces, drives concurrent clients through a query mix for a fixed
+// duration, and reports throughput, latency quantiles, and the daemon's
+// cache behavior over the run.
+//
+// Exit codes: 0 ok, 1 error (including any failed request), 2 usage,
+// 5 cancelled (^C or -timeout).
+//
+// Usage:
+//
+//	wetdload -addr http://localhost:9120 -clients 8 -duration 10s
+//	wetdload -addr http://localhost:9120 -json load.json
+//	wetdload -addr http://localhost:9120 -mix 'info,cf?limit=8'
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"wet/internal/cliutil"
+	"wet/internal/serve"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", "http://localhost:9120", "wetd base URL")
+	clients := flag.Int("clients", 8, "concurrent client loops")
+	duration := flag.Duration("duration", 10*time.Second, "how long to drive load")
+	mix := flag.String("mix", "", "comma-separated query mix (default: a built-in metadata+extraction rotation)")
+	jsonOut := flag.String("json", "", "also write the result as JSON to this file ('-' = stdout)")
+	failEmpty := flag.Bool("failzerohits", false, "exit 1 if the run produced no cache hits (smoke-test mode)")
+	timeout := flag.Duration("timeout", 0, "abort after this duration (exit code 5); 0 = no limit")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "wetdload: unexpected arguments")
+		flag.Usage()
+		return cliutil.ExitUsage
+	}
+
+	ctx, stop := cliutil.Context(*timeout)
+	defer stop()
+
+	var mixList []string
+	for _, q := range strings.Split(*mix, ",") {
+		if q = strings.TrimSpace(q); q != "" {
+			mixList = append(mixList, q)
+		}
+	}
+	res, err := serve.RunLoad(ctx, serve.LoadOptions{
+		BaseURL:  strings.TrimRight(*addr, "/"),
+		Clients:  *clients,
+		Duration: *duration,
+		Mix:      mixList,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wetdload: %v\n", err)
+		if cliutil.IsCancelled(err) {
+			return cliutil.ExitCancelled
+		}
+		return cliutil.ExitError
+	}
+
+	fmt.Printf("wetdload: %d requests in %.2fs (%.0f qps), %d errors, %d shed\n",
+		res.Requests, res.Seconds, res.QPS, res.Errors, res.Shed)
+	fmt.Printf("wetdload: latency p50 %.2fms p90 %.2fms p99 %.2fms max %.2fms\n",
+		res.P50ms, res.P90ms, res.P99ms, res.MaxMs)
+	fmt.Printf("wetdload: cache hits %d misses %d evictions %d (hit rate %.1f%%)\n",
+		res.CacheHits, res.CacheMisses, res.CacheEvictions, 100*res.HitRate)
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wetdload: %v\n", err)
+			return cliutil.ExitError
+		}
+		data = append(data, '\n')
+		if *jsonOut == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "wetdload: %v\n", err)
+			return cliutil.ExitError
+		}
+	}
+
+	if res.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "wetdload: %d requests failed\n", res.Errors)
+		return cliutil.ExitError
+	}
+	if *failEmpty && res.CacheHits == 0 {
+		fmt.Fprintln(os.Stderr, "wetdload: no cache hits over the run")
+		return cliutil.ExitError
+	}
+	return cliutil.ExitOK
+}

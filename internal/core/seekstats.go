@@ -1,0 +1,53 @@
+package core
+
+import "wet/internal/stream"
+
+// seek is the per-WET cursor-cost counter set; see AttachSeekCounters.
+
+// AttachSeekCounters points every tier-2 stream of the WET — node timestamp
+// streams and segments, group pattern and unique-value streams and
+// segments, edge label streams and segments — at the counter set c, so all
+// cursor seeks over this trace aggregate there (as well as in the
+// deprecated process-wide counters). Lazy and evictable streams forward the
+// attachment to decodes that happen later. Call before the WET is shared
+// across goroutines; attaching twice re-points the accounting.
+func (w *WET) AttachSeekCounters(c *stream.SeekCounters) {
+	w.seek = c
+	attach := func(s stream.Stream) {
+		if s != nil {
+			stream.AttachStats(s, c)
+		}
+	}
+	for _, n := range w.Nodes {
+		attach(n.TSS)
+		for _, sg := range n.TSSegs {
+			attach(sg.S)
+		}
+		for _, g := range n.Groups {
+			attach(g.PatternS)
+			for _, uv := range g.UValS {
+				attach(uv)
+			}
+			for _, sg := range g.PatSegs {
+				attach(sg.S)
+			}
+			for _, segs := range g.UValSegs {
+				for _, sg := range segs {
+					attach(sg.S)
+				}
+			}
+		}
+	}
+	for _, e := range w.Edges {
+		attach(e.DstS)
+		attach(e.SrcS)
+		for _, sg := range e.Segs {
+			attach(sg.DstS)
+			attach(sg.SrcS)
+		}
+	}
+}
+
+// SeekCounters returns the counter set attached to this WET, or nil when
+// none has been attached.
+func (w *WET) SeekCounters() *stream.SeekCounters { return w.seek }

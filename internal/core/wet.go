@@ -230,6 +230,10 @@ type WET struct {
 
 	frozen bool
 	report *SizeReport
+
+	// seek aggregates cursor seek costs across all of this WET's streams
+	// (AttachSeekCounters); nil until attached.
+	seek *stream.SeekCounters
 }
 
 // Segmented reports whether the dynamic profile is stored in per-epoch

@@ -1,0 +1,232 @@
+package corpus
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"wet"
+	"wet/internal/faultpoint"
+	"wet/internal/stream"
+	"wet/internal/workload"
+)
+
+// container builds a workload, runs it through the epoch-segmented
+// pipeline, and returns the saved v4 bytes.
+func container(tb testing.TB, name string, epochTS uint32) []byte {
+	tb.Helper()
+	wl, err := workload.ByName(name)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	prog, in := wl.Build(1)
+	tr, _, err := wet.Run(prog, wet.RunOptions{Inputs: in}, wet.FreezeOptions{EpochTS: epochTS})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// cfDigest fingerprints a trace's forward control-flow walk.
+func cfDigest(tb testing.TB, tr *wet.Trace) uint64 {
+	tb.Helper()
+	var h uint64 = 1469598103934665603
+	tr.ExtractControlFlow(true, func(id int) {
+		h = (h ^ uint64(id)) * 1099511628211
+	})
+	return h
+}
+
+func TestCorpusRegistry(t *testing.T) {
+	li := container(t, "li", 1<<8)
+	gz := container(t, "gzip", 1<<8)
+
+	c := New(0)
+	e1, err := c.Add("li", li)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Add("gzip", gz); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Entries()) != 2 {
+		t.Fatalf("%d entries, want 2", len(c.Entries()))
+	}
+	if e1.Segs.Len() == 0 {
+		t.Fatal("li registered no segments")
+	}
+
+	// Same content under another name dedupes to the existing entry.
+	dup, err := c.Add("li-again", li)
+	if err != nil || dup != e1 {
+		t.Fatalf("duplicate content: entry=%p err=%v, want %p nil", dup, err, e1)
+	}
+	// A taken name with different content is an error.
+	if _, err := c.Add("li", container(t, "mcf", 1<<8)); err == nil {
+		t.Fatal("conflicting name accepted")
+	}
+
+	for _, ref := range []string{"li", e1.Key, e1.Key[:12]} {
+		got, ok := c.Lookup(ref)
+		if !ok || got != e1 {
+			t.Fatalf("Lookup(%q) = %p %v, want %p", ref, got, ok, e1)
+		}
+	}
+	if _, ok := c.Lookup("nope"); ok {
+		t.Fatal("Lookup of unknown ref succeeded")
+	}
+	if _, ok := c.Lookup(e1.Key[:4]); ok {
+		t.Fatal("Lookup accepted a 4-char prefix")
+	}
+}
+
+func TestCorpusBudgetEviction(t *testing.T) {
+	c := New(1 << 12) // 4 KiB of decoded state: far below one trace's total
+	e, err := c.Add("li", container(t, "li", 1<<8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := func() uint64 {
+		tr, _, err := wet.Open(bytes.NewReader(container(t, "li", 1<<8)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cfDigest(t, tr)
+	}()
+
+	for i := 0; i < 3; i++ {
+		if got := cfDigest(t, e.Trace); got != want {
+			t.Fatalf("pass %d digest %#x != uncached %#x", i, got, want)
+		}
+	}
+	// A full forward scan under a tiny LRU is pure thrash (every touch a
+	// miss); two identical point queries back to back must hit.
+	tm := e.Trace.Time()
+	for i := 0; i < 2; i++ {
+		if _, err := e.Trace.ExtractCFRange(tm, tm, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A backward walk repositions segment cursors against their read
+	// direction, so it must register checkpoint seeks.
+	e.Trace.ExtractControlFlow(false, nil)
+
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions under a %d-byte budget (resident %d of %d segs)",
+			c.Budget(), st.ResidentBytes, st.Segments)
+	}
+	if st.Misses == 0 || st.Hits == 0 {
+		t.Fatalf("miss/hit accounting dead: %+v", st)
+	}
+	if st.ResidentBytes > 0 && st.ResidentSegments == 0 {
+		t.Fatalf("accounting skew: %d bytes over 0 segments", st.ResidentBytes)
+	}
+	if st.Seeks == 0 {
+		t.Fatal("per-corpus seek accounting recorded nothing")
+	}
+
+	released := c.EvictAll()
+	if released == 0 {
+		t.Fatal("EvictAll released nothing with segments resident")
+	}
+	if got := c.ResidentBytes(); got != 0 {
+		t.Fatalf("%d bytes resident after EvictAll", got)
+	}
+	if got := cfDigest(t, e.Trace); got != want {
+		t.Fatalf("post-EvictAll digest %#x != %#x", got, want)
+	}
+}
+
+// TestCorpusConcurrentEviction is the serving-path race rehearsal: eight
+// clients hammer a three-trace corpus whose budget forces continuous
+// eviction and reload, and every answer must match the uncached baseline.
+// Run with -race.
+func TestCorpusConcurrentEviction(t *testing.T) {
+	names := []string{"li", "gzip", "mcf"}
+	data := make(map[string][]byte, len(names))
+	baseline := make(map[string]uint64, len(names))
+	for _, n := range names {
+		data[n] = container(t, n, 1<<8)
+		tr, _, err := wet.Open(bytes.NewReader(data[n]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseline[n] = cfDigest(t, tr)
+	}
+
+	c := New(1 << 13) // 8 KiB across three traces: nothing stays resident long
+	entries := make(map[string]*Entry, len(names))
+	for _, n := range names {
+		e, err := c.Add(n, data[n])
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries[n] = e
+	}
+
+	const clients = 8
+	const iters = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < iters; j++ {
+				n := names[(id+j)%len(names)]
+				if got := cfDigest(t, entries[n].Trace); got != baseline[n] {
+					errs <- fmt.Errorf("client %d iter %d: %s digest %#x != %#x", id, j, n, got, baseline[n])
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("budget never evicted (resident %d / budget %d)", st.ResidentBytes, st.Budget)
+	}
+	t.Logf("stats: %+v", st)
+}
+
+func TestCorpusLoadVeto(t *testing.T) {
+	c := New(0)
+	e, err := c.Add("li", container(t, "li", 1<<8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := faultpoint.Arm("corpus.segment.load", faultpoint.Spec{Action: faultpoint.ActErr, Detail: "cold store offline"}); err != nil {
+		t.Fatal(err)
+	}
+	defer faultpoint.DisarmAll()
+
+	_, qerr := e.Trace.ExtractCFRange(1, e.Trace.Time(), nil)
+	var de *stream.DecodeError
+	if !errors.As(qerr, &de) {
+		t.Fatalf("vetoed load returned %v, want *stream.DecodeError", qerr)
+	}
+	var fe *faultpoint.Error
+	if !errors.As(qerr, &fe) || fe.Point != "corpus.segment.load" {
+		t.Fatalf("veto cause lost: %v", qerr)
+	}
+	if c.Vetoes() == 0 {
+		t.Fatal("veto counter not incremented")
+	}
+
+	faultpoint.DisarmAll()
+	if _, err := e.Trace.ExtractCFRange(1, e.Trace.Time(), nil); err != nil {
+		t.Fatalf("query still failing after disarm: %v", err)
+	}
+}

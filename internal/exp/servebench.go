@@ -1,0 +1,164 @@
+package exp
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"time"
+
+	"wet/internal/core"
+	"wet/internal/corpus"
+	"wet/internal/interp"
+	"wet/internal/serve"
+	"wet/internal/wetio"
+	"wet/internal/workload"
+)
+
+// DefaultServeBenchStmts sizes each served trace: long enough that the
+// corpus holds thousands of epoch segments, small enough that CI builds the
+// corpus in seconds.
+const DefaultServeBenchStmts = 120_000
+
+// DefaultServeBenchEpochTS seals the served traces into many small epochs —
+// the residency grain the cache bench is about.
+const DefaultServeBenchEpochTS = uint32(1 << 8)
+
+// DefaultServeBenchBudget bounds decoded segment state below the hot
+// working set of the load mix, so the bench exercises eviction and reload,
+// not just warm hits.
+const DefaultServeBenchBudget = uint64(8 << 10)
+
+// ServeBenchConfig sizes the load run.
+type ServeBenchConfig struct {
+	Clients  int           // concurrent load clients (<=0: 8)
+	Duration time.Duration // load duration (<=0: 8s)
+}
+
+// ServeBenchResult pins the serving path: corpus shape, load throughput,
+// latency quantiles, and cache behavior under a starvation budget.
+type ServeBenchResult struct {
+	Workloads   []string `json:"workloads"`
+	Stmts       uint64   `json:"stmts_per_workload"`
+	Traces      int      `json:"traces"`
+	Segments    int      `json:"segments"`
+	RawBytes    uint64   `json:"raw_bytes"`
+	BudgetBytes uint64   `json:"budget_bytes"`
+	Clients     int      `json:"clients"`
+
+	Load serve.LoadResult `json:"load"`
+
+	// Evictions over the run (daemon-side): nonzero proves the budget
+	// actually cycled segments while the answers stayed correct.
+	Evictions uint64 `json:"evictions"`
+	// Shed counts requests refused at admission over the run.
+	Shed uint64 `json:"shed"`
+	// CleanRun is true when every request answered 2xx.
+	CleanRun bool `json:"clean_run"`
+}
+
+// ServeBench builds a corpus of the configured workloads (default li, gzip,
+// mcf), serves it from an in-process daemon with a deliberately starved
+// segment budget, drives the load generator against it, and reports the
+// measured serving profile.
+func ServeBench(cfg Config, scfg ServeBenchConfig, progress io.Writer) (*ServeBenchResult, error) {
+	if scfg.Clients <= 0 {
+		scfg.Clients = 8
+	}
+	if scfg.Duration <= 0 {
+		scfg.Duration = 8 * time.Second
+	}
+	wls, err := cfg.workloads()
+	if err != nil {
+		return nil, err
+	}
+	if len(cfg.Workloads) == 0 {
+		wls = wls[:0]
+		for _, n := range []string{"li", "gzip", "mcf"} {
+			wl, err := workload.ByName(n)
+			if err != nil {
+				return nil, err
+			}
+			wls = append(wls, wl)
+		}
+	}
+	target := cfg.TargetStmts
+	if target == 0 {
+		target = DefaultServeBenchStmts
+	}
+
+	res := &ServeBenchResult{
+		Stmts:       target,
+		BudgetBytes: DefaultServeBenchBudget,
+		Clients:     scfg.Clients,
+	}
+	c := corpus.New(DefaultServeBenchBudget)
+	for _, wl := range wls {
+		scale, err := workload.ScaleFor(wl, target)
+		if err != nil {
+			return nil, err
+		}
+		prog, in := wl.Build(scale)
+		st, err := interp.Analyze(prog)
+		if err != nil {
+			return nil, fmt.Errorf("servebench %s: %w", wl.Name, err)
+		}
+		w, _, _, err := core.BuildStreaming(st, interp.Options{Inputs: in},
+			core.FreezeOptions{EpochTS: DefaultServeBenchEpochTS})
+		if err != nil {
+			return nil, fmt.Errorf("servebench %s: %w", wl.Name, err)
+		}
+		var buf bytes.Buffer
+		if err := wetio.Save(&buf, w); err != nil {
+			return nil, fmt.Errorf("servebench %s: %w", wl.Name, err)
+		}
+		if _, err := c.Add(wl.Name, buf.Bytes()); err != nil {
+			return nil, err
+		}
+		res.Workloads = append(res.Workloads, wl.Name)
+		if progress != nil {
+			fmt.Fprintf(progress, "servebench: built %s (%d bytes)\n", wl.Name, buf.Len())
+		}
+	}
+
+	s := serve.New(c, serve.Options{Workers: scfg.Clients / 2, Queue: scfg.Clients * 8})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	st0 := c.Stats()
+	if progress != nil {
+		fmt.Fprintf(progress, "servebench: driving %d clients for %v against %s\n",
+			scfg.Clients, scfg.Duration, ts.URL)
+	}
+	load, err := serve.RunLoad(context.Background(), serve.LoadOptions{
+		BaseURL:  ts.URL,
+		Clients:  scfg.Clients,
+		Duration: scfg.Duration,
+	})
+	if err != nil {
+		return nil, err
+	}
+	st1 := c.Stats()
+
+	res.Load = *load
+	res.Traces = st1.Traces
+	res.Segments = st1.Segments
+	res.RawBytes = st1.RawBytes
+	res.Evictions = st1.Evictions - st0.Evictions
+	res.Shed = s.PoolStats().Shed
+	res.CleanRun = load.Errors == 0
+	return res, nil
+}
+
+// WriteServeBenchJSON runs ServeBench with defaults and writes the record.
+func WriteServeBenchJSON(cfg Config, w io.Writer, progress io.Writer) error {
+	res, err := ServeBench(cfg, ServeBenchConfig{}, progress)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}

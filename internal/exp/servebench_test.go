@@ -1,0 +1,54 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"testing"
+	"time"
+)
+
+// TestServeBench runs a short load against a two-workload corpus and checks
+// the record is coherent: traffic flowed, answers were clean, and the
+// starved budget actually cycled segments.
+func TestServeBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := Config{TargetStmts: 60_000, Workloads: []string{"li", "gzip"}}
+	res, err := ServeBench(cfg, ServeBenchConfig{Clients: 4, Duration: 600 * time.Millisecond}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Traces != 2 || res.Segments == 0 {
+		t.Fatalf("corpus shape wrong: %+v", res)
+	}
+	if res.Load.Requests == 0 {
+		t.Fatal("no requests issued")
+	}
+	if !res.CleanRun || res.Load.Errors > 0 {
+		t.Fatalf("load errored: %+v", res.Load)
+	}
+	if res.Evictions == 0 || res.Load.CacheMisses == 0 {
+		t.Fatalf("budget never cycled the cache: %+v", res)
+	}
+
+	// The JSON record round-trips with the pinned field names.
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(res); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"workloads", "budget_bytes", "load", "evictions", "clean_run"} {
+		if _, ok := m[k]; !ok {
+			t.Fatalf("BENCH_serve record missing %q: %v", k, m)
+		}
+	}
+	if _, ok := m["load"].(map[string]any)["p99_ms"]; !ok {
+		t.Fatalf("load record missing p99_ms: %v", m["load"])
+	}
+}

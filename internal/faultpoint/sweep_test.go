@@ -2,8 +2,8 @@ package faultpoint_test
 
 // The failpoint sweep: every registered injection point, crossed with every
 // action it can take, is armed against the full pipeline — build, streaming
-// freeze, atomic save, load, queries — and every injected fault must
-// surface as a typed error. Never a panic, never a hang, never a corrupt
+// freeze, atomic save, load, queries, and the corpus-serving stack — and
+// every injected fault must surface as a typed error. Never a panic, never a hang, never a corrupt
 // file left behind. This is the harness that keeps the failpoint catalog
 // honest: a point that stops being exercised by the pipeline fails the
 // sweep, because an unrehearsed failure path is an untested one.
@@ -16,6 +16,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/url"
 	"os"
 	"path/filepath"
 	"strings"
@@ -23,9 +24,11 @@ import (
 	"time"
 
 	"wet/internal/core"
+	"wet/internal/corpus"
 	"wet/internal/faultpoint"
 	"wet/internal/interp"
 	"wet/internal/query"
+	"wet/internal/serve"
 	"wet/internal/stream"
 	"wet/internal/wetio"
 	"wet/internal/workload"
@@ -130,10 +133,28 @@ func runPipeline(dir, bench string) (err error) {
 	}
 	last := loaded.Nodes[loaded.LastNode]
 	crit := query.Instance{Node: loaded.LastNode, Pos: 0, Ord: last.Execs - 1}
-	return query.BatchCtx(context.Background(), 2, 4, func(i int) error {
+	if err := query.BatchCtx(context.Background(), 2, 4, func(i int) error {
 		_, err := query.BackwardSlice(loaded, core.Tier2, crit, 0)
 		return err
-	})
+	}); err != nil {
+		return err
+	}
+
+	// Serving stage: the same bytes through the corpus registry and the
+	// admission-controlled query service, so corpus.segment.load and
+	// wetd.admit are rehearsed too. The starved budget forces real segment
+	// loads (and so real load vetoes) instead of warm metadata hits.
+	c := corpus.New(1 << 12)
+	if _, err := c.Add(bench, data); err != nil {
+		return err
+	}
+	srv := serve.New(c, serve.Options{Workers: 2, Queue: 8})
+	if _, err := srv.Query(context.Background(), bench, "info", nil); err != nil {
+		return err
+	}
+	_, err = srv.Query(context.Background(), bench, "cfrange",
+		url.Values{"from": {"1"}, "to": {"64"}})
+	return err
 }
 
 // TestFailpointSweep is the registry-driven sweep. For every point ×

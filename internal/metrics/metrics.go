@@ -1,0 +1,376 @@
+// Package metrics is a dependency-free instrumentation kit for the serving
+// path: counters, gauges, and histograms registered in a Registry that
+// renders the Prometheus text exposition format, plus span-style tracing
+// hooks (see trace.go) that record operation durations into histograms.
+//
+// The package deliberately implements the subset the daemon needs — no
+// label cardinality policing, no metric families beyond counter / gauge /
+// histogram — with all hot-path operations lock-free (atomics), so query
+// handlers can Observe on every request without contention.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64 metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an arbitrarily settable int64 metric.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (negative to subtract).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts observations into cumulative buckets, Prometheus-style:
+// bucket i counts observations <= Buckets[i], with an implicit +Inf bucket,
+// a running sum, and a total count.
+type Histogram struct {
+	uppers []float64
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomicFloat
+}
+
+// atomicFloat is a float64 accumulated through CAS on its bit pattern.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+func newHistogram(buckets []float64) *Histogram {
+	ups := append([]float64(nil), buckets...)
+	sort.Float64s(ups)
+	return &Histogram{uppers: ups, counts: make([]atomic.Uint64, len(ups))}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	for i, up := range h.uppers {
+		if v <= up {
+			h.counts[i].Add(1)
+			break
+		}
+	}
+	h.count.Add(1)
+	h.sum.add(v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return h.sum.load() }
+
+// DefBuckets is the default latency ladder in seconds: 100µs to ~10s,
+// roughly trebling.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// metric is one registered family.
+type metric struct {
+	name, help, typ string
+	// render appends exposition lines for every child (or the single
+	// unlabeled instance).
+	render func(w io.Writer) error
+
+	// vec state (nil for unlabeled metrics)
+	labels   []string
+	mu       sync.Mutex
+	children map[string]any // label-values key -> *Counter/*Gauge/*Histogram
+	order    []string       // keys in first-use order
+	make     func() any
+}
+
+// Registry holds the registered metrics and renders them. Registration is
+// not idempotent: registering a name twice panics (a programming error).
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+	names   map[string]bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{names: make(map[string]bool)} }
+
+func (r *Registry) register(m *metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[m.name] {
+		panic(fmt.Sprintf("metrics: duplicate registration of %q", m.name))
+	}
+	r.names[m.name] = true
+	r.metrics = append(r.metrics, m)
+}
+
+// NewCounter registers and returns an unlabeled counter.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&metric{name: name, help: help, typ: "counter", render: func(w io.Writer) error {
+		_, err := fmt.Fprintf(w, "%s %d\n", name, c.Value())
+		return err
+	}})
+	return c
+}
+
+// NewCounterFunc registers a counter whose value is read from fn at scrape
+// time — the bridge for counters owned by another layer (e.g. cache hit
+// counts kept as plain atomics in the corpus). fn must be monotonic.
+func (r *Registry) NewCounterFunc(name, help string, fn func() uint64) {
+	r.register(&metric{name: name, help: help, typ: "counter", render: func(w io.Writer) error {
+		_, err := fmt.Fprintf(w, "%s %d\n", name, fn())
+		return err
+	}})
+}
+
+// NewGauge registers and returns an unlabeled gauge.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(&metric{name: name, help: help, typ: "gauge", render: func(w io.Writer) error {
+		_, err := fmt.Fprintf(w, "%s %d\n", name, g.Value())
+		return err
+	}})
+	return g
+}
+
+// NewGaugeFunc registers a gauge read from fn at scrape time.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() float64) {
+	r.register(&metric{name: name, help: help, typ: "gauge", render: func(w io.Writer) error {
+		_, err := fmt.Fprintf(w, "%s %s\n", name, fmtFloat(fn()))
+		return err
+	}})
+}
+
+// NewHistogram registers and returns an unlabeled histogram with the given
+// bucket upper bounds (nil: DefBuckets).
+func (r *Registry) NewHistogram(name, help string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	h := newHistogram(buckets)
+	r.register(&metric{name: name, help: help, typ: "histogram", render: func(w io.Writer) error {
+		return renderHistogram(w, name, "", h)
+	}})
+	return h
+}
+
+// CounterVec is a counter family keyed by label values.
+type CounterVec struct{ m *metric }
+
+// NewCounterVec registers a labeled counter family.
+func (r *Registry) NewCounterVec(name, help string, labels ...string) *CounterVec {
+	m := &metric{name: name, help: help, typ: "counter", labels: labels,
+		children: make(map[string]any), make: func() any { return &Counter{} }}
+	m.render = func(w io.Writer) error {
+		return renderChildren(w, m, func(w io.Writer, lbl string, child any) error {
+			_, err := fmt.Fprintf(w, "%s{%s} %d\n", name, lbl, child.(*Counter).Value())
+			return err
+		})
+	}
+	r.register(m)
+	return &CounterVec{m: m}
+}
+
+// With returns the child counter for the given label values.
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.m.child(values).(*Counter)
+}
+
+// GaugeVec is a gauge family keyed by label values.
+type GaugeVec struct{ m *metric }
+
+// NewGaugeVec registers a labeled gauge family.
+func (r *Registry) NewGaugeVec(name, help string, labels ...string) *GaugeVec {
+	m := &metric{name: name, help: help, typ: "gauge", labels: labels,
+		children: make(map[string]any), make: func() any { return &Gauge{} }}
+	m.render = func(w io.Writer) error {
+		return renderChildren(w, m, func(w io.Writer, lbl string, child any) error {
+			_, err := fmt.Fprintf(w, "%s{%s} %d\n", name, lbl, child.(*Gauge).Value())
+			return err
+		})
+	}
+	r.register(m)
+	return &GaugeVec{m: m}
+}
+
+// With returns the child gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.m.child(values).(*Gauge)
+}
+
+// HistogramVec is a histogram family keyed by label values.
+type HistogramVec struct{ m *metric }
+
+// NewHistogramVec registers a labeled histogram family (nil buckets:
+// DefBuckets).
+func (r *Registry) NewHistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	m := &metric{name: name, help: help, typ: "histogram", labels: labels,
+		children: make(map[string]any), make: func() any { return newHistogram(buckets) }}
+	m.render = func(w io.Writer) error {
+		return renderChildren(w, m, func(w io.Writer, lbl string, child any) error {
+			return renderHistogram(w, name, lbl, child.(*Histogram))
+		})
+	}
+	r.register(m)
+	return &HistogramVec{m: m}
+}
+
+// With returns the child histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return v.m.child(values).(*Histogram)
+}
+
+// child resolves (creating on first use) the child for the label values.
+func (m *metric) child(values []string) any {
+	if len(values) != len(m.labels) {
+		panic(fmt.Sprintf("metrics: %s wants %d label values, got %d", m.name, len(m.labels), len(values)))
+	}
+	key := labelKey(m.labels, values)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c, ok := m.children[key]; ok {
+		return c
+	}
+	c := m.make()
+	m.children[key] = c
+	m.order = append(m.order, key)
+	return c
+}
+
+func labelKey(labels, values []string) string {
+	var b strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l, escapeLabel(values[i]))
+	}
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func renderChildren(w io.Writer, m *metric, one func(io.Writer, string, any) error) error {
+	m.mu.Lock()
+	keys := append([]string(nil), m.order...)
+	children := make([]any, len(keys))
+	for i, k := range keys {
+		children[i] = m.children[k]
+	}
+	m.mu.Unlock()
+	for i, k := range keys {
+		if err := one(w, k, children[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// renderHistogram writes cumulative buckets, then sum and count. lbl is the
+// pre-rendered label pairs ("" for unlabeled histograms).
+func renderHistogram(w io.Writer, name, lbl string, h *Histogram) error {
+	sep := ""
+	if lbl != "" {
+		sep = ","
+	}
+	var cum uint64
+	for i, up := range h.uppers {
+		cum += h.counts[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, lbl, sep, fmtFloat(up), cum); err != nil {
+			return err
+		}
+	}
+	total := h.Count()
+	if _, err := fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, lbl, sep, total); err != nil {
+		return err
+	}
+	suffix := ""
+	if lbl != "" {
+		suffix = "{" + lbl + "}"
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, suffix, fmtFloat(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, suffix, total)
+	return err
+}
+
+func fmtFloat(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", v), "0"), ".")
+}
+
+// WriteText renders every registered metric in the Prometheus text
+// exposition format (families in registration order, children in first-use
+// order).
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	ms := append([]*metric(nil), r.metrics...)
+	r.mu.Unlock()
+	for _, m := range ms {
+		if m.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, m.typ); err != nil {
+			return err
+		}
+		if err := m.render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler serves the registry as a Prometheus scrape endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}

@@ -1,0 +1,207 @@
+package metrics
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("reqs_total", "requests")
+	g := r.NewGauge("depth", "queue depth")
+	c.Inc()
+	c.Add(4)
+	g.Set(7)
+	g.Add(-2)
+	if c.Value() != 5 || g.Value() != 5 {
+		t.Fatalf("counter=%d gauge=%d, want 5/5", c.Value(), g.Value())
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP reqs_total requests",
+		"# TYPE reqs_total counter",
+		"reqs_total 5",
+		"# TYPE depth gauge",
+		"depth 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFuncMetrics(t *testing.T) {
+	r := NewRegistry()
+	n := uint64(0)
+	r.NewCounterFunc("bridged_total", "", func() uint64 { return n })
+	r.NewGaugeFunc("ratio", "", func() float64 { return 0.25 })
+	n = 42
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "bridged_total 42") {
+		t.Fatalf("counter func not scraped live:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), "ratio 0.25") {
+		t.Fatalf("gauge func missing:\n%s", b.String())
+	}
+}
+
+func TestVecChildren(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("hits_total", "", "method", "code")
+	v.With("GET", "200").Add(3)
+	v.With("GET", "500").Inc()
+	if v.With("GET", "200") != v.With("GET", "200") {
+		t.Fatal("same label values returned distinct children")
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `hits_total{method="GET",code="200"} 3`) ||
+		!strings.Contains(out, `hits_total{method="GET",code="500"} 1`) {
+		t.Fatalf("labeled exposition wrong:\n%s", out)
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("lat_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count %d, want 5", h.Count())
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// Buckets must be cumulative: 1, 3, 4, then +Inf = 5.
+	for _, want := range []string{
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 3`,
+		`lat_seconds_bucket{le="10"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		`lat_seconds_sum 106.05`,
+		`lat_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewHistogramVec("op_seconds", "", []float64{1}, "op")
+	v.With("slice").Observe(0.5)
+	v.With("slice").Observe(2)
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`op_seconds_bucket{op="slice",le="1"} 1`,
+		`op_seconds_bucket{op="slice",le="+Inf"} 2`,
+		`op_seconds_sum{op="slice"} 2.5`,
+		`op_seconds_count{op="slice"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.NewCounter("x", "")
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("up", "").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "up 1") {
+		t.Fatalf("body:\n%s", rec.Body.String())
+	}
+}
+
+func TestTracerSpans(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer(r, "wetd_query", "query latency")
+	var endedOps []string
+	tr.OnEnd = func(op string, _ time.Duration) { endedOps = append(endedOps, op) }
+
+	sp := tr.Start("slice")
+	if tr.InFlight() != 1 {
+		t.Fatalf("inflight %d, want 1", tr.InFlight())
+	}
+	sp.End()
+	sp.End() // idempotent
+	if tr.InFlight() != 0 {
+		t.Fatalf("inflight %d after End, want 0", tr.InFlight())
+	}
+	if len(endedOps) != 1 || endedOps[0] != "slice" {
+		t.Fatalf("OnEnd hook saw %v, want [slice]", endedOps)
+	}
+
+	var nilTr *Tracer
+	nilTr.Start("x").End() // nil tracer and nil span are no-ops
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `wetd_query_seconds_count{op="slice"} 1`) {
+		t.Fatalf("span duration not recorded:\n%s", b.String())
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("h", "", []float64{0.5})
+	c := r.NewCounter("c", "")
+	v := r.NewCounterVec("v", "", "k")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(0.1)
+				c.Inc()
+				v.With("a").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 || c.Value() != 8000 || v.With("a").Value() != 8000 {
+		t.Fatalf("lost updates: h=%d c=%d v=%d", h.Count(), c.Value(), v.With("a").Value())
+	}
+}

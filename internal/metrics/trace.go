@@ -1,0 +1,68 @@
+package metrics
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Tracer hands out spans: lightweight scoped timers that record their
+// duration into a per-operation latency histogram and count in-flight
+// operations. A nil *Tracer is valid and records nothing, so callers can
+// thread one through unconditionally.
+type Tracer struct {
+	lat      *HistogramVec
+	inflight atomic.Int64
+	// OnEnd, when set, observes every finished span (op, duration) — the
+	// hook point for logging or test assertions.
+	OnEnd func(op string, d time.Duration)
+}
+
+// NewTracer registers the tracer's instruments in r under the given metric
+// name prefix (e.g. "wetd_query"): <prefix>_seconds{op=...} histogram and
+// <prefix>_inflight gauge.
+func NewTracer(r *Registry, prefix, help string) *Tracer {
+	t := &Tracer{}
+	t.lat = r.NewHistogramVec(prefix+"_seconds", help, nil, "op")
+	r.NewGaugeFunc(prefix+"_inflight", "operations currently in flight",
+		func() float64 { return float64(t.inflight.Load()) })
+	return t
+}
+
+// Span is one timed operation; finish it with End (idempotent).
+type Span struct {
+	t     *Tracer
+	op    string
+	start time.Time
+	done  atomic.Bool
+}
+
+// Start opens a span for the named operation.
+func (t *Tracer) Start(op string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.inflight.Add(1)
+	return &Span{t: t, op: op, start: time.Now()}
+}
+
+// InFlight returns the number of spans started but not yet ended.
+func (t *Tracer) InFlight() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.inflight.Load()
+}
+
+// End closes the span, recording its duration. Safe on a nil span and safe
+// to call more than once (later calls are no-ops).
+func (s *Span) End() {
+	if s == nil || !s.done.CompareAndSwap(false, true) {
+		return
+	}
+	d := time.Since(s.start)
+	s.t.inflight.Add(-1)
+	s.t.lat.With(s.op).Observe(d.Seconds())
+	if s.t.OnEnd != nil {
+		s.t.OnEnd(s.op, d)
+	}
+}

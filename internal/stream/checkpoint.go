@@ -48,7 +48,7 @@ func ckSpacing(k, m int, stateBits uint64) int {
 // roughly 8 words per step-equivalent.
 func restoreCost(stateWords int) int { return stateWords/8 + 1 }
 
-// SeekStats aggregates the cost of all Cursor.Seek calls process-wide.
+// SeekStats is a snapshot of cumulative seek-cost counters.
 // Counters are cumulative; CLI consumers print deltas around a query.
 type SeekStats struct {
 	// Seeks counts Seek invocations.
@@ -70,27 +70,101 @@ func (s SeekStats) Sub(before SeekStats) SeekStats {
 	}
 }
 
-var (
-	statSeeks    atomic.Uint64
-	statRestores atomic.Uint64
-	statSteps    atomic.Uint64
-)
+// SeekCounters is an attachable per-stream seek-cost sink. A counter set is
+// shared by every stream it is attached to (AttachStats), so one set per
+// trace — or per corpus — aggregates exactly the seeks spent on that trace's
+// cursors. All fields are atomics: cursors on many goroutines update one set
+// without synchronization.
+type SeekCounters struct {
+	seeks    atomic.Uint64
+	restores atomic.Uint64
+	steps    atomic.Uint64
+}
 
-// ReadSeekStats returns the cumulative process-wide seek statistics.
-func ReadSeekStats() SeekStats {
+// Read returns a snapshot of the counters.
+func (c *SeekCounters) Read() SeekStats {
 	return SeekStats{
-		Seeks:    statSeeks.Load(),
-		Restores: statRestores.Load(),
-		Steps:    statSteps.Load(),
+		Seeks:    c.seeks.Load(),
+		Restores: c.restores.Load(),
+		Steps:    c.steps.Load(),
 	}
 }
 
-func noteSeek(restored bool, steps int) {
-	statSeeks.Add(1)
+func (c *SeekCounters) note(restored bool, steps int) {
+	c.seeks.Add(1)
 	if restored {
-		statRestores.Add(1)
+		c.restores.Add(1)
 	}
 	if steps > 0 {
-		statSteps.Add(uint64(steps))
+		c.steps.Add(uint64(steps))
+	}
+}
+
+// AttachStats points s's seek accounting at c (nil detaches). Lazy and
+// evictable streams forward the attachment to their decoded inner stream,
+// including decodes that happen later. Attach before the stream is shared
+// across goroutines: the attachment itself is not synchronized with
+// concurrent cursor traffic.
+func AttachStats(s Stream, c *SeekCounters) {
+	switch t := s.(type) {
+	case *verbatim:
+		t.stats = c
+	case *packed:
+		t.stats = c
+	case *fcmStream:
+		t.stats = c
+	case *lastNStream:
+		t.stats = c
+	case *lazyStream:
+		t.stats = c
+		if inner := t.peek(); inner != nil {
+			AttachStats(inner, c)
+		}
+	case *Evictable:
+		t.stats = c
+		if inner := t.resident(); inner != nil {
+			AttachStats(inner, c)
+		}
+	}
+}
+
+// StatsOf returns the counter set attached to s, or nil.
+func StatsOf(s Stream) *SeekCounters {
+	switch t := s.(type) {
+	case *verbatim:
+		return t.stats
+	case *packed:
+		return t.stats
+	case *fcmStream:
+		return t.stats
+	case *lastNStream:
+		return t.stats
+	case *lazyStream:
+		return t.stats
+	case *Evictable:
+		return t.stats
+	}
+	return nil
+}
+
+// The process-wide aggregate counters behind ReadSeekStats. Per-stream
+// attachments update these too, so the deprecated global view stays a true
+// superset of every per-trace set.
+var globalSeekStats SeekCounters
+
+// ReadSeekStats returns the cumulative process-wide seek statistics.
+//
+// Deprecated: the process-wide aggregate is meaningless when several traces
+// are served from one process — attach a SeekCounters per trace
+// (AttachStats) and read that instead. Kept as a shim for single-trace CLI
+// consumers.
+func ReadSeekStats() SeekStats {
+	return globalSeekStats.Read()
+}
+
+func noteSeek(c *SeekCounters, restored bool, steps int) {
+	globalSeekStats.note(restored, steps)
+	if c != nil {
+		c.note(restored, steps)
 	}
 }

@@ -295,6 +295,7 @@ type fcmStream struct {
 	cks    []fcmCk  // ascending by pos; [0] is the start state, last is pos m
 	size   uint64
 	ckBits uint64
+	stats  *SeekCounters // per-trace seek accounting; nil = global only
 }
 
 func (s *fcmStream) Len() int               { return s.m }
@@ -553,7 +554,7 @@ func (c *fcmCursor) Seek(i int) {
 		panic(fmt.Sprintf("stream: seek to %d outside [0,%d]", i, c.s.m))
 	}
 	if i == c.pos {
-		noteSeek(false, 0)
+		noteSeek(c.s.stats, false, 0)
 		return
 	}
 	walk := i - c.pos
@@ -574,5 +575,5 @@ func (c *fcmCursor) Seek(i int) {
 		c.Prev()
 		steps++
 	}
-	noteSeek(restored, steps)
+	noteSeek(c.s.stats, restored, steps)
 }

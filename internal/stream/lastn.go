@@ -200,6 +200,7 @@ type lastNStream struct {
 	cks     []lastNCk
 	size    uint64
 	ckBits  uint64
+	stats   *SeekCounters // per-trace seek accounting; nil = global only
 }
 
 func (s *lastNStream) Len() int               { return s.m }
@@ -445,7 +446,7 @@ func (c *lastNCursor) Seek(i int) {
 		panic(fmt.Sprintf("stream: seek to %d outside [0,%d]", i, c.s.m))
 	}
 	if i == c.pos {
-		noteSeek(false, 0)
+		noteSeek(c.s.stats, false, 0)
 		return
 	}
 	walk := i - c.pos
@@ -466,7 +467,7 @@ func (c *lastNCursor) Seek(i int) {
 		c.Prev()
 		steps++
 	}
-	noteSeek(restored, steps)
+	noteSeek(c.s.stats, restored, steps)
 }
 
 // --- verbatim ---
@@ -474,7 +475,8 @@ func (c *lastNCursor) Seek(i int) {
 // verbatim stores the stream uncompressed; the selection fallback for
 // streams no predictor helps with. It is trivially immutable.
 type verbatim struct {
-	vals []uint32
+	vals  []uint32
+	stats *SeekCounters
 }
 
 func newVerbatim(vals []uint32) *verbatim {
@@ -543,5 +545,5 @@ func (c *verbatimCursor) Seek(i int) {
 		panic(fmt.Sprintf("stream: seek to %d outside [0,%d]", i, len(c.v.vals)))
 	}
 	c.pos = i
-	noteSeek(false, 0)
+	noteSeek(c.v.stats, false, 0)
 }

@@ -47,6 +47,10 @@ type lazyStream struct {
 	force func() (Stream, error) // nil once materialized
 	inner Stream
 	err   *DecodeError
+
+	// stats is forwarded to the inner stream when the decode runs; attach
+	// (AttachStats) before the stream is shared across goroutines.
+	stats *SeekCounters
 }
 
 func newLazyStream(name string, m int, size uint64, force func() (Stream, error)) *lazyStream {
@@ -64,6 +68,7 @@ func (l *lazyStream) materialize() Stream {
 		} else if inner, err := l.force(); err != nil {
 			l.err = &DecodeError{Stream: l.name, Cause: err}
 		} else {
+			AttachStats(inner, l.stats)
 			l.inner = inner
 		}
 		l.force = nil
@@ -98,23 +103,31 @@ func (l *lazyStream) CheckpointBits() uint64 {
 
 func (l *lazyStream) NewCursor() Cursor { return l.materialize().NewCursor() }
 
-// Materialized reports whether s is fully decoded: false only for a stream
-// returned by Scan whose first touch has not happened yet.
+// Materialized reports whether s is fully decoded: false for a stream
+// returned by Scan whose first touch has not happened yet, and for an
+// Evictable whose decoded state is dropped or was never built.
 func Materialized(s Stream) bool {
-	l, ok := s.(*lazyStream)
-	return !ok || l.peek() != nil
+	switch t := s.(type) {
+	case *lazyStream:
+		return t.peek() != nil
+	case *Evictable:
+		return t.Resident()
+	}
+	return true
 }
 
-// Force materializes a lazy stream now, converting a deferred-decode
-// failure into its typed *DecodeError instead of the panic NewCursor
-// raises. Non-lazy streams return nil immediately.
+// Force materializes a lazy or evictable stream now, converting a
+// deferred-decode failure into its typed *DecodeError instead of the panic
+// NewCursor raises. Other streams return nil immediately.
 func Force(s Stream) (err error) {
-	l, ok := s.(*lazyStream)
-	if !ok {
-		return nil
+	switch t := s.(type) {
+	case *lazyStream:
+		defer RecoverDecode(&err)
+		t.materialize()
+	case *Evictable:
+		defer RecoverDecode(&err)
+		t.acquire()
 	}
-	defer RecoverDecode(&err)
-	l.materialize()
 	return nil
 }
 

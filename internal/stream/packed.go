@@ -14,6 +14,7 @@ type packed struct {
 	data  bitvec
 	width uint
 	m     int
+	stats *SeekCounters
 }
 
 func newPacked(vals []uint32) *packed {
@@ -110,5 +111,5 @@ func (c *packedCursor) Seek(i int) {
 		panic(fmt.Sprintf("stream: seek to %d outside [0,%d]", i, c.p.m))
 	}
 	c.pos = i
-	noteSeek(false, 0)
+	noteSeek(c.p.stats, false, 0)
 }

@@ -27,6 +27,10 @@ func Save(w io.Writer, s Stream) error {
 		return t.save(w)
 	case *lazyStream:
 		return Save(w, t.materialize())
+	case *Evictable:
+		// The retained bytes ARE the serialized form; no decode needed.
+		_, err := w.Write(t.raw)
+		return err
 	}
 	return fmt.Errorf("stream: cannot serialize %T", s)
 }

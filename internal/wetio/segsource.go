@@ -1,0 +1,130 @@
+package wetio
+
+import (
+	"sync"
+
+	"wet/internal/stream"
+)
+
+// SegmentSource indexes the individually-decodable label streams of a
+// loaded container. When LoadOptions.Segments is set, a strict framed load
+// (v3 or v4) validates every stream structurally but materializes none:
+// each predictor-backed stream comes back as a *stream.Evictable retaining
+// its exact serialized bytes, decoded on first cursor touch and re-decodable
+// after eviction. The source is the handle a cache uses to enumerate the
+// container's segments, install residency hooks, and account residency.
+//
+// For a v4 container each entry is one epoch segment (the residency grain
+// the epoch-segmented format was built for); for a v3 container each entry
+// is one whole-run stream. Verbatim and packed streams — whose decoded form
+// is their payload, with no normalization cost to reclaim — load eagerly as
+// before and are not indexed.
+//
+// Registration happens concurrently from the section-decode worker pool, so
+// entry order is unspecified.
+type SegmentSource struct {
+	mu   sync.Mutex
+	segs []Segment
+}
+
+// Segment is one evictable stream of the container.
+type Segment struct {
+	// Owner names the section the stream belongs to ("node 12", "edge 480").
+	Owner string
+	// Epoch is the segment's epoch, or -1 for a whole-run (v3) stream.
+	Epoch int
+	// Ev is the stream itself, registered in the owning WET's node/edge
+	// tables and shared with every cursor over it.
+	Ev *stream.Evictable
+}
+
+// NewSegmentSource returns an empty source to pass in LoadOptions.Segments.
+func NewSegmentSource() *SegmentSource { return &SegmentSource{} }
+
+func (ss *SegmentSource) add(owner string, epoch int, ev *stream.Evictable) {
+	ss.mu.Lock()
+	ss.segs = append(ss.segs, Segment{Owner: owner, Epoch: epoch, Ev: ev})
+	ss.mu.Unlock()
+}
+
+// Len returns the number of indexed segments.
+func (ss *SegmentSource) Len() int {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return len(ss.segs)
+}
+
+// Segments returns a copy of the index.
+func (ss *SegmentSource) Segments() []Segment {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return append([]Segment(nil), ss.segs...)
+}
+
+// SetHooks installs h on every indexed segment. Call after the load
+// completes and before the trace is shared across goroutines.
+func (ss *SegmentSource) SetHooks(h stream.ResidencyHooks) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	for _, sg := range ss.segs {
+		sg.Ev.SetHooks(h)
+	}
+}
+
+// ResidentCount returns how many segments currently hold decoded state.
+func (ss *SegmentSource) ResidentCount() int {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	n := 0
+	for _, sg := range ss.segs {
+		if sg.Ev.Resident() {
+			n++
+		}
+	}
+	return n
+}
+
+// ResidentBytes sums the decoded weight of the resident segments.
+func (ss *SegmentSource) ResidentBytes() uint64 {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	var b uint64
+	for _, sg := range ss.segs {
+		b += sg.Ev.ResidentBytes()
+	}
+	return b
+}
+
+// RawBytes sums the retained serialized bytes — the source's permanent
+// residency floor.
+func (ss *SegmentSource) RawBytes() uint64 {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	var b uint64
+	for _, sg := range ss.segs {
+		b += uint64(sg.Ev.RawBytes())
+	}
+	return b
+}
+
+// EvictAll drops every decoded segment, returning the bytes released.
+func (ss *SegmentSource) EvictAll() uint64 {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	var b uint64
+	for _, sg := range ss.segs {
+		b += sg.Ev.Evict()
+	}
+	return b
+}
+
+// ForceAll decodes every segment now (the uncached baseline), returning the
+// first failure.
+func (ss *SegmentSource) ForceAll() error {
+	for _, sg := range ss.Segments() {
+		if err := stream.Force(sg.Ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}

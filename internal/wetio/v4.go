@@ -163,6 +163,7 @@ func loadLabelSegs(sr *secReader, epochs, wantTotal int, what string, opts LoadO
 		if n == 0 {
 			return nil, fmt.Errorf("%s segment (epoch %d) empty", what, epoch)
 		}
+		opts.segEpoch = int(epoch)
 		s, err := loadStream(sr, opts)
 		if err != nil {
 			return nil, err
@@ -181,6 +182,9 @@ func loadLabelSegs(sr *secReader, epochs, wantTotal int, what string, opts LoadO
 
 func parseNodeSecV4(s *section, st *interp.Static, id, nNodes int, wet *core.WET, opts LoadOptions) (*core.Node, error) {
 	var node *core.Node
+	if opts.Segments != nil {
+		opts.segOwner, opts.segEpoch = fmt.Sprintf("node %d", id), -1
+	}
 	err := guard(fmt.Sprintf("node %d", id), s.offset, func() error {
 		sr := newSecReader(s)
 		var fn int32
@@ -250,6 +254,9 @@ func parseNodeSecV4(s *section, st *interp.Static, id, nNodes int, wet *core.WET
 
 func parseEdgeSecV4(s *section, wet *core.WET, id, nEdges int, opts LoadOptions) (*core.Edge, error) {
 	var edge *core.Edge
+	if opts.Segments != nil {
+		opts.segOwner, opts.segEpoch = fmt.Sprintf("edge %d", id), -1
+	}
 	err := guard(fmt.Sprintf("edge %d", id), s.offset, func() error {
 		sr := newSecReader(s)
 		var kind, inferable, diagonal uint8
@@ -315,6 +322,7 @@ func parseEdgeSecV4(s *section, wet *core.WET, id, nEdges int, opts LoadOptions)
 				}
 				sg.SharedWith, sg.SharedSeg = int(ow), int(os)
 			case segDiagonal, 0:
+				opts.segEpoch = int(epoch)
 				if sg.DstS, err = loadStream(sr, opts); err != nil {
 					return err
 				}

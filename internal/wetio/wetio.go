@@ -247,6 +247,21 @@ type LoadOptions struct {
 	// of failing the load (use VerifyStreams or an eager load for untrusted
 	// files). Ignored on the salvage path, which must find damage eagerly.
 	Lazy bool
+	// Segments indexes the container for segment-granular residency: every
+	// predictor-backed stream loads as a *stream.Evictable (serialized bytes
+	// retained, decode deferred like Lazy, decoded state droppable and
+	// rebuildable) and is registered in the given source with its owning
+	// section and epoch. Framed strict loads only: ignored on the salvage
+	// path (damage must be found eagerly), on v2 files (no framing to
+	// capture byte ranges from), and under VerifyStreams (certification
+	// requires the decode).
+	Segments *SegmentSource
+
+	// segOwner/segEpoch carry the registering section's identity down to
+	// loadStream; the parse functions set them on their local copy of the
+	// options.
+	segOwner string
+	segEpoch int
 }
 
 // Load reads a WET written by Save. Failures are reported as *FormatError
@@ -323,7 +338,8 @@ func loadFramed(br io.Reader, opts LoadOptions, v4 bool) (*core.WET, *SalvageRep
 		rep.NodesLoaded, rep.EdgesLoaded = len(w.Nodes), len(w.Edges)
 		return w, rep, nil
 	}
-	opts.Lazy = false // salvage must decode eagerly to find damage
+	opts.Lazy = false   // salvage must decode eagerly to find damage
+	opts.Segments = nil // ditto: evictable streams would defer the decode
 	w, err := parseSalvage(secs, opts, rep, v4)
 	if err != nil {
 		return nil, nil, ctxCause(opts.Ctx, err)
@@ -784,6 +800,9 @@ func parseReportSec(s *section) (*core.SizeReport, error) {
 
 func parseNodeSec(s *section, st *interp.Static, id, nNodes int, opts LoadOptions) (*core.Node, error) {
 	var node *core.Node
+	if opts.Segments != nil {
+		opts.segOwner, opts.segEpoch = fmt.Sprintf("node %d", id), -1
+	}
 	err := guard(fmt.Sprintf("node %d", id), s.offset, func() error {
 		sr := newSecReader(s)
 		var fn int32
@@ -865,6 +884,9 @@ func parseNodeSec(s *section, st *interp.Static, id, nNodes int, opts LoadOption
 
 func parseEdgeSec(s *section, wet *core.WET, id, nEdges int, opts LoadOptions) (*core.Edge, error) {
 	var edge *core.Edge
+	if opts.Segments != nil {
+		opts.segOwner, opts.segEpoch = fmt.Sprintf("edge %d", id), -1
+	}
 	err := guard(fmt.Sprintf("edge %d", id), s.offset, func() error {
 		sr := newSecReader(s)
 		var kind, inferable, diagonal uint8
@@ -952,7 +974,24 @@ func fan(n, workers int, fn func(i int)) {
 // loadStream deserializes one stream, optionally certifying full
 // traversability (LoadOptions.VerifyStreams) or deferring the decode until
 // first touch (LoadOptions.Lazy; structural validation still happens here).
+// With LoadOptions.Segments the stream additionally keeps its serialized
+// bytes and registers in the segment index, so its decoded state can be
+// evicted and rebuilt later.
 func loadStream(r io.Reader, opts LoadOptions) (stream.Stream, error) {
+	if opts.Segments != nil && !opts.VerifyStreams {
+		if sr, ok := r.(*secReader); ok {
+			start := sr.off
+			s, err := stream.Scan(sr)
+			if err != nil {
+				return nil, err
+			}
+			if ev := stream.NewEvictableFromScan(s, sr.sec.payload[start:sr.off]); ev != nil {
+				opts.Segments.add(opts.segOwner, opts.segEpoch, ev)
+				return ev, nil
+			}
+			return s, nil
+		}
+	}
 	if opts.Lazy && !opts.VerifyStreams {
 		return stream.Scan(r)
 	}

@@ -18,6 +18,7 @@ type openConfig struct {
 	workers    int
 	lazy       bool
 	memBudget  uint64
+	segments   *SegmentSource
 }
 
 // WithTier1 rehydrates the tier-1 label arrays on load so tier-1 queries
@@ -59,6 +60,24 @@ func WithLazy() OpenOption { return func(c *openConfig) { c.lazy = true } }
 // cancellation cause, never a *FormatError.
 func WithContext(ctx context.Context) OpenOption {
 	return func(c *openConfig) { c.ctx = ctx }
+}
+
+// SegmentSource indexes a container's individually-decodable label streams
+// for segment-granular residency; see WithSegments.
+type SegmentSource = wetio.SegmentSource
+
+// NewSegmentSource returns an empty segment index to pass to WithSegments.
+func NewSegmentSource() *SegmentSource { return wetio.NewSegmentSource() }
+
+// WithSegments indexes the container into ss as it opens: every
+// predictor-backed stream (for a v4 container, every epoch segment) loads
+// with its serialized bytes retained and its decode deferred, and its
+// decoded state can later be evicted and rebuilt on demand — the mechanism
+// behind byte-budgeted multi-trace serving. Implies the structural-scan
+// load path of WithLazy; ignored with WithSalvage and WithVerifyOnly, and
+// on v2 files.
+func WithSegments(ss *SegmentSource) OpenOption {
+	return func(c *openConfig) { c.segments = ss }
 }
 
 // WithMemBudget sets a soft ceiling, in bytes, on the open's working set.
@@ -122,6 +141,7 @@ func Open(r io.Reader, opts ...OpenOption) (*Trace, *OpenReport, error) {
 		Salvage:      cfg.salvage,
 		Workers:      cfg.workers,
 		Lazy:         cfg.lazy,
+		Segments:     cfg.segments,
 	})
 	if err != nil {
 		return nil, nil, err

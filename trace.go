@@ -27,10 +27,15 @@ type Trace struct {
 
 // NewTrace wraps an already-built WET in a handle. The tier defaults to
 // Tier2 when the WET is frozen and Tier1 otherwise; override with AtTier.
+// A frozen WET without seek accounting gets a fresh per-trace counter set
+// attached here (read it with SeekStats).
 func NewTrace(w *WET) *Trace {
 	t := &Trace{w: w, tier: Tier1}
 	if w.Frozen() {
 		t.tier = Tier2
+		if w.SeekCounters() == nil {
+			w.AttachSeekCounters(new(SeekCounters))
+		}
 	}
 	return t
 }
@@ -55,7 +60,7 @@ func Run(p *Program, ropts RunOptions, fopts FreezeOptions) (*Trace, *RunResult,
 	if err != nil {
 		return nil, res, err
 	}
-	return &Trace{w: w, tier: Tier2}, res, nil
+	return NewTrace(w), res, nil
 }
 
 // WET returns the underlying whole execution trace for use with the
@@ -70,6 +75,17 @@ func (t *Trace) AtTier(tier Tier) *Trace { return &Trace{w: t.w, tier: tier} }
 
 // Report returns the compression size report (nil before Freeze).
 func (t *Trace) Report() *SizeReport { return t.w.Report() }
+
+// SeekStats returns this trace's cumulative cursor seek statistics (seeks
+// issued, checkpoint restores used, steps walked) — the per-trace
+// replacement for the deprecated process-wide ReadSeekStats. Zero when the
+// trace carries no counter set (an unfrozen WET wrapped by NewTrace).
+func (t *Trace) SeekStats() SeekStats {
+	if c := t.w.SeekCounters(); c != nil {
+		return c.Read()
+	}
+	return SeekStats{}
+}
 
 // Segmented reports whether the trace was built epoch-segmented.
 func (t *Trace) Segmented() bool { return t.w.Segmented() }

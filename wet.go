@@ -236,12 +236,20 @@ type Stream = stream.Stream
 // rather than the distance travelled).
 type Cursor = stream.Cursor
 
-// SeekStats aggregates process-wide cursor seek counters; see ReadSeekStats.
+// SeekStats is a snapshot of cursor seek counters (seeks issued, checkpoint
+// restores used, steps walked); see Trace.SeekStats and ReadSeekStats.
 type SeekStats = stream.SeekStats
 
-// ReadSeekStats returns cumulative cursor seek statistics (seeks issued,
-// checkpoint restores used, steps walked) across all streams. Useful for
-// observing checkpoint effectiveness under -v style reporting.
+// SeekCounters is a per-trace seek-cost counter set; every trace returned
+// by Open carries one (Trace.SeekStats reads it).
+type SeekCounters = stream.SeekCounters
+
+// ReadSeekStats returns cumulative cursor seek statistics across all
+// streams of the whole process.
+//
+// Deprecated: the process-wide aggregate conflates every open trace — in a
+// multi-trace process use Trace.SeekStats, which reads the per-trace
+// counter set. Kept as a shim for single-trace CLI consumers.
 func ReadSeekStats() SeekStats { return stream.ReadSeekStats() }
 
 // CompressBest compresses vals with the best of the predictor pool
