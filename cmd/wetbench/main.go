@@ -12,8 +12,9 @@
 //	wetbench -epochjson BENCH_epoch.json   # epoch-segmentation memory bench
 //	wetbench -openjson BENCH_open.json     # open/decode-path bench (eager vs lazy vs parallel)
 //	wetbench -servejson BENCH_serve.json   # wetd serving bench (QPS, latency quantiles, cache hit rate)
+//	wetbench -racejson BENCH_race.json     # race-detection bench (compressed-bytes-scanned vs raw events)
 //
-// JSON artifacts (-epochjson/-openjson/-servejson/-freezejson/-queryjson) are written
+// JSON artifacts (-epochjson/-openjson/-servejson/-freezejson/-queryjson/-racejson) are written
 // atomically: a bench that fails or is interrupted mid-write leaves any
 // previous artifact intact instead of a torn JSON file.
 package main
@@ -74,6 +75,7 @@ func main() {
 	openBaseline := flag.String("openbaseline", "", "with -openjson: committed baseline record to compare dimensionless speedups against")
 	openTol := flag.Float64("opentol", 0.20, "with -openbaseline: fail when a speedup falls more than this fraction below the baseline")
 	serveJSON := flag.String("servejson", "", "run only the serving bench (wetd load over a byte-budgeted corpus) and write its JSON record to this file")
+	raceJSON := flag.String("racejson", "", "run only the race-detection bench (concurrent workload variants, seeded-race ground truth) and write its JSON record to this file")
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (exit code 5); 0 = no limit")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
@@ -168,6 +170,25 @@ func main() {
 		}
 		writeArtifact(*serveJSON, "serve bench", func(w io.Writer) error {
 			return exp.WriteServeBenchJSON(cfg, w, progress)
+		})
+		return
+	}
+
+	if *raceJSON != "" {
+		// The race bench sizes itself (exp.DefaultRaceBenchStmts) unless
+		// -stmts was given explicitly: the checker's one-pass scan does not
+		// need paper-table run lengths.
+		stmtsSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "stmts" {
+				stmtsSet = true
+			}
+		})
+		if !stmtsSet {
+			cfg.TargetStmts = 0
+		}
+		writeArtifact(*raceJSON, "race bench", func(w io.Writer) error {
+			return exp.WriteRaceBenchJSON(cfg, w, progress)
 		})
 		return
 	}

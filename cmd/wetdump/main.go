@@ -120,6 +120,10 @@ func runVerifySemantic(f *os.File) int {
 	}
 	fmt.Printf("bytes: ok (%d sections)\nstructure: ok\n", len(res.Bytes.Sections))
 	rep := res.Semantic
+	if rep.Skipped != "" {
+		fmt.Printf("semantics: skipped (%s)\n", rep.Skipped)
+		return cliutil.ExitOK
+	}
 	for _, fd := range rep.Findings {
 		fmt.Println(fd)
 	}
@@ -145,6 +149,19 @@ func dump(w *core.WET, paths int, sliceTS uint, dotFile string) {
 		for e, st := range epochSegStats(w) {
 			fmt.Printf("  epoch %-4d %5d segments %10d payload bytes  decoded %d/%d\n",
 				e, st.segs, st.bytes, st.decoded, st.segs)
+		}
+	}
+	// Concurrency streams appear only on concurrent traces; files from
+	// before the streams existed load with Conc == nil and dump as before.
+	if c := w.Conc; c != nil {
+		fmt.Printf("concurrency  %d threads, %d sync events, %d shared accesses\n",
+			c.NumThreads(), c.SyncEvents(), c.SharedAccesses())
+		for _, ns := range c.Named() {
+			var bits uint64
+			if ns.CS.S != nil {
+				bits = ns.CS.S.SizeBits()
+			}
+			fmt.Printf("  %-12s %7d records %10d compressed bits\n", ns.Name, ns.CS.Len(), bits)
 		}
 	}
 	fmt.Println()

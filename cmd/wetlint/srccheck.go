@@ -148,7 +148,7 @@ func parseLintDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
 			continue
 		}
-		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, 0)
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if err != nil {
 			return nil, fmt.Errorf("parse %s: %w", filepath.Join(dir, name), err)
 		}
@@ -178,11 +178,45 @@ func parseLintDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
 	return files, nil
 }
 
-// kernelChecks flags wall-clock reads and math/rand in deterministic kernel
-// code. Both are syntactic: an import of math/rand is a finding by itself,
-// and any call through the "time" package named Now is a finding.
+// boundedMark is the SRC004 exemption marker: a comment containing it on
+// the `go` statement's own line or the line directly above vouches that the
+// spawn is a bounded-pool worker (the comment should name the bound).
+const boundedMark = "wetlint:bounded"
+
+// kernelChecks flags wall-clock reads, math/rand, and unpooled goroutine
+// spawns in deterministic kernel code. All are syntactic: an import of
+// math/rand is a finding by itself, any call through the "time" package
+// named Now is a finding, and any `go` statement is a finding unless a
+// wetlint:bounded comment vouches for it (the bounded-pool exemption,
+// SRC001's collect-then-sort in comment form).
 func kernelChecks(fset *token.FileSet, f *ast.File) []srcFinding {
 	var out []srcFinding
+	exempt := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, boundedMark) {
+				line := fset.Position(c.Pos()).Line
+				exempt[line] = true
+				exempt[line+1] = true
+			}
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		pos := fset.Position(gs.Pos())
+		if exempt[pos.Line] {
+			return true
+		}
+		out = append(out, srcFinding{
+			Pos:  pos.String(),
+			Rule: sanalysis.RuleSrcBareGo,
+			Msg:  fmt.Sprintf("go statement: %s", sanalysis.RuleDescriptions[sanalysis.RuleSrcBareGo]),
+		})
+		return true
+	})
 	timeName := ""
 	for _, imp := range f.Imports {
 		path := strings.Trim(imp.Path.Value, `"`)

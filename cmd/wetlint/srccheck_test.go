@@ -149,6 +149,42 @@ func Pick(n int) int { return rand.Intn(n) }
 	}
 }
 
+func TestBareGoFlagged(t *testing.T) {
+	root := stage(t, map[string]string{
+		"internal/core/spawn.go": `package core
+
+func Fire(f func()) {
+	go f()
+}
+`,
+	})
+	fs := lintTree(t, root)
+	if got := countRule(fs, sanalysis.RuleSrcBareGo); got != 1 {
+		t.Fatalf("SRC004 findings = %d, want 1 (%v)", got, fs)
+	}
+}
+
+func TestBoundedPoolExempt(t *testing.T) {
+	// The marker comment exempts the line it sits on and the line below, so
+	// both annotation styles pass.
+	root := stage(t, map[string]string{
+		"internal/stream/pool.go": `package stream
+
+func Pool(workers int, job func()) {
+	for i := 0; i < workers; i++ {
+		// wetlint:bounded — one worker per pool slot.
+		go job()
+	}
+	go job() // wetlint:bounded — drain goroutine, one per pool.
+}
+`,
+	})
+	fs := lintTree(t, root)
+	if got := countRule(fs, sanalysis.RuleSrcBareGo); got != 0 {
+		t.Fatalf("SRC004 findings on exempted spawns = %d, want 0 (%v)", got, fs)
+	}
+}
+
 func TestOutOfScopeDirsIgnored(t *testing.T) {
 	// The same hazards outside the scoped trees are not this lint's business.
 	root := stage(t, map[string]string{

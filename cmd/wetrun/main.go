@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +32,8 @@ func fatal(err error) {
 
 func main() {
 	bench := flag.String("bench", "gzip", "workload name (go gcc li gzip mcf parser vortex bzip2 twolf)")
+	conc := flag.Bool("conc", false, "treat -bench as a concurrent variant name (li-conc-racy, li-conc-clean, gzip-conc-..., mcf-conc-...)")
+	seed := flag.Uint64("seed", 0, "thread scheduler seed for -conc runs (0 = default interleaving)")
 	stmts := flag.Uint64("stmts", 400_000, "target dynamic statements")
 	scale := flag.Int("scale", 0, "fixed scale (overrides -stmts)")
 	census := flag.Bool("census", false, "print the tier-2 method selection census")
@@ -47,6 +50,20 @@ func main() {
 	// released, and an interrupted -o save leaves no torn file behind.
 	ctx, stop := cliutil.Context(*timeout)
 	defer stop()
+
+	if *conc {
+		cw, err := workload.ConcByName(*bench)
+		if err != nil {
+			fatal(err)
+		}
+		run, err := exp.BuildConcRun(cw, *stmts, *workers, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		report(ctx, workload.Workload{Name: cw.Name, Mimics: cw.Mimics}, run,
+			*certify, *outFile, *census)
+		return
+	}
 
 	w, err := workload.ByName(*bench)
 	if err != nil {
@@ -85,21 +102,31 @@ func main() {
 		}
 	}
 
+	report(ctx, w, run, *certify, *outFile, *census)
+}
+
+// report certifies/saves the built trace as requested and prints the run
+// summary (shared by the sequential and -conc paths).
+func report(ctx context.Context, w workload.Workload, run *exp.Run, certify bool, outFile string, census bool) {
 	wet, rep := run.W, run.Rep
-	if *certify {
+	if certify {
 		if err := wet.Certify(); err != nil {
 			fmt.Fprintln(os.Stderr, "wetrun:", err)
 			os.Exit(3)
 		}
-		fmt.Println("certified: trace is semantically consistent with its program")
+		if wet.Conc != nil {
+			fmt.Println("certified: structure only (sequential semantic replay is skipped on concurrent traces)")
+		} else {
+			fmt.Println("certified: trace is semantically consistent with its program")
+		}
 	}
-	if *outFile != "" {
+	if outFile != "" {
 		// Atomic save: temp file + fsync + rename, so an interrupted or
 		// failed save never leaves a torn .wet behind.
-		if err := wetio.SaveFileCtx(ctx, *outFile, wet); err != nil {
+		if err := wetio.SaveFileCtx(ctx, outFile, wet); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("saved WET to %s\n", *outFile)
+		fmt.Printf("saved WET to %s\n", outFile)
 	}
 	fmt.Printf("benchmark    %s (%s)\n", w.Name, w.Mimics)
 	fmt.Printf("statements   %d dynamic (scale %d)\n", run.Stmts, run.Scale)
@@ -109,10 +136,14 @@ func main() {
 	if wet.Segmented() {
 		fmt.Printf("epochs       %d sealed at %d timestamps each\n", wet.Epochs, wet.EpochTS)
 	}
+	if c := wet.Conc; c != nil {
+		fmt.Printf("concurrency  %d threads, %d sync events, %d shared accesses\n",
+			c.NumThreads(), c.SyncEvents(), c.SharedAccesses())
+	}
 	fmt.Printf("edges        %d static dependence edges\n", len(wet.Edges))
 	fmt.Println()
 	fmt.Print(rep.String())
-	if *census {
+	if census {
 		fmt.Println()
 		names := make([]string, 0, len(rep.Methods))
 		for name := range rep.Methods {

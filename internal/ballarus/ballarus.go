@@ -144,7 +144,11 @@ func (p *Profile) findRemovedEdges(perBlock bool) map[int64]bool {
 		return removed
 	}
 	for _, b := range f.Blocks {
-		if b.Term().Op == ir.OpCall {
+		// Calls and sync operations terminate their Ball-Larus path: the
+		// effect happens between the path that ends at the op and the path
+		// that resumes at its continuation (for sync ops, possibly with
+		// other threads' paths in between).
+		if op := b.Term().Op; op == ir.OpCall || op.IsSync() {
 			removed[edgeKey(b.ID, 0)] = true
 		}
 	}

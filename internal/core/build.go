@@ -41,6 +41,13 @@ type Builder struct {
 	fopts   FreezeOptions
 	pipe    *freezePool
 
+	// Concurrency capture (conc.go): the owning thread of the path being
+	// built and the sync / shared-access events buffered since the last
+	// PathDone. Inert (and the WET's Conc nil) until the first such event.
+	concTid  int32
+	pendSync []pendSyncEvent
+	pendAcc  []pendAccEvent
+
 	// CheckDeterminism re-verifies the tier-1 value-grouping invariant on
 	// every execution: a repeated input tuple must reproduce the stored
 	// values exactly.
@@ -163,6 +170,9 @@ func (b *Builder) flushPath(fn int, pathID int64) error {
 	}
 	b.prevNode = node.ID
 	b.w.LastNode = node.ID
+	if err := b.concFlush(); err != nil {
+		return err
+	}
 
 	// Record instance locations and dependence edge labels.
 	for i := range b.pending {
@@ -259,9 +269,20 @@ func (b *Builder) labelValues(node *Node) error {
 			for mi, pos := range g.ValMembers {
 				g.UVals[mi] = append(g.UVals[mi], uint32(b.pending[pos].value))
 			}
+			if b.CheckDeterminism && len(g.ValMembers) > 0 {
+				if g.checkVals == nil {
+					g.checkVals = make([][]uint32, len(g.ValMembers))
+				}
+				for mi, pos := range g.ValMembers {
+					g.checkVals[mi] = append(g.checkVals[mi], uint32(b.pending[pos].value))
+				}
+			}
 		} else if b.CheckDeterminism {
+			// Compare against the retained copy, not UVals: the streaming
+			// pipeline seals UVals away per epoch, leaving only the keys map
+			// behind, while idx stays a run-global index.
 			for mi, pos := range g.ValMembers {
-				if got, want := uint32(b.pending[pos].value), g.UVals[mi][idx]; got != want {
+				if got, want := uint32(b.pending[pos].value), g.checkVals[mi][idx]; got != want {
 					return fmt.Errorf("core: determinism violation at %s: value %d, stored %d (inputs %v)",
 						b.pending[pos].st, got, want, g.Inputs)
 				}
@@ -304,8 +325,12 @@ func (b *Builder) node(fn int, pathID int64) (*Node, error) {
 
 // isInputClass reports whether a statement's result is an input to the node
 // (the paper's "input statements": reads whose value cannot be derived from
-// other inputs).
-func isInputClass(op ir.Op) bool { return op == ir.OpLoad || op == ir.OpInput }
+// other inputs). Shared loads can observe other threads' stores and spawn
+// results depend on global scheduling order, so both are inputs — otherwise
+// the value-grouping determinism invariant would not hold for them.
+func isInputClass(op ir.Op) bool {
+	return op == ir.OpLoad || op == ir.OpInput || op == ir.OpLoadSh || op == ir.OpSpawn
+}
 
 // formGroups performs the paper's §3.2 static grouping for one node:
 // compute each statement's transitive input set, group statements with
@@ -504,8 +529,9 @@ func Build(st *interp.Static, opts interp.Options) (*WET, *interp.Result, error)
 	return w, res, nil
 }
 
-// Ensure Builder satisfies trace.Sink.
+// Ensure Builder satisfies trace.Sink and its concurrency extension.
 var _ trace.Sink = (*Builder)(nil)
+var _ trace.ConcSink = (*Builder)(nil)
 
 // Ensure the slice cursor satisfies both fast paths like stream cursors
 // satisfy Seq + Seeker.

@@ -365,6 +365,11 @@ func (w *WET) FreezeErr(opts FreezeOptions) (*SizeReport, error) {
 		})
 	}
 
+	// --- Concurrency streams (outside the paper's size tables; conc.go).
+	if w.Conc != nil {
+		concFreezeJobs(w.Conc, ck, &jobs)
+	}
+
 	if err := runJobsCtx(ctx, jobs, opts.Workers); err != nil {
 		w.releasePartialTier2()
 		return nil, err
@@ -384,6 +389,9 @@ func (w *WET) FreezeErr(opts FreezeOptions) (*SizeReport, error) {
 		}
 		for _, e := range w.Edges {
 			e.DstOrd, e.SrcOrd = nil, nil
+		}
+		if w.Conc != nil {
+			w.Conc.dropTier1()
 		}
 	}
 	w.frozen = true
@@ -405,6 +413,9 @@ func (w *WET) releasePartialTier2() {
 	}
 	for _, e := range w.Edges {
 		e.DstS, e.SrcS = nil, nil
+	}
+	if w.Conc != nil {
+		w.Conc.releaseTier2()
 	}
 }
 
@@ -447,6 +458,9 @@ func (w *WET) checkpointBytes() uint64 {
 			add(sg.DstS)
 			add(sg.SrcS)
 		}
+	}
+	if w.Conc != nil {
+		bits += w.Conc.checkpointBits()
 	}
 	return (bits + 7) / 8
 }
@@ -529,6 +543,7 @@ func runJobsCtx(ctx context.Context, jobs []func(sc *stream.Scratch), workers in
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
+		// wetlint:bounded — one worker per pool slot, capped by the workers arg.
 		go func() {
 			defer wg.Done()
 			sc := stream.NewScratch()

@@ -119,6 +119,9 @@ func (w *WET) MaterializeTier1Ctx(ctx context.Context, workers int) error {
 			e.SrcOrd = drain(s)
 		})
 	}
+	if w.Conc != nil {
+		jobs = append(jobs, func(*stream.Scratch) { w.Conc.materializeTier1() })
+	}
 	return runJobsCtx(ctx, jobs, workers)
 }
 

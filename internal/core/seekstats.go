@@ -46,6 +46,9 @@ func (w *WET) AttachSeekCounters(c *stream.SeekCounters) {
 			attach(sg.SrcS)
 		}
 	}
+	if w.Conc != nil {
+		w.Conc.attach(attach)
+	}
 }
 
 // SeekCounters returns the counter set attached to this WET, or nil when

@@ -100,6 +100,7 @@ func newFreezePool(ctx context.Context, workers int) *freezePool {
 	p := &freezePool{ctx: ctx, jobs: make(chan func(*stream.Scratch), workers*2)}
 	for i := 0; i < workers; i++ {
 		p.wg.Add(1)
+		// wetlint:bounded — one worker per pool slot, capped at GOMAXPROCS.
 		go func() {
 			defer p.wg.Done()
 			sc := stream.NewScratch()
@@ -359,6 +360,22 @@ func (b *Builder) finishStreaming() error {
 	w := b.w
 	w.EpochTS = e
 	w.Epochs = int((uint64(b.time) + uint64(e) - 1) / uint64(e))
+
+	// Concurrency streams are whole-run (not epoch-segmented; see conc.go),
+	// so they compress here, after the per-epoch pool has drained. Streaming
+	// implies DropTier1, and that applies to them too.
+	if w.Conc != nil {
+		ctx := b.fopts.Ctx
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		var jobs []func(sc *stream.Scratch)
+		concFreezeJobs(w.Conc, b.fopts.CheckpointK, &jobs)
+		if err := runJobsCtx(ctx, jobs, b.fopts.Workers); err != nil {
+			return err
+		}
+		w.Conc.dropTier1()
+	}
 
 	// Whole-run inference: an edge whose every segment is inferable and
 	// that fired on every node execution carries exactly the labels the

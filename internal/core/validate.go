@@ -23,6 +23,11 @@ func (w *WET) Validate() error {
 			return err
 		}
 	}
+	if w.Conc != nil {
+		if err := w.validateConc(); err != nil {
+			return err
+		}
+	}
 	seen := make(map[uint32]bool, w.Time)
 	for _, n := range w.Nodes {
 		if !w.Segmented() && (n.TSS == nil || n.TSS.Len() != n.Execs) {

@@ -132,6 +132,10 @@ type Group struct {
 	// Pattern[k] indexes UVals[*] for the node's k-th execution.
 	Pattern []uint32
 	keys    map[string]uint32
+	// checkVals retains every unique value under Builder.CheckDeterminism:
+	// the streaming pipeline seals UVals away per epoch, so the invariant
+	// re-verification needs its own globally indexed copy. Nil otherwise.
+	checkVals [][]uint32
 	// restoredKeys carries the unique-key count for deserialized groups
 	// whose keys map was not persisted.
 	restoredKeys int
@@ -227,6 +231,11 @@ type WET struct {
 	// 0 means single-epoch. Epochs is the number of epochs sealed.
 	EpochTS uint32
 	Epochs  int
+
+	// Conc holds the concurrency streams of a multi-threaded run (conc.go);
+	// nil on single-threaded traces, whose representation and serialized
+	// bytes are unchanged by the concurrency extension.
+	Conc *Conc
 
 	frozen bool
 	report *SizeReport

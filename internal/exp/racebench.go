@@ -1,0 +1,219 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"wet/internal/core"
+	"wet/internal/interp"
+	"wet/internal/racecheck"
+	"wet/internal/workload"
+)
+
+// DefaultRaceBenchStmts sizes the race bench workloads. The race checker is
+// one monotone pass over the concurrency streams, so the bench does not need
+// paper-table run lengths to measure its scan ratio; this keeps the full
+// six-variant ladder (racy and clean flavour per base) inside a CI minute.
+const DefaultRaceBenchStmts = 150_000
+
+// RaceBenchRow is one concurrent workload variant: what the checker scanned,
+// what it found, and whether the findings match the variant's seeded
+// expectation (racy flavours must report definite races, clean flavours must
+// report nothing at all).
+type RaceBenchRow struct {
+	Name  string `json:"name"`
+	Base  string `json:"base"`
+	Racy  bool   `json:"racy"`
+	Stmts uint64 `json:"stmts"`
+
+	Threads        int `json:"threads"`
+	SyncEvents     int `json:"sync_events"`
+	SharedAccesses int `json:"shared_accesses"`
+
+	// RawEventBytes is the uncompressed size of the concurrency record
+	// streams (u32 records: one per owned timestamp, four per sync event,
+	// five per shared access) — what a checker without the tier-2 streams
+	// would have to scan.
+	RawEventBytes uint64 `json:"raw_event_bytes"`
+	// CompressedBytes is the tier-2 compressed size of those same streams,
+	// the bytes the cursor walk actually covers.
+	CompressedBytes uint64 `json:"compressed_bytes"`
+	// ScanRatio is CompressedBytes / RawEventBytes.
+	ScanRatio float64 `json:"scan_ratio"`
+
+	BuildMS float64 `json:"build_ms"`
+	CheckMS float64 `json:"check_ms"`
+
+	RC001 int `json:"rc001"`
+	RC002 int `json:"rc002"`
+	RC003 int `json:"rc003"`
+	// Expected records whether the report matches the seeded ground truth.
+	Expected bool `json:"expected"`
+}
+
+// RaceBenchResult is the BENCH_race.json record.
+type RaceBenchResult struct {
+	Stmts uint64         `json:"stmts"`
+	Rows  []RaceBenchRow `json:"rows"`
+	// AllExpected is the CI gate: every racy variant reported definite
+	// races and every clean variant reported nothing.
+	AllExpected bool `json:"all_expected"`
+}
+
+// concScaleFor calibrates a concurrent variant's scale for a statement
+// target, separating fixed setup cost from the per-scale increment (the
+// ConcWorkload twin of workload.ScaleFor).
+func concScaleFor(wl workload.ConcWorkload, targetStmts uint64) (int, error) {
+	steps := func(scale int) (uint64, error) {
+		p, in := wl.Build(scale)
+		st, err := interp.Analyze(p)
+		if err != nil {
+			return 0, err
+		}
+		res, err := interp.Run(st, interp.Options{Inputs: in})
+		if err != nil {
+			return 0, err
+		}
+		return res.Steps, nil
+	}
+	s1, err := steps(1)
+	if err != nil {
+		return 0, err
+	}
+	s2, err := steps(2)
+	if err != nil {
+		return 0, err
+	}
+	if s2 <= s1 {
+		return 0, fmt.Errorf("conc workload %s does not scale (%d vs %d steps)", wl.Name, s1, s2)
+	}
+	if targetStmts <= s1 {
+		return 1, nil
+	}
+	perScale := s2 - s1
+	return 1 + int((targetStmts-s1+perScale-1)/perScale), nil
+}
+
+// BuildConcRun executes one concurrent workload variant at the target
+// length and constructs its frozen WET (the wetrun -conc path). The seed
+// drives the deterministic thread scheduler; the same seed replays the same
+// interleaving bit-for-bit.
+func BuildConcRun(wl workload.ConcWorkload, targetStmts uint64, workers int, seed uint64) (*Run, error) {
+	scale, err := concScaleFor(wl, targetStmts)
+	if err != nil {
+		return nil, err
+	}
+	prog, in := wl.Build(scale)
+	st, err := interp.Analyze(prog)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	wet, res, err := core.Build(st, interp.Options{Inputs: in, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	rep := wet.Freeze(core.FreezeOptions{Workers: workers})
+	return &Run{
+		Name:      wl.Name,
+		Stmts:     res.Steps,
+		Scale:     scale,
+		W:         wet,
+		Rep:       rep,
+		BuildTime: time.Since(start),
+	}, nil
+}
+
+// RaceBench builds every concurrent workload variant, freezes it, runs the
+// race checker over the tier-2 streams, and reports scan sizes, findings,
+// and the seeded-expectation verdicts.
+func RaceBench(cfg Config, progress io.Writer) (*RaceBenchResult, error) {
+	target := cfg.TargetStmts
+	if target == 0 {
+		target = DefaultRaceBenchStmts
+	}
+	res := &RaceBenchResult{Stmts: target, AllExpected: true}
+	for _, wl := range workload.ConcAll() {
+		if progress != nil {
+			fmt.Fprintf(progress, "racebench: %s\n", wl.Name)
+		}
+		scale, err := concScaleFor(wl, target)
+		if err != nil {
+			return nil, err
+		}
+		prog, in := wl.Build(scale)
+		st, err := interp.Analyze(prog)
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		w, ires, err := core.Build(st, interp.Options{Inputs: in})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := w.FreezeErr(core.FreezeOptions{Workers: cfg.Workers}); err != nil {
+			return nil, err
+		}
+		buildMS := float64(time.Since(t0).Microseconds()) / 1000
+		t0 = time.Now()
+		rep, err := racecheck.Check(w, core.Tier2)
+		if err != nil {
+			return nil, err
+		}
+		checkMS := float64(time.Since(t0).Microseconds()) / 1000
+		row := RaceBenchRow{
+			Name:           wl.Name,
+			Base:           wl.Base,
+			Racy:           wl.Racy,
+			Stmts:          ires.Steps,
+			Threads:        rep.Threads,
+			SyncEvents:     rep.SyncEvents,
+			SharedAccesses: rep.SharedAccesses,
+			RawEventBytes: 4 * (uint64(w.Time) +
+				4*uint64(rep.SyncEvents) + 5*uint64(rep.SharedAccesses)),
+			CompressedBytes: (rep.CompressedBits + 7) / 8,
+			BuildMS:         buildMS,
+			CheckMS:         checkMS,
+			RC001:           rep.Count(racecheck.RuleWriteWrite),
+			RC002:           rep.Count(racecheck.RuleReadWrite),
+			RC003:           rep.Count(racecheck.RuleLockset),
+		}
+		if row.RawEventBytes > 0 {
+			row.ScanRatio = float64(row.CompressedBytes) / float64(row.RawEventBytes)
+		}
+		if wl.Racy {
+			row.Expected = rep.Racy()
+		} else {
+			row.Expected = len(rep.Races) == 0
+		}
+		if !row.Expected {
+			res.AllExpected = false
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// WriteRaceBenchJSON runs RaceBench and writes its JSON record (the
+// BENCH_race.json CI artifact).
+func WriteRaceBenchJSON(cfg Config, w io.Writer, progress io.Writer) error {
+	res, err := RaceBench(cfg, progress)
+	if err != nil {
+		return err
+	}
+	if !res.AllExpected {
+		// Still write the record (the artifact shows which variant broke),
+		// but fail the bench: the seeded ground truth is the race gate.
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			return err
+		}
+		return fmt.Errorf("racebench: race reports do not match the seeded ground truth")
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}

@@ -1,0 +1,42 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestRaceBenchGroundTruth pins the CI race gate at test scale: every racy
+// variant reports definite races, every clean variant reports nothing, and
+// the compressed scan is strictly smaller than the raw event bytes.
+func TestRaceBenchGroundTruth(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRaceBenchJSON(Config{TargetStmts: 8_000}, &buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var res RaceBenchResult
+	if err := json.Unmarshal(buf.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllExpected {
+		t.Fatalf("race reports do not match the seeded ground truth: %+v", res.Rows)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (racy and clean flavour per base)", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.CompressedBytes == 0 || row.RawEventBytes == 0 {
+			t.Fatalf("%s: zero scan sizes: %+v", row.Name, row)
+		}
+		if row.ScanRatio >= 1 {
+			t.Fatalf("%s: compressed scan (%d B) not smaller than raw events (%d B)",
+				row.Name, row.CompressedBytes, row.RawEventBytes)
+		}
+		if row.Racy && (row.RC001 == 0 || row.RC002 == 0) {
+			t.Fatalf("%s: racy variant missing definite findings: %+v", row.Name, row)
+		}
+		if !row.Racy && row.RC001+row.RC002+row.RC003 != 0 {
+			t.Fatalf("%s: clean variant reported findings: %+v", row.Name, row)
+		}
+	}
+}

@@ -157,6 +157,70 @@ func (fb *FuncBuilder) Call(dst Reg, callee string, args ...Operand) Reg {
 	return dst
 }
 
+// Spawn emits dst = spawn callee(args...): the callee starts running as a
+// new thread and dst receives its thread id. Like Call, the spawn
+// terminates the current block and building continues in the continuation.
+func (fb *FuncBuilder) Spawn(dst Reg, callee string, args ...Operand) Reg {
+	fb.emit(&Stmt{Op: OpSpawn, Dest: dst, CalleeName: callee, Args: args})
+	cont := fb.newBlock()
+	fb.cur.Succs = []int{cont.ID}
+	fb.cur = cont
+	return dst
+}
+
+// Join emits dst = join(tid): block until the thread named by tid halts,
+// then deliver its return value to dst (pass NoReg to discard it). The join
+// must be the only statement of its block, so the builder closes the
+// current block with a jump first.
+func (fb *FuncBuilder) Join(dst Reg, tid Operand) Reg {
+	fb.soleStmtBlock(&Stmt{Op: OpJoin, Dest: dst, A: tid})
+	return dst
+}
+
+// LockAcq emits lock(id): block until the named lock is free, then acquire
+// it. Sole statement of its block, like Join.
+func (fb *FuncBuilder) LockAcq(id Operand) {
+	fb.soleStmtBlock(&Stmt{Op: OpLock, Dest: NoReg, A: id})
+}
+
+// LockRel emits unlock(id). Releases never block but still terminate the
+// block (sync effects sit at path boundaries).
+func (fb *FuncBuilder) LockRel(id Operand) {
+	fb.emit(&Stmt{Op: OpUnlock, Dest: NoReg, A: id})
+	cont := fb.newBlock()
+	fb.cur.Succs = []int{cont.ID}
+	fb.cur = cont
+}
+
+// LoadShared emits dst = Mem[addr+off] annotated as a shared access.
+func (fb *FuncBuilder) LoadShared(dst Reg, addr Operand, off int64) Reg {
+	fb.emit(&Stmt{Op: OpLoadSh, Dest: dst, A: addr, Off: off})
+	return dst
+}
+
+// StoreShared emits Mem[addr+off] = val annotated as a shared access.
+func (fb *FuncBuilder) StoreShared(addr Operand, off int64, val Operand) {
+	fb.emit(&Stmt{Op: OpStoreSh, Dest: NoReg, A: addr, Off: off, B: val})
+}
+
+// soleStmtBlock places s alone in a fresh block (closing the current block
+// with a jump if it already holds statements) and continues building in the
+// fall-through continuation.
+func (fb *FuncBuilder) soleStmtBlock(s *Stmt) {
+	if fb.cur == nil {
+		panic(fmt.Sprintf("ir: %s: emit after terminator with no open block", fb.f.Name))
+	}
+	if len(fb.cur.Stmts) > 0 {
+		own := fb.newBlock()
+		fb.jumpTo(own)
+		fb.cur = own
+	}
+	fb.emit(s)
+	cont := fb.newBlock()
+	fb.cur.Succs = []int{cont.ID}
+	fb.cur = cont
+}
+
 // Ret terminates the function, returning a.
 func (fb *FuncBuilder) Ret(a Operand) {
 	fb.emit(&Stmt{Op: OpRet, Dest: NoReg, A: a})

@@ -52,6 +52,18 @@ const (
 	OpCall // Dest = Callee(Args...); continue at Succs[0]
 	OpRet  // return A to the caller (no def port)
 	OpHalt // stop the program (no def port)
+
+	// Concurrency opcodes. They are appended after OpHalt so that every
+	// pre-concurrency serialized program keeps its opcode bytes. The four
+	// sync ops terminate their block (the scheduler may only switch threads
+	// between Ball-Larus paths, so a sync effect must sit at a path
+	// boundary); the shared-access ops are ordinary mid-block statements.
+	OpSpawn   // Dest = spawn Callee(Args...) -> thread id; continue at Succs[0]
+	OpJoin    // Dest = join A (thread id, blocks); continue at Succs[0]
+	OpLock    // acquire lock A.Imm/A (blocks); continue at Succs[0]
+	OpUnlock  // release lock A.Imm/A; continue at Succs[0]
+	OpLoadSh  // Dest = Mem[A + Off], annotated shared (race-checked)
+	OpStoreSh // Mem[A + Off] = B, annotated shared (race-checked, no def port)
 )
 
 var opNames = [...]string{
@@ -61,6 +73,8 @@ var opNames = [...]string{
 	OpLt: "lt", OpLe: "le", OpGt: "gt", OpGe: "ge", OpLoad: "load",
 	OpStore: "store", OpInput: "input", OpOutput: "output", OpJmp: "jmp",
 	OpBr: "br", OpCall: "call", OpRet: "ret", OpHalt: "halt",
+	OpSpawn: "spawn", OpJoin: "join", OpLock: "lock", OpUnlock: "unlock",
+	OpLoadSh: "load.sh", OpStoreSh: "store.sh",
 }
 
 func (op Op) String() string {
@@ -70,17 +84,29 @@ func (op Op) String() string {
 	return fmt.Sprintf("op(%d)", uint8(op))
 }
 
-// IsTerminator reports whether op ends a basic block.
-func (op Op) IsTerminator() bool { return op >= OpJmp }
+// IsTerminator reports whether op ends a basic block. The shared-access
+// ops sit past OpHalt in the enum (opcode-byte stability) but are ordinary
+// mid-block statements.
+func (op Op) IsTerminator() bool {
+	return op >= OpJmp && op <= OpUnlock
+}
+
+// IsSync reports whether op is a thread-synchronization operation
+// (spawn/join/lock/unlock). All four terminate their block.
+func (op Op) IsSync() bool {
+	return op >= OpSpawn && op <= OpUnlock
+}
 
 // HasDef reports whether statements with this opcode produce a result value
 // (have a "def port" in the paper's terms).
 func (op Op) HasDef() bool {
 	switch op {
-	case OpStore, OpOutput, OpJmp, OpBr, OpCall, OpRet, OpHalt:
+	case OpStore, OpStoreSh, OpOutput, OpJmp, OpBr, OpCall, OpRet, OpHalt,
+		OpJoin, OpLock, OpUnlock:
 		// Calls deliver their result by writing Dest at return time, but the
 		// call statement itself produces no value in the WET sense: the DD
 		// edge runs from the producer inside the callee straight to the use.
+		// Joins deliver the joined thread's return value the same way.
 		return false
 	default:
 		return true
@@ -91,7 +117,7 @@ func (op Op) HasDef() bool {
 func (op Op) IsBinary() bool {
 	switch op {
 	case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpAnd, OpOr, OpXor, OpShl, OpShr,
-		OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpStore:
+		OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpStore, OpStoreSh:
 		return true
 	}
 	return false
@@ -161,6 +187,21 @@ func (s *Stmt) String() string {
 		return fmt.Sprintf("ret %s", s.A)
 	case OpHalt:
 		return "halt"
+	case OpSpawn:
+		return fmt.Sprintf("r%d = spawn %s%v", s.Dest, s.CalleeName, s.Args)
+	case OpJoin:
+		if s.Dest == NoReg {
+			return fmt.Sprintf("join %s", s.A)
+		}
+		return fmt.Sprintf("r%d = join %s", s.Dest, s.A)
+	case OpLock:
+		return fmt.Sprintf("lock %s", s.A)
+	case OpUnlock:
+		return fmt.Sprintf("unlock %s", s.A)
+	case OpLoadSh:
+		return fmt.Sprintf("r%d = load.sh %s+%d", s.Dest, s.A, s.Off)
+	case OpStoreSh:
+		return fmt.Sprintf("store.sh %s+%d, %s", s.A, s.Off, s.B)
 	case OpNeg, OpNot:
 		return fmt.Sprintf("r%d = %s %s", s.Dest, s.Op, s.A)
 	default:
@@ -174,7 +215,7 @@ func (s *Stmt) Uses(dst []Reg) []Reg {
 	switch s.Op {
 	case OpConst, OpInput, OpJmp, OpHalt:
 		return dst
-	case OpCall:
+	case OpCall, OpSpawn:
 		for _, a := range s.Args {
 			if a.IsReg {
 				dst = append(dst, a.Reg)
@@ -280,7 +321,7 @@ func (p *Program) Finalize() error {
 				s.Idx = si
 				id++
 				p.Stmts = append(p.Stmts, s)
-				if s.Op == OpCall {
+				if s.Op == OpCall || s.Op == OpSpawn {
 					ci, ok := p.byName[s.CalleeName]
 					if !ok {
 						return fmt.Errorf("ir: %s calls unknown function %q", f.Name, s.CalleeName)

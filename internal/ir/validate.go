@@ -53,7 +53,8 @@ func (p *Program) validateFunc(f *Func) error {
 				}
 			}
 			if !s.Op.HasDef() && s.Dest != NoReg {
-				if s.Op != OpCall { // calls use Dest as return-value plumbing
+				// Calls and joins use Dest as return-value plumbing.
+				if s.Op != OpCall && s.Op != OpJoin {
 					return fmt.Errorf("ir: %s block %d: %s has a destination but no def port", f.Name, b.ID, s)
 				}
 				if err := checkReg(b, s, s.Dest); err != nil {
@@ -66,16 +67,22 @@ func (p *Program) validateFunc(f *Func) error {
 					return err
 				}
 			}
-			if s.Op == OpCall {
+			if s.Op == OpCall || s.Op == OpSpawn {
 				callee := p.Funcs[s.Callee]
 				if len(s.Args) != callee.Params {
 					return fmt.Errorf("ir: %s calls %s with %d args, want %d", f.Name, callee.Name, len(s.Args), callee.Params)
 				}
 			}
+			// Blocking sync ops must be the sole statement of their block: the
+			// scheduler retries the whole path when the op would block, so the
+			// path may carry no other effects.
+			if (s.Op == OpJoin || s.Op == OpLock) && len(b.Stmts) != 1 {
+				return fmt.Errorf("ir: %s block %d: %s must be the only statement of its block", f.Name, b.ID, s)
+			}
 		}
 		want := -1
 		switch b.Term().Op {
-		case OpJmp, OpCall:
+		case OpJmp, OpCall, OpSpawn, OpJoin, OpLock, OpUnlock:
 			want = 1
 		case OpBr:
 			want = 2

@@ -56,6 +56,12 @@ const (
 	// RuleSrcRandom: wetlint -source — math/rand in trace construction or
 	// stream code.
 	RuleSrcRandom Rule = "SRC003"
+	// RuleSrcBareGo: wetlint -source — a bare `go` statement in trace
+	// construction or stream code that is not routed through the bounded
+	// worker pool. Unbounded spawns break the pipeline's memory bound and
+	// its cancellation discipline; the worker-loop spawns of a bounded pool
+	// carry a `wetlint:bounded` comment naming the bound.
+	RuleSrcBareGo Rule = "SRC004"
 )
 
 // RuleDescriptions maps every rule id to its one-line meaning (rendered by
@@ -74,4 +80,5 @@ var RuleDescriptions = map[Rule]string{
 	RuleSrcMapRange:  "map iteration order leaks into serialization or report output",
 	RuleSrcWallClock: "wall-clock read in deterministic trace/stream code",
 	RuleSrcRandom:    "math/rand in deterministic trace/stream code",
+	RuleSrcBareGo:    "bare go statement in kernel code not routed through the bounded pool",
 }

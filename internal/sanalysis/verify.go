@@ -38,6 +38,12 @@ type Report struct {
 	Labels      int  `json:"labels"`      // label pairs causality-checked
 	Transitions int  `json:"transitions"` // consecutive-timestamp CF checks
 	Truncated   bool `json:"truncated,omitempty"`
+
+	// Skipped names the reason semantic verification did not run (set for
+	// concurrent traces, whose interleaved control flow the sequential
+	// replay rules do not describe). A skipped report has no findings, so
+	// OK() holds; callers that print coverage should surface the reason.
+	Skipped string `json:"skipped,omitempty"`
 }
 
 // OK reports whether the WET passed semantic verification.
@@ -93,6 +99,16 @@ func VerifyWET(w *core.WET, opts VerifyOptions) (*Report, error) {
 	}
 	if opts.Tier == core.Tier2 && !w.Frozen() {
 		return nil, fmt.Errorf("sanalysis: tier-2 verification requires a frozen WET")
+	}
+	if w.Conc != nil {
+		// A concurrent trace interleaves per-thread control flow in the
+		// global timestamp order, so the sequential replay rules (stack
+		// discipline, path-terminating CF edges between consecutive
+		// timestamps, single-flow reaching definitions) do not apply;
+		// running them would report false findings, not verify anything.
+		// The concurrency streams have their own structural validator
+		// (core.Validate) and semantic consumer (racecheck).
+		return &Report{Skipped: "concurrent trace: sequential control-flow replay does not apply"}, nil
 	}
 	a := opts.Analysis
 	if a == nil {

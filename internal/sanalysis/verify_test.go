@@ -52,3 +52,33 @@ func TestVerifyWorkloadsClean(t *testing.T) {
 		}
 	}
 }
+
+// TestVerifySkipsConcurrent pins the concurrency gate: the sequential
+// replay rules do not describe interleaved control flow, so a concurrent
+// trace is skipped with a reason instead of drowning in false findings.
+func TestVerifySkipsConcurrent(t *testing.T) {
+	wl, err := workload.ConcByName("li-conc-clean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, in := wl.Build(1)
+	st, err := interp.Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _, err := core.Build(st, interp.Options{Inputs: in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Freeze(core.FreezeOptions{})
+	rep, err := VerifyWET(w, VerifyOptions{Tier: core.Tier2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Skipped == "" || !rep.OK() || len(rep.Findings) != 0 {
+		t.Fatalf("concurrent trace not gated: %+v", rep)
+	}
+	if err := w.Certify(); err != nil {
+		t.Fatalf("Certify on a concurrent trace must pass via the gate: %v", err)
+	}
+}

@@ -38,6 +38,52 @@ type Sink interface {
 	PathDone(fn int, pathID int64)
 }
 
+// SyncKind classifies one thread-synchronization event.
+type SyncKind uint8
+
+const (
+	// SyncSpawn: the thread created a child thread (obj = child thread id).
+	// Stamped at the end of the spawning path: everything the parent did up
+	// to and including that path happens-before the child.
+	SyncSpawn SyncKind = iota
+	// SyncJoin: the thread observed a child's completion (obj = joined
+	// thread id). Stamped at the start of the path that resumes after the
+	// join: everything the child did happens-before that path.
+	SyncJoin
+	// SyncAcquire: the thread acquired a lock (obj = lock id). Stamped at
+	// the start of the path that runs under the lock.
+	SyncAcquire
+	// SyncRelease: the thread released a lock (obj = lock id). Stamped at
+	// the end of the releasing path.
+	SyncRelease
+)
+
+var syncKindNames = [...]string{"spawn", "join", "acquire", "release"}
+
+func (k SyncKind) String() string {
+	if int(k) < len(syncKindNames) {
+		return syncKindNames[k]
+	}
+	return "sync?"
+}
+
+// ConcSink is the optional concurrency extension of Sink. A sink that
+// implements it additionally receives, for concurrent runs, the owning
+// thread of every path, the synchronization events, and the annotated
+// shared-memory accesses. Sync and access events are attributed to the path
+// whose PathDone follows them (the builder stamps them with that path's
+// timestamp); intra-path ordering is by kind — acquire/join events precede
+// the path's accesses, release/spawn events follow them.
+type ConcSink interface {
+	// PathOwner names the thread executing the path whose PathDone follows.
+	PathOwner(tid int32)
+	// SyncEvent reports one synchronization event by thread tid.
+	SyncEvent(k SyncKind, tid int32, obj int64)
+	// SharedAccess reports one annotated shared-memory access: thread tid
+	// touched word addr via statement stmtID.
+	SharedAccess(tid int32, addr int64, isWrite bool, stmtID int)
+}
+
 // Paper-accurate storage units: the evaluation counts 32-bit words for
 // timestamps and values, so a timestamp pair is 8 bytes.
 const (
@@ -60,6 +106,8 @@ type RawStats struct {
 	Loads      uint64 // dynamic loads
 	Stores     uint64 // dynamic stores
 	Branches   uint64 // dynamic conditional branches
+	SyncOps    uint64 // dynamic sync statements (spawn/join/lock/unlock)
+	SharedAcc  uint64 // dynamic shared-annotated loads and stores
 }
 
 // OrigNodeTSBytes is the original WET size of the node timestamp labels:
@@ -112,6 +160,14 @@ func (c *Counting) Stmt(inst Inst, st *ir.Stmt, value int64, ddSrcs []Inst, ddVa
 		c.Stores++
 	case ir.OpBr:
 		c.Branches++
+	case ir.OpLoadSh:
+		c.Loads++
+		c.SharedAcc++
+	case ir.OpStoreSh:
+		c.Stores++
+		c.SharedAcc++
+	case ir.OpSpawn, ir.OpJoin, ir.OpLock, ir.OpUnlock:
+		c.SyncOps++
 	}
 	if !c.haveBlk || c.curFn != st.Fn || c.curBlk != st.Blk || st.Idx == 0 {
 		c.BlockExecs++
@@ -129,6 +185,27 @@ func (c *Counting) PathDone(fn int, pathID int64) {
 	c.haveBlk = false
 	if c.Next != nil {
 		c.Next.PathDone(fn, pathID)
+	}
+}
+
+// PathOwner implements ConcSink, forwarding when the wrapped sink cares.
+func (c *Counting) PathOwner(tid int32) {
+	if cs, ok := c.Next.(ConcSink); ok {
+		cs.PathOwner(tid)
+	}
+}
+
+// SyncEvent implements ConcSink.
+func (c *Counting) SyncEvent(k SyncKind, tid int32, obj int64) {
+	if cs, ok := c.Next.(ConcSink); ok {
+		cs.SyncEvent(k, tid, obj)
+	}
+}
+
+// SharedAccess implements ConcSink.
+func (c *Counting) SharedAccess(tid int32, addr int64, isWrite bool, stmtID int) {
+	if cs, ok := c.Next.(ConcSink); ok {
+		cs.SharedAccess(tid, addr, isWrite, stmtID)
 	}
 }
 

@@ -27,7 +27,11 @@ const (
 	secNode    = uint8(4) // one node record
 	secEdge    = uint8(5) // one edge record
 	secEnd     = uint8(6) // empty end marker
+	secConc    = uint8(7) // concurrency streams (optional; multi-threaded runs only)
 )
+
+// lastSecTag is the highest recognized section tag (framing-recovery bound).
+const lastSecTag = secConc
 
 // maxSectionLen bounds a single section's declared payload size. It is a
 // framing-sanity limit, not an allocation bound: payloads are read in
@@ -51,6 +55,8 @@ func sectionName(tag uint8) string {
 		return "edge"
 	case secEnd:
 		return "end"
+	case secConc:
+		return "conc"
 	}
 	return fmt.Sprintf("unknown(%d)", tag)
 }
@@ -157,7 +163,7 @@ func scanSections(r io.Reader, strict bool) (secs []section, tailSkipped int64, 
 		}
 		tag := hdr[0]
 		plen := binary.LittleEndian.Uint32(hdr[1:])
-		known := tag >= secHeader && tag <= secEnd
+		known := tag >= secHeader && tag <= lastSecTag
 		if !known || plen > maxSectionLen {
 			// Framing lost: an unrecognizable tag or absurd length means the
 			// previous length field cannot be trusted to find the next frame.
@@ -207,7 +213,7 @@ func walkSections(r io.Reader, visit func(tag uint8, offset int64, plen int, crc
 		}
 		tag := hdr[0]
 		plen := binary.LittleEndian.Uint32(hdr[1:])
-		known := tag >= secHeader && tag <= secEnd
+		known := tag >= secHeader && tag <= lastSecTag
 		if !known || plen > maxSectionLen {
 			return int64(len(hdr)) + drainCount(r), false
 		}

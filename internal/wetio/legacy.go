@@ -42,7 +42,7 @@ func loadV2Body(br io.Reader, opts LoadOptions) (*core.WET, error) {
 		return nil, fmt.Errorf("reanalyze: %w", err)
 	}
 	wet := &core.WET{Prog: prog, Static: st}
-	if err := readVals(br, &wet.Raw); err != nil {
+	if err := readVals(br, rawHeaderFields(&wet.Raw)...); err != nil {
 		return nil, err
 	}
 	rep, err := loadReport(br)

@@ -43,6 +43,7 @@ import (
 	"wet/internal/interp"
 	"wet/internal/ir"
 	"wet/internal/stream"
+	"wet/internal/trace"
 )
 
 const (
@@ -78,8 +79,9 @@ func saveCtx(ctx context.Context, w io.Writer, wet *core.WET) error {
 	}
 	sw := &sectionWriter{w: bw}
 
-	if err := writeVals(sw, &wet.Raw, wet.Time, int32(wet.FirstNode), int32(wet.LastNode),
-		uint32(len(wet.Nodes)), uint32(len(wet.Edges))); err != nil {
+	if err := writeVals(sw, append(rawHeaderFields(&wet.Raw), wet.Time,
+		int32(wet.FirstNode), int32(wet.LastNode),
+		uint32(len(wet.Nodes)), uint32(len(wet.Edges)))...); err != nil {
 		return err
 	}
 	if v4 {
@@ -143,10 +145,44 @@ func saveCtx(ctx context.Context, w io.Writer, wet *core.WET) error {
 			return err
 		}
 	}
+	// Concurrency streams ride in one optional section between the edge
+	// records and the end marker. Single-threaded WETs (Conc nil) emit
+	// nothing here, keeping their bytes identical to pre-concurrency output.
+	if wet.Conc != nil {
+		if err := saveConcPayload(sw, wet); err != nil {
+			return err
+		}
+		if err := sw.emit(secConc); err != nil {
+			return err
+		}
+	}
 	if err := sw.emit(secEnd); err != nil {
 		return err
 	}
 	return bw.Flush()
+}
+
+// rawHeaderFields lists the RawStats fields that belong to the file
+// header, in their serialized order. The two concurrency counters
+// (SyncOps, SharedAcc) are deliberately absent: they ride in the optional
+// concurrency section instead, so single-threaded files keep the exact
+// header bytes of pre-concurrency releases and v2 fixtures stay loadable.
+func rawHeaderFields(r *trace.RawStats) []interface{} {
+	return []interface{}{&r.StmtExecs, &r.DefExecs, &r.DynDD, &r.DynCD,
+		&r.BlockExecs, &r.PathExecs, &r.Loads, &r.Stores, &r.Branches}
+}
+
+func saveConcPayload(w io.Writer, wet *core.WET) error {
+	c := wet.Conc
+	if err := writeVals(w, wet.Raw.SyncOps, wet.Raw.SharedAcc, uint32(c.NumThreads())); err != nil {
+		return err
+	}
+	for _, cs := range c.Streams() {
+		if err := stream.Save(w, cs.S); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func saveNodePayload(w io.Writer, n *core.Node) error {
@@ -468,6 +504,17 @@ func parseStrict(secs []section, opts LoadOptions, v4 bool) (*core.WET, error) {
 			}
 		}
 	}
+	// The concurrency section is optional: single-threaded files (and every
+	// pre-concurrency file) simply do not carry one.
+	if idx < len(secs) && secs[idx].tag == secConc {
+		cs := &secs[idx]
+		idx++
+		conc, err := parseConcSec(cs, opts, &wet.Raw)
+		if err != nil {
+			return nil, err
+		}
+		wet.Conc = conc
+	}
 	es, err := take(secEnd)
 	if err != nil {
 		return nil, err
@@ -504,7 +551,7 @@ func parseStrict(secs []section, opts LoadOptions, v4 bool) (*core.WET, error) {
 // dropped, node records form the maximal intact prefix, edge records are
 // kept individually, and cross references are repaired afterwards.
 func parseSalvage(secs []section, opts LoadOptions, rep *SalvageReport, v4 bool) (*core.WET, error) {
-	var hdrSec, progSec, repSec *section
+	var hdrSec, progSec, repSec, concSec *section
 	// Node and edge identities are positional (a node's ID is its index), so
 	// original indices are assigned by file order counting damaged sections
 	// too — a record must never slide into a dropped neighbour's slot, which
@@ -548,6 +595,12 @@ func parseSalvage(secs []section, opts LoadOptions, rep *SalvageReport, v4 bool)
 		case secReport:
 			if repSec == nil {
 				repSec = s
+			} else {
+				drop(s)
+			}
+		case secConc:
+			if concSec == nil {
+				concSec = s
 			} else {
 				drop(s)
 			}
@@ -707,6 +760,20 @@ func parseSalvage(secs []section, opts LoadOptions, rep *SalvageReport, v4 bool)
 	rep.EdgesLoaded = len(wet.Edges)
 	rep.EdgesDropped = hdr.nEdges - len(wet.Edges)
 
+	// The concurrency section is self-contained; a damaged one is dropped
+	// (the trace degrades to its sequential view) rather than failing the
+	// salvage.
+	if concSec != nil {
+		if c, cerr := parseConcSec(concSec, opts, &wet.Raw); cerr == nil {
+			wet.Conc = c
+			rep.SectionsRead++
+		} else {
+			drop(concSec)
+			rep.Adjustments = append(rep.Adjustments,
+				"concurrency section dropped: race queries unavailable on the salvaged trace")
+		}
+	}
+
 	rep.Adjustments = append(rep.Adjustments, wet.SanitizeSalvaged()...)
 	if v4 && opts.RestoreTier1 {
 		// Salvage decoded every stream eagerly, so a drain here cannot hit a
@@ -732,7 +799,8 @@ func parseHeaderSec(s *section, v4 bool) (*core.WET, header, error) {
 		sr := newSecReader(s)
 		var first, last int32
 		var nNodes, nEdges uint32
-		if err := readVals(sr, &wet.Raw, &wet.Time, &first, &last, &nNodes, &nEdges); err != nil {
+		if err := readVals(sr, append(rawHeaderFields(&wet.Raw), &wet.Time,
+			&first, &last, &nNodes, &nEdges)...); err != nil {
 			return err
 		}
 		wet.FirstNode, wet.LastNode = int(first), int(last)
@@ -880,6 +948,55 @@ func parseNodeSec(s *section, st *interp.Static, id, nNodes int, opts LoadOption
 		return nil, err
 	}
 	return node, nil
+}
+
+// parseConcSec deserializes the optional concurrency section. Structural
+// alignment of the record streams is validated here; the deeper invariants
+// (thread timestamp partition, kind and thread ranges) belong to
+// core.WET.Validate.
+func parseConcSec(s *section, opts LoadOptions, raw *trace.RawStats) (*core.Conc, error) {
+	var conc *core.Conc
+	if opts.Segments != nil {
+		opts.segOwner, opts.segEpoch = "conc", -1
+	}
+	err := guard("conc", s.offset, func() error {
+		sr := newSecReader(s)
+		if err := readVals(sr, &raw.SyncOps, &raw.SharedAcc); err != nil {
+			return err
+		}
+		nThreads, err := sr.count(1)
+		if err != nil {
+			return err
+		}
+		if nThreads == 0 {
+			return fmt.Errorf("concurrency section names no threads")
+		}
+		c := &core.Conc{ThreadTS: make([]*core.ConcStream, nThreads)}
+		for i := range c.ThreadTS {
+			c.ThreadTS[i] = &core.ConcStream{}
+		}
+		for _, cs := range c.Streams() {
+			if cs.S, err = loadStream(sr, opts); err != nil {
+				return err
+			}
+			if opts.RestoreTier1 {
+				cs.Raw = stream.Drain(cs.S)
+			}
+		}
+		if n := c.SyncTS.Len(); c.SyncKind.Len() != n || c.SyncThread.Len() != n || c.SyncObj.Len() != n {
+			return fmt.Errorf("sync record streams are misaligned")
+		}
+		if n := c.AccTS.Len(); c.AccThread.Len() != n || c.AccAddr.Len() != n ||
+			c.AccKind.Len() != n || c.AccStmt.Len() != n {
+			return fmt.Errorf("access record streams are misaligned")
+		}
+		conc = c
+		return sr.done()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return conc, nil
 }
 
 func parseEdgeSec(s *section, wet *core.WET, id, nEdges int, opts LoadOptions) (*core.Edge, error) {
@@ -1102,7 +1219,7 @@ func saveStmt(w io.Writer, s *ir.Stmt) error {
 	if err := writeVals(w, s.Off); err != nil {
 		return err
 	}
-	if s.Op == ir.OpCall {
+	if s.Op == ir.OpCall || s.Op == ir.OpSpawn {
 		if err := writeString(w, s.CalleeName); err != nil {
 			return err
 		}
@@ -1196,7 +1313,7 @@ func loadStmt(r io.Reader) (*ir.Stmt, error) {
 	if err := readVals(r, &s.Off); err != nil {
 		return nil, err
 	}
-	if s.Op == ir.OpCall {
+	if s.Op == ir.OpCall || s.Op == ir.OpSpawn {
 		if s.CalleeName, err = readString(r); err != nil {
 			return nil, err
 		}

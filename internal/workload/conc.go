@@ -1,0 +1,385 @@
+package workload
+
+import (
+	"fmt"
+
+	"wet/internal/ir"
+)
+
+// Concurrent workload variants (DESIGN.md §9). Three of the nine benchmarks
+// get a two-worker fork-join variant, each in a seeded racy and a race-free
+// flavour. They live in their own registry — ConcAll / ConcByName — so the
+// paper-table registry (All) keeps its pinned nine names.
+//
+// Every variant follows the same discipline: cross-thread-visible words are
+// touched only through the annotated shared ops (LoadShared/StoreShared) at
+// small fixed addresses, while the bulk of the benchmark-flavoured work runs
+// on per-thread private regions with plain loads and stores. The clean
+// flavours protect every shared word with one consistent lock (or touch it
+// only before the spawns / after the joins); the racy flavours drop the lock
+// on selected accesses — and mcf additionally seeds a lockset-only candidate
+// (RC003): two writes to the same word under different locks, ordered only
+// by a lock-timed flag handshake rather than by the fork-join structure.
+
+// ConcWorkload names one concurrent benchmark variant.
+type ConcWorkload struct {
+	Name string
+	// Base is the sequential benchmark this variant derives from.
+	Base string
+	// Racy marks the seeded-race flavour; the clean flavour of the same
+	// base must report no races.
+	Racy bool
+	// Mimics documents the concurrency structure added to the base.
+	Mimics string
+	// Build constructs the program and its input tape.
+	Build func(scale int) (*ir.Program, []int64)
+}
+
+// ConcAll returns the concurrent workload variants (racy and clean flavour
+// per base benchmark).
+func ConcAll() []ConcWorkload {
+	return []ConcWorkload{
+		{"li-conc-racy", "li", true,
+			"two bytecode workers bump a shared allocation counter without a lock",
+			func(s int) (*ir.Program, []int64) { return buildConcLi(s, true) }},
+		{"li-conc-clean", "li", false,
+			"two bytecode workers bump a shared allocation counter under one lock",
+			func(s int) (*ir.Program, []int64) { return buildConcLi(s, false) }},
+		{"gzip-conc-racy", "gzip", true,
+			"two half-buffer compressors merge match stats without a lock",
+			func(s int) (*ir.Program, []int64) { return buildConcGzip(s, true) }},
+		{"gzip-conc-clean", "gzip", false,
+			"two half-buffer compressors merge match stats under one lock",
+			func(s int) (*ir.Program, []int64) { return buildConcGzip(s, false) }},
+		{"mcf-conc-racy", "mcf", true,
+			"relaxation workers race a potential word and seed a lockset candidate",
+			func(s int) (*ir.Program, []int64) { return buildConcMCF(s, true) }},
+		{"mcf-conc-clean", "mcf", false,
+			"relaxation workers update the potential word under one lock",
+			func(s int) (*ir.Program, []int64) { return buildConcMCF(s, false) }},
+	}
+}
+
+// ConcByName returns the named concurrent variant.
+func ConcByName(name string) (ConcWorkload, error) {
+	for _, w := range ConcAll() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return ConcWorkload{}, fmt.Errorf("workload: unknown concurrent variant %q (have li-conc-racy li-conc-clean gzip-conc-racy gzip-conc-clean mcf-conc-racy mcf-conc-clean)", name)
+}
+
+// Shared-word addresses and lock ids common to the concurrent variants.
+// Shared words sit in the low memory words, below every private region.
+const (
+	cShCounter = 0 // shared counter / stats word
+	cShExtra   = 1 // second shared word (mcf: the RC003 target)
+	cShFlag    = 2 // mcf: handshake flag
+	cLockMain  = 1 // the consistent lock of the clean flavours
+	cLockFlag  = 2 // mcf: handshake lock
+	cLockA     = 3 // mcf racy: worker A's lock for the RC003 word
+	cLockB     = 4 // mcf racy: worker B's lock for the RC003 word
+)
+
+// sharedBump emits the worker-side counter update: counter += v, locked or
+// bare depending on the flavour. The bare flavour is the seeded race — an
+// unsynchronized read-modify-write gives both a write-write (RC001) and a
+// read-write (RC002) pair against the sibling worker.
+func sharedBump(fb *ir.FuncBuilder, word int64, v ir.Operand, locked bool) {
+	if locked {
+		fb.LockAcq(ir.Imm(cLockMain))
+	}
+	c := fb.NewReg()
+	fb.LoadShared(c, ir.Imm(0), word)
+	fb.Add(c, ir.R(c), v)
+	fb.StoreShared(ir.Imm(0), word, ir.R(c))
+	if locked {
+		fb.LockRel(ir.Imm(cLockMain))
+	}
+}
+
+// forkJoinMain emits the common main function: spawn worker(0, scale) and
+// worker(1, scale), join both, and output the joined results plus the final
+// shared counter (read after the joins: fork-join ordered, never a race).
+func forkJoinMain(p *ir.Program, scale int) {
+	fb := p.NewFunc("main", 0)
+	p.Entry = len(p.Funcs) - 1
+	t1 := fb.NewReg()
+	t2 := fb.NewReg()
+	fb.Spawn(t1, "worker", ir.Imm(0), ir.Imm(int64(scale)))
+	fb.Spawn(t2, "worker", ir.Imm(1), ir.Imm(int64(scale)))
+	r1 := fb.NewReg()
+	r2 := fb.NewReg()
+	fb.Join(r1, ir.R(t1))
+	fb.Join(r2, ir.R(t2))
+	fb.Output(ir.R(r1))
+	fb.Output(ir.R(r2))
+	fin := fb.NewReg()
+	fb.LoadShared(fin, ir.Imm(0), cShCounter)
+	fb.Output(ir.R(fin))
+	fb.Halt()
+}
+
+// buildConcLi is the concurrent 130.li variant: each worker interprets a
+// private bytecode tape (the sequential workload's dispatch structure) and
+// counts "allocations" in the shared counter.
+func buildConcLi(scale int, racy bool) (*ir.Program, []int64) {
+	const (
+		cells   = 64  // private cell heap per worker
+		tape    = 48  // private bytecode tape length
+		regionW = 256 // per-worker private region stride
+		private = 16  // first private word
+	)
+	p := ir.NewProgram(4096)
+
+	wk := p.NewFunc("worker", 2)
+	{
+		id := wk.Param(0)
+		n := wk.Param(1)
+		base := wk.NewReg()
+		wk.Mul(base, ir.R(id), ir.Imm(regionW))
+		wk.Add(base, ir.R(base), ir.Imm(private))
+		seed := wk.NewReg()
+		wk.Add(seed, ir.R(id), ir.Imm(77))
+		// Private tape of bytecodes and a private cell heap.
+		op := wk.NewReg()
+		addr := wk.NewReg()
+		wk.For(ir.Imm(0), ir.Imm(tape), ir.Imm(1), func(i ir.Reg) {
+			lcg(wk, seed, op, 5)
+			wk.Add(addr, ir.R(base), ir.R(i))
+			wk.Store(ir.R(addr), 0, ir.R(op))
+		})
+		acc := wk.ConstReg(0)
+		v := wk.NewReg()
+		slot := wk.NewReg()
+		cell := wk.NewReg()
+		wk.For(ir.Imm(0), ir.R(n), ir.Imm(1), func(pass ir.Reg) {
+			wk.For(ir.Imm(0), ir.Imm(tape), ir.Imm(1), func(pc ir.Reg) {
+				wk.Add(addr, ir.R(base), ir.R(pc))
+				wk.Load(op, ir.R(addr), 0)
+				lcg(wk, seed, slot, cells)
+				wk.Add(cell, ir.R(slot), ir.R(base))
+				// Dispatch on the bytecode, like the sequential li's
+				// eval loop: arithmetic ops on private cells, plus an
+				// "allocate" op that bumps the shared counter.
+				c := wk.NewReg()
+				wk.Eq(c, ir.R(op), ir.Imm(0))
+				wk.If(ir.R(c), func() {
+					wk.Load(v, ir.R(cell), tape)
+					wk.Add(v, ir.R(v), ir.Imm(1))
+					wk.Store(ir.R(cell), tape, ir.R(v))
+				}, func() {
+					wk.Eq(c, ir.R(op), ir.Imm(1))
+					wk.If(ir.R(c), func() {
+						// Allocation: the cross-thread interaction.
+						sharedBump(wk, cShCounter, ir.Imm(1), !racy)
+						wk.Add(acc, ir.R(acc), ir.Imm(1))
+					}, func() {
+						wk.Load(v, ir.R(cell), tape)
+						stats(wk, acc, v, op)
+						wk.Store(ir.R(cell), tape, ir.R(acc))
+					})
+				})
+			})
+		})
+		wk.Ret(ir.R(acc))
+	}
+
+	forkJoinMain(p, scale)
+	p.MustFinalize()
+	return p, nil
+}
+
+// buildConcGzip is the concurrent 164.gzip variant: each worker runs the
+// LZ77-ish hash/match loop over its own half of the buffer and merges its
+// match count into the shared stats word per pass.
+func buildConcGzip(scale int, racy bool) (*ir.Program, []int64) {
+	const (
+		private = 16
+		bufLen  = 300
+		hashSz  = 64
+		maxCmp  = 8
+		regionW = 1024 // buffer + private hash heads per worker
+	)
+	p := ir.NewProgram(8192)
+
+	wk := p.NewFunc("worker", 2)
+	{
+		id := wk.Param(0)
+		n := wk.Param(1)
+		buf := wk.NewReg()
+		wk.Mul(buf, ir.R(id), ir.Imm(regionW))
+		wk.Add(buf, ir.R(buf), ir.Imm(private))
+		heads := wk.NewReg()
+		wk.Add(heads, ir.R(buf), ir.Imm(bufLen))
+		seed := wk.NewReg()
+		wk.Add(seed, ir.R(id), ir.Imm(424242))
+		// Compressible private input half.
+		v := wk.ConstReg(0)
+		r := wk.NewReg()
+		addr := wk.NewReg()
+		wk.For(ir.Imm(0), ir.Imm(bufLen), ir.Imm(1), func(i ir.Reg) {
+			lcg(wk, seed, r, 100)
+			c := wk.NewReg()
+			wk.Lt(c, ir.R(r), ir.Imm(20))
+			wk.If(ir.R(c), func() {
+				lcg(wk, seed, v, 16)
+			}, nil)
+			wk.Add(addr, ir.R(buf), ir.R(i))
+			wk.Store(ir.R(addr), 0, ir.R(v))
+		})
+		matches := wk.ConstReg(0)
+		h := wk.NewReg()
+		c0 := wk.NewReg()
+		c1 := wk.NewReg()
+		cand := wk.NewReg()
+		mlen := wk.NewReg()
+		cc := wk.NewReg()
+		a := wk.NewReg()
+		b := wk.NewReg()
+		wk.For(ir.Imm(0), ir.R(n), ir.Imm(1), func(pass ir.Reg) {
+			fromPrev := wk.ConstReg(0)
+			wk.For(ir.Imm(0), ir.Imm(bufLen-maxCmp-2), ir.Imm(1), func(pos ir.Reg) {
+				wk.Add(addr, ir.R(buf), ir.R(pos))
+				wk.Load(c0, ir.R(addr), 0)
+				wk.Load(c1, ir.R(addr), 1)
+				wk.Mul(h, ir.R(c0), ir.Imm(33))
+				wk.Add(h, ir.R(h), ir.R(c1))
+				wk.Mod(h, ir.R(h), ir.Imm(hashSz))
+				wk.Add(addr, ir.R(heads), ir.R(h))
+				wk.Load(cand, ir.R(addr), 0)
+				wk.Store(ir.R(addr), 0, ir.R(pos))
+				wk.Lt(cc, ir.R(cand), ir.R(pos))
+				wk.If(ir.R(cc), func() {
+					wk.Const(mlen, 0)
+					wk.While(func() ir.Operand {
+						wk.Lt(cc, ir.R(mlen), ir.Imm(maxCmp))
+						wk.If(ir.R(cc), func() {
+							wk.Add(a, ir.R(buf), ir.R(pos))
+							wk.Add(a, ir.R(a), ir.R(mlen))
+							wk.Load(a, ir.R(a), 0)
+							wk.Add(b, ir.R(buf), ir.R(cand))
+							wk.Add(b, ir.R(b), ir.R(mlen))
+							wk.Load(b, ir.R(b), 0)
+							wk.Eq(cc, ir.R(a), ir.R(b))
+						}, nil)
+						return ir.R(cc)
+					}, func() {
+						wk.Add(mlen, ir.R(mlen), ir.Imm(1))
+					})
+					wk.Ge(cc, ir.R(mlen), ir.Imm(3))
+					wk.If(ir.R(cc), func() {
+						wk.Add(matches, ir.R(matches), ir.Imm(1))
+						wk.Add(fromPrev, ir.R(fromPrev), ir.Imm(1))
+					}, nil)
+				}, nil)
+			})
+			// Merge this pass's match count into the shared stats word.
+			sharedBump(wk, cShCounter, ir.R(fromPrev), !racy)
+		})
+		wk.Ret(ir.R(matches))
+	}
+
+	forkJoinMain(p, scale)
+	p.MustFinalize()
+	return p, nil
+}
+
+// buildConcMCF is the concurrent 181.mcf variant: each worker runs
+// relaxation sweeps over a private arc array and folds its tally into the
+// shared potential word. The racy flavour drops the lock on that word and
+// additionally seeds the RC003 lockset-only candidate on a second word: the
+// two workers write it under different locks, ordered only by a lock-timed
+// flag handshake (not by the fork-join structure), so the pair is ordered
+// in this schedule yet lockset-undisciplined.
+func buildConcMCF(scale int, racy bool) (*ir.Program, []int64) {
+	const (
+		private = 16
+		arcs    = 200
+		regionW = 512
+	)
+	p := ir.NewProgram(4096)
+
+	wk := p.NewFunc("worker", 2)
+	{
+		id := wk.Param(0)
+		n := wk.Param(1)
+		base := wk.NewReg()
+		wk.Mul(base, ir.R(id), ir.Imm(regionW))
+		wk.Add(base, ir.R(base), ir.Imm(private))
+		seed := wk.NewReg()
+		wk.Add(seed, ir.R(id), ir.Imm(1313))
+		// Private arc costs.
+		v := wk.NewReg()
+		addr := wk.NewReg()
+		wk.For(ir.Imm(0), ir.Imm(arcs), ir.Imm(1), func(i ir.Reg) {
+			lcg(wk, seed, v, 1000)
+			wk.Add(addr, ir.R(base), ir.R(i))
+			wk.Store(ir.R(addr), 0, ir.R(v))
+		})
+		relaxed := wk.ConstReg(0)
+		cost := wk.NewReg()
+		best := wk.NewReg()
+		cc := wk.NewReg()
+		wk.For(ir.Imm(0), ir.R(n), ir.Imm(1), func(pass ir.Reg) {
+			wk.Const(best, 1<<30)
+			sweepRelaxed := wk.ConstReg(0)
+			wk.For(ir.Imm(0), ir.Imm(arcs), ir.Imm(1), func(i ir.Reg) {
+				wk.Add(addr, ir.R(base), ir.R(i))
+				wk.Load(cost, ir.R(addr), 0)
+				stats(wk, relaxed, cost)
+				wk.Lt(cc, ir.R(cost), ir.R(best))
+				wk.If(ir.R(cc), func() {
+					wk.Add(best, ir.R(cost), ir.Imm(0))
+					wk.Add(sweepRelaxed, ir.R(sweepRelaxed), ir.Imm(1))
+					// Decay the arc so later sweeps relax different arcs.
+					wk.Add(cost, ir.R(cost), ir.Imm(3))
+					wk.Store(ir.R(addr), 0, ir.R(cost))
+				}, nil)
+			})
+			// Fold the sweep tally into the shared potential word.
+			sharedBump(wk, cShCounter, ir.R(sweepRelaxed), !racy)
+		})
+
+		if racy {
+			// RC003 seed: worker 0 writes the extra word under lock A, then
+			// raises the flag under the flag lock; worker 1 spins on the
+			// flag (under the flag lock) and then writes the extra word
+			// under lock B. The writes are ordered — through the lock-timed
+			// handshake only — but hold no lock in common.
+			isA := wk.NewReg()
+			wk.Eq(isA, ir.R(id), ir.Imm(0))
+			wk.If(ir.R(isA), func() {
+				wk.LockAcq(ir.Imm(cLockA))
+				wk.StoreShared(ir.Imm(0), cShExtra, ir.R(relaxed))
+				wk.LockRel(ir.Imm(cLockA))
+				wk.LockAcq(ir.Imm(cLockFlag))
+				wk.StoreShared(ir.Imm(0), cShFlag, ir.Imm(1))
+				wk.LockRel(ir.Imm(cLockFlag))
+			}, func() {
+				fv := wk.ConstReg(0)
+				notDone := wk.NewReg()
+				spin := wk.NewReg()
+				wk.While(func() ir.Operand {
+					wk.LockAcq(ir.Imm(cLockFlag))
+					wk.LoadShared(fv, ir.Imm(0), cShFlag)
+					wk.LockRel(ir.Imm(cLockFlag))
+					wk.Eq(notDone, ir.R(fv), ir.Imm(0))
+					return ir.R(notDone)
+				}, func() {
+					// Private busy work between polls.
+					lcg(wk, seed, spin, 97)
+				})
+				wk.LockAcq(ir.Imm(cLockB))
+				wk.StoreShared(ir.Imm(0), cShExtra, ir.R(relaxed))
+				wk.LockRel(ir.Imm(cLockB))
+			})
+		}
+		wk.Ret(ir.R(relaxed))
+	}
+
+	forkJoinMain(p, scale)
+	p.MustFinalize()
+	return p, nil
+}

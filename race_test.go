@@ -1,0 +1,74 @@
+package wet_test
+
+// Cross-representation property test for the race detector: the report is a
+// function of the trace, not of how the trace is held. Every concurrent
+// workload variant must yield identical findings from tier-1 raw slices,
+// tier-2 compressed cursors, an eager re-open, and a lazy re-open — and the
+// seeded ground truth must hold throughout (racy flavours report definite
+// races, clean flavours report nothing). CI runs this under -race.
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"wet"
+	"wet/internal/workload"
+)
+
+func TestRaceReportCrossTierAndOpenPath(t *testing.T) {
+	for _, wl := range workload.ConcAll() {
+		wl := wl
+		t.Run(wl.Name, func(t *testing.T) {
+			prog, in := wl.Build(1)
+			tr, _, err := wet.Run(prog, wet.RunOptions{Inputs: in, Seed: 11}, wet.FreezeOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := tr.Races() // tier 2, in-memory build
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wl.Racy != ref.Racy() {
+				t.Fatalf("racy=%v but report.Racy()=%v: %+v", wl.Racy, ref.Racy(), ref.Races)
+			}
+			if !wl.Racy && len(ref.Races) != 0 {
+				t.Fatalf("clean variant reported findings: %v", ref.Races)
+			}
+			t1, err := tr.AtTier(wet.Tier1).Races()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(ref.Races, t1.Races) {
+				t.Fatalf("tier-1 and tier-2 reports differ:\n%v\n%v", t1.Races, ref.Races)
+			}
+
+			var buf bytes.Buffer
+			if err := tr.Save(&buf); err != nil {
+				t.Fatal(err)
+			}
+			eager, _, err := wet.Open(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			re, err := eager.Races()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(ref.Races, re.Races) {
+				t.Fatalf("eager re-open report differs:\n%v\n%v", re.Races, ref.Races)
+			}
+			lazy, _, err := wet.Open(bytes.NewReader(buf.Bytes()), wet.WithLazy())
+			if err != nil {
+				t.Fatal(err)
+			}
+			rl, err := lazy.Races()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(ref.Races, rl.Races) {
+				t.Fatalf("lazy re-open report differs:\n%v\n%v", rl.Races, ref.Races)
+			}
+		})
+	}
+}

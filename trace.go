@@ -7,6 +7,7 @@ import (
 	"wet/internal/core"
 	"wet/internal/interp"
 	"wet/internal/query"
+	"wet/internal/racecheck"
 	"wet/internal/wetio"
 )
 
@@ -51,7 +52,7 @@ func Run(p *Program, ropts RunOptions, fopts FreezeOptions) (*Trace, *RunResult,
 	if err != nil {
 		return nil, nil, err
 	}
-	iopts := interp.Options{Ctx: ropts.Ctx, Inputs: ropts.Inputs, MaxSteps: ropts.MaxSteps, Arch: ropts.Arch}
+	iopts := interp.Options{Ctx: ropts.Ctx, Inputs: ropts.Inputs, MaxSteps: ropts.MaxSteps, Arch: ropts.Arch, Seed: ropts.Seed}
 	build := core.BuildStreaming
 	if ropts.CheckDeterminism {
 		build = core.BuildStreamingChecked
@@ -186,6 +187,21 @@ func (t *Trace) ValueInvariance(minExecs uint64) ([]Invariance, error) {
 func (t *Trace) StrideProfiles(minAccesses int) ([]StrideProfile, error) {
 	return query.StrideProfiles(t.w, t.tier, minAccesses)
 }
+
+// Races runs happens-before and lockset race detection over the trace's
+// concurrency streams at the handle's tier (see internal racecheck rules
+// RC001–RC003). A single-threaded trace — or one loaded from a
+// pre-concurrency file — yields a report with Concurrent == false and no
+// findings.
+func (t *Trace) Races() (*RaceReport, error) {
+	return racecheck.Check(t.w, t.tier)
+}
+
+// RaceReport is the result of Races.
+type RaceReport = racecheck.Report
+
+// DataRace is one finding of a RaceReport.
+type DataRace = racecheck.Race
 
 // RangeError reports an inverted timestamp range handed to ExtractCFRange.
 type RangeError = query.RangeError

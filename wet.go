@@ -89,6 +89,9 @@ type RunOptions struct {
 	CheckDeterminism bool
 	// Arch optionally receives branch/memory outcomes (see ArchRecorder).
 	Arch interp.ArchSink
+	// Seed drives the deterministic thread scheduler of concurrent
+	// programs (see interp.Options.Seed); single-threaded runs ignore it.
+	Seed uint64
 }
 
 // RunResult summarizes the program run that produced a WET.
@@ -129,7 +132,7 @@ func BuildWET(p *Program, opts RunOptions) (*WET, *RunResult, error) {
 		b.CheckDeterminism = true
 		cnt := trace.NewCounting(b)
 		res, err := interp.Run(st, interp.Options{
-			Ctx: opts.Ctx, Inputs: opts.Inputs, MaxSteps: opts.MaxSteps, Sink: cnt, Arch: opts.Arch,
+			Ctx: opts.Ctx, Inputs: opts.Inputs, MaxSteps: opts.MaxSteps, Sink: cnt, Arch: opts.Arch, Seed: opts.Seed,
 		})
 		if err != nil {
 			return nil, res, err
@@ -142,7 +145,7 @@ func BuildWET(p *Program, opts RunOptions) (*WET, *RunResult, error) {
 		return w, res, nil
 	}
 	return core.Build(st, interp.Options{
-		Ctx: opts.Ctx, Inputs: opts.Inputs, MaxSteps: opts.MaxSteps, Arch: opts.Arch,
+		Ctx: opts.Ctx, Inputs: opts.Inputs, MaxSteps: opts.MaxSteps, Arch: opts.Arch, Seed: opts.Seed,
 	})
 }
 
