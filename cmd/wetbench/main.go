@@ -13,6 +13,7 @@
 //	wetbench -openjson BENCH_open.json     # open/decode-path bench (eager vs lazy vs parallel)
 //	wetbench -servejson BENCH_serve.json   # wetd serving bench (QPS, latency quantiles, cache hit rate)
 //	wetbench -racejson BENCH_race.json     # race-detection bench (compressed-bytes-scanned vs raw events)
+//	wetbench -budgetjson BENCH_budget.json # byte-budget sweep (budget vs achieved bytes vs answerable queries)
 //
 // JSON artifacts (-epochjson/-openjson/-servejson/-freezejson/-queryjson/-racejson) are written
 // atomically: a bench that fails or is interrupted mid-write leaves any
@@ -75,6 +76,7 @@ func main() {
 	openBaseline := flag.String("openbaseline", "", "with -openjson: committed baseline record to compare dimensionless speedups against")
 	openTol := flag.Float64("opentol", 0.20, "with -openbaseline: fail when a speedup falls more than this fraction below the baseline")
 	serveJSON := flag.String("servejson", "", "run only the serving bench (wetd load over a byte-budgeted corpus) and write its JSON record to this file")
+	budgetJSON := flag.String("budgetjson", "", "run only the byte-budget sweep (budget vs achieved bytes vs queries still answerable) and write its JSON record to this file")
 	raceJSON := flag.String("racejson", "", "run only the race-detection bench (concurrent workload variants, seeded-race ground truth) and write its JSON record to this file")
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (exit code 5); 0 = no limit")
 	quiet := flag.Bool("q", false, "suppress progress output")
@@ -189,6 +191,13 @@ func main() {
 		}
 		writeArtifact(*raceJSON, "race bench", func(w io.Writer) error {
 			return exp.WriteRaceBenchJSON(cfg, w, progress)
+		})
+		return
+	}
+
+	if *budgetJSON != "" {
+		writeArtifact(*budgetJSON, "budget bench", func(w io.Writer) error {
+			return exp.WriteBudgetBenchJSON(cfg, w, progress)
 		})
 		return
 	}

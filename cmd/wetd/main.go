@@ -34,7 +34,6 @@ import (
 	"fmt"
 	"net/http"
 	"os"
-	"strconv"
 	"strings"
 	"time"
 
@@ -60,7 +59,7 @@ func run() int {
 	timeout := flag.Duration("timeout", 0, "shut down after this duration (exit code 5); 0 = run until signalled")
 	flag.Parse()
 
-	budgetBytes, err := parseBytes(*budget)
+	budgetBytes, err := cliutil.ParseBytes(*budget)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "wetd: %v\n", err)
 		return cliutil.ExitUsage
@@ -125,7 +124,7 @@ func addBench(c *corpus.Corpus, name string) error {
 		return err
 	}
 	prog, in := wl.Build(1)
-	tr, _, err := wet.Run(prog, wet.RunOptions{Inputs: in}, wet.FreezeOptions{EpochTS: 1 << 8})
+	tr, _, err := wet.Run(prog, wet.WithInputs(in...), wet.WithEpochTS(1<<8))
 	if err != nil {
 		return fmt.Errorf("build %s: %w", name, err)
 	}
@@ -148,25 +147,4 @@ func splitList(s string) []string {
 		}
 	}
 	return out
-}
-
-// parseBytes reads "0", "4096", "64KiB", "32MiB", "1GiB" (and KB/MB/GB as
-// the same power-of-two units).
-func parseBytes(s string) (uint64, error) {
-	t := strings.TrimSpace(s)
-	mult := uint64(1)
-	for _, suf := range []struct {
-		s string
-		m uint64
-	}{{"GiB", 1 << 30}, {"GB", 1 << 30}, {"MiB", 1 << 20}, {"MB", 1 << 20}, {"KiB", 1 << 10}, {"KB", 1 << 10}, {"B", 1}} {
-		if strings.HasSuffix(t, suf.s) {
-			t, mult = strings.TrimSuffix(t, suf.s), suf.m
-			break
-		}
-	}
-	n, err := strconv.ParseUint(strings.TrimSpace(t), 10, 64)
-	if err != nil {
-		return 0, fmt.Errorf("bad byte size %q", s)
-	}
-	return n * mult, nil
 }

@@ -166,6 +166,12 @@ func dump(w *core.WET, paths int, sliceTS uint, dotFile string) {
 	}
 	fmt.Println()
 	fmt.Print(w.Report().String())
+	// A byte-budgeted container carries its fidelity section; surface what
+	// the freeze shed so an operator knows which queries this file answers.
+	if w.Fidelity.Degraded() {
+		fmt.Println()
+		fmt.Println(w.Fidelity.String())
+	}
 
 	fmt.Printf("\ntier-2 methods:")
 	type mc struct {
@@ -277,7 +283,18 @@ func epochSegStats(w *core.WET) []segStats {
 }
 
 // defAt finds the last def-port statement instance at the given timestamp.
-func defAt(w *core.WET, ts uint32) (query.Instance, error) {
+// On a budget-degraded trace with widened timestamps the exact-TS scan is
+// unanswerable; the capability panic surfaces as a typed error, not a crash.
+func defAt(w *core.WET, ts uint32) (in query.Instance, err error) {
+	defer func() {
+		switch p := recover().(type) {
+		case nil:
+		case *core.CapabilityError:
+			in, err = query.Instance{}, p
+		default:
+			panic(p)
+		}
+	}()
 	for ni, n := range w.Nodes {
 		seq := w.TSSeq(n, core.Tier2)
 		for ord := 0; ord < n.Execs; ord++ {

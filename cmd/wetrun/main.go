@@ -6,6 +6,7 @@
 //	wetrun -bench gzip -stmts 500000
 //	wetrun -bench li -scale 4 -census
 //	wetrun -bench mcf -certify -o mcf.wet
+//	wetrun -bench mcf -budget 2MiB -o mcf.wet       # land the container under a byte budget
 //	wetrun -bench gcc -stmts 5000000 -epoch 65536   # streaming, epoch-segmented
 package main
 
@@ -41,6 +42,7 @@ func main() {
 	outFile := flag.String("o", "", "save the frozen WET to this file")
 	workers := flag.Int("workers", 0, "tier-2 freeze worker pool size (0 = GOMAXPROCS, 1 = serial)")
 	certify := flag.Bool("certify", false, "semantically certify the frozen WET against its static analysis before reporting/saving")
+	budget := flag.String("budget", "", "byte budget for the frozen container (KiB/MiB/GiB suffixes); past the lossless floor the freeze sheds query capabilities in a fixed order and reports exactly what it lost")
 	epoch := flag.Uint("epoch", 0, "epoch size in timestamps: seal and tier-2 compress the profile per epoch while the run executes (0 = single-epoch; saves format v4)")
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (exit code 5); 0 = no limit")
 	flag.Parse()
@@ -50,6 +52,19 @@ func main() {
 	// released, and an interrupted -o save leaves no torn file behind.
 	ctx, stop := cliutil.Context(*timeout)
 	defer stop()
+
+	var budgetBytes uint64
+	if *budget != "" {
+		var err error
+		if budgetBytes, err = cliutil.ParseBytes(*budget); err != nil {
+			fmt.Fprintln(os.Stderr, "wetrun:", err)
+			os.Exit(cliutil.ExitUsage)
+		}
+	}
+	if budgetBytes > 0 && *conc {
+		fmt.Fprintln(os.Stderr, "wetrun: -budget is not supported with -conc")
+		os.Exit(cliutil.ExitUsage)
+	}
 
 	if *conc {
 		cw, err := workload.ConcByName(*bench)
@@ -71,7 +86,7 @@ func main() {
 	}
 
 	var run *exp.Run
-	if *scale > 0 || *epoch > 0 {
+	if *scale > 0 || *epoch > 0 || budgetBytes > 0 {
 		sc := *scale
 		if sc == 0 {
 			sc, err = workload.ScaleFor(w, *stmts)
@@ -89,7 +104,7 @@ func main() {
 		}
 		// BuildStreaming with epoch 0 is exactly Build + Freeze.
 		wet, rep, res, err := core.BuildStreaming(st, interp.Options{Ctx: ctx, Inputs: in}, core.FreezeOptions{
-			Workers: *workers, EpochTS: uint32(*epoch),
+			Workers: *workers, EpochTS: uint32(*epoch), ByteBudget: budgetBytes,
 		})
 		if err != nil {
 			fatal(err)
@@ -143,6 +158,10 @@ func report(ctx context.Context, w workload.Workload, run *exp.Run, certify bool
 	fmt.Printf("edges        %d static dependence edges\n", len(wet.Edges))
 	fmt.Println()
 	fmt.Print(rep.String())
+	if fid := wet.Fidelity; fid.Degraded() {
+		fmt.Println()
+		fmt.Println(fid.String())
+	}
 	if census {
 		fmt.Println()
 		names := make([]string, 0, len(rep.Methods))

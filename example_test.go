@@ -154,7 +154,7 @@ done:
 	if err != nil {
 		panic(err)
 	}
-	t, res, err := wet.Run(prog, wet.RunOptions{}, wet.FreezeOptions{EpochTS: 64})
+	t, res, err := wet.Run(prog, wet.WithEpochTS(64))
 	if err != nil {
 		panic(err)
 	}
@@ -220,7 +220,7 @@ done:
 	if err != nil {
 		panic(err)
 	}
-	t, _, err := wet.Run(prog, wet.RunOptions{}, wet.FreezeOptions{EpochTS: 8})
+	t, _, err := wet.Run(prog, wet.WithEpochTS(8))
 	if err != nil {
 		panic(err)
 	}
@@ -265,7 +265,7 @@ done:
 	if err != nil {
 		panic(err)
 	}
-	t, _, err := wet.Run(prog, wet.RunOptions{}, wet.FreezeOptions{})
+	t, _, err := wet.Run(prog)
 	if err != nil {
 		panic(err)
 	}

@@ -19,15 +19,15 @@ func main() {
 		log.Fatal(err)
 	}
 	prog, in := wl.Build(2)
-	w, res, err := wet.BuildWET(prog, wet.RunOptions{Inputs: in})
+	tr, res, err := wet.Run(prog, wet.WithInputs(in...))
 	if err != nil {
 		log.Fatal(err)
 	}
-	w.Freeze(wet.FreezeOptions{})
+	w := tr.WET()
 	fmt.Printf("profiled %s: %d statements over %d path executions of %d distinct paths\n\n",
 		wl.Name, res.Steps, w.Raw.PathExecs, len(w.Nodes))
 
-	hps := wet.HotPaths(w, 8)
+	hps := tr.HotPaths(8)
 	fmt.Println("hot Ball-Larus paths:")
 	fmt.Printf("%6s %10s %8s %8s %10s\n", "node", "path", "execs", "stmts", "coverage")
 	var cum float64

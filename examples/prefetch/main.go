@@ -21,14 +21,13 @@ func main() {
 		log.Fatal(err)
 	}
 	prog, inputs := wl.Build(1)
-	w, res, err := wet.BuildWET(prog, wet.RunOptions{Inputs: inputs})
+	tr, res, err := wet.Run(prog, wet.WithInputs(inputs...))
 	if err != nil {
 		log.Fatal(err)
 	}
-	w.Freeze(wet.FreezeOptions{})
 	fmt.Printf("profiled %s (%d statements)\n\n", wl.Name, res.Steps)
 
-	profiles, err := wet.StrideProfiles(w, wet.Tier2, 64)
+	profiles, err := tr.StrideProfiles(64)
 	if err != nil {
 		log.Fatal(err)
 	}

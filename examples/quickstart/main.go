@@ -34,24 +34,24 @@ func main() {
 	prog.MustFinalize()
 
 	// Run it under the profiler and build the WET.
-	w, res, err := wet.BuildWET(prog, wet.RunOptions{})
+	tr, res, err := wet.Run(prog)
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep := w.Freeze(wet.FreezeOptions{})
+	w := tr.WET()
 	fmt.Printf("executed %d intermediate statements in %d Ball-Larus path executions\n",
 		res.Steps, w.Raw.PathExecs)
 	fmt.Printf("WET: %d nodes, %d dependence edges\n\n", len(w.Nodes), len(w.Edges))
-	fmt.Println(rep)
+	fmt.Println(tr.Report())
 
 	// Query 1: the whole control flow trace, forward, from the compressed
 	// representation.
-	n := wet.ExtractControlFlow(w, wet.Tier2, true, nil)
+	n := tr.ExtractControlFlow(true, nil)
 	fmt.Printf("control flow trace: %d statements reconstructed\n", n)
 
 	// Query 2: the final load's value trace.
 	var vals []int64
-	if _, err := wet.ValueTrace(w, wet.Tier2, loadS.ID, func(s wet.Sample) {
+	if _, err := tr.ValueTrace(loadS.ID, func(s wet.Sample) {
 		vals = append(vals, s.Value)
 	}); err != nil {
 		log.Fatal(err)
@@ -60,7 +60,7 @@ func main() {
 		len(vals), vals)
 
 	// Query 3: its address trace (resolved through the dependence edges).
-	if _, err := wet.AddressTrace(w, wet.Tier2, loadS.ID, func(s wet.Sample) {
+	if _, err := tr.AddressTrace(loadS.ID, func(s wet.Sample) {
 		fmt.Printf("final load address: %d (at time %d)\n", s.Value, s.TS)
 	}); err != nil {
 		log.Fatal(err)
@@ -68,7 +68,7 @@ func main() {
 
 	// Query 4: a backward WET slice of the output — everything that fed it.
 	ref := w.StmtOcc[outS.ID][0]
-	sl, err := wet.Backward(w, wet.Tier2, wet.Instance{Node: ref.Node, Pos: ref.Pos, Ord: 0}, 0)
+	sl, err := tr.Backward(wet.Instance{Node: ref.Node, Pos: ref.Pos, Ord: 0}, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -98,17 +98,17 @@ func main() {
 
 	// Build the WET of the same run and slice backward from the bad output
 	// instance (the bad-th execution of the output statement).
-	w, _, err := wet.BuildWET(prog, wet.RunOptions{})
+	tr, _, err := wet.Run(prog)
 	if err != nil {
 		log.Fatal(err)
 	}
-	w.Freeze(wet.FreezeOptions{})
+	w := tr.WET()
 
 	inst, err := nthInstance(w, outStmt.ID, bad)
 	if err != nil {
 		log.Fatal(err)
 	}
-	sl, err := wet.Backward(w, wet.Tier2, inst, 0)
+	sl, err := tr.Backward(inst, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

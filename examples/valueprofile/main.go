@@ -20,14 +20,13 @@ func main() {
 		log.Fatal(err)
 	}
 	prog, inputs := wl.Build(2)
-	w, res, err := wet.BuildWET(prog, wet.RunOptions{Inputs: inputs})
+	tr, res, err := wet.Run(prog, wet.WithInputs(inputs...))
 	if err != nil {
 		log.Fatal(err)
 	}
-	w.Freeze(wet.FreezeOptions{})
 	fmt.Printf("profiled %s (%d statements)\n\n", wl.Name, res.Steps)
 
-	invs, err := wet.ValueInvariance(w, wet.Tier2, 50)
+	invs, err := tr.ValueInvariance(50)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -22,33 +22,43 @@ var fpFreezeJob = faultpoint.New("core.freeze.job")
 // timestamp or value, 8 bytes per dependence label pair at tiers 0/1, and
 // measured bits at tier 2.
 type SizeReport struct {
-	OrigTS, OrigVals, OrigEdges uint64
-	T1TS, T1Vals, T1Edges       uint64
-	T2TS, T2Vals, T2Edges       uint64
+	OrigTS    uint64 `json:"orig_ts"`
+	OrigVals  uint64 `json:"orig_vals"`
+	OrigEdges uint64 `json:"orig_edges"`
+	T1TS      uint64 `json:"t1_ts"`
+	T1Vals    uint64 `json:"t1_vals"`
+	T1Edges   uint64 `json:"t1_edges"`
+	T2TS      uint64 `json:"t2_ts"`
+	T2Vals    uint64 `json:"t2_vals"`
+	T2Edges   uint64 `json:"t2_edges"`
 
 	// T1EdgesDD/T1EdgesCD split the tier-1 edge label bytes by dependence
 	// kind (the paper lumps them; the split shows CD labels are the bulk
 	// before inference and nearly free after).
-	T1EdgesDD, T1EdgesCD uint64
+	T1EdgesDD uint64 `json:"t1_edges_dd"`
+	T1EdgesCD uint64 `json:"t1_edges_cd"`
 
 	// InferableEdges / SharedEdges count tier-1 label eliminations;
 	// DiagonalEdges counts the AggressiveEdges reduction.
-	InferableEdges, SharedEdges, OwnedEdges, DiagonalEdges int
+	InferableEdges int `json:"inferable_edges"`
+	SharedEdges    int `json:"shared_edges"`
+	OwnedEdges     int `json:"owned_edges"`
+	DiagonalEdges  int `json:"diagonal_edges"`
 	// Methods counts tier-2 method selections by name.
-	Methods map[string]int
+	Methods map[string]int `json:"methods,omitempty"`
 
 	// CheckpointBytes is the in-memory cost of the tier-2 cursor checkpoint
 	// indexes (seek accelerators). It is reported separately and NOT added
 	// to T2Total: checkpoints are derived access structures, rebuilt on
 	// Load, never serialized, and not part of the paper's compressed-size
 	// metric. Recomputed by RestoreIndexes for deserialized WETs.
-	CheckpointBytes uint64
+	CheckpointBytes uint64 `json:"checkpoint_bytes"`
 
 	// Degradation records what FreezeOptions.MemBudget traded away (nil
 	// when no budget was set or nothing degraded). In-memory only: it
 	// describes how this freeze ran, not the frozen bytes, so wetio does
 	// not serialize it.
-	Degradation *DegradationReport
+	Degradation *DegradationReport `json:"degradation,omitempty"`
 }
 
 // OrigTotal is the uncompressed WET size in bytes.
@@ -127,6 +137,16 @@ type FreezeOptions struct {
 	// streaming build's epoch shrinks toward minEpochTS — and the rungs
 	// taken are reported in SizeReport.Degradation. 0 means unlimited.
 	MemBudget uint64
+	// ByteBudget is a hard ceiling, in bytes, on the serialized container
+	// size. A budget at or above the lossless floor changes nothing (the
+	// output stays byte-identical to an unbudgeted freeze); below it the
+	// freeze descends an ordered lossy ladder — drop uncompressed-value
+	// group streams, then dependence-edge label streams, then widen node
+	// timestamps to a sampled stride — until the measured size fits,
+	// recording every rung in the WET's FidelityReport (budget.go). A
+	// budget even the full ladder cannot reach fails the freeze with
+	// *BudgetError. 0 means unlimited.
+	ByteBudget uint64
 }
 
 // Freeze applies the tier-1 edge label reductions (paper §3.3), compresses
@@ -379,6 +399,27 @@ func (w *WET) FreezeErr(opts FreezeOptions) (*SizeReport, error) {
 	}
 	r.CheckpointBytes = w.checkpointBytes()
 
+	// Byte budget: the container measure needs a frozen WET, so freeze
+	// first, then descend the degradation ladder; on failure restore the
+	// unfrozen contract (budget.go).
+	w.frozen = true
+	w.report = r
+	if err := w.applyByteBudget(opts); err != nil {
+		w.frozen, w.report = false, nil
+		w.Fidelity, w.TSStride = nil, 0
+		w.releasePartialTier2()
+		for _, n := range w.Nodes {
+			for _, g := range n.Groups {
+				g.Dropped = false
+			}
+		}
+		for _, e := range w.Edges {
+			e.Dropped = false
+		}
+		return nil, err
+	}
+	r.CheckpointBytes = w.checkpointBytes()
+
 	if opts.DropTier1 {
 		for _, n := range w.Nodes {
 			n.TS = nil
@@ -394,8 +435,6 @@ func (w *WET) FreezeErr(opts FreezeOptions) (*SizeReport, error) {
 			w.Conc.dropTier1()
 		}
 	}
-	w.frozen = true
-	w.report = r
 	return r, nil
 }
 

@@ -98,8 +98,11 @@ func (w *WET) MaterializeTier1Ctx(ctx context.Context, workers int) error {
 		}
 		n := n
 		jobs = append(jobs, func(*stream.Scratch) {
-			n.TS = drain(w.TSSeq(n, Tier2))
+			n.TS = drain(w.ApproxTSSeq(n, Tier2))
 			for _, g := range n.Groups {
+				if g.Dropped {
+					continue // budget-dropped: no streams to drain
+				}
 				g.Pattern = drain(w.PatternSeq(g, Tier2))
 				g.UVals = make([][]uint32, len(g.ValMembers))
 				for mi := range g.UVals {
@@ -109,7 +112,7 @@ func (w *WET) MaterializeTier1Ctx(ctx context.Context, workers int) error {
 		})
 	}
 	for _, e := range w.Edges {
-		if e.Inferable || e.Segs == nil {
+		if e.Inferable || e.Dropped || e.Segs == nil {
 			continue
 		}
 		e := e

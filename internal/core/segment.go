@@ -641,6 +641,14 @@ func buildStreaming(st *interp.Static, ropts interp.Options, opts FreezeOptions,
 	rep.Degradation = deg
 	w.frozen = true
 	w.report = rep
+	// Byte budget on the segmented container: same ladder as the
+	// single-epoch freeze minus the timestamp-widening rung (v4 segments
+	// store epoch-local timestamps; see budget.go). The failed-build WET is
+	// discarded by the caller, so only the frozen flag needs restoring.
+	if err := w.applyByteBudget(opts); err != nil {
+		w.frozen, w.report = false, nil
+		return nil, nil, res, err
+	}
 	return w, rep, res, nil
 }
 

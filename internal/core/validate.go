@@ -28,18 +28,32 @@ func (w *WET) Validate() error {
 			return err
 		}
 	}
+	// A budget-degraded WET relaxes the timestamp invariants: widened
+	// (stride-sampled) timestamps are non-decreasing per node, repeat
+	// across nodes, and no longer partition 1..Time, so only the range is
+	// checked. Dropped groups and edges carry placeholder (or no) streams
+	// and are skipped entirely — their capability checks live in the
+	// cursor factories.
+	sampled := w.TSStride > 0
 	seen := make(map[uint32]bool, w.Time)
 	for _, n := range w.Nodes {
 		if !w.Segmented() && (n.TSS == nil || n.TSS.Len() != n.Execs) {
 			return fmt.Errorf("core: node %d ts stream has %d entries, executed %d times", n.ID, seqLenOrZero(n), n.Execs)
 		}
-		tsc := w.TSSeq(n, Tier2)
+		tsc := w.ApproxTSSeq(n, Tier2)
 		if tsc.Len() != n.Execs {
 			return fmt.Errorf("core: node %d ts sequence has %d entries, executed %d times", n.ID, tsc.Len(), n.Execs)
 		}
 		last := uint32(0)
 		for i := 0; i < n.Execs; i++ {
 			ts := tsc.Next()
+			if sampled {
+				if ts < last || ts == 0 || ts > w.Time {
+					return fmt.Errorf("core: node %d sampled timestamp %d out of order or range", n.ID, ts)
+				}
+				last = ts
+				continue
+			}
 			if ts <= last || ts > w.Time {
 				return fmt.Errorf("core: node %d timestamp %d out of order or range", n.ID, ts)
 			}
@@ -50,6 +64,9 @@ func (w *WET) Validate() error {
 			last = ts
 		}
 		for gi, g := range n.Groups {
+			if g.Dropped {
+				continue
+			}
 			if !w.Segmented() && g.PatternS == nil {
 				return fmt.Errorf("core: node %d group %d has no pattern stream", n.ID, gi)
 			}
@@ -74,7 +91,7 @@ func (w *WET) Validate() error {
 			}
 		}
 	}
-	if uint32(len(seen)) != w.Time {
+	if !sampled && uint32(len(seen)) != w.Time {
 		return fmt.Errorf("core: %d timestamps present, want %d", len(seen), w.Time)
 	}
 
@@ -87,6 +104,9 @@ func (w *WET) Validate() error {
 			return fmt.Errorf("core: edge %d position out of range", ei)
 		}
 		switch {
+		case e.Dropped:
+			// Labels discarded by a byte-budgeted freeze: only the static
+			// endpoints (checked above) and adjacency (below) remain.
 		case e.Inferable:
 			if e.SrcNode != e.DstNode {
 				return fmt.Errorf("core: edge %d inferable but not local", ei)
@@ -193,6 +213,9 @@ func (w *WET) validateSegments() error {
 		}
 		windows[n.ID] = wm
 		for gi, g := range n.Groups {
+			if g.Dropped {
+				continue
+			}
 			if err := checkSegs(fmt.Sprintf("node %d group %d pattern", n.ID, gi), g.PatSegs, n.Execs); err != nil {
 				return err
 			}
@@ -205,7 +228,7 @@ func (w *WET) validateSegments() error {
 	}
 
 	for ei, e := range w.Edges {
-		if e.Inferable {
+		if e.Inferable || e.Dropped {
 			continue
 		}
 		if e.DstNode < 0 || e.DstNode >= len(w.Nodes) {

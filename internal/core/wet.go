@@ -85,6 +85,12 @@ type Edge struct {
 	// edge reuses (paper §3.3, label sharing across edge groups).
 	SharedWith int
 
+	// Dropped marks an edge whose label streams were discarded by a
+	// byte-budgeted freeze (directly, or because its shared representative
+	// was). EdgeLabels on a dropped edge panics with *CapabilityError; the
+	// drop is recorded in the WET's FidelityReport.
+	Dropped bool
+
 	// Tier-2 label streams (nil when Inferable or shared).
 	DstS, SrcS stream.Stream
 
@@ -154,6 +160,12 @@ type Group struct {
 	// statement has no def port), making ValMemberIndex O(1). Built by
 	// formGroups, so it exists on restored WETs too.
 	valIdx []int32
+
+	// Dropped marks a group whose value streams were discarded by a
+	// byte-budgeted freeze. PatternSeq/UValSeq on a dropped group panic
+	// with *CapabilityError; the drop is recorded in the WET's
+	// FidelityReport.
+	Dropped bool
 }
 
 // UniqueKeys returns the number of distinct input tuples observed.
@@ -236,6 +248,15 @@ type WET struct {
 	// nil on single-threaded traces, whose representation and serialized
 	// bytes are unchanged by the concurrency extension.
 	Conc *Conc
+
+	// TSStride > 0 means a byte-budgeted freeze widened the node timestamps
+	// to multiples of TSStride: exact-timestamp queries are unavailable
+	// (TSSeq panics with *CapabilityError; ApproxTSSeq reads the sampled
+	// sequence explicitly).
+	TSStride uint32
+	// Fidelity records what a byte-budgeted freeze kept, degraded, and
+	// dropped; nil when no ByteBudget was set.
+	Fidelity *FidelityReport
 
 	frozen bool
 	report *SizeReport
@@ -416,7 +437,24 @@ func newSeq(sl []uint32, st stream.Stream, tier Tier) Seq {
 // given tier. On a segmented WET the tier-2 cursor federates the per-epoch
 // segments (re-based to global time); tier-1 reads the materialized slices
 // when present (MaterializeTier1 / LoadOptions.RestoreTier1).
+//
+// On a budget-degraded WET whose timestamps were widened (TSStride > 0)
+// TSSeq panics with *CapabilityError: the exact values are gone and
+// answering from the sampled ones would silently be wrong. Callers that
+// want the sampled sequence use ApproxTSSeq.
 func (w *WET) TSSeq(n *Node, tier Tier) Seq {
+	if w.TSStride > 0 {
+		panic(&CapabilityError{Capability: CapExactTS,
+			Detail: fmt.Sprintf("timestamps widened to stride %d by a byte-budgeted freeze", w.TSStride)})
+	}
+	return w.ApproxTSSeq(n, tier)
+}
+
+// ApproxTSSeq is TSSeq without the exact-timestamp capability check: on a
+// budget-degraded WET it reads the stride-sampled sequence (each value
+// quantized to a multiple of WET.TSStride), and on an undegraded WET it is
+// identical to TSSeq. Callers own the approximation.
+func (w *WET) ApproxTSSeq(n *Node, tier Tier) Seq {
 	if tier == Tier2 && n.TSSegs != nil {
 		return w.tsFed(n)
 	}
@@ -434,11 +472,19 @@ func (w *WET) EdgeLabels(e *Edge, tier Tier) (dst, src Seq) {
 	if e.Inferable {
 		return nil, nil
 	}
+	if e.Dropped {
+		panic(&CapabilityError{Capability: CapDependences,
+			Detail: fmt.Sprintf("labels of edge %s dropped by a byte-budgeted freeze", e.Kind)})
+	}
 	if tier == Tier2 && e.Segs != nil {
 		return w.edgeFed(e)
 	}
 	if e.SharedWith >= 0 {
 		e = w.Edges[e.SharedWith]
+		if e.Dropped {
+			panic(&CapabilityError{Capability: CapDependences,
+				Detail: "shared label representative dropped by a byte-budgeted freeze"})
+		}
 	}
 	if e.Diagonal {
 		return newSeq(e.DstOrd, e.DstS, tier), newSeq(e.DstOrd, e.DstS, tier)
@@ -447,8 +493,13 @@ func (w *WET) EdgeLabels(e *Edge, tier Tier) (dst, src Seq) {
 }
 
 // PatternSeq returns a fresh cursor over group g's pattern sequence at the
-// given tier.
+// given tier. On a dropped group (byte-budgeted freeze) it panics with
+// *CapabilityError.
 func (w *WET) PatternSeq(g *Group, tier Tier) Seq {
+	if g.Dropped {
+		panic(&CapabilityError{Capability: CapValues,
+			Detail: "value group streams dropped by a byte-budgeted freeze"})
+	}
 	if tier == Tier2 && g.PatSegs != nil {
 		return w.patFed(g)
 	}
@@ -456,8 +507,13 @@ func (w *WET) PatternSeq(g *Group, tier Tier) Seq {
 }
 
 // UValSeq returns a fresh cursor over the unique-value sequence for
-// g.ValMembers[i].
+// g.ValMembers[i]. On a dropped group (byte-budgeted freeze) it panics
+// with *CapabilityError.
 func (w *WET) UValSeq(g *Group, i int, tier Tier) Seq {
+	if g.Dropped {
+		panic(&CapabilityError{Capability: CapValues,
+			Detail: "value group streams dropped by a byte-budgeted freeze"})
+	}
 	if tier == Tier2 && g.UValSegs != nil {
 		return w.uvalFed(g, i)
 	}

@@ -22,7 +22,7 @@ func container(tb testing.TB, name string, epochTS uint32) []byte {
 		tb.Fatal(err)
 	}
 	prog, in := wl.Build(1)
-	tr, _, err := wet.Run(prog, wet.RunOptions{Inputs: in}, wet.FreezeOptions{EpochTS: epochTS})
+	tr, _, err := wet.Run(prog, wet.WithInputs(in...), wet.WithEpochTS(epochTS))
 	if err != nil {
 		tb.Fatal(err)
 	}

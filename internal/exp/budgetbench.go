@@ -1,0 +1,157 @@
+package exp
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"wet/internal/core"
+	"wet/internal/interp"
+	"wet/internal/wetio"
+	"wet/internal/workload"
+)
+
+// budgetBenchFractions are the points of the budget sweep, as fractions of
+// each workload's measured lossless floor. 1.0 pins the lossless boundary
+// (achieved == floor, nothing degraded); the rest walk down the ladder.
+var budgetBenchFractions = []float64{1.0, 0.5, 0.25, 0.1, 0.05}
+
+// BudgetBenchPoint is one (workload, budget) cell of the sweep: what the
+// byte-budgeted freeze achieved and which query classes the container can
+// still answer exactly.
+type BudgetBenchPoint struct {
+	BudgetBytes   uint64 `json:"budget_bytes"`
+	Feasible      bool   `json:"feasible"`
+	AchievedBytes uint64 `json:"achieved_bytes"` // best-effort size when infeasible
+	GroupsDropped int    `json:"groups_dropped"`
+	EdgesDropped  int    `json:"edges_dropped"`
+	TSStride      uint32 `json:"ts_stride"`
+	// The queries-still-answerable matrix: which query classes this
+	// container answers exactly (the rest fail with a typed
+	// *query.CapabilityError, never wrong data). Timestamp widening takes
+	// out every timestamp-ordered walk, control flow included; an
+	// infeasible budget produces no container, so its row is all false.
+	QControlFlow bool `json:"q_control_flow"` // timestamps not widened
+	QValues      bool `json:"q_values"`       // every value group intact
+	QDependences bool `json:"q_dependences"`  // every edge label intact
+	QExactTS     bool `json:"q_exact_ts"`     // timestamps not widened
+}
+
+// BudgetBenchRow is one workload's budget sweep.
+type BudgetBenchRow struct {
+	Name       string             `json:"name"`
+	Stmts      uint64             `json:"stmts"`
+	FloorBytes uint64             `json:"floor_bytes"`
+	Points     []BudgetBenchPoint `json:"points"`
+}
+
+// BudgetBenchResult is the machine-readable budget-vs-fidelity record the
+// CI smoke run archives (BENCH_budget.json): budget vs achieved bytes vs
+// the queries each degraded container still answers.
+type BudgetBenchResult struct {
+	TargetStmts uint64           `json:"target_stmts"`
+	Workloads   []BudgetBenchRow `json:"workloads"`
+}
+
+// BudgetBench sweeps FreezeOptions.ByteBudget over fractions of each
+// workload's lossless floor and records achieved size and surviving query
+// capabilities, re-checking the ladder's two contracts on every run: a
+// budget at the floor stays lossless, and a feasible budget is never
+// exceeded.
+func BudgetBench(cfg Config, progress io.Writer) (*BudgetBenchResult, error) {
+	ws, err := cfg.workloads()
+	if err != nil {
+		return nil, err
+	}
+	res := &BudgetBenchResult{TargetStmts: cfg.targets()}
+	for _, wl := range ws {
+		if progress != nil {
+			fmt.Fprintf(progress, "budget bench: %s (target %d stmts)...\n", wl.Name, cfg.targets())
+		}
+		row, err := budgetBenchRow(wl, cfg.targets())
+		if err != nil {
+			return nil, fmt.Errorf("exp: %s: %w", wl.Name, err)
+		}
+		res.Workloads = append(res.Workloads, *row)
+	}
+	return res, nil
+}
+
+func budgetBenchRow(wl workload.Workload, targetStmts uint64) (*BudgetBenchRow, error) {
+	scale, err := workload.ScaleFor(wl, targetStmts)
+	if err != nil {
+		return nil, err
+	}
+	build := func(budget uint64) (*core.WET, uint64, error) {
+		prog, in := wl.Build(scale)
+		st, err := interp.Analyze(prog)
+		if err != nil {
+			return nil, 0, err
+		}
+		w, r, err := core.Build(st, interp.Options{Inputs: in})
+		if err != nil {
+			return nil, 0, err
+		}
+		if _, err := w.FreezeErr(core.FreezeOptions{ByteBudget: budget}); err != nil {
+			return nil, r.Steps, err
+		}
+		return w, r.Steps, nil
+	}
+
+	// The lossless floor is the serialized size of an unbudgeted freeze.
+	w, stmts, err := build(0)
+	if err != nil {
+		return nil, err
+	}
+	floor, err := wetio.MeasureContainer(w)
+	if err != nil {
+		return nil, err
+	}
+
+	row := &BudgetBenchRow{Name: wl.Name, Stmts: stmts, FloorBytes: floor}
+	for _, frac := range budgetBenchFractions {
+		budget := uint64(float64(floor) * frac)
+		pt := BudgetBenchPoint{BudgetBytes: budget}
+		w, _, err := build(budget)
+		var be *core.BudgetError
+		switch {
+		case errors.As(err, &be):
+			// Unreachable even fully degraded: record the ladder's best.
+			pt.AchievedBytes = be.Best
+		case err != nil:
+			return nil, err
+		default:
+			fid := w.Fidelity
+			pt.Feasible = true
+			pt.AchievedBytes = fid.AchievedBytes
+			pt.GroupsDropped = len(fid.DroppedGroups)
+			pt.EdgesDropped = len(fid.DroppedEdges)
+			pt.TSStride = fid.TSStride
+			pt.QControlFlow = fid.TSStride == 0
+			pt.QValues = len(fid.DroppedGroups) == 0
+			pt.QDependences = len(fid.DroppedEdges) == 0
+			pt.QExactTS = fid.TSStride == 0
+			if pt.AchievedBytes > budget {
+				return nil, fmt.Errorf("budget %d B: achieved %d B exceeds it", budget, pt.AchievedBytes)
+			}
+			if frac == 1.0 && fid.Degraded() {
+				return nil, fmt.Errorf("budget at the floor (%d B) degraded: %s", budget, fid)
+			}
+		}
+		row.Points = append(row.Points, pt)
+	}
+	return row, nil
+}
+
+// WriteBudgetBenchJSON runs BudgetBench and writes the result as indented
+// JSON (the CI artifact format).
+func WriteBudgetBenchJSON(cfg Config, out io.Writer, progress io.Writer) error {
+	res, err := BudgetBench(cfg, progress)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}

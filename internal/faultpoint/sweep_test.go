@@ -104,8 +104,11 @@ func runPipeline(dir, bench string) (err error) {
 	if err != nil {
 		return err
 	}
+	// The effectively-unbounded byte budget keeps the freeze lossless while
+	// still routing it through the budget planner, so core.budget.plan is
+	// rehearsed on every sweep case.
 	w, _, _, err := core.BuildStreaming(st, interp.Options{Inputs: in},
-		core.FreezeOptions{EpochTS: 1 << 12, Workers: 4})
+		core.FreezeOptions{EpochTS: 1 << 12, Workers: 4, ByteBudget: 1 << 40})
 	if err != nil {
 		return err
 	}

@@ -6,7 +6,6 @@ import (
 
 	"wet/internal/core"
 	"wet/internal/ir"
-	"wet/internal/stream"
 )
 
 // Invariance summarizes how predictable one statement's values are — the
@@ -163,7 +162,7 @@ func (e *RangeError) Error() string {
 // inverted range (fromTS > toTS) returns a *RangeError; a range merely
 // clipped by the ends of the trace is extracted as far as it exists.
 func ExtractCFRange(w *core.WET, tier core.Tier, fromTS, toTS uint32, emit func(stmtID int)) (n uint64, err error) {
-	defer stream.RecoverDecode(&err)
+	defer recoverTyped(&err)
 	if fromTS > toTS {
 		return 0, &RangeError{From: fromTS, To: toTS}
 	}

@@ -6,7 +6,6 @@ import (
 	"sort"
 
 	"wet/internal/core"
-	"wet/internal/stream"
 )
 
 // HotPath summarizes one Ball–Larus path's execution frequency — the "hot
@@ -54,7 +53,7 @@ func HotPaths(w *core.WET, n int) []HotPath {
 // the slice. Output is deterministic. Deferred-decode failures surface as a
 // *stream.DecodeError, not a panic.
 func WriteDOT(w *core.WET, tier core.Tier, res *SliceResult, out io.Writer) (err error) {
-	defer stream.RecoverDecode(&err)
+	defer recoverTyped(&err)
 	inSlice := map[uint64]bool{}
 	for _, in := range res.Instances {
 		inSlice[pack(in)] = true

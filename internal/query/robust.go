@@ -97,22 +97,26 @@ func BatchCtx(ctx context.Context, workers, n int, job func(i int) error) error 
 	return nil
 }
 
-// recoverQueryPanic converts the two panics a query can legitimately hit
-// into returned errors: a lazily loaded stream failing its deferred decode
-// (*stream.DecodeError, kept as-is — it names the failing stream) and
-// anything else a job does (wrapped as *core.PanicError). The query entry
-// points use stream.RecoverDecode directly; BatchCtx uses this wider net
-// because it runs arbitrary caller code.
+// recoverQueryPanic converts the panics a query can legitimately hit into
+// returned errors: a lazily loaded stream failing its deferred decode
+// (*stream.DecodeError, kept as-is — it names the failing stream), a
+// cursor factory refusing budget-dropped data (*CapabilityError, also kept
+// typed), and anything else a job does (wrapped as *core.PanicError). The
+// query entry points use recoverTyped directly; BatchCtx uses this wider
+// net because it runs arbitrary caller code.
 func recoverQueryPanic(slot *error) {
 	p := recover()
 	if p == nil {
 		return
 	}
-	if de, ok := p.(*stream.DecodeError); ok {
-		*slot = de
-		return
+	switch t := p.(type) {
+	case *stream.DecodeError:
+		*slot = t
+	case *CapabilityError:
+		*slot = t
+	default:
+		*slot = &core.PanicError{Op: "query job", Value: p}
 	}
-	*slot = &core.PanicError{Op: "query job", Value: p}
 }
 
 // ExtractCFCtx is ExtractCF with cooperative cancellation (polled every 4096
@@ -120,7 +124,7 @@ func recoverQueryPanic(slot *error) {
 // instead of a panic. A cancelled extraction returns the statements emitted
 // so far together with context.Cause.
 func ExtractCFCtx(ctx context.Context, w *core.WET, tier core.Tier, forward bool, emit func(stmtID int)) (n uint64, err error) {
-	defer stream.RecoverDecode(&err)
+	defer recoverTyped(&err)
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -169,7 +173,7 @@ func ExtractCFCtx(ctx context.Context, w *core.WET, tier core.Tier, forward bool
 // ExtractCFRangeCtx is ExtractCFRange with cooperative cancellation, at the
 // same 4096-node-step cadence as ExtractCFCtx.
 func ExtractCFRangeCtx(ctx context.Context, w *core.WET, tier core.Tier, fromTS, toTS uint32, emit func(stmtID int)) (n uint64, err error) {
-	defer stream.RecoverDecode(&err)
+	defer recoverTyped(&err)
 	if ctx == nil {
 		ctx = context.Background()
 	}

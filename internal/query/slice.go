@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"wet/internal/core"
-	"wet/internal/stream"
 )
 
 // Instance names one dynamic statement instance in WET coordinates: the
@@ -109,7 +108,7 @@ func BackwardSlice(w *core.WET, tier core.Tier, from Instance, maxInstances int)
 // static-CD pruning oracle. Deferred-decode failures on a lazily loaded WET
 // surface as a *stream.DecodeError, not a panic.
 func BackwardSliceOpts(w *core.WET, tier core.Tier, from Instance, opts SliceOptions) (res *SliceResult, err error) {
-	defer stream.RecoverDecode(&err)
+	defer recoverTyped(&err)
 	if err := checkInstance(w, from); err != nil {
 		return nil, err
 	}
@@ -156,7 +155,7 @@ func pack(in Instance) uint64 {
 // computation was influenced by the given instance. Deferred-decode
 // failures surface as a *stream.DecodeError, not a panic.
 func ForwardSlice(w *core.WET, tier core.Tier, from Instance, maxInstances int) (res *SliceResult, err error) {
-	defer stream.RecoverDecode(&err)
+	defer recoverTyped(&err)
 	if err := checkInstance(w, from); err != nil {
 		return nil, err
 	}
@@ -232,7 +231,7 @@ func checkInstance(w *core.WET, in Instance) error {
 // node execution holding timestamp ts (a convenience for picking slicing
 // criteria from a point in time).
 func InstanceOfTS(w *core.WET, tier core.Tier, stmtID int, ts uint32) (in Instance, err error) {
-	defer stream.RecoverDecode(&err)
+	defer recoverTyped(&err)
 	for _, ref := range w.StmtOcc[stmtID] {
 		n := w.Nodes[ref.Node]
 		seq := w.TSSeq(n, tier)
@@ -278,7 +277,7 @@ func Chop(w *core.WET, tier core.Tier, from, to Instance, maxInstances int) (*Sl
 // recording up to maxLen instances. It is the paper's "chains of data
 // dependences ... can all be easily found by traversing the WET" query.
 func DependenceChain(w *core.WET, tier core.Tier, from Instance, opIdx, maxLen int) (chain []Instance, err error) {
-	defer stream.RecoverDecode(&err)
+	defer recoverTyped(&err)
 	if err := checkInstance(w, from); err != nil {
 		return nil, err
 	}

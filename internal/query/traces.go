@@ -6,7 +6,6 @@ import (
 
 	"wet/internal/core"
 	"wet/internal/ir"
-	"wet/internal/stream"
 )
 
 // Sample is one element of a per-instruction trace: the global timestamp of
@@ -62,7 +61,7 @@ func (c *occCursor) next() (Sample, bool) {
 // is a load (Table 7). On a lazily loaded WET, a stream failing its deferred
 // decode surfaces as a *stream.DecodeError, not a panic.
 func ValueTrace(w *core.WET, tier core.Tier, stmtID int, emit func(Sample)) (count uint64, err error) {
-	defer stream.RecoverDecode(&err)
+	defer recoverTyped(&err)
 	refs := w.StmtOcc[stmtID]
 	cursors := make([]*occCursor, 0, len(refs))
 	heads := make([]Sample, 0, len(refs))
@@ -142,7 +141,7 @@ func addrOperandIndex(st *ir.Stmt) int {
 // static displacement. Deferred-decode failures surface as a
 // *stream.DecodeError, not a panic.
 func AddressTrace(w *core.WET, tier core.Tier, stmtID int, emit func(Sample)) (count uint64, err error) {
-	defer stream.RecoverDecode(&err)
+	defer recoverTyped(&err)
 	st := w.Prog.Stmts[stmtID]
 	if st.Op != ir.OpLoad && st.Op != ir.OpStore {
 		return 0, fmt.Errorf("query: statement %s is not a memory access", st)

@@ -9,7 +9,6 @@ import (
 	"fmt"
 
 	"wet/internal/core"
-	"wet/internal/stream"
 )
 
 // Walker reconstructs the control flow trace from node timestamps: the node
@@ -223,7 +222,7 @@ func (wk *Walker) SeekStart() {
 // StartAt positions the walker on the node execution holding timestamp t.
 // Deferred-decode failures surface as a *stream.DecodeError, not a panic.
 func (wk *Walker) StartAt(t uint32) (err error) {
-	defer stream.RecoverDecode(&err)
+	defer recoverTyped(&err)
 	if t < 1 || t > wk.w.Time {
 		return fmt.Errorf("query: timestamp %d outside [1,%d]", t, wk.w.Time)
 	}

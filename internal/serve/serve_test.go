@@ -31,7 +31,7 @@ func testCorpus(tb testing.TB, budget uint64, names ...string) *corpus.Corpus {
 			tb.Fatal(err)
 		}
 		prog, in := wl.Build(1)
-		tr, _, err := wet.Run(prog, wet.RunOptions{Inputs: in}, wet.FreezeOptions{EpochTS: 1 << 8})
+		tr, _, err := wet.Run(prog, wet.WithInputs(in...), wet.WithEpochTS(1<<8))
 		if err != nil {
 			tb.Fatal(err)
 		}

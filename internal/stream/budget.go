@@ -1,0 +1,50 @@
+package stream
+
+import "io"
+
+// countWriter tallies bytes without retaining them.
+type countWriter struct{ n uint64 }
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	c.n += uint64(len(p))
+	return len(p), nil
+}
+
+// SaveSize returns the exact number of bytes Save would write for s, by
+// running the serializer against a counting writer. This is the byte-budget
+// optimizer's per-stream cost oracle: unlike SizeBits it includes every
+// framing field Save emits, so summing SaveSize over a container's streams
+// plus the fixed section overhead reproduces the on-disk size exactly.
+func SaveSize(s Stream) (uint64, error) {
+	var cw countWriter
+	if err := Save(&cw, s); err != nil {
+		return 0, err
+	}
+	return cw.n, nil
+}
+
+// Empty returns the canonical zero-length stream (a verbatim with no
+// values). Budgeted freezes substitute it for dropped value and dependence
+// streams so the container keeps an identical payload shape — Save writes
+// the 9-byte empty-verbatim form — while the data itself is gone.
+func Empty() Stream { return newVerbatim(nil) }
+
+// SampleStride quantizes vals to multiples of k (floored, with a minimum of
+// 1 so timestamp streams stay within their 1..Time domain) and returns the
+// widened sequence. Quantized runs are highly compressible, which is what
+// makes timestamp widening a useful rung on the budgeted-freeze degradation
+// ladder: positions are preserved (the result has the same length), only
+// resolution is lost.
+func SampleStride(vals []uint32, k uint32) []uint32 {
+	out := make([]uint32, len(vals))
+	for i, v := range vals {
+		q := (v / k) * k
+		if q == 0 {
+			q = 1
+		}
+		out[i] = q
+	}
+	return out
+}
+
+var _ io.Writer = (*countWriter)(nil)

@@ -1,0 +1,147 @@
+package wetio
+
+// The fidelity section persists the machine-readable account of a
+// byte-budgeted freeze (core.FidelityReport). It rides between the report
+// section and the first node record, and only in containers that actually
+// shed something: a budget at or above the lossless floor writes no
+// fidelity section, keeping those files byte-identical to pre-budget
+// output. The payload is fixed-width per entry so the planner can project
+// its cost exactly and the final achieved-size write cannot change the
+// container size:
+//
+//	budget u64, floor u64, achieved u64
+//	tsStride u32, groupsKept u32, edgesKept u32
+//	dropped groups: count u32, then per entry node u32, group u32, saved u64
+//	dropped edges:  count u32, then per entry edge u32, saved u64
+//
+// (These widths are mirrored by core's fidSectionBytes / fidGroupEntryBytes
+// / fidEdgeEntryBytes projection constants.)
+
+import (
+	"fmt"
+	"io"
+
+	"wet/internal/core"
+)
+
+// init installs the container-size oracle FreezeOptions.ByteBudget plans
+// against: a full Save into a counting writer, so the lossless floor and
+// every projected size are exact container bytes, never estimates. core
+// cannot import wetio, so the hook is registered from this side.
+func init() {
+	core.RegisterContainerMeasure(MeasureContainer)
+}
+
+// MeasureContainer returns the exact serialized size of the frozen WET: the
+// byte count of a full Save into a counting writer. This is the cost oracle
+// the byte-budget planner descends its ladder against.
+func MeasureContainer(w *core.WET) (uint64, error) {
+	var cw countingWriter
+	if err := Save(&cw, w); err != nil {
+		return 0, err
+	}
+	return cw.n, nil
+}
+
+type countingWriter struct{ n uint64 }
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.n += uint64(len(p))
+	return len(p), nil
+}
+
+func saveFidelityPayload(w io.Writer, f *core.FidelityReport) error {
+	if err := writeVals(w, f.BudgetBytes, f.FloorBytes, f.AchievedBytes,
+		f.TSStride, uint32(f.GroupsKept), uint32(f.EdgesKept)); err != nil {
+		return err
+	}
+	if err := writeVals(w, uint32(len(f.DroppedGroups))); err != nil {
+		return err
+	}
+	for _, d := range f.DroppedGroups {
+		if err := writeVals(w, uint32(d.Node), uint32(d.Group), d.SavedBytes); err != nil {
+			return err
+		}
+	}
+	if err := writeVals(w, uint32(len(f.DroppedEdges))); err != nil {
+		return err
+	}
+	for _, d := range f.DroppedEdges {
+		if err := writeVals(w, uint32(d.Edge), d.SavedBytes); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parseFidelitySec deserializes the fidelity section. Entries are bounds
+// checked against the header counts here; the per-record validation they
+// relax happens in the node/edge parsers consulting the returned report.
+func parseFidelitySec(s *section, hdr header) (*core.FidelityReport, error) {
+	var fid *core.FidelityReport
+	err := guard("fidelity", s.offset, func() error {
+		sr := newSecReader(s)
+		f := &core.FidelityReport{}
+		var kg, ke uint32
+		if err := readVals(sr, &f.BudgetBytes, &f.FloorBytes, &f.AchievedBytes,
+			&f.TSStride, &kg, &ke); err != nil {
+			return err
+		}
+		f.GroupsKept, f.EdgesKept = int(kg), int(ke)
+		ng, err := sr.count(16)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < ng; i++ {
+			var node, group uint32
+			var saved uint64
+			if err := readVals(sr, &node, &group, &saved); err != nil {
+				return err
+			}
+			if int(node) >= hdr.nNodes {
+				return fmt.Errorf("dropped-group entry names node %d of %d", node, hdr.nNodes)
+			}
+			f.DroppedGroups = append(f.DroppedGroups,
+				core.DroppedGroup{Node: int(node), Group: int(group), SavedBytes: saved})
+		}
+		ne, err := sr.count(12)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < ne; i++ {
+			var edge uint32
+			var saved uint64
+			if err := readVals(sr, &edge, &saved); err != nil {
+				return err
+			}
+			if int(edge) >= hdr.nEdges {
+				return fmt.Errorf("dropped-edge entry names edge %d of %d", edge, hdr.nEdges)
+			}
+			f.DroppedEdges = append(f.DroppedEdges,
+				core.DroppedEdge{Edge: int(edge), SavedBytes: saved})
+		}
+		if err := sr.done(); err != nil {
+			return err
+		}
+		fid = f
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return fid, nil
+}
+
+// installFidelity attaches a parsed fidelity report to an assembled WET:
+// the stride gates exact-timestamp queries, and the summary fields are
+// rederived from the (possibly salvage-filtered) drop lists rather than
+// trusted from the file.
+func installFidelity(wet *core.WET, fid *core.FidelityReport) {
+	totalGroups := 0
+	for _, n := range wet.Nodes {
+		totalGroups += len(n.Groups)
+	}
+	fid.Finish(totalGroups, len(wet.Edges))
+	wet.Fidelity = fid
+	wet.TSStride = fid.TSStride
+}

@@ -28,10 +28,17 @@ const (
 	secEdge    = uint8(5) // one edge record
 	secEnd     = uint8(6) // empty end marker
 	secConc    = uint8(7) // concurrency streams (optional; multi-threaded runs only)
+	// secFidelity carries the byte-budgeted freeze's fidelity report
+	// (optional; present only when the freeze degraded — a budget at or
+	// above the lossless floor writes no section, keeping the container
+	// byte-identical to an unbudgeted save). It sits between the report
+	// section and the first node so loaders know which node/edge records
+	// carry placeholder streams before parsing them.
+	secFidelity = uint8(8)
 )
 
 // lastSecTag is the highest recognized section tag (framing-recovery bound).
-const lastSecTag = secConc
+const lastSecTag = secFidelity
 
 // maxSectionLen bounds a single section's declared payload size. It is a
 // framing-sanity limit, not an allocation bound: payloads are read in
@@ -57,6 +64,8 @@ func sectionName(tag uint8) string {
 		return "end"
 	case secConc:
 		return "conc"
+	case secFidelity:
+		return "fidelity"
 	}
 	return fmt.Sprintf("unknown(%d)", tag)
 }
@@ -82,30 +91,32 @@ func (e *FormatError) Unwrap() error { return e.Cause }
 
 // SalvageReport describes what LoadOptions.Salvage managed to recover.
 type SalvageReport struct {
-	Version int
+	Version int `json:"version"`
 	// SectionsRead counts sections whose CRC validated and that parsed.
-	SectionsRead int
+	SectionsRead int `json:"sections_read"`
 	// SectionsDropped counts sections that failed their CRC, failed to
 	// parse, or were structurally inconsistent and were skipped.
-	SectionsDropped int
+	SectionsDropped int `json:"sections_dropped"`
 	// BytesSkipped counts payload bytes of dropped sections plus any
 	// unframeable tail of the file.
-	BytesSkipped int64
+	BytesSkipped int64 `json:"bytes_skipped"`
 	// Truncated is set when the file ended before its end marker.
-	Truncated bool
+	Truncated bool `json:"truncated"`
 
-	NodesLoaded, NodesDropped int
-	EdgesLoaded, EdgesDropped int
+	NodesLoaded  int `json:"nodes_loaded"`
+	NodesDropped int `json:"nodes_dropped"`
+	EdgesLoaded  int `json:"edges_loaded"`
+	EdgesDropped int `json:"edges_dropped"`
 
 	// Adjustments lists the cross-reference repairs applied to keep the
 	// loaded prefix internally consistent (clamped control-flow successor
 	// lists, remapped first/last pointers, dropped shared-label edges).
-	Adjustments []string
+	Adjustments []string `json:"adjustments,omitempty"`
 
 	// Degradation records the rungs LoadOptions.MemBudget forced the load
 	// down (nil when no budget was set or nothing was shed). Budget
 	// degradation is not data loss, so it does not affect Clean().
-	Degradation *core.DegradationReport
+	Degradation *core.DegradationReport `json:"degradation,omitempty"`
 }
 
 // Clean reports whether the file loaded without any loss.

@@ -231,13 +231,20 @@ func parseNodeSecV4(s *section, st *interp.Static, id, nNodes int, wet *core.WET
 			if int(nuv) != len(g.ValMembers) {
 				return fmt.Errorf("group has %d value members, file says %d", len(g.ValMembers), nuv)
 			}
-			if g.PatSegs, err = loadLabelSegs(sr, wet.Epochs, n.Execs, fmt.Sprintf("group %d pattern", gi), opts); err != nil {
+			// A budget-dropped group writes zero-count segment lists (the
+			// count is self-describing), so the entry-sum checks do not apply.
+			wantPat, wantUV := n.Execs, int(uniq)
+			if opts.fid.GroupDropped(id, gi) {
+				g.Dropped = true
+				wantPat, wantUV = -1, -1
+			}
+			if g.PatSegs, err = loadLabelSegs(sr, wet.Epochs, wantPat, fmt.Sprintf("group %d pattern", gi), opts); err != nil {
 				return err
 			}
 			if nuv > 0 {
 				g.UValSegs = make([][]*core.LabelSeg, nuv)
 				for mi := range g.UValSegs {
-					if g.UValSegs[mi], err = loadLabelSegs(sr, wet.Epochs, int(uniq), fmt.Sprintf("group %d uvals[%d]", gi, mi), opts); err != nil {
+					if g.UValSegs[mi], err = loadLabelSegs(sr, wet.Epochs, wantUV, fmt.Sprintf("group %d uvals[%d]", gi, mi), opts); err != nil {
 						return err
 					}
 				}
@@ -288,6 +295,16 @@ func parseEdgeSecV4(s *section, wet *core.WET, id, nEdges int, opts LoadOptions)
 			if nSegs != 0 {
 				return fmt.Errorf("whole-run inferable edge carries %d segments", nSegs)
 			}
+			edge = e
+			return sr.done()
+		}
+		// A budget-dropped edge keeps its record (endpoints and adjacency
+		// survive) but stores no label segments.
+		if opts.fid.EdgeDropped(id) {
+			if nSegs != 0 {
+				return fmt.Errorf("budget-dropped edge carries %d segments", nSegs)
+			}
+			e.Dropped = true
 			edge = e
 			return sr.done()
 		}

@@ -10,10 +10,10 @@ import (
 // SectionStatus is one line of a Verify walk: a section's identity,
 // location, size, and whether its checksum validated.
 type SectionStatus struct {
-	Section string
-	Offset  int64
-	Length  int // payload bytes
-	CRCOK   bool
+	Section string `json:"section"`
+	Offset  int64  `json:"offset"`
+	Length  int    `json:"length"` // payload bytes
+	CRCOK   bool   `json:"crc_ok"`
 }
 
 func (s SectionStatus) String() string {
@@ -26,15 +26,15 @@ func (s SectionStatus) String() string {
 
 // VerifyResult summarizes an integrity walk over a WET file.
 type VerifyResult struct {
-	Version  int
-	Sections []SectionStatus
+	Version  int             `json:"version"`
+	Sections []SectionStatus `json:"sections"`
 	// BadSections counts sections whose CRC failed.
-	BadSections int
+	BadSections int `json:"bad_sections"`
 	// TailSkipped is the unframeable byte count at the end of the file (0
 	// for an intact file).
-	TailSkipped int64
+	TailSkipped int64 `json:"tail_skipped"`
 	// Truncated is set when the end marker was never reached.
-	Truncated bool
+	Truncated bool `json:"truncated"`
 }
 
 // OK reports whether every section validated and the file is complete.

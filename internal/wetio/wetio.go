@@ -107,6 +107,18 @@ func saveCtx(ctx context.Context, w io.Writer, wet *core.WET) error {
 		return err
 	}
 
+	// The fidelity section is written only when the byte-budgeted freeze
+	// actually shed something: lossless output (no budget, or a budget at or
+	// above the floor) stays byte-identical to pre-budget releases.
+	if wet.Fidelity.Degraded() {
+		if err := saveFidelityPayload(sw, wet.Fidelity); err != nil {
+			return err
+		}
+		if err := sw.emit(secFidelity); err != nil {
+			return err
+		}
+	}
+
 	// Cancellation granularity is one record section: a cancelled Save
 	// stops at a section boundary (the torn-write recovery tests rely on
 	// boundary-aligned tears being the worst case the salvage loader sees
@@ -298,6 +310,12 @@ type LoadOptions struct {
 	// options.
 	segOwner string
 	segEpoch int
+
+	// fid carries the fidelity report (parsed before the record sections)
+	// down to the node/edge parsers, which mark the listed groups/edges
+	// Dropped and relax the stream-length checks their placeholder or
+	// absent streams cannot meet.
+	fid *core.FidelityReport
 }
 
 // Load reads a WET written by Save. Failures are reported as *FormatError
@@ -428,6 +446,17 @@ func parseStrict(secs []section, opts LoadOptions, v4 bool) (*core.WET, error) {
 		return nil, err
 	}
 
+	// The fidelity section is optional: only byte-budgeted containers that
+	// actually degraded carry one. Its drop lists steer the record parsers
+	// below.
+	if idx < len(secs) && secs[idx].tag == secFidelity {
+		fs := &secs[idx]
+		idx++
+		if opts.fid, err = parseFidelitySec(fs, hdr); err != nil {
+			return nil, err
+		}
+	}
+
 	// Collect the node and edge sections up front, then fan their payload
 	// decode — the bulk of load time — over the worker pool. Each section
 	// decodes into its own slot and touches no shared state (RestoreNode's
@@ -533,6 +562,9 @@ func parseStrict(secs []section, opts LoadOptions, v4 bool) (*core.WET, error) {
 		return nil, &FormatError{Section: "header", Offset: hs.offset,
 			Cause: fmt.Errorf("first/last node out of range")}
 	}
+	if opts.fid != nil {
+		installFidelity(wet, opts.fid)
+	}
 	if v4 && opts.RestoreTier1 {
 		// Segmented tier-1 is rehydrated in one pass over the federated
 		// cursors once the whole edge table (share targets included) exists.
@@ -551,7 +583,7 @@ func parseStrict(secs []section, opts LoadOptions, v4 bool) (*core.WET, error) {
 // dropped, node records form the maximal intact prefix, edge records are
 // kept individually, and cross references are repaired afterwards.
 func parseSalvage(secs []section, opts LoadOptions, rep *SalvageReport, v4 bool) (*core.WET, error) {
-	var hdrSec, progSec, repSec, concSec *section
+	var hdrSec, progSec, repSec, fidSec, concSec *section
 	// Node and edge identities are positional (a node's ID is its index), so
 	// original indices are assigned by file order counting damaged sections
 	// too — a record must never slide into a dropped neighbour's slot, which
@@ -598,6 +630,12 @@ func parseSalvage(secs []section, opts LoadOptions, rep *SalvageReport, v4 bool)
 			} else {
 				drop(s)
 			}
+		case secFidelity:
+			if fidSec == nil {
+				fidSec = s
+			} else {
+				drop(s)
+			}
 		case secConc:
 			if concSec == nil {
 				concSec = s
@@ -637,6 +675,21 @@ func parseSalvage(secs []section, opts LoadOptions, rep *SalvageReport, v4 bool)
 			rep.SectionsRead++
 		} else {
 			drop(repSec)
+		}
+	}
+
+	// A damaged fidelity section loses the drop lists the record parsers
+	// relax their checks with, so the budget-degraded records below will be
+	// dropped like any other damaged section — still the maximal loadable
+	// subset, just a smaller one.
+	if fidSec != nil {
+		if f, ferr := parseFidelitySec(fidSec, hdr); ferr == nil {
+			opts.fid = f
+			rep.SectionsRead++
+		} else {
+			drop(fidSec)
+			rep.Adjustments = append(rep.Adjustments,
+				"fidelity section dropped: budget-degraded records load as damaged")
 		}
 	}
 
@@ -759,6 +812,30 @@ func parseSalvage(secs []section, opts LoadOptions, rep *SalvageReport, v4 bool)
 	}
 	rep.EdgesLoaded = len(wet.Edges)
 	rep.EdgesDropped = hdr.nEdges - len(wet.Edges)
+
+	// The fidelity report names records by their file indices; salvage may
+	// have truncated the node prefix and remapped the edge table, so the
+	// drop lists are filtered to survivors and the edge indices remapped
+	// before the report is attached (as a fresh value: the parse-time
+	// lookup index is keyed by the original indices).
+	if opts.fid != nil {
+		f := &core.FidelityReport{
+			BudgetBytes: opts.fid.BudgetBytes, FloorBytes: opts.fid.FloorBytes,
+			AchievedBytes: opts.fid.AchievedBytes, TSStride: opts.fid.TSStride,
+		}
+		for _, d := range opts.fid.DroppedGroups {
+			if d.Node < len(wet.Nodes) {
+				f.DroppedGroups = append(f.DroppedGroups, d)
+			}
+		}
+		for _, d := range opts.fid.DroppedEdges {
+			if ni, ok := newIdx[d.Edge]; ok {
+				d.Edge = ni
+				f.DroppedEdges = append(f.DroppedEdges, d)
+			}
+		}
+		installFidelity(wet, f)
+	}
 
 	// The concurrency section is self-contained; a damaged one is dropped
 	// (the trace degrades to its sequential view) rather than failing the
@@ -906,7 +983,7 @@ func parseNodeSec(s *section, st *interp.Static, id, nNodes int, opts LoadOption
 		if nGroups != len(n.Groups) {
 			return fmt.Errorf("node has %d groups, file says %d", len(n.Groups), nGroups)
 		}
-		for _, g := range n.Groups {
+		for gi, g := range n.Groups {
 			var uniq, nuv uint32
 			if err := readVals(sr, &uniq, &nuv); err != nil {
 				return err
@@ -915,10 +992,14 @@ func parseNodeSec(s *section, st *interp.Static, id, nNodes int, opts LoadOption
 			if int(nuv) != len(g.ValMembers) {
 				return fmt.Errorf("group has %d value members, file says %d", len(g.ValMembers), nuv)
 			}
+			// A budget-dropped group keeps the payload shape but its streams
+			// are empty placeholders, so the length-vs-executions checks (and
+			// the tier-1 drain) do not apply.
+			g.Dropped = opts.fid.GroupDropped(id, gi)
 			if g.PatternS, err = loadStream(sr, opts); err != nil {
 				return err
 			}
-			if g.PatternS.Len() != n.Execs {
+			if !g.Dropped && g.PatternS.Len() != n.Execs {
 				return fmt.Errorf("group pattern has %d entries, node executed %d times", g.PatternS.Len(), n.Execs)
 			}
 			g.UValS = make([]stream.Stream, nuv)
@@ -926,11 +1007,11 @@ func parseNodeSec(s *section, st *interp.Static, id, nNodes int, opts LoadOption
 				if g.UValS[k], err = loadStream(sr, opts); err != nil {
 					return err
 				}
-				if g.UValS[k].Len() != int(uniq) {
+				if !g.Dropped && g.UValS[k].Len() != int(uniq) {
 					return fmt.Errorf("unique-value stream has %d entries, group has %d keys", g.UValS[k].Len(), uniq)
 				}
 			}
-			if opts.RestoreTier1 {
+			if opts.RestoreTier1 && !g.Dropped {
 				g.Pattern = stream.Drain(g.PatternS)
 				g.UVals = make([][]uint32, nuv)
 				for k := range g.UValS {
@@ -1022,23 +1103,27 @@ func parseEdgeSec(s *section, wet *core.WET, id, nEdges int, opts LoadOptions) (
 		if err := checkEdge(wet, e, nEdges); err != nil {
 			return err
 		}
+		// A budget-dropped owner keeps placeholder streams (sharers of a
+		// dropped owner store nothing, as always), so only the length checks
+		// and the tier-1 drain are relaxed.
+		e.Dropped = opts.fid.EdgeDropped(id)
 		if !e.Inferable && e.SharedWith < 0 {
 			var err error
 			if e.DstS, err = loadStream(sr, opts); err != nil {
 				return err
 			}
-			if e.DstS.Len() != e.Count {
+			if !e.Dropped && e.DstS.Len() != e.Count {
 				return fmt.Errorf("destination labels have %d entries, edge count is %d", e.DstS.Len(), e.Count)
 			}
 			if !e.Diagonal {
 				if e.SrcS, err = loadStream(sr, opts); err != nil {
 					return err
 				}
-				if e.SrcS.Len() != e.Count {
+				if !e.Dropped && e.SrcS.Len() != e.Count {
 					return fmt.Errorf("source labels have %d entries, edge count is %d", e.SrcS.Len(), e.Count)
 				}
 			}
-			if opts.RestoreTier1 {
+			if opts.RestoreTier1 && !e.Dropped {
 				e.DstOrd = stream.Drain(e.DstS)
 				if !e.Diagonal {
 					e.SrcOrd = stream.Drain(e.SrcS)

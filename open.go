@@ -7,9 +7,6 @@ import (
 	"wet/internal/wetio"
 )
 
-// OpenOption configures Open.
-type OpenOption func(*openConfig)
-
 type openConfig struct {
 	ctx        context.Context
 	tier1      bool
@@ -23,24 +20,23 @@ type openConfig struct {
 
 // WithTier1 rehydrates the tier-1 label arrays on load so tier-1 queries
 // work on the opened trace (Open(r, WithTier1()) ≡ Load(r, true)).
-func WithTier1() OpenOption { return func(c *openConfig) { c.tier1 = true } }
+func WithTier1() OpenOption {
+	return openOptionFunc(func(c *openConfig) { c.tier1 = true })
+}
 
 // WithSalvage loads as much of a damaged file as remains loadable instead
 // of failing on the first structural or checksum error; the OpenReport's
 // Salvage field details every loss (Open(r, WithSalvage()) ≡ LoadSalvage).
-func WithSalvage() OpenOption { return func(c *openConfig) { c.salvage = true } }
+func WithSalvage() OpenOption {
+	return openOptionFunc(func(c *openConfig) { c.salvage = true })
+}
 
 // WithVerifyOnly walks the file's sections checking each checksum without
 // parsing any payload; Open returns a nil Trace and the OpenReport's
 // Verify field holds the walk (Open(r, WithVerifyOnly()) ≡ Verify).
-func WithVerifyOnly() OpenOption { return func(c *openConfig) { c.verifyOnly = true } }
-
-// WithWorkers decodes the file's node and edge sections on n goroutines
-// (n <= 0: GOMAXPROCS; 1: serial). The result is bit-identical to a serial
-// open at every width — sections are framed in file order and assembled by
-// index, and the first error in file order wins. Salvage loads are always
-// serial.
-func WithWorkers(n int) OpenOption { return func(c *openConfig) { c.workers = n } }
+func WithVerifyOnly() OpenOption {
+	return openOptionFunc(func(c *openConfig) { c.verifyOnly = true })
+}
 
 // WithLazy defers each stream's decode until a cursor first touches it.
 // Framing, checksums, and serialized-state structure are still validated up
@@ -52,14 +48,8 @@ func WithWorkers(n int) OpenOption { return func(c *openConfig) { c.workers = n 
 // first touch from parallel queries. Ignored with WithSalvage (damage must
 // be found eagerly) and moot with WithTier1 (tier-1 rehydration drains
 // every stream at open).
-func WithLazy() OpenOption { return func(c *openConfig) { c.lazy = true } }
-
-// WithContext makes the open cancellable: the streaming read aborts within
-// one buffer refill of ctx dying, section decode between sections, tier-1
-// rehydration between drain jobs. A cancelled Open returns the context's
-// cancellation cause, never a *FormatError.
-func WithContext(ctx context.Context) OpenOption {
-	return func(c *openConfig) { c.ctx = ctx }
+func WithLazy() OpenOption {
+	return openOptionFunc(func(c *openConfig) { c.lazy = true })
 }
 
 // SegmentSource indexes a container's individually-decodable label streams
@@ -77,32 +67,23 @@ func NewSegmentSource() *SegmentSource { return wetio.NewSegmentSource() }
 // load path of WithLazy; ignored with WithSalvage and WithVerifyOnly, and
 // on v2 files.
 func WithSegments(ss *SegmentSource) OpenOption {
-	return func(c *openConfig) { c.segments = ss }
-}
-
-// WithMemBudget sets a soft ceiling, in bytes, on the open's working set.
-// When the requested options would exceed it, the open degrades gracefully
-// instead of failing — parallel decode falls back to serial, tier-1
-// rehydration is dropped, eager decode falls back to lazy — and records the
-// rungs taken in OpenReport.Degradation. Zero means unlimited.
-func WithMemBudget(bytes uint64) OpenOption {
-	return func(c *openConfig) { c.memBudget = bytes }
+	return openOptionFunc(func(c *openConfig) { c.segments = ss })
 }
 
 // OpenReport describes what Open found in the file.
 type OpenReport struct {
 	// Version is the file format version (2, 3, or 4).
-	Version int
+	Version int `json:"version"`
 	// Verify holds the section-by-section integrity walk; set only with
 	// WithVerifyOnly.
-	Verify *VerifyResult
+	Verify *VerifyResult `json:"verify,omitempty"`
 	// Salvage accounts for sections read, dropped, and repaired; set only
 	// with WithSalvage. Its Clean method distinguishes intact from lossy
 	// loads.
-	Salvage *SalvageReport
+	Salvage *SalvageReport `json:"salvage,omitempty"`
 	// Degradation lists the options WithMemBudget forced the open to shed
 	// (nil when no budget was set or nothing degraded).
-	Degradation *DegradationReport
+	Degradation *DegradationReport `json:"degradation,omitempty"`
 }
 
 // Open reads a WET file written by Save (or (*Trace).Save) and returns it
@@ -125,7 +106,7 @@ type OpenReport struct {
 func Open(r io.Reader, opts ...OpenOption) (*Trace, *OpenReport, error) {
 	var cfg openConfig
 	for _, o := range opts {
-		o(&cfg)
+		o.applyOpen(&cfg)
 	}
 	if cfg.verifyOnly {
 		res, err := wetio.VerifyCtx(cfg.ctx, r)
@@ -150,5 +131,7 @@ func Open(r io.Reader, opts ...OpenOption) (*Trace, *OpenReport, error) {
 	if cfg.salvage {
 		out.Salvage = rep
 	}
-	return NewTrace(w), out, nil
+	tr := NewTrace(w)
+	tr.open = out
+	return tr, out, nil
 }

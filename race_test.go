@@ -21,7 +21,7 @@ func TestRaceReportCrossTierAndOpenPath(t *testing.T) {
 		wl := wl
 		t.Run(wl.Name, func(t *testing.T) {
 			prog, in := wl.Build(1)
-			tr, _, err := wet.Run(prog, wet.RunOptions{Inputs: in, Seed: 11}, wet.FreezeOptions{})
+			tr, _, err := wet.Run(prog, wet.WithInputs(in...), wet.WithSeed(11))
 			if err != nil {
 				t.Fatal(err)
 			}

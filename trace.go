@@ -24,6 +24,7 @@ import (
 type Trace struct {
 	w    *WET
 	tier Tier
+	open *OpenReport // set by Open; surfaces salvage/degradation in Report
 }
 
 // NewTrace wraps an already-built WET in a handle. The tier defaults to
@@ -42,12 +43,31 @@ func NewTrace(w *WET) *Trace {
 }
 
 // Run executes the (finalized) program and returns its frozen trace in one
-// call. With fopts.EpochTS > 0 the dynamic profile is sealed and tier-2
-// compressed in epochs of that many timestamps while the interpreter runs
-// (the streaming pipeline), bounding peak memory by the epoch size; with
-// EpochTS == 0 the profile is built fully and then frozen, producing output
-// byte-identical to BuildWET followed by Freeze.
-func Run(p *Program, ropts RunOptions, fopts FreezeOptions) (*Trace, *RunResult, error) {
+// call, configured by functional options mirroring Open:
+//
+//	tr, res, err := wet.Run(prog, wet.WithInputs(7), wet.WithEpochTS(1<<12))
+//
+// With WithEpochTS(n) the dynamic profile is sealed and tier-2 compressed
+// in epochs of n timestamps while the interpreter runs (the streaming
+// pipeline), bounding peak memory by the epoch size; without it the profile
+// is built fully and then frozen, producing output byte-identical to
+// BuildWET followed by Freeze. With WithByteBudget(n) the freeze lands the
+// serialized container at or under n bytes, trading query capabilities in
+// a fixed order and reporting exactly what it shed (Trace.Fidelity).
+func Run(p *Program, opts ...RunOption) (*Trace, *RunResult, error) {
+	var cfg runConfig
+	for _, o := range opts {
+		o.applyRun(&cfg)
+	}
+	return RunWithOptions(p, cfg.run, cfg.frz)
+}
+
+// RunWithOptions is the struct-form Run.
+//
+// Deprecated: use Run with functional options (WithInputs, WithEpochTS,
+// WithByteBudget, ...); this wrapper exists for call sites predating the
+// options facade and pins the old three-argument signature.
+func RunWithOptions(p *Program, ropts RunOptions, fopts FreezeOptions) (*Trace, *RunResult, error) {
 	st, err := interp.Analyze(p)
 	if err != nil {
 		return nil, nil, err
@@ -74,8 +94,58 @@ func (t *Trace) Tier() Tier { return t.tier }
 // AtTier returns a handle over the same WET that queries at the given tier.
 func (t *Trace) AtTier(tier Tier) *Trace { return &Trace{w: t.w, tier: tier} }
 
-// Report returns the compression size report (nil before Freeze).
-func (t *Trace) Report() *SizeReport { return t.w.Report() }
+// Report bundles every machine-readable account a trace carries, with
+// consistent snake_case JSON casing across the family: the compression
+// size report, the fidelity report of a byte-budgeted freeze, the
+// degradation rungs a memory budget took, and the salvage report of a
+// damaged-file open. Fields not applicable to how this trace was produced
+// are nil (and omitted from JSON).
+type Report struct {
+	Size        *SizeReport        `json:"size,omitempty"`
+	Fidelity    *FidelityReport    `json:"fidelity,omitempty"`
+	Degradation *DegradationReport `json:"degradation,omitempty"`
+	Salvage     *SalvageReport     `json:"salvage,omitempty"`
+}
+
+func (r *Report) String() string {
+	if r == nil {
+		return "no report"
+	}
+	s := ""
+	if r.Size != nil {
+		s += r.Size.String()
+	}
+	if r.Fidelity.Degraded() {
+		s += r.Fidelity.String() + "\n"
+	}
+	return s
+}
+
+// Report returns the trace's report bundle. The Size field is nil before
+// Freeze; Fidelity is non-nil only for byte-budgeted traces; Salvage and
+// Degradation carry over from Open when it reported them.
+func (t *Trace) Report() *Report {
+	r := &Report{Size: t.w.Report(), Fidelity: t.w.Fidelity}
+	if r.Size != nil {
+		r.Degradation = r.Size.Degradation
+	}
+	if t.open != nil {
+		r.Salvage = t.open.Salvage
+		if r.Degradation == nil {
+			r.Degradation = t.open.Degradation
+		}
+	}
+	return r
+}
+
+// Fidelity returns the machine-readable account of the byte-budgeted
+// freeze that produced this trace: budget, lossless floor, achieved size,
+// and exactly which streams were kept, degraded, or dropped. Nil when the
+// trace was built without WithByteBudget; Degraded() false when the budget
+// sat at or above the lossless floor (the container is then byte-identical
+// to an unbudgeted freeze). Loaded traces recover the report from the
+// container's fidelity section.
+func (t *Trace) Fidelity() *FidelityReport { return t.w.Fidelity }
 
 // SeekStats returns this trace's cumulative cursor seek statistics (seeks
 // issued, checkpoint restores used, steps walked) — the per-trace

@@ -16,12 +16,20 @@
 //	... build IR with fb ...
 //	prog.MustFinalize()
 //
-//	w, _, err := wet.BuildWET(prog, wet.RunOptions{})
-//	rep := w.Freeze(wet.FreezeOptions{})
-//	fmt.Println(rep)                 // sizes at each compression tier
+//	tr, _, err := wet.Run(prog, wet.WithInputs(7))
+//	fmt.Println(tr.Report())        // sizes at each compression tier
 //
-//	n := wet.ExtractControlFlow(w, wet.Tier2, true, nil)
-//	sl, err := wet.Backward(w, wet.Tier2, criterion, 0)
+//	n := tr.ExtractControlFlow(true, nil)
+//	sl, err := tr.Backward(criterion, 0)
+//
+// Run accepts functional options mirroring Open: WithEpochTS streams the
+// build in bounded-memory epochs, WithByteBudget lands the serialized
+// container under a hard size ceiling (trading query capabilities in a
+// fixed order and reporting exactly what it shed in Trace.Fidelity), and
+// the shared knobs WithWorkers, WithContext, and WithMemBudget mean the
+// same thing on both paths. Saved traces come back through Open:
+//
+//	tr2, rep, err := wet.Open(f, wet.WithTier1())
 //
 // The heavy lifting lives in internal packages; this package re-exports the
 // stable surface: the IR builder (internal/ir), the simulator entry points
@@ -349,6 +357,39 @@ type DegradationReport = core.DegradationReport
 // DegradationAction is one rung of a DegradationReport.
 type DegradationAction = core.DegradationAction
 
+// FidelityReport is the machine-readable account of a byte-budgeted freeze
+// (WithByteBudget): budget, lossless floor, achieved container size, which
+// streams were kept, degraded, or dropped, and the query capabilities that
+// cost. See Trace.Fidelity.
+type FidelityReport = core.FidelityReport
+
+// DroppedGroup and DroppedEdge are FidelityReport entries: one value group
+// or dependence edge whose streams a byte-budgeted freeze dropped.
+type (
+	DroppedGroup = core.DroppedGroup
+	DroppedEdge  = core.DroppedEdge
+)
+
+// CapabilityError is the typed refusal of a query that needs data a
+// byte-budgeted freeze discarded: a degraded trace answers what it still
+// can and refuses — typed, never wrong — what it cannot. The Capability
+// field holds the stable identifier (CapValues, CapDependences,
+// CapExactTS) that was lost.
+type CapabilityError = query.CapabilityError
+
+// Capability identifiers a byte-budgeted freeze can trade away; they
+// appear in FidelityReport.LostCapabilities and CapabilityError.
+const (
+	CapValues      = core.CapValues
+	CapDependences = core.CapDependences
+	CapExactTS     = core.CapExactTS
+)
+
+// BudgetError reports a WithByteBudget ceiling no degradation ladder can
+// reach: even with every droppable stream shed and timestamps at the
+// widest stride, the container still exceeds the budget.
+type BudgetError = core.BudgetError
+
 // DecodeError reports a lazily opened stream whose deferred decode failed
 // at first touch (possible only on a forged store that passed its CRC).
 // Queries return it as an error; raw cursor stepping panics with it — use
@@ -375,6 +416,9 @@ type SalvageReport = wetio.SalvageReport
 
 // VerifyResult summarizes a section-by-section integrity walk.
 type VerifyResult = wetio.VerifyResult
+
+// SectionStatus is one line of a VerifyResult.
+type SectionStatus = wetio.SectionStatus
 
 // LoadSalvage reads as much of a damaged WET file as remains loadable:
 // damaged node records truncate the node list, damaged edge records are

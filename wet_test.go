@@ -318,7 +318,7 @@ func TestDeprecatedSurface(t *testing.T) {
 	// single-epoch and a streamed build of the same program.
 	prog, outS := buildSum(t)
 	for _, epochTS := range []uint32{0, 4} {
-		tr, _, err := wet.Run(prog, wet.RunOptions{}, wet.FreezeOptions{EpochTS: epochTS})
+		tr, _, err := wet.Run(prog, wet.WithEpochTS(epochTS))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -348,7 +348,7 @@ func TestDeprecatedSurface(t *testing.T) {
 // mapping on a saved streamed trace.
 func TestOpenMatchesLoad(t *testing.T) {
 	prog, _ := buildSum(t)
-	tr, _, err := wet.Run(prog, wet.RunOptions{}, wet.FreezeOptions{EpochTS: 4})
+	tr, _, err := wet.Run(prog, wet.WithEpochTS(4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -398,7 +398,7 @@ func TestOpenMatchesLoad(t *testing.T) {
 // identically to a plain eager Open.
 func TestOpenLazyAndParallel(t *testing.T) {
 	prog, outS := buildSum(t)
-	tr, _, err := wet.Run(prog, wet.RunOptions{}, wet.FreezeOptions{EpochTS: 4})
+	tr, _, err := wet.Run(prog, wet.WithEpochTS(4))
 	if err != nil {
 		t.Fatal(err)
 	}
